@@ -1,0 +1,33 @@
+//! Microbenchmark: the optimized-allocation solvers.
+//!
+//! Algorithm 1 is meant to run online whenever the utilization estimate
+//! is refreshed, so its cost matters. Compares the closed form
+//! (O(n log n): sort + binary-search cutoff) against the dual-bisection
+//! numeric solver across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::desim::Rng64;
+use hetsched::queueing::{closed_form, numeric, HetSystem};
+
+fn random_speeds(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng64::from_seed(seed);
+    (0..n).map(|_| 0.5 + rng.next_f64() * 19.5).collect()
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation");
+    for &n in &[4usize, 16, 64, 256, 1024] {
+        let speeds = random_speeds(n, 42);
+        let sys = HetSystem::from_utilization(&speeds, 0.7).expect("valid system");
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &sys, |b, sys| {
+            b.iter(|| closed_form::optimized_allocation(std::hint::black_box(sys)))
+        });
+        group.bench_with_input(BenchmarkId::new("numeric_bisection", n), &sys, |b, sys| {
+            b.iter(|| numeric::optimized_allocation_numeric(std::hint::black_box(sys), 1e-10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

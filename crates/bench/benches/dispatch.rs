@@ -1,0 +1,68 @@
+//! Microbenchmark: per-job dispatch decision cost.
+//!
+//! Algorithm 2 runs once per arriving job on the central scheduler — at
+//! the paper's λ it must sustain hundreds of thousands of decisions per
+//! second. Compares the round-robin scan (O(n) per decision) with random
+//! dispatching (O(log n) CDF search) and Dynamic Least-Load's argmin.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::cluster::{DispatchCtx, Policy};
+use hetsched::desim::Rng64;
+use hetsched::policies::{LeastLoadPolicy, RandomDispatch, RoundRobinDispatch};
+use hetsched::queueing::closed_form::optimized_allocation_for;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    for &n in &[4usize, 16, 64, 256] {
+        let mut rng = Rng64::from_seed(7);
+        let speeds: Vec<f64> = (0..n).map(|_| 0.5 + rng.next_f64() * 9.5).collect();
+        let fractions = optimized_allocation_for(&speeds, 0.7);
+        let qlens = vec![0usize; n];
+
+        let mut rr = RoundRobinDispatch::new(&fractions, "RR");
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &(), |b, _| {
+            let mut rng = Rng64::from_seed(1);
+            b.iter(|| {
+                let ctx = DispatchCtx {
+                    now: 0.0,
+                    job_size: 1.0,
+                    queue_lens: &qlens,
+                    speeds: &speeds,
+                };
+                rr.choose(std::hint::black_box(&ctx), &mut rng)
+            })
+        });
+
+        let mut ran = RandomDispatch::new(&fractions, "RAN");
+        group.bench_with_input(BenchmarkId::new("random", n), &(), |b, _| {
+            let mut rng = Rng64::from_seed(2);
+            b.iter(|| {
+                let ctx = DispatchCtx {
+                    now: 0.0,
+                    job_size: 1.0,
+                    queue_lens: &qlens,
+                    speeds: &speeds,
+                };
+                ran.choose(std::hint::black_box(&ctx), &mut rng)
+            })
+        });
+
+        let mut dynamic = LeastLoadPolicy::new(&speeds);
+        group.bench_with_input(BenchmarkId::new("least_load", n), &(), |b, _| {
+            let mut rng = Rng64::from_seed(3);
+            b.iter(|| {
+                let ctx = DispatchCtx {
+                    now: 0.0,
+                    job_size: 1.0,
+                    queue_lens: &qlens,
+                    speeds: &speeds,
+                };
+                dynamic.choose(std::hint::black_box(&ctx), &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

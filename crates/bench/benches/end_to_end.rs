@@ -1,0 +1,41 @@
+//! Macrobenchmark: whole-simulator throughput.
+//!
+//! Simulated-seconds-per-wall-second of the full cluster simulation on
+//! the Table-3 base configuration, for the cheapest (WRAN) and the most
+//! stateful (Dynamic Least-Load, with its message traffic) policies.
+//! This is the number that determines how long the paper-fidelity
+//! reproduction takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::cluster::Simulation;
+use hetsched::prelude::*;
+
+fn run_once(policy: PolicySpec, horizon: f64, seed: u64) -> u64 {
+    let mut cfg = ClusterConfig::paper_default(&scenarios::table3_speeds());
+    cfg.horizon = horizon;
+    cfg.warmup = horizon / 4.0;
+    let p = policy.build(&cfg).expect("valid policy");
+    let sim = Simulation::new(cfg, p, seed).expect("valid config");
+    sim.run().jobs_finished
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let horizon = 50_000.0; // ≈ 15k jobs on the base configuration
+    for policy in [
+        PolicySpec::wran(),
+        PolicySpec::orr(),
+        PolicySpec::DynamicLeastLoad,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("table3_50ksec", policy.label()),
+            &policy,
+            |b, &policy| b.iter(|| run_once(policy, std::hint::black_box(horizon), 3)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Microbenchmark: the future-event list.
+//!
+//! Schedule/pop throughput under the classic hold model (pop one, push
+//! one at a random future offset) at several queue sizes, plus the cost
+//! of lazy cancellation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::desim::{CalendarQueue, EventQueue, Rng64, SimTime};
+
+fn hold_model(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(size);
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+    }
+    acc
+}
+
+fn hold_with_cancellation(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(6);
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(size);
+    let mut ids = Vec::with_capacity(size);
+    for i in 0..size {
+        ids.push(q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64));
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        // Cancel-and-replace: the epoch-free pattern dynamic timers use.
+        let id = q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+        let idx = (ev.payload as usize) % ids.len();
+        let victim = ids[idx];
+        q.cancel(victim);
+        ids[idx] = id;
+        let replacement = q.schedule(ev.time.after(rng.next_f64() * 50.0), ev.payload);
+        ids.push(replacement);
+        if ids.len() > 2 * size {
+            ids.truncate(size);
+        }
+    }
+    acc
+}
+
+fn hold_model_calendar(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    let mut q: CalendarQueue<u64> = CalendarQueue::new();
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (time, payload) = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(payload);
+        q.schedule(time.after(rng.next_f64() * 100.0), payload);
+    }
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &size in &[64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("heap_hold", size), &size, |b, &size| {
+            b.iter(|| hold_model(size, 10_000))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("calendar_hold", size),
+            &size,
+            |b, &size| b.iter(|| hold_model_calendar(size, 10_000)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap_hold_cancel", size),
+            &size,
+            |b, &size| b.iter(|| hold_with_cancellation(size, 10_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmark: processor-sharing server implementations.
+//!
+//! The O(log n) virtual-time PS against the O(n) reference, driving each
+//! with the same synthetic arrival schedule at several concurrency
+//! levels. Justifies shipping the BTreeSet implementation as the
+//! default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::cluster::{Discipline, DisciplineSpec, JobRecord, JobSlab};
+use hetsched::desim::Rng64;
+
+/// Drives one busy period with `jobs` overlapping jobs through `spec`.
+fn run_busy_period(spec: DisciplineSpec, jobs: usize, seed: u64) -> usize {
+    let mut rng = Rng64::from_seed(seed);
+    let mut slab = JobSlab::with_capacity(jobs);
+    let mut disc = spec.build(2.0);
+    let mut done = Vec::with_capacity(jobs);
+    let mut t = 0.0;
+    for _ in 0..jobs {
+        // Dense arrivals keep many jobs concurrently in service.
+        t += rng.exponential(10.0);
+        disc.advance(t, &mut done);
+        let id = slab.insert(JobRecord {
+            size: 1.0,
+            arrival: t,
+            server: 0,
+            counted: true,
+        });
+        disc.arrive(t, id, 0.5 + rng.next_f64());
+    }
+    while let Some(w) = disc.next_wakeup() {
+        disc.advance(w, &mut done);
+    }
+    for &id in &done {
+        slab.remove(id);
+    }
+    done.len()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ps_server");
+    for &jobs in &[64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("virtual_time", jobs), &jobs, |b, &jobs| {
+            b.iter(|| run_busy_period(DisciplineSpec::ProcessorSharing, jobs, 11))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", jobs), &jobs, |b, &jobs| {
+            b.iter(|| run_busy_period(DisciplineSpec::PsReference, jobs, 11))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

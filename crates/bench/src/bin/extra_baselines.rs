@@ -1,0 +1,63 @@
+//! Extension: clairvoyant baselines around ORR.
+//!
+//! Situates the paper's static schemes between stronger and weaker
+//! information regimes on the Table-3 base configuration:
+//!
+//! * WRAN/ORR — the paper's static range;
+//! * DYNAMIC — delayed load feedback (the paper's yardstick);
+//! * JSQ(2)/JSQ(4) — instantaneous load, sampled;
+//! * SITA-E — clairvoyant job sizes, static routing.
+
+use hetsched::prelude::*;
+use hetsched_bench::{ci, Mode};
+
+fn main() {
+    let mode = Mode::from_env();
+    let policies = [
+        PolicySpec::wran(),
+        PolicySpec::wrr(),
+        PolicySpec::oran(),
+        PolicySpec::orr(),
+        PolicySpec::SitaE,
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::Jsq { d: 2 },
+        PolicySpec::Jsq { d: 4 },
+    ];
+
+    let mut archive = Vec::new();
+    println!("\nExtra baselines (Table-3 base config, rho = 0.70)");
+    let mut t = Table::new([
+        "policy",
+        "information",
+        "mean resp ratio",
+        "fairness",
+        "p95 ratio",
+    ]);
+    let info = [
+        "speeds",
+        "speeds",
+        "speeds+rho",
+        "speeds+rho",
+        "job sizes (clairvoyant)",
+        "delayed queue lengths",
+        "2 live queue probes",
+        "4 live queue probes",
+    ];
+    for (policy, info) in policies.iter().zip(info) {
+        eprintln!("extra_baselines: {}", policy.label());
+        let r = mode.run(&policy.label(), scenarios::fig5_config(0.7), *policy);
+        t.row([
+            policy.label(),
+            info.to_string(),
+            ci(&r.mean_response_ratio),
+            ci(&r.fairness),
+            ci(&r.p95_response_ratio),
+        ]);
+        archive.push(r);
+    }
+    t.print();
+    println!(
+        "\nshape check: more information helps — static < delayed-dynamic <\nlive-probe policies; ORR should be the best of the static rows."
+    );
+    mode.archive(&archive);
+}

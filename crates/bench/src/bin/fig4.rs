@@ -1,0 +1,80 @@
+//! Figure 4 — effect of system size.
+//!
+//! The system grows from 2 to 20 computers, half at speed 10 and half at
+//! speed 1, at utilization 0.7. Panels: (a) mean response ratio,
+//! (b) fairness.
+//!
+//! Shapes the paper reports: ORR cuts 35–40% off WRAN's response ratio
+//! beyond 6 computers; the ORR-vs-Dynamic gap *grows* with size (dynamic
+//! exploits instantaneous load across more machines); round-robin
+//! policies improve with size (smoother per-machine substreams) while
+//! random ones improve less.
+
+use hetsched::experiment::ExperimentResult;
+use hetsched::metrics::CiSummary;
+use hetsched::prelude::*;
+use hetsched_bench::{ci, Mode};
+
+/// Panel accessor: picks one CI metric out of an experiment result.
+type Metric = fn(&ExperimentResult) -> &CiSummary;
+
+fn main() {
+    let mode = Mode::from_env();
+    let policies = scenarios::headline_policies();
+    let sweep = scenarios::fig4_sweep();
+
+    let mut grid: Vec<Vec<ExperimentResult>> = Vec::new();
+    for &n in &sweep {
+        let mut row = Vec::new();
+        for &policy in &policies {
+            eprintln!("fig4: n={n} policy={}", policy.label());
+            row.push(mode.run(
+                &format!("fig4 n={n} {}", policy.label()),
+                scenarios::fig4_config(n),
+                policy,
+            ));
+        }
+        grid.push(row);
+    }
+
+    let panels: [(&str, Metric); 2] = [
+        ("(a) mean response ratio", |r| &r.mean_response_ratio),
+        ("(b) fairness", |r| &r.fairness),
+    ];
+    for (title, get) in panels {
+        println!("\nFigure 4{title} vs system size, rho = 0.70");
+        let mut t = Table::new(
+            std::iter::once("computers".to_string())
+                .chain(policies.iter().map(|p| p.label()))
+                .collect::<Vec<_>>(),
+        );
+        for (i, &n) in sweep.iter().enumerate() {
+            let mut row = vec![format!("{n}")];
+            row.extend(grid[i].iter().map(|r| ci(get(r))));
+            t.row(row);
+        }
+        t.print();
+    }
+
+    let mut chart = Chart::new("Figure 4(a): mean response ratio vs system size", 64, 16);
+    for (pi, policy) in policies.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = sweep
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n as f64, grid[i][pi].mean_response_ratio.mean))
+            .collect();
+        chart.series(policy.label(), &pts);
+    }
+    println!();
+    chart.print();
+
+    // Shape check: ORR's gain over WRAN at the largest size.
+    let last = grid.last().expect("non-empty sweep");
+    let wran = &last[0].mean_response_ratio;
+    let orr = &last[3].mean_response_ratio;
+    println!(
+        "\nshape check at n=20: ORR improves mean response ratio over WRAN by {:.0}% (paper: 35-40%)",
+        100.0 * (wran.mean - orr.mean) / wran.mean
+    );
+    mode.archive(&grid);
+}

@@ -1,0 +1,97 @@
+//! Runs every table/figure regeneration binary's workload in sequence.
+//!
+//! `cargo run --release -p hetsched-bench --bin repro_all -- [--full|--quick|…]`
+//!
+//! This is a convenience front door: it shells out to nothing, it simply
+//! invokes the same library presets the individual binaries use, printing
+//! a one-line summary per artifact. Use the dedicated binaries for the
+//! full tables.
+
+use hetsched::prelude::*;
+use hetsched::scenarios::{fig2_deviations, Fig2Dispatcher};
+use hetsched_bench::Mode;
+
+fn main() {
+    let mode = Mode::from_env();
+    println!(
+        "reproduction sweep at scale {} with {} reps\n",
+        mode.scale, mode.reps
+    );
+
+    // Table 1.
+    let t1 = mode.run(
+        "table1",
+        ClusterConfig::paper_default(&scenarios::table1_speeds()),
+        PolicySpec::DynamicLeastLoad,
+    );
+    let f = &t1.dispatch_fractions;
+    println!(
+        "table1  dynamic least-load fractions: slowest {:.2}% … fastest {:.2}% (paper 0.29% … 30.9%)",
+        100.0 * f[0],
+        100.0 * f[f.len() - 1]
+    );
+
+    // Figure 2.
+    let rr = fig2_deviations(Fig2Dispatcher::RoundRobin, 1);
+    let ran = fig2_deviations(Fig2Dispatcher::Random, 1);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "fig2    deviation means: round-robin {:.5} vs random {:.5}",
+        mean(&rr),
+        mean(&ran)
+    );
+
+    // Figure 3 at the extreme point.
+    let orr = mode.run("fig3", scenarios::fig3_config(20.0), PolicySpec::orr());
+    let wrr = mode.run("fig3", scenarios::fig3_config(20.0), PolicySpec::wrr());
+    println!(
+        "fig3    fast=20: ORR ratio {:.3} vs WRR {:.3} ({:.0}% better; paper ~42%)",
+        orr.mean_response_ratio.mean,
+        wrr.mean_response_ratio.mean,
+        100.0 * (wrr.mean_response_ratio.mean - orr.mean_response_ratio.mean)
+            / wrr.mean_response_ratio.mean
+    );
+
+    // Figure 4 at the largest size.
+    let orr = mode.run("fig4", scenarios::fig4_config(20), PolicySpec::orr());
+    let wran = mode.run("fig4", scenarios::fig4_config(20), PolicySpec::wran());
+    println!(
+        "fig4    n=20: ORR ratio {:.3} vs WRAN {:.3} ({:.0}% better; paper 35-40%)",
+        orr.mean_response_ratio.mean,
+        wran.mean_response_ratio.mean,
+        100.0 * (wran.mean_response_ratio.mean - orr.mean_response_ratio.mean)
+            / wran.mean_response_ratio.mean
+    );
+
+    // Figure 5 at heavy load.
+    let orr = mode.run("fig5", scenarios::fig5_config(0.9), PolicySpec::orr());
+    let wrr = mode.run("fig5", scenarios::fig5_config(0.9), PolicySpec::wrr());
+    println!(
+        "fig5    rho=0.9: ORR ratio {:.3} vs WRR {:.3} ({:.0}% better; paper ~24%)",
+        orr.mean_response_ratio.mean,
+        wrr.mean_response_ratio.mean,
+        100.0 * (wrr.mean_response_ratio.mean - orr.mean_response_ratio.mean)
+            / wrr.mean_response_ratio.mean
+    );
+
+    // Figure 6's two edges at heavy load.
+    let under = mode.run(
+        "fig6",
+        scenarios::fig5_config(0.9),
+        PolicySpec::orr_with_error(-0.10),
+    );
+    let over = mode.run(
+        "fig6",
+        scenarios::fig5_config(0.9),
+        PolicySpec::orr_with_error(0.10),
+    );
+    println!(
+        "fig6    rho=0.9: ORR(-10%) ratio {:.3} (should blow up past WRR {:.3}); ORR(+10%) {:.3} (should stay close to ORR {:.3})",
+        under.mean_response_ratio.mean,
+        wrr.mean_response_ratio.mean,
+        over.mean_response_ratio.mean,
+        orr.mean_response_ratio.mean
+    );
+
+    println!("\nFor the full tables run the dedicated binaries: table1 table2 table3 fig2 fig3 fig4 fig5 fig6");
+}

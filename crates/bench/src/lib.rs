@@ -1,0 +1,168 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--full` — the paper's fidelity: 4·10⁶-second horizon, 10
+//!   replications per data point (minutes of wall time for the sweeps);
+//! * `--quick` — smoke-test fidelity: 2% horizon, 2 replications;
+//! * `--scale X` / `--reps N` — custom fidelity;
+//! * `--json PATH` — archive the structured results as pretty JSON.
+//!
+//! The default sits between `--quick` and `--full` (25% horizon, 5
+//! replications): good enough for every ranking in the paper to be
+//! visible, fast enough to run all binaries in a few minutes on a laptop.
+
+use std::path::PathBuf;
+
+use hetsched::experiment::{Experiment, ExperimentResult};
+use hetsched::prelude::*;
+
+/// Fidelity and output options parsed from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mode {
+    /// Horizon/warmup scale relative to the paper's 4·10⁶ s.
+    pub scale: f64,
+    /// Replications per data point (the paper uses 10).
+    pub reps: u64,
+    /// Optional JSON archive path.
+    pub json: Option<PathBuf>,
+}
+
+impl Default for Mode {
+    fn default() -> Self {
+        Mode {
+            scale: 0.25,
+            reps: 5,
+            json: None,
+        }
+    }
+}
+
+impl Mode {
+    /// Parses flags from an iterator of arguments (usually
+    /// `std::env::args().skip(1)`).
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// appropriate for a CLI entry point.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Mode {
+        let mut mode = Mode::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => {
+                    mode.scale = 1.0;
+                    mode.reps = 10;
+                }
+                "--quick" => {
+                    mode.scale = 0.02;
+                    mode.reps = 2;
+                }
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    mode.scale = v.parse().expect("--scale needs a number");
+                }
+                "--reps" => {
+                    let v = it.next().expect("--reps needs a value");
+                    mode.reps = v.parse().expect("--reps needs an integer");
+                }
+                "--json" => {
+                    let v = it.next().expect("--json needs a path");
+                    mode.json = Some(PathBuf::from(v));
+                }
+                other => panic!(
+                    "unknown flag {other}; use --full | --quick | --scale X | --reps N | --json PATH"
+                ),
+            }
+        }
+        assert!(
+            mode.scale > 0.0 && mode.scale <= 1.0,
+            "scale must be in (0,1]"
+        );
+        assert!(mode.reps >= 1, "need at least one replication");
+        mode
+    }
+
+    /// Parses the process's own arguments.
+    pub fn from_env() -> Mode {
+        Mode::parse(std::env::args().skip(1))
+    }
+
+    /// Runs one data point: `policy` on `cfg` at this fidelity.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations — the presets are trusted.
+    pub fn run(&self, name: &str, cfg: ClusterConfig, policy: PolicySpec) -> ExperimentResult {
+        let exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
+        exp.run()
+            .unwrap_or_else(|e| panic!("experiment {name}: {e}"))
+    }
+
+    /// Archives results if `--json` was given.
+    pub fn archive<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            hetsched::report::save_json(path, value).expect("archiving results");
+        }
+    }
+}
+
+/// Formats a CI summary compactly for table cells.
+pub fn ci(s: &hetsched::metrics::CiSummary) -> String {
+    format!("{:.3}±{:.3}", s.mean, s.half_width)
+}
+
+/// Formats a plain number for table cells.
+pub fn num(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Mode {
+        Mode::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_mode() {
+        let m = parse(&[]);
+        assert_eq!(m, Mode::default());
+    }
+
+    #[test]
+    fn full_and_quick() {
+        assert_eq!(parse(&["--full"]).scale, 1.0);
+        assert_eq!(parse(&["--full"]).reps, 10);
+        assert_eq!(parse(&["--quick"]).reps, 2);
+    }
+
+    #[test]
+    fn custom_scale_reps_json() {
+        let m = parse(&["--scale", "0.5", "--reps", "3", "--json", "out.json"]);
+        assert_eq!(m.scale, 0.5);
+        assert_eq!(m.reps, 3);
+        assert_eq!(m.json, Some(PathBuf::from("out.json")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0,1]")]
+    fn rejects_bad_scale() {
+        parse(&["--scale", "2.0"]);
+    }
+
+    #[test]
+    fn run_executes_a_point() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let m = parse(&["--quick"]);
+        let r = m.run("point", cfg, PolicySpec::wrr());
+        assert_eq!(r.runs.len(), 2);
+    }
+}

@@ -1,0 +1,330 @@
+//! # hetsched-cli — command-line front end
+//!
+//! Three subcommands wrap the library's planning and simulation layers
+//! for operators who don't want to write Rust:
+//!
+//! ```text
+//! hetsched allocate --speeds 1,1.5,10 --rho 0.7
+//!     Print the optimized vs weighted allocation and the analytic
+//!     performance predictions for a fleet.
+//!
+//! hetsched simulate --spec experiment.json [--out results.json]
+//!     Run a full replicated simulation experiment described by a JSON
+//!     spec (see `hetsched template`).
+//!
+//! hetsched template
+//!     Print a commented example experiment spec to adapt.
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy
+//! admits no CLI crates); [`parse_args`] is exposed for testing.
+
+#![warn(missing_docs)]
+
+use hetsched::experiment::Experiment;
+use hetsched::prelude::*;
+use hetsched::queueing::AllocationReport;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `allocate`: analytic planning for a fleet.
+    Allocate {
+        /// Machine speeds.
+        speeds: Vec<f64>,
+        /// System utilization in (0, 1).
+        rho: f64,
+    },
+    /// `simulate`: run an experiment spec.
+    Simulate {
+        /// Path to the JSON spec.
+        spec: String,
+        /// Optional path for the JSON results.
+        out: Option<String>,
+    },
+    /// `template`: print an example spec.
+    Template,
+    /// `help`: print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hetsched — optimized static job scheduling (Tang & Chanson, ICPP 2000)
+
+USAGE:
+  hetsched allocate --speeds 1,1.5,10 --rho 0.7
+  hetsched simulate --spec experiment.json [--out results.json]
+  hetsched template
+  hetsched help
+";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+/// Returns a human-readable message for malformed input.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "template" => Ok(Command::Template),
+        "allocate" => {
+            let mut speeds: Option<Vec<f64>> = None;
+            let mut rho: Option<f64> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--speeds" => {
+                        let v = it.next().ok_or("--speeds needs a comma-separated list")?;
+                        let parsed: Result<Vec<f64>, _> =
+                            v.split(',').map(|x| x.trim().parse::<f64>()).collect();
+                        speeds = Some(parsed.map_err(|e| format!("bad speed list: {e}"))?);
+                    }
+                    "--rho" => {
+                        let v = it.next().ok_or("--rho needs a value")?;
+                        rho = Some(v.parse().map_err(|e| format!("bad rho: {e}"))?);
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            let speeds = speeds.ok_or("allocate requires --speeds")?;
+            let rho = rho.ok_or("allocate requires --rho")?;
+            if speeds.is_empty() || speeds.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+                return Err("speeds must be positive numbers".into());
+            }
+            if !(rho > 0.0 && rho < 1.0) {
+                return Err("rho must lie in (0, 1)".into());
+            }
+            Ok(Command::Allocate { speeds, rho })
+        }
+        "simulate" => {
+            let mut spec = None;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
+                    "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Simulate {
+                spec: spec.ok_or("simulate requires --spec")?,
+                out,
+            })
+        }
+        other => Err(format!("unknown command {other}; try `hetsched help`")),
+    }
+}
+
+/// Executes a parsed command, returning the process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Template => {
+            println!("{}", template_spec());
+            0
+        }
+        Command::Allocate { speeds, rho } => match allocate_report(&speeds, rho) {
+            Ok(text) => {
+                println!("{text}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Command::Simulate { spec, out } => match simulate(&spec, out.as_deref()) {
+            Ok(text) => {
+                println!("{text}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+    }
+}
+
+/// Renders the `allocate` subcommand's report.
+///
+/// # Errors
+/// Propagates validation errors.
+pub fn allocate_report(speeds: &[f64], rho: f64) -> Result<String, String> {
+    let sys = HetSystem::from_utilization(speeds, rho).map_err(|e| e.to_string())?;
+    let optimized = closed_form::optimized_allocation(&sys);
+    let weighted = sys.weighted_allocation();
+    let opt_report =
+        AllocationReport::build(&sys, &optimized).ok_or("infeasible optimized allocation")?;
+    let w_report =
+        AllocationReport::build(&sys, &weighted).ok_or("infeasible weighted allocation")?;
+
+    let mut t = Table::new(["machine", "speed", "optimized α", "weighted α", "opt. util"]);
+    for (i, m) in opt_report.machines.iter().enumerate() {
+        t.row([
+            format!("{i}"),
+            format!("{}", m.speed),
+            format!("{:.4}", m.alpha),
+            format!("{:.4}", weighted[i]),
+            format!("{:.3}", m.utilization),
+        ]);
+    }
+    Ok(format!(
+        "fleet: {speeds:?} at rho = {rho}\n\n{}\npredicted mean response ratio: optimized {:.4}, weighted {:.4} ({:.0}% better)\n",
+        t.render(),
+        opt_report.mean_response_ratio,
+        w_report.mean_response_ratio,
+        100.0 * (w_report.mean_response_ratio - opt_report.mean_response_ratio)
+            / w_report.mean_response_ratio
+    ))
+}
+
+/// Runs the `simulate` subcommand.
+///
+/// # Errors
+/// Propagates IO, parsing, and validation errors.
+pub fn simulate(spec_path: &str, out: Option<&str>) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let exp: Experiment = serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
+    let result = exp.run()?;
+    if let Some(path) = out {
+        hetsched::report::save_json(path, &result)?;
+    }
+    let mut t = Table::new(["metric", "mean ± 95% CI"]);
+    t.row([
+        "mean response time".to_string(),
+        format!("{}", result.mean_response_time),
+    ]);
+    t.row([
+        "mean response ratio".to_string(),
+        format!("{}", result.mean_response_ratio),
+    ]);
+    t.row(["fairness".to_string(), format!("{}", result.fairness)]);
+    t.row([
+        "p95 response ratio".to_string(),
+        format!("{}", result.p95_response_ratio),
+    ]);
+    Ok(format!(
+        "experiment '{}' with policy {} ({} replications)\n\n{}",
+        result.name,
+        result.policy,
+        result.runs.len(),
+        t.render()
+    ))
+}
+
+/// An example experiment spec (JSON) for `hetsched template`.
+pub fn template_spec() -> String {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 1.0, 4.0, 8.0]);
+    cfg.horizon = 400_000.0;
+    cfg.warmup = 100_000.0;
+    let mut exp = Experiment::new("my-experiment", cfg, PolicySpec::orr());
+    exp.replications = 5;
+    serde_json::to_string_pretty(&exp).expect("template serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_allocate() {
+        let cmd = parse_args(&args(&["allocate", "--speeds", "1,2,10", "--rho", "0.7"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Allocate {
+                speeds: vec![1.0, 2.0, 10.0],
+                rho: 0.7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_simulate_with_out() {
+        let cmd = parse_args(&args(&["simulate", "--spec", "a.json", "--out", "b.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                spec: "a.json".into(),
+                out: Some("b.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["allocate", "--rho", "0.7"])).is_err());
+        assert!(parse_args(&args(&["allocate", "--speeds", "1,x", "--rho", "0.5"])).is_err());
+        assert!(parse_args(&args(&["allocate", "--speeds", "1,2", "--rho", "1.5"])).is_err());
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["simulate"])).is_err());
+    }
+
+    #[test]
+    fn allocate_report_renders() {
+        let r = allocate_report(&[1.0, 2.0, 10.0], 0.6).unwrap();
+        assert!(r.contains("optimized α"));
+        assert!(r.contains("% better"));
+    }
+
+    #[test]
+    fn allocate_report_propagates_errors() {
+        assert!(allocate_report(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn template_round_trips_and_simulates() {
+        let dir = std::env::temp_dir().join("hetsched_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let out_path = dir.join("out.json");
+
+        // Shrink the template so the test is quick.
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        exp.replications = 2;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let report = simulate(
+            spec_path.to_str().unwrap(),
+            Some(out_path.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(report.contains("ORR"));
+        assert!(report.contains("mean response ratio"));
+        let saved: hetsched::experiment::ExperimentResult =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(saved.runs.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulate_reports_missing_file() {
+        let e = simulate("/definitely/not/here.json", None).unwrap_err();
+        assert!(e.contains("reading"));
+    }
+
+    #[test]
+    fn run_help_returns_zero() {
+        assert_eq!(run(Command::Help), 0);
+        assert_eq!(run(Command::Template), 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! `hetsched` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match hetsched_cli::parse_args(&args) {
+        Ok(cmd) => hetsched_cli::run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", hetsched_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

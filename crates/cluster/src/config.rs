@@ -1,0 +1,315 @@
+//! Run configuration.
+//!
+//! [`ClusterConfig`] is the serde-friendly description of one simulation
+//! run: the machines, the workload, the service discipline, and the
+//! horizon/warmup. Arrival and size processes are described declaratively
+//! ([`ArrivalSpec`], [`hetsched_dist::DistSpec`]) so experiment harnesses
+//! can log exactly what they ran.
+//!
+//! The paper's defaults (§4.1) are provided by
+//! [`ClusterConfig::paper_default`]: Bounded Pareto `B(10, 21600, 1)` job
+//! sizes, hyperexponential arrivals with CV = 3, utilization 0.70,
+//! horizon 4·10⁶ s with the first quarter as warmup.
+
+use hetsched_dist::{
+    ArrivalProcess, DistSpec, Exponential, Hyperexp2, IidArrivals, MmppArrivals, Moments,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::discipline::DisciplineSpec;
+use crate::network::LoadUpdateModel;
+
+/// Declarative arrival-process description (built for a target rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ArrivalSpec {
+    /// Poisson arrivals (inter-arrival CV = 1).
+    Poisson,
+    /// Two-stage hyperexponential renewal arrivals with the given CV ≥ 1
+    /// (the paper's model; CV = 3 by default).
+    Hyperexp {
+        /// Inter-arrival coefficient of variation (≥ 1).
+        cv: f64,
+    },
+    /// Two-state Markov-modulated Poisson process (burstiness ablation).
+    Mmpp {
+        /// Ratio of bursty-state to calm-state arrival rate (> 1).
+        burst_factor: f64,
+        /// Stationary fraction of time in the bursty state, in (0, 1).
+        frac_bursty: f64,
+        /// Mean calm+burst cycle length in seconds.
+        cycle: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// The paper's arrival process: hyperexponential with CV = 3.
+    pub fn paper_default() -> Self {
+        ArrivalSpec::Hyperexp { cv: 3.0 }
+    }
+
+    /// Materializes the process for a target mean rate (jobs/second).
+    pub fn build(self, rate: f64) -> ArrivalKind {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive"
+        );
+        match self {
+            ArrivalSpec::Poisson => {
+                ArrivalKind::Poisson(IidArrivals::new(Exponential::from_rate(rate)))
+            }
+            ArrivalSpec::Hyperexp { cv } => {
+                ArrivalKind::H2(IidArrivals::new(Hyperexp2::from_mean_cv(1.0 / rate, cv)))
+            }
+            ArrivalSpec::Mmpp {
+                burst_factor,
+                frac_bursty,
+                cycle,
+            } => ArrivalKind::Mmpp(MmppArrivals::with_rate(
+                rate,
+                burst_factor,
+                frac_bursty,
+                cycle,
+            )),
+        }
+    }
+}
+
+/// A materialized [`ArrivalSpec`].
+#[derive(Debug, Clone)]
+pub enum ArrivalKind {
+    /// Poisson renewal process.
+    Poisson(IidArrivals<Exponential>),
+    /// Hyperexponential renewal process.
+    H2(IidArrivals<Hyperexp2>),
+    /// Markov-modulated Poisson process.
+    Mmpp(MmppArrivals),
+}
+
+impl ArrivalProcess for ArrivalKind {
+    fn next_interarrival(&mut self, rng: &mut hetsched_desim::Rng64) -> f64 {
+        match self {
+            ArrivalKind::Poisson(p) => p.next_interarrival(rng),
+            ArrivalKind::H2(p) => p.next_interarrival(rng),
+            ArrivalKind::Mmpp(p) => p.next_interarrival(rng),
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalKind::Poisson(p) => p.mean_rate(),
+            ArrivalKind::H2(p) => p.mean_rate(),
+            ArrivalKind::Mmpp(p) => p.mean_rate(),
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Relative speeds of the computers.
+    pub speeds: Vec<f64>,
+    /// Target overall utilization `ρ = λ / (μ Σ s_i)`, in (0, 1).
+    pub utilization: f64,
+    /// Job-size distribution (speed-1 seconds).
+    pub job_sizes: DistSpec,
+    /// Arrival-process shape.
+    pub arrivals: ArrivalSpec,
+    /// Per-computer service discipline.
+    pub discipline: DisciplineSpec,
+    /// Load-update delay model (only used by dynamic policies).
+    pub load_updates: LoadUpdateModel,
+    /// Total simulated seconds.
+    pub horizon: f64,
+    /// Seconds of warmup excluded from statistics (jobs *arriving* before
+    /// this instant are not counted, per §4.1).
+    pub warmup: f64,
+    /// If set, track the per-interval workload-allocation deviation
+    /// (Figure 2) with this interval length in seconds.
+    pub deviation_interval: Option<f64>,
+    /// If true, collect a log-spaced histogram of response ratios
+    /// (extension metric: full latency distribution, not just the
+    /// mean/std the paper reports).
+    pub track_ratio_histogram: bool,
+    /// If set, capture sampled per-job traces (see [`crate::trace`]).
+    pub trace: Option<crate::trace::TraceSpec>,
+}
+
+impl ClusterConfig {
+    /// The paper's §4.1 defaults for the given machine speeds.
+    pub fn paper_default(speeds: &[f64]) -> Self {
+        ClusterConfig {
+            speeds: speeds.to_vec(),
+            utilization: 0.70,
+            job_sizes: DistSpec::paper_job_sizes(),
+            arrivals: ArrivalSpec::paper_default(),
+            discipline: DisciplineSpec::ProcessorSharing,
+            load_updates: LoadUpdateModel::default(),
+            horizon: 4.0e6,
+            warmup: 1.0e6,
+            deviation_interval: None,
+            track_ratio_histogram: false,
+            trace: None,
+        }
+    }
+
+    /// Scales horizon and warmup by `factor` (e.g. `0.05` for quick CI
+    /// runs). Statistics get noisier; rankings are typically preserved.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "bad scale factor");
+        self.horizon *= factor;
+        self.warmup *= factor;
+        self
+    }
+
+    /// Returns a copy with a different utilization.
+    pub fn with_utilization(mut self, rho: f64) -> Self {
+        self.utilization = rho;
+        self
+    }
+
+    /// Mean job size `E[S]` in speed-1 seconds.
+    pub fn mean_job_size(&self) -> f64 {
+        self.job_sizes.build().mean()
+    }
+
+    /// Baseline service rate `μ = 1 / E[S]`.
+    pub fn mu(&self) -> f64 {
+        1.0 / self.mean_job_size()
+    }
+
+    /// Aggregate speed `Σ s_i`.
+    pub fn total_speed(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Arrival rate `λ = ρ μ Σ s_i`.
+    pub fn lambda(&self) -> f64 {
+        self.utilization * self.mu() * self.total_speed()
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.speeds.is_empty() {
+            return Err("no computers configured".into());
+        }
+        if !self.speeds.iter().all(|&s| s.is_finite() && s > 0.0) {
+            return Err("speeds must be positive and finite".into());
+        }
+        if !(self.utilization.is_finite() && self.utilization > 0.0 && self.utilization < 1.0) {
+            return Err(format!(
+                "utilization must lie in (0,1), got {}",
+                self.utilization
+            ));
+        }
+        if !(self.horizon.is_finite() && self.horizon > 0.0) {
+            return Err("horizon must be positive".into());
+        }
+        if !(self.warmup.is_finite() && self.warmup >= 0.0 && self.warmup < self.horizon) {
+            return Err("warmup must satisfy 0 ≤ warmup < horizon".into());
+        }
+        if let Some(iv) = self.deviation_interval {
+            if !(iv.is_finite() && iv > 0.0) {
+                return Err("deviation interval must be positive".into());
+            }
+        }
+        if let Some(trace) = &self.trace {
+            trace.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_desim::Rng64;
+
+    #[test]
+    fn paper_default_values() {
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        assert_eq!(cfg.utilization, 0.70);
+        assert_eq!(cfg.horizon, 4.0e6);
+        assert_eq!(cfg.warmup, 1.0e6);
+        assert!((cfg.mean_job_size() - 76.8).abs() < 0.05);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn lambda_matches_utilization() {
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0, 3.0]);
+        // λ = ρ μ Σs ⇒ ρ = λ / (μ Σs)
+        let rho = cfg.lambda() / (cfg.mu() * cfg.total_speed());
+        assert!((rho - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_scale_produces_1_to_2_million_jobs() {
+        // §4.1: "This is sufficient to generate a total of 1 to 2 million
+        // jobs." Verify the default config is in that ballpark.
+        let cfg = ClusterConfig::paper_default(&[
+            1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 1.5, 1.5, 1.5, 2.0, 2.0, 2.0, 5.0, 10.0, 12.0,
+        ]);
+        let expected_jobs = cfg.lambda() * cfg.horizon;
+        assert!(
+            (1.0e6..2.1e6).contains(&expected_jobs),
+            "expected 1–2M jobs, got {expected_jobs:.0}"
+        );
+    }
+
+    #[test]
+    fn scaled_shrinks_horizon_and_warmup() {
+        let cfg = ClusterConfig::paper_default(&[1.0]).scaled(0.1);
+        assert_eq!(cfg.horizon, 4.0e5);
+        assert_eq!(cfg.warmup, 1.0e5);
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let good = ClusterConfig::paper_default(&[1.0]);
+        assert!(good.clone().with_utilization(1.0).validate().is_err());
+        assert!(good.clone().with_utilization(-0.1).validate().is_err());
+        let mut bad = good.clone();
+        bad.speeds.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.warmup = bad.horizon;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.deviation_interval = Some(0.0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_specs_build_and_sample() {
+        let mut rng = Rng64::from_seed(5);
+        for spec in [
+            ArrivalSpec::Poisson,
+            ArrivalSpec::Hyperexp { cv: 3.0 },
+            ArrivalSpec::Mmpp {
+                burst_factor: 5.0,
+                frac_bursty: 0.2,
+                cycle: 100.0,
+            },
+        ] {
+            let mut p = spec.build(0.5);
+            assert!((p.mean_rate() - 0.5).abs() < 1e-9, "{spec:?}");
+            let g = p.next_interarrival(&mut rng);
+            assert!(g >= 0.0 && g.is_finite());
+        }
+    }
+
+    #[test]
+    fn hyperexp_cv_one_equals_poisson_rate() {
+        let p = ArrivalSpec::Hyperexp { cv: 1.0 }.build(2.0);
+        assert!((p.mean_rate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ClusterConfig::paper_default(&[1.0, 10.0]);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,167 @@
+//! First-come-first-served discipline.
+//!
+//! Not used by the paper's main experiments (its computers are
+//! preemptive), but essential for the discipline ablation: under
+//! heavy-tailed job sizes FCFS lets huge jobs block small ones, which is
+//! precisely the effect PS avoids and the reason the paper's mean response
+//! *ratio* is well-behaved. Comparing PS and FCFS on the same workload
+//! quantifies that.
+
+use std::collections::VecDeque;
+
+use crate::job::JobId;
+
+use super::{Discipline, EPS_T};
+
+/// FCFS server state: a queue where only the head receives service.
+#[derive(Debug, Clone)]
+pub struct Fcfs {
+    speed: f64,
+    last_t: f64,
+    queue: VecDeque<(JobId, f64)>,
+}
+
+impl Fcfs {
+    /// Creates an idle server with the given speed.
+    ///
+    /// # Panics
+    /// Panics unless `speed` is positive and finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive and finite, got {speed}"
+        );
+        Fcfs {
+            speed,
+            last_t: 0.0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl Discipline for Fcfs {
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        debug_assert!(now >= self.last_t - EPS_T, "time ran backwards");
+        loop {
+            let Some(&(id, rem)) = self.queue.front() else {
+                self.last_t = now.max(self.last_t);
+                return;
+            };
+            let t_complete = self.last_t + rem.max(0.0) / self.speed;
+            if t_complete <= now + EPS_T {
+                self.queue.pop_front();
+                completed.push(id);
+                self.last_t = t_complete.min(now.max(self.last_t));
+            } else {
+                let served = (now - self.last_t).max(0.0) * self.speed;
+                self.queue.front_mut().expect("checked non-empty").1 = rem - served;
+                self.last_t = now;
+                return;
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        debug_assert!(work > 0.0 && work.is_finite(), "bad service demand {work}");
+        self.last_t = now.max(self.last_t);
+        self.queue.push_back((id, work));
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        self.queue
+            .front()
+            .map(|&(_, rem)| self.last_t + rem.max(0.0) / self.speed)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn work_in_system(&self) -> f64 {
+        self.queue.iter().map(|&(_, rem)| rem.max(0.0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+
+    fn ids(n: usize) -> Vec<JobId> {
+        let mut slab = JobSlab::new();
+        (0..n)
+            .map(|_| {
+                slab.insert(JobRecord {
+                    size: 1.0,
+                    arrival: 0.0,
+                    server: 0,
+                    counted: true,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let ids = ids(3);
+        let mut f = Fcfs::new(1.0);
+        let mut done = Vec::new();
+        f.arrive(0.0, ids[0], 3.0); // head, even though largest
+        f.arrive(0.0, ids[1], 1.0);
+        f.arrive(0.0, ids[2], 2.0);
+        f.advance(10.0, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn completion_times_are_cumulative() {
+        let ids = ids(2);
+        let mut f = Fcfs::new(2.0);
+        let mut done = Vec::new();
+        f.arrive(0.0, ids[0], 4.0);
+        f.arrive(0.0, ids[1], 2.0);
+        assert_eq!(f.next_wakeup(), Some(2.0));
+        f.advance(2.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+        assert_eq!(f.next_wakeup(), Some(3.0));
+        f.advance(3.0, &mut done);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // A huge head job delays a tiny one — the FCFS pathology.
+        let ids = ids(2);
+        let mut f = Fcfs::new(1.0);
+        let mut done = Vec::new();
+        f.arrive(0.0, ids[0], 100.0);
+        f.arrive(0.0, ids[1], 0.1);
+        f.advance(99.0, &mut done);
+        assert!(done.is_empty(), "tiny job must wait behind the huge one");
+        f.advance(100.2, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn partial_service_of_head() {
+        let ids = ids(1);
+        let mut f = Fcfs::new(1.0);
+        let mut done = Vec::new();
+        f.arrive(0.0, ids[0], 5.0);
+        f.advance(2.0, &mut done);
+        assert!((f.work_in_system() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_gap_between_jobs() {
+        let ids = ids(2);
+        let mut f = Fcfs::new(1.0);
+        let mut done = Vec::new();
+        f.arrive(0.0, ids[0], 1.0);
+        f.advance(1.0, &mut done);
+        assert_eq!(done.len(), 1);
+        f.advance(5.0, &mut done); // idle
+        f.arrive(5.0, ids[1], 1.0);
+        assert_eq!(f.next_wakeup(), Some(6.0));
+    }
+}

@@ -1,0 +1,399 @@
+//! Per-computer service disciplines.
+//!
+//! §4.1: "All the computers apply preemptive round-robin processor
+//! scheduling", while the analysis (§2.3) models each computer as
+//! M/M/1-PS. Processor sharing *is* preemptive round-robin in the limit of
+//! a vanishing quantum, so the simulator's default discipline is an exact
+//! PS implementation; a finite-quantum round-robin and FCFS are provided
+//! for the discipline ablation, and a naive O(n)-per-event PS serves as a
+//! differential-testing oracle for the O(log n) virtual-time PS.
+//!
+//! ## The discipline contract
+//!
+//! A discipline is a passive object driven by its [`crate::server::Server`]:
+//!
+//! 1. `advance(now, out)` — move internal time forward to `now`,
+//!    appending every job that completes at or before `now` to `out`
+//!    in completion order.
+//! 2. `arrive(now, id, work)` — admit a job with `work` seconds of
+//!    service demand *at speed 1* (the discipline scales by the server
+//!    speed). Callers must `advance(now, …)` first.
+//! 3. `next_wakeup()` — the absolute time of the next internal event
+//!    (completion or quantum rotation) if nothing else changes. The
+//!    server schedules an engine timer for it, tagged with an epoch so
+//!    stale timers are ignored after arrivals.
+
+mod fcfs;
+mod ps;
+mod ps_naive;
+mod quantum_rr;
+
+pub use fcfs::Fcfs;
+pub use ps::PsVirtualTime;
+pub use ps_naive::PsNaive;
+pub use quantum_rr::QuantumRr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::JobId;
+
+/// Slack used when comparing computed completion instants with event
+/// timestamps. Job sizes are ≥ seconds; a nanosecond of slack absorbs
+/// floating-point drift without affecting any statistic.
+pub(crate) const EPS_T: f64 = 1e-9;
+
+/// Slack on remaining work (in speed-1 seconds).
+pub(crate) const EPS_W: f64 = 1e-9;
+
+/// A per-computer scheduling discipline.
+pub trait Discipline {
+    /// Advances internal time to `now`, appending completed jobs to
+    /// `completed` in completion order.
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>);
+
+    /// Admits a job with `work` seconds of speed-1 service demand.
+    /// The caller must have advanced to `now` first.
+    fn arrive(&mut self, now: f64, id: JobId, work: f64);
+
+    /// Absolute time of the next internal event, or `None` when idle.
+    fn next_wakeup(&self) -> Option<f64>;
+
+    /// Number of jobs currently in the system (the paper's run-queue
+    /// length load index).
+    fn queue_len(&self) -> usize;
+
+    /// Total remaining work across all jobs, in speed-1 seconds
+    /// (diagnostics/testing).
+    fn work_in_system(&self) -> f64;
+}
+
+/// Serde-friendly choice of discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Default)]
+pub enum DisciplineSpec {
+    /// Exact processor sharing (virtual-time implementation) — the
+    /// default, matching the paper's analysis.
+    #[default]
+    ProcessorSharing,
+    /// O(n)-per-event reference PS (testing oracle).
+    PsReference,
+    /// Preemptive round-robin with a wall-clock quantum in seconds — the
+    /// paper's literal processor model.
+    QuantumRoundRobin {
+        /// Slice length in wall-clock seconds.
+        quantum: f64,
+    },
+    /// First-come-first-served (ablation).
+    Fcfs,
+}
+
+impl DisciplineSpec {
+    /// Materializes the discipline for a server of the given speed.
+    pub fn build(self, speed: f64) -> DisciplineKind {
+        match self {
+            DisciplineSpec::ProcessorSharing => DisciplineKind::Ps(PsVirtualTime::new(speed)),
+            DisciplineSpec::PsReference => DisciplineKind::PsNaive(PsNaive::new(speed)),
+            DisciplineSpec::QuantumRoundRobin { quantum } => {
+                DisciplineKind::QuantumRr(QuantumRr::new(speed, quantum))
+            }
+            DisciplineSpec::Fcfs => DisciplineKind::Fcfs(Fcfs::new(speed)),
+        }
+    }
+}
+
+/// Enum dispatch over the concrete disciplines (keeps servers homogeneous
+/// in type and the hot path free of virtual calls).
+#[derive(Debug, Clone)]
+pub enum DisciplineKind {
+    /// Exact PS.
+    Ps(PsVirtualTime),
+    /// Reference PS.
+    PsNaive(PsNaive),
+    /// Finite-quantum round-robin.
+    QuantumRr(QuantumRr),
+    /// First-come-first-served.
+    Fcfs(Fcfs),
+}
+
+macro_rules! fwd {
+    ($self:expr, $d:ident => $body:expr) => {
+        match $self {
+            DisciplineKind::Ps($d) => $body,
+            DisciplineKind::PsNaive($d) => $body,
+            DisciplineKind::QuantumRr($d) => $body,
+            DisciplineKind::Fcfs($d) => $body,
+        }
+    };
+}
+
+impl Discipline for DisciplineKind {
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        fwd!(self, d => d.advance(now, completed))
+    }
+
+    fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        fwd!(self, d => d.arrive(now, id, work))
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        fwd!(self, d => d.next_wakeup())
+    }
+
+    fn queue_len(&self) -> usize {
+        fwd!(self, d => d.queue_len())
+    }
+
+    fn work_in_system(&self) -> f64 {
+        fwd!(self, d => d.work_in_system())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+    use hetsched_desim::Rng64;
+
+    fn mk_ids(n: usize) -> (JobSlab, Vec<JobId>) {
+        let mut slab = JobSlab::new();
+        let ids = (0..n)
+            .map(|_| {
+                slab.insert(JobRecord {
+                    size: 1.0,
+                    arrival: 0.0,
+                    server: 0,
+                    counted: true,
+                })
+            })
+            .collect();
+        (slab, ids)
+    }
+
+    /// Drives a discipline with a random arrival schedule and returns
+    /// (completion order, completion times) by polling next_wakeup.
+    fn run_schedule(
+        disc: &mut dyn Discipline,
+        arrivals: &[(f64, JobId, f64)],
+    ) -> Vec<(JobId, f64)> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        let mut idx = 0;
+        loop {
+            let next_arrival = arrivals.get(idx).map(|&(t, _, _)| t);
+            let next_wake = disc.next_wakeup();
+            let next = match (next_arrival, next_wake) {
+                (Some(a), Some(w)) => a.min(w),
+                (Some(a), None) => a,
+                (None, Some(w)) => w,
+                (None, None) => break,
+            };
+            let now = next;
+            buf.clear();
+            disc.advance(now, &mut buf);
+            for &id in &buf {
+                out.push((id, now));
+            }
+            while idx < arrivals.len() && arrivals[idx].0 <= now + EPS_T {
+                let (_, id, work) = arrivals[idx];
+                disc.arrive(now, id, work);
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn spec_builds_every_kind() {
+        let specs = [
+            DisciplineSpec::ProcessorSharing,
+            DisciplineSpec::PsReference,
+            DisciplineSpec::QuantumRoundRobin { quantum: 0.1 },
+            DisciplineSpec::Fcfs,
+        ];
+        for spec in specs {
+            let d = spec.build(2.0);
+            assert_eq!(d.queue_len(), 0);
+            assert_eq!(d.next_wakeup(), None);
+        }
+    }
+
+    #[test]
+    fn default_is_processor_sharing() {
+        assert_eq!(DisciplineSpec::default(), DisciplineSpec::ProcessorSharing);
+    }
+
+    /// Differential test: all preemptive disciplines must agree with the
+    /// reference PS on *total* work conservation, and the two PS
+    /// implementations must agree on completion times exactly.
+    #[test]
+    fn ps_implementations_agree_on_random_schedules() {
+        let mut rng = Rng64::from_seed(77);
+        for trial in 0..50 {
+            let n = 1 + (rng.below(20) as usize);
+            let (_slab, ids) = mk_ids(n);
+            let mut t = 0.0;
+            let arrivals: Vec<(f64, JobId, f64)> = ids
+                .iter()
+                .map(|&id| {
+                    t += rng.exponential(1.0);
+                    (t, id, 0.1 + rng.next_f64() * 5.0)
+                })
+                .collect();
+            let speed = 0.5 + rng.next_f64() * 4.0;
+            let mut fast = DisciplineSpec::ProcessorSharing.build(speed);
+            let mut slow = DisciplineSpec::PsReference.build(speed);
+            let a = run_schedule(&mut fast, &arrivals);
+            let b = run_schedule(&mut slow, &arrivals);
+            assert_eq!(a.len(), b.len(), "trial {trial}");
+            for ((ida, ta), (idb, tb)) in a.iter().zip(&b) {
+                assert_eq!(ida, idb, "completion order differs (trial {trial})");
+                assert!(
+                    (ta - tb).abs() < 1e-6,
+                    "completion times differ: {ta} vs {tb} (trial {trial})"
+                );
+            }
+        }
+    }
+
+    /// Quantum round-robin converges to PS as the quantum shrinks.
+    #[test]
+    fn quantum_rr_converges_to_ps() {
+        let (_slab, ids) = mk_ids(3);
+        let arrivals: Vec<(f64, JobId, f64)> =
+            vec![(0.0, ids[0], 3.0), (0.5, ids[1], 1.0), (1.0, ids[2], 2.0)];
+        let mut ps = DisciplineSpec::ProcessorSharing.build(1.0);
+        let ps_out = run_schedule(&mut ps, &arrivals);
+        let mut max_gap_small = 0.0f64;
+        let mut max_gap_large = 0.0f64;
+        for (quantum, max_gap) in [(0.001, &mut max_gap_small), (0.5, &mut max_gap_large)] {
+            let mut rr = DisciplineSpec::QuantumRoundRobin { quantum }.build(1.0);
+            let rr_out = run_schedule(&mut rr, &arrivals);
+            assert_eq!(rr_out.len(), ps_out.len());
+            for ((_, ta), (_, tb)) in ps_out.iter().zip(&rr_out) {
+                *max_gap = max_gap.max((ta - tb).abs());
+            }
+        }
+        assert!(
+            max_gap_small < 0.01,
+            "quantum 1 ms should track PS closely, gap {max_gap_small}"
+        );
+        assert!(max_gap_small < max_gap_large);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Strategy: a random arrival schedule (gaps, works) and a speed.
+        fn schedule_strategy() -> impl Strategy<Value = (Vec<(f64, f64)>, f64)> {
+            (
+                prop::collection::vec((0.0f64..5.0, 0.01f64..10.0), 1..40),
+                0.2f64..8.0,
+            )
+        }
+
+        proptest! {
+            /// The O(log n) and O(n) PS implementations agree on
+            /// completion order and times for arbitrary schedules.
+            #[test]
+            fn ps_fast_equals_naive((gaps, speed) in schedule_strategy()) {
+                let (_slab, ids) = mk_ids(gaps.len());
+                let mut t = 0.0;
+                let arrivals: Vec<(f64, JobId, f64)> = gaps
+                    .iter()
+                    .zip(&ids)
+                    .map(|(&(gap, work), &id)| {
+                        t += gap;
+                        (t, id, work)
+                    })
+                    .collect();
+                let mut fast = DisciplineSpec::ProcessorSharing.build(speed);
+                let mut slow = DisciplineSpec::PsReference.build(speed);
+                let a = run_schedule(&mut fast, &arrivals);
+                let b = run_schedule(&mut slow, &arrivals);
+                prop_assert_eq!(a.len(), b.len());
+                for ((ida, ta), (idb, tb)) in a.iter().zip(&b) {
+                    prop_assert_eq!(ida, idb);
+                    prop_assert!((ta - tb).abs() < 1e-6, "{} vs {}", ta, tb);
+                }
+            }
+
+            /// Every discipline completes every job, never before its
+            /// earliest possible finish (arrival + work/speed), and
+            /// conserves total work.
+            #[test]
+            fn all_disciplines_complete_everything((gaps, speed) in schedule_strategy()) {
+                let (_slab, ids) = mk_ids(gaps.len());
+                let mut t = 0.0;
+                let arrivals: Vec<(f64, JobId, f64)> = gaps
+                    .iter()
+                    .zip(&ids)
+                    .map(|(&(gap, work), &id)| {
+                        t += gap;
+                        (t, id, work)
+                    })
+                    .collect();
+                for spec in [
+                    DisciplineSpec::ProcessorSharing,
+                    DisciplineSpec::QuantumRoundRobin { quantum: 0.3 },
+                    DisciplineSpec::Fcfs,
+                ] {
+                    let mut d = spec.build(speed);
+                    let out = run_schedule(&mut d, &arrivals);
+                    prop_assert_eq!(out.len(), arrivals.len(), "{:?}", spec);
+                    prop_assert_eq!(d.queue_len(), 0);
+                    for &(id, done_at) in &out {
+                        let (arr, _, work) = arrivals
+                            .iter()
+                            .find(|&&(_, jid, _)| jid == id)
+                            .copied()
+                            .expect("job exists");
+                        prop_assert!(
+                            done_at + 1e-6 >= arr + work / speed,
+                            "{:?}: job finished at {} before lower bound {}",
+                            spec, done_at, arr + work / speed
+                        );
+                    }
+                    // Work conservation: last completion can be no earlier
+                    // than total work / speed.
+                    let total_work: f64 = arrivals.iter().map(|&(_, _, w)| w).sum();
+                    let last = out.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
+                    prop_assert!(last + 1e-6 >= total_work / speed);
+                }
+            }
+        }
+    }
+
+    /// All disciplines conserve work: total service time equals total
+    /// demand / speed when the server never idles.
+    #[test]
+    fn work_conservation_across_disciplines() {
+        let (_slab, ids) = mk_ids(5);
+        // Back-to-back arrivals keep the server busy throughout.
+        let arrivals: Vec<(f64, JobId, f64)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (i as f64 * 0.1, id, 2.0))
+            .collect();
+        let total_work = 10.0;
+        let speed = 2.0;
+        for spec in [
+            DisciplineSpec::ProcessorSharing,
+            DisciplineSpec::PsReference,
+            DisciplineSpec::QuantumRoundRobin { quantum: 0.25 },
+            DisciplineSpec::Fcfs,
+        ] {
+            let mut d = spec.build(speed);
+            let out = run_schedule(&mut d, &arrivals);
+            assert_eq!(out.len(), 5, "{spec:?}");
+            let last = out.last().unwrap().1;
+            // Busy period starts at 0 and ends when all work is done.
+            assert!(
+                (last - total_work / speed).abs() < 1e-6,
+                "{spec:?}: busy period ended at {last}, expected {}",
+                total_work / speed
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Exact processor sharing via virtual time — O(log n) per event.
+//!
+//! With `n` active jobs a speed-`s` PS server gives each job service at
+//! rate `s/n`. Define the *virtual time* `V(t)` with `dV/dt = s/n(t)`:
+//! every active job's remaining work shrinks at exactly `dV/dt`, so a job
+//! arriving at virtual time `V₀` with demand `w` completes when
+//! `V = V₀ + w` — a value fixed at arrival. Keeping jobs in an ordered set
+//! keyed by their finish virtual time gives the next completion in O(log n)
+//! and makes each arrival/departure O(log n), versus O(n) for the obvious
+//! "decrement everybody" implementation ([`super::PsNaive`], kept as a
+//! differential-testing oracle).
+
+use std::collections::BTreeSet;
+
+use crate::job::JobId;
+
+use super::{Discipline, EPS_T};
+
+/// Exact PS server state.
+#[derive(Debug, Clone)]
+pub struct PsVirtualTime {
+    speed: f64,
+    /// Virtual time: cumulative per-job service since the start of the
+    /// run (speed-1 work units).
+    v: f64,
+    /// Physical time of the last state update.
+    last_t: f64,
+    /// Active jobs keyed by (finish-virtual-time bits, id). Finish times
+    /// are non-negative finite f64s, so their IEEE-754 bit patterns order
+    /// identically to the values.
+    queue: BTreeSet<(u64, JobId)>,
+}
+
+#[inline]
+fn key_bits(v: f64) -> u64 {
+    debug_assert!(
+        v.is_finite() && v >= 0.0,
+        "virtual time must be ≥ 0, got {v}"
+    );
+    v.to_bits()
+}
+
+impl PsVirtualTime {
+    /// Creates an idle PS server with the given speed.
+    ///
+    /// # Panics
+    /// Panics unless `speed` is positive and finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive and finite, got {speed}"
+        );
+        PsVirtualTime {
+            speed,
+            v: 0.0,
+            last_t: 0.0,
+            queue: BTreeSet::new(),
+        }
+    }
+
+    /// The server's relative speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    #[inline]
+    fn min_finish(&self) -> Option<f64> {
+        self.queue
+            .iter()
+            .next()
+            .map(|&(bits, _)| f64::from_bits(bits))
+    }
+}
+
+impl Discipline for PsVirtualTime {
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        debug_assert!(now >= self.last_t - EPS_T, "time ran backwards");
+        loop {
+            let Some(fv) = self.min_finish() else {
+                self.last_t = now.max(self.last_t);
+                return;
+            };
+            let n = self.queue.len() as f64;
+            let t_complete = self.last_t + (fv - self.v).max(0.0) * n / self.speed;
+            if t_complete <= now + EPS_T {
+                // The earliest job finishes within the window: advance the
+                // virtual clock exactly to its finish value and pop it.
+                let &(bits, id) = self.queue.iter().next().expect("non-empty");
+                self.queue.remove(&(bits, id));
+                self.v = fv;
+                self.last_t = t_complete.min(now.max(self.last_t));
+                completed.push(id);
+            } else {
+                self.v += (now - self.last_t).max(0.0) * self.speed / n;
+                self.last_t = now;
+                return;
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        debug_assert!(work > 0.0 && work.is_finite(), "bad service demand {work}");
+        debug_assert!(
+            (now - self.last_t).abs() <= EPS_T || self.queue.is_empty(),
+            "arrive() without a preceding advance() to now"
+        );
+        self.last_t = now.max(self.last_t);
+        let inserted = self.queue.insert((key_bits(self.v + work), id));
+        debug_assert!(inserted, "duplicate job id in PS queue");
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        self.min_finish().map(|fv| {
+            let n = self.queue.len() as f64;
+            self.last_t + (fv - self.v).max(0.0) * n / self.speed
+        })
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn work_in_system(&self) -> f64 {
+        self.queue
+            .iter()
+            .map(|&(bits, _)| f64::from_bits(bits) - self.v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+
+    fn ids(n: usize) -> Vec<JobId> {
+        let mut slab = JobSlab::new();
+        (0..n)
+            .map(|_| {
+                slab.insert(JobRecord {
+                    size: 1.0,
+                    arrival: 0.0,
+                    server: 0,
+                    counted: true,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_job_runs_at_full_speed() {
+        let ids = ids(1);
+        let mut ps = PsVirtualTime::new(2.0);
+        let mut done = Vec::new();
+        ps.advance(0.0, &mut done);
+        ps.arrive(0.0, ids[0], 4.0);
+        assert_eq!(ps.next_wakeup(), Some(2.0)); // 4 units of work at speed 2
+        ps.advance(2.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+        assert_eq!(ps.queue_len(), 0);
+        assert_eq!(ps.next_wakeup(), None);
+    }
+
+    #[test]
+    fn two_equal_jobs_share_equally() {
+        let ids = ids(2);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.advance(0.0, &mut done);
+        ps.arrive(0.0, ids[0], 1.0);
+        ps.arrive(0.0, ids[1], 1.0);
+        // Each receives rate 1/2 ⇒ both done at t = 2.
+        ps.advance(2.0 + 1e-12, &mut done);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn late_arrival_slows_first_job() {
+        let ids = ids(2);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 2.0);
+        ps.advance(1.0, &mut done); // job 0 has 1 unit left
+        ps.arrive(1.0, ids[1], 3.0);
+        // Shared service: job 0 needs 1 more unit at rate 1/2 ⇒ t = 3.
+        assert!((ps.next_wakeup().unwrap() - 3.0).abs() < 1e-9);
+        ps.advance(3.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+        // Job 1: served 1 unit by t=3, 2 left alone at rate 1 ⇒ t = 5.
+        assert!((ps.next_wakeup().unwrap() - 5.0).abs() < 1e-9);
+        ps.advance(5.0, &mut done);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn completion_order_is_by_remaining_work() {
+        let ids = ids(3);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 3.0);
+        ps.arrive(0.0, ids[1], 1.0);
+        ps.arrive(0.0, ids[2], 2.0);
+        ps.advance(100.0, &mut done);
+        assert_eq!(done, vec![ids[1], ids[2], ids[0]]);
+    }
+
+    #[test]
+    fn three_way_share_timing() {
+        // Jobs of work 1, 2, 3 at speed 1, all at t=0.
+        // Job A (1): finishes when each has received 1 unit ⇒ t = 3.
+        // Job B (2): then rate 1/2 for 1 more unit ⇒ t = 3 + 2 = 5.
+        // Job C (3): then alone, 1 more unit ⇒ t = 6.
+        let ids = ids(3);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 1.0);
+        ps.arrive(0.0, ids[1], 2.0);
+        ps.arrive(0.0, ids[2], 3.0);
+        for (expect_t, expect_id) in [(3.0, ids[0]), (5.0, ids[1]), (6.0, ids[2])] {
+            let w = ps.next_wakeup().unwrap();
+            assert!((w - expect_t).abs() < 1e-9, "wake {w}, expected {expect_t}");
+            done.clear();
+            ps.advance(w, &mut done);
+            assert_eq!(done, vec![expect_id]);
+        }
+    }
+
+    #[test]
+    fn work_in_system_tracks_demand() {
+        let ids = ids(2);
+        let mut ps = PsVirtualTime::new(2.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 4.0);
+        ps.arrive(0.0, ids[1], 2.0);
+        assert!((ps.work_in_system() - 6.0).abs() < 1e-12);
+        ps.advance(1.0, &mut done); // 2 seconds of speed-2 service = 2 work units... per job 1 unit each
+        assert!((ps.work_in_system() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_period_preserves_state() {
+        let ids = ids(1);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.advance(10.0, &mut done); // idle until t=10
+        ps.arrive(10.0, ids[0], 1.0);
+        assert_eq!(ps.next_wakeup(), Some(11.0));
+    }
+
+    #[test]
+    fn simultaneous_equal_jobs_tiebreak_deterministically() {
+        let ids = ids(2);
+        let mut ps = PsVirtualTime::new(1.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 1.0);
+        ps.arrive(0.0, ids[1], 1.0);
+        ps.advance(10.0, &mut done);
+        // Equal finish virtual times: lower JobId first.
+        assert_eq!(done, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_zero_speed() {
+        PsVirtualTime::new(0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Reference processor sharing — O(n) per event.
+//!
+//! Maintains explicit remaining work per job and decrements everybody on
+//! every advance. Slower than [`super::PsVirtualTime`] but so direct that
+//! its correctness is evident by inspection, which makes it the oracle in
+//! the differential tests (`discipline::tests::ps_implementations_agree…`)
+//! and the `server` benchmark's baseline.
+
+use crate::job::JobId;
+
+use super::{Discipline, EPS_T, EPS_W};
+
+/// Naive PS server state: a flat list of (job, remaining work).
+#[derive(Debug, Clone)]
+pub struct PsNaive {
+    speed: f64,
+    last_t: f64,
+    jobs: Vec<(JobId, f64)>,
+}
+
+impl PsNaive {
+    /// Creates an idle server with the given speed.
+    ///
+    /// # Panics
+    /// Panics unless `speed` is positive and finite.
+    pub fn new(speed: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive and finite, got {speed}"
+        );
+        PsNaive {
+            speed,
+            last_t: 0.0,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Index and remaining work of the job closest to completion, with
+    /// JobId tie-break matching the virtual-time implementation.
+    fn min_job(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, JobId)> = None;
+        for (i, &(id, rem)) in self.jobs.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some((_, brem, bid)) => rem < brem || (rem == brem && id < bid),
+            };
+            if better {
+                best = Some((i, rem, id));
+            }
+        }
+        best.map(|(i, rem, _)| (i, rem))
+    }
+}
+
+impl Discipline for PsNaive {
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        debug_assert!(now >= self.last_t - EPS_T, "time ran backwards");
+        loop {
+            let Some((idx, min_rem)) = self.min_job() else {
+                self.last_t = now.max(self.last_t);
+                return;
+            };
+            let n = self.jobs.len() as f64;
+            let t_complete = self.last_t + min_rem.max(0.0) * n / self.speed;
+            if t_complete <= now + EPS_T {
+                let dt = (t_complete - self.last_t).max(0.0);
+                let served = dt * self.speed / n;
+                for (_, rem) in &mut self.jobs {
+                    *rem -= served;
+                }
+                let (id, rem) = self.jobs.swap_remove(idx);
+                debug_assert!(rem.abs() <= EPS_W * n, "popped job had {rem} work left");
+                completed.push(id);
+                self.last_t = t_complete.min(now.max(self.last_t));
+            } else {
+                let served = (now - self.last_t).max(0.0) * self.speed / n;
+                for (_, rem) in &mut self.jobs {
+                    *rem -= served;
+                }
+                self.last_t = now;
+                return;
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        debug_assert!(work > 0.0 && work.is_finite(), "bad service demand {work}");
+        self.last_t = now.max(self.last_t);
+        self.jobs.push((id, work));
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        self.min_job()
+            .map(|(_, rem)| self.last_t + rem.max(0.0) * self.jobs.len() as f64 / self.speed)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn work_in_system(&self) -> f64 {
+        self.jobs.iter().map(|&(_, rem)| rem.max(0.0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+
+    fn ids(n: usize) -> Vec<JobId> {
+        let mut slab = JobSlab::new();
+        (0..n)
+            .map(|_| {
+                slab.insert(JobRecord {
+                    size: 1.0,
+                    arrival: 0.0,
+                    server: 0,
+                    counted: true,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_job_completes_on_schedule() {
+        let ids = ids(1);
+        let mut ps = PsNaive::new(4.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 8.0);
+        assert_eq!(ps.next_wakeup(), Some(2.0));
+        ps.advance(2.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+    }
+
+    #[test]
+    fn sharing_delays_completions() {
+        let ids = ids(3);
+        let mut ps = PsNaive::new(1.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 1.0);
+        ps.arrive(0.0, ids[1], 2.0);
+        ps.arrive(0.0, ids[2], 3.0);
+        ps.advance(3.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+        ps.advance(5.0, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1]]);
+        ps.advance(6.0, &mut done);
+        assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn partial_advance_decrements_everyone() {
+        let ids = ids(2);
+        let mut ps = PsNaive::new(2.0);
+        let mut done = Vec::new();
+        ps.arrive(0.0, ids[0], 4.0);
+        ps.arrive(0.0, ids[1], 4.0);
+        ps.advance(1.0, &mut done);
+        assert!(done.is_empty());
+        // 1 s at rate 2/2 = 1 per job: 3 work units left each.
+        assert!((ps.work_in_system() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_server_reports_no_wakeup() {
+        let ps = PsNaive::new(1.0);
+        assert_eq!(ps.next_wakeup(), None);
+        assert_eq!(ps.queue_len(), 0);
+        assert_eq!(ps.work_in_system(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_nonpositive_speed() {
+        PsNaive::new(-1.0);
+    }
+}

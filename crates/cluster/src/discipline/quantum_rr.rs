@@ -1,0 +1,231 @@
+//! Preemptive round-robin with a finite quantum.
+//!
+//! The paper's literal processor model (§4.1): the run queue rotates, the
+//! head executes for up to `quantum` wall-clock seconds, then is preempted
+//! and re-queued. As `quantum → 0` the discipline converges to processor
+//! sharing (verified by test); with a large quantum it approaches FCFS.
+//! The discipline ablation uses this to confirm the analysis' PS
+//! assumption is harmless for realistic quanta.
+
+use std::collections::VecDeque;
+
+use crate::job::JobId;
+
+use super::{Discipline, EPS_T, EPS_W};
+
+/// Quantum-based round-robin server state.
+#[derive(Debug, Clone)]
+pub struct QuantumRr {
+    speed: f64,
+    quantum: f64,
+    last_t: f64,
+    /// Head is the currently executing job.
+    queue: VecDeque<(JobId, f64)>,
+    /// Wall-clock time the head has used of its current quantum.
+    slice_used: f64,
+}
+
+impl QuantumRr {
+    /// Creates an idle server with the given speed and quantum
+    /// (wall-clock seconds per slice).
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(speed: f64, quantum: f64) -> Self {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "server speed must be positive and finite, got {speed}"
+        );
+        assert!(
+            quantum.is_finite() && quantum > 0.0,
+            "quantum must be positive and finite, got {quantum}"
+        );
+        QuantumRr {
+            speed,
+            quantum,
+            last_t: 0.0,
+            queue: VecDeque::new(),
+            slice_used: 0.0,
+        }
+    }
+
+    /// The configured quantum in seconds.
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+}
+
+impl Discipline for QuantumRr {
+    fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        debug_assert!(now >= self.last_t - EPS_T, "time ran backwards");
+        loop {
+            let Some(&(id, rem)) = self.queue.front() else {
+                self.last_t = now.max(self.last_t);
+                self.slice_used = 0.0;
+                return;
+            };
+            let wall_to_complete = rem.max(0.0) / self.speed;
+            let wall_in_slice = (self.quantum - self.slice_used).max(0.0);
+            let step = wall_to_complete.min(wall_in_slice);
+            let t_next = self.last_t + step;
+            if t_next <= now + EPS_T {
+                // Boundary reached inside the window: completion wins ties
+                // with rotation (a finished job never rotates).
+                let served = step * self.speed;
+                self.last_t = t_next.min(now.max(self.last_t));
+                if rem - served <= EPS_W {
+                    self.queue.pop_front();
+                    completed.push(id);
+                } else {
+                    let mut entry = self.queue.pop_front().expect("checked non-empty");
+                    entry.1 = rem - served;
+                    self.queue.push_back(entry);
+                }
+                self.slice_used = 0.0;
+            } else {
+                let dt = (now - self.last_t).max(0.0);
+                self.queue.front_mut().expect("checked non-empty").1 = rem - dt * self.speed;
+                self.slice_used += dt;
+                self.last_t = now;
+                return;
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        debug_assert!(work > 0.0 && work.is_finite(), "bad service demand {work}");
+        self.last_t = now.max(self.last_t);
+        self.queue.push_back((id, work));
+    }
+
+    fn next_wakeup(&self) -> Option<f64> {
+        self.queue.front().map(|&(_, rem)| {
+            let wall_to_complete = rem.max(0.0) / self.speed;
+            let wall_in_slice = (self.quantum - self.slice_used).max(0.0);
+            self.last_t + wall_to_complete.min(wall_in_slice)
+        })
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn work_in_system(&self) -> f64 {
+        self.queue.iter().map(|&(_, rem)| rem.max(0.0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+
+    fn ids(n: usize) -> Vec<JobId> {
+        let mut slab = JobSlab::new();
+        (0..n)
+            .map(|_| {
+                slab.insert(JobRecord {
+                    size: 1.0,
+                    arrival: 0.0,
+                    server: 0,
+                    counted: true,
+                })
+            })
+            .collect()
+    }
+
+    /// Drains all internal events up to `horizon`, firing at each wakeup.
+    fn drain(rr: &mut QuantumRr, horizon: f64, done: &mut Vec<JobId>) {
+        while let Some(w) = rr.next_wakeup() {
+            if w > horizon {
+                break;
+            }
+            rr.advance(w, done);
+        }
+        rr.advance(horizon, done);
+    }
+
+    #[test]
+    fn single_short_job_completes_within_first_quantum() {
+        let ids = ids(1);
+        let mut rr = QuantumRr::new(2.0, 1.0);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 1.0); // 0.5 s at speed 2 < quantum 1 s
+        assert_eq!(rr.next_wakeup(), Some(0.5));
+        rr.advance(0.5, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+    }
+
+    #[test]
+    fn jobs_alternate_in_quantum_slices() {
+        // Two jobs of 2 work units, speed 1, quantum 1: A runs [0,1),
+        // B [1,2), A [2,3) completing, B [3,4) completing.
+        let ids = ids(2);
+        let mut rr = QuantumRr::new(1.0, 1.0);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 2.0);
+        rr.arrive(0.0, ids[1], 2.0);
+        drain(&mut rr, 2.5, &mut done);
+        assert!(done.is_empty(), "no completion before t=3, got {done:?}");
+        drain(&mut rr, 3.0, &mut done);
+        assert_eq!(done, vec![ids[0]]);
+        drain(&mut rr, 4.0, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn short_job_preempts_long_job_quickly() {
+        // Long job running; short job arrives and must start within one
+        // quantum (the preemption the paper's processors provide).
+        let ids = ids(2);
+        let mut rr = QuantumRr::new(1.0, 0.5);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 100.0);
+        rr.advance(0.25, &mut done); // mid-slice
+        rr.arrive(0.25, ids[1], 0.4);
+        // Slice ends at 0.5; short job runs [0.5, 0.9) and completes.
+        drain(&mut rr, 1.0, &mut done);
+        assert_eq!(done, vec![ids[1]]);
+    }
+
+    #[test]
+    fn completion_exactly_at_quantum_boundary() {
+        let ids = ids(2);
+        let mut rr = QuantumRr::new(1.0, 1.0);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 1.0); // exactly one quantum of work
+        rr.arrive(0.0, ids[1], 1.0);
+        drain(&mut rr, 2.0, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1]]);
+    }
+
+    #[test]
+    fn large_quantum_behaves_like_fcfs() {
+        let ids = ids(3);
+        let mut rr = QuantumRr::new(1.0, 1e6);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 5.0);
+        rr.arrive(0.0, ids[1], 1.0);
+        rr.arrive(0.0, ids[2], 2.0);
+        drain(&mut rr, 10.0, &mut done);
+        assert_eq!(done, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let ids = ids(2);
+        let mut rr = QuantumRr::new(2.0, 0.3);
+        let mut done = Vec::new();
+        rr.arrive(0.0, ids[0], 3.0);
+        rr.arrive(0.0, ids[1], 3.0);
+        drain(&mut rr, 1.0, &mut done);
+        // 1 s at speed 2 = 2 work units served in total.
+        assert!((rr.work_in_system() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be positive")]
+    fn rejects_zero_quantum() {
+        QuantumRr::new(1.0, 0.0);
+    }
+}

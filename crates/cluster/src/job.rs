@@ -1,0 +1,257 @@
+//! Job records and their slab allocator.
+//!
+//! A full paper-scale run generates 1–2 million jobs, but at utilization
+//! 0.7 only a handful are in flight at any instant. [`JobSlab`] keeps
+//! in-flight job records in a free-list slab: O(1) insert/remove, stable
+//! [`JobId`]s with generation counters so a stale id (a model bug) is
+//! detected instead of silently reading a recycled slot.
+
+/// Identifier of an in-flight job: slot index + generation.
+///
+/// `Ord` is derived so ids can break ties deterministically inside
+/// ordered discipline queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId {
+    index: u32,
+    generation: u32,
+}
+
+impl JobId {
+    /// Slot index (for diagnostics).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+/// What the simulator needs to remember about an in-flight job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Service demand in seconds on an idle speed-1 machine (the paper's
+    /// "job size").
+    pub size: f64,
+    /// Arrival time at the central scheduler.
+    pub arrival: f64,
+    /// The computer the job was dispatched to.
+    pub server: usize,
+    /// Whether the job arrived after the warmup period and therefore
+    /// counts toward statistics.
+    pub counted: bool,
+}
+
+enum Slot {
+    Occupied {
+        generation: u32,
+        record: JobRecord,
+    },
+    Free {
+        generation: u32,
+        next_free: Option<u32>,
+    },
+}
+
+/// Free-list slab of in-flight jobs.
+#[derive(Default)]
+pub struct JobSlab {
+    slots: Vec<Slot>,
+    free_head: Option<u32>,
+    live: usize,
+    total_inserted: u64,
+}
+
+impl JobSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        JobSlab::default()
+    }
+
+    /// An empty slab with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        JobSlab {
+            slots: Vec::with_capacity(cap),
+            ..JobSlab::default()
+        }
+    }
+
+    /// Inserts a job, returning its id.
+    pub fn insert(&mut self, record: JobRecord) -> JobId {
+        self.live += 1;
+        self.total_inserted += 1;
+        match self.free_head {
+            Some(index) => {
+                let slot = &mut self.slots[index as usize];
+                let Slot::Free {
+                    generation,
+                    next_free,
+                } = *slot
+                else {
+                    unreachable!("free list points at an occupied slot");
+                };
+                self.free_head = next_free;
+                let generation = generation.wrapping_add(1);
+                *slot = Slot::Occupied { generation, record };
+                JobId { index, generation }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("slab overflow");
+                self.slots.push(Slot::Occupied {
+                    generation: 0,
+                    record,
+                });
+                JobId {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Reads a live job record.
+    ///
+    /// # Panics
+    /// Panics on a stale or never-issued id — that is a simulator bug and
+    /// must not be masked.
+    pub fn get(&self, id: JobId) -> &JobRecord {
+        match self.slots.get(id.index as usize) {
+            Some(Slot::Occupied { generation, record }) if *generation == id.generation => record,
+            _ => panic!("stale or invalid job id {id:?}"),
+        }
+    }
+
+    /// Removes a live job, returning its record.
+    ///
+    /// # Panics
+    /// Panics on a stale or never-issued id.
+    pub fn remove(&mut self, id: JobId) -> JobRecord {
+        let slot = self
+            .slots
+            .get_mut(id.index as usize)
+            .unwrap_or_else(|| panic!("invalid job id {id:?}"));
+        match *slot {
+            Slot::Occupied { generation, record } if generation == id.generation => {
+                *slot = Slot::Free {
+                    generation,
+                    next_free: self.free_head,
+                };
+                self.free_head = Some(id.index);
+                self.live -= 1;
+                record
+            }
+            _ => panic!("stale job id {id:?}"),
+        }
+    }
+
+    /// Number of live jobs.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no jobs are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots ever allocated (high-water mark of concurrency).
+    pub fn capacity_used(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total jobs ever inserted.
+    pub fn total_inserted(&self) -> u64 {
+        self.total_inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: f64) -> JobRecord {
+        JobRecord {
+            size,
+            arrival: 0.0,
+            server: 0,
+            counted: true,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut slab = JobSlab::new();
+        let a = slab.insert(rec(1.0));
+        let b = slab.insert(rec(2.0));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a).size, 1.0);
+        assert_eq!(slab.get(b).size, 2.0);
+        let removed = slab.remove(a);
+        assert_eq!(removed.size, 1.0);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut slab = JobSlab::new();
+        let a = slab.insert(rec(1.0));
+        slab.remove(a);
+        let b = slab.insert(rec(2.0));
+        // Same slot, new generation.
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, b);
+        assert_eq!(slab.capacity_used(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn stale_id_get_panics() {
+        let mut slab = JobSlab::new();
+        let a = slab.insert(rec(1.0));
+        slab.remove(a);
+        slab.insert(rec(2.0));
+        slab.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale")]
+    fn double_remove_panics() {
+        let mut slab = JobSlab::new();
+        let a = slab.insert(rec(1.0));
+        slab.remove(a);
+        slab.insert(rec(2.0)); // reoccupies the slot
+        slab.remove(a);
+    }
+
+    #[test]
+    fn high_churn_keeps_capacity_bounded() {
+        let mut slab = JobSlab::with_capacity(4);
+        for i in 0..10_000 {
+            let id = slab.insert(rec(i as f64));
+            slab.remove(id);
+        }
+        assert_eq!(slab.capacity_used(), 1, "churn should reuse one slot");
+        assert_eq!(slab.total_inserted(), 10_000);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn interleaved_lifetimes() {
+        let mut slab = JobSlab::new();
+        let ids: Vec<JobId> = (0..100).map(|i| slab.insert(rec(i as f64))).collect();
+        // Remove evens, verify odds intact.
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                slab.remove(id);
+            }
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(slab.get(id).size, i as f64);
+            }
+        }
+        assert_eq!(slab.len(), 50);
+        // Reinsert into freed slots.
+        for i in 0..50 {
+            slab.insert(rec(1000.0 + i as f64));
+        }
+        assert_eq!(slab.len(), 100);
+        assert_eq!(slab.capacity_used(), 100);
+    }
+}

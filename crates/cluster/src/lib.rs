@@ -1,0 +1,53 @@
+//! # hetsched-cluster — the simulated network of heterogeneous computers
+//!
+//! The discrete-event simulator of §4.1 of the paper: a collection of
+//! computers with different speeds connected by a high-speed network, fed
+//! by a central scheduler. Jobs arrive at the scheduler, are dispatched
+//! immediately according to a pluggable [`Policy`], run to completion on
+//! the assigned computer (no rescheduling), and report their response time
+//! on completion. Program/data files live on a dedicated file server, so
+//! dispatching costs only a command line — no transfer delay is modelled,
+//! exactly as in the paper.
+//!
+//! Components:
+//!
+//! * [`job`] — job records and the slab allocator that recycles them
+//!   (a 4·10⁶-second run creates 1–2 million jobs; only in-flight ones
+//!   are kept).
+//! * [`discipline`] — per-computer service disciplines: exact processor
+//!   sharing in O(log n) per event ([`discipline::PsVirtualTime`]), an
+//!   O(n) reference PS used to cross-validate it, preemptive round-robin
+//!   with a finite quantum (the paper's "preemptive round-robin processor
+//!   scheduling"; PS is its quantum→0 limit), and FCFS for ablations.
+//! * [`server`] — wraps a discipline with utilization/queue-length
+//!   accounting and the *epoch* pattern for stale completion timers.
+//! * [`policy`] — the dispatch-policy trait the scheduler calls; concrete
+//!   policies (random, round-robin, dynamic least-load, …) live in
+//!   `hetsched-policies`.
+//! * [`network`] — the load-update feedback path for dynamic policies:
+//!   U(0,1) departure-detection delay + Exp(0.05 s) message delay (§4.2).
+//! * [`config`] / [`results`] — serde-friendly run configuration and
+//!   output statistics (mean response time / response ratio / fairness /
+//!   per-server detail).
+//! * [`simulation`] — the actor that wires everything to the
+//!   `hetsched-desim` engine.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod discipline;
+pub mod job;
+pub mod network;
+pub mod policy;
+pub mod results;
+pub mod server;
+pub mod simulation;
+pub mod trace;
+
+pub use config::{ArrivalSpec, ClusterConfig};
+pub use discipline::{Discipline, DisciplineSpec};
+pub use job::{JobId, JobRecord, JobSlab};
+pub use policy::{DispatchCtx, Policy};
+pub use results::{RunStats, ServerStats};
+pub use simulation::Simulation;
+pub use trace::{JobTrace, TraceCollector, TraceSpec};

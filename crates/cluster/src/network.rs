@@ -1,0 +1,121 @@
+//! Load-update feedback path for dynamic policies.
+//!
+//! §4.2 of the paper: the scheduler's load index of a computer is updated
+//! (a) immediately when it dispatches a job there, and (b) by update
+//! messages after departures. "Each computer checks its load index every
+//! second. Therefore, after a job is completed on a computer, it takes the
+//! computer U(0,1) second to detect the load change. Then the computer
+//! sends a load update message to the scheduler. The message transfer
+//! delay is set to be exponentially distributed with some mean value
+//! (currently set at 0.05 second)."
+//!
+//! [`LoadUpdateModel`] encapsulates the two delays so ablations can vary
+//! them (e.g. slower networks widen the gap between Dynamic Least-Load
+//! and ORR).
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Delay model of the departure → scheduler feedback path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadUpdateModel {
+    /// Maximum of the uniform detection delay (the paper's polling period:
+    /// detection takes `U(0, detect_max)`).
+    pub detect_max: f64,
+    /// Mean of the exponential message transfer delay.
+    pub message_delay_mean: f64,
+}
+
+impl Default for LoadUpdateModel {
+    /// The paper's parameters: `U(0,1)` detection and `Exp(0.05 s)`
+    /// transfer delay.
+    fn default() -> Self {
+        LoadUpdateModel {
+            detect_max: 1.0,
+            message_delay_mean: 0.05,
+        }
+    }
+}
+
+impl LoadUpdateModel {
+    /// Creates a custom delay model.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(detect_max: f64, message_delay_mean: f64) -> Self {
+        assert!(
+            detect_max.is_finite() && detect_max > 0.0,
+            "detect_max must be positive and finite, got {detect_max}"
+        );
+        assert!(
+            message_delay_mean.is_finite() && message_delay_mean > 0.0,
+            "message_delay_mean must be positive and finite, got {message_delay_mean}"
+        );
+        LoadUpdateModel {
+            detect_max,
+            message_delay_mean,
+        }
+    }
+
+    /// Samples the delay until the computer notices a departure.
+    #[inline]
+    pub fn detection_delay(&self, rng: &mut Rng64) -> f64 {
+        rng.uniform(0.0, self.detect_max)
+    }
+
+    /// Samples the network delay of the update message.
+    #[inline]
+    pub fn message_delay(&self, rng: &mut Rng64) -> f64 {
+        rng.exponential(1.0 / self.message_delay_mean)
+    }
+
+    /// Mean end-to-end staleness of a departure update.
+    pub fn mean_total_delay(&self) -> f64 {
+        self.detect_max / 2.0 + self.message_delay_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let m = LoadUpdateModel::default();
+        assert_eq!(m.detect_max, 1.0);
+        assert_eq!(m.message_delay_mean, 0.05);
+        assert!((m.mean_total_delay() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_delay_in_range() {
+        let m = LoadUpdateModel::default();
+        let mut rng = Rng64::from_seed(1);
+        for _ in 0..10_000 {
+            let d = m.detection_delay(&mut rng);
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn message_delay_has_target_mean() {
+        let m = LoadUpdateModel::default();
+        let mut rng = Rng64::from_seed(2);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| m.message_delay(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.05).abs() < 0.001, "mean {mean}");
+    }
+
+    #[test]
+    fn custom_model() {
+        let m = LoadUpdateModel::new(2.0, 0.5);
+        assert!((m.mean_total_delay() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "detect_max must be positive")]
+    fn rejects_zero_detection() {
+        LoadUpdateModel::new(0.0, 0.05);
+    }
+}

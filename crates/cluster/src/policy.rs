@@ -1,0 +1,120 @@
+//! The dispatch-policy interface.
+//!
+//! The central scheduler consults a [`Policy`] on every arrival. The trait
+//! is deliberately minimal so that the paper's four static algorithms
+//! (Table 2), the Dynamic Least-Load yardstick, and the extension
+//! baselines (JSQ(d), SITA-E) all fit behind it:
+//!
+//! * static policies use nothing but their own state (and the RNG for
+//!   random dispatching);
+//! * Dynamic Least-Load maintains *believed* loads fed by the delayed
+//!   update messages of [`crate::network`] (it must NOT read
+//!   [`DispatchCtx::queue_lens`], which are the true instantaneous
+//!   lengths);
+//! * clairvoyant baselines may read the true lengths and the job size —
+//!   they exist to bound what any dispatcher could achieve.
+//!
+//! `choose` both selects *and commits*: a policy updates its internal
+//! bookkeeping (round-robin credits, believed loads) inside the call.
+
+use hetsched_desim::Rng64;
+
+/// Information available to a policy at dispatch time.
+#[derive(Debug)]
+pub struct DispatchCtx<'a> {
+    /// Current simulation time.
+    pub now: f64,
+    /// The arriving job's size (speed-1 seconds). Only clairvoyant
+    /// policies (e.g. SITA-E) may use it; the paper's schemes do not need
+    /// job sizes "a priori".
+    pub job_size: f64,
+    /// True instantaneous run-queue lengths. Only clairvoyant policies
+    /// may use them.
+    pub queue_lens: &'a [usize],
+    /// Server speeds (static information every policy may use).
+    pub speeds: &'a [f64],
+}
+
+/// A job dispatching policy.
+pub trait Policy {
+    /// Chooses the server for an arriving job and commits any internal
+    /// bookkeeping for that decision.
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize;
+
+    /// Receives a (delayed) load-update message: `queue_len` was server
+    /// `server`'s run-queue length when the message was sent.
+    fn on_load_update(&mut self, _server: usize, _queue_len: usize, _now: f64) {}
+
+    /// Whether the simulator should generate load-update messages
+    /// (detection + network delay) for this policy.
+    fn needs_load_updates(&self) -> bool {
+        false
+    }
+
+    /// The long-run dispatch fractions the policy aims to realize, if it
+    /// has any (static policies do; dynamic ones return `None`). Used to
+    /// parameterize the Figure-2 workload-allocation-deviation tracker.
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> String;
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        (**self).choose(ctx, rng)
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, now: f64) {
+        (**self).on_load_update(server, queue_len, now)
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        (**self).needs_load_updates()
+    }
+
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        (**self).expected_fractions()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial policy that always picks server 0, for trait plumbing
+    /// tests.
+    struct Always0;
+
+    impl Policy for Always0 {
+        fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+            0
+        }
+
+        fn name(&self) -> String {
+            "always0".into()
+        }
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let mut p: Box<dyn Policy> = Box::new(Always0);
+        let ctx = DispatchCtx {
+            now: 0.0,
+            job_size: 1.0,
+            queue_lens: &[0, 0],
+            speeds: &[1.0, 1.0],
+        };
+        let mut rng = Rng64::from_seed(0);
+        assert_eq!(p.choose(&ctx, &mut rng), 0);
+        assert_eq!(p.name(), "always0");
+        assert!(!p.needs_load_updates());
+        p.on_load_update(0, 3, 1.0); // default no-op must not panic
+    }
+}

@@ -1,0 +1,132 @@
+//! Run output statistics.
+//!
+//! [`RunStats`] carries the paper's three headline metrics — mean response
+//! time, mean response ratio, fairness (the standard deviation of the
+//! response ratio) — plus per-server detail (Table 1's dispatch
+//! percentages, utilizations) and the optional Figure-2 deviation series.
+//! Everything is serde-serializable so the bench harness can archive raw
+//! results as JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-computer statistics over the measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Relative speed.
+    pub speed: f64,
+    /// Jobs dispatched here after warmup.
+    pub dispatched: u64,
+    /// Jobs completed here after warmup (regardless of arrival epoch).
+    pub completed: u64,
+    /// Fraction of the window the server was busy.
+    pub utilization: f64,
+    /// Time-average run-queue length.
+    pub mean_queue_len: f64,
+    /// `dispatched / Σ dispatched` — the realized allocation fraction
+    /// (Table 1's "percentage").
+    pub dispatch_fraction: f64,
+}
+
+/// Statistics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Policy name the run used.
+    pub policy: String,
+    /// Jobs that arrived during the measurement window.
+    pub jobs_counted: u64,
+    /// Counted jobs that also completed before the horizon (the basis of
+    /// the response statistics; stragglers still in service at the
+    /// horizon are excluded, as is standard).
+    pub jobs_finished: u64,
+    /// Mean response time (seconds) over finished counted jobs.
+    pub mean_response_time: f64,
+    /// Mean response ratio (response time / job size).
+    pub mean_response_ratio: f64,
+    /// Fairness: standard deviation of the response ratio (§4.1 —
+    /// smaller is better).
+    pub fairness: f64,
+    /// 95th percentile of the response ratio (P² estimate; extension
+    /// metric).
+    pub p95_response_ratio: f64,
+    /// 99th percentile of the response ratio (P² estimate; extension
+    /// metric).
+    pub p99_response_ratio: f64,
+    /// Per-computer detail.
+    pub servers: Vec<ServerStats>,
+    /// Figure-2 deviation series (empty unless
+    /// `ClusterConfig::deviation_interval` was set).
+    pub deviations: Vec<f64>,
+    /// Log-spaced histogram of response ratios (present only when
+    /// `ClusterConfig::track_ratio_histogram` was set).
+    pub ratio_histogram: Option<hetsched_metrics::Histogram>,
+    /// Sampled per-job traces (present only when `ClusterConfig::trace`
+    /// was set).
+    pub trace: Option<crate::trace::TraceCollector>,
+    /// Total engine events processed (throughput diagnostics).
+    pub events_processed: u64,
+    /// The realized overall utilization (capacity-weighted mean of the
+    /// per-server utilizations) — a sanity check against the configured
+    /// `ρ`.
+    pub realized_utilization: f64,
+}
+
+impl RunStats {
+    /// The realized allocation fractions per server, in order.
+    pub fn dispatch_fractions(&self) -> Vec<f64> {
+        self.servers.iter().map(|s| s.dispatch_fraction).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> RunStats {
+        RunStats {
+            policy: "test".into(),
+            jobs_counted: 100,
+            jobs_finished: 99,
+            mean_response_time: 10.0,
+            mean_response_ratio: 2.0,
+            fairness: 1.0,
+            p95_response_ratio: 5.0,
+            p99_response_ratio: 9.0,
+            servers: vec![
+                ServerStats {
+                    speed: 1.0,
+                    dispatched: 25,
+                    completed: 25,
+                    utilization: 0.5,
+                    mean_queue_len: 1.0,
+                    dispatch_fraction: 0.25,
+                },
+                ServerStats {
+                    speed: 3.0,
+                    dispatched: 75,
+                    completed: 74,
+                    utilization: 0.6,
+                    mean_queue_len: 2.0,
+                    dispatch_fraction: 0.75,
+                },
+            ],
+            deviations: vec![0.01, 0.02],
+            ratio_histogram: None,
+            trace: None,
+            events_processed: 1234,
+            realized_utilization: 0.57,
+        }
+    }
+
+    #[test]
+    fn dispatch_fractions_extracts() {
+        assert_eq!(dummy().dispatch_fractions(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = dummy();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: RunStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,230 @@
+//! A computer in the network: discipline + accounting + timer epochs.
+//!
+//! [`Server`] wraps a [`DisciplineKind`] with:
+//!
+//! * **epoch-tagged wake timers** — every arrival invalidates the
+//!   previously scheduled completion estimate; instead of cancelling queue
+//!   entries, the server bumps an epoch counter and the simulation ignores
+//!   wake events whose epoch is stale (the cheap idiom recommended by
+//!   `hetsched-desim`);
+//! * **utilization and queue-length accounting** — time-weighted signals,
+//!   resettable at the end of the warmup period so reported statistics
+//!   cover only the measurement window, as in §4.1;
+//! * **dispatch/completion counters** — per-computer job counts used for
+//!   Table 1's workload-distribution percentages.
+
+use hetsched_metrics::TimeWeighted;
+
+use crate::discipline::{Discipline, DisciplineKind, DisciplineSpec};
+use crate::job::JobId;
+
+/// A simulated computer.
+#[derive(Debug, Clone)]
+pub struct Server {
+    speed: f64,
+    disc: DisciplineKind,
+    epoch: u64,
+    busy: TimeWeighted,
+    qlen: TimeWeighted,
+    dispatched: u64,
+    completed: u64,
+}
+
+impl Server {
+    /// Creates an idle server.
+    ///
+    /// # Panics
+    /// Panics unless `speed` is positive and finite (delegated to the
+    /// discipline constructor).
+    pub fn new(speed: f64, spec: DisciplineSpec) -> Self {
+        Server {
+            speed,
+            disc: spec.build(speed),
+            epoch: 0,
+            busy: TimeWeighted::new(0.0, 0.0),
+            qlen: TimeWeighted::new(0.0, 0.0),
+            dispatched: 0,
+            completed: 0,
+        }
+    }
+
+    /// The server's relative speed.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Current run-queue length (the paper's load index).
+    pub fn queue_len(&self) -> usize {
+        self.disc.queue_len()
+    }
+
+    /// Remaining work in the system, speed-1 seconds.
+    pub fn work_in_system(&self) -> f64 {
+        self.disc.work_in_system()
+    }
+
+    /// Current timer epoch. Wake events carrying an older epoch are stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidates outstanding wake timers and returns the new epoch to
+    /// stamp on the replacement timer.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Next internal event time (completion/rotation) if left undisturbed.
+    pub fn next_wakeup(&self) -> Option<f64> {
+        self.disc.next_wakeup()
+    }
+
+    /// Advances the discipline to `now`, appending completions, and
+    /// refreshes the time-weighted accounting.
+    pub fn advance(&mut self, now: f64, completed: &mut Vec<JobId>) {
+        let before = completed.len();
+        self.disc.advance(now, completed);
+        self.completed += (completed.len() - before) as u64;
+        self.refresh(now);
+    }
+
+    /// Admits a job with `work` speed-1 seconds of demand. The caller must
+    /// have advanced the server to `now` first.
+    pub fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        self.disc.arrive(now, id, work);
+        self.dispatched += 1;
+        self.refresh(now);
+    }
+
+    fn refresh(&mut self, now: f64) {
+        let n = self.disc.queue_len();
+        self.busy.update(now, if n > 0 { 1.0 } else { 0.0 });
+        self.qlen.update(now, n as f64);
+    }
+
+    /// Restarts the measurement window (end of warmup): clears counters
+    /// and the time-weighted integrals, keeping in-flight state.
+    pub fn reset_window(&mut self, now: f64) {
+        self.refresh(now);
+        self.busy.reset_window(now);
+        self.qlen.reset_window(now);
+        self.dispatched = 0;
+        self.completed = 0;
+    }
+
+    /// Closes the accounting integrals at the horizon.
+    pub fn finalize(&mut self, now: f64) {
+        self.refresh(now);
+    }
+
+    /// Fraction of the measurement window the server was busy.
+    pub fn utilization(&self) -> f64 {
+        self.busy.time_average()
+    }
+
+    /// Time-average queue length over the measurement window.
+    pub fn mean_queue_len(&self) -> f64 {
+        self.qlen.time_average()
+    }
+
+    /// Jobs dispatched to this server in the measurement window.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Jobs completed on this server in the measurement window.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSlab};
+
+    fn job(slab: &mut JobSlab, size: f64) -> JobId {
+        slab.insert(JobRecord {
+            size,
+            arrival: 0.0,
+            server: 0,
+            counted: true,
+        })
+    }
+
+    #[test]
+    fn epoch_bumps_monotonically() {
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        assert_eq!(s.epoch(), 0);
+        assert_eq!(s.bump_epoch(), 1);
+        assert_eq!(s.bump_epoch(), 2);
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_time() {
+        let mut slab = JobSlab::new();
+        let mut s = Server::new(2.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        // Busy on [0, 1): one job of 2 work units at speed 2.
+        s.advance(0.0, &mut done);
+        s.arrive(0.0, job(&mut slab, 2.0), 2.0);
+        s.advance(1.0, &mut done);
+        assert_eq!(done.len(), 1);
+        // Idle on [1, 4).
+        s.finalize(4.0);
+        assert!((s.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_queue_len_integrates() {
+        let mut slab = JobSlab::new();
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        // Two jobs for 1 s, then one for 1 s, then idle 2 s: mean = 3/4...
+        // jobs: sizes 1 and 2 at t=0 (PS: first done at t=2, second at t=3).
+        s.advance(0.0, &mut done);
+        s.arrive(0.0, job(&mut slab, 1.0), 1.0);
+        s.arrive(0.0, job(&mut slab, 2.0), 2.0);
+        s.advance(2.0, &mut done); // first completes at t=2
+        s.advance(3.0, &mut done); // second at t=3
+        s.finalize(4.0);
+        // qlen: 2 on [0,2), 1 on [2,3), 0 on [3,4) → (4+1)/4.
+        assert!((s.mean_queue_len() - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_window_clears_counters() {
+        let mut slab = JobSlab::new();
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        s.arrive(0.0, job(&mut slab, 1.0), 1.0);
+        s.advance(1.0, &mut done);
+        assert_eq!(s.dispatched(), 1);
+        assert_eq!(s.completed(), 1);
+        s.reset_window(2.0);
+        assert_eq!(s.dispatched(), 0);
+        assert_eq!(s.completed(), 0);
+        s.finalize(4.0);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn in_flight_work_survives_reset() {
+        let mut slab = JobSlab::new();
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        s.arrive(0.0, job(&mut slab, 10.0), 10.0);
+        s.reset_window(1.0);
+        // The job is still there and still completes at t = 10.
+        assert_eq!(s.queue_len(), 1);
+        s.advance(10.0, &mut done);
+        assert_eq!(done.len(), 1);
+        // Utilization over [1, 10] window plus finalize at 10: busy 9/9.
+        s.finalize(10.0);
+        assert!((s.utilization() - 1.0).abs() < 1e-9);
+    }
+}

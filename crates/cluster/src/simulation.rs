@@ -1,0 +1,487 @@
+//! The simulation: wiring arrivals, the scheduler, servers, and the
+//! feedback network to the event engine.
+//!
+//! Event flow per the paper's model (§4.1–4.2):
+//!
+//! 1. `Arrival` — the next job reaches the central scheduler. The model
+//!    samples its size, asks the [`Policy`] for a destination, admits the
+//!    job to that server, and schedules the following arrival.
+//! 2. `ServerWake { server, epoch }` — the server's next internal event
+//!    (completion or quantum rotation) fires. Stale epochs (superseded by
+//!    an arrival) are ignored. Completions are recorded and, for dynamic
+//!    policies, kick off the departure-detection → update-message chain.
+//! 3. `LoadDetect { server }` — the computer notices its queue changed
+//!    (U(0,1) after a departure) and sends an update message.
+//! 4. `LoadUpdate { server, queue_len }` — the message reaches the
+//!    scheduler after the exponential network delay; the policy's believed
+//!    load is refreshed.
+//! 5. `WarmupEnd` — counters reset so statistics cover only the steady
+//!    state.
+//!
+//! Determinism: every stochastic component draws from its own
+//! seed-derived stream, so two runs with the same seed are identical and
+//! runs with different seeds are the paper's "independent runs".
+
+use hetsched_desim::{Actor, Engine, Rng64, Scheduler, SimTime};
+use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
+use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
+
+use crate::config::{ArrivalKind, ClusterConfig};
+use crate::job::{JobId, JobRecord, JobSlab};
+use crate::policy::{DispatchCtx, Policy};
+use crate::results::{RunStats, ServerStats};
+use crate::server::Server;
+
+/// Events of the cluster model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// A job arrives at the central scheduler.
+    Arrival,
+    /// A server's next internal event (completion/rotation).
+    ServerWake { server: usize, epoch: u64 },
+    /// A computer notices a departure and emits an update message.
+    LoadDetect { server: usize },
+    /// The update message reaches the scheduler.
+    LoadUpdate { server: usize, queue_len: usize },
+    /// End of the warmup period.
+    WarmupEnd,
+}
+
+/// A configured, seeded simulation ready to run.
+pub struct Simulation<P: Policy> {
+    cfg: ClusterConfig,
+    policy: P,
+    seed: u64,
+}
+
+impl<P: Policy> Simulation<P> {
+    /// Creates a simulation.
+    ///
+    /// # Errors
+    /// Returns the human-readable validation error of
+    /// [`ClusterConfig::validate`].
+    pub fn new(cfg: ClusterConfig, policy: P, seed: u64) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Simulation { cfg, policy, seed })
+    }
+
+    /// Runs to the horizon and returns the collected statistics.
+    pub fn run(self) -> RunStats {
+        let Simulation { cfg, policy, seed } = self;
+        let lambda = cfg.lambda();
+        let servers: Vec<Server> = cfg
+            .speeds
+            .iter()
+            .map(|&s| Server::new(s, cfg.discipline))
+            .collect();
+        // The deviation tracker compares realized dispatch fractions with
+        // the policy's *target* fractions; policies without a target
+        // (dynamic ones) are measured against an equal split.
+        let deviation = cfg.deviation_interval.map(|iv| {
+            let expected = policy
+                .expected_fractions()
+                .unwrap_or_else(|| vec![1.0 / cfg.speeds.len() as f64; cfg.speeds.len()]);
+            DeviationTracker::new(&expected, iv, 0.0)
+        });
+        let mut model = Model {
+            policy,
+            servers,
+            arrivals: cfg.arrivals.build(lambda),
+            sizes: cfg.job_sizes.build(),
+            load_updates: cfg.load_updates,
+            warmup: cfg.warmup,
+            rng_arrival: Rng64::stream(seed, 0),
+            rng_size: Rng64::stream(seed, 1),
+            rng_dispatch: Rng64::stream(seed, 2),
+            rng_net: Rng64::stream(seed, 3),
+            slab: JobSlab::with_capacity(64),
+            qlen_buf: Vec::new(),
+            done_buf: Vec::new(),
+            resp_time: Welford::new(),
+            resp_ratio: Welford::new(),
+            ratio_p95: P2Quantile::new(0.95),
+            ratio_p99: P2Quantile::new(0.99),
+            ratio_histogram: cfg
+                .track_ratio_histogram
+                .then(|| Histogram::new(1e-4, 1e6, 1.05)),
+            trace: cfg.trace.map(crate::trace::TraceCollector::new),
+            deviation,
+            jobs_counted: 0,
+            speeds: cfg.speeds.clone(),
+        };
+
+        let mut engine: Engine<Ev> = Engine::with_capacity(1024);
+        let first_gap = model.arrivals.next_interarrival(&mut model.rng_arrival);
+        engine.schedule_at(SimTime::new(first_gap), Ev::Arrival);
+        if cfg.warmup > 0.0 {
+            engine.schedule_at(SimTime::new(cfg.warmup), Ev::WarmupEnd);
+        }
+        engine.run_until(&mut model, SimTime::new(cfg.horizon));
+
+        model.finalize(cfg.horizon, engine.processed_total())
+    }
+}
+
+struct Model<P: Policy> {
+    policy: P,
+    servers: Vec<Server>,
+    arrivals: ArrivalKind,
+    sizes: BuiltDist,
+    load_updates: crate::network::LoadUpdateModel,
+    warmup: f64,
+    rng_arrival: Rng64,
+    rng_size: Rng64,
+    rng_dispatch: Rng64,
+    rng_net: Rng64,
+    slab: JobSlab,
+    qlen_buf: Vec<usize>,
+    done_buf: Vec<JobId>,
+    resp_time: Welford,
+    resp_ratio: Welford,
+    ratio_p95: P2Quantile,
+    ratio_p99: P2Quantile,
+    ratio_histogram: Option<Histogram>,
+    trace: Option<crate::trace::TraceCollector>,
+    deviation: Option<DeviationTracker>,
+    jobs_counted: u64,
+    speeds: Vec<f64>,
+}
+
+impl<P: Policy> Model<P> {
+    /// Re-arms the wake timer of `server` after any state change.
+    fn reschedule(&mut self, server: usize, sched: &mut Scheduler<'_, Ev>) {
+        let epoch = self.servers[server].bump_epoch();
+        if let Some(t) = self.servers[server].next_wakeup() {
+            // Guard against sub-epsilon drift putting the wake a hair in
+            // the past.
+            let t = t.max(sched.now().as_secs());
+            sched.schedule_at(SimTime::new(t), Ev::ServerWake { server, epoch });
+        }
+    }
+
+    /// Handles completions gathered in `done_buf` for `server` at `now`.
+    fn drain_completions(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        if self.done_buf.is_empty() {
+            return;
+        }
+        let needs_updates = self.policy.needs_load_updates();
+        for idx in 0..self.done_buf.len() {
+            let id = self.done_buf[idx];
+            let rec = self.slab.remove(id);
+            debug_assert_eq!(rec.server, server);
+            if rec.counted {
+                let response = now - rec.arrival;
+                self.resp_time.push(response);
+                let ratio = response / rec.size;
+                self.resp_ratio.push(ratio);
+                self.ratio_p95.push(ratio);
+                self.ratio_p99.push(ratio);
+                if let Some(h) = &mut self.ratio_histogram {
+                    h.record(ratio);
+                }
+                if let Some(tr) = &mut self.trace {
+                    tr.record(crate::trace::JobTrace {
+                        arrival: rec.arrival,
+                        completion: now,
+                        size: rec.size,
+                        server,
+                    });
+                }
+            }
+            if needs_updates {
+                let delay = self.load_updates.detection_delay(&mut self.rng_net);
+                sched.schedule_in(delay, Ev::LoadDetect { server });
+            }
+        }
+        self.done_buf.clear();
+    }
+
+    fn handle_arrival(&mut self, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        // Keep the arrival stream flowing.
+        let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
+        sched.schedule_in(gap, Ev::Arrival);
+
+        let size = self.sizes.sample(&mut self.rng_size);
+        self.qlen_buf.clear();
+        self.qlen_buf
+            .extend(self.servers.iter().map(|s| s.queue_len()));
+        let ctx = DispatchCtx {
+            now,
+            job_size: size,
+            queue_lens: &self.qlen_buf,
+            speeds: &self.speeds,
+        };
+        let target = self.policy.choose(&ctx, &mut self.rng_dispatch);
+        debug_assert!(target < self.servers.len(), "policy chose {target}");
+
+        let counted = now >= self.warmup;
+        if counted {
+            self.jobs_counted += 1;
+        }
+        if let Some(dev) = &mut self.deviation {
+            dev.record(now, target);
+        }
+        let id = self.slab.insert(JobRecord {
+            size,
+            arrival: now,
+            server: target,
+            counted,
+        });
+        // Catch any boundary-epsilon completion before admitting.
+        self.servers[target].advance(now, &mut self.done_buf);
+        self.drain_completions(target, now, sched);
+        self.servers[target].arrive(now, id, size);
+        self.reschedule(target, sched);
+    }
+
+    fn handle_wake(&mut self, server: usize, epoch: u64, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        if epoch != self.servers[server].epoch() {
+            return; // superseded by a later arrival
+        }
+        self.servers[server].advance(now, &mut self.done_buf);
+        self.drain_completions(server, now, sched);
+        self.reschedule(server, sched);
+    }
+
+    fn finalize(mut self, horizon: f64, events: u64) -> RunStats {
+        for s in &mut self.servers {
+            s.finalize(horizon);
+        }
+        if let Some(dev) = &mut self.deviation {
+            dev.advance_to(horizon);
+        }
+        let total_dispatched: u64 = self.servers.iter().map(|s| s.dispatched()).sum();
+        let servers: Vec<ServerStats> = self
+            .servers
+            .iter()
+            .map(|s| ServerStats {
+                speed: s.speed(),
+                dispatched: s.dispatched(),
+                completed: s.completed(),
+                utilization: s.utilization(),
+                mean_queue_len: s.mean_queue_len(),
+                dispatch_fraction: if total_dispatched == 0 {
+                    0.0
+                } else {
+                    s.dispatched() as f64 / total_dispatched as f64
+                },
+            })
+            .collect();
+        let total_speed: f64 = self.speeds.iter().sum();
+        let realized_utilization = self
+            .servers
+            .iter()
+            .map(|s| s.utilization() * s.speed())
+            .sum::<f64>()
+            / total_speed;
+        RunStats {
+            policy: self.policy.name(),
+            jobs_counted: self.jobs_counted,
+            jobs_finished: self.resp_ratio.count(),
+            mean_response_time: self.resp_time.mean(),
+            mean_response_ratio: self.resp_ratio.mean(),
+            fairness: self.resp_ratio.std_dev(),
+            p95_response_ratio: self.ratio_p95.estimate().unwrap_or(0.0),
+            p99_response_ratio: self.ratio_p99.estimate().unwrap_or(0.0),
+            servers,
+            deviations: self
+                .deviation
+                .map(|d| d.deviations().to_vec())
+                .unwrap_or_default(),
+            ratio_histogram: self.ratio_histogram,
+            trace: self.trace,
+            events_processed: events,
+            realized_utilization,
+        }
+    }
+}
+
+impl<P: Policy> Actor<Ev> for Model<P> {
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        let t = now.as_secs();
+        match event {
+            Ev::Arrival => self.handle_arrival(t, sched),
+            Ev::ServerWake { server, epoch } => self.handle_wake(server, epoch, t, sched),
+            Ev::LoadDetect { server } => {
+                let queue_len = self.servers[server].queue_len();
+                let delay = self.load_updates.message_delay(&mut self.rng_net);
+                sched.schedule_in(delay, Ev::LoadUpdate { server, queue_len });
+            }
+            Ev::LoadUpdate { server, queue_len } => {
+                self.policy.on_load_update(server, queue_len, t);
+            }
+            Ev::WarmupEnd => {
+                for s in &mut self.servers {
+                    s.reset_window(t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArrivalSpec;
+    use crate::discipline::DisciplineSpec;
+    use hetsched_dist::DistSpec;
+
+    /// Round-robin over all servers — simple deterministic test policy.
+    struct Cyclic {
+        next: usize,
+    }
+
+    impl Policy for Cyclic {
+        fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+            let pick = self.next;
+            self.next = (self.next + 1) % ctx.speeds.len();
+            pick
+        }
+
+        fn name(&self) -> String {
+            "cyclic-test".into()
+        }
+    }
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            speeds: vec![1.0, 1.0],
+            utilization: 0.5,
+            job_sizes: DistSpec::Exponential { mean: 10.0 },
+            arrivals: ArrivalSpec::Poisson,
+            discipline: DisciplineSpec::ProcessorSharing,
+            load_updates: crate::network::LoadUpdateModel::default(),
+            horizon: 20_000.0,
+            warmup: 2_000.0,
+            deviation_interval: None,
+            track_ratio_histogram: false,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn runs_and_produces_sane_stats() {
+        let sim = Simulation::new(small_cfg(), Cyclic { next: 0 }, 42).unwrap();
+        let stats = sim.run();
+        assert!(stats.jobs_counted > 500, "counted {}", stats.jobs_counted);
+        assert!(stats.jobs_finished > 0);
+        assert!(stats.jobs_finished <= stats.jobs_counted);
+        assert!(stats.mean_response_time > 0.0);
+        // Response ratio is at least 1 for every job (a job cannot beat
+        // its own size on a speed-1 machine).
+        assert!(stats.mean_response_ratio >= 1.0);
+        assert!(stats.fairness >= 0.0);
+        assert_eq!(stats.policy, "cyclic-test");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = Simulation::new(small_cfg(), Cyclic { next: 0 }, 7)
+            .unwrap()
+            .run();
+        let b = Simulation::new(small_cfg(), Cyclic { next: 0 }, 7)
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::new(small_cfg(), Cyclic { next: 0 }, 1)
+            .unwrap()
+            .run();
+        let b = Simulation::new(small_cfg(), Cyclic { next: 0 }, 2)
+            .unwrap()
+            .run();
+        assert_ne!(a.mean_response_ratio, b.mean_response_ratio);
+    }
+
+    #[test]
+    fn realized_utilization_tracks_configured() {
+        let mut cfg = small_cfg();
+        cfg.horizon = 200_000.0;
+        cfg.warmup = 20_000.0;
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 3).unwrap().run();
+        assert!(
+            (stats.realized_utilization - 0.5).abs() < 0.05,
+            "realized {} vs configured 0.5",
+            stats.realized_utilization
+        );
+    }
+
+    #[test]
+    fn cyclic_dispatch_splits_evenly() {
+        let stats = Simulation::new(small_cfg(), Cyclic { next: 0 }, 4)
+            .unwrap()
+            .run();
+        let f = stats.dispatch_fractions();
+        assert!((f[0] - 0.5).abs() < 0.01, "{f:?}");
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = small_cfg();
+        cfg.utilization = 2.0;
+        assert!(Simulation::new(cfg, Cyclic { next: 0 }, 0).is_err());
+    }
+
+    #[test]
+    fn ratio_histogram_collects_when_enabled() {
+        let mut cfg = small_cfg();
+        cfg.track_ratio_histogram = true;
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 6).unwrap().run();
+        let h = stats.ratio_histogram.as_ref().expect("histogram present");
+        assert_eq!(h.count(), stats.jobs_finished);
+        // The histogram's median should sit near the mean ratio for this
+        // mildly loaded system.
+        let median = h.quantile(0.5).expect("non-empty");
+        assert!(
+            median > 0.5 && median < 2.0 * stats.mean_response_ratio,
+            "median {median}"
+        );
+        // Disabled by default.
+        let stats2 = Simulation::new(small_cfg(), Cyclic { next: 0 }, 6)
+            .unwrap()
+            .run();
+        assert!(stats2.ratio_histogram.is_none());
+    }
+
+    #[test]
+    fn trace_capture_collects_jobs() {
+        let mut cfg = small_cfg();
+        cfg.trace = Some(crate::trace::TraceSpec {
+            sample_every: 3,
+            max_records: 100_000,
+        });
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 8).unwrap().run();
+        let tr = stats.trace.as_ref().expect("trace present");
+        assert_eq!(tr.seen(), stats.jobs_finished);
+        // Every third finished job is retained.
+        assert_eq!(tr.records().len() as u64, stats.jobs_finished.div_ceil(3));
+        for r in tr.records() {
+            assert!(r.completion >= r.arrival);
+            assert!(r.arrival >= 2_000.0, "only counted jobs are traced");
+            assert!(r.server < 2);
+        }
+        // The traced mean ratio approximates the run's mean ratio.
+        let mean_ratio: f64 = tr.records().iter().map(|r| r.response_ratio()).sum::<f64>()
+            / tr.records().len() as f64;
+        assert!(
+            (mean_ratio - stats.mean_response_ratio).abs() / stats.mean_response_ratio < 0.1,
+            "traced mean {mean_ratio} vs run mean {}",
+            stats.mean_response_ratio
+        );
+    }
+
+    #[test]
+    fn deviation_tracking_produces_intervals() {
+        let mut cfg = small_cfg();
+        cfg.deviation_interval = Some(1000.0);
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 5).unwrap().run();
+        assert_eq!(stats.deviations.len(), 20);
+        // Cyclic dispatch over equal fractions: tiny deviation everywhere.
+        for &d in &stats.deviations {
+            assert!(d < 0.01, "cyclic deviation should be small, got {d}");
+        }
+    }
+}

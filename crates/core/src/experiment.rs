@@ -1,0 +1,300 @@
+//! Replication harness.
+//!
+//! [`Experiment`] bundles a cluster configuration with a policy and runs
+//! it over several independent seeds in parallel, aggregating each metric
+//! into `mean ± 95% CI` exactly as the paper's methodology prescribes
+//! ("Each data point … is the average result of 10 independent runs with
+//! different random number streams", §4.1).
+
+use hetsched_cluster::{ClusterConfig, RunStats, Simulation};
+use hetsched_metrics::CiSummary;
+use hetsched_parallel::{default_threads, replicate};
+use hetsched_policies::PolicySpec;
+use serde::{Deserialize, Serialize};
+
+/// A named, replicated simulation experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Label used in reports.
+    pub name: String,
+    /// The simulated system and workload.
+    pub cluster: ClusterConfig,
+    /// The scheduling policy under test.
+    pub policy: PolicySpec,
+    /// Number of independent runs (the paper uses 10).
+    pub replications: u64,
+    /// Root seed; replication `i` runs with a seed derived from it.
+    pub base_seed: u64,
+    /// Worker threads for the replication runner (0 = auto).
+    pub threads: usize,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's 10 replications.
+    pub fn new(name: impl Into<String>, cluster: ClusterConfig, policy: PolicySpec) -> Self {
+        Experiment {
+            name: name.into(),
+            cluster,
+            policy,
+            replications: 10,
+            base_seed: 0x5EED_0001,
+            threads: 0,
+        }
+    }
+
+    /// Shrinks the horizon by `scale` and the replication count to
+    /// `reps` — the bench harness's `--quick` mode.
+    pub fn quick(mut self, scale: f64, reps: u64) -> Self {
+        self.cluster = self.cluster.scaled(scale);
+        self.replications = reps;
+        self
+    }
+
+    /// Seed of replication `i` (a large odd-constant stride keeps the
+    /// seeds well separated for the SplitMix64 expander).
+    pub fn seed_of(&self, i: u64) -> u64 {
+        self.base_seed
+            .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Runs a single replication.
+    ///
+    /// # Errors
+    /// Returns the configuration/policy validation error, if any.
+    pub fn run_single(&self, replication: u64) -> Result<RunStats, String> {
+        let policy = self.policy.build(&self.cluster)?;
+        let sim = Simulation::new(self.cluster.clone(), policy, self.seed_of(replication))?;
+        Ok(sim.run())
+    }
+
+    /// Runs all replications (in parallel) and aggregates.
+    ///
+    /// # Errors
+    /// Returns the validation error without spawning any run.
+    pub fn run(&self) -> Result<ExperimentResult, String> {
+        // Validate once up front so errors surface before threads spawn.
+        self.policy.build(&self.cluster)?;
+        self.cluster.validate()?;
+        let threads = if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        };
+        let runs: Vec<RunStats> = replicate(self.replications, threads, |i| {
+            self.run_single(i)
+                .expect("validated configuration cannot fail")
+        });
+        Ok(ExperimentResult::aggregate(
+            &self.name,
+            self.policy.label(),
+            runs,
+        ))
+    }
+
+    /// Runs replications until the 95% CI half-width of the mean
+    /// response ratio falls below `rel_precision` of its mean, or
+    /// `max_reps` is reached — sequential-stopping experimentation, an
+    /// extension over the paper's fixed 10 runs.
+    ///
+    /// Starts from `self.replications` runs (at least 3, so the t-based
+    /// interval is meaningful) and adds batches of `self.replications`
+    /// until the target precision is met.
+    ///
+    /// # Errors
+    /// Returns the validation error without spawning any run.
+    pub fn run_to_precision(
+        &self,
+        rel_precision: f64,
+        max_reps: u64,
+    ) -> Result<ExperimentResult, String> {
+        if !(rel_precision > 0.0 && rel_precision.is_finite()) {
+            return Err("precision must be a positive fraction".into());
+        }
+        if max_reps == 0 {
+            return Err("need at least one replication".into());
+        }
+        self.policy.build(&self.cluster)?;
+        self.cluster.validate()?;
+        let threads = if self.threads == 0 {
+            default_threads()
+        } else {
+            self.threads
+        };
+        let batch = self.replications.max(3).min(max_reps);
+        let mut runs: Vec<RunStats> = Vec::new();
+        let mut next_rep = 0u64;
+        loop {
+            let take = batch.min(max_reps - next_rep);
+            let seeds: Vec<u64> = (next_rep..next_rep + take).collect();
+            next_rep += take;
+            let mut new_runs = hetsched_parallel::parallel_map(&seeds, threads, |&i| {
+                self.run_single(i).expect("validated configuration")
+            });
+            runs.append(&mut new_runs);
+            if runs.len() >= 3 {
+                let ratios: Vec<f64> = runs.iter().map(|r| r.mean_response_ratio).collect();
+                let ci = CiSummary::from_values(&ratios);
+                if ci.half_width <= rel_precision * ci.mean.abs() {
+                    break;
+                }
+            }
+            if next_rep >= max_reps {
+                break;
+            }
+        }
+        Ok(ExperimentResult::aggregate(
+            &self.name,
+            self.policy.label(),
+            runs,
+        ))
+    }
+}
+
+/// Aggregated result of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// The experiment's label.
+    pub name: String,
+    /// The policy's display name.
+    pub policy: String,
+    /// Mean response time across replications.
+    pub mean_response_time: CiSummary,
+    /// Mean response ratio across replications.
+    pub mean_response_ratio: CiSummary,
+    /// Fairness (std-dev of response ratio) across replications.
+    pub fairness: CiSummary,
+    /// 95th percentile response ratio across replications.
+    pub p95_response_ratio: CiSummary,
+    /// Mean dispatch fraction per server (Table-1 style percentages).
+    pub dispatch_fractions: Vec<f64>,
+    /// Mean per-server utilization.
+    pub server_utilizations: Vec<f64>,
+    /// The raw per-replication statistics.
+    pub runs: Vec<RunStats>,
+}
+
+impl ExperimentResult {
+    /// Aggregates raw runs into CI summaries.
+    ///
+    /// # Panics
+    /// Panics if `runs` is empty.
+    pub fn aggregate(name: &str, policy: String, runs: Vec<RunStats>) -> Self {
+        assert!(!runs.is_empty(), "no replications to aggregate");
+        let collect = |f: &dyn Fn(&RunStats) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
+        let n_servers = runs[0].servers.len();
+        let mut fractions = vec![0.0; n_servers];
+        let mut utils = vec![0.0; n_servers];
+        for r in &runs {
+            for (i, s) in r.servers.iter().enumerate() {
+                fractions[i] += s.dispatch_fraction;
+                utils[i] += s.utilization;
+            }
+        }
+        let k = runs.len() as f64;
+        fractions.iter_mut().for_each(|x| *x /= k);
+        utils.iter_mut().for_each(|x| *x /= k);
+        ExperimentResult {
+            name: name.to_string(),
+            policy,
+            mean_response_time: CiSummary::from_values(&collect(&|r| r.mean_response_time)),
+            mean_response_ratio: CiSummary::from_values(&collect(&|r| r.mean_response_ratio)),
+            fairness: CiSummary::from_values(&collect(&|r| r.fairness)),
+            p95_response_ratio: CiSummary::from_values(&collect(&|r| r.p95_response_ratio)),
+            dispatch_fractions: fractions,
+            server_utilizations: utils,
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_cluster::ClusterConfig;
+
+    fn tiny() -> Experiment {
+        // Short horizon + exponential sizes: fast but statistically alive.
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = hetsched_dist::DistSpec::Exponential { mean: 10.0 };
+        cfg.horizon = 20_000.0;
+        cfg.warmup = 2_000.0;
+        let mut e = Experiment::new("tiny", cfg, PolicySpec::orr());
+        e.replications = 3;
+        e
+    }
+
+    #[test]
+    fn runs_and_aggregates() {
+        let r = tiny().run().unwrap();
+        assert_eq!(r.runs.len(), 3);
+        assert_eq!(r.policy, "ORR");
+        assert!(r.mean_response_ratio.mean >= 1.0);
+        assert!(r.fairness.mean >= 0.0);
+        assert_eq!(r.dispatch_fractions.len(), 2);
+        let total: f64 = r.dispatch_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_base_seed() {
+        let a = tiny().run().unwrap();
+        let b = tiny().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let e = tiny();
+        let s: Vec<u64> = (0..10).map(|i| e.seed_of(i)).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert_ne!(s[i], s[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_scales() {
+        let e = tiny().quick(0.5, 2);
+        assert_eq!(e.replications, 2);
+        assert_eq!(e.cluster.horizon, 10_000.0);
+    }
+
+    #[test]
+    fn invalid_config_errors_before_running() {
+        let mut e = tiny();
+        e.cluster.utilization = 1.5;
+        assert!(e.run().is_err());
+    }
+
+    #[test]
+    fn run_to_precision_stops_when_tight() {
+        // A generous precision target is met by the initial batch.
+        let mut e = tiny();
+        e.replications = 3;
+        let r = e.run_to_precision(10.0, 50).unwrap();
+        assert_eq!(r.runs.len(), 3, "initial batch should suffice");
+        // An impossible target runs to the cap.
+        let r = e.run_to_precision(1e-9, 7).unwrap();
+        assert_eq!(r.runs.len(), 7);
+        // Tighter targets never use fewer runs than looser ones.
+        let loose = e.run_to_precision(0.5, 30).unwrap();
+        let tight = e.run_to_precision(0.05, 30).unwrap();
+        assert!(tight.runs.len() >= loose.runs.len());
+    }
+
+    #[test]
+    fn run_to_precision_validates() {
+        let e = tiny();
+        assert!(e.run_to_precision(0.0, 10).is_err());
+        assert!(e.run_to_precision(0.1, 0).is_err());
+    }
+
+    #[test]
+    fn single_replication_has_zero_ci() {
+        let mut e = tiny();
+        e.replications = 1;
+        let r = e.run().unwrap();
+        assert_eq!(r.mean_response_ratio.half_width, 0.0);
+    }
+}

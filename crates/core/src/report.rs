@@ -1,0 +1,341 @@
+//! Report formatting: fixed-width console tables and JSON archiving.
+//!
+//! The bench binaries print each paper table/figure as rows on stdout
+//! (the "same rows/series the paper reports") and optionally archive the
+//! full structured results as JSON for post-processing.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple fixed-width console table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on a column-count mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest
+                // (labels left, numbers right).
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(self.render().as_bytes());
+    }
+}
+
+/// A terminal line chart for figure series.
+///
+/// The paper's artifacts are *plots*; the figure binaries print each
+/// series as a table and then draw it with this renderer so the curve
+/// shapes (orderings, crossovers, divergences) are visible at a glance
+/// without leaving the terminal.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+/// Plot glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+/// One plotted series: glyph, legend label, points.
+type Series = (char, String, Vec<(f64, f64)>);
+
+impl Chart {
+    /// Creates an empty chart with the given terminal footprint
+    /// (plot-area columns × rows).
+    ///
+    /// # Panics
+    /// Panics on degenerate dimensions.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 4, "chart too small to be legible");
+        Chart {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    ///
+    /// # Panics
+    /// Panics if more than 8 series are added (no glyphs left) or a
+    /// point is non-finite.
+    pub fn series(&mut self, name: impl Into<String>, points: &[(f64, f64)]) -> &mut Self {
+        assert!(self.series.len() < GLYPHS.len(), "too many series");
+        assert!(
+            points.iter().all(|&(x, y)| x.is_finite() && y.is_finite()),
+            "chart points must be finite"
+        );
+        let glyph = GLYPHS[self.series.len()];
+        self.series.push((glyph, name.into(), points.to_vec()));
+        self
+    }
+
+    /// Renders the chart to a string.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        if (x_hi - x_lo).abs() < 1e-12 {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < 1e-12 {
+            y_hi = y_lo + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, _, points) in &self.series {
+            for &(x, y) in points {
+                let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = *glyph;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{y_hi:>9.3} ")
+            } else if i == self.height - 1 {
+                format!("{y_lo:>9.3} ")
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(10));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{}{:<12.4}{:>width$.4}\n",
+            " ".repeat(11),
+            x_lo,
+            x_hi,
+            width = self.width.saturating_sub(12)
+        ));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|(g, name, _)| format!("{g} = {name}"))
+            .collect();
+        out.push_str(&format!("{}{}\n", " ".repeat(11), legend.join("   ")));
+        out
+    }
+
+    /// Prints the chart to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(self.render().as_bytes());
+    }
+}
+
+/// Serializes `value` as pretty JSON into `path` (creating parent
+/// directories).
+///
+/// # Errors
+/// Propagates IO/serialization failures as strings.
+pub fn save_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), String> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["policy", "ratio"]);
+        t.row(["ORR", "1.23"]);
+        t.row(["DYNAMIC", "1.1"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Numbers right-aligned: both data lines end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].ends_with("1.23"));
+        assert!(lines[3].ends_with("1.1"));
+    }
+
+    #[test]
+    fn wide_cells_stretch_columns() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["very-long-label", "1"]);
+        let r = t.render();
+        assert!(r.lines().next().unwrap().len() >= "very-long-label".len());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(["x"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn rejects_mismatched_row() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn chart_renders_series() {
+        let mut c = Chart::new("figure", 40, 10);
+        c.series("ORR", &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        c.series("WRR", &[(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]);
+        let r = c.render();
+        assert!(r.starts_with("figure"));
+        assert!(r.contains("o = ORR"));
+        assert!(r.contains("* = WRR"));
+        assert!(r.contains('o'));
+        assert!(r.contains('*'));
+        // Axis labels carry the y extremes.
+        assert!(r.contains("4.000"));
+        assert!(r.contains("1.000"));
+    }
+
+    #[test]
+    fn chart_handles_flat_series() {
+        let mut c = Chart::new("flat", 20, 5);
+        c.series("const", &[(0.0, 2.0), (1.0, 2.0)]);
+        let r = c.render();
+        assert!(r.contains('o'));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let c = Chart::new("empty", 20, 5);
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn chart_rejects_tiny_footprint() {
+        Chart::new("x", 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn chart_rejects_nan_points() {
+        Chart::new("x", 20, 5).series("bad", &[(0.0, f64::NAN)]);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let dir = std::env::temp_dir().join("hetsched_report_test");
+        let path = dir.join("sub/out.json");
+        save_json(&path, &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

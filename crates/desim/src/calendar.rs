@@ -1,0 +1,319 @@
+//! Calendar queue — an O(1)-amortized future-event list.
+//!
+//! R. Brown's calendar queue (CACM 1988) hashes events into "days"
+//! (buckets) of a circular "year": an event at time `t` lands in bucket
+//! `⌊t / width⌋ mod nbuckets`. Dequeueing walks the calendar from the
+//! current day, taking events that fall within the day's current year;
+//! enqueue and dequeue are O(1) amortized when the bucket width matches
+//! the event-time density, which the structure maintains by resizing and
+//! re-estimating the width as the population grows and shrinks.
+//!
+//! For the cluster simulator's workloads the binary heap in
+//! [`crate::queue`] is typically faster in practice (its constants are
+//! tiny and event populations are small); the calendar queue is provided
+//! for large-population models and benchmarked against the heap in
+//! `hetsched-bench`'s `event_queue` bench. Same determinism contract:
+//! equal timestamps dequeue in insertion order.
+
+use crate::time::SimTime;
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+/// Brown's calendar queue with FIFO tie-breaking.
+///
+/// The day an event belongs to is always computed by the same integer
+/// expression (`⌊t / width⌋`), for both placement and retrieval — a
+/// subtle necessity: comparing times against `(day+1)·width` directly
+/// can disagree with the placement rounding at day boundaries and strand
+/// events for a whole extra year.
+pub struct CalendarQueue<E> {
+    /// Buckets, each sorted ascending by (time, seq).
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Width of one day in simulated seconds.
+    width: f64,
+    /// Virtual day the dequeue cursor is on.
+    cur_day: u64,
+    /// Priority of the last dequeued event (dequeues below this would
+    /// violate monotonicity and indicate a bug).
+    last_time: f64,
+    len: usize,
+    next_seq: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty calendar with a small initial layout.
+    pub fn new() -> Self {
+        Self::with_layout(2, 1.0, 0.0)
+    }
+
+    fn with_layout(nbuckets: usize, width: f64, start: f64) -> Self {
+        let mut q = CalendarQueue {
+            buckets: Vec::new(),
+            width,
+            cur_day: 0,
+            last_time: start,
+            len: 0,
+            next_seq: 0,
+        };
+        q.buckets.resize_with(nbuckets, Vec::new);
+        q.cur_day = q.day_of(start);
+        q
+    }
+
+    #[inline]
+    fn day_of(&self, time: f64) -> u64 {
+        (time / self.width) as u64
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `payload` at `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        let t = time.as_secs();
+        let entry = Entry {
+            time: t,
+            seq: self.next_seq,
+            payload,
+        };
+        self.next_seq += 1;
+        self.insert(entry);
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() {
+            self.resize(2 * self.buckets.len());
+        }
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        let n = self.buckets.len();
+        let idx = (self.day_of(entry.time) % n as u64) as usize;
+        let bucket = &mut self.buckets[idx];
+        // Sorted insert by (time, seq); buckets are short when the width
+        // is well tuned, so the linear search from the back (newest
+        // events usually go last) is cheap.
+        let pos = bucket
+            .iter()
+            .rposition(|e| (e.time, e.seq) <= (entry.time, entry.seq))
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        bucket.insert(pos, entry);
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        // Walk at most one full year from the cursor. An event belongs to
+        // the cursor's day iff its day index matches (`<=` also scoops up
+        // any event from an already-passed day, which cannot be earlier
+        // than the last pop by construction).
+        for _ in 0..n {
+            let bucket_idx = (self.cur_day % n as u64) as usize;
+            let head_due = self.buckets[bucket_idx]
+                .first()
+                .is_some_and(|e| self.day_of(e.time) <= self.cur_day);
+            if head_due {
+                let entry = self.buckets[bucket_idx].remove(0);
+                self.len -= 1;
+                debug_assert!(
+                    entry.time >= self.last_time - 1e-9,
+                    "calendar went backwards"
+                );
+                self.last_time = entry.time;
+                if self.len < self.buckets.len() / 2 && self.buckets.len() > 2 {
+                    self.resize(self.buckets.len() / 2);
+                }
+                return Some((SimTime::new(entry.time.max(0.0)), entry.payload));
+            }
+            self.cur_day += 1;
+        }
+        // A whole year was empty: the next event is far away — jump the
+        // cursor directly to the global minimum.
+        let (bi, t) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.first().map(|e| (i, e.time)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("len > 0 implies a head exists");
+        self.cur_day = self.day_of(t);
+        let entry = self.buckets[bi].remove(0);
+        self.len -= 1;
+        self.last_time = entry.time;
+        Some((SimTime::new(entry.time.max(0.0)), entry.payload))
+    }
+
+    /// Rebuilds the calendar with `nbuckets` buckets and a re-estimated
+    /// width.
+    fn resize(&mut self, nbuckets: usize) {
+        let width = self.estimate_width();
+        let mut old = std::mem::take(&mut self.buckets);
+        self.buckets.resize_with(nbuckets, Vec::new);
+        self.width = width;
+        self.cur_day = self.day_of(self.last_time);
+        for bucket in &mut old {
+            for entry in bucket.drain(..) {
+                self.insert(entry);
+            }
+        }
+    }
+
+    /// Brown's width heuristic: sample events near the head and use a
+    /// multiple of their average separation.
+    fn estimate_width(&self) -> f64 {
+        let mut sample: Vec<f64> = Vec::with_capacity(32);
+        for bucket in &self.buckets {
+            for e in bucket {
+                sample.push(e.time);
+                if sample.len() >= 32 {
+                    break;
+                }
+            }
+            if sample.len() >= 32 {
+                break;
+            }
+        }
+        if sample.len() < 2 {
+            return self.width.max(1e-12);
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let span = sample.last().expect("non-empty") - sample[0];
+        let avg_gap = span / (sample.len() - 1) as f64;
+        if avg_gap <= 0.0 {
+            self.width.max(1e-12)
+        } else {
+            3.0 * avg_gap
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+    use crate::rng::Rng64;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..50 {
+            q.schedule(t(7.0), i);
+        }
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn sparse_events_trigger_year_jump() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(0.5), "near");
+        q.schedule(t(1.0e6), "far");
+        assert_eq!(q.pop().unwrap().1, "near");
+        // The far event lies many years ahead of the cursor.
+        assert_eq!(q.pop().unwrap().1, "far");
+    }
+
+    #[test]
+    fn growth_and_shrink_preserve_content() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u32 {
+            q.schedule(t(i as f64 * 0.1), i);
+        }
+        assert_eq!(q.len(), 1000);
+        for i in 0..1000u32 {
+            let (_, v) = q.pop().expect("present");
+            assert_eq!(v, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_hold_pattern() {
+        // Pop one, push one — the DES steady state.
+        let mut q = CalendarQueue::new();
+        let mut rng = Rng64::from_seed(3);
+        for i in 0..64u32 {
+            q.schedule(t(rng.next_f64() * 10.0), i);
+        }
+        let mut last = 0.0;
+        for _ in 0..10_000 {
+            let (time, v) = q.pop().expect("non-empty");
+            assert!(time.as_secs() >= last);
+            last = time.as_secs();
+            q.schedule(time.after(rng.next_f64() * 10.0), v);
+        }
+    }
+
+    #[test]
+    fn differential_against_binary_heap() {
+        // Same random schedule through both structures must produce the
+        // same (time, payload) sequence — including FIFO tie-breaks.
+        let mut rng = Rng64::from_seed(9);
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        // Mixed workload: bursts of ties, uniform spread, long gaps.
+        for i in 0..5_000u32 {
+            let time = match i % 3 {
+                0 => (rng.next_f64() * 100.0).floor(), // heavy ties
+                1 => rng.next_f64() * 1000.0,
+                _ => rng.next_f64() * 10.0 + 5_000.0,
+            };
+            cal.schedule(t(time), i);
+            heap.schedule(t(time), i);
+        }
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some((ct, cv)), Some(h)) => {
+                    assert_eq!(ct, h.time, "times diverge");
+                    assert_eq!(cv, h.payload, "payloads diverge at {ct}");
+                }
+                (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_events() {
+        let mut q = CalendarQueue::new();
+        q.schedule(t(0.0), "z");
+        assert_eq!(q.pop().unwrap().1, "z");
+    }
+}

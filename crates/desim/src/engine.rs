@@ -1,0 +1,354 @@
+//! Simulation engine: the event loop.
+//!
+//! [`Engine`] owns the clock and the future-event list; an [`Actor`] is the
+//! user's model. The engine pops the earliest event, advances the clock to
+//! its timestamp, and calls [`Actor::handle`] with a [`Scheduler`] facade
+//! through which the model schedules follow-up events (and may cancel
+//! pending ones or stop the run).
+//!
+//! The loop guarantees:
+//!
+//! * the clock never moves backwards;
+//! * simultaneous events are delivered in scheduling order;
+//! * `run_until(t)` delivers every event with timestamp `<= t` and leaves
+//!   the clock at exactly `t`, so time-weighted statistics can be closed
+//!   out at the horizon.
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::SimTime;
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon passed to [`Engine::run_until`] was reached.
+    HorizonReached,
+    /// The actor called [`Scheduler::stop`].
+    Stopped,
+}
+
+/// Scheduling facade handed to the actor during event handling.
+///
+/// Borrowing the queue through this facade (instead of the whole engine)
+/// lets the actor schedule and cancel while the engine iterates.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` seconds from now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        self.queue.schedule(self.now.after(delay), payload)
+    }
+
+    /// Schedules `payload` at an absolute time (must not be in the past).
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the current clock.
+    #[inline]
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.queue.schedule(time, payload)
+    }
+
+    /// Cancels a pending event; returns `true` if it was live.
+    #[inline]
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Requests that the run loop return after this event is handled.
+    #[inline]
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// The model: receives every event in timestamp order.
+pub trait Actor<E> {
+    /// Handles one event at time `now`.
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>);
+}
+
+// Closures can serve as throwaway actors in tests and examples.
+impl<E, F> Actor<E> for F
+where
+    F: FnMut(SimTime, E, &mut Scheduler<'_, E>),
+{
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>) {
+        self(now, event, sched)
+    }
+}
+
+/// The discrete-event engine: clock + future-event list + run loop.
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at zero and an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an engine with a pre-allocated event queue.
+    pub fn with_capacity(cap: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(cap),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event before the run starts (or between runs).
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past ({time} < {})",
+            self.now
+        );
+        self.queue.schedule(time, payload)
+    }
+
+    /// Schedules an event `delay` seconds from the current clock.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        self.queue.schedule(self.now.after(delay), payload)
+    }
+
+    /// Number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Number of events ever delivered to an actor.
+    pub fn processed_total(&self) -> u64 {
+        self.queue.popped_total()
+    }
+
+    /// Runs until the queue drains or the actor stops the run.
+    pub fn run<A: Actor<E>>(&mut self, actor: &mut A) -> RunOutcome {
+        self.run_inner(actor, None)
+    }
+
+    /// Runs until `horizon`, delivering every event with `time <= horizon`.
+    ///
+    /// On return the clock equals `horizon` unless the actor stopped the
+    /// run early (then it equals the stop event's timestamp).
+    pub fn run_until<A: Actor<E>>(&mut self, actor: &mut A, horizon: SimTime) -> RunOutcome {
+        self.run_inner(actor, Some(horizon))
+    }
+
+    fn run_inner<A: Actor<E>>(&mut self, actor: &mut A, horizon: Option<SimTime>) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            // Respect the horizon before popping, so events beyond it stay
+            // queued for a potential continuation run.
+            if let Some(h) = horizon {
+                match self.queue.peek_time() {
+                    Some(t) if t <= h => {}
+                    _ => {
+                        self.now = h.max(self.now);
+                        return RunOutcome::HorizonReached;
+                    }
+                }
+            }
+            let Some(ev) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            debug_assert!(ev.time >= self.now, "event queue delivered out of order");
+            self.now = ev.time;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: self.now,
+                stop: &mut stop,
+            };
+            actor.handle(ev.time, ev.payload, &mut sched);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone_and_events_ordered() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::new(2.0), 2u32);
+        engine.schedule_at(SimTime::new(1.0), 1u32);
+        engine.schedule_at(SimTime::new(3.0), 3u32);
+        let mut seen = Vec::new();
+        let outcome = engine.run(&mut |now: SimTime, ev: u32, _: &mut Scheduler<u32>| {
+            seen.push((now.as_secs(), ev));
+        });
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(seen, vec![(1.0, 1), (2.0, 2), (3.0, 3)]);
+    }
+
+    #[test]
+    fn actor_can_schedule_followups() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0u32);
+        let mut count = 0u32;
+        engine.run(&mut |_now: SimTime, ev: u32, sched: &mut Scheduler<u32>| {
+            count += 1;
+            if ev < 5 {
+                sched.schedule_in(1.0, ev + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(engine.now().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut count = 0u32;
+        let outcome = engine.run_until(
+            &mut |_now: SimTime, _: (), sched: &mut Scheduler<()>| {
+                count += 1;
+                sched.schedule_in(1.0, ());
+            },
+            SimTime::new(10.5),
+        );
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        // Events at t = 0, 1, ..., 10 fire; t = 11 stays queued.
+        assert_eq!(count, 11);
+        assert_eq!(engine.now().as_secs(), 10.5);
+    }
+
+    #[test]
+    fn horizon_event_inclusive() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::new(5.0), ());
+        let mut fired = false;
+        engine.run_until(
+            &mut |_: SimTime, _: (), _: &mut Scheduler<()>| fired = true,
+            SimTime::new(5.0),
+        );
+        assert!(fired, "event exactly at the horizon must fire");
+    }
+
+    #[test]
+    fn continuation_after_horizon() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::new(1.0), 1u32);
+        engine.schedule_at(SimTime::new(3.0), 3u32);
+        let mut seen = Vec::new();
+        engine.run_until(
+            &mut |_: SimTime, ev: u32, _: &mut Scheduler<u32>| seen.push(ev),
+            SimTime::new(2.0),
+        );
+        assert_eq!(seen, vec![1]);
+        assert_eq!(engine.now().as_secs(), 2.0);
+        engine.run(&mut |_: SimTime, ev: u32, _: &mut Scheduler<u32>| seen.push(ev));
+        assert_eq!(seen, vec![1, 3]);
+    }
+
+    #[test]
+    fn stop_ends_run_immediately() {
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::new(i as f64), i);
+        }
+        let mut seen = Vec::new();
+        let outcome = engine.run(&mut |_: SimTime, ev: i32, sched: &mut Scheduler<i32>| {
+            seen.push(ev);
+            if ev == 3 {
+                sched.stop();
+            }
+        });
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(engine.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn cancel_from_actor() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, "start");
+        let victim = engine.schedule_at(SimTime::new(2.0), "victim");
+        let mut seen: Vec<String> = Vec::new();
+        engine.run(&mut |_: SimTime, ev: &str, sched: &mut Scheduler<&str>| {
+            seen.push(ev.to_owned());
+            if ev == "start" {
+                assert!(sched.cancel(victim));
+            }
+        });
+        assert_eq!(seen, vec!["start".to_owned()]);
+    }
+
+    #[test]
+    fn empty_run_drains() {
+        let mut engine: Engine<()> = Engine::new();
+        assert_eq!(
+            engine.run(&mut |_: SimTime, _: (), _: &mut Scheduler<()>| {}),
+            RunOutcome::Drained
+        );
+        assert_eq!(engine.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_advances_clock() {
+        let mut engine: Engine<()> = Engine::new();
+        let outcome = engine.run_until(
+            &mut |_: SimTime, _: (), _: &mut Scheduler<()>| {},
+            SimTime::new(7.0),
+        );
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(engine.now().as_secs(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::new(5.0), ());
+        engine.run(&mut |_: SimTime, _: (), _: &mut Scheduler<()>| {});
+        engine.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn processed_counter() {
+        let mut engine = Engine::new();
+        for i in 0..5 {
+            engine.schedule_at(SimTime::new(i as f64), ());
+        }
+        engine.run(&mut |_: SimTime, _: (), _: &mut Scheduler<()>| {});
+        assert_eq!(engine.processed_total(), 5);
+        assert_eq!(engine.scheduled_total(), 5);
+    }
+}

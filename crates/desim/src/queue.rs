@@ -1,0 +1,334 @@
+//! Future-event list.
+//!
+//! [`EventQueue`] stores `(time, payload)` pairs and pops them in
+//! non-decreasing time order. Two events with identical timestamps pop in
+//! the order they were scheduled (FIFO), which keeps runs bit-for-bit
+//! deterministic — a prerequisite for the paper's "10 independent runs"
+//! methodology, where the *only* source of variation between replications
+//! must be the random seed.
+//!
+//! ## Cancellation
+//!
+//! Two idioms are supported:
+//!
+//! 1. **Lazy deletion** — [`EventQueue::cancel`] marks an [`EventId`];
+//!    the entry is discarded when it reaches the top of the heap. O(1) per
+//!    cancellation, no heap restructuring.
+//! 2. **Epoch filtering** (recommended for high-churn timers such as
+//!    processor-sharing completion estimates) — the *model* stamps each
+//!    timer with an epoch counter and ignores stale firings. This avoids
+//!    touching the queue entirely; the cluster crate uses it for server
+//!    completion events, which are invalidated by every arrival.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event popped from the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The identifier it was scheduled under.
+    pub id: EventId,
+    /// The user payload.
+    pub payload: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) is the greatest element.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list: a binary heap ordered by `(time, insertion order)`.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    scheduled_total: u64,
+    popped_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the id was live (scheduled and neither popped nor
+    /// already cancelled). Cancellation is lazy: the entry stays in the
+    /// heap until it surfaces, then is skipped.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false; // never scheduled
+        }
+        // We cannot cheaply know whether it was already popped; track only
+        // pending ids in `cancelled` and let pop() clean up.
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue; // skip cancelled entries
+            }
+            self.popped_total += 1;
+            return Some(ScheduledEvent {
+                time: entry.time,
+                id: entry.id,
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Purge cancelled heads so the answer reflects a live event.
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.id) {
+                let popped = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&popped.id);
+            } else {
+                return Some(head.time);
+            }
+        }
+        None
+    }
+
+    /// Number of entries currently in the heap (including not-yet-purged
+    /// cancelled entries).
+    // `is_empty` needs `&mut self` to purge cancelled heads, which clippy
+    // flags against this `len`; the asymmetry is intentional.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no live events remain.
+    ///
+    /// Takes `&mut self` (unlike the convention clippy expects next to
+    /// `len`) because answering correctly requires purging cancelled
+    /// entries from the heap top; `len` deliberately counts those
+    /// entries, as documented.
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever popped (excluding cancelled ones).
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn interleaved_times_and_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), "a1");
+        q.schedule(t(2.0), "b1");
+        q.schedule(t(1.0), "a2");
+        q.schedule(t(2.0), "b2");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a1", "a2", "b1", "b2"]);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_sees_earliest_live() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.cancel(a);
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
+    }
+
+    #[test]
+    fn large_random_order_is_sorted() {
+        use crate::rng::Rng64;
+        let mut rng = Rng64::from_seed(11);
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.schedule(t(rng.next_f64() * 1e6), i);
+        }
+        let mut last = 0.0;
+        while let Some(ev) = q.pop() {
+            assert!(ev.time.as_secs() >= last);
+            last = ev.time.as_secs();
+        }
+    }
+
+    #[test]
+    fn stress_with_random_cancellation() {
+        use crate::rng::Rng64;
+        let mut rng = Rng64::from_seed(12);
+        let mut q = EventQueue::new();
+        let mut live = 0usize;
+        let mut ids = Vec::new();
+        for i in 0..5_000u32 {
+            let id = q.schedule(t(rng.next_f64() * 100.0), i);
+            ids.push(id);
+            live += 1;
+            if rng.chance(0.3) {
+                let idx = rng.below(ids.len() as u64) as usize;
+                if q.cancel(ids[idx]) {
+                    live -= 1;
+                }
+            }
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, live);
+    }
+}

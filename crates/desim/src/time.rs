@@ -1,0 +1,245 @@
+//! Simulation time.
+//!
+//! [`SimTime`] wraps an `f64` number of simulated seconds. The wrapper
+//! guarantees the value is finite and non-negative, which in turn makes the
+//! total order required by the future-event list sound (no NaN can enter the
+//! heap). Simulated seconds are the unit used throughout the paper: job
+//! sizes are "completion time ... on an idle machine with relative speed 1"
+//! in seconds, inter-arrival times are in seconds, and the horizon is
+//! `4.0e6` seconds.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the run.
+///
+/// `SimTime` is `Copy`, totally ordered, and can only hold finite,
+/// non-negative values; constructors panic (in debug *and* release builds)
+/// on violations, because a corrupted clock silently invalidates every
+/// statistic collected afterwards.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a timestamp from a number of seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN, infinite, or negative.
+    #[inline]
+    pub fn new(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// The timestamp as a raw number of seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The delay from `self` until `later`.
+    ///
+    /// # Panics
+    /// Panics if `later` precedes `self`.
+    #[inline]
+    pub fn delta_to(self, later: SimTime) -> f64 {
+        assert!(
+            later.0 >= self.0,
+            "delta_to requires later >= self ({} < {})",
+            later.0,
+            self.0
+        );
+        later.0 - self.0
+    }
+
+    /// Returns `self + delay` seconds.
+    ///
+    /// # Panics
+    /// Panics if `delay` is NaN or negative (scheduling into the past is a
+    /// model bug that the kernel refuses to mask).
+    #[inline]
+    pub fn after(self, delay: f64) -> SimTime {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and non-negative, got {delay}"
+        );
+        SimTime(self.0 + delay)
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite by construction, so partial_cmp
+        // cannot fail.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime is always finite")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: f64) -> SimTime {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        *self = self.after(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        rhs.delta_to(self)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({}s)", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl From<SimTime> for f64 {
+    #[inline]
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn after_adds_delay() {
+        let t = SimTime::new(5.0).after(2.5);
+        assert_eq!(t.as_secs(), 7.5);
+    }
+
+    #[test]
+    fn add_and_sub_operators() {
+        let t = SimTime::new(1.0) + 2.0;
+        assert_eq!(t.as_secs(), 3.0);
+        assert_eq!(t - SimTime::new(1.0), 2.0);
+        let mut u = SimTime::ZERO;
+        u += 4.0;
+        assert_eq!(u.as_secs(), 4.0);
+    }
+
+    #[test]
+    fn delta_to_measures_gap() {
+        let a = SimTime::new(10.0);
+        let b = SimTime::new(12.5);
+        assert_eq!(a.delta_to(b), 2.5);
+        assert_eq!(a.delta_to(a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_infinity() {
+        SimTime::new(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn rejects_negative_delay() {
+        SimTime::new(1.0).after(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "later >= self")]
+    fn rejects_backwards_delta() {
+        SimTime::new(2.0).delta_to(SimTime::new(1.0));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::new(1.5)), "1.500000s");
+        assert_eq!(format!("{:?}", SimTime::new(1.5)), "SimTime(1.5s)");
+    }
+
+    #[test]
+    fn conversion_to_f64() {
+        let x: f64 = SimTime::new(3.25).into();
+        assert_eq!(x, 3.25);
+    }
+}

@@ -1,0 +1,217 @@
+//! Arrival processes: stateful generators of inter-arrival times.
+//!
+//! The paper's simulator uses an i.i.d. (renewal) hyperexponential arrival
+//! process with CV = 3. [`IidArrivals`] wraps any [`Sample`]+[`Moments`]
+//! distribution into such a process. [`MmppArrivals`] is a two-state
+//! Markov-modulated Poisson process used by the burstiness ablation — it
+//! models an "on/off" load pattern closer to Zhou's measured trace, with
+//! *correlated* inter-arrival times, something no renewal process can
+//! express.
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{Moments, Sample};
+
+/// A stream of inter-arrival gaps.
+pub trait ArrivalProcess {
+    /// Draws the gap until the next arrival.
+    fn next_interarrival(&mut self, rng: &mut Rng64) -> f64;
+
+    /// Long-run arrival rate (jobs per second).
+    fn mean_rate(&self) -> f64;
+}
+
+/// Renewal process: gaps drawn i.i.d. from `D`.
+#[derive(Debug, Clone)]
+pub struct IidArrivals<D> {
+    dist: D,
+}
+
+impl<D: Sample + Moments> IidArrivals<D> {
+    /// Wraps a distribution into a renewal arrival process.
+    pub fn new(dist: D) -> Self {
+        IidArrivals { dist }
+    }
+
+    /// The underlying gap distribution.
+    pub fn dist(&self) -> &D {
+        &self.dist
+    }
+}
+
+impl<D: Sample + Moments> ArrivalProcess for IidArrivals<D> {
+    #[inline]
+    fn next_interarrival(&mut self, rng: &mut Rng64) -> f64 {
+        self.dist.sample(rng)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        1.0 / self.dist.mean()
+    }
+}
+
+/// Two-state Markov-modulated Poisson process.
+///
+/// The process alternates between a *calm* state 0 and a *bursty* state 1.
+/// In state `s` arrivals are Poisson with rate `arrival_rate[s]`, and the
+/// sojourn in the state is exponential with rate `switch_rate[s]`. The
+/// stationary probability of state `s` is proportional to the mean sojourn
+/// `1 / switch_rate[s]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MmppArrivals {
+    arrival_rate: [f64; 2],
+    switch_rate: [f64; 2],
+    state: usize,
+}
+
+impl MmppArrivals {
+    /// Creates an MMPP from per-state arrival and switch rates, starting in
+    /// the calm state.
+    ///
+    /// # Panics
+    /// Panics unless all rates are positive and finite.
+    pub fn new(arrival_rate: [f64; 2], switch_rate: [f64; 2]) -> Self {
+        for &r in arrival_rate.iter().chain(switch_rate.iter()) {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "MMPP rates must be positive and finite, got {r}"
+            );
+        }
+        MmppArrivals {
+            arrival_rate,
+            switch_rate,
+            state: 0,
+        }
+    }
+
+    /// Builds a bursty process with a target overall rate.
+    ///
+    /// `burst_factor > 1` is the ratio of the bursty state's rate to the
+    /// calm state's rate; `frac_bursty ∈ (0, 1)` is the stationary fraction
+    /// of time spent bursting; `cycle` is the mean calm+burst cycle length
+    /// in seconds (controls correlation time).
+    pub fn with_rate(rate: f64, burst_factor: f64, frac_bursty: f64, cycle: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+        assert!(burst_factor > 1.0, "burst_factor must exceed 1");
+        assert!(
+            (0.0..1.0).contains(&frac_bursty) && frac_bursty > 0.0,
+            "frac_bursty must lie in (0,1), got {frac_bursty}"
+        );
+        assert!(cycle > 0.0 && cycle.is_finite(), "cycle must be positive");
+        // rate = (1−f)·r0 + f·b·r0  ⇒  r0 = rate / (1 − f + f·b)
+        let r0 = rate / (1.0 - frac_bursty + frac_bursty * burst_factor);
+        let r1 = burst_factor * r0;
+        // Mean sojourns: calm (1−f)·cycle, bursty f·cycle.
+        let q0 = 1.0 / ((1.0 - frac_bursty) * cycle);
+        let q1 = 1.0 / (frac_bursty * cycle);
+        MmppArrivals::new([r0, r1], [q0, q1])
+    }
+
+    /// Current modulation state (0 = calm, 1 = bursty).
+    pub fn state(&self) -> usize {
+        self.state
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn next_interarrival(&mut self, rng: &mut Rng64) -> f64 {
+        // Competing exponentials: in the current state, the next arrival
+        // races the next state switch; accumulate switch epochs until an
+        // arrival wins.
+        let mut gap = 0.0;
+        loop {
+            let t_arr = rng.exponential(self.arrival_rate[self.state]);
+            let t_sw = rng.exponential(self.switch_rate[self.state]);
+            if t_arr <= t_sw {
+                return gap + t_arr;
+            }
+            gap += t_sw;
+            self.state ^= 1;
+        }
+    }
+
+    fn mean_rate(&self) -> f64 {
+        // Stationary weights ∝ mean sojourn times.
+        let w0 = 1.0 / self.switch_rate[0];
+        let w1 = 1.0 / self.switch_rate[1];
+        (w0 * self.arrival_rate[0] + w1 * self.arrival_rate[1]) / (w0 + w1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::hyperexp::Hyperexp2;
+
+    fn empirical_rate_and_cv(proc_: &mut dyn ArrivalProcess, seed: u64, n: usize) -> (f64, f64) {
+        let mut rng = Rng64::from_seed(seed);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let g = proc_.next_interarrival(&mut rng);
+            sum += g;
+            sumsq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = (sumsq / n as f64 - mean * mean).max(0.0);
+        (1.0 / mean, var.sqrt() / mean)
+    }
+
+    #[test]
+    fn iid_exponential_rate() {
+        let mut p = IidArrivals::new(Exponential::from_mean(2.0));
+        assert_eq!(p.mean_rate(), 0.5);
+        let (rate, cv) = empirical_rate_and_cv(&mut p, 1, 200_000);
+        assert!((rate - 0.5).abs() < 0.01, "rate {rate}");
+        assert!((cv - 1.0).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn iid_hyperexp_has_target_cv() {
+        let mut p = IidArrivals::new(Hyperexp2::from_mean_cv(2.2, 3.0));
+        let (rate, cv) = empirical_rate_and_cv(&mut p, 2, 500_000);
+        assert!((rate - 1.0 / 2.2).abs() / (1.0 / 2.2) < 0.02, "rate {rate}");
+        assert!((cv - 3.0).abs() < 0.15, "cv {cv}");
+    }
+
+    #[test]
+    fn mmpp_hits_target_rate() {
+        let mut p = MmppArrivals::with_rate(0.5, 10.0, 0.2, 100.0);
+        assert!((p.mean_rate() - 0.5).abs() < 1e-12);
+        let (rate, _) = empirical_rate_and_cv(&mut p, 3, 500_000);
+        assert!((rate - 0.5).abs() / 0.5 < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        let mut p = MmppArrivals::with_rate(0.5, 20.0, 0.1, 200.0);
+        let (_, cv) = empirical_rate_and_cv(&mut p, 4, 500_000);
+        assert!(cv > 1.3, "MMPP inter-arrival CV should exceed 1, got {cv}");
+    }
+
+    #[test]
+    fn mmpp_state_switches() {
+        let mut p = MmppArrivals::with_rate(1.0, 5.0, 0.3, 10.0);
+        let mut rng = Rng64::from_seed(5);
+        let mut seen = [false; 2];
+        for _ in 0..10_000 {
+            p.next_interarrival(&mut rng);
+            seen[p.state()] = true;
+        }
+        assert!(seen[0] && seen[1], "both states should be visited");
+    }
+
+    #[test]
+    #[should_panic(expected = "burst_factor must exceed 1")]
+    fn mmpp_rejects_flat_burst() {
+        MmppArrivals::with_rate(1.0, 1.0, 0.5, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn mmpp_rejects_zero_rate() {
+        MmppArrivals::new([0.0, 1.0], [1.0, 1.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Empirical distribution: replay measured data.
+//!
+//! The paper motivates its hyperexponential arrivals with Zhou's measured
+//! trace; a production scheduler would calibrate against *its own*
+//! measurements. [`Empirical`] wraps a sample of observations (e.g. job
+//! sizes exported from a `hetsched-cluster` trace capture, or real
+//! accounting logs) and samples from the piecewise-linear
+//! interpolation of its empirical CDF — a continuous distribution whose
+//! moments converge to the sample's.
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{Moments, Sample};
+
+/// A continuous distribution fitted to observed data (linearly
+/// interpolated empirical CDF).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Empirical {
+    /// Sorted observations.
+    sorted: Vec<f64>,
+    mean: f64,
+    second_moment: f64,
+}
+
+impl Empirical {
+    /// Fits the distribution to `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer than 2 points or contains non-finite /
+    /// negative values (workload quantities are non-negative).
+    pub fn fit(data: &[f64]) -> Self {
+        assert!(data.len() >= 2, "need at least 2 observations");
+        assert!(
+            data.iter().all(|&x| x.is_finite() && x >= 0.0),
+            "observations must be finite and non-negative"
+        );
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let second_moment = sorted.iter().map(|x| x * x).sum::<f64>() / n;
+        Empirical {
+            sorted,
+            mean,
+            second_moment,
+        }
+    }
+
+    /// Number of fitted observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a fitted instance).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile of the interpolated CDF, `0 ≤ q ≤ 1`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let n = self.sorted.len();
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+}
+
+impl Sample for Empirical {
+    /// Inverse-CDF sampling with linear interpolation between order
+    /// statistics.
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        self.quantile(rng.next_f64())
+    }
+}
+
+impl Moments for Empirical {
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn second_moment(&self) -> f64 {
+        self.second_moment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::Exponential;
+    use crate::testutil::check_moments;
+
+    #[test]
+    fn fits_and_reports_sample_moments() {
+        let e = Empirical::fit(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.mean(), 2.5);
+        assert_eq!(e.second_moment(), 7.5);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let e = Empirical::fit(&[0.0, 10.0]);
+        assert_eq!(e.quantile(0.0), 0.0);
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Empirical::fit(&[3.0, 1.0, 2.0]);
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(1.0), 3.0);
+    }
+
+    #[test]
+    fn samples_stay_within_range() {
+        let e = Empirical::fit(&[5.0, 7.0, 9.0]);
+        let mut rng = Rng64::from_seed(1);
+        for _ in 0..10_000 {
+            let x = e.sample(&mut rng);
+            assert!((5.0..=9.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_sample_moments() {
+        // Fit against a big exponential sample; the empirical
+        // distribution's draws must reproduce the fitted moments.
+        let mut rng = Rng64::from_seed(2);
+        let gen = Exponential::from_mean(3.0);
+        let data: Vec<f64> = (0..20_000).map(|_| gen.sample(&mut rng)).collect();
+        let e = Empirical::fit(&data);
+        assert!((e.mean() - 3.0).abs() < 0.1);
+        check_moments(&e, 3, 200_000, 0.02, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_sample() {
+        Empirical::fit(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_data() {
+        Empirical::fit(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Exponential distribution.
+//!
+//! The building block of the paper's analytic model: M/M/1 queues assume
+//! exponential service and inter-arrival times. In the simulator it serves
+//! as the light-tailed reference job-size distribution in the
+//! size-variability ablation and as the network-delay model for the dynamic
+//! policy's load-update messages (mean 0.05 s, §4.2).
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{Moments, Sample};
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// From the rate parameter.
+    ///
+    /// # Panics
+    /// Panics unless `rate > 0` and finite.
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        Exponential { rate }
+    }
+
+    /// From the mean (`rate = 1/mean`).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Sample for Exponential {
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        rng.exponential(self.rate)
+    }
+}
+
+impl Moments for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn second_moment(&self) -> f64 {
+        2.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_moments;
+
+    #[test]
+    fn analytic_moments() {
+        let d = Exponential::from_mean(4.0);
+        assert_eq!(d.mean(), 4.0);
+        assert_eq!(d.variance(), 16.0);
+        assert!((d.cv() - 1.0).abs() < 1e-12);
+        assert!((d.scv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rate_and_mean_agree() {
+        let a = Exponential::from_rate(0.5);
+        let b = Exponential::from_mean(2.0);
+        assert_eq!(a, b);
+        assert_eq!(a.rate(), 0.5);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        check_moments(&Exponential::from_mean(3.0), 101, 200_000, 0.01, 0.02);
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let d = Exponential::from_mean(1.0);
+        let mut rng = Rng64::from_seed(5);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_rate() {
+        Exponential::from_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_negative_mean() {
+        Exponential::from_mean(-1.0);
+    }
+}

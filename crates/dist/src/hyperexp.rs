@@ -1,0 +1,176 @@
+//! Two-stage hyperexponential distribution `H2`.
+//!
+//! The paper models job inter-arrival times as a two-stage hyperexponential
+//! with CV = 3.0 (§4.1), citing Zhou's trace whose inter-arrival CV is 2.64
+//! — "far from Poisson". An `H2` draw picks branch 1 with probability `p`
+//! (exponential with rate `r1`), otherwise branch 2 (rate `r2`); with two
+//! rates it can realize any CV ≥ 1.
+//!
+//! [`Hyperexp2::from_mean_cv`] uses the standard *balanced-means*
+//! construction (each branch contributes half the mean, cf. Kleinrock):
+//!
+//! ```text
+//! p  = (1 + sqrt((c² − 1) / (c² + 1))) / 2
+//! r1 = 2p / m,   r2 = 2(1 − p) / m
+//! ```
+//!
+//! which yields exactly mean `m` and coefficient of variation `c`.
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{Moments, Sample};
+
+/// Two-stage hyperexponential: branch 1 w.p. `p` (rate `r1`), else branch 2
+/// (rate `r2`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hyperexp2 {
+    p: f64,
+    r1: f64,
+    r2: f64,
+}
+
+impl Hyperexp2 {
+    /// From explicit branch parameters.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1` and both rates are positive and finite.
+    pub fn new(p: f64, r1: f64, r2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "branch probability {p} ∉ [0,1]");
+        assert!(
+            r1.is_finite() && r1 > 0.0 && r2.is_finite() && r2 > 0.0,
+            "branch rates must be positive and finite, got {r1}, {r2}"
+        );
+        Hyperexp2 { p, r1, r2 }
+    }
+
+    /// Balanced-means construction for a target mean and CV.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `cv ≥ 1` (an H2 cannot realize CV < 1).
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive and finite, got {mean}"
+        );
+        assert!(
+            cv.is_finite() && cv >= 1.0,
+            "hyperexponential requires cv >= 1, got {cv}"
+        );
+        let c2 = cv * cv;
+        let delta = ((c2 - 1.0) / (c2 + 1.0)).sqrt();
+        let p = 0.5 * (1.0 + delta);
+        // For cv == 1 this degenerates to p = 1/2 with equal rates — an
+        // ordinary exponential.
+        Hyperexp2 {
+            p,
+            r1: 2.0 * p / mean,
+            r2: 2.0 * (1.0 - p) / mean,
+        }
+    }
+
+    /// Branch-1 probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Branch rates `(r1, r2)`.
+    pub fn rates(&self) -> (f64, f64) {
+        (self.r1, self.r2)
+    }
+}
+
+impl Sample for Hyperexp2 {
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        let rate = if rng.chance(self.p) { self.r1 } else { self.r2 };
+        rng.exponential(rate)
+    }
+}
+
+impl Moments for Hyperexp2 {
+    fn mean(&self) -> f64 {
+        self.p / self.r1 + (1.0 - self.p) / self.r2
+    }
+
+    fn second_moment(&self) -> f64 {
+        2.0 * self.p / (self.r1 * self.r1) + 2.0 * (1.0 - self.p) / (self.r2 * self.r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_moments;
+    use proptest::prelude::*;
+
+    #[test]
+    fn balanced_means_hits_targets() {
+        for &(m, c) in &[(2.2, 3.0), (1.0, 1.0), (76.8, 2.64), (10.0, 5.0)] {
+            let d = Hyperexp2::from_mean_cv(m, c);
+            assert!((d.mean() - m).abs() / m < 1e-12, "mean for ({m}, {c})");
+            assert!((d.cv() - c).abs() / c < 1e-12, "cv for ({m}, {c})");
+        }
+    }
+
+    #[test]
+    fn paper_arrival_distribution() {
+        // §3.2 example: hyperexponential arrivals, mean 2.2 s; §4.1: CV 3.
+        let d = Hyperexp2::from_mean_cv(2.2, 3.0);
+        assert!((d.mean() - 2.2).abs() < 1e-12);
+        assert!((d.cv() - 3.0).abs() < 1e-12);
+        // Each branch carries half the mean (balanced means).
+        let (r1, r2) = d.rates();
+        let half1 = d.p() / r1;
+        let half2 = (1.0 - d.p()) / r2;
+        assert!((half1 - 1.1).abs() < 1e-12);
+        assert!((half2 - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_one_is_exponential() {
+        let d = Hyperexp2::from_mean_cv(4.0, 1.0);
+        let (r1, r2) = d.rates();
+        assert!((r1 - r2).abs() < 1e-12, "rates should coincide at cv=1");
+        assert!((r1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        // High CV needs many samples for the CV estimate to settle.
+        check_moments(&Hyperexp2::from_mean_cv(2.2, 3.0), 202, 400_000, 0.02, 0.05);
+    }
+
+    #[test]
+    fn explicit_constructor_moments() {
+        let d = Hyperexp2::new(0.3, 2.0, 0.5);
+        let mean = 0.3 / 2.0 + 0.7 / 0.5;
+        assert!((d.mean() - mean).abs() < 1e-12);
+        let m2 = 2.0 * 0.3 / 4.0 + 2.0 * 0.7 / 0.25;
+        assert!((d.second_moment() - m2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cv >= 1")]
+    fn rejects_cv_below_one() {
+        Hyperexp2::from_mean_cv(1.0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "∉ [0,1]")]
+    fn rejects_bad_probability() {
+        Hyperexp2::new(1.5, 1.0, 1.0);
+    }
+
+    proptest! {
+        /// The balanced-means construction hits (mean, cv) across the
+        /// parameter space relevant to the experiments.
+        #[test]
+        fn construction_is_exact(m in 0.01f64..1e4, c in 1.0f64..10.0) {
+            let d = Hyperexp2::from_mean_cv(m, c);
+            prop_assert!((d.mean() - m).abs() / m < 1e-9);
+            prop_assert!((d.cv() - c).abs() / c < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&d.p()));
+        }
+    }
+}

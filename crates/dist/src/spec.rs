@@ -1,0 +1,210 @@
+//! Serializable distribution specifications.
+//!
+//! Experiment configurations (and the JSON reports the bench harness
+//! emits) need to name distributions declaratively. [`DistSpec`] is the
+//! serde-friendly description; [`DistSpec::build`] turns it into a
+//! [`BuiltDist`] that implements [`Sample`] and [`Moments`] by enum
+//! dispatch — no trait objects, so the hot sampling path stays inlinable.
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    BoundedPareto, Deterministic, Exponential, Hyperexp2, LogNormal, Moments, Sample, Uniform,
+    Weibull,
+};
+
+/// Declarative description of a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DistSpec {
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean value.
+        mean: f64,
+    },
+    /// Two-stage hyperexponential with the given mean and CV ≥ 1
+    /// (balanced means).
+    Hyperexp2 {
+        /// Mean value.
+        mean: f64,
+        /// Coefficient of variation (≥ 1).
+        cv: f64,
+    },
+    /// Bounded Pareto `B(k, p, α)`.
+    BoundedPareto {
+        /// Lower bound of the support.
+        k: f64,
+        /// Upper bound of the support.
+        p: f64,
+        /// Tail index.
+        alpha: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Point mass.
+    Deterministic {
+        /// The constant value.
+        value: f64,
+    },
+    /// Weibull with target mean and shape.
+    Weibull {
+        /// Mean value.
+        mean: f64,
+        /// Shape parameter (shape < 1 is sub-exponential).
+        shape: f64,
+    },
+    /// Lognormal with target mean and CV.
+    LogNormal {
+        /// Mean value.
+        mean: f64,
+        /// Coefficient of variation.
+        cv: f64,
+    },
+}
+
+impl DistSpec {
+    /// The paper's default job-size distribution (§4.1).
+    pub fn paper_job_sizes() -> Self {
+        DistSpec::BoundedPareto {
+            k: 10.0,
+            p: 21600.0,
+            alpha: 1.0,
+        }
+    }
+
+    /// Materializes the spec into a sampler with analytic moments.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (delegated to the constructor
+    /// of the concrete distribution).
+    pub fn build(self) -> BuiltDist {
+        match self {
+            DistSpec::Exponential { mean } => BuiltDist::Exponential(Exponential::from_mean(mean)),
+            DistSpec::Hyperexp2 { mean, cv } => {
+                BuiltDist::Hyperexp2(Hyperexp2::from_mean_cv(mean, cv))
+            }
+            DistSpec::BoundedPareto { k, p, alpha } => {
+                BuiltDist::BoundedPareto(BoundedPareto::new(k, p, alpha))
+            }
+            DistSpec::Uniform { lo, hi } => BuiltDist::Uniform(Uniform::new(lo, hi)),
+            DistSpec::Deterministic { value } => {
+                BuiltDist::Deterministic(Deterministic::new(value))
+            }
+            DistSpec::Weibull { mean, shape } => {
+                BuiltDist::Weibull(Weibull::from_mean_shape(mean, shape))
+            }
+            DistSpec::LogNormal { mean, cv } => {
+                BuiltDist::LogNormal(LogNormal::from_mean_cv(mean, cv))
+            }
+        }
+    }
+}
+
+/// A materialized [`DistSpec`]: concrete distribution behind enum dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuiltDist {
+    /// See [`Exponential`].
+    Exponential(Exponential),
+    /// See [`Hyperexp2`].
+    Hyperexp2(Hyperexp2),
+    /// See [`BoundedPareto`].
+    BoundedPareto(BoundedPareto),
+    /// See [`Uniform`].
+    Uniform(Uniform),
+    /// See [`Deterministic`].
+    Deterministic(Deterministic),
+    /// See [`Weibull`].
+    Weibull(Weibull),
+    /// See [`LogNormal`].
+    LogNormal(LogNormal),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            BuiltDist::Exponential($inner) => $body,
+            BuiltDist::Hyperexp2($inner) => $body,
+            BuiltDist::BoundedPareto($inner) => $body,
+            BuiltDist::Uniform($inner) => $body,
+            BuiltDist::Deterministic($inner) => $body,
+            BuiltDist::Weibull($inner) => $body,
+            BuiltDist::LogNormal($inner) => $body,
+        }
+    };
+}
+
+impl Sample for BuiltDist {
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        dispatch!(self, d => d.sample(rng))
+    }
+}
+
+impl Moments for BuiltDist {
+    fn mean(&self) -> f64 {
+        dispatch!(self, d => d.mean())
+    }
+
+    fn second_moment(&self) -> f64 {
+        dispatch!(self, d => d.second_moment())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_preserves_moments() {
+        let specs = [
+            DistSpec::Exponential { mean: 3.0 },
+            DistSpec::Hyperexp2 { mean: 2.2, cv: 3.0 },
+            DistSpec::paper_job_sizes(),
+            DistSpec::Uniform { lo: 1.0, hi: 2.0 },
+            DistSpec::Deterministic { value: 7.0 },
+            DistSpec::Weibull {
+                mean: 5.0,
+                shape: 1.5,
+            },
+            DistSpec::LogNormal { mean: 4.0, cv: 2.0 },
+        ];
+        for spec in specs {
+            let d = spec.build();
+            assert!(d.mean() > 0.0, "{spec:?}");
+            assert!(d.second_moment() >= d.mean() * d.mean() - 1e-9, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn paper_job_sizes_mean() {
+        let d = DistSpec::paper_job_sizes().build();
+        assert!((d.mean() - 76.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampling_through_enum() {
+        let d = DistSpec::Deterministic { value: 2.0 }.build();
+        let mut rng = Rng64::from_seed(0);
+        assert_eq!(d.sample(&mut rng), 2.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = DistSpec::Hyperexp2 { mean: 2.2, cv: 3.0 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DistSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn serde_tag_names_are_snake_case() {
+        let json = serde_json::to_string(&DistSpec::paper_job_sizes()).unwrap();
+        assert!(json.contains("\"kind\":\"bounded_pareto\""), "{json}");
+    }
+}

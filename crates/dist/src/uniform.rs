@@ -1,0 +1,99 @@
+//! Continuous uniform distribution `U(lo, hi)`.
+//!
+//! Used by the dynamic least-load model: after a job completes, the
+//! computer takes `U(0,1)` seconds to notice the load change (§4.2).
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::{Moments, Sample};
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates `U(lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "uniform bounds must be finite with lo < hi, got [{lo}, {hi})"
+        );
+        Uniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Sample for Uniform {
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+impl Moments for Uniform {
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn second_moment(&self) -> f64 {
+        // E[X²] = (hi³ − lo³) / (3(hi − lo))
+        (self.hi.powi(3) - self.lo.powi(3)) / (3.0 * (self.hi - self.lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_moments;
+
+    #[test]
+    fn unit_uniform_moments() {
+        let d = Uniform::new(0.0, 1.0);
+        assert_eq!(d.mean(), 0.5);
+        assert!((d.variance() - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_uniform_moments() {
+        let d = Uniform::new(2.0, 6.0);
+        assert_eq!(d.mean(), 4.0);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        check_moments(&Uniform::new(1.0, 3.0), 404, 200_000, 0.005, 0.02);
+    }
+
+    #[test]
+    fn samples_in_bounds() {
+        let d = Uniform::new(-1.0, 1.0);
+        let mut rng = Rng64::from_seed(8);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_empty_interval() {
+        Uniform::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Weibull distribution.
+//!
+//! An extension distribution (not used by the paper directly): with shape
+//! `< 1` the Weibull is sub-exponential and serves as an alternative
+//! heavy-ish-tailed job-size model in the size-variability ablation,
+//! probing whether the ORR ranking depends on the exact Bounded Pareto
+//! shape.
+
+use hetsched_desim::Rng64;
+use serde::{Deserialize, Serialize};
+
+use crate::math::gamma;
+use crate::{Moments, Sample};
+
+/// Weibull distribution with shape `k` and scale `λ`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull with the given shape and scale.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(
+            shape.is_finite() && shape > 0.0 && scale.is_finite() && scale > 0.0,
+            "Weibull parameters must be positive and finite, got shape={shape}, scale={scale}"
+        );
+        Weibull { shape, scale }
+    }
+
+    /// Chooses the scale so that the mean equals `mean` for the given
+    /// shape: `λ = mean / Γ(1 + 1/k)`.
+    pub fn from_mean_shape(mean: f64, shape: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive and finite, got {mean}"
+        );
+        assert!(
+            shape.is_finite() && shape > 0.0,
+            "shape must be positive and finite, got {shape}"
+        );
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        Weibull { shape, scale }
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Sample for Weibull {
+    /// Inverse-CDF sampling: `x = λ (−ln u)^(1/k)`.
+    #[inline]
+    fn sample(&self, rng: &mut Rng64) -> f64 {
+        let u = rng.next_f64_open();
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+}
+
+impl Moments for Weibull {
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    fn second_moment(&self) -> f64 {
+        self.scale * self.scale * gamma(1.0 + 2.0 / self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::check_moments;
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 4.0);
+        assert!((d.mean() - 4.0).abs() < 1e-10);
+        assert!((d.cv() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn from_mean_shape_hits_mean() {
+        for &(m, k) in &[(76.8, 0.5), (10.0, 2.0), (1.0, 0.7)] {
+            let d = Weibull::from_mean_shape(m, k);
+            assert!((d.mean() - m).abs() / m < 1e-10, "mean for ({m}, {k})");
+        }
+    }
+
+    #[test]
+    fn subexponential_shape_has_high_cv() {
+        let d = Weibull::from_mean_shape(1.0, 0.5);
+        // CV for k = 0.5: sqrt(Γ(5)/Γ(3)² − 1) = sqrt(24/4 − 1) = sqrt(5).
+        assert!((d.cv() - 5.0f64.sqrt()).abs() < 1e-9, "cv {}", d.cv());
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        check_moments(
+            &Weibull::from_mean_shape(3.0, 1.5),
+            505,
+            300_000,
+            0.01,
+            0.03,
+        );
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let d = Weibull::new(0.8, 2.0);
+        let mut rng = Rng64::from_seed(12);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_zero_shape() {
+        Weibull::new(0.0, 1.0);
+    }
+}

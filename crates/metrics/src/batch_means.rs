@@ -1,0 +1,176 @@
+//! Batch means for steady-state simulation output.
+//!
+//! Within a single run, consecutive response times are strongly
+//! autocorrelated (they share queueing backlogs), so the naive standard
+//! error of the per-job mean is biased low. The batch-means method groups
+//! the stream into `k` contiguous batches, treats batch averages as
+//! approximately independent observations, and builds the confidence
+//! interval from their spread. The paper sidesteps this by replicating
+//! runs; we support both (replications in [`crate::summary`], batch means
+//! here for single-run analyses and the convergence diagnostics used in
+//! tests).
+
+use serde::{Deserialize, Serialize};
+
+use crate::tdist::t_quantile_975;
+use crate::welford::Welford;
+
+/// Collects a stream into fixed-size batches and reports a CI over batch
+/// means.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Welford,
+    batches: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates a collector with the given batch size (observations per
+    /// batch).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Welford::new(),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batches.push(self.current.mean());
+            self.current = Welford::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Completed batch means.
+    pub fn batch_means(&self) -> &[f64] {
+        &self.batches
+    }
+
+    /// The grand mean over completed batches (`None` with no complete
+    /// batch).
+    pub fn mean(&self) -> Option<f64> {
+        if self.batches.is_empty() {
+            None
+        } else {
+            Some(self.batches.iter().sum::<f64>() / self.batches.len() as f64)
+        }
+    }
+
+    /// 95% confidence half-width over batch means (`None` with fewer than
+    /// two complete batches).
+    pub fn ci_half_width(&self) -> Option<f64> {
+        if self.batches.len() < 2 {
+            return None;
+        }
+        let w: Welford = self.batches.iter().copied().collect();
+        let t = t_quantile_975(w.count() - 1);
+        Some(t * w.std_error())
+    }
+
+    /// Lag-1 autocorrelation of the batch means: close to zero indicates
+    /// the batch size is large enough for the independence assumption.
+    pub fn lag1_autocorrelation(&self) -> Option<f64> {
+        let n = self.batches.len();
+        if n < 3 {
+            return None;
+        }
+        let mean = self.mean().expect("non-empty");
+        let var: f64 = self.batches.iter().map(|b| (b - mean).powi(2)).sum();
+        if var == 0.0 {
+            return Some(0.0);
+        }
+        let cov: f64 = self
+            .batches
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum();
+        Some(cov / var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_desim::Rng64;
+
+    #[test]
+    fn batches_form_at_size_boundaries() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..35 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 3);
+        // First batch: mean of 0..10 = 4.5.
+        assert!((bm.batch_means()[0] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_batches_no_stats() {
+        let mut bm = BatchMeans::new(100);
+        for i in 0..50 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batch_count(), 0);
+        assert_eq!(bm.mean(), None);
+        assert_eq!(bm.ci_half_width(), None);
+    }
+
+    #[test]
+    fn ci_covers_true_mean_of_iid_stream() {
+        let mut rng = Rng64::from_seed(31);
+        let mut covered = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let mut bm = BatchMeans::new(200);
+            for _ in 0..20 * 200 {
+                bm.push(rng.exponential(0.5)); // mean 2.0
+            }
+            let m = bm.mean().unwrap();
+            let hw = bm.ci_half_width().unwrap();
+            if (m - 2.0).abs() <= hw {
+                covered += 1;
+            }
+        }
+        // 95% nominal coverage; allow a wide band for 50 trials.
+        assert!(covered >= 40, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn autocorrelation_near_zero_for_iid() {
+        let mut rng = Rng64::from_seed(32);
+        let mut bm = BatchMeans::new(100);
+        for _ in 0..100 * 100 {
+            bm.push(rng.next_f64());
+        }
+        let rho = bm.lag1_autocorrelation().unwrap();
+        assert!(rho.abs() < 0.3, "iid lag-1 autocorr {rho}");
+    }
+
+    #[test]
+    fn autocorrelation_detects_trend() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..1000 {
+            bm.push(i as f64); // strong trend → batch means autocorrelated
+        }
+        let rho = bm.lag1_autocorrelation().unwrap();
+        assert!(rho > 0.8, "trend lag-1 autocorr {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        BatchMeans::new(0);
+    }
+}

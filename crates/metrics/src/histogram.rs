@@ -1,0 +1,239 @@
+//! Log-spaced streaming histogram.
+//!
+//! Response times under the Bounded Pareto workload span four orders of
+//! magnitude (10 s … 21600 s and beyond under queueing delay), so linear
+//! bins are useless. [`Histogram`] uses geometrically spaced buckets with
+//! a configurable resolution and supports approximate quantiles; errors
+//! are bounded by the bucket width (a fixed *relative* error).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with geometrically spaced buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first regular bucket; values below land in an
+    /// underflow bucket.
+    lo: f64,
+    /// Log of the geometric growth factor between bucket edges.
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi)` with buckets whose edges
+    /// grow by `growth` (> 1) per bucket; e.g. `growth = 1.1` bounds the
+    /// relative quantile error by ~10%.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `growth > 1`.
+    pub fn new(lo: f64, hi: f64, growth: f64) -> Self {
+        assert!(lo > 0.0 && lo.is_finite(), "lo must be positive, got {lo}");
+        assert!(hi > lo && hi.is_finite(), "hi must exceed lo");
+        assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
+        let log_growth = growth.ln();
+        let n = ((hi / lo).ln() / log_growth).ceil() as usize;
+        Histogram {
+            lo,
+            log_growth,
+            counts: vec![0; n.max(1)],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// A default layout for job response times: 1 ms … 1e7 s at 5%
+    /// resolution.
+    pub fn for_response_times() -> Self {
+        Histogram::new(1e-3, 1e7, 1.05)
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo {
+            None
+        } else {
+            Some(((x / self.lo).ln() / self.log_growth) as usize)
+        }
+    }
+
+    /// Lower edge of bucket `i`.
+    fn edge(&self, i: usize) -> f64 {
+        self.lo * (self.log_growth * i as f64).exp()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite() && x >= 0.0, "bad observation {x}");
+        self.total += 1;
+        match self.bucket_of(x) {
+            None => self.underflow += 1,
+            Some(i) if i < self.counts.len() => self.counts[i] += 1,
+            Some(_) => self.overflow += 1,
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the first bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (`0 < q < 1`): the geometric midpoint of
+    /// the bucket containing the q-th ordered observation. Returns `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..1.0).contains(&q) && q > 0.0, "q must be in (0,1)");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut cum = self.underflow;
+        if cum >= target {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // Geometric midpoint of the bucket.
+                return Some((self.edge(i) * self.edge(i + 1)).sqrt());
+            }
+        }
+        Some(self.edge(self.counts.len()))
+    }
+
+    /// Merges another histogram with an identical layout.
+    ///
+    /// # Panics
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.log_growth == other.log_growth
+                && self.counts.len() == other.counts.len(),
+            "histogram layouts differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Iterates over `(bucket_lower_edge, count)` for non-empty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.edge(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = Histogram::new(1.0, 1000.0, 2.0);
+        h.record(1.5);
+        h.record(3.0);
+        h.record(500.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn underflow_and_overflow() {
+        let mut h = Histogram::new(1.0, 10.0, 2.0);
+        h.record(0.5);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new(0.1, 1e6, 1.05);
+        // Deterministic geometric data: exact quantiles are known.
+        let data: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        for &x in &data {
+            h.record(x);
+        }
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let exact = q * 10_000.0;
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.06, "q={q}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::new(1.0, 10.0, 2.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 100.0, 2.0);
+        let mut b = Histogram::new(1.0, 100.0, 2.0);
+        a.record(2.0);
+        b.record(2.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts differ")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(1.0, 100.0, 2.0);
+        let b = Histogram::new(1.0, 100.0, 1.5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn nonempty_buckets_enumerates() {
+        let mut h = Histogram::new(1.0, 16.0, 2.0);
+        h.record(1.5); // bucket [1,2)
+        h.record(9.0); // bucket [8,16)
+        let buckets: Vec<_> = h.nonempty_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 1);
+        assert!((buckets[0].0 - 1.0).abs() < 1e-9);
+        assert!((buckets[1].0 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_time_default_covers_pareto_range() {
+        let mut h = Histogram::for_response_times();
+        h.record(10.0);
+        h.record(21600.0);
+        h.record(1e6);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.underflow(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in (0,1)")]
+    fn quantile_rejects_bad_q() {
+        let h = Histogram::new(1.0, 10.0, 2.0);
+        let _ = h.quantile(1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! P² streaming quantile estimation (Jain & Chlamtac, 1985).
+//!
+//! Tail response times (p95/p99) are the natural complement to the paper's
+//! fairness metric: a scheme can have a good mean and a terrible tail.
+//! The P² estimator maintains five markers and adjusts them with parabolic
+//! interpolation — O(1) memory per quantile, no sample storage.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator for a single quantile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Increments of desired positions per observation.
+    incr: [f64; 5],
+    /// Number of observations seen so far (before the initialization
+    /// phase completes this counts into `heights` directly).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            incr: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations processed.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and clamp the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.pos.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, i) in self.desired.iter_mut().zip(self.incr.iter()) {
+            *d += i;
+        }
+
+        // Adjust the three interior markers if they drifted.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            let right_gap = self.pos[i + 1] - self.pos[i];
+            let left_gap = self.pos[i - 1] - self.pos[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
+                self.pos[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let n = &self.pos;
+        let h = &self.heights;
+        h[i] + s / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + s) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - s) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.heights[i] + s * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate of the quantile. Before five observations have
+    /// been seen this falls back to the empirical quantile of the buffer.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut buf: Vec<f64> = self.heights[..n].to_vec();
+                buf.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n) - 1;
+                Some(buf[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_desim::Rng64;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    fn small_sample_uses_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.push(3.0);
+        p.push(1.0);
+        p.push(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = Rng64::from_seed(21);
+        for _ in 0..100_000 {
+            p.push(rng.next_f64());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.02, "median estimate {est}");
+    }
+
+    #[test]
+    fn p99_of_exponential_stream() {
+        let mut p = P2Quantile::new(0.99);
+        let mut rng = Rng64::from_seed(22);
+        for _ in 0..200_000 {
+            p.push(rng.exponential(1.0));
+        }
+        // Exact p99 of Exp(1) is ln(100) ≈ 4.605.
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - 4.605).abs() / 4.605 < 0.1,
+            "p99 estimate {est}, expected ≈ 4.605"
+        );
+    }
+
+    #[test]
+    fn tracks_exact_quantile_on_random_data() {
+        let mut rng = Rng64::from_seed(23);
+        let data: Vec<f64> = (0..50_000).map(|_| rng.next_f64() * 100.0).collect();
+        for &q in &[0.25, 0.5, 0.75, 0.9] {
+            let mut p = P2Quantile::new(q);
+            for &x in &data {
+                p.push(x);
+            }
+            let mut sorted = data.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact = exact_quantile(&sorted, q);
+            let est = p.estimate().unwrap();
+            assert!(
+                (est - exact).abs() / exact.max(1.0) < 0.05,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_stream_returns_constant() {
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p.push(7.0);
+        }
+        assert_eq!(p.estimate(), Some(7.0));
+    }
+
+    #[test]
+    fn counts_observations() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10 {
+            p.push(i as f64);
+        }
+        assert_eq!(p.count(), 10);
+        assert_eq!(p.q(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn rejects_q_out_of_range() {
+        P2Quantile::new(0.0);
+    }
+}

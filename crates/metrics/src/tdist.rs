@@ -1,0 +1,81 @@
+//! Student-t critical values.
+//!
+//! Every data point in the paper "is the average result of 10 independent
+//! runs with different random number streams" (§4.1). With 10 runs the
+//! 95% confidence half-width uses `t_{0.975, 9} = 2.262`, not the normal
+//! 1.96 — at these sample sizes the difference matters.
+
+/// Two-sided 95% critical value `t_{0.975, df}`.
+///
+/// Exact table entries for df ≤ 30, then a smooth approximation converging
+/// to the normal quantile 1.959964 as df → ∞.
+///
+/// # Panics
+/// Panics if `df == 0`.
+pub fn t_quantile_975(df: u64) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 1-10
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11-20
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21-30
+    ];
+    if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else {
+        // Cornish–Fisher-style expansion of the t quantile around the
+        // normal quantile z = 1.959964:
+        // t ≈ z + (z³+z)/(4·df) + (5z⁵+16z³+3z)/(96·df²)
+        let z = 1.959_963_985;
+        let z3 = z * z * z;
+        let z5 = z3 * z * z;
+        let d = df as f64;
+        z + (z3 + z) / (4.0 * d) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * d * d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_match_references() {
+        assert_eq!(t_quantile_975(1), 12.706);
+        assert_eq!(t_quantile_975(9), 2.262); // the paper's 10-run case
+        assert_eq!(t_quantile_975(30), 2.042);
+    }
+
+    #[test]
+    fn approximation_is_continuous_at_boundary() {
+        // df=30 table vs df=31 approximation should be close.
+        let gap = (t_quantile_975(30) - t_quantile_975(31)).abs();
+        assert!(gap < 0.005, "discontinuity {gap} at df=30/31");
+    }
+
+    #[test]
+    fn approximation_matches_known_values() {
+        // t_{0.975, 60} ≈ 2.000, t_{0.975, 120} ≈ 1.980.
+        assert!((t_quantile_975(60) - 2.000).abs() < 0.005);
+        assert!((t_quantile_975(120) - 1.980).abs() < 0.005);
+    }
+
+    #[test]
+    fn converges_to_normal() {
+        assert!((t_quantile_975(1_000_000) - 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_df() {
+        let mut prev = t_quantile_975(1);
+        for df in 2..200 {
+            let cur = t_quantile_975(df);
+            assert!(cur <= prev + 1e-9, "not monotone at df={df}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn rejects_zero_df() {
+        t_quantile_975(0);
+    }
+}

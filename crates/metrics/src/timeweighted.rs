@@ -1,0 +1,173 @@
+//! Time-weighted averages.
+//!
+//! Server utilization and mean queue length are *time* averages, not
+//! per-job averages: a queue that holds 10 jobs for one second and 0 jobs
+//! for nine seconds has mean length 1.0. [`TimeWeighted`] integrates a
+//! piecewise-constant signal exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant signal over time.
+///
+/// Call [`TimeWeighted::update`] *before* changing the signal's value: it
+/// accrues the integral of the current value up to `now`, then records the
+/// new value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: f64,
+    last_t: f64,
+    value: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking at time `start` with initial value `value`.
+    pub fn new(start: f64, value: f64) -> Self {
+        assert!(start.is_finite(), "start time must be finite");
+        assert!(value.is_finite(), "initial value must be finite");
+        TimeWeighted {
+            start,
+            last_t: start,
+            value,
+            integral: 0.0,
+            peak: value,
+        }
+    }
+
+    /// Accrues the integral up to `now`, then switches to `new_value`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update (time must not run
+    /// backwards).
+    pub fn update(&mut self, now: f64, new_value: f64) {
+        assert!(
+            now >= self.last_t,
+            "time ran backwards: {now} < {}",
+            self.last_t
+        );
+        debug_assert!(new_value.is_finite());
+        self.integral += self.value * (now - self.last_t);
+        self.last_t = now;
+        self.value = new_value;
+        self.peak = self.peak.max(new_value);
+    }
+
+    /// Accrues up to `now` without changing the value (e.g. at the
+    /// horizon, to close out the integral).
+    pub fn touch(&mut self, now: f64) {
+        let v = self.value;
+        self.update(now, v);
+    }
+
+    /// The current signal value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The running integral `∫ value dt` from `start` to the last update.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+
+    /// Time-average of the signal between `start` and the last update
+    /// (0 if no time has elapsed).
+    pub fn time_average(&self) -> f64 {
+        let elapsed = self.last_t - self.start;
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.integral / elapsed
+        }
+    }
+
+    /// The largest value the signal has taken.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Discards history and restarts the averaging window at `now`,
+    /// keeping the current value. Used at the end of the warmup period so
+    /// statistics reflect only the steady state.
+    pub fn reset_window(&mut self, now: f64) {
+        assert!(now >= self.last_t, "time ran backwards");
+        self.start = now;
+        self.last_t = now;
+        self.integral = 0.0;
+        self.peak = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_average() {
+        let mut tw = TimeWeighted::new(0.0, 3.0);
+        tw.touch(10.0);
+        assert_eq!(tw.time_average(), 3.0);
+        assert_eq!(tw.integral(), 30.0);
+    }
+
+    #[test]
+    fn step_signal_average() {
+        // 10 jobs for 1 s, then 0 jobs for 9 s → mean 1.0.
+        let mut tw = TimeWeighted::new(0.0, 10.0);
+        tw.update(1.0, 0.0);
+        tw.touch(10.0);
+        assert!((tw.time_average() - 1.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 10.0);
+    }
+
+    #[test]
+    fn utilization_tracking() {
+        // Busy (1.0) on [0,2) and [5,6); idle otherwise, horizon 10.
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(2.0, 0.0);
+        tw.update(5.0, 1.0);
+        tw.update(6.0, 0.0);
+        tw.touch(10.0);
+        assert!((tw.time_average() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_is_zero_average() {
+        let tw = TimeWeighted::new(5.0, 42.0);
+        assert_eq!(tw.time_average(), 0.0);
+    }
+
+    #[test]
+    fn reset_window_discards_history() {
+        let mut tw = TimeWeighted::new(0.0, 100.0);
+        tw.update(10.0, 1.0); // huge warmup transient
+        tw.reset_window(10.0);
+        tw.touch(20.0);
+        assert!((tw.time_average() - 1.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 1.0);
+    }
+
+    #[test]
+    fn multiple_updates_at_same_instant() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(5.0, 2.0);
+        tw.update(5.0, 3.0); // zero-width segment contributes nothing
+        tw.touch(10.0);
+        assert!((tw.time_average() - (5.0 + 15.0) / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(5.0, 2.0);
+        tw.update(4.0, 3.0);
+    }
+
+    #[test]
+    fn value_reflects_last_update() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(1.0, 7.0);
+        assert_eq!(tw.value(), 7.0);
+    }
+}

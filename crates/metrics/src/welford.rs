@@ -1,0 +1,261 @@
+//! Welford's online mean/variance algorithm.
+//!
+//! Fairness in the paper is the standard deviation of the response ratio
+//! over 1–2 million jobs per run; a naive `Σx², Σx` accumulator loses
+//! precision catastrophically when the mean is large relative to the
+//! spread. Welford's update is the textbook numerically stable
+//! alternative, and the `merge` operation (Chan et al.) combines
+//! per-replication accumulators without re-reading the data.
+
+use serde::{Deserialize, Serialize};
+
+/// Running count, mean and variance of a stream of observations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observation must be finite, got {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `m2 / n` (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance `m2 / (n − 1)`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean `s / √n`.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        let w: Welford = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!((w.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), 3.5);
+        assert_eq!(w.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.61).collect();
+        let sequential: Welford = data.iter().copied().collect();
+        let a: Welford = data[..400].iter().copied().collect();
+        let mut b: Welford = data[400..].iter().copied().collect();
+        b.merge(&a);
+        assert_eq!(b.count(), sequential.count());
+        assert!((b.mean() - sequential.mean()).abs() < 1e-9);
+        assert!((b.variance() - sequential.variance()).abs() < 1e-9);
+        assert_eq!(b.min(), sequential.min());
+        assert_eq!(b.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let w: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        let mut a = w;
+        a.merge(&Welford::new());
+        assert_eq!(a, w);
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e, w);
+    }
+
+    #[test]
+    fn numerically_stable_with_large_offset() {
+        // Classic catastrophic-cancellation case: tiny variance on a huge
+        // mean. The naive Σx² formula fails here.
+        let offset = 1e9;
+        let mut w = Welford::new();
+        for i in 0..10_000 {
+            w.push(offset + (i % 2) as f64);
+        }
+        assert!((w.variance() - 0.25).abs() < 1e-6, "var {}", w.variance());
+    }
+
+    #[test]
+    fn std_error_shrinks_with_n() {
+        let mut small = Welford::new();
+        let mut large = Welford::new();
+        for i in 0..100 {
+            small.push((i % 10) as f64);
+        }
+        for i in 0..10_000 {
+            large.push((i % 10) as f64);
+        }
+        assert!(large.std_error() < small.std_error());
+    }
+
+    proptest! {
+        /// Mean and variance match the two-pass reference on random data.
+        #[test]
+        fn matches_two_pass(data in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+            let w: Welford = data.iter().copied().collect();
+            let n = data.len() as f64;
+            let mean = data.iter().sum::<f64>() / n;
+            let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((w.variance() - var).abs() < 1e-5 * (1.0 + var));
+        }
+
+        /// Merging any split reproduces the sequential result.
+        #[test]
+        fn merge_any_split(
+            data in prop::collection::vec(-1e3f64..1e3, 2..100),
+            split_frac in 0.0f64..1.0,
+        ) {
+            let split = ((data.len() as f64) * split_frac) as usize;
+            let seq: Welford = data.iter().copied().collect();
+            let mut a: Welford = data[..split].iter().copied().collect();
+            let b: Welford = data[split..].iter().copied().collect();
+            a.merge(&b);
+            prop_assert_eq!(a.count(), seq.count());
+            prop_assert!((a.mean() - seq.mean()).abs() < 1e-8 * (1.0 + seq.mean().abs()));
+            prop_assert!((a.variance() - seq.variance()).abs() < 1e-7 * (1.0 + seq.variance()));
+        }
+    }
+}

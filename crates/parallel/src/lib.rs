@@ -1,0 +1,180 @@
+//! # hetsched-parallel — scoped-thread replication runner
+//!
+//! Every data point in the paper is "the average result of 10 independent
+//! runs with different random number streams" (§4.1), and the figures
+//! sweep a parameter over many points — hundreds of embarrassingly
+//! parallel simulation runs. This crate provides a deliberately small
+//! parallel map built on `crossbeam::scope`:
+//!
+//! * work is pulled from a shared atomic counter (dynamic load balancing —
+//!   runs at high utilization take much longer than runs at low
+//!   utilization, so static chunking would straggle);
+//! * results land in their input's slot, so output order equals input
+//!   order and determinism is preserved no matter how threads interleave;
+//! * worker panics are propagated to the caller (a failed replication
+//!   must not silently produce a truncated average).
+//!
+//! The sanctioned `crossbeam` dependency is confined to this crate.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` using up to `threads` worker threads, returning
+/// results in input order.
+///
+/// `f` must be `Sync` (shared by reference across workers); items are
+/// taken by reference. With `threads <= 1` or a single item the map runs
+/// inline on the caller's thread.
+///
+/// # Panics
+/// Propagates the first worker panic.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(items.len());
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let r = f(&items[idx]);
+                *slots[idx].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 16 (simulation runs are memory-light; beyond ~16 threads the
+/// marginal return on a laptop/CI box is noise).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Runs `f(seed)` for seeds `0..replications` in parallel — the paper's
+/// "10 independent runs with different random number streams".
+pub fn replicate<R, F>(replications: u64, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let seeds: Vec<u64> = (0..replications).collect();
+    parallel_map(&seeds, threads, |&s| f(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let items = [1, 2, 3];
+        let out = parallel_map(&items, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs; dynamic pulling must still
+        // produce correct, ordered output.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            let mut acc = 0u64;
+            let spin = if x % 7 == 0 { 200_000 } else { 10 };
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc)
+        });
+        for (i, &(x, _)) in out.iter().enumerate() {
+            assert_eq!(x, i as u64);
+        }
+    }
+
+    #[test]
+    fn replicate_passes_distinct_seeds() {
+        let out = replicate(10, 4, |seed| seed * seed);
+        assert_eq!(out.len(), 10);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(&[1, 2], 32, |&x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panic_propagates() {
+        parallel_map(&[1, 2, 3, 4], 2, |&x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,175 @@
+//! Naive weighted round-robin (burst-per-cycle) — a dispatcher ablation.
+//!
+//! Classic router-style WRR converts the fractions into integer weights
+//! and serves each computer its whole weight in *consecutive* jobs:
+//! `c1 c1 c1 c2 c2 c3 …`. Long-run proportions match Algorithm 2's, but
+//! each computer's substream arrives in bursts — exactly the burstiness
+//! Algorithm 2's interleaving is designed to remove (§3.2's "equalize
+//! the number of original inter-arrival intervals"). Comparing the two
+//! isolates *interleaving* as the mechanism behind round-robin's gain,
+//! beyond mere determinism.
+
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+
+/// Burst-per-cycle weighted round-robin over integer weights.
+#[derive(Debug, Clone)]
+pub struct BurstyWeightedRr {
+    /// Flattened dispatch cycle: server index repeated `weight` times.
+    cycle: Vec<u32>,
+    pos: usize,
+    label: String,
+}
+
+impl BurstyWeightedRr {
+    /// Builds the dispatcher with a cycle of (approximately)
+    /// `cycle_len` jobs, apportioned by largest remainder so the integer
+    /// weights sum exactly to the cycle length.
+    ///
+    /// # Panics
+    /// Panics unless the fractions are a probability vector and
+    /// `cycle_len ≥ 1`.
+    pub fn new(fractions: &[f64], cycle_len: u32, label: impl Into<String>) -> Self {
+        assert!(!fractions.is_empty(), "no fractions");
+        assert!(cycle_len >= 1, "cycle length must be at least 1");
+        assert!(
+            fractions.iter().all(|&a| (0.0..=1.0).contains(&a)),
+            "fractions must lie in [0,1]: {fractions:?}"
+        );
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
+
+        // Largest-remainder apportionment of `cycle_len` slots.
+        let ideal: Vec<f64> = fractions.iter().map(|a| a * cycle_len as f64).collect();
+        let mut weights: Vec<u32> = ideal.iter().map(|x| x.floor() as u32).collect();
+        let mut leftover = cycle_len - weights.iter().sum::<u32>();
+        let mut order: Vec<usize> = (0..fractions.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = ideal[a] - ideal[a].floor();
+            let rb = ideal[b] - ideal[b].floor();
+            rb.partial_cmp(&ra).expect("finite remainders")
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            weights[i] += 1;
+            leftover -= 1;
+        }
+
+        let mut cycle = Vec::with_capacity(cycle_len as usize);
+        for (i, &w) in weights.iter().enumerate() {
+            cycle.extend(std::iter::repeat_n(i as u32, w as usize));
+        }
+        assert!(
+            !cycle.is_empty(),
+            "cycle is empty — fractions too small for the cycle length"
+        );
+        BurstyWeightedRr {
+            cycle,
+            pos: 0,
+            label: label.into(),
+        }
+    }
+
+    /// The realized integer weights per server.
+    pub fn weights(&self) -> Vec<u32> {
+        let n = 1 + *self.cycle.iter().max().expect("non-empty cycle") as usize;
+        let mut w = vec![0u32; n];
+        for &s in &self.cycle {
+            w[s as usize] += 1;
+        }
+        w
+    }
+
+    /// One dispatch decision.
+    pub fn dispatch(&mut self) -> usize {
+        let s = self.cycle[self.pos] as usize;
+        self.pos = (self.pos + 1) % self.cycle.len();
+        s
+    }
+}
+
+impl Policy for BurstyWeightedRr {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        self.dispatch()
+    }
+
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        let w = self.weights();
+        let total: f64 = w.iter().map(|&x| x as f64).sum();
+        Some(w.iter().map(|&x| x as f64 / total).collect())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_fractions() {
+        let p = BurstyWeightedRr::new(&[0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04], 100, "b");
+        assert_eq!(p.weights(), vec![35, 22, 15, 12, 4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn largest_remainder_rounds_fairly() {
+        // 1/3 each over a 10-cycle: 4+3+3.
+        let p = BurstyWeightedRr::new(&[1.0 / 3.0; 3], 10, "b");
+        let mut w = p.weights();
+        w.sort_unstable();
+        assert_eq!(w, vec![3, 3, 4]);
+        assert_eq!(w.iter().sum::<u32>(), 10);
+    }
+
+    #[test]
+    fn dispatch_is_bursty() {
+        let mut p = BurstyWeightedRr::new(&[0.5, 0.5], 8, "b");
+        let seq: Vec<usize> = (0..8).map(|_| p.dispatch()).collect();
+        assert_eq!(seq, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn cycle_repeats() {
+        let mut p = BurstyWeightedRr::new(&[0.75, 0.25], 4, "b");
+        let first: Vec<usize> = (0..4).map(|_| p.dispatch()).collect();
+        let second: Vec<usize> = (0..4).map(|_| p.dispatch()).collect();
+        assert_eq!(first, second);
+        assert_eq!(first, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn long_run_frequencies_converge() {
+        let fractions = [0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04];
+        let mut p = BurstyWeightedRr::new(&fractions, 100, "b");
+        let n = 10_000;
+        let mut counts = vec![0u64; fractions.len()];
+        for _ in 0..n {
+            counts[p.dispatch()] += 1;
+        }
+        for (&c, &a) in counts.iter().zip(&fractions) {
+            assert!(((c as f64 / n as f64) - a).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn zero_fraction_server_excluded() {
+        let mut p = BurstyWeightedRr::new(&[0.0, 1.0], 10, "b");
+        for _ in 0..20 {
+            assert_eq!(p.dispatch(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized() {
+        BurstyWeightedRr::new(&[0.4, 0.4], 10, "b");
+    }
+}

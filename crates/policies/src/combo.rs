@@ -1,0 +1,325 @@
+//! Policy combinations — the paper's Table 2 and the full roster.
+//!
+//! | | weighted allocation | optimized allocation |
+//! |---|---|---|
+//! | **random dispatching** | WRAN | ORAN |
+//! | **round-robin dispatching** | WRR | ORR |
+//!
+//! [`PolicySpec`] is the serde-friendly description used by experiment
+//! configurations; [`PolicySpec::build`] materializes a boxed
+//! [`Policy`] for a concrete cluster configuration.
+
+use hetsched_cluster::{ClusterConfig, Policy};
+use hetsched_dist::{BoundedPareto, DistSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::allocation::AllocationSpec;
+use crate::dynamic::LeastLoadPolicy;
+use crate::extra::{JsqPolicy, SitaEPolicy};
+use crate::random::RandomDispatch;
+use crate::round_robin::RoundRobinDispatch;
+
+/// Job dispatching strategies for static policies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DispatcherSpec {
+    /// Random based dispatching (§3.1).
+    Random,
+    /// Round-robin based dispatching, Algorithm 2 (§3.2).
+    RoundRobin,
+}
+
+impl DispatcherSpec {
+    fn tag(&self) -> &'static str {
+        match self {
+            DispatcherSpec::Random => "RAN",
+            DispatcherSpec::RoundRobin => "RR",
+        }
+    }
+}
+
+/// Declarative policy description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PolicySpec {
+    /// A static scheme: allocation × dispatcher (Table 2).
+    Static {
+        /// Workload allocation scheme.
+        allocation: AllocationSpec,
+        /// Job dispatching strategy.
+        dispatcher: DispatcherSpec,
+    },
+    /// Dynamic Least-Load with delayed feedback (the yardstick).
+    DynamicLeastLoad,
+    /// Power-of-d-choices on true instantaneous loads (clairvoyant
+    /// extension baseline).
+    Jsq {
+        /// Number of probed machines per job.
+        d: usize,
+    },
+    /// Size-interval assignment with equalized load (clairvoyant
+    /// extension baseline; requires Bounded Pareto job sizes).
+    SitaE,
+    /// Burst-per-cycle weighted round-robin over the *optimized*
+    /// fractions — the dispatcher ablation strawman (extension).
+    BurstyWrr {
+        /// Length of the dispatch cycle in jobs.
+        cycle_len: u32,
+    },
+    /// ORR with an online EWMA utilization estimator (extension): the
+    /// allocation is recomputed every `recompute_every` seconds from the
+    /// observed arrival rate, inflated by `safety_margin`.
+    AdaptiveOrr {
+        /// Seconds between allocation recomputations.
+        recompute_every: f64,
+        /// Relative overestimation margin (paper §5.4 recommends slight
+        /// conservatism).
+        safety_margin: f64,
+    },
+}
+
+impl PolicySpec {
+    /// Weighted Random — the simplest speed-aware static scheme.
+    pub fn wran() -> Self {
+        PolicySpec::Static {
+            allocation: AllocationSpec::Weighted,
+            dispatcher: DispatcherSpec::Random,
+        }
+    }
+
+    /// Optimized Random.
+    pub fn oran() -> Self {
+        PolicySpec::Static {
+            allocation: AllocationSpec::optimized(),
+            dispatcher: DispatcherSpec::Random,
+        }
+    }
+
+    /// Weighted Round-Robin.
+    pub fn wrr() -> Self {
+        PolicySpec::Static {
+            allocation: AllocationSpec::Weighted,
+            dispatcher: DispatcherSpec::RoundRobin,
+        }
+    }
+
+    /// Optimized Round-Robin — the paper's headline algorithm.
+    pub fn orr() -> Self {
+        PolicySpec::Static {
+            allocation: AllocationSpec::optimized(),
+            dispatcher: DispatcherSpec::RoundRobin,
+        }
+    }
+
+    /// ORR with a relative utilization-estimation error (§5.4).
+    pub fn orr_with_error(rho_error: f64) -> Self {
+        PolicySpec::Static {
+            allocation: AllocationSpec::Optimized { rho_error },
+            dispatcher: DispatcherSpec::RoundRobin,
+        }
+    }
+
+    /// The four static schemes of Table 2, in the paper's order.
+    pub fn table2() -> [PolicySpec; 4] {
+        [Self::wran(), Self::oran(), Self::wrr(), Self::orr()]
+    }
+
+    /// The policy's display name (WRAN/ORAN/WRR/ORR/DYNAMIC/…).
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Static {
+                allocation,
+                dispatcher,
+            } => format!("{}{}", allocation.tag(), dispatcher.tag()),
+            PolicySpec::DynamicLeastLoad => "DYNAMIC".into(),
+            PolicySpec::Jsq { d } => format!("JSQ({d})"),
+            PolicySpec::SitaE => "SITA-E".into(),
+            PolicySpec::BurstyWrr { .. } => "BWRR".into(),
+            PolicySpec::AdaptiveOrr { .. } => "AORR".into(),
+        }
+    }
+
+    /// Materializes the policy for a cluster configuration.
+    ///
+    /// # Errors
+    /// `SitaE` requires Bounded Pareto job sizes; other specs always
+    /// succeed for a valid configuration.
+    pub fn build(&self, cfg: &ClusterConfig) -> Result<Box<dyn Policy>, String> {
+        match self {
+            PolicySpec::Static {
+                allocation,
+                dispatcher,
+            } => {
+                if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
+                {
+                    return Err(format!(
+                        "static policies need utilization in (0,1), got {}",
+                        cfg.utilization
+                    ));
+                }
+                let fractions = allocation.fractions(&cfg.speeds, cfg.utilization);
+                let label = self.label();
+                Ok(match dispatcher {
+                    DispatcherSpec::Random => Box::new(RandomDispatch::new(&fractions, label)),
+                    DispatcherSpec::RoundRobin => {
+                        Box::new(RoundRobinDispatch::new(&fractions, label))
+                    }
+                })
+            }
+            PolicySpec::DynamicLeastLoad => Ok(Box::new(LeastLoadPolicy::new(&cfg.speeds))),
+            PolicySpec::Jsq { d } => {
+                if *d == 0 {
+                    return Err("JSQ requires d ≥ 1".into());
+                }
+                Ok(Box::new(JsqPolicy::new(*d)))
+            }
+            PolicySpec::SitaE => match cfg.job_sizes {
+                DistSpec::BoundedPareto { k, p, alpha } => Ok(Box::new(SitaEPolicy::new(
+                    &cfg.speeds,
+                    BoundedPareto::new(k, p, alpha),
+                ))),
+                other => Err(format!(
+                    "SITA-E needs Bounded Pareto job sizes, got {other:?}"
+                )),
+            },
+            PolicySpec::BurstyWrr { cycle_len } => {
+                if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
+                {
+                    return Err("BWRR needs utilization in (0,1)".into());
+                }
+                if *cycle_len == 0 {
+                    return Err("BWRR needs a positive cycle length".into());
+                }
+                let fractions = crate::allocation::AllocationSpec::optimized()
+                    .fractions(&cfg.speeds, cfg.utilization);
+                Ok(Box::new(crate::bursty_wrr::BurstyWeightedRr::new(
+                    &fractions, *cycle_len, "BWRR",
+                )))
+            }
+            PolicySpec::AdaptiveOrr {
+                recompute_every,
+                safety_margin,
+            } => {
+                if !(*recompute_every > 0.0 && recompute_every.is_finite()) {
+                    return Err("AORR needs a positive recompute period".into());
+                }
+                if !(*safety_margin >= 0.0 && safety_margin.is_finite()) {
+                    return Err("AORR needs a non-negative safety margin".into());
+                }
+                Ok(Box::new(crate::adaptive::AdaptiveOrr::new(
+                    &cfg.speeds,
+                    cfg.mean_job_size(),
+                    *recompute_every,
+                    *safety_margin,
+                    0.01,
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::paper_default(&[1.0, 2.0, 10.0])
+    }
+
+    #[test]
+    fn labels_match_table2() {
+        assert_eq!(PolicySpec::wran().label(), "WRAN");
+        assert_eq!(PolicySpec::oran().label(), "ORAN");
+        assert_eq!(PolicySpec::wrr().label(), "WRR");
+        assert_eq!(PolicySpec::orr().label(), "ORR");
+        assert_eq!(PolicySpec::DynamicLeastLoad.label(), "DYNAMIC");
+        assert_eq!(PolicySpec::orr_with_error(0.05).label(), "O(+5%)RR");
+    }
+
+    #[test]
+    fn table2_has_four_distinct_entries() {
+        let t = PolicySpec::table2();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(t[i], t[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn builds_every_spec() {
+        let cfg = cfg();
+        for spec in [
+            PolicySpec::wran(),
+            PolicySpec::oran(),
+            PolicySpec::wrr(),
+            PolicySpec::orr(),
+            PolicySpec::DynamicLeastLoad,
+            PolicySpec::Jsq { d: 2 },
+            PolicySpec::SitaE,
+            PolicySpec::BurstyWrr { cycle_len: 100 },
+            PolicySpec::AdaptiveOrr {
+                recompute_every: 500.0,
+                safety_margin: 0.05,
+            },
+        ] {
+            let p = spec.build(&cfg).unwrap();
+            assert_eq!(p.name(), spec.label());
+        }
+    }
+
+    #[test]
+    fn extension_specs_validate() {
+        let cfg = cfg();
+        assert!(PolicySpec::BurstyWrr { cycle_len: 0 }.build(&cfg).is_err());
+        assert!(PolicySpec::AdaptiveOrr {
+            recompute_every: 0.0,
+            safety_margin: 0.0
+        }
+        .build(&cfg)
+        .is_err());
+        assert!(PolicySpec::AdaptiveOrr {
+            recompute_every: 10.0,
+            safety_margin: -0.5
+        }
+        .build(&cfg)
+        .is_err());
+    }
+
+    #[test]
+    fn only_dynamic_needs_load_updates() {
+        let cfg = cfg();
+        assert!(PolicySpec::DynamicLeastLoad
+            .build(&cfg)
+            .unwrap()
+            .needs_load_updates());
+        for spec in PolicySpec::table2() {
+            assert!(!spec.build(&cfg).unwrap().needs_load_updates());
+        }
+    }
+
+    #[test]
+    fn sita_requires_bounded_pareto() {
+        let mut c = cfg();
+        c.job_sizes = hetsched_dist::DistSpec::Exponential { mean: 10.0 };
+        assert!(PolicySpec::SitaE.build(&c).is_err());
+    }
+
+    #[test]
+    fn jsq_rejects_zero_d() {
+        assert!(PolicySpec::Jsq { d: 0 }.build(&cfg()).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for spec in [
+            PolicySpec::orr(),
+            PolicySpec::DynamicLeastLoad,
+            PolicySpec::Jsq { d: 2 },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: PolicySpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Extension baselines beyond the paper.
+//!
+//! * [`JsqPolicy`] — join-the-shortest-of-d-queues ("power of d
+//!   choices"): samples `d` machines uniformly and joins the one with the
+//!   least normalized *instantaneous* load. With `d = n` it is an
+//!   idealized least-load scheduler with zero-delay information — an
+//!   upper bound even on the paper's Dynamic Least-Load.
+//! * [`SitaEPolicy`] — Size Interval Task Assignment with Equal load
+//!   (Harchol-Balter et al., the comparison point the paper cites in its
+//!   related work): clairvoyantly routes jobs by *size band*, with
+//!   cutoffs chosen so each machine receives a load share proportional to
+//!   its speed; bigger jobs go to faster machines.
+//!
+//! Both are *clairvoyant* (they read information the paper's static
+//! schemes cannot), so they appear in the extra-baselines experiment only
+//! to situate ORR, never as competitors in the reproduction figures.
+
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+use hetsched_dist::BoundedPareto;
+
+/// Join the shortest of `d` randomly sampled queues (normalized by
+/// speed).
+#[derive(Debug, Clone)]
+pub struct JsqPolicy {
+    d: usize,
+}
+
+impl JsqPolicy {
+    /// Creates JSQ(d).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "d must be positive");
+        JsqPolicy { d }
+    }
+}
+
+impl Policy for JsqPolicy {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        let n = ctx.speeds.len();
+        let probes = self.d.min(n);
+        let mut best = usize::MAX;
+        let mut best_load = f64::INFINITY;
+        // Sample `probes` machines with replacement-free rejection; for
+        // the small d used in practice (2–4) this is cheap.
+        let mut chosen: [usize; 8] = [usize::MAX; 8];
+        let mut picked = 0;
+        while picked < probes {
+            let c = rng.below(n as u64) as usize;
+            if chosen[..picked.min(8)].contains(&c) {
+                continue;
+            }
+            if picked < 8 {
+                chosen[picked] = c;
+            }
+            picked += 1;
+            let load = (ctx.queue_lens[c] as f64 + 1.0) / ctx.speeds[c];
+            if load < best_load {
+                best_load = load;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> String {
+        format!("JSQ({})", self.d)
+    }
+}
+
+/// SITA-E over a Bounded Pareto size distribution.
+#[derive(Debug, Clone)]
+pub struct SitaEPolicy {
+    /// Size cutoffs: machine `order[i]` serves sizes in
+    /// `[cutoffs[i], cutoffs[i+1])`.
+    cutoffs: Vec<f64>,
+    /// Machines sorted by ascending speed — slow machines get the small
+    /// jobs.
+    order: Vec<usize>,
+}
+
+impl SitaEPolicy {
+    /// Builds the cutoffs so machine `i`'s expected load share is
+    /// `s_i / Σ s_j`.
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or non-positive.
+    pub fn new(speeds: &[f64], sizes: BoundedPareto) -> Self {
+        assert!(!speeds.is_empty(), "no computers");
+        assert!(
+            speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+            "speeds must be positive"
+        );
+        let mut order: Vec<usize> = (0..speeds.len()).collect();
+        order.sort_by(|&a, &b| speeds[a].partial_cmp(&speeds[b]).expect("finite speeds"));
+        let total: f64 = speeds.iter().sum();
+        let full_load = sizes.partial_mean(sizes.upper());
+
+        let mut cutoffs = Vec::with_capacity(speeds.len() + 1);
+        cutoffs.push(sizes.lower());
+        let mut cum = 0.0;
+        for (rank, &m) in order.iter().enumerate() {
+            cum += speeds[m] / total;
+            if rank + 1 == order.len() {
+                cutoffs.push(sizes.upper());
+            } else {
+                cutoffs.push(invert_partial_mean(&sizes, cum * full_load));
+            }
+        }
+        SitaEPolicy { cutoffs, order }
+    }
+
+    /// The size cutoffs, ascending, length `n + 1`.
+    pub fn cutoffs(&self) -> &[f64] {
+        &self.cutoffs
+    }
+}
+
+/// Bisection for the x with `partial_mean(x) = target`.
+fn invert_partial_mean(sizes: &BoundedPareto, target: f64) -> f64 {
+    let mut lo = sizes.lower();
+    let mut hi = sizes.upper();
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if sizes.partial_mean(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= 1e-9 * hi {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+impl Policy for SitaEPolicy {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        // Find the band containing the job size; partition_point gives
+        // the count of cutoffs ≤ size.
+        let band = self
+            .cutoffs
+            .partition_point(|&c| c <= ctx.job_size)
+            .saturating_sub(1)
+            .min(self.order.len() - 1);
+        self.order[band]
+    }
+
+    fn name(&self) -> String {
+        "SITA-E".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dist::{Moments, Sample};
+
+    fn ctx<'a>(speeds: &'a [f64], qlens: &'a [usize], size: f64) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now: 0.0,
+            job_size: size,
+            queue_lens: qlens,
+            speeds,
+        }
+    }
+
+    #[test]
+    fn jsq_full_probe_is_least_loaded() {
+        let speeds = [1.0, 1.0, 1.0];
+        let qlens = [5, 0, 3];
+        let mut p = JsqPolicy::new(3);
+        let mut rng = Rng64::from_seed(0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng), 1);
+        assert_eq!(p.name(), "JSQ(3)");
+    }
+
+    #[test]
+    fn jsq_normalizes_by_speed() {
+        let speeds = [1.0, 4.0];
+        let qlens = [0, 2];
+        let mut p = JsqPolicy::new(2);
+        let mut rng = Rng64::from_seed(0);
+        // (0+1)/1 = 1 vs (2+1)/4 = 0.75 → the loaded-but-fast machine.
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng), 1);
+    }
+
+    #[test]
+    fn jsq_d2_spreads_choices() {
+        let speeds = [1.0; 10];
+        let qlens = [0usize; 10];
+        let mut p = JsqPolicy::new(2);
+        let mut rng = Rng64::from_seed(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all machines should be probed");
+    }
+
+    #[test]
+    fn sita_cutoffs_are_monotone_and_span_support() {
+        let sizes = BoundedPareto::paper_default();
+        let p = SitaEPolicy::new(&[1.0, 2.0, 4.0], sizes);
+        let c = p.cutoffs();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0], 10.0);
+        assert_eq!(c[3], 21600.0);
+        for w in c.windows(2) {
+            assert!(w[0] < w[1], "cutoffs not increasing: {c:?}");
+        }
+    }
+
+    #[test]
+    fn sita_routes_small_jobs_to_slow_machines() {
+        let sizes = BoundedPareto::paper_default();
+        let speeds = [4.0, 1.0, 2.0]; // deliberately unsorted
+        let mut p = SitaEPolicy::new(&speeds, sizes);
+        let qlens = [0, 0, 0];
+        let mut rng = Rng64::from_seed(0);
+        // A tiny job lands on the slowest machine (index 1).
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 10.5), &mut rng), 1);
+        // A huge job lands on the fastest machine (index 0).
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 21000.0), &mut rng), 0);
+    }
+
+    #[test]
+    fn sita_equalizes_load_shares() {
+        // Empirically: sample many jobs, accumulate per-machine load, and
+        // compare with the speed proportions.
+        let sizes = BoundedPareto::paper_default();
+        let speeds = [1.0, 3.0];
+        let mut p = SitaEPolicy::new(&speeds, sizes);
+        let qlens = [0, 0];
+        let mut rng = Rng64::from_seed(7);
+        let mut load = [0.0f64; 2];
+        let n = 400_000;
+        for _ in 0..n {
+            let s = sizes.sample(&mut rng);
+            let m = p.choose(&ctx(&speeds, &qlens, s), &mut rng);
+            load[m] += s;
+        }
+        let frac = load[1] / (load[0] + load[1]);
+        // Machine 1 has 3/4 of the capacity. Heavy-tailed sampling noise
+        // (α = 1) converges slowly — accept a loose band around 0.75.
+        assert!(
+            (frac - 0.75).abs() < 0.08,
+            "fast machine load share {frac}, expected ≈ 0.75 (mean size {})",
+            sizes.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "d must be positive")]
+    fn jsq_rejects_zero_d() {
+        JsqPolicy::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no computers")]
+    fn sita_rejects_empty() {
+        SitaEPolicy::new(&[], BoundedPareto::paper_default());
+    }
+}

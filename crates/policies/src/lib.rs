@@ -1,0 +1,38 @@
+//! # hetsched-policies — workload allocation and job dispatching
+//!
+//! A static job scheduling policy has two components (§1 of the paper):
+//!
+//! * a **workload allocation scheme** computing the fractions
+//!   `{α_1 … α_n}` of the job stream each computer should receive
+//!   ([`allocation`]): *simple weighted* (`α_i ∝ s_i`), the paper's
+//!   *optimized* scheme (Algorithm 1, via `hetsched-queueing`), or an
+//!   equal split;
+//! * a **job dispatching strategy** realizing those fractions in real
+//!   time: *random* ([`random`]) or the paper's *round-robin based*
+//!   strategy, Algorithm 2 ([`round_robin`]), which smooths each
+//!   computer's arrival substream.
+//!
+//! Their four combinations are the paper's Table 2 — WRAN, ORAN, WRR, ORR
+//! — built by [`combo::PolicySpec`]. The *Dynamic Least-Load* yardstick
+//! ([`dynamic`]) and two extension baselines (power-of-d JSQ and the
+//! clairvoyant SITA-E, [`extra`]) complete the roster.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod allocation;
+pub mod bursty_wrr;
+pub mod combo;
+pub mod dynamic;
+pub mod extra;
+pub mod random;
+pub mod round_robin;
+
+pub use adaptive::AdaptiveOrr;
+pub use allocation::AllocationSpec;
+pub use bursty_wrr::BurstyWeightedRr;
+pub use combo::{DispatcherSpec, PolicySpec};
+pub use dynamic::LeastLoadPolicy;
+pub use extra::{JsqPolicy, SitaEPolicy};
+pub use random::RandomDispatch;
+pub use round_robin::RoundRobinDispatch;

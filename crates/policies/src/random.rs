@@ -1,0 +1,152 @@
+//! Random based job dispatching (§3.1).
+//!
+//! A newly arrived job goes to computer `c_i` with probability `α_i`.
+//! "This strategy is straightforward but its performance can vary greatly
+//! for different random number sequences" — the burstiness it leaves in
+//! each computer's substream is exactly what Figure 2 quantifies and the
+//! round-robin strategy removes.
+
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+
+/// Dispatches to server `i` with probability `α_i`.
+#[derive(Debug, Clone)]
+pub struct RandomDispatch {
+    /// Cumulative distribution over servers: `cum[i] = α_0 + … + α_i`.
+    cum: Vec<f64>,
+    label: String,
+}
+
+impl RandomDispatch {
+    /// Creates a random dispatcher for the given fractions.
+    ///
+    /// # Panics
+    /// Panics unless the fractions are a probability vector.
+    pub fn new(fractions: &[f64], label: impl Into<String>) -> Self {
+        assert!(!fractions.is_empty(), "no fractions");
+        assert!(
+            fractions.iter().all(|&a| (0.0..=1.0).contains(&a)),
+            "fractions must lie in [0,1]: {fractions:?}"
+        );
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
+        let mut cum = Vec::with_capacity(fractions.len());
+        let mut acc = 0.0;
+        for &a in fractions {
+            acc += a;
+            cum.push(acc);
+        }
+        // Force the last edge to exactly 1 so u ∈ [0,1) always lands.
+        *cum.last_mut().expect("non-empty") = 1.0;
+        RandomDispatch {
+            cum,
+            label: label.into(),
+        }
+    }
+
+    /// The realized fractions (recovered from the cumulative form).
+    pub fn fractions(&self) -> Vec<f64> {
+        let mut prev = 0.0;
+        self.cum
+            .iter()
+            .map(|&c| {
+                let a = c - prev;
+                prev = c;
+                a
+            })
+            .collect()
+    }
+}
+
+impl Policy for RandomDispatch {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        let u = rng.next_f64();
+        // Binary search the cumulative distribution; partition_point
+        // returns the first index with cum[i] > u.
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        Some(self.fractions())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(speeds: &'a [f64], qlens: &'a [usize]) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now: 0.0,
+            job_size: 1.0,
+            queue_lens: qlens,
+            speeds,
+        }
+    }
+
+    #[test]
+    fn frequencies_match_fractions() {
+        let fractions = [0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04];
+        let mut p = RandomDispatch::new(&fractions, "WRAN");
+        let speeds = vec![1.0; 8];
+        let qlens = vec![0usize; 8];
+        let mut rng = Rng64::from_seed(9);
+        let n = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..n {
+            counts[p.choose(&ctx(&speeds, &qlens), &mut rng)] += 1;
+        }
+        for (i, (&c, &a)) in counts.iter().zip(&fractions).enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - a).abs() < 0.005, "server {i}: {freq} vs {a}");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_servers_never_chosen() {
+        let mut p = RandomDispatch::new(&[0.0, 1.0, 0.0], "test");
+        let speeds = [1.0, 1.0, 1.0];
+        let qlens = [0, 0, 0];
+        let mut rng = Rng64::from_seed(10);
+        for _ in 0..10_000 {
+            assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn fractions_round_trip() {
+        let f = [0.25, 0.5, 0.25];
+        let p = RandomDispatch::new(&f, "x");
+        for (a, b) in p.fractions().iter().zip(&f) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_load_updates_needed() {
+        let p = RandomDispatch::new(&[1.0], "x");
+        assert!(!p.needs_load_updates());
+        assert_eq!(p.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized() {
+        RandomDispatch::new(&[0.5, 0.1], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "no fractions")]
+    fn rejects_empty() {
+        RandomDispatch::new(&[], "bad");
+    }
+}

@@ -1,0 +1,329 @@
+//! Round-robin based job dispatching — **Algorithm 2** of the paper.
+//!
+//! The strategy equalizes the number of *global* inter-arrival intervals
+//! between successive jobs sent to the same computer, which smooths each
+//! computer's substream without measuring time. Each computer carries two
+//! attributes:
+//!
+//! * `assign` — jobs sent so far;
+//! * `next` — expected number of incoming jobs before its next
+//!   assignment.
+//!
+//! On each arrival the computer with the minimum `next` wins (ties go to
+//! the smallest `(assign + 1)/α`), its `next` is credited `1/α`, and
+//! every computer that has started receiving jobs pays 1 (the arrival
+//! that just happened). Computers that have not received any job keep
+//! `next` at the guard value 1 so their first jobs spread out over a
+//! cycle — the paper's §3.2 start-up rule, implemented verbatim
+//! (steps 1, 2.b–2.h).
+//!
+//! With equal fractions the scheme degenerates to classic round-robin
+//! (verified by test). For the paper's 1/8,1/8,1/4,1/2 example the
+//! realized 8-job cycle contains exactly {4, 2, 1, 1} jobs per computer —
+//! the ideal *counts*, though not necessarily the ideal *order* (the
+//! paper itself notes perfect spreading "may not always be possible").
+
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+
+/// Tolerance for `next`-value ties. Fraction reciprocals are rarely
+/// representable exactly, so exact float equality would make tie-breaking
+/// depend on rounding noise.
+const TIE_EPS: f64 = 1e-9;
+
+/// Algorithm 2: round-robin based job dispatching.
+///
+/// ```
+/// use hetsched_policies::RoundRobinDispatch;
+///
+/// // The paper's §3.2 example: fractions 1/8, 1/8, 1/4, 1/2.
+/// let mut rr = RoundRobinDispatch::new(&[0.125, 0.125, 0.25, 0.5], "RR");
+/// // Every 8-job cycle delivers exactly {1, 1, 2, 4} jobs per computer.
+/// let mut counts = [0u32; 4];
+/// for _ in 0..8 {
+///     counts[rr.dispatch()] += 1;
+/// }
+/// assert_eq!(counts, [1, 1, 2, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoundRobinDispatch {
+    fractions: Vec<f64>,
+    assign: Vec<u64>,
+    next: Vec<f64>,
+    label: String,
+}
+
+impl RoundRobinDispatch {
+    /// Creates the dispatcher for the given fractions (step 1 initializes
+    /// every `assign` to 0 and every `next` to the guard value 1).
+    ///
+    /// # Panics
+    /// Panics unless the fractions are a probability vector with at least
+    /// one positive entry.
+    pub fn new(fractions: &[f64], label: impl Into<String>) -> Self {
+        assert!(!fractions.is_empty(), "no fractions");
+        assert!(
+            fractions.iter().all(|&a| (0.0..=1.0).contains(&a)),
+            "fractions must lie in [0,1]: {fractions:?}"
+        );
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
+        assert!(
+            fractions.iter().any(|&a| a > 0.0),
+            "at least one fraction must be positive"
+        );
+        RoundRobinDispatch {
+            fractions: fractions.to_vec(),
+            assign: vec![0; fractions.len()],
+            next: vec![1.0; fractions.len()],
+            label: label.into(),
+        }
+    }
+
+    /// The configured fractions.
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Jobs assigned to each computer so far.
+    pub fn assignments(&self) -> &[u64] {
+        &self.assign
+    }
+
+    /// One dispatch decision (steps 2.b–2.h), independent of the cluster
+    /// context — also used directly by the Figure-2 harness.
+    pub fn dispatch(&mut self) -> usize {
+        // Steps 2.b–2.c: scan for the minimum `next`, breaking ties by
+        // the smallest normalized assignment count (assign+1)/α.
+        let mut select: Option<usize> = None;
+        let mut minnext = f64::INFINITY;
+        let mut norassign = f64::INFINITY;
+        for i in 0..self.fractions.len() {
+            let a = self.fractions[i];
+            if a == 0.0 {
+                continue; // step 2.c.1
+            }
+            let cand_nor = (self.assign[i] + 1) as f64 / a;
+            if select.is_none() || self.next[i] < minnext - TIE_EPS {
+                select = Some(i);
+                minnext = self.next[i];
+                norassign = cand_nor;
+            } else if (self.next[i] - minnext).abs() <= TIE_EPS && cand_nor < norassign - TIE_EPS {
+                select = Some(i);
+                norassign = cand_nor;
+            }
+        }
+        let s = select.expect("at least one positive fraction");
+
+        // Step 2.d: a computer selected for the first time resets its
+        // guard before the normal update.
+        if self.assign[s] == 0 {
+            self.next[s] = 0.0;
+        }
+        // Steps 2.e–2.f.
+        self.next[s] += 1.0 / self.fractions[s];
+        self.assign[s] += 1;
+        // Step 2.h: every computer that has started receiving jobs pays
+        // for the arrival that was just dispatched.
+        for i in 0..self.fractions.len() {
+            if self.assign[i] != 0 {
+                self.next[i] -= 1.0;
+            }
+        }
+        s
+    }
+}
+
+impl Policy for RoundRobinDispatch {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        self.dispatch()
+    }
+
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        Some(self.fractions.clone())
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn counts_after(p: &mut RoundRobinDispatch, n: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; p.fractions().len()];
+        for _ in 0..n {
+            counts[p.dispatch()] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn equal_fractions_degenerate_to_classic_round_robin() {
+        // §3.2: "When each computer shares the same fraction of workload,
+        // this scheme degenerates to the traditional round-robin
+        // strategy."
+        let mut p = RoundRobinDispatch::new(&[0.25; 4], "RR");
+        let seq: Vec<usize> = (0..12).map(|_| p.dispatch()).collect();
+        // Every window of 4 consecutive dispatches covers all servers.
+        for w in seq.chunks(4) {
+            let mut seen = [false; 4];
+            for &s in w {
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "window {w:?} not a permutation");
+        }
+    }
+
+    #[test]
+    fn paper_example_cycle_counts() {
+        // §3.2 example: fractions 1/8, 1/8, 1/4, 1/2. The ideal spreads 8
+        // jobs as {1, 1, 2, 4}; Algorithm 2 realizes exactly those counts
+        // each cycle.
+        let mut p = RoundRobinDispatch::new(&[0.125, 0.125, 0.25, 0.5], "RR");
+        for cycle in 0..10 {
+            let counts = counts_after(&mut p, 8);
+            assert_eq!(counts, vec![1, 1, 2, 4], "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn first_job_goes_to_largest_fraction() {
+        // §3.2: "Initially, computers allocated larger fractions of
+        // workload are selected first."
+        let mut p = RoundRobinDispatch::new(&[0.125, 0.125, 0.25, 0.5], "RR");
+        assert_eq!(p.dispatch(), 3);
+        assert_eq!(p.dispatch(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_servers_never_selected() {
+        let mut p = RoundRobinDispatch::new(&[0.0, 0.5, 0.0, 0.5], "RR");
+        for _ in 0..100 {
+            let s = p.dispatch();
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn long_run_fractions_converge() {
+        // The paper's Figure-2 fractions.
+        let fractions = [0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04];
+        let mut p = RoundRobinDispatch::new(&fractions, "RR");
+        let n = 100_000;
+        let counts = counts_after(&mut p, n);
+        for (i, (&c, &a)) in counts.iter().zip(&fractions).enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!(
+                (freq - a).abs() < 0.001,
+                "server {i}: freq {freq} vs fraction {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_window_proportionality_beats_random() {
+        // The whole point of Algorithm 2: even short windows track the
+        // fractions. Over any 100-job window the realized counts must be
+        // within ±2 of the expectation for these fractions.
+        let fractions = [0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04];
+        let mut p = RoundRobinDispatch::new(&fractions, "RR");
+        // Skip the start-up transient.
+        for _ in 0..1000 {
+            p.dispatch();
+        }
+        for _ in 0..50 {
+            let counts = counts_after(&mut p, 100);
+            for (i, (&c, &a)) in counts.iter().zip(&fractions).enumerate() {
+                let expected = 100.0 * a;
+                assert!(
+                    (c as f64 - expected).abs() <= 2.0,
+                    "server {i}: {c} jobs in a 100-window, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn never_assigned_guard_defers_small_fractions() {
+        // With a dominant computer, tiny-fraction computers must not get
+        // their first job until the cycle reaches them.
+        let mut p = RoundRobinDispatch::new(&[0.9, 0.05, 0.05], "RR");
+        let first_ten: Vec<usize> = (0..10).map(|_| p.dispatch()).collect();
+        // Computer 0 must take the lion's share immediately.
+        let c0 = first_ten.iter().filter(|&&s| s == 0).count();
+        assert!(c0 >= 8, "computer 0 got only {c0} of the first 10");
+    }
+
+    #[test]
+    fn assignments_accessor_tracks() {
+        let mut p = RoundRobinDispatch::new(&[0.5, 0.5], "RR");
+        p.dispatch();
+        p.dispatch();
+        p.dispatch();
+        assert_eq!(p.assignments().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_all_zero() {
+        // All-zero fractions fail the Σα = 1 check (positivity is then
+        // implied for any vector that passes it).
+        RoundRobinDispatch::new(&[0.0, 0.0], "RR");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_unnormalized() {
+        RoundRobinDispatch::new(&[0.3, 0.3], "RR");
+    }
+
+    proptest! {
+        /// For any probability vector, the realized frequency over a long
+        /// horizon converges to the fractions.
+        #[test]
+        fn converges_for_random_fractions(raw in prop::collection::vec(0.01f64..1.0, 2..10)) {
+            let total: f64 = raw.iter().sum();
+            let fractions: Vec<f64> = raw.iter().map(|x| x / total).collect();
+            let mut p = RoundRobinDispatch::new(&fractions, "RR");
+            let n = 20_000;
+            let mut counts = vec![0u64; fractions.len()];
+            for _ in 0..n {
+                counts[p.dispatch()] += 1;
+            }
+            for (&c, &a) in counts.iter().zip(&fractions) {
+                let freq = c as f64 / n as f64;
+                prop_assert!((freq - a).abs() < 0.01, "freq {freq} vs {a}");
+            }
+        }
+
+        /// `next` values stay bounded (no drift): with n computers, a
+        /// computer can fall at most ~n arrivals behind schedule (each
+        /// arrival decrements everyone but credits only the winner), and
+        /// can never be scheduled further out than one full period ahead.
+        #[test]
+        fn next_values_bounded(raw in prop::collection::vec(0.05f64..1.0, 2..8)) {
+            let total: f64 = raw.iter().sum();
+            let fractions: Vec<f64> = raw.iter().map(|x| x / total).collect();
+            let n = fractions.len() as f64;
+            let mut p = RoundRobinDispatch::new(&fractions, "RR");
+            for _ in 0..5000 {
+                p.dispatch();
+            }
+            for (i, &a) in fractions.iter().enumerate() {
+                let nx = p.next[i];
+                prop_assert!(
+                    nx > -(n + 1.0) && nx < 1.0 / a + n + 1.0,
+                    "server {} next {} out of range for α={}",
+                    i, nx, a
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Algorithm 1: the closed-form optimized workload allocation.
+//!
+//! Theorem 1 gives the unconstrained-sign optimum
+//!
+//! ```text
+//! α_i = (1/λ) ( s_iμ − √(s_iμ) · (Σ_j s_jμ − λ) / (Σ_j √(s_jμ)) )
+//! ```
+//!
+//! which can be negative for very slow machines. Theorem 2 shows the
+//! optimum under `α_i ≥ 0` sets exactly those machines to zero: the ones
+//! with `√(s_iμ) < (Σ_{j≥i} s_jμ − λ) / (Σ_{j≥i} √(s_jμ))` in ascending
+//! speed order — a *contiguous* prefix, so the cutoff index `m` can be
+//! found by binary search (Algorithm 1, steps 4–5). The surviving
+//! machines share the load by Theorem 1 restricted to the suffix.
+//!
+//! The qualitative behaviour reproduced here is the paper's headline:
+//! fast machines get a **disproportionately** large share; at low load
+//! slow machines get *nothing*; as `ρ → 1` the scheme converges to the
+//! simple weighted allocation.
+
+use crate::system::HetSystem;
+
+/// The Theorem-2 cutoff predicate for 0-based index `i` into the
+/// ascending-speed array: machine `i` should be cut off iff
+/// `√(s_iμ) < (Σ_{j≥i} s_jμ − λ) / (Σ_{j≥i} √(s_jμ))`.
+fn should_cut(sorted: &[f64], mu: f64, lambda: f64, i: usize) -> bool {
+    let rest = &sorted[i..];
+    let cap: f64 = rest.iter().map(|&s| s * mu).sum();
+    let sqrt_sum: f64 = rest.iter().map(|&s| (s * mu).sqrt()).sum();
+    (sorted[i] * mu).sqrt() < (cap - lambda) / sqrt_sum
+}
+
+/// Finds the number of machines to cut off (the paper's `m`) by binary
+/// search over the ascending-speed array, exactly as Algorithm 1 steps
+/// 3–5.
+fn cutoff_binary_search(sorted: &[f64], mu: f64, lambda: f64) -> usize {
+    // 0-based translation of the paper's 1-based search: find the number
+    // of leading indices satisfying the predicate.
+    let mut lower = 0usize; // candidate index, inclusive
+    let mut upper = sorted.len(); // exclusive
+    while lower < upper {
+        let mid = (lower + upper) / 2;
+        if should_cut(sorted, mu, lambda, mid) {
+            lower = mid + 1;
+        } else {
+            upper = mid;
+        }
+    }
+    lower
+}
+
+/// Reference linear-scan cutoff (used to property-test the binary search
+/// and the contiguity claim of footnote 3).
+pub fn cutoff_linear_scan(sorted: &[f64], mu: f64, lambda: f64) -> usize {
+    let mut m = 0;
+    for i in 0..sorted.len() {
+        if should_cut(sorted, mu, lambda, i) {
+            m = i + 1;
+        }
+    }
+    m
+}
+
+/// Computes the optimized workload allocation for `sys` (Algorithm 1).
+///
+/// Returns the fractions in the *original* speed order (the paper sorts
+/// internally; we restore the caller's order). The result satisfies
+/// `Σα = 1`, `α_i ≥ 0`, and `α_iλ < s_iμ` for every machine.
+pub fn optimized_allocation(sys: &HetSystem) -> Vec<f64> {
+    let n = sys.len();
+    let mu = sys.mu();
+    let lambda = sys.lambda();
+
+    // Step 2: sort speeds ascending, remembering original positions.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        sys.speeds()[a]
+            .partial_cmp(&sys.speeds()[b])
+            .expect("speeds are finite")
+    });
+    let sorted: Vec<f64> = order.iter().map(|&i| sys.speeds()[i]).collect();
+
+    // Steps 3–5: locate the cutoff.
+    let m = cutoff_binary_search(&sorted, mu, lambda);
+    debug_assert!(m < n, "cutoff must leave at least one machine");
+
+    // Steps 6–7: zero the slow prefix, closed form for the suffix.
+    let rest = &sorted[m..];
+    let cap: f64 = rest.iter().map(|&s| s * mu).sum();
+    let sqrt_sum: f64 = rest.iter().map(|&s| (s * mu).sqrt()).sum();
+    let c = (cap - lambda) / sqrt_sum;
+
+    let mut alphas = vec![0.0; n];
+    for (k, &orig) in order.iter().enumerate() {
+        if k < m {
+            continue;
+        }
+        let s = sorted[k];
+        let a = (s * mu - (s * mu).sqrt() * c) / lambda;
+        // Clamp float dust at the boundary (machines exactly at the
+        // cutoff get α = 0 analytically).
+        alphas[orig] = a.max(0.0);
+    }
+
+    // The fractions sum to 1 analytically; renormalize away rounding so
+    // downstream dispatchers can rely on Σα = 1 exactly.
+    let sum: f64 = alphas.iter().sum();
+    debug_assert!((sum - 1.0).abs() < 1e-9, "allocation sum {sum} far from 1");
+    for a in &mut alphas {
+        *a /= sum;
+    }
+    alphas
+}
+
+/// Convenience wrapper: optimized allocation for speeds at a target
+/// utilization (`μ = 1`), the exact signature of the paper's Algorithm 1.
+///
+/// ```
+/// use hetsched_queueing::closed_form::optimized_allocation_for;
+///
+/// // A 1x and a 10x machine at 50% utilization: the optimized scheme
+/// // sends almost everything to the fast machine...
+/// let alphas = optimized_allocation_for(&[1.0, 10.0], 0.5);
+/// assert!(alphas[1] > 0.93);
+/// // ...while the proportional split would send it only 10/11 ≈ 0.91.
+/// assert!((alphas[0] + alphas[1] - 1.0).abs() < 1e-12);
+///
+/// // At very light load the slow machine is cut off entirely (Thm. 2).
+/// let light = optimized_allocation_for(&[1.0, 10.0], 0.1);
+/// assert_eq!(light[0], 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if the parameters are invalid (empty speeds, `ρ ∉ (0,1)`).
+pub fn optimized_allocation_for(speeds: &[f64], rho: f64) -> Vec<f64> {
+    let sys = HetSystem::from_utilization(speeds, rho)
+        .expect("invalid speeds/utilization for Algorithm 1");
+    optimized_allocation(&sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{cutoff_min_value, objective_f, theorem1_min_value};
+    use crate::system::validate_allocation;
+    use proptest::prelude::*;
+
+    #[test]
+    fn homogeneous_system_gets_equal_shares() {
+        let sys = HetSystem::from_utilization(&[2.0, 2.0, 2.0, 2.0], 0.7).unwrap();
+        let a = optimized_allocation(&sys);
+        for &x in &a {
+            assert!((x - 0.25).abs() < 1e-12, "{a:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_is_valid_probability_vector() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0], 0.7).unwrap();
+        let a = optimized_allocation(&sys);
+        assert!(validate_allocation(&sys, &a), "{a:?}");
+    }
+
+    #[test]
+    fn fast_machines_get_disproportionate_share() {
+        // The paper's core claim (§2.3): optimized allocation is more
+        // skewed than proportional.
+        let sys = HetSystem::from_utilization(&[1.0, 10.0], 0.5).unwrap();
+        let opt = optimized_allocation(&sys);
+        let w = sys.weighted_allocation();
+        assert!(
+            opt[1] > w[1],
+            "fast machine: optimized {} ≤ weighted {}",
+            opt[1],
+            w[1]
+        );
+        assert!(opt[0] < w[0]);
+    }
+
+    #[test]
+    fn slow_machines_cut_off_at_low_load() {
+        // At ρ = 0.2 with a 20:1 speed ratio, the slow machines should
+        // receive zero workload.
+        let speeds = [1.0, 1.0, 20.0];
+        let sys = HetSystem::from_utilization(&speeds, 0.2).unwrap();
+        let a = optimized_allocation(&sys);
+        assert_eq!(a[0], 0.0, "{a:?}");
+        assert_eq!(a[1], 0.0, "{a:?}");
+        assert!((a[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_cutoff_at_high_load() {
+        let speeds = [1.0, 1.0, 20.0];
+        let sys = HetSystem::from_utilization(&speeds, 0.95).unwrap();
+        let a = optimized_allocation(&sys);
+        assert!(a.iter().all(|&x| x > 0.0), "{a:?}");
+    }
+
+    #[test]
+    fn converges_to_weighted_as_load_approaches_one() {
+        // §2.3: "When the system utilization approaches 100%, the
+        // optimized allocation scheme degenerates to the simple weighted
+        // scheme."
+        let speeds = [1.0, 2.0, 5.0, 10.0];
+        let sys = HetSystem::from_utilization(&speeds, 0.9999).unwrap();
+        let a = optimized_allocation(&sys);
+        let w = sys.weighted_allocation();
+        for (x, y) in a.iter().zip(&w) {
+            assert!((x - y).abs() < 1e-3, "{a:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn more_skewed_at_lower_load() {
+        // §2.2: "The distribution of workload becomes even more skewed
+        // when the system utilization decreases."
+        let speeds = [1.0, 10.0];
+        let lo = optimized_allocation_for(&speeds, 0.3);
+        let hi = optimized_allocation_for(&speeds, 0.9);
+        assert!(
+            lo[1] > hi[1],
+            "fast share at ρ=0.3 ({}) should exceed ρ=0.9 ({})",
+            lo[1],
+            hi[1]
+        );
+    }
+
+    #[test]
+    fn original_order_is_preserved() {
+        // Speeds deliberately unsorted: result must align by index.
+        let sys = HetSystem::from_utilization(&[10.0, 1.0, 5.0], 0.8).unwrap();
+        let a = optimized_allocation(&sys);
+        assert!(a[0] > a[2] && a[2] > a[1], "{a:?}");
+    }
+
+    #[test]
+    fn matches_theorem1_value_without_cutoff() {
+        let sys = HetSystem::from_utilization(&[4.0, 5.0, 6.0], 0.8).unwrap();
+        let a = optimized_allocation(&sys);
+        assert!(a.iter().all(|&x| x > 0.0), "no machine should be cut");
+        let f = objective_f(&sys, &a).unwrap();
+        let bound = theorem1_min_value(&sys);
+        assert!((f - bound).abs() / bound < 1e-9, "F={f}, bound={bound}");
+    }
+
+    #[test]
+    fn matches_cutoff_value_with_cutoff() {
+        let speeds = [1.0, 1.0, 20.0];
+        let sys = HetSystem::from_utilization(&speeds, 0.2).unwrap();
+        let a = optimized_allocation(&sys);
+        let f = objective_f(&sys, &a).unwrap();
+        let mut sorted = speeds.to_vec();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let bound = cutoff_min_value(&sorted, sys.mu(), sys.lambda(), 2);
+        assert!((f - bound).abs() / bound < 1e-9, "F={f}, bound={bound}");
+    }
+
+    #[test]
+    fn beats_weighted_and_equal_everywhere() {
+        for &rho in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let sys = HetSystem::from_utilization(&[1.0, 1.5, 2.0, 5.0, 10.0, 12.0], rho).unwrap();
+            let f_opt = objective_f(&sys, &optimized_allocation(&sys)).unwrap();
+            let f_w = objective_f(&sys, &sys.weighted_allocation()).unwrap();
+            assert!(f_opt <= f_w + 1e-9, "ρ={rho}: opt {f_opt} > weighted {f_w}");
+            if let Some(f_e) = objective_f(&sys, &sys.equal_allocation()) {
+                assert!(f_opt <= f_e + 1e-9, "ρ={rho}: opt {f_opt} > equal {f_e}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_perturbations_do_not_improve() {
+        // Move ε of workload between every machine pair with α_i > 0 and
+        // verify F does not decrease — first-order optimality.
+        let sys = HetSystem::from_utilization(&[1.0, 2.0, 3.0, 8.0], 0.6).unwrap();
+        let a = optimized_allocation(&sys);
+        let f0 = objective_f(&sys, &a).unwrap();
+        let eps = 1e-6;
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                if i == j || a[i] < eps {
+                    continue;
+                }
+                let mut b = a.clone();
+                b[i] -= eps;
+                b[j] += eps;
+                if let Some(f) = objective_f(&sys, &b) {
+                    assert!(
+                        f >= f0 - 1e-12,
+                        "moving {eps} from {i} to {j} improved F: {f} < {f0}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_gets_everything() {
+        let sys = HetSystem::from_utilization(&[3.0], 0.7).unwrap();
+        assert_eq!(optimized_allocation(&sys), vec![1.0]);
+    }
+
+    #[test]
+    fn binary_search_equals_linear_scan_on_examples() {
+        let cases: [(&[f64], f64); 5] = [
+            (&[1.0, 1.0, 20.0], 0.2),
+            (&[1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0], 0.7),
+            (&[1.0, 1.0, 1.0], 0.5),
+            (&[1.0, 2.0, 4.0, 8.0, 16.0], 0.1),
+            (&[5.0, 5.0, 5.0, 100.0], 0.05),
+        ];
+        for (speeds, rho) in cases {
+            let sys = HetSystem::from_utilization(speeds, rho).unwrap();
+            let mut sorted = speeds.to_vec();
+            sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(
+                cutoff_binary_search(&sorted, sys.mu(), sys.lambda()),
+                cutoff_linear_scan(&sorted, sys.mu(), sys.lambda()),
+                "speeds {speeds:?} ρ={rho}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speeds/utilization")]
+    fn wrapper_rejects_bad_rho() {
+        optimized_allocation_for(&[1.0], 1.5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The closed form always yields a feasible allocation.
+        #[test]
+        fn always_feasible(
+            speeds in prop::collection::vec(0.1f64..50.0, 1..12),
+            rho in 0.02f64..0.98,
+        ) {
+            let sys = HetSystem::from_utilization(&speeds, rho).unwrap();
+            let a = optimized_allocation(&sys);
+            prop_assert!(validate_allocation(&sys, &a), "{a:?}");
+        }
+
+        /// The binary-search cutoff agrees with the linear scan — i.e.
+        /// the cut-off prefix really is contiguous (footnote 3).
+        #[test]
+        fn cutoff_search_agrees(
+            speeds in prop::collection::vec(0.1f64..50.0, 1..12),
+            rho in 0.02f64..0.98,
+        ) {
+            let sys = HetSystem::from_utilization(&speeds, rho).unwrap();
+            let mut sorted = speeds.clone();
+            sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            prop_assert_eq!(
+                cutoff_binary_search(&sorted, sys.mu(), sys.lambda()),
+                cutoff_linear_scan(&sorted, sys.mu(), sys.lambda())
+            );
+        }
+
+        /// The closed form never loses to proportional or equal splitting.
+        #[test]
+        fn never_worse_than_baselines(
+            speeds in prop::collection::vec(0.1f64..50.0, 1..12),
+            rho in 0.02f64..0.98,
+        ) {
+            let sys = HetSystem::from_utilization(&speeds, rho).unwrap();
+            let f_opt = objective_f(&sys, &optimized_allocation(&sys)).unwrap();
+            let f_w = objective_f(&sys, &sys.weighted_allocation()).unwrap();
+            prop_assert!(f_opt <= f_w * (1.0 + 1e-9));
+        }
+    }
+}

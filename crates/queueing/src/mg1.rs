@@ -1,0 +1,152 @@
+//! M/G/1 analysis: FCFS (Pollaczek–Khinchine) and PS.
+//!
+//! The paper's analysis uses M/M/1-PS, whose mean response time is
+//! insensitive to the job-size distribution. The FCFS ablation needs the
+//! general-service formulas to *predict* how badly FCFS degrades under
+//! the Bounded Pareto sizes:
+//!
+//! * **M/G/1-FCFS** (Pollaczek–Khinchine): mean waiting time
+//!   `W = λ E[S²] / (2 (1 − ρ))` — driven by the *second* moment, which
+//!   is enormous for heavy-tailed sizes;
+//! * **M/G/1-PS**: mean response time `E[S] / (1 − ρ)` — identical to
+//!   M/M/1-PS with the same mean (the insensitivity property).
+//!
+//! The ratio of the two quantifies how much processor sharing buys on a
+//! heavy-tailed workload, which is exactly what the discipline ablation
+//! measures by simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/G/1 queue described by its arrival rate and the first two
+/// moments of the service-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mg1 {
+    lambda: f64,
+    mean_service: f64,
+    second_moment_service: f64,
+}
+
+impl Mg1 {
+    /// Creates an M/G/1 queue.
+    ///
+    /// # Panics
+    /// Panics unless the parameters are positive and finite, the second
+    /// moment is consistent (`E[S²] ≥ E[S]²`), and the queue is stable
+    /// (`ρ = λ E[S] < 1`).
+    pub fn new(lambda: f64, mean_service: f64, second_moment_service: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "arrival rate must be positive, got {lambda}"
+        );
+        assert!(
+            mean_service.is_finite() && mean_service > 0.0,
+            "mean service must be positive, got {mean_service}"
+        );
+        assert!(
+            second_moment_service.is_finite()
+                && second_moment_service >= mean_service * mean_service,
+            "E[S²] = {second_moment_service} inconsistent with E[S] = {mean_service}"
+        );
+        let rho = lambda * mean_service;
+        assert!(rho < 1.0, "queue unstable: ρ = {rho}");
+        Mg1 {
+            lambda,
+            mean_service,
+            second_moment_service,
+        }
+    }
+
+    /// Builds the queue from a service-time distribution's moments.
+    pub fn from_moments<D: hetsched_dist::Moments>(lambda: f64, service: &D) -> Self {
+        Mg1::new(lambda, service.mean(), service.second_moment())
+    }
+
+    /// Utilization `ρ = λ E[S]`.
+    pub fn utilization(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+
+    /// FCFS mean waiting time (Pollaczek–Khinchine):
+    /// `W = λ E[S²] / (2(1 − ρ))`.
+    pub fn fcfs_mean_wait(&self) -> f64 {
+        self.lambda * self.second_moment_service / (2.0 * (1.0 - self.utilization()))
+    }
+
+    /// FCFS mean response time `E[S] + W`.
+    pub fn fcfs_mean_response(&self) -> f64 {
+        self.mean_service + self.fcfs_mean_wait()
+    }
+
+    /// PS mean response time `E[S] / (1 − ρ)` — insensitive to the shape
+    /// of the service distribution.
+    pub fn ps_mean_response(&self) -> f64 {
+        self.mean_service / (1.0 - self.utilization())
+    }
+
+    /// How many times worse FCFS's mean response is than PS's on this
+    /// workload. Equals 1 at the deterministic extreme minus the idle
+    /// factor, grows unboundedly with service variability.
+    pub fn fcfs_over_ps(&self) -> f64 {
+        self.fcfs_mean_response() / self.ps_mean_response()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsched_dist::{BoundedPareto, Deterministic, Exponential, Moments};
+
+    #[test]
+    fn exponential_service_recovers_mm1() {
+        // For exponential service, PK gives W = ρ/(1−ρ)·E[S] and the
+        // FCFS mean response equals the M/M/1 value 1/(μ−λ).
+        let q = Mg1::from_moments(0.5, &Exponential::from_mean(1.0));
+        assert!((q.fcfs_mean_response() - 2.0).abs() < 1e-12);
+        assert!((q.ps_mean_response() - 2.0).abs() < 1e-12);
+        assert!((q.fcfs_over_ps() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_service_halves_the_wait() {
+        // M/D/1: W is half the M/M/1 value.
+        let md1 = Mg1::from_moments(0.5, &Deterministic::new(1.0));
+        let mm1 = Mg1::from_moments(0.5, &Exponential::from_mean(1.0));
+        assert!((md1.fcfs_mean_wait() - 0.5 * mm1.fcfs_mean_wait()).abs() < 1e-12);
+        // PS is insensitive: same mean response for both.
+        assert!((md1.ps_mean_response() - mm1.ps_mean_response()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_tail_wrecks_fcfs_but_not_ps() {
+        let bp = BoundedPareto::paper_default();
+        let lambda = 0.7 / bp.mean(); // ρ = 0.7
+        let q = Mg1::from_moments(lambda, &bp);
+        assert!((q.utilization() - 0.7).abs() < 1e-12);
+        // E[S²] ≈ 2.16·10⁵ s² gives W ≈ 3280 s vs a PS response of
+        // 256 s: FCFS/PS ≈ 13.1.
+        assert!(
+            (q.fcfs_over_ps() - 13.1).abs() < 0.2,
+            "FCFS/PS = {} expected ≈ 13.1 for BP(10, 21600, 1) at ρ=0.7",
+            q.fcfs_over_ps()
+        );
+    }
+
+    #[test]
+    fn wait_diverges_near_saturation() {
+        let a = Mg1::new(0.9, 1.0, 2.0);
+        let b = Mg1::new(0.99, 1.0, 2.0);
+        assert!(b.fcfs_mean_wait() > 10.0 * a.fcfs_mean_wait() / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_overload() {
+        Mg1::new(2.0, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn rejects_impossible_moments() {
+        Mg1::new(0.5, 1.0, 0.5);
+    }
+}

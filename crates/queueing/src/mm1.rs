@@ -1,0 +1,158 @@
+//! Single-queue M/M/1 with processor sharing.
+//!
+//! §2.3 of the paper: each computer is "modeled as an M/M/1 queue which
+//! employs the processor sharing (PS) service discipline". For such a
+//! queue with arrival rate `λ` and service rate `μ` (utilization
+//! `ρ = λ/μ < 1`):
+//!
+//! * conditional response time of a job of size `t`:
+//!   `E[T | size = t] = t / (1 − ρ)` — the celebrated PS insensitivity;
+//! * mean response time (eq. 1): `T̄ = 1 / ((1 − ρ) μ) = 1 / (μ − λ)`;
+//! * mean response ratio (eq. 2): `R̄ = 1 / (1 − ρ)`.
+//!
+//! Under PS these means are *insensitive* to the job-size distribution
+//! beyond its mean — the analytic license for using M/M/1-PS formulas
+//! while simulating Bounded Pareto sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// An M/M/1 queue with processor-sharing service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mm1Ps {
+    lambda: f64,
+    mu: f64,
+}
+
+impl Mm1Ps {
+    /// Creates a queue with arrival rate `λ` and service rate `μ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ λ < μ` (stability) and both are finite.
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(
+            lambda.is_finite() && mu.is_finite() && lambda >= 0.0 && mu > 0.0,
+            "rates must be finite with λ ≥ 0, μ > 0 (got λ={lambda}, μ={mu})"
+        );
+        assert!(lambda < mu, "queue unstable: λ={lambda} ≥ μ={mu}");
+        Mm1Ps { lambda, mu }
+    }
+
+    /// Arrival rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Utilization `ρ = λ/μ`.
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Conditional mean response time of a job of size `t` (seconds of
+    /// work at this server's speed): `t / (1 − ρ)`.
+    pub fn response_time_for_size(&self, t: f64) -> f64 {
+        assert!(t >= 0.0, "job size must be non-negative");
+        t / (1.0 - self.utilization())
+    }
+
+    /// Mean response time (eq. 1): `1 / (μ − λ)`.
+    pub fn mean_response_time(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean response ratio (eq. 2): `1 / (1 − ρ)`.
+    ///
+    /// Note: this is the ratio against the job's size *at this server's
+    /// speed*; the system-level response ratio against a speed-1 baseline
+    /// carries an extra `1/s_i` factor, handled in [`crate::predict`].
+    pub fn mean_response_ratio(&self) -> f64 {
+        1.0 / (1.0 - self.utilization())
+    }
+
+    /// Mean number of jobs in the system: `ρ / (1 − ρ)` (Little's law
+    /// with the mean response time above).
+    pub fn mean_jobs_in_system(&self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn half_loaded_queue() {
+        let q = Mm1Ps::new(0.5, 1.0);
+        assert_eq!(q.utilization(), 0.5);
+        assert_eq!(q.mean_response_time(), 2.0);
+        assert_eq!(q.mean_response_ratio(), 2.0);
+        assert_eq!(q.mean_jobs_in_system(), 1.0);
+    }
+
+    #[test]
+    fn conditional_response_scales_linearly_in_size() {
+        // PS: a job twice as large takes exactly twice as long in
+        // expectation — the insensitivity property.
+        let q = Mm1Ps::new(0.7, 1.0);
+        let t1 = q.response_time_for_size(1.0);
+        let t2 = q.response_time_for_size(2.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_queue_has_unit_ratio() {
+        let q = Mm1Ps::new(1e-12, 1.0);
+        assert!((q.mean_response_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_blows_up_near_saturation() {
+        let q = Mm1Ps::new(0.999, 1.0);
+        assert!(q.mean_response_time() > 500.0);
+    }
+
+    #[test]
+    fn littles_law_consistency() {
+        // L = λ·W for any stable parameters.
+        for &(l, m) in &[(0.3, 1.0), (2.0, 5.0), (0.9, 1.0)] {
+            let q = Mm1Ps::new(l, m);
+            let littles = q.lambda() * q.mean_response_time();
+            assert!((q.mean_jobs_in_system() - littles).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_unstable() {
+        Mm1Ps::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be finite")]
+    fn rejects_negative_lambda() {
+        Mm1Ps::new(-0.1, 1.0);
+    }
+
+    proptest! {
+        /// Eq. 1 and eq. 2 are consistent: T̄·μ = R̄ for every stable queue.
+        #[test]
+        fn ratio_is_scaled_time(mu in 0.1f64..100.0, rho in 0.001f64..0.999) {
+            let q = Mm1Ps::new(rho * mu, mu);
+            prop_assert!((q.mean_response_time() * mu - q.mean_response_ratio()).abs() < 1e-9);
+        }
+
+        /// Response time is increasing in utilization.
+        #[test]
+        fn monotone_in_load(mu in 0.1f64..10.0, r1 in 0.01f64..0.98, bump in 0.001f64..0.01) {
+            let q1 = Mm1Ps::new(r1 * mu, mu);
+            let q2 = Mm1Ps::new((r1 + bump) * mu, mu);
+            prop_assert!(q2.mean_response_time() > q1.mean_response_time());
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Analytic performance predictions for a concrete allocation.
+//!
+//! Bundles eq. 3's system-level metrics with per-machine detail
+//! (utilization, mean response time/ratio of the jobs each machine
+//! serves). This powers the capacity-planning example and the
+//! analytic-validation test that compares the simulator against the
+//! formulas under Poisson/exponential traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::objective::{mean_response_ratio, mean_response_time, objective_f};
+use crate::system::HetSystem;
+
+/// Per-machine analytic predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachinePrediction {
+    /// The machine's relative speed `s_i`.
+    pub speed: f64,
+    /// Allocated fraction `α_i`.
+    pub alpha: f64,
+    /// Utilization `ρ_i = α_iλ / (s_iμ)`.
+    pub utilization: f64,
+    /// Mean response time of jobs served here: `1 / (s_iμ − α_iλ)`
+    /// (0 for an unused machine).
+    pub mean_response_time: f64,
+    /// Mean response ratio of jobs served here: `μ / (s_iμ − α_iλ)`
+    /// (0 for an unused machine).
+    pub mean_response_ratio: f64,
+}
+
+/// Analytic report for an allocation over a system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationReport {
+    /// System-wide mean response time (eq. 3).
+    pub mean_response_time: f64,
+    /// System-wide mean response ratio `μT̄`.
+    pub mean_response_ratio: f64,
+    /// Objective value `F(α…)`.
+    pub objective: f64,
+    /// Per-machine detail, in the caller's speed order.
+    pub machines: Vec<MachinePrediction>,
+}
+
+impl AllocationReport {
+    /// Builds the report; `None` if the allocation saturates a machine or
+    /// has the wrong length.
+    pub fn build(sys: &HetSystem, alphas: &[f64]) -> Option<Self> {
+        let t = mean_response_time(sys, alphas)?;
+        let r = mean_response_ratio(sys, alphas)?;
+        let f = objective_f(sys, alphas)?;
+        let machines = alphas
+            .iter()
+            .zip(sys.speeds())
+            .map(|(&a, &s)| {
+                let cap = s * sys.mu();
+                let denom = cap - a * sys.lambda();
+                MachinePrediction {
+                    speed: s,
+                    alpha: a,
+                    utilization: a * sys.lambda() / cap,
+                    mean_response_time: if a > 0.0 { 1.0 / denom } else { 0.0 },
+                    mean_response_ratio: if a > 0.0 { sys.mu() / denom } else { 0.0 },
+                }
+            })
+            .collect();
+        Some(AllocationReport {
+            mean_response_time: t,
+            mean_response_ratio: r,
+            objective: f,
+            machines,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::optimized_allocation;
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let sys = HetSystem::from_utilization(&[1.0, 2.0, 4.0], 0.7).unwrap();
+        let alphas = optimized_allocation(&sys);
+        let rep = AllocationReport::build(&sys, &alphas).unwrap();
+        assert!((rep.mean_response_ratio - sys.mu() * rep.mean_response_time).abs() < 1e-12);
+        // System T̄ is the α-weighted sum of machine response times.
+        let weighted: f64 = rep
+            .machines
+            .iter()
+            .map(|m| m.alpha * m.mean_response_time)
+            .sum();
+        assert!((weighted - rep.mean_response_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilizations_below_one() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.5, 10.0], 0.9).unwrap();
+        let rep = AllocationReport::build(&sys, &optimized_allocation(&sys)).unwrap();
+        for m in &rep.machines {
+            assert!(m.utilization < 1.0);
+            assert!(m.utilization >= 0.0);
+        }
+    }
+
+    #[test]
+    fn optimized_equalizes_nothing_but_beats_weighted() {
+        let sys = HetSystem::from_utilization(&[1.0, 10.0], 0.5).unwrap();
+        let opt = AllocationReport::build(&sys, &optimized_allocation(&sys)).unwrap();
+        let w = AllocationReport::build(&sys, &sys.weighted_allocation()).unwrap();
+        assert!(opt.mean_response_ratio < w.mean_response_ratio);
+        // Weighted equalizes utilizations; optimized does not.
+        assert!((w.machines[0].utilization - w.machines[1].utilization).abs() < 1e-12);
+        assert!(opt.machines[0].utilization < opt.machines[1].utilization);
+    }
+
+    #[test]
+    fn unused_machine_has_zero_metrics() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.0, 20.0], 0.2).unwrap();
+        let rep = AllocationReport::build(&sys, &optimized_allocation(&sys)).unwrap();
+        assert_eq!(rep.machines[0].mean_response_time, 0.0);
+        assert_eq!(rep.machines[0].utilization, 0.0);
+    }
+
+    #[test]
+    fn saturating_allocation_yields_none() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.0], 0.9).unwrap();
+        assert!(AllocationReport::build(&sys, &[1.0, 0.0]).is_none());
+        assert!(AllocationReport::build(&sys, &[0.5]).is_none());
+    }
+}

@@ -1,0 +1,269 @@
+//! The heterogeneous system description.
+//!
+//! A [`HetSystem`] is the tuple `(s_1…s_n, μ, λ)` of Figure 1 of the
+//! paper: `n` computers with relative speeds `s_i > 0`, a baseline job
+//! service rate `μ` (so computer `i` serves at rate `s_iμ`), and a total
+//! Poisson/renewal arrival rate `λ`. The system must not be saturated:
+//! `λ < μ Σ s_i`.
+
+use serde::{Deserialize, Serialize};
+
+/// Validation errors for system parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SystemError {
+    /// The speed list was empty.
+    NoComputers,
+    /// A speed, `μ`, or `λ` was non-positive or non-finite.
+    BadParameter,
+    /// `λ ≥ μ Σ s_i`: the whole system is overloaded and no allocation
+    /// can stabilize it.
+    Saturated,
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::NoComputers => write!(f, "system has no computers"),
+            SystemError::BadParameter => {
+                write!(f, "speeds, μ and λ must be positive and finite")
+            }
+            SystemError::Saturated => {
+                write!(
+                    f,
+                    "arrival rate saturates the aggregate capacity (λ ≥ μ·Σs)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// A network of heterogeneous computers fed by a central scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HetSystem {
+    speeds: Vec<f64>,
+    mu: f64,
+    lambda: f64,
+}
+
+impl HetSystem {
+    /// Creates a system from explicit speeds, baseline rate and arrival
+    /// rate.
+    pub fn new(speeds: &[f64], mu: f64, lambda: f64) -> Result<Self, SystemError> {
+        if speeds.is_empty() {
+            return Err(SystemError::NoComputers);
+        }
+        let all_ok = speeds.iter().all(|&s| s.is_finite() && s > 0.0)
+            && mu.is_finite()
+            && mu > 0.0
+            && lambda.is_finite()
+            && lambda > 0.0;
+        if !all_ok {
+            return Err(SystemError::BadParameter);
+        }
+        let capacity: f64 = speeds.iter().sum::<f64>() * mu;
+        if lambda >= capacity {
+            return Err(SystemError::Saturated);
+        }
+        Ok(HetSystem {
+            speeds: speeds.to_vec(),
+            mu,
+            lambda,
+        })
+    }
+
+    /// Creates a system from a target overall utilization
+    /// `ρ = λ / (μ Σ s_i)` with `μ = 1`.
+    ///
+    /// The paper observes (§2.3) that the optimized allocation depends on
+    /// the parameters only through `ρ` and the speeds, so this is the
+    /// natural constructor for experiments.
+    pub fn from_utilization(speeds: &[f64], rho: f64) -> Result<Self, SystemError> {
+        if !(rho.is_finite() && rho > 0.0 && rho < 1.0) {
+            return Err(SystemError::BadParameter);
+        }
+        if speeds.is_empty() {
+            return Err(SystemError::NoComputers);
+        }
+        let total: f64 = speeds.iter().sum();
+        HetSystem::new(speeds, 1.0, rho * total)
+    }
+
+    /// Relative computer speeds.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Number of computers.
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Whether the system has no computers (never true for a constructed
+    /// system; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Baseline service rate `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Total arrival rate `λ`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Aggregate service capacity `μ Σ s_i`.
+    pub fn capacity(&self) -> f64 {
+        self.mu * self.total_speed()
+    }
+
+    /// Sum of relative speeds.
+    pub fn total_speed(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Overall utilization `ρ = λ / (μ Σ s_i)`.
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.capacity()
+    }
+
+    /// A copy of the system with a different arrival rate (used by load
+    /// sweeps).
+    pub fn with_lambda(&self, lambda: f64) -> Result<Self, SystemError> {
+        HetSystem::new(&self.speeds, self.mu, lambda)
+    }
+
+    /// The *simple weighted* allocation: `α_i = s_i / Σ s_j` (§2.1).
+    pub fn weighted_allocation(&self) -> Vec<f64> {
+        let total = self.total_speed();
+        self.speeds.iter().map(|s| s / total).collect()
+    }
+
+    /// The *equal share* allocation: `α_i = 1/n` — the speed-blind
+    /// baseline that plain round-robin implements.
+    pub fn equal_allocation(&self) -> Vec<f64> {
+        vec![1.0 / self.len() as f64; self.len()]
+    }
+}
+
+/// Checks that an allocation vector is a valid probability vector that
+/// keeps every computer of `sys` unsaturated: `Σα = 1`, `α_i ≥ 0`,
+/// `α_iλ < s_iμ`.
+pub fn validate_allocation(sys: &HetSystem, alphas: &[f64]) -> bool {
+    if alphas.len() != sys.len() {
+        return false;
+    }
+    let sum: f64 = alphas.iter().sum();
+    if (sum - 1.0).abs() > 1e-9 {
+        return false;
+    }
+    alphas
+        .iter()
+        .zip(sys.speeds())
+        .all(|(&a, &s)| a >= -1e-12 && a * sys.lambda() < s * sys.mu())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let sys = HetSystem::new(&[1.0, 2.0, 3.0], 2.0, 5.0).unwrap();
+        assert_eq!(sys.len(), 3);
+        assert_eq!(sys.total_speed(), 6.0);
+        assert_eq!(sys.capacity(), 12.0);
+        assert!((sys.utilization() - 5.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_utilization_round_trips() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.5, 10.0], 0.7).unwrap();
+        assert!((sys.utilization() - 0.7).abs() < 1e-12);
+        assert_eq!(sys.mu(), 1.0);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(HetSystem::new(&[], 1.0, 0.5), Err(SystemError::NoComputers));
+        assert_eq!(
+            HetSystem::from_utilization(&[], 0.5),
+            Err(SystemError::NoComputers)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(
+            HetSystem::new(&[1.0, -1.0], 1.0, 0.5),
+            Err(SystemError::BadParameter)
+        );
+        assert_eq!(
+            HetSystem::new(&[1.0], 0.0, 0.5),
+            Err(SystemError::BadParameter)
+        );
+        assert_eq!(
+            HetSystem::new(&[1.0], 1.0, f64::NAN),
+            Err(SystemError::BadParameter)
+        );
+        assert_eq!(
+            HetSystem::from_utilization(&[1.0], 1.0),
+            Err(SystemError::BadParameter)
+        );
+    }
+
+    #[test]
+    fn rejects_saturation() {
+        assert_eq!(
+            HetSystem::new(&[1.0, 1.0], 1.0, 2.0),
+            Err(SystemError::Saturated)
+        );
+        assert!(HetSystem::new(&[1.0, 1.0], 1.0, 1.999).is_ok());
+    }
+
+    #[test]
+    fn weighted_allocation_is_proportional() {
+        let sys = HetSystem::from_utilization(&[1.0, 3.0], 0.5).unwrap();
+        let w = sys.weighted_allocation();
+        assert!((w[0] - 0.25).abs() < 1e-12);
+        assert!((w[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_allocation_is_uniform() {
+        let sys = HetSystem::from_utilization(&[1.0, 5.0, 9.0, 10.0], 0.5).unwrap();
+        let e = sys.equal_allocation();
+        assert!(e.iter().all(|&a| (a - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn validate_allocation_checks_everything() {
+        let sys = HetSystem::from_utilization(&[1.0, 1.0], 0.9).unwrap();
+        assert!(validate_allocation(&sys, &[0.5, 0.5]));
+        assert!(!validate_allocation(&sys, &[0.6, 0.6])); // sum ≠ 1
+        assert!(!validate_allocation(&sys, &[1.0, 0.0])); // saturates c1: 1·1.8 ≥ 1
+        assert!(!validate_allocation(&sys, &[-0.1, 1.1])); // negative
+        assert!(!validate_allocation(&sys, &[1.0])); // wrong length
+    }
+
+    #[test]
+    fn with_lambda_rescales() {
+        let sys = HetSystem::from_utilization(&[2.0, 2.0], 0.5).unwrap();
+        let heavier = sys.with_lambda(3.0).unwrap();
+        assert!((heavier.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(heavier.speeds(), sys.speeds());
+        assert_eq!(sys.with_lambda(5.0), Err(SystemError::Saturated));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SystemError::Saturated.to_string().contains("λ ≥ μ·Σs"));
+        assert!(SystemError::NoComputers
+            .to_string()
+            .contains("no computers"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Scenario: scheduling under drifting load with Adaptive ORR.
+//!
+//! The paper computes the optimized allocation from a fixed utilization
+//! estimate and shows (§5.4) that underestimation at heavy load is
+//! dangerous. Real systems drift: overnight lulls, daytime peaks. This
+//! example runs a day-night load pattern (a slow MMPP) and compares:
+//!
+//! * WRR — needs no estimate, never adapts;
+//! * ORR tuned for the *average* load;
+//! * ORR tuned for the *peak* load (the paper's conservative advice);
+//! * AORR — the extension policy that estimates the arrival rate online
+//!   and re-runs Algorithm 1 periodically.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example adaptive_load
+//! ```
+
+use hetsched::prelude::*;
+
+fn main() {
+    let speeds = [1.0, 1.0, 1.0, 1.0, 10.0, 10.0];
+
+    // Day-night pattern: calm half the time, 3× busier the other half,
+    // ~2-hour cycles. Overall utilization 0.55 — peaks near 0.85.
+    let arrivals = ArrivalSpec::Mmpp {
+        burst_factor: 3.0,
+        frac_bursty: 0.5,
+        cycle: 7200.0,
+    };
+    let avg_rho = 0.55;
+    let peak_rho = 0.55 * 2.0 * 3.0 / (1.0 + 3.0); // bursty-state utilization
+
+    println!("day/night workload: average rho {avg_rho}, bursty-phase rho {peak_rho:.2}\n");
+
+    let policies: Vec<(String, PolicySpec)> = vec![
+        ("WRR (no estimate)".into(), PolicySpec::wrr()),
+        ("ORR @ average rho".into(), PolicySpec::orr()),
+        (
+            format!("ORR @ peak (+{:.0}%)", 100.0 * (peak_rho / avg_rho - 1.0)),
+            PolicySpec::orr_with_error(peak_rho / avg_rho - 1.0),
+        ),
+        (
+            "AORR (online estimate)".into(),
+            PolicySpec::AdaptiveOrr {
+                recompute_every: 600.0,
+                safety_margin: 0.05,
+            },
+        ),
+    ];
+
+    let mut t = Table::new(["policy", "mean resp ratio", "fairness", "p95 ratio"]);
+    for (label, spec) in policies {
+        let mut cfg = ClusterConfig::paper_default(&speeds)
+            .with_utilization(avg_rho)
+            .scaled(0.25);
+        cfg.arrivals = arrivals;
+        let mut exp = Experiment::new(label.clone(), cfg, spec);
+        exp.replications = 5;
+        let r = exp.run().expect("valid experiment");
+        t.row([
+            label,
+            format!("{}", r.mean_response_ratio),
+            format!("{}", r.fairness),
+            format!("{}", r.p95_response_ratio),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nTuning ORR for the average load risks the §5.4 underestimation\nfailure during the busy phase; tuning for the peak gives up some of the\nquiet-phase gain. AORR re-estimates the load as it shifts and should\nsit at or below the better of the two fixed tunings."
+    );
+}

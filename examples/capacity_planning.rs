@@ -1,0 +1,105 @@
+//! Scenario: capacity planning with the analytic layer alone.
+//!
+//! The optimized allocation needs only machine speeds and a utilization
+//! estimate (paper §2.3), so latency targets can be checked *before*
+//! deploying anything. This example answers a planning question
+//! analytically — "how much traffic can this fleet absorb while keeping
+//! the mean response ratio under 2?" — and then validates the analytic
+//! frontier against the simulator at a few points.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use hetsched::prelude::*;
+use hetsched::queueing::AllocationReport;
+
+fn main() {
+    let speeds = [2.0, 2.0, 4.0, 6.0, 10.0];
+    let target_ratio = 2.0;
+
+    // Analytic frontier: predicted mean response ratio vs utilization,
+    // optimized and weighted.
+    println!("fleet speeds {speeds:?}; target mean response ratio {target_ratio}\n");
+    let mut t = Table::new([
+        "rho",
+        "optimized R",
+        "weighted R",
+        "slowest-pair share (opt)",
+    ]);
+    let mut max_rho_ok = 0.0;
+    for i in 1..20 {
+        let rho = i as f64 / 20.0;
+        let sys = HetSystem::from_utilization(&speeds, rho).expect("valid");
+        let opt = closed_form::optimized_allocation(&sys);
+        let r_opt = objective::mean_response_ratio(&sys, &opt).expect("feasible");
+        let r_w =
+            objective::mean_response_ratio(&sys, &sys.weighted_allocation()).expect("feasible");
+        if r_opt <= target_ratio {
+            max_rho_ok = rho;
+        }
+        if i % 2 == 0 {
+            t.row([
+                format!("{rho:.2}"),
+                format!("{r_opt:.3}"),
+                format!("{r_w:.3}"),
+                format!("{:.0}%", 100.0 * (opt[0] + opt[1])),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\nanalytic answer: the fleet holds mean response ratio <= {target_ratio}\nup to rho = {max_rho_ok:.2} under the optimized allocation.\n"
+    );
+
+    // Detail view at the operating point, then simulate to validate.
+    let rho = max_rho_ok;
+    let sys = HetSystem::from_utilization(&speeds, rho).expect("valid");
+    let alphas = closed_form::optimized_allocation(&sys);
+    let report = AllocationReport::build(&sys, &alphas).expect("feasible");
+    let mut t = Table::new(["machine", "speed", "alpha", "utilization", "pred. ratio"]);
+    for (i, m) in report.machines.iter().enumerate() {
+        t.row([
+            format!("{i}"),
+            format!("{}", m.speed),
+            format!("{:.3}", m.alpha),
+            format!("{:.2}", m.utilization),
+            format!("{:.3}", m.mean_response_ratio),
+        ]);
+    }
+    t.print();
+
+    // The analysis assumes M/M/1; validate under Poisson/exponential
+    // traffic where it should be exact, and under the paper's bursty
+    // heavy-tailed workload where PS insensitivity keeps the mean close.
+    println!(
+        "\nvalidation at rho = {rho:.2} (predicted {:.3}):",
+        report.mean_response_ratio
+    );
+    for (label, sizes, arrivals) in [
+        (
+            "Poisson + exponential (model exact)",
+            DistSpec::Exponential { mean: 76.8 },
+            ArrivalSpec::Poisson,
+        ),
+        (
+            "paper workload (BP sizes, CV-3 arrivals)",
+            DistSpec::paper_job_sizes(),
+            ArrivalSpec::paper_default(),
+        ),
+    ] {
+        let mut cfg = ClusterConfig::paper_default(&speeds)
+            .with_utilization(rho)
+            .scaled(0.25);
+        cfg.job_sizes = sizes;
+        cfg.arrivals = arrivals;
+        let mut exp = Experiment::new(label, cfg, PolicySpec::oran());
+        exp.replications = 5;
+        let r = exp.run().expect("valid experiment");
+        println!("  {label}: simulated {}", r.mean_response_ratio);
+    }
+    println!(
+        "\nThe Poisson/exponential run should match the prediction tightly; the\nbursty run sits somewhat higher at the same mean load (burstiness is\nnot in the M/M/1 model), which is why the paper recommends a slightly\nconservative utilization estimate."
+    );
+}

@@ -1,0 +1,75 @@
+//! Scenario: a batch compute cluster with retired hardware.
+//!
+//! A research group runs a mixed cluster: a few modern nodes and a shelf
+//! of old machines nobody dares to unplug. The paper's Theorem 2 gives a
+//! crisp, quantitative answer to "do the old machines still help?": below
+//! a load threshold the *optimal* allocation assigns them exactly zero
+//! work — their presence only hurts response time.
+//!
+//! This example sweeps the cluster load and prints which machines the
+//! optimized allocation actually uses, then verifies by simulation that
+//! honoring the cutoff beats both proportional use of everything and
+//! naive equal sharing.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example compute_cluster
+//! ```
+
+use hetsched::prelude::*;
+
+fn main() {
+    // 4 ancient nodes, 2 previous-gen, 2 modern.
+    let speeds = [1.0, 1.0, 1.0, 1.0, 4.0, 4.0, 12.0, 12.0];
+    let sys_at = |rho: f64| HetSystem::from_utilization(&speeds, rho).expect("valid");
+
+    println!("cluster speeds: {speeds:?}\n");
+    println!("Which machines does the optimized allocation use?");
+    let mut t = Table::new(["rho", "machines used", "idle machines", "fast-node share"]);
+    for rho in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let alphas = closed_form::optimized_allocation(&sys_at(rho));
+        let used = alphas.iter().filter(|&&a| a > 0.0).count();
+        let fast_share: f64 = alphas[6] + alphas[7];
+        t.row([
+            format!("{rho:.1}"),
+            format!("{used}/8"),
+            format!("{}", 8 - used),
+            format!("{:.0}%", 100.0 * fast_share),
+        ]);
+    }
+    t.print();
+
+    // Simulation check at 30% load, where the old nodes should idle.
+    let rho = 0.3;
+    println!("\nsimulated mean response ratio at rho = {rho} (batch jobs, heavy-tailed):");
+    let mut t = Table::new(["policy", "mean resp ratio", "slow-node jobs %"]);
+    let specs = [
+        ("ORR (optimized; old nodes idle)", PolicySpec::orr()),
+        ("WRR (proportional; uses everything)", PolicySpec::wrr()),
+        (
+            "ERR (equal shares; speed-blind)",
+            PolicySpec::Static {
+                allocation: AllocationSpec::Equal,
+                dispatcher: DispatcherSpec::RoundRobin,
+            },
+        ),
+    ];
+    for (label, spec) in specs {
+        let cfg = ClusterConfig::paper_default(&speeds)
+            .with_utilization(rho)
+            .scaled(0.1);
+        let mut exp = Experiment::new(label, cfg, spec);
+        exp.replications = 5;
+        let r = exp.run().expect("valid experiment");
+        let slow_jobs: f64 = r.dispatch_fractions[..4].iter().sum();
+        t.row([
+            label.to_string(),
+            format!("{}", r.mean_response_ratio),
+            format!("{:.1}%", 100.0 * slow_jobs),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nAt light load the optimized scheme parks the old nodes entirely and\nstill wins — queueing on a 12x node beats running on an idle 1x node."
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: schedule a small heterogeneous cluster.
+//!
+//! Builds a 6-machine cluster (four slow workstations, two 8× servers),
+//! computes the paper's optimized workload allocation, and compares the
+//! four static schemes of Table 2 by simulation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hetsched::prelude::*;
+
+fn main() {
+    let speeds = [1.0, 1.0, 1.0, 1.0, 8.0, 8.0];
+    let rho = 0.6;
+
+    // 1. The allocation layer is pure math — inspect it first.
+    let sys = HetSystem::from_utilization(&speeds, rho).expect("valid system");
+    let weighted = sys.weighted_allocation();
+    let optimized = closed_form::optimized_allocation(&sys);
+    println!("machine speeds:        {speeds:?}");
+    println!("weighted fractions:    {:?}", round3(&weighted));
+    println!("optimized fractions:   {:?}", round3(&optimized));
+    println!(
+        "predicted mean response ratio: weighted {:.3}, optimized {:.3}\n",
+        objective::mean_response_ratio(&sys, &weighted).expect("feasible"),
+        objective::mean_response_ratio(&sys, &optimized).expect("feasible"),
+    );
+
+    // 2. Simulate the four static schemes on the paper's workload
+    //    (Bounded Pareto sizes, bursty hyperexponential arrivals).
+    let cfg = ClusterConfig::paper_default(&speeds)
+        .with_utilization(rho)
+        .scaled(0.1); // 4·10⁵ simulated seconds: a few seconds of wall time
+    let mut table = Table::new(["policy", "mean resp ratio", "fairness", "p95 ratio"]);
+    for spec in PolicySpec::table2() {
+        let mut exp = Experiment::new(spec.label(), cfg.clone(), spec);
+        exp.replications = 5;
+        let r = exp.run().expect("valid experiment");
+        table.row([
+            r.policy.clone(),
+            format!("{}", r.mean_response_ratio),
+            format!("{}", r.fairness),
+            format!("{}", r.p95_response_ratio),
+        ]);
+    }
+    table.print();
+    println!("\nORR (optimized allocation + round-robin dispatching) should lead.");
+}
+
+fn round3(v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| (x * 1000.0).round() / 1000.0).collect()
+}

@@ -1,0 +1,5 @@
+//! Workspace root crate: hosts the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. The public API
+//! lives in the [`hetsched`] crate, re-exported here for convenience.
+
+pub use hetsched::*;

@@ -1,0 +1,182 @@
+//! Cross-crate API integration: the workflows a downstream user runs.
+
+use hetsched::prelude::*;
+use hetsched::queueing::numeric;
+
+fn small_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 30_000.0;
+    cfg.warmup = 5_000.0;
+    cfg
+}
+
+#[test]
+fn every_policy_runs_end_to_end() {
+    let cfg = small_cfg();
+    let specs = [
+        PolicySpec::wran(),
+        PolicySpec::oran(),
+        PolicySpec::wrr(),
+        PolicySpec::orr(),
+        PolicySpec::orr_with_error(0.10),
+        PolicySpec::orr_with_error(-0.10),
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::Jsq { d: 2 },
+        PolicySpec::Static {
+            allocation: AllocationSpec::Equal,
+            dispatcher: DispatcherSpec::RoundRobin,
+        },
+    ];
+    for spec in specs {
+        let mut exp = Experiment::new(spec.label(), cfg.clone(), spec);
+        exp.replications = 2;
+        let r = exp
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        assert!(r.mean_response_ratio.mean > 0.0, "{}", spec.label());
+        assert!(
+            r.runs.iter().all(|run| run.jobs_finished > 100),
+            "{} finished too few jobs",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn sita_runs_with_bounded_pareto_sizes() {
+    let mut cfg = small_cfg();
+    cfg.job_sizes = DistSpec::BoundedPareto {
+        k: 1.0,
+        p: 1000.0,
+        alpha: 1.1,
+    };
+    let mut exp = Experiment::new("sita", cfg, PolicySpec::SitaE);
+    exp.replications = 2;
+    let r = exp.run().expect("SITA-E runs");
+    assert!(r.mean_response_ratio.mean > 0.0);
+}
+
+#[test]
+fn every_discipline_runs_end_to_end() {
+    for disc in [
+        DisciplineSpec::ProcessorSharing,
+        DisciplineSpec::PsReference,
+        DisciplineSpec::QuantumRoundRobin { quantum: 0.1 },
+        DisciplineSpec::Fcfs,
+    ] {
+        let mut cfg = small_cfg();
+        cfg.discipline = disc;
+        let mut exp = Experiment::new("disc", cfg, PolicySpec::wrr());
+        exp.replications = 2;
+        let r = exp.run().unwrap_or_else(|e| panic!("{disc:?}: {e}"));
+        assert!(r.mean_response_ratio.mean > 0.0, "{disc:?}");
+    }
+}
+
+#[test]
+fn ps_implementations_agree_statistically() {
+    // The O(log n) and O(n) PS servers must produce identical runs (same
+    // seeds, same arithmetic path at the job level).
+    let mut a_cfg = small_cfg();
+    a_cfg.discipline = DisciplineSpec::ProcessorSharing;
+    let mut b_cfg = small_cfg();
+    b_cfg.discipline = DisciplineSpec::PsReference;
+    let a = Experiment::new("a", a_cfg, PolicySpec::orr())
+        .quick(1.0, 2)
+        .run()
+        .expect("valid");
+    let b = Experiment::new("b", b_cfg, PolicySpec::orr())
+        .quick(1.0, 2)
+        .run()
+        .expect("valid");
+    assert!(
+        (a.mean_response_ratio.mean - b.mean_response_ratio.mean).abs()
+            / a.mean_response_ratio.mean
+            < 1e-6,
+        "PS implementations diverge: {} vs {}",
+        a.mean_response_ratio.mean,
+        b.mean_response_ratio.mean
+    );
+}
+
+#[test]
+fn experiment_results_serialize() {
+    let mut exp = Experiment::new("serde", small_cfg(), PolicySpec::orr());
+    exp.replications = 2;
+    let r = exp.run().expect("valid");
+    let json = serde_json::to_string(&r).expect("serializes");
+    assert!(json.contains("\"policy\":\"ORR\""));
+    let back: hetsched::experiment::ExperimentResult =
+        serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, r);
+}
+
+#[test]
+fn experiment_spec_serializes() {
+    let exp = Experiment::new("spec", small_cfg(), PolicySpec::orr());
+    let json = serde_json::to_string(&exp).expect("serializes");
+    let back: Experiment = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, exp);
+}
+
+#[test]
+fn closed_form_and_numeric_agree_on_the_fly() {
+    // A downstream user can cross-check the allocation the library gives
+    // them; make sure both entry points stay exposed and consistent.
+    let sys = HetSystem::from_utilization(&[1.0, 2.0, 8.0], 0.7).expect("valid");
+    let a = closed_form::optimized_allocation(&sys);
+    let b = numeric::optimized_allocation_numeric(&sys, 1e-10);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-7, "{a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn deviation_tracking_through_full_simulation() {
+    let mut cfg = small_cfg();
+    cfg.speeds = vec![1.0, 1.0];
+    cfg.deviation_interval = Some(1_000.0);
+    let mut exp = Experiment::new(
+        "dev",
+        cfg,
+        PolicySpec::Static {
+            allocation: AllocationSpec::Equal,
+            dispatcher: DispatcherSpec::RoundRobin,
+        },
+    );
+    exp.replications = 1;
+    let r = exp.run().expect("valid");
+    assert_eq!(r.runs[0].deviations.len(), 30);
+    assert!(r.runs[0].deviations.iter().all(|&d| d < 0.05));
+}
+
+#[test]
+fn deviation_uses_the_policys_own_fractions() {
+    // A *heterogeneous* static policy must be measured against its own
+    // target fractions: WRR on a skewed system has tiny deviation even
+    // though its fractions are far from equal.
+    let mut cfg = small_cfg(); // speeds [1, 2, 8] → weighted ≈ [.09, .18, .73]
+    cfg.deviation_interval = Some(1_000.0);
+    let mut exp = Experiment::new("dev-wrr", cfg, PolicySpec::wrr());
+    exp.replications = 1;
+    let r = exp.run().expect("valid");
+    let mean_dev: f64 =
+        r.runs[0].deviations.iter().sum::<f64>() / r.runs[0].deviations.len() as f64;
+    assert!(
+        mean_dev < 0.02,
+        "WRR measured against its own fractions should be smooth, got {mean_dev}"
+    );
+}
+
+#[test]
+fn table_renders_experiment_results() {
+    let mut exp = Experiment::new("table", small_cfg(), PolicySpec::wrr());
+    exp.replications = 2;
+    let r = exp.run().expect("valid");
+    let mut t = Table::new(["policy", "ratio"]);
+    t.row([r.policy.clone(), format!("{}", r.mean_response_ratio)]);
+    let rendered = t.render();
+    assert!(rendered.contains("WRR"));
+    assert!(rendered.contains('±'));
+}

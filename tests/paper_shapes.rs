@@ -1,0 +1,156 @@
+//! Qualitative reproduction of the paper's §5 findings at test-friendly
+//! fidelity.
+//!
+//! Absolute numbers need a 4·10⁶-second horizon (see the bench
+//! binaries); the *orderings* the paper reports are already stable at
+//! the reduced scale used here, which is what these tests pin. Mean
+//! response ratios are the comparison metric throughout, as in the
+//! paper's figures.
+
+use hetsched::prelude::*;
+
+/// Mean response ratio of `spec` on `cfg` over a few replications.
+fn ratio(cfg: &ClusterConfig, spec: PolicySpec) -> f64 {
+    let mut exp = Experiment::new(spec.label(), cfg.clone(), spec);
+    exp.replications = 4;
+    exp.run()
+        .expect("valid experiment")
+        .mean_response_ratio
+        .mean
+}
+
+/// A faster variant of the paper workload: same Bounded Pareto shape,
+/// scaled down 8× so short horizons hold enough jobs.
+fn test_config(speeds: &[f64], rho: f64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(speeds).with_utilization(rho);
+    cfg.job_sizes = DistSpec::BoundedPareto {
+        k: 1.25,
+        p: 2700.0,
+        alpha: 1.0,
+    };
+    cfg.horizon = 200_000.0;
+    cfg.warmup = 50_000.0;
+    cfg
+}
+
+#[test]
+fn fig3_shape_skewed_system() {
+    // 2 fast (speed 10) + 6 slow; utilization 0.7. (A narrower system
+    // than the paper's 18 machines, same physics, faster test.)
+    let mut speeds = vec![1.0; 6];
+    speeds.extend([10.0, 10.0]);
+    let cfg = test_config(&speeds, 0.7);
+    let wran = ratio(&cfg, PolicySpec::wran());
+    let oran = ratio(&cfg, PolicySpec::oran());
+    let wrr = ratio(&cfg, PolicySpec::wrr());
+    let orr = ratio(&cfg, PolicySpec::orr());
+    let dynamic = ratio(&cfg, PolicySpec::DynamicLeastLoad);
+
+    // Optimized allocation beats weighted for both dispatchers.
+    assert!(orr < wrr, "ORR {orr} !< WRR {wrr}");
+    assert!(oran < wran, "ORAN {oran} !< WRAN {wran}");
+    // Round-robin dispatching beats random for both allocations.
+    assert!(orr < oran, "ORR {orr} !< ORAN {oran}");
+    assert!(wrr < wran, "WRR {wrr} !< WRAN {wran}");
+    // The dynamic yardstick lower-bounds every static scheme.
+    assert!(dynamic < orr * 1.05, "DYNAMIC {dynamic} should be ≈ best");
+    // In a strongly skewed system, allocation matters more than
+    // dispatching: ORAN beats WRR (paper §5.1).
+    assert!(oran < wrr, "skewed system: ORAN {oran} !< WRR {wrr}");
+}
+
+#[test]
+fn fig3_shape_homogeneous_system() {
+    // Homogeneous system: optimized == weighted allocation, so the
+    // dispatcher is all that matters and WRR ≈ ORR < WRAN ≈ ORAN.
+    let cfg = test_config(&[1.0; 8], 0.7);
+    let wran = ratio(&cfg, PolicySpec::wran());
+    let wrr = ratio(&cfg, PolicySpec::wrr());
+    let orr = ratio(&cfg, PolicySpec::orr());
+    assert!(wrr < wran, "homogeneous: WRR {wrr} !< WRAN {wran}");
+    assert!(
+        (orr - wrr).abs() / wrr < 0.05,
+        "homogeneous: ORR {orr} should equal WRR {wrr}"
+    );
+}
+
+#[test]
+fn fig5_shape_load_sweep() {
+    // The optimized-vs-weighted gap exists at moderate and heavy load on
+    // a Table-3-like system, and every ratio grows with load.
+    let speeds = [1.0, 1.0, 1.5, 2.0, 5.0, 10.0];
+    let mut prev_orr = 0.0;
+    for rho in [0.5, 0.7, 0.85] {
+        let cfg = test_config(&speeds, rho);
+        let orr = ratio(&cfg, PolicySpec::orr());
+        let wran = ratio(&cfg, PolicySpec::wran());
+        assert!(orr < wran, "rho={rho}: ORR {orr} !< WRAN {wran}");
+        assert!(orr > prev_orr, "response ratio must grow with load");
+        prev_orr = orr;
+    }
+}
+
+#[test]
+fn fig6_shape_estimation_errors() {
+    // §5.4 at heavy load: underestimation hurts ORR badly (overloads the
+    // fast machines), overestimation is nearly free.
+    let speeds = [1.0, 1.0, 1.0, 1.0, 10.0, 10.0];
+    let cfg = test_config(&speeds, 0.85);
+    let exact = ratio(&cfg, PolicySpec::orr());
+    let over = ratio(&cfg, PolicySpec::orr_with_error(0.10));
+    let under = ratio(&cfg, PolicySpec::orr_with_error(-0.15));
+    assert!(
+        (over - exact).abs() / exact < 0.35,
+        "overestimate {over} should stay near exact {exact}"
+    );
+    assert!(
+        under > exact * 1.3,
+        "underestimate {under} should degrade well past exact {exact}"
+    );
+}
+
+#[test]
+fn table1_shape_dynamic_skew() {
+    // Dynamic Least-Load sends disproportionately much to fast machines:
+    // normalized dispatch share (fraction / speed share) must increase
+    // with speed.
+    let speeds = scenarios::table1_speeds();
+    let cfg = test_config(&speeds, 0.7);
+    let mut exp = Experiment::new("table1", cfg, PolicySpec::DynamicLeastLoad);
+    exp.replications = 3;
+    let r = exp.run().expect("valid");
+    let total: f64 = speeds.iter().sum();
+    let normalized: Vec<f64> = r
+        .dispatch_fractions
+        .iter()
+        .zip(&speeds)
+        .map(|(f, s)| f / (s / total))
+        .collect();
+    for w in normalized.windows(2) {
+        assert!(
+            w[0] <= w[1] * 1.05,
+            "normalized shares should increase with speed: {normalized:?}"
+        );
+    }
+    // The slowest machine is starved far below its capacity share; the
+    // fastest gets more than its share.
+    assert!(normalized[0] < 0.4, "slowest share {normalized:?}");
+    assert!(normalized[6] > 1.0, "fastest share {normalized:?}");
+}
+
+#[test]
+fn fairness_shape_optimized_beats_weighted() {
+    // Figure 3(c): optimized allocation also improves fairness (std-dev
+    // of the response ratio).
+    let mut speeds = vec![1.0; 6];
+    speeds.extend([10.0, 10.0]);
+    let cfg = test_config(&speeds, 0.7);
+    let get_fairness = |spec: PolicySpec| {
+        let mut exp = Experiment::new(spec.label(), cfg.clone(), spec);
+        exp.replications = 4;
+        exp.run().expect("valid").fairness.mean
+    };
+    let orr = get_fairness(PolicySpec::orr());
+    let wrr = get_fairness(PolicySpec::wrr());
+    assert!(orr < wrr, "fairness: ORR {orr} !< WRR {wrr}");
+}
