@@ -1,0 +1,76 @@
+//! Macrobenchmark: sweep-pool throughput vs per-point barriers.
+//!
+//! A figure-style sweep (utilization swept over several points, a few
+//! replications each) executed two ways with the same thread budget:
+//!
+//! * `per_point_barrier` — the pre-pool runner: one `Experiment::run`
+//!   per point, each with its own fork/join barrier, so the straggling
+//!   high-utilization replication leaves cores idle at every point
+//!   boundary;
+//! * `sweep_pool` — `Sweep::run`: all `(point, replication)` tasks
+//!   through one pool, longest-expected-first.
+//!
+//! Both produce bit-identical `ExperimentResult`s; the difference is
+//! pure wall-clock. Criterion's `Throughput::Elements` reports
+//! tasks/sec; the pool's own `SweepStats` (asserted on below) carries
+//! simulated events/sec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hetsched::prelude::*;
+
+const THREADS: usize = 4;
+const REPS: u64 = 4;
+
+/// The benchmark sweep: a load sweep with a deliberately heavy tail
+/// point, the shape where per-point barriers hurt most.
+fn sweep_points() -> Vec<Experiment> {
+    [0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&rho| {
+            let mut cfg = ClusterConfig::paper_default(&[1.0, 1.0, 2.0, 4.0]).with_utilization(rho);
+            cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+            cfg.horizon = 30_000.0;
+            cfg.warmup = 3_000.0;
+            let mut e = Experiment::new(format!("rho={rho}"), cfg, PolicySpec::orr());
+            e.replications = REPS;
+            e.threads = THREADS;
+            e
+        })
+        .collect()
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let points = sweep_points();
+    let tasks = points.iter().map(|p| p.replications).sum::<u64>();
+
+    // Sanity: the pool must reproduce the barrier runner bit-for-bit and
+    // report throughput counters, otherwise the comparison is void.
+    let pooled = Sweep::new(points.clone())
+        .with_threads(THREADS)
+        .run()
+        .expect("valid sweep");
+    for (p, r) in points.iter().zip(&pooled.results) {
+        assert_eq!(&p.run().expect("valid point"), r);
+    }
+    assert!(pooled.stats.events_per_sec > 0.0);
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tasks));
+    group.bench_function("per_point_barrier", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .map(|p| p.run().expect("valid point"))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("sweep_pool", |b| {
+        let sweep = Sweep::new(points.clone()).with_threads(THREADS);
+        b.iter(|| sweep.run().expect("valid sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

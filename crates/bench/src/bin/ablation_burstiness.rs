@@ -32,7 +32,6 @@ fn main() {
     ];
     let policies = [PolicySpec::oran(), PolicySpec::orr()];
 
-    let mut archive = Vec::new();
     println!("\nAblation: arrival burstiness (Table-3 base config, rho = 0.70)");
     let mut t = Table::new([
         "arrivals",
@@ -41,16 +40,27 @@ fn main() {
         "fairness",
         "RR gain",
     ]);
-    for (label, arr) in arrivals {
-        let mut ratios = Vec::new();
+    let mut points = Vec::new();
+    for (label, arr) in &arrivals {
         for &policy in &policies {
-            eprintln!("ablation_burstiness: {label} {}", policy.label());
             let mut cfg = scenarios::fig5_config(0.7);
-            cfg.arrivals = arr;
-            let r = mode.run(&format!("burst {label} {}", policy.label()), cfg, policy);
-            ratios.push(r.mean_response_ratio.mean);
-            let gain = if ratios.len() == 2 {
-                format!("{:.1}%", 100.0 * (ratios[0] - ratios[1]) / ratios[0])
+            cfg.arrivals = *arr;
+            points.push((format!("burst {label} {}", policy.label()), cfg, policy));
+        }
+    }
+    eprintln!(
+        "ablation_burstiness: {} points through one sweep pool",
+        points.len()
+    );
+    let (archive, stats) = mode.run_sweep(points);
+    for ((label, _), pair) in arrivals.iter().zip(archive.chunks(policies.len())) {
+        let oran_ratio = pair[0].mean_response_ratio.mean;
+        for (i, (policy, r)) in policies.iter().zip(pair).enumerate() {
+            let gain = if i == 1 {
+                format!(
+                    "{:.1}%",
+                    100.0 * (oran_ratio - r.mean_response_ratio.mean) / oran_ratio
+                )
             } else {
                 String::new()
             };
@@ -61,7 +71,6 @@ fn main() {
                 ci(&r.fairness),
                 gain,
             ]);
-            archive.push(r);
         }
     }
     t.print();
@@ -69,4 +78,5 @@ fn main() {
         "\nshape check: round-robin dispatching (ORR) beats random dispatching\n(ORAN) for every arrival process; smoother arrivals shrink the gap."
     );
     mode.archive(&archive);
+    mode.archive_bench("ablation_burstiness", &[stats]);
 }

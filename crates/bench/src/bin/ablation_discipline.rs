@@ -31,22 +31,29 @@ fn main() {
     ];
     let policies = [PolicySpec::wrr(), PolicySpec::orr()];
 
-    let mut archive = Vec::new();
     println!("\nAblation: service discipline (Table-3 base config, rho = 0.70)");
     let mut t = Table::new(["discipline", "policy", "mean resp ratio", "fairness"]);
-    for (label, disc) in disciplines {
+    let mut points = Vec::new();
+    for &(label, disc) in &disciplines {
         for &policy in &policies {
-            eprintln!("ablation_discipline: {label} {}", policy.label());
             let mut cfg = scenarios::fig5_config(0.7);
             cfg.discipline = disc;
-            let r = mode.run(&format!("disc {label} {}", policy.label()), cfg, policy);
+            points.push((format!("disc {label} {}", policy.label()), cfg, policy));
+        }
+    }
+    eprintln!(
+        "ablation_discipline: {} points through one sweep pool",
+        points.len()
+    );
+    let (archive, stats) = mode.run_sweep(points);
+    for ((label, _), pair) in disciplines.iter().zip(archive.chunks(policies.len())) {
+        for (policy, r) in policies.iter().zip(pair) {
             t.row([
                 label.to_string(),
                 policy.label(),
                 ci(&r.mean_response_ratio),
                 ci(&r.fairness),
             ]);
-            archive.push(r);
         }
     }
     t.print();
@@ -54,4 +61,5 @@ fn main() {
         "\nshape check: the three RR quanta should track PS closely; FCFS should\nshow a far larger response ratio and fairness (head-of-line blocking by\nheavy-tailed jobs)."
     );
     mode.archive(&archive);
+    mode.archive_bench("ablation_discipline", &[stats]);
 }

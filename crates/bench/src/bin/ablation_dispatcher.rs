@@ -36,23 +36,29 @@ fn main() {
         ),
     ];
 
-    let mut archive = Vec::new();
     println!("\nAblation: dispatcher mechanism (optimized fractions, Table-3 config, rho = 0.70)");
     let mut t = Table::new(["dispatcher", "mean resp ratio", "fairness", "p95 ratio"]);
-    for (label, policy) in policies {
-        eprintln!("ablation_dispatcher: {label}");
-        let r = mode.run(label, scenarios::fig5_config(0.7), policy);
+    let points = policies
+        .iter()
+        .map(|&(label, policy)| (label.to_string(), scenarios::fig5_config(0.7), policy))
+        .collect();
+    eprintln!(
+        "ablation_dispatcher: {} points through one sweep pool",
+        policies.len()
+    );
+    let (archive, stats) = mode.run_sweep(points);
+    for ((label, _), r) in policies.iter().zip(&archive) {
         t.row([
             label.to_string(),
             ci(&r.mean_response_ratio),
             ci(&r.fairness),
             ci(&r.p95_response_ratio),
         ]);
-        archive.push(r);
     }
     t.print();
     println!(
         "\nshape check: ORR < BWRR (interleaving, not determinism, carries the\ngain) and BWRR sits between ORR and ORAN; AORR tracks ORR without being\ntold rho."
     );
     mode.archive(&archive);
+    mode.archive_bench("ablation_dispatcher", &[stats]);
 }

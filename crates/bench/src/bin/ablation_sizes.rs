@@ -50,19 +50,29 @@ fn main() {
     ];
     let policies = [PolicySpec::wrr(), PolicySpec::orr()];
 
-    let mut archive = Vec::new();
     println!("\nAblation: job-size distribution (Table-3 base config, rho = 0.70)");
     let mut t = Table::new(["sizes", "policy", "mean resp ratio", "fairness", "ORR gain"]);
-    for (label, dist) in sizes {
-        let mut ratios = Vec::new();
+    let mut points = Vec::new();
+    for (label, dist) in &sizes {
         for &policy in &policies {
-            eprintln!("ablation_sizes: {label} {}", policy.label());
             let mut cfg = scenarios::fig5_config(0.7);
-            cfg.job_sizes = dist;
-            let r = mode.run(&format!("sizes {label} {}", policy.label()), cfg, policy);
-            ratios.push(r.mean_response_ratio.mean);
-            let gain = if ratios.len() == 2 {
-                format!("{:.0}%", 100.0 * (ratios[0] - ratios[1]) / ratios[0])
+            cfg.job_sizes = *dist;
+            points.push((format!("sizes {label} {}", policy.label()), cfg, policy));
+        }
+    }
+    eprintln!(
+        "ablation_sizes: {} points through one sweep pool",
+        points.len()
+    );
+    let (archive, stats) = mode.run_sweep(points);
+    for ((label, _), pair) in sizes.iter().zip(archive.chunks(policies.len())) {
+        let wrr_ratio = pair[0].mean_response_ratio.mean;
+        for (i, (policy, r)) in policies.iter().zip(pair).enumerate() {
+            let gain = if i == 1 {
+                format!(
+                    "{:.0}%",
+                    100.0 * (wrr_ratio - r.mean_response_ratio.mean) / wrr_ratio
+                )
             } else {
                 String::new()
             };
@@ -73,10 +83,10 @@ fn main() {
                 ci(&r.fairness),
                 gain,
             ]);
-            archive.push(r);
         }
     }
     t.print();
     println!("\nshape check: ORR beats WRR for every size distribution.");
     mode.archive(&archive);
+    mode.archive_bench("ablation_sizes", &[stats]);
 }

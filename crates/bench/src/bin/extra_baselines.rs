@@ -24,7 +24,6 @@ fn main() {
         PolicySpec::Jsq { d: 4 },
     ];
 
-    let mut archive = Vec::new();
     println!("\nExtra baselines (Table-3 base config, rho = 0.70)");
     let mut t = Table::new([
         "policy",
@@ -43,9 +42,16 @@ fn main() {
         "2 live queue probes",
         "4 live queue probes",
     ];
-    for (policy, info) in policies.iter().zip(info) {
-        eprintln!("extra_baselines: {}", policy.label());
-        let r = mode.run(&policy.label(), scenarios::fig5_config(0.7), *policy);
+    let points = policies
+        .iter()
+        .map(|policy| (policy.label(), scenarios::fig5_config(0.7), *policy))
+        .collect();
+    eprintln!(
+        "extra_baselines: {} policies through one sweep pool",
+        policies.len()
+    );
+    let (results, stats) = mode.run_sweep(points);
+    for ((policy, info), r) in policies.iter().zip(info).zip(&results) {
         t.row([
             policy.label(),
             info.to_string(),
@@ -53,11 +59,11 @@ fn main() {
             ci(&r.fairness),
             ci(&r.p95_response_ratio),
         ]);
-        archive.push(r);
     }
     t.print();
     println!(
         "\nshape check: more information helps — static < delayed-dynamic <\nlive-probe policies; ORR should be the best of the static rows."
     );
-    mode.archive(&archive);
+    mode.archive(&results);
+    mode.archive_bench("extra_baselines", &[stats]);
 }

@@ -24,20 +24,23 @@ fn main() {
     let policies = scenarios::headline_policies();
     let sweep = scenarios::fig3_sweep();
 
-    // Run the whole grid once.
-    let mut grid: Vec<Vec<ExperimentResult>> = Vec::new();
+    // Run the whole grid through one sweep pool (no per-point barrier).
+    let mut points = Vec::new();
     for &fast in &sweep {
-        let mut row = Vec::new();
         for &policy in &policies {
-            eprintln!("fig3: fast={fast} policy={}", policy.label());
-            row.push(mode.run(
-                &format!("fig3 fast={fast} {}", policy.label()),
+            points.push((
+                format!("fig3 fast={fast} {}", policy.label()),
                 scenarios::fig3_config(fast),
                 policy,
             ));
         }
-        grid.push(row);
     }
+    eprintln!("fig3: {} points through one sweep pool", points.len());
+    let (results, stats) = mode.run_sweep(points);
+    let grid: Vec<Vec<ExperimentResult>> = results
+        .chunks(policies.len())
+        .map(|row| row.to_vec())
+        .collect();
 
     let panels: [(&str, Metric); 3] = [
         ("(a) mean response time", |r| &r.mean_response_time),
@@ -85,4 +88,5 @@ fn main() {
         100.0 * (wrr.mean - orr.mean) / wrr.mean
     );
     mode.archive(&grid);
+    mode.archive_bench("fig3", &[stats]);
 }

@@ -23,19 +23,22 @@ fn main() {
     let policies = scenarios::headline_policies();
     let sweep = scenarios::fig4_sweep();
 
-    let mut grid: Vec<Vec<ExperimentResult>> = Vec::new();
+    let mut points = Vec::new();
     for &n in &sweep {
-        let mut row = Vec::new();
         for &policy in &policies {
-            eprintln!("fig4: n={n} policy={}", policy.label());
-            row.push(mode.run(
-                &format!("fig4 n={n} {}", policy.label()),
+            points.push((
+                format!("fig4 n={n} {}", policy.label()),
                 scenarios::fig4_config(n),
                 policy,
             ));
         }
-        grid.push(row);
     }
+    eprintln!("fig4: {} points through one sweep pool", points.len());
+    let (results, stats) = mode.run_sweep(points);
+    let grid: Vec<Vec<ExperimentResult>> = results
+        .chunks(policies.len())
+        .map(|row| row.to_vec())
+        .collect();
 
     let panels: [(&str, Metric); 2] = [
         ("(a) mean response ratio", |r| &r.mean_response_ratio),
@@ -77,4 +80,5 @@ fn main() {
         100.0 * (wran.mean - orr.mean) / wran.mean
     );
     mode.archive(&grid);
+    mode.archive_bench("fig4", &[stats]);
 }

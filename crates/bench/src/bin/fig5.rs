@@ -23,19 +23,22 @@ fn main() {
     let policies = scenarios::headline_policies();
     let sweep = scenarios::fig5_sweep();
 
-    let mut grid: Vec<Vec<ExperimentResult>> = Vec::new();
+    let mut points = Vec::new();
     for &rho in &sweep {
-        let mut row = Vec::new();
         for &policy in &policies {
-            eprintln!("fig5: rho={rho} policy={}", policy.label());
-            row.push(mode.run(
-                &format!("fig5 rho={rho} {}", policy.label()),
+            points.push((
+                format!("fig5 rho={rho} {}", policy.label()),
                 scenarios::fig5_config(rho),
                 policy,
             ));
         }
-        grid.push(row);
     }
+    eprintln!("fig5: {} points through one sweep pool", points.len());
+    let (results, stats) = mode.run_sweep(points);
+    let grid: Vec<Vec<ExperimentResult>> = results
+        .chunks(policies.len())
+        .map(|row| row.to_vec())
+        .collect();
 
     let panels: [(&str, Metric); 2] = [
         ("(a) mean response ratio", |r| &r.mean_response_ratio),
@@ -79,4 +82,5 @@ fn main() {
         100.0 * (wran.mean - orr.mean) / wran.mean,
     );
     mode.archive(&grid);
+    mode.archive_bench("fig5", &[stats]);
 }

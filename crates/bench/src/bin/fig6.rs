@@ -12,7 +12,6 @@
 //! ORR(+15%) at ρ = 0.9 estimates 103.5% utilization and therefore
 //! degenerates to WRR exactly (the paper's footnote 7).
 
-use hetsched::experiment::ExperimentResult;
 use hetsched::prelude::*;
 use hetsched_bench::{ci, Mode};
 
@@ -22,21 +21,36 @@ fn main() {
     let under = [-0.05, -0.10, -0.15];
     let over = [0.05, 0.10, 0.15];
 
-    let run_policy = |mode: &Mode, rho: f64, policy: PolicySpec| -> ExperimentResult {
-        eprintln!("fig6: rho={rho} policy={}", policy.label());
-        mode.run(
-            &format!("fig6 rho={rho} {}", policy.label()),
-            scenarios::fig5_config(rho),
-            policy,
-        )
-    };
-
-    let mut archive: Vec<ExperimentResult> = Vec::new();
-    for (panel, errors) in [("(a) underestimation", under), ("(b) overestimation", over)] {
-        let policies: Vec<PolicySpec> = std::iter::once(PolicySpec::orr())
+    let panel_policies = |errors: [f64; 3]| -> Vec<PolicySpec> {
+        std::iter::once(PolicySpec::orr())
             .chain(errors.iter().map(|&e| PolicySpec::orr_with_error(e)))
             .chain(std::iter::once(PolicySpec::wrr()))
-            .collect();
+            .collect()
+    };
+    let panels = [
+        ("(a) underestimation", panel_policies(under)),
+        ("(b) overestimation", panel_policies(over)),
+    ];
+
+    // Flatten both panels into one sweep pool, in (panel, rho, policy)
+    // order so the archive layout matches the printed tables.
+    let mut points = Vec::new();
+    for (_, policies) in &panels {
+        for &rho in &sweep {
+            for &policy in policies {
+                points.push((
+                    format!("fig6 rho={rho} {}", policy.label()),
+                    scenarios::fig5_config(rho),
+                    policy,
+                ));
+            }
+        }
+    }
+    eprintln!("fig6: {} points through one sweep pool", points.len());
+    let (archive, stats) = mode.run_sweep(points);
+
+    let mut results = archive.iter();
+    for (panel, policies) in &panels {
         println!("\nFigure 6{panel}: mean response ratio vs utilization");
         let mut t = Table::new(
             std::iter::once("rho".to_string())
@@ -45,10 +59,9 @@ fn main() {
         );
         for &rho in &sweep {
             let mut row = vec![format!("{rho:.1}")];
-            for &policy in &policies {
-                let r = run_policy(&mode, rho, policy);
+            for _ in policies {
+                let r = results.next().expect("one result per grid cell");
                 row.push(ci(&r.mean_response_ratio));
-                archive.push(r);
             }
             t.row(row);
         }
@@ -58,4 +71,5 @@ fn main() {
         "\nshape check: at rho=0.9 the underestimating variants should degrade\nsharply (overloaded fast machines) while the overestimating ones stay\nclose to exact ORR."
     );
     mode.archive(&archive);
+    mode.archive_bench("fig6", &[stats]);
 }

@@ -6,24 +6,82 @@
 //! invokes the same library presets the individual binaries use, printing
 //! a one-line summary per artifact. Use the dedicated binaries for the
 //! full tables.
+//!
+//! Every simulation point across all artifacts runs through **one**
+//! sweep pool (no per-figure barrier), and the pool's throughput
+//! counters are archived as `BENCH_sweep.json` (override with
+//! `--bench-json PATH`) — the repo's machine-readable perf trajectory.
 
 use hetsched::prelude::*;
 use hetsched::scenarios::{fig2_deviations, Fig2Dispatcher};
 use hetsched_bench::Mode;
 
 fn main() {
-    let mode = Mode::from_env();
+    let mut mode = Mode::from_env();
+    if mode.bench_json.is_none() {
+        mode.bench_json = Some("BENCH_sweep.json".into());
+    }
     println!(
         "reproduction sweep at scale {} with {} reps\n",
         mode.scale, mode.reps
     );
 
+    // Every experiment point of every artifact, one pool, no barriers.
+    let points = vec![
+        (
+            "table1".to_string(),
+            ClusterConfig::paper_default(&scenarios::table1_speeds()),
+            PolicySpec::DynamicLeastLoad,
+        ),
+        (
+            "fig3 ORR".to_string(),
+            scenarios::fig3_config(20.0),
+            PolicySpec::orr(),
+        ),
+        (
+            "fig3 WRR".to_string(),
+            scenarios::fig3_config(20.0),
+            PolicySpec::wrr(),
+        ),
+        (
+            "fig4 ORR".to_string(),
+            scenarios::fig4_config(20),
+            PolicySpec::orr(),
+        ),
+        (
+            "fig4 WRAN".to_string(),
+            scenarios::fig4_config(20),
+            PolicySpec::wran(),
+        ),
+        (
+            "fig5 ORR".to_string(),
+            scenarios::fig5_config(0.9),
+            PolicySpec::orr(),
+        ),
+        (
+            "fig5 WRR".to_string(),
+            scenarios::fig5_config(0.9),
+            PolicySpec::wrr(),
+        ),
+        (
+            "fig6 ORR(-10%)".to_string(),
+            scenarios::fig5_config(0.9),
+            PolicySpec::orr_with_error(-0.10),
+        ),
+        (
+            "fig6 ORR(+10%)".to_string(),
+            scenarios::fig5_config(0.9),
+            PolicySpec::orr_with_error(0.10),
+        ),
+    ];
+    let (results, stats) = mode.run_sweep(points);
+    let [t1, fig3_orr, fig3_wrr, fig4_orr, fig4_wran, fig5_orr, fig5_wrr, fig6_under, fig6_over] =
+        &results[..]
+    else {
+        unreachable!("one result per point");
+    };
+
     // Table 1.
-    let t1 = mode.run(
-        "table1",
-        ClusterConfig::paper_default(&scenarios::table1_speeds()),
-        PolicySpec::DynamicLeastLoad,
-    );
     let f = &t1.dispatch_fractions;
     println!(
         "table1  dynamic least-load fractions: slowest {:.2}% … fastest {:.2}% (paper 0.29% … 30.9%)",
@@ -31,7 +89,7 @@ fn main() {
         100.0 * f[f.len() - 1]
     );
 
-    // Figure 2.
+    // Figure 2 (dispatch-only harness, no simulation pool involved).
     let rr = fig2_deviations(Fig2Dispatcher::RoundRobin, 1);
     let ran = fig2_deviations(Fig2Dispatcher::Random, 1);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -42,56 +100,46 @@ fn main() {
     );
 
     // Figure 3 at the extreme point.
-    let orr = mode.run("fig3", scenarios::fig3_config(20.0), PolicySpec::orr());
-    let wrr = mode.run("fig3", scenarios::fig3_config(20.0), PolicySpec::wrr());
     println!(
         "fig3    fast=20: ORR ratio {:.3} vs WRR {:.3} ({:.0}% better; paper ~42%)",
-        orr.mean_response_ratio.mean,
-        wrr.mean_response_ratio.mean,
-        100.0 * (wrr.mean_response_ratio.mean - orr.mean_response_ratio.mean)
-            / wrr.mean_response_ratio.mean
+        fig3_orr.mean_response_ratio.mean,
+        fig3_wrr.mean_response_ratio.mean,
+        100.0 * (fig3_wrr.mean_response_ratio.mean - fig3_orr.mean_response_ratio.mean)
+            / fig3_wrr.mean_response_ratio.mean
     );
 
     // Figure 4 at the largest size.
-    let orr = mode.run("fig4", scenarios::fig4_config(20), PolicySpec::orr());
-    let wran = mode.run("fig4", scenarios::fig4_config(20), PolicySpec::wran());
     println!(
         "fig4    n=20: ORR ratio {:.3} vs WRAN {:.3} ({:.0}% better; paper 35-40%)",
-        orr.mean_response_ratio.mean,
-        wran.mean_response_ratio.mean,
-        100.0 * (wran.mean_response_ratio.mean - orr.mean_response_ratio.mean)
-            / wran.mean_response_ratio.mean
+        fig4_orr.mean_response_ratio.mean,
+        fig4_wran.mean_response_ratio.mean,
+        100.0 * (fig4_wran.mean_response_ratio.mean - fig4_orr.mean_response_ratio.mean)
+            / fig4_wran.mean_response_ratio.mean
     );
 
     // Figure 5 at heavy load.
-    let orr = mode.run("fig5", scenarios::fig5_config(0.9), PolicySpec::orr());
-    let wrr = mode.run("fig5", scenarios::fig5_config(0.9), PolicySpec::wrr());
     println!(
         "fig5    rho=0.9: ORR ratio {:.3} vs WRR {:.3} ({:.0}% better; paper ~24%)",
-        orr.mean_response_ratio.mean,
-        wrr.mean_response_ratio.mean,
-        100.0 * (wrr.mean_response_ratio.mean - orr.mean_response_ratio.mean)
-            / wrr.mean_response_ratio.mean
+        fig5_orr.mean_response_ratio.mean,
+        fig5_wrr.mean_response_ratio.mean,
+        100.0 * (fig5_wrr.mean_response_ratio.mean - fig5_orr.mean_response_ratio.mean)
+            / fig5_wrr.mean_response_ratio.mean
     );
 
     // Figure 6's two edges at heavy load.
-    let under = mode.run(
-        "fig6",
-        scenarios::fig5_config(0.9),
-        PolicySpec::orr_with_error(-0.10),
-    );
-    let over = mode.run(
-        "fig6",
-        scenarios::fig5_config(0.9),
-        PolicySpec::orr_with_error(0.10),
-    );
     println!(
         "fig6    rho=0.9: ORR(-10%) ratio {:.3} (should blow up past WRR {:.3}); ORR(+10%) {:.3} (should stay close to ORR {:.3})",
-        under.mean_response_ratio.mean,
-        wrr.mean_response_ratio.mean,
-        over.mean_response_ratio.mean,
-        orr.mean_response_ratio.mean
+        fig6_under.mean_response_ratio.mean,
+        fig5_wrr.mean_response_ratio.mean,
+        fig6_over.mean_response_ratio.mean,
+        fig5_orr.mean_response_ratio.mean
     );
+
+    println!(
+        "\nsweep pool: {} tasks on {} threads — {:.1}s wall, {:.0} simulated events/s",
+        stats.tasks, stats.threads, stats.wall_s, stats.events_per_sec
+    );
+    mode.archive_bench("repro_all", &[stats]);
 
     println!("\nFor the full tables run the dedicated binaries: table1 table2 table3 fig2 fig3 fig4 fig5 fig6");
 }

@@ -15,27 +15,26 @@ fn main() {
 
     println!("\nTable 2: job dispatching × workload allocation (mean response ratio)");
     let mut t = Table::new(["dispatching", "weighted", "optimized"]);
-    let mut results = Vec::new();
-    let mut cells = Vec::new();
+    // All four taxonomy cells through one sweep pool.
+    let mut points = Vec::new();
     for dispatcher in [DispatcherSpec::Random, DispatcherSpec::RoundRobin] {
-        let mut row = vec![match dispatcher {
-            DispatcherSpec::Random => "random".to_string(),
-            DispatcherSpec::RoundRobin => "round-robin".to_string(),
-        }];
         for allocation in [AllocationSpec::Weighted, AllocationSpec::optimized()] {
             let spec = PolicySpec::Static {
                 allocation,
                 dispatcher,
             };
-            let r = mode.run(&spec.label(), cfg.clone(), spec);
-            row.push(format!("{} = {}", spec.label(), ci(&r.mean_response_ratio)));
-            results.push(r);
+            points.push((spec.label(), cfg.clone(), spec));
         }
-        cells.push(row);
     }
-    for row in cells {
+    let (results, stats) = mode.run_sweep(points);
+    for (pair, dispatcher) in results.chunks(2).zip(["random", "round-robin"]) {
+        let mut row = vec![dispatcher.to_string()];
+        for r in pair {
+            row.push(format!("{} = {}", r.policy, ci(&r.mean_response_ratio)));
+        }
         t.row(row);
     }
     t.print();
     mode.archive(&results);
+    mode.archive_bench("table2", &[stats]);
 }

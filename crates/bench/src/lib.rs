@@ -6,16 +6,25 @@
 //!   replications per data point (minutes of wall time for the sweeps);
 //! * `--quick` — smoke-test fidelity: 2% horizon, 2 replications;
 //! * `--scale X` / `--reps N` — custom fidelity;
-//! * `--json PATH` — archive the structured results as pretty JSON.
+//! * `--threads N` — worker threads for the sweep pool (0 = auto; the
+//!   `HETSCHED_THREADS` environment variable sets the default);
+//! * `--json PATH` — archive the structured results as pretty JSON;
+//! * `--bench-json PATH` — archive the sweep pool's throughput counters
+//!   (events/sec, per-point busy time) as machine-readable JSON.
 //!
 //! The default sits between `--quick` and `--full` (25% horizon, 5
 //! replications): good enough for every ranking in the paper to be
 //! visible, fast enough to run all binaries in a few minutes on a laptop.
+//!
+//! Sweep binaries run their whole grid through one [`Sweep`] pool (no
+//! per-point fork/join barrier) via [`Mode::run_sweep`]; single data
+//! points still use [`Mode::run`].
 
 use std::path::PathBuf;
 
 use hetsched::experiment::{Experiment, ExperimentResult};
 use hetsched::prelude::*;
+use serde::Serialize;
 
 /// Fidelity and output options parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +33,12 @@ pub struct Mode {
     pub scale: f64,
     /// Replications per data point (the paper uses 10).
     pub reps: u64,
+    /// Worker threads for the sweep pool (0 = auto).
+    pub threads: usize,
     /// Optional JSON archive path.
     pub json: Option<PathBuf>,
+    /// Optional sweep-throughput JSON path (`BENCH_sweep.json` style).
+    pub bench_json: Option<PathBuf>,
 }
 
 impl Default for Mode {
@@ -33,20 +46,32 @@ impl Default for Mode {
         Mode {
             scale: 0.25,
             reps: 5,
+            threads: 0,
             json: None,
+            bench_json: None,
         }
     }
 }
 
 impl Mode {
     /// Parses flags from an iterator of arguments (usually
-    /// `std::env::args().skip(1)`).
+    /// `std::env::args().skip(1)`), with `env_threads` supplying the
+    /// `HETSCHED_THREADS` default that `--threads` overrides.
     ///
     /// # Panics
     /// Panics with a usage message on unknown flags or malformed values —
     /// appropriate for a CLI entry point.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Mode {
+    pub fn parse_with_env(
+        args: impl IntoIterator<Item = String>,
+        env_threads: Option<&str>,
+    ) -> Mode {
         let mut mode = Mode::default();
+        if let Some(v) = env_threads {
+            mode.threads = v
+                .trim()
+                .parse()
+                .expect("HETSCHED_THREADS must be a thread count (0 = auto)");
+        }
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -66,12 +91,21 @@ impl Mode {
                     let v = it.next().expect("--reps needs a value");
                     mode.reps = v.parse().expect("--reps needs an integer");
                 }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    mode.threads = v.parse().expect("--threads needs an integer (0 = auto)");
+                }
                 "--json" => {
                     let v = it.next().expect("--json needs a path");
                     mode.json = Some(PathBuf::from(v));
                 }
+                "--bench-json" => {
+                    let v = it.next().expect("--bench-json needs a path");
+                    mode.bench_json = Some(PathBuf::from(v));
+                }
                 other => panic!(
-                    "unknown flag {other}; use --full | --quick | --scale X | --reps N | --json PATH"
+                    "unknown flag {other}; use --full | --quick | --scale X | --reps N | \
+                     --threads N | --json PATH | --bench-json PATH"
                 ),
             }
         }
@@ -83,9 +117,22 @@ impl Mode {
         mode
     }
 
-    /// Parses the process's own arguments.
+    /// Parses flags without consulting the environment.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Mode {
+        Mode::parse_with_env(args, None)
+    }
+
+    /// Parses the process's own arguments (and `HETSCHED_THREADS`).
     pub fn from_env() -> Mode {
-        Mode::parse(std::env::args().skip(1))
+        let env_threads = std::env::var("HETSCHED_THREADS").ok();
+        Mode::parse_with_env(std::env::args().skip(1), env_threads.as_deref())
+    }
+
+    /// Builds the experiment for one data point at this fidelity.
+    fn experiment(&self, name: &str, cfg: ClusterConfig, policy: PolicySpec) -> Experiment {
+        let mut exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
+        exp.threads = self.threads;
+        exp
     }
 
     /// Runs one data point: `policy` on `cfg` at this fidelity.
@@ -93,15 +140,79 @@ impl Mode {
     /// # Panics
     /// Panics on invalid configurations — the presets are trusted.
     pub fn run(&self, name: &str, cfg: ClusterConfig, policy: PolicySpec) -> ExperimentResult {
-        let exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
+        let exp = self.experiment(name, cfg, policy);
         exp.run()
             .unwrap_or_else(|e| panic!("experiment {name}: {e}"))
+    }
+
+    /// Runs a whole grid of data points through **one** sweep pool — no
+    /// per-point barrier; results come back in input order,
+    /// bit-identical to running each point via [`Mode::run`].
+    ///
+    /// # Panics
+    /// Panics on invalid configurations — the presets are trusted.
+    pub fn run_sweep(
+        &self,
+        points: Vec<(String, ClusterConfig, PolicySpec)>,
+    ) -> (Vec<ExperimentResult>, SweepStats) {
+        let experiments = points
+            .into_iter()
+            .map(|(name, cfg, policy)| self.experiment(&name, cfg, policy))
+            .collect();
+        let sweep = Sweep::new(experiments).with_threads(self.threads);
+        let SweepOutcome { results, stats } = sweep.run().unwrap_or_else(|e| panic!("sweep: {e}"));
+        eprintln!(
+            "sweep pool: {} tasks over {} points on {} threads — {:.1}s wall, {:.0} events/s",
+            stats.tasks, stats.points, stats.threads, stats.wall_s, stats.events_per_sec
+        );
+        (results, stats)
     }
 
     /// Archives results if `--json` was given.
     pub fn archive<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
             hetsched::report::save_json(path, value).expect("archiving results");
+        }
+    }
+
+    /// Archives the sweep pool's throughput counters if `--bench-json`
+    /// was given: one [`BenchReport`] merging every sweep the binary ran.
+    pub fn archive_bench(&self, bin: &str, sweeps: &[SweepStats]) {
+        if let Some(path) = &self.bench_json {
+            let report = BenchReport::new(bin, self, sweeps);
+            hetsched::report::save_json(path, &report).expect("archiving sweep bench");
+            eprintln!("sweep bench counters -> {}", path.display());
+        }
+    }
+}
+
+/// Machine-readable perf-trajectory record (`BENCH_sweep.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchReport {
+    /// The binary that produced the record.
+    pub bin: String,
+    /// Horizon scale the sweeps ran at.
+    pub scale: f64,
+    /// Replications per data point.
+    pub reps: u64,
+    /// Pool thread knob (0 = auto).
+    pub threads_requested: usize,
+    /// Totals across every sweep the binary ran.
+    pub totals: SweepStats,
+    /// One entry per sweep pool execution.
+    pub sweeps: Vec<SweepStats>,
+}
+
+impl BenchReport {
+    /// Merges `sweeps` into one trajectory record for `bin`.
+    pub fn new(bin: &str, mode: &Mode, sweeps: &[SweepStats]) -> Self {
+        BenchReport {
+            bin: bin.to_string(),
+            scale: mode.scale,
+            reps: mode.reps,
+            threads_requested: mode.threads,
+            totals: SweepStats::merged(sweeps),
+            sweeps: sweeps.to_vec(),
         }
     }
 }
@@ -146,6 +257,29 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_and_env() {
+        assert_eq!(parse(&["--threads", "7"]).threads, 7);
+        // The environment supplies the default …
+        let m = Mode::parse_with_env(std::iter::empty(), Some("4"));
+        assert_eq!(m.threads, 4);
+        // … and the flag overrides it.
+        let m = Mode::parse_with_env(["--threads".to_string(), "2".to_string()], Some("4"));
+        assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn bench_json_flag() {
+        let m = parse(&["--bench-json", "BENCH_sweep.json"]);
+        assert_eq!(m.bench_json, Some(PathBuf::from("BENCH_sweep.json")));
+    }
+
+    #[test]
+    #[should_panic(expected = "HETSCHED_THREADS")]
+    fn rejects_bad_env_threads() {
+        Mode::parse_with_env(std::iter::empty(), Some("lots"));
+    }
+
+    #[test]
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown() {
         parse(&["--bogus"]);
@@ -164,5 +298,35 @@ mod tests {
         let m = parse(&["--quick"]);
         let r = m.run("point", cfg, PolicySpec::wrr());
         assert_eq!(r.runs.len(), 2);
+    }
+
+    #[test]
+    fn run_sweep_matches_per_point_run() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let m = parse(&["--quick", "--threads", "4"]);
+        let points = vec![
+            ("a".to_string(), cfg.clone(), PolicySpec::wrr()),
+            ("b".to_string(), cfg.clone(), PolicySpec::orr()),
+        ];
+        let (results, stats) = m.run_sweep(points);
+        assert_eq!(results.len(), 2);
+        assert_eq!(stats.tasks, 4);
+        assert_eq!(results[0], m.run("a", cfg.clone(), PolicySpec::wrr()));
+        assert_eq!(results[1], m.run("b", cfg, PolicySpec::orr()));
+    }
+
+    #[test]
+    fn bench_report_merges_sweeps() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let m = parse(&["--quick"]);
+        let (_, s1) = m.run_sweep(vec![("a".into(), cfg.clone(), PolicySpec::wrr())]);
+        let (_, s2) = m.run_sweep(vec![("b".into(), cfg, PolicySpec::orr())]);
+        let report = BenchReport::new("test", &m, &[s1.clone(), s2.clone()]);
+        assert_eq!(report.totals.tasks, s1.tasks + s2.tasks);
+        assert_eq!(report.sweeps.len(), 2);
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("events_per_sec"));
     }
 }

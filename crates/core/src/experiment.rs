@@ -8,7 +8,7 @@
 
 use hetsched_cluster::{ClusterConfig, RunStats, Simulation};
 use hetsched_metrics::CiSummary;
-use hetsched_parallel::{default_threads, replicate};
+use hetsched_parallel::{replicate, resolve_threads};
 use hetsched_policies::PolicySpec;
 use serde::{Deserialize, Serialize};
 
@@ -75,11 +75,7 @@ impl Experiment {
         // Validate once up front so errors surface before threads spawn.
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;
-        let threads = if self.threads == 0 {
-            default_threads()
-        } else {
-            self.threads
-        };
+        let threads = resolve_threads(self.threads);
         let runs: Vec<RunStats> = replicate(self.replications, threads, |i| {
             self.run_single(i)
                 .expect("validated configuration cannot fail")
@@ -115,11 +111,7 @@ impl Experiment {
         }
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;
-        let threads = if self.threads == 0 {
-            default_threads()
-        } else {
-            self.threads
-        };
+        let threads = resolve_threads(self.threads);
         let batch = self.replications.max(3).min(max_reps);
         let mut runs: Vec<RunStats> = Vec::new();
         let mut next_rep = 0u64;

@@ -48,6 +48,7 @@
 //! | [`policies`] | WRAN/ORAN/WRR/ORR, Dynamic Least-Load, JSQ(d), SITA-E |
 //! | [`parallel`] | scoped-thread replication runner |
 //! | [`experiment`] | replication + aggregation harness |
+//! | [`sweep`] | sweep-level work pool: all points' replications through one set of workers |
 //! | [`scenarios`] | one preset per paper table/figure |
 //! | [`report`] | fixed-width tables and JSON archiving |
 
@@ -64,8 +65,10 @@ pub use hetsched_queueing as queueing;
 pub mod experiment;
 pub mod report;
 pub mod scenarios;
+pub mod sweep;
 
 pub use experiment::{Experiment, ExperimentResult};
+pub use sweep::{PointStats, Sweep, SweepOutcome, SweepStats};
 
 /// The usual imports for examples and experiment binaries.
 pub mod prelude {
@@ -77,4 +80,5 @@ pub mod prelude {
     pub use crate::queueing::{closed_form, objective, HetSystem};
     pub use crate::report::{Chart, Table};
     pub use crate::scenarios;
+    pub use crate::sweep::{Sweep, SweepOutcome, SweepStats};
 }

@@ -1,26 +1,51 @@
-//! # hetsched-parallel — scoped-thread replication runner
+//! # hetsched-parallel — scoped-thread work pool for replication sweeps
 //!
 //! Every data point in the paper is "the average result of 10 independent
 //! runs with different random number streams" (§4.1), and the figures
 //! sweep a parameter over many points — hundreds of embarrassingly
 //! parallel simulation runs. This crate provides a deliberately small
-//! parallel map built on `crossbeam::scope`:
+//! parallel map built on `std::thread::scope`:
 //!
 //! * work is pulled from a shared atomic counter (dynamic load balancing —
 //!   runs at high utilization take much longer than runs at low
 //!   utilization, so static chunking would straggle);
 //! * results land in their input's slot, so output order equals input
 //!   order and determinism is preserved no matter how threads interleave;
+//! * slots are **write-once**: the atomic counter hands each index to
+//!   exactly one worker, so results are stored through a plain
+//!   `UnsafeCell` with no per-slot lock on the hot path;
+//! * [`parallel_map_in_order`] additionally accepts a *pull order*, so a
+//!   sweep harness can start its expected-longest tasks (high-utilization
+//!   points) first and keep every core busy until the very end;
 //! * worker panics are propagated to the caller (a failed replication
 //!   must not silently produce a truncated average).
 //!
-//! The sanctioned `crossbeam` dependency is confined to this crate.
+//! The crate is dependency-free: scoped threads come from the standard
+//! library, so the sweep pool cannot drift with third-party versions.
 
 #![warn(missing_docs)]
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+/// A write-once result slot.
+///
+/// Workers claim indices through an atomic counter, so each slot is
+/// written by exactly one worker and read only after every worker has
+/// been joined — the counter, not a lock, provides the exclusion.
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+impl<R> Slot<R> {
+    fn empty() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+}
+
+// SAFETY: each slot index is claimed by exactly one worker (a unique
+// `fetch_add` ticket), giving that worker exclusive write access; the
+// main thread reads only after joining all workers, which synchronizes
+// the writes.
+unsafe impl<R: Send> Sync for Slot<R> {}
 
 /// Maps `f` over `items` using up to `threads` worker threads, returning
 /// results in input order.
@@ -37,34 +62,98 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    pool_map(items, threads, None, f)
+}
+
+/// Like [`parallel_map`], but workers *pull* tasks in the sequence given
+/// by `order` (a permutation of `0..items.len()`; `order[0]` is started
+/// first). Results are still returned in **input** order, so reordering
+/// affects only wall-clock scheduling, never the output.
+///
+/// Sweep harnesses use this to start their expected-longest tasks first:
+/// a straggler that begins at `t = 0` hides behind the rest of the sweep
+/// instead of running alone at the end.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of the item indices; propagates
+/// the first worker panic.
+pub fn parallel_map_in_order<T, R, F>(items: &[T], threads: usize, order: &[usize], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert_eq!(
+        order.len(),
+        items.len(),
+        "order must be a permutation of the item indices"
+    );
+    let mut seen = vec![false; items.len()];
+    for &idx in order {
+        assert!(
+            idx < items.len() && !seen[idx],
+            "order must be a permutation of the item indices"
+        );
+        seen[idx] = true;
+    }
+    pool_map(items, threads, Some(order), f)
+}
+
+/// Shared implementation: a counter hands out *tickets*; `order` (if any)
+/// maps tickets to item indices.
+fn pool_map<T, R, F>(items: &[T], threads: usize, order: Option<&[usize]>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
+    let idx_of = |ticket: usize| order.map_or(ticket, |o| o[ticket]);
     let workers = threads.max(1).min(items.len());
     if workers == 1 {
-        return items.iter().map(&f).collect();
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for ticket in 0..items.len() {
+            let idx = idx_of(ticket);
+            out[idx] = Some(f(&items[idx]));
+        }
+        return out
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Slot<R>> = (0..items.len()).map(|_| Slot::empty()).collect();
 
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                let r = f(&items[idx]);
-                *slots[idx].lock() = Some(r);
-            });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let ticket = next.fetch_add(1, Ordering::Relaxed);
+                    if ticket >= items.len() {
+                        break;
+                    }
+                    let idx = idx_of(ticket);
+                    let r = f(&items[idx]);
+                    // SAFETY: this worker holds the unique ticket for
+                    // `idx`, so no other thread accesses this slot until
+                    // after the join below.
+                    unsafe { *slots[idx].0.get() = Some(r) };
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                panic!("worker thread panicked");
+            }
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
+        .map(|s| s.0.into_inner().expect("every slot filled"))
         .collect()
 }
 
@@ -76,6 +165,16 @@ pub fn default_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(16)
+}
+
+/// Resolves a user-facing thread knob: `0` means "auto"
+/// ([`default_threads`]), anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        default_threads()
+    } else {
+        requested
+    }
 }
 
 /// Runs `f(seed)` for seeds `0..replications` in parallel — the paper's
@@ -93,6 +192,7 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
 
     #[test]
     fn empty_input() {
@@ -168,6 +268,12 @@ mod tests {
     }
 
     #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert_eq!(resolve_threads(0), default_threads());
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
     #[should_panic(expected = "worker thread panicked")]
     fn worker_panic_propagates() {
         parallel_map(&[1, 2, 3, 4], 2, |&x| {
@@ -176,5 +282,59 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn ordered_map_returns_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let order: Vec<usize> = (0..100).rev().collect();
+        let out = parallel_map_in_order(&items, 4, &order, |&x| x * 3);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, 3 * i as u64);
+        }
+    }
+
+    #[test]
+    fn ordered_map_single_thread_follows_pull_order() {
+        let items: Vec<usize> = (0..8).collect();
+        let order = [5, 3, 7, 1, 0, 2, 4, 6];
+        let log = Mutex::new(Vec::new());
+        let out = parallel_map_in_order(&items, 1, &order, |&x| {
+            log.lock().unwrap().push(x);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(*log.lock().unwrap(), order.to_vec());
+    }
+
+    #[test]
+    fn ordered_map_with_many_threads() {
+        let items: Vec<u64> = (0..257).collect();
+        let order: Vec<usize> = (0..257).rev().collect();
+        let out = parallel_map_in_order(&items, 16, &order, |&x| x + 1);
+        assert_eq!(out.len(), 257);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be a permutation")]
+    fn ordered_map_rejects_wrong_length() {
+        parallel_map_in_order(&[1, 2, 3], 2, &[0, 1], |&x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be a permutation")]
+    fn ordered_map_rejects_duplicates() {
+        parallel_map_in_order(&[1, 2, 3], 2, &[0, 1, 1], |&x| x);
+    }
+
+    #[test]
+    fn results_with_drop_types_are_not_leaked() {
+        // Strings exercise the Option drop path of unclaimed/claimed slots.
+        let items: Vec<u32> = (0..64).collect();
+        let out = parallel_map(&items, 4, |&x| format!("v{x}"));
+        assert_eq!(out[63], "v63");
     }
 }

@@ -1,0 +1,77 @@
+//! The sweep pool's determinism contract, checked across crate
+//! boundaries: a multi-point sweep is bit-identical at any thread
+//! count, and identical to running each `Experiment` on its own.
+
+use hetsched::prelude::*;
+use hetsched_bench::Mode;
+
+/// Three points with deliberately different costs (ρ = 0.3/0.9/0.6) so
+/// the longest-expected-first pull order actually permutes execution.
+fn three_point_sweep() -> Vec<Experiment> {
+    [0.3, 0.9, 0.6]
+        .iter()
+        .map(|&rho| {
+            let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 8.0]).with_utilization(rho);
+            cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+            cfg.horizon = 20_000.0;
+            cfg.warmup = 2_000.0;
+            let mut e = Experiment::new(format!("rho={rho}"), cfg, PolicySpec::orr());
+            e.replications = 3;
+            e
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_bit_identical_at_one_and_eight_threads() {
+    let one = Sweep::new(three_point_sweep())
+        .with_threads(1)
+        .run()
+        .expect("threads=1 sweep runs");
+    let eight = Sweep::new(three_point_sweep())
+        .with_threads(8)
+        .run()
+        .expect("threads=8 sweep runs");
+    assert_eq!(one.results, eight.results);
+    assert_eq!(one.stats.tasks, eight.stats.tasks);
+    assert_eq!(one.stats.total_events, eight.stats.total_events);
+}
+
+#[test]
+fn sweep_matches_per_point_experiment_loop() {
+    let pooled = Sweep::new(three_point_sweep())
+        .with_threads(4)
+        .run()
+        .expect("pooled sweep runs");
+    let sequential: Vec<ExperimentResult> = three_point_sweep()
+        .iter()
+        .map(|p| p.run().expect("per-point run"))
+        .collect();
+    assert_eq!(pooled.results, sequential);
+}
+
+#[test]
+fn mode_run_sweep_is_thread_count_invariant() {
+    let points = || {
+        vec![
+            (
+                "orr".to_string(),
+                scenarios::fig5_config(0.5),
+                PolicySpec::orr(),
+            ),
+            (
+                "wrr".to_string(),
+                scenarios::fig5_config(0.5),
+                PolicySpec::wrr(),
+            ),
+        ]
+    };
+    let mut quick = Mode::parse(["--quick".to_string()]);
+    quick.threads = 1;
+    let (r1, s1) = quick.run_sweep(points());
+    quick.threads = 8;
+    let (r8, s8) = quick.run_sweep(points());
+    assert_eq!(r1, r8);
+    assert_eq!(s1.total_events, s8.total_events);
+    assert!(s1.total_events > 0);
+}
