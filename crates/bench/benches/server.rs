@@ -25,6 +25,7 @@ fn run_busy_period(spec: DisciplineSpec, jobs: usize, seed: u64) -> usize {
             arrival: t,
             server: 0,
             counted: true,
+            degraded: false,
         });
         disc.arrive(t, id, 0.5 + rng.next_f64());
     }

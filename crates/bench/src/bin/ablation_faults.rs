@@ -1,0 +1,112 @@
+//! Fault ablation — how each scheduling family degrades under churn.
+//!
+//! ORR (static, failure-aware dispatching), WRR (static, speed-weighted)
+//! and Dynamic Least-Load (the paper's yardstick) on the Table-3 base
+//! configuration at ρ = 0.7, with the failure rate swept from "none"
+//! through "frequent". Reported per cell: mean response ratio, jobs lost
+//! per run, and the churn-conditioned (degraded) response time — the
+//! mean over jobs that arrived during an outage or were bounced by a
+//! crash.
+//!
+//! Fault time-scales are multiplied by the fidelity scale alongside the
+//! horizon, so every fidelity sees the same expected crash count.
+
+use hetsched::experiment::ExperimentResult;
+use hetsched::prelude::*;
+use hetsched_bench::{ci, num, Mode};
+
+/// Failure regimes: label and mean time between failures in
+/// paper-fidelity seconds (`None` = faults disabled).
+const REGIMES: [(&str, Option<f64>); 4] = [
+    ("none", None),
+    ("rare", Some(400_000.0)),
+    ("moderate", Some(100_000.0)),
+    ("frequent", Some(40_000.0)),
+];
+/// Mean time to repair (paper-fidelity seconds).
+const MTTR: f64 = 20_000.0;
+
+fn main() {
+    let mode = Mode::from_env();
+    let policies = [
+        PolicySpec::orr(),
+        PolicySpec::wrr(),
+        PolicySpec::DynamicLeastLoad,
+    ];
+
+    let mut points = Vec::new();
+    for &(label, mtbf) in &REGIMES {
+        for &policy in &policies {
+            let cfg = match mtbf {
+                Some(m) => scenarios::faults_config(0.7, m * mode.scale, MTTR * mode.scale),
+                None => scenarios::fig5_config(0.7),
+            };
+            points.push((format!("faults {label} {}", policy.label()), cfg, policy));
+        }
+    }
+    eprintln!(
+        "ablation_faults: {} points through one sweep pool",
+        points.len()
+    );
+    let (results, stats) = mode.run_sweep(points);
+    let grid: Vec<Vec<ExperimentResult>> = results
+        .chunks(policies.len())
+        .map(|row| row.to_vec())
+        .collect();
+
+    let avail = |r: &ExperimentResult| {
+        r.runs.iter().map(|x| x.availability).sum::<f64>() / r.runs.len() as f64
+    };
+    let lost = |r: &ExperimentResult| {
+        r.runs.iter().map(|x| x.jobs_lost).sum::<u64>() as f64 / r.runs.len() as f64
+    };
+    let degraded = |r: &ExperimentResult| {
+        r.runs
+            .iter()
+            .map(|x| x.mean_degraded_response_time)
+            .sum::<f64>()
+            / r.runs.len() as f64
+    };
+
+    println!("\nFault ablation at rho=0.7 (Table-3 base configuration, MTTR={MTTR} s)");
+    for (metric, get) in [
+        ("mean response ratio", None::<fn(&ExperimentResult) -> f64>),
+        (
+            "jobs lost per run",
+            Some(lost as fn(&ExperimentResult) -> f64),
+        ),
+        ("degraded response time", Some(degraded)),
+    ] {
+        println!("\n{metric}:");
+        let mut t = Table::new(
+            std::iter::once("failure regime".to_string())
+                .chain(std::iter::once("avail".to_string()))
+                .chain(policies.iter().map(|p| p.label()))
+                .collect::<Vec<_>>(),
+        );
+        for (i, &(label, _)) in REGIMES.iter().enumerate() {
+            let mut row = vec![label.to_string(), num(avail(&grid[i][0]))];
+            for r in &grid[i] {
+                row.push(match get {
+                    None => ci(&r.mean_response_ratio),
+                    Some(f) => num(f(r)),
+                });
+            }
+            t.row(row);
+        }
+        t.print();
+    }
+
+    // Sanity lines for the log: faults off ⇒ nothing lost, full uptime.
+    let baseline = &grid[0];
+    assert!(
+        baseline.iter().all(|r| lost(r) == 0.0),
+        "fault-free regime must lose no jobs"
+    );
+    assert!(
+        baseline.iter().all(|r| (avail(r) - 1.0).abs() < 1e-12),
+        "fault-free regime must have availability 1"
+    );
+    mode.archive(&grid);
+    mode.archive_bench("ablation_faults", &[stats]);
+}

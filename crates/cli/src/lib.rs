@@ -323,6 +323,19 @@ mod tests {
     }
 
     #[test]
+    fn simulate_reports_contextual_validation_error() {
+        let dir = std::env::temp_dir().join("hetsched_cli_err_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("bad.json");
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.utilization = 1.5;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+        let e = simulate(spec_path.to_str().unwrap(), None).unwrap_err();
+        assert!(e.contains("utilization"), "message names the bad knob: {e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn run_help_returns_zero() {
         assert_eq!(run(Command::Help), 0);
         assert_eq!(run(Command::Template), 0);

@@ -14,9 +14,11 @@
 use hetsched_dist::{
     ArrivalProcess, DistSpec, Exponential, Hyperexp2, IidArrivals, MmppArrivals, Moments,
 };
+use hetsched_error::HetschedError;
 use serde::{Deserialize, Serialize};
 
 use crate::discipline::DisciplineSpec;
+use crate::faults::FaultSpec;
 use crate::network::LoadUpdateModel;
 
 /// Declarative arrival-process description (built for a target rate).
@@ -133,6 +135,12 @@ pub struct ClusterConfig {
     pub track_ratio_histogram: bool,
     /// If set, capture sampled per-job traces (see [`crate::trace`]).
     pub trace: Option<crate::trace::TraceSpec>,
+    /// If set, inject per-server crash/repair processes (see
+    /// [`crate::faults`]). `None` reproduces the fault-free simulation
+    /// byte-for-byte, so configs serialized before this field existed
+    /// keep their exact results.
+    #[serde(default)]
+    pub faults: Option<FaultSpec>,
 }
 
 impl ClusterConfig {
@@ -150,6 +158,7 @@ impl ClusterConfig {
             deviation_interval: None,
             track_ratio_histogram: false,
             trace: None,
+            faults: None,
         }
     }
 
@@ -189,32 +198,52 @@ impl ClusterConfig {
     }
 
     /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// A typed [`HetschedError`] describing the first problem found:
+    /// [`HetschedError::NoComputers`] for an empty machine list,
+    /// [`HetschedError::Saturated`] for ρ ≥ 1, and
+    /// [`HetschedError::InvalidConfig`] for everything else.
+    pub fn validate(&self) -> Result<(), HetschedError> {
         if self.speeds.is_empty() {
-            return Err("no computers configured".into());
+            return Err(HetschedError::NoComputers);
         }
         if !self.speeds.iter().all(|&s| s.is_finite() && s > 0.0) {
-            return Err("speeds must be positive and finite".into());
-        }
-        if !(self.utilization.is_finite() && self.utilization > 0.0 && self.utilization < 1.0) {
-            return Err(format!(
-                "utilization must lie in (0,1), got {}",
-                self.utilization
+            return Err(HetschedError::InvalidConfig(
+                "speeds must be positive and finite".into(),
             ));
         }
+        if self.utilization >= 1.0 {
+            return Err(HetschedError::Saturated);
+        }
+        if !(self.utilization.is_finite() && self.utilization > 0.0) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "utilization must lie in (0,1), got {}",
+                self.utilization
+            )));
+        }
         if !(self.horizon.is_finite() && self.horizon > 0.0) {
-            return Err("horizon must be positive".into());
+            return Err(HetschedError::InvalidConfig(
+                "horizon must be positive".into(),
+            ));
         }
         if !(self.warmup.is_finite() && self.warmup >= 0.0 && self.warmup < self.horizon) {
-            return Err("warmup must satisfy 0 ≤ warmup < horizon".into());
+            return Err(HetschedError::InvalidConfig(
+                "warmup must satisfy 0 ≤ warmup < horizon".into(),
+            ));
         }
         if let Some(iv) = self.deviation_interval {
             if !(iv.is_finite() && iv > 0.0) {
-                return Err("deviation interval must be positive".into());
+                return Err(HetschedError::InvalidConfig(
+                    "deviation interval must be positive".into(),
+                ));
             }
         }
         if let Some(trace) = &self.trace {
             trace.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
         }
         Ok(())
     }
@@ -278,6 +307,37 @@ mod tests {
         let mut bad = good.clone();
         bad.deviation_interval = Some(0.0);
         assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.faults = Some(FaultSpec::exponential(0.0, 10.0));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let good = ClusterConfig::paper_default(&[1.0]);
+        let mut bad = good.clone();
+        bad.speeds.clear();
+        assert!(matches!(bad.validate(), Err(HetschedError::NoComputers)));
+        assert!(matches!(
+            good.clone().with_utilization(1.2).validate(),
+            Err(HetschedError::Saturated)
+        ));
+        assert!(matches!(
+            good.with_utilization(-0.1).validate(),
+            Err(HetschedError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn config_without_faults_key_deserializes_to_none() {
+        // Back-compat: configs serialized before fault injection existed
+        // must parse unchanged, with faults disabled.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("faults");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.faults.is_none());
     }
 
     #[test]

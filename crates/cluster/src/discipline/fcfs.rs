@@ -80,6 +80,11 @@ impl Discipline for Fcfs {
     fn work_in_system(&self) -> f64 {
         self.queue.iter().map(|&(_, rem)| rem.max(0.0)).sum()
     }
+
+    fn drain(&mut self, out: &mut Vec<JobId>) {
+        out.extend(self.queue.iter().map(|&(id, _)| id));
+        self.queue.clear();
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +101,7 @@ mod tests {
                     arrival: 0.0,
                     server: 0,
                     counted: true,
+                    degraded: false,
                 })
             })
             .collect()

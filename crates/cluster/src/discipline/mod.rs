@@ -65,6 +65,12 @@ pub trait Discipline {
     /// Total remaining work across all jobs, in speed-1 seconds
     /// (diagnostics/testing).
     fn work_in_system(&self) -> f64;
+
+    /// Evicts every resident job (a server crash), appending their ids
+    /// to `out` in a deterministic order. The discipline ends up empty;
+    /// the caller must have advanced to the crash instant first so jobs
+    /// completing before it are credited as completions.
+    fn drain(&mut self, out: &mut Vec<JobId>);
 }
 
 /// Serde-friendly choice of discipline.
@@ -147,6 +153,10 @@ impl Discipline for DisciplineKind {
     fn work_in_system(&self) -> f64 {
         fwd!(self, d => d.work_in_system())
     }
+
+    fn drain(&mut self, out: &mut Vec<JobId>) {
+        fwd!(self, d => d.drain(out))
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +174,7 @@ mod tests {
                     arrival: 0.0,
                     server: 0,
                     counted: true,
+                    degraded: false,
                 })
             })
             .collect();
@@ -362,6 +373,38 @@ mod tests {
                     prop_assert!(last + 1e-6 >= total_work / speed);
                 }
             }
+        }
+    }
+
+    /// Draining (a crash) empties every discipline and leaves it usable.
+    #[test]
+    fn drain_evicts_everything_and_discipline_recovers() {
+        let (_slab, ids) = mk_ids(4);
+        for spec in [
+            DisciplineSpec::ProcessorSharing,
+            DisciplineSpec::PsReference,
+            DisciplineSpec::QuantumRoundRobin { quantum: 0.25 },
+            DisciplineSpec::Fcfs,
+        ] {
+            let mut d = spec.build(2.0);
+            let mut evicted = Vec::new();
+            let mut buf = Vec::new();
+            for (i, &id) in ids.iter().take(3).enumerate() {
+                // Disciplines require advancing to `now` before an arrival.
+                d.advance(i as f64 * 0.1, &mut buf);
+                d.arrive(i as f64 * 0.1, id, 5.0);
+            }
+            d.advance(0.5, &mut buf);
+            assert!(buf.is_empty(), "{spec:?}: nothing finishes by 0.5");
+            d.drain(&mut evicted);
+            assert_eq!(evicted.len(), 3, "{spec:?}");
+            assert_eq!(d.queue_len(), 0, "{spec:?}");
+            assert_eq!(d.next_wakeup(), None, "{spec:?}");
+            assert_eq!(d.work_in_system(), 0.0, "{spec:?}");
+            // The discipline still serves jobs after the crash (repair).
+            d.arrive(1.0, ids[3], 2.0);
+            d.advance(10.0, &mut buf);
+            assert_eq!(buf, vec![ids[3]], "{spec:?}");
         }
     }
 

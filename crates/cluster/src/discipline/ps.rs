@@ -126,6 +126,14 @@ impl Discipline for PsVirtualTime {
             .map(|&(bits, _)| f64::from_bits(bits) - self.v)
             .sum()
     }
+
+    fn drain(&mut self, out: &mut Vec<JobId>) {
+        // BTreeSet iteration is ordered, so the eviction order is
+        // deterministic. The virtual clock is retained: it is monotone
+        // state, not per-job state.
+        out.extend(self.queue.iter().map(|&(_, id)| id));
+        self.queue.clear();
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +150,7 @@ mod tests {
                     arrival: 0.0,
                     server: 0,
                     counted: true,
+                    degraded: false,
                 })
             })
             .collect()

@@ -101,6 +101,11 @@ impl Discipline for PsNaive {
     fn work_in_system(&self) -> f64 {
         self.jobs.iter().map(|&(_, rem)| rem.max(0.0)).sum()
     }
+
+    fn drain(&mut self, out: &mut Vec<JobId>) {
+        out.extend(self.jobs.iter().map(|&(id, _)| id));
+        self.jobs.clear();
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +122,7 @@ mod tests {
                     arrival: 0.0,
                     server: 0,
                     counted: true,
+                    degraded: false,
                 })
             })
             .collect()

@@ -113,6 +113,12 @@ impl Discipline for QuantumRr {
     fn work_in_system(&self) -> f64 {
         self.queue.iter().map(|&(_, rem)| rem.max(0.0)).sum()
     }
+
+    fn drain(&mut self, out: &mut Vec<JobId>) {
+        out.extend(self.queue.iter().map(|&(id, _)| id));
+        self.queue.clear();
+        self.slice_used = 0.0;
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +135,7 @@ mod tests {
                     arrival: 0.0,
                     server: 0,
                     counted: true,
+                    degraded: false,
                 })
             })
             .collect()

@@ -1,0 +1,216 @@
+//! Server crash/repair fault injection.
+//!
+//! Real networks of heterogeneous computers lose machines: the paper's
+//! static allocation assumes every computer stays up for the whole run,
+//! and a dead server would silently absorb its α-share of the workload.
+//! [`FaultSpec`] describes a per-server *renewal process* of alternating
+//! up and down periods, drawn from any [`DistSpec`] (exponential MTBF /
+//! MTTR is the classic choice; Weibull models wear-out).
+//!
+//! ## Determinism contract
+//!
+//! Each server `i` draws its up/down times from its **own** RNG stream
+//! (`Rng64::stream(seed, 4 + i)`), disjoint from the arrival, size,
+//! dispatch, and network streams. Two consequences:
+//!
+//! * a faulted run is a pure function of `(config, seed)` — bit-identical
+//!   at any thread count, because each replication is single-threaded
+//!   and the sweep pool merges results in replication order;
+//! * with `faults: None` the fault streams are never created, so the
+//!   simulation is byte-for-byte identical to a build without this
+//!   module.
+//!
+//! ## In-flight job semantics
+//!
+//! What happens to jobs resident on a crashing server is configurable
+//! via [`JobFaultSemantics`]: they can be **lost** (counted, dropped),
+//! **resubmitted** through the dispatcher to a surviving server (keeping
+//! their original arrival time, so the detour shows up as response
+//! time), or **restarted** in place from scratch when the server is
+//! repaired.
+
+use hetsched_dist::DistSpec;
+use hetsched_error::HetschedError;
+use serde::{Deserialize, Serialize};
+
+/// What happens to the jobs resident on a server when it crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobFaultSemantics {
+    /// In-flight jobs are dropped and counted as lost.
+    #[default]
+    Lost,
+    /// In-flight jobs go back through the dispatcher immediately,
+    /// keeping their original arrival time. If the dispatcher picks a
+    /// down server (or every server is down), the job is lost.
+    Resubmit,
+    /// In-flight jobs stay bound to the server and restart *from
+    /// scratch* (full service demand) when it is repaired.
+    Restart,
+}
+
+/// Per-server crash/repair renewal process configuration.
+///
+/// Attached to a cluster via `ClusterConfig::faults`; `None` (the serde
+/// default) disables fault injection entirely and reproduces the
+/// fault-free simulation byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Distribution of up (working) periods — the MTBF shape.
+    pub up_time: DistSpec,
+    /// Distribution of down (repair) periods — the MTTR shape.
+    pub down_time: DistSpec,
+    /// In-flight job handling on a crash.
+    #[serde(default)]
+    pub on_crash: JobFaultSemantics,
+    /// Mean of the exponential delay before the dispatcher learns of a
+    /// membership change (0 = instantaneous notification).
+    #[serde(default)]
+    pub notice_delay_mean: f64,
+}
+
+impl FaultSpec {
+    /// The classic Markovian failure model: exponential up times with
+    /// mean `mtbf` and exponential repair times with mean `mttr`, lost
+    /// in-flight jobs, instantaneous membership notification.
+    pub fn exponential(mtbf: f64, mttr: f64) -> Self {
+        FaultSpec {
+            up_time: DistSpec::Exponential { mean: mtbf },
+            down_time: DistSpec::Exponential { mean: mttr },
+            on_crash: JobFaultSemantics::default(),
+            notice_delay_mean: 0.0,
+        }
+    }
+
+    /// Sets the in-flight job semantics.
+    #[must_use]
+    pub fn with_semantics(mut self, on_crash: JobFaultSemantics) -> Self {
+        self.on_crash = on_crash;
+        self
+    }
+
+    /// Sets the mean membership-notice delay.
+    #[must_use]
+    pub fn with_notice_delay(mut self, mean: f64) -> Self {
+        self.notice_delay_mean = mean;
+        self
+    }
+
+    /// Validates the fault model without building any sampler (so an
+    /// invalid spec surfaces as an error instead of a panic deep inside
+    /// `DistSpec::build`).
+    ///
+    /// # Errors
+    /// Returns [`HetschedError::InvalidConfig`] naming the offending
+    /// knob.
+    pub fn validate(&self) -> Result<(), HetschedError> {
+        check_dist("fault up_time", &self.up_time)?;
+        check_dist("fault down_time", &self.down_time)?;
+        if !(self.notice_delay_mean >= 0.0 && self.notice_delay_mean.is_finite()) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "fault notice_delay_mean must be non-negative and finite, got {}",
+                self.notice_delay_mean
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Checks the parameters a [`DistSpec::build`] would assert on, but as a
+/// `Result` so configuration errors stay panic-free.
+fn check_dist(label: &str, d: &DistSpec) -> Result<(), HetschedError> {
+    let ok = match *d {
+        DistSpec::Exponential { mean } => mean.is_finite() && mean > 0.0,
+        DistSpec::Hyperexp2 { mean, cv } => {
+            mean.is_finite() && mean > 0.0 && cv.is_finite() && cv >= 1.0
+        }
+        DistSpec::BoundedPareto { k, p, alpha } => {
+            k.is_finite() && k > 0.0 && p.is_finite() && p > k && alpha.is_finite() && alpha > 0.0
+        }
+        DistSpec::Uniform { lo, hi } => lo.is_finite() && lo >= 0.0 && hi.is_finite() && hi > lo,
+        DistSpec::Deterministic { value } => value.is_finite() && value > 0.0,
+        DistSpec::Weibull { mean, shape } => {
+            mean.is_finite() && mean > 0.0 && shape.is_finite() && shape > 0.0
+        }
+        DistSpec::LogNormal { mean, cv } => {
+            mean.is_finite() && mean > 0.0 && cv.is_finite() && cv > 0.0
+        }
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(HetschedError::InvalidConfig(format!(
+            "{label} has invalid parameters: {d:?}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_constructor_defaults() {
+        let f = FaultSpec::exponential(1000.0, 50.0);
+        assert_eq!(f.up_time, DistSpec::Exponential { mean: 1000.0 });
+        assert_eq!(f.down_time, DistSpec::Exponential { mean: 50.0 });
+        assert_eq!(f.on_crash, JobFaultSemantics::Lost);
+        assert_eq!(f.notice_delay_mean, 0.0);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let f = FaultSpec::exponential(1000.0, 50.0)
+            .with_semantics(JobFaultSemantics::Restart)
+            .with_notice_delay(2.0);
+        assert_eq!(f.on_crash, JobFaultSemantics::Restart);
+        assert_eq!(f.notice_delay_mean, 2.0);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_knobs() {
+        assert!(FaultSpec::exponential(0.0, 50.0).validate().is_err());
+        assert!(FaultSpec::exponential(1000.0, -1.0).validate().is_err());
+        assert!(FaultSpec::exponential(1000.0, 50.0)
+            .with_notice_delay(f64::NAN)
+            .validate()
+            .is_err());
+        let weird = FaultSpec {
+            up_time: DistSpec::Uniform { lo: 5.0, hi: 2.0 },
+            ..FaultSpec::exponential(1.0, 1.0)
+        };
+        assert!(weird.validate().is_err());
+    }
+
+    #[test]
+    fn weibull_up_times_are_valid() {
+        let f = FaultSpec {
+            up_time: DistSpec::Weibull {
+                mean: 1000.0,
+                shape: 0.7,
+            },
+            ..FaultSpec::exponential(1.0, 20.0)
+        };
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_defaults_and_round_trip() {
+        // Semantics and notice delay are optional in JSON.
+        let f: FaultSpec = serde_json::from_str(
+            r#"{"up_time":{"kind":"exponential","mean":500.0},
+                "down_time":{"kind":"exponential","mean":25.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(f.on_crash, JobFaultSemantics::Lost);
+        assert_eq!(f.notice_delay_mean, 0.0);
+
+        let full = FaultSpec::exponential(500.0, 25.0).with_semantics(JobFaultSemantics::Resubmit);
+        let json = serde_json::to_string(&full).unwrap();
+        assert!(json.contains("\"resubmit\""), "{json}");
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(full, back);
+    }
+}

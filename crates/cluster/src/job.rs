@@ -36,6 +36,9 @@ pub struct JobRecord {
     /// Whether the job arrived after the warmup period and therefore
     /// counts toward statistics.
     pub counted: bool,
+    /// Whether the job experienced churn: it arrived while at least one
+    /// server was down, or was resubmitted/restarted after a crash.
+    pub degraded: bool,
 }
 
 enum Slot {
@@ -171,6 +174,7 @@ mod tests {
             arrival: 0.0,
             server: 0,
             counted: true,
+            degraded: false,
         }
     }
 

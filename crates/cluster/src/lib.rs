@@ -26,6 +26,11 @@
 //!   `hetsched-policies`.
 //! * [`network`] — the load-update feedback path for dynamic policies:
 //!   U(0,1) departure-detection delay + Exp(0.05 s) message delay (§4.2).
+//! * [`faults`] — per-server crash/repair renewal processes with
+//!   configurable in-flight-job semantics (lost / resubmitted /
+//!   restarted), driven by dedicated RNG streams so fault runs stay
+//!   bit-reproducible and `faults: None` reproduces the fault-free
+//!   simulation byte-for-byte.
 //! * [`config`] / [`results`] — serde-friendly run configuration and
 //!   output statistics (mean response time / response ratio / fairness /
 //!   per-server detail).
@@ -36,6 +41,7 @@
 
 pub mod config;
 pub mod discipline;
+pub mod faults;
 pub mod job;
 pub mod network;
 pub mod policy;
@@ -46,6 +52,7 @@ pub mod trace;
 
 pub use config::{ArrivalSpec, ClusterConfig};
 pub use discipline::{Discipline, DisciplineSpec};
+pub use faults::{FaultSpec, JobFaultSemantics};
 pub use job::{JobId, JobRecord, JobSlab};
 pub use policy::{DispatchCtx, Policy};
 pub use results::{RunStats, ServerStats};

@@ -75,6 +75,22 @@ impl LoadUpdateModel {
     }
 }
 
+/// Samples the delay before the scheduler learns of a crash or repair.
+///
+/// `mean = 0` models instantaneous detection (e.g. the scheduler's
+/// dispatch attempt fails fast); a positive mean draws an exponential
+/// delay on the given RNG, modelling heartbeat-style detection. The
+/// fault layer calls this with the crashing/repairing server's own
+/// fault stream so the draw never perturbs the workload streams.
+#[inline]
+pub fn membership_notice_delay(mean: f64, rng: &mut Rng64) -> f64 {
+    if mean <= 0.0 {
+        0.0
+    } else {
+        rng.exponential(1.0 / mean)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,5 +133,22 @@ mod tests {
     #[should_panic(expected = "detect_max must be positive")]
     fn rejects_zero_detection() {
         LoadUpdateModel::new(0.0, 0.05);
+    }
+
+    #[test]
+    fn zero_notice_delay_is_instant_and_draws_nothing() {
+        let mut rng = Rng64::from_seed(3);
+        let before = rng.next_u64();
+        let mut rng = Rng64::from_seed(3);
+        assert_eq!(membership_notice_delay(0.0, &mut rng), 0.0);
+        assert_eq!(rng.next_u64(), before, "zero mean must not consume RNG");
+    }
+
+    #[test]
+    fn positive_notice_delay_has_target_mean() {
+        let mut rng = Rng64::from_seed(4);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| membership_notice_delay(2.0, &mut rng)).sum();
+        assert!((sum / n as f64 - 2.0).abs() < 0.05);
     }
 }

@@ -45,6 +45,14 @@ pub trait Policy {
     /// `server`'s run-queue length when the message was sent.
     fn on_load_update(&mut self, _server: usize, _queue_len: usize, _now: f64) {}
 
+    /// Receives a membership update from the fault layer: `up[i]` is
+    /// whether server `i` is believed up. Called once at delivery of each
+    /// crash/repair notice (possibly delayed, see
+    /// `FaultSpec::notice_delay_mean`). Policies that ignore it keep
+    /// dispatching to down servers and those jobs are lost — that *is*
+    /// the failure-unaware baseline.
+    fn on_membership_change(&mut self, _up: &[bool], _now: f64) {}
+
     /// Whether the simulator should generate load-update messages
     /// (detection + network delay) for this policy.
     fn needs_load_updates(&self) -> bool {
@@ -69,6 +77,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn on_load_update(&mut self, server: usize, queue_len: usize, now: f64) {
         (**self).on_load_update(server, queue_len, now)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], now: f64) {
+        (**self).on_membership_change(up, now)
     }
 
     fn needs_load_updates(&self) -> bool {
@@ -116,5 +128,6 @@ mod tests {
         assert_eq!(p.name(), "always0");
         assert!(!p.needs_load_updates());
         p.on_load_update(0, 3, 1.0); // default no-op must not panic
+        p.on_membership_change(&[true, false], 1.0); // likewise
     }
 }

@@ -9,6 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 
+fn one() -> f64 {
+    1.0
+}
+
 /// Per-computer statistics over the measurement window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
@@ -25,6 +29,15 @@ pub struct ServerStats {
     /// `dispatched / Σ dispatched` — the realized allocation fraction
     /// (Table 1's "percentage").
     pub dispatch_fraction: f64,
+    /// Fraction of the window the server was up (1.0 without faults).
+    #[serde(default = "one")]
+    pub availability: f64,
+    /// Seconds spent down in the measurement window.
+    #[serde(default)]
+    pub downtime: f64,
+    /// Crashes in the measurement window.
+    #[serde(default)]
+    pub crashes: u64,
 }
 
 /// Statistics of one simulation run.
@@ -68,6 +81,37 @@ pub struct RunStats {
     /// per-server utilizations) — a sanity check against the configured
     /// `ρ`.
     pub realized_utilization: f64,
+    /// Counted jobs lost to crashes (dropped in flight, or arrived /
+    /// resubmitted while no live server could take them). Zero without
+    /// faults.
+    #[serde(default)]
+    pub jobs_lost: u64,
+    /// Counted jobs pushed back through the dispatcher by a crash
+    /// (`JobFaultSemantics::Resubmit`).
+    #[serde(default)]
+    pub jobs_resubmitted: u64,
+    /// Counted jobs restarted from scratch on repair
+    /// (`JobFaultSemantics::Restart`).
+    #[serde(default)]
+    pub jobs_restarted: u64,
+    /// Total server crashes in the measurement window.
+    #[serde(default)]
+    pub crashes: u64,
+    /// Capacity-weighted mean availability across servers (1.0 without
+    /// faults).
+    #[serde(default = "one")]
+    pub availability: f64,
+    /// Finished counted jobs that experienced churn (arrived during an
+    /// outage, or were resubmitted/restarted).
+    #[serde(default)]
+    pub degraded_jobs: u64,
+    /// Mean response time over the degraded subset (0 when empty) —
+    /// the churn-conditioned response time.
+    #[serde(default)]
+    pub mean_degraded_response_time: f64,
+    /// Mean response ratio over the degraded subset (0 when empty).
+    #[serde(default)]
+    pub mean_degraded_response_ratio: f64,
 }
 
 impl RunStats {
@@ -99,6 +143,9 @@ mod tests {
                     utilization: 0.5,
                     mean_queue_len: 1.0,
                     dispatch_fraction: 0.25,
+                    availability: 1.0,
+                    downtime: 0.0,
+                    crashes: 0,
                 },
                 ServerStats {
                     speed: 3.0,
@@ -107,6 +154,9 @@ mod tests {
                     utilization: 0.6,
                     mean_queue_len: 2.0,
                     dispatch_fraction: 0.75,
+                    availability: 0.9,
+                    downtime: 100.0,
+                    crashes: 2,
                 },
             ],
             deviations: vec![0.01, 0.02],
@@ -114,6 +164,14 @@ mod tests {
             trace: None,
             events_processed: 1234,
             realized_utilization: 0.57,
+            jobs_lost: 3,
+            jobs_resubmitted: 0,
+            jobs_restarted: 0,
+            crashes: 2,
+            availability: 0.925,
+            degraded_jobs: 5,
+            mean_degraded_response_time: 20.0,
+            mean_degraded_response_ratio: 4.0,
         }
     }
 
@@ -128,5 +186,37 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: RunStats = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn pre_fault_json_deserializes_with_defaults() {
+        // Archived results from before the fault layer lack the fault
+        // fields; they must load with "no faults happened" defaults.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        for k in [
+            "jobs_lost",
+            "jobs_resubmitted",
+            "jobs_restarted",
+            "crashes",
+            "availability",
+            "degraded_jobs",
+            "mean_degraded_response_time",
+            "mean_degraded_response_ratio",
+        ] {
+            obj.remove(k);
+        }
+        for server in obj["servers"].as_array_mut().unwrap() {
+            let s = server.as_object_mut().unwrap();
+            s.remove("availability");
+            s.remove("downtime");
+            s.remove("crashes");
+        }
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back.jobs_lost, 0);
+        assert_eq!(back.availability, 1.0);
+        assert_eq!(back.servers[1].availability, 1.0);
+        assert_eq!(back.servers[1].crashes, 0);
     }
 }

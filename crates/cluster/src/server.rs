@@ -11,7 +11,11 @@
 //!   resettable at the end of the warmup period so reported statistics
 //!   cover only the measurement window, as in §4.1;
 //! * **dispatch/completion counters** — per-computer job counts used for
-//!   Table 1's workload-distribution percentages.
+//!   Table 1's workload-distribution percentages;
+//! * **crash/repair state** — an up/down flag with availability and
+//!   downtime accounting for the fault-injection layer ([`crate::faults`]).
+//!   [`Server::fail`] evicts the resident jobs (the simulation decides
+//!   their fate) and [`Server::repair`] brings the computer back empty.
 
 use hetsched_metrics::TimeWeighted;
 
@@ -28,6 +32,11 @@ pub struct Server {
     qlen: TimeWeighted,
     dispatched: u64,
     completed: u64,
+    up: bool,
+    avail: TimeWeighted,
+    crashes: u64,
+    down_since: Option<f64>,
+    downtime: f64,
 }
 
 impl Server {
@@ -45,6 +54,11 @@ impl Server {
             qlen: TimeWeighted::new(0.0, 0.0),
             dispatched: 0,
             completed: 0,
+            up: true,
+            avail: TimeWeighted::new(0.0, 1.0),
+            crashes: 0,
+            down_since: None,
+            downtime: 0.0,
         }
     }
 
@@ -92,8 +106,39 @@ impl Server {
     /// Admits a job with `work` speed-1 seconds of demand. The caller must
     /// have advanced the server to `now` first.
     pub fn arrive(&mut self, now: f64, id: JobId, work: f64) {
+        debug_assert!(self.up, "dispatched a job to a down server");
         self.disc.arrive(now, id, work);
         self.dispatched += 1;
+        self.refresh(now);
+    }
+
+    /// Whether the computer is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Crashes the computer at `now`: evicts every resident job into
+    /// `evicted` (deterministic order) and marks the server down. The
+    /// caller must have advanced the server to `now` first and decides
+    /// what happens to the evicted jobs (lost / resubmitted / restarted).
+    pub fn fail(&mut self, now: f64, evicted: &mut Vec<JobId>) {
+        debug_assert!(self.up, "fail() on a server that is already down");
+        self.refresh(now);
+        self.up = false;
+        self.crashes += 1;
+        self.down_since = Some(now);
+        self.disc.drain(evicted);
+        self.refresh(now);
+    }
+
+    /// Repairs the computer at `now`: it comes back up with an empty run
+    /// queue, ready to accept arrivals.
+    pub fn repair(&mut self, now: f64) {
+        debug_assert!(!self.up, "repair() on a server that is already up");
+        self.up = true;
+        if let Some(t0) = self.down_since.take() {
+            self.downtime += now - t0;
+        }
         self.refresh(now);
     }
 
@@ -101,6 +146,7 @@ impl Server {
         let n = self.disc.queue_len();
         self.busy.update(now, if n > 0 { 1.0 } else { 0.0 });
         self.qlen.update(now, n as f64);
+        self.avail.update(now, if self.up { 1.0 } else { 0.0 });
     }
 
     /// Restarts the measurement window (end of warmup): clears counters
@@ -109,13 +155,26 @@ impl Server {
         self.refresh(now);
         self.busy.reset_window(now);
         self.qlen.reset_window(now);
+        self.avail.reset_window(now);
         self.dispatched = 0;
         self.completed = 0;
+        self.crashes = 0;
+        self.downtime = 0.0;
+        // A crash that straddles the warmup boundary only counts its
+        // in-window part toward downtime.
+        if !self.up {
+            self.down_since = Some(now);
+        }
     }
 
     /// Closes the accounting integrals at the horizon.
     pub fn finalize(&mut self, now: f64) {
         self.refresh(now);
+        if !self.up {
+            if let Some(t0) = self.down_since.replace(now) {
+                self.downtime += now - t0;
+            }
+        }
     }
 
     /// Fraction of the measurement window the server was busy.
@@ -137,6 +196,21 @@ impl Server {
     pub fn completed(&self) -> u64 {
         self.completed
     }
+
+    /// Fraction of the measurement window the server was up.
+    pub fn availability(&self) -> f64 {
+        self.avail.time_average()
+    }
+
+    /// Total seconds the server spent down in the measurement window.
+    pub fn downtime(&self) -> f64 {
+        self.downtime
+    }
+
+    /// Crashes in the measurement window.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +224,7 @@ mod tests {
             arrival: 0.0,
             server: 0,
             counted: true,
+            degraded: false,
         })
     }
 
@@ -209,6 +284,58 @@ mod tests {
         assert_eq!(s.completed(), 0);
         s.finalize(4.0);
         assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn fail_evicts_jobs_and_accounts_downtime() {
+        let mut slab = JobSlab::new();
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        let a = job(&mut slab, 10.0);
+        let b = job(&mut slab, 20.0);
+        s.arrive(0.0, a, 10.0);
+        s.arrive(0.0, b, 20.0);
+        let mut evicted = Vec::new();
+        s.advance(1.0, &mut done);
+        s.fail(1.0, &mut evicted);
+        assert!(!s.is_up());
+        assert_eq!(evicted, vec![a, b]);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.crashes(), 1);
+        // Down on [1, 3), up again on [3, 4].
+        s.repair(3.0);
+        assert!(s.is_up());
+        s.finalize(4.0);
+        assert!((s.downtime() - 2.0).abs() < 1e-12);
+        assert!((s.availability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_straddling_reset_counts_window_part_only() {
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut evicted = Vec::new();
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        s.fail(0.0, &mut evicted);
+        s.reset_window(5.0); // crash predates the window
+        s.repair(7.0);
+        s.finalize(10.0);
+        assert_eq!(s.crashes(), 0, "pre-window crash does not count");
+        assert!((s.downtime() - 2.0).abs() < 1e-12);
+        assert!((s.availability() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn still_down_at_horizon_closes_downtime() {
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut evicted = Vec::new();
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        s.fail(2.0, &mut evicted);
+        s.finalize(6.0);
+        assert!((s.downtime() - 4.0).abs() < 1e-12);
+        assert!((s.availability() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

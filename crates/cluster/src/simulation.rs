@@ -17,17 +17,30 @@
 //!    load is refreshed.
 //! 5. `WarmupEnd` — counters reset so statistics cover only the steady
 //!    state.
+//! 6. `ServerCrash` / `ServerRepair` — the fault layer's renewal process
+//!    (only scheduled when [`ClusterConfig::faults`] is set): a crash
+//!    evicts the resident jobs (lost / resubmitted / parked for restart,
+//!    see [`crate::faults`]) and a repair brings the server back empty.
+//!    `MembershipNotice` delivers the (optionally delayed) up/down view
+//!    to the policy.
 //!
 //! Determinism: every stochastic component draws from its own
-//! seed-derived stream, so two runs with the same seed are identical and
-//! runs with different seeds are the paper's "independent runs".
+//! seed-derived stream — arrivals (0), sizes (1), dispatch (2), network
+//! (3), and one fault stream per server (4 + i) — so two runs with the
+//! same seed are identical and runs with different seeds are the paper's
+//! "independent runs". With `faults: None` the fault streams are never
+//! created and no fault event is ever scheduled, so the simulation is
+//! byte-for-byte the fault-free one.
 
 use hetsched_desim::{Actor, Engine, Rng64, Scheduler, SimTime};
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
+use hetsched_error::HetschedError;
 use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
 
 use crate::config::{ArrivalKind, ClusterConfig};
+use crate::faults::{FaultSpec, JobFaultSemantics};
 use crate::job::{JobId, JobRecord, JobSlab};
+use crate::network::membership_notice_delay;
 use crate::policy::{DispatchCtx, Policy};
 use crate::results::{RunStats, ServerStats};
 use crate::server::Server;
@@ -45,6 +58,13 @@ enum Ev {
     LoadUpdate { server: usize, queue_len: usize },
     /// End of the warmup period.
     WarmupEnd,
+    /// A server's up period expires: it crashes.
+    ServerCrash { server: usize },
+    /// A server's repair completes: it rejoins empty.
+    ServerRepair { server: usize },
+    /// A delayed crash/repair notification reaches the scheduler; the
+    /// policy is shown the *current* membership at delivery time.
+    MembershipNotice,
 }
 
 /// A configured, seeded simulation ready to run.
@@ -58,9 +78,8 @@ impl<P: Policy> Simulation<P> {
     /// Creates a simulation.
     ///
     /// # Errors
-    /// Returns the human-readable validation error of
-    /// [`ClusterConfig::validate`].
-    pub fn new(cfg: ClusterConfig, policy: P, seed: u64) -> Result<Self, String> {
+    /// Returns the typed validation error of [`ClusterConfig::validate`].
+    pub fn new(cfg: ClusterConfig, policy: P, seed: u64) -> Result<Self, HetschedError> {
         cfg.validate()?;
         Ok(Simulation { cfg, policy, seed })
     }
@@ -82,6 +101,17 @@ impl<P: Policy> Simulation<P> {
                 .expected_fractions()
                 .unwrap_or_else(|| vec![1.0 / cfg.speeds.len() as f64; cfg.speeds.len()]);
             DeviationTracker::new(&expected, iv, 0.0)
+        });
+        // Fault streams are only created when faults are configured, so a
+        // `faults: None` run draws exactly the same values from exactly
+        // the same streams as a build without the fault layer.
+        let n = cfg.speeds.len();
+        let faults = cfg.faults.map(|spec| FaultRuntime {
+            up_dist: spec.up_time.build(),
+            down_dist: spec.down_time.build(),
+            rngs: (0..n).map(|i| Rng64::stream(seed, 4 + i as u64)).collect(),
+            parked: vec![Vec::new(); n],
+            spec,
         });
         let mut model = Model {
             policy,
@@ -108,6 +138,13 @@ impl<P: Policy> Simulation<P> {
             deviation,
             jobs_counted: 0,
             speeds: cfg.speeds.clone(),
+            faults,
+            down_count: 0,
+            jobs_lost: 0,
+            jobs_resubmitted: 0,
+            jobs_restarted: 0,
+            degraded_time: Welford::new(),
+            degraded_ratio: Welford::new(),
         };
 
         let mut engine: Engine<Ev> = Engine::with_capacity(1024);
@@ -116,10 +153,29 @@ impl<P: Policy> Simulation<P> {
         if cfg.warmup > 0.0 {
             engine.schedule_at(SimTime::new(cfg.warmup), Ev::WarmupEnd);
         }
+        if let Some(fr) = &mut model.faults {
+            for i in 0..n {
+                let first_up = fr.up_dist.sample(&mut fr.rngs[i]);
+                engine.schedule_at(SimTime::new(first_up), Ev::ServerCrash { server: i });
+            }
+        }
         engine.run_until(&mut model, SimTime::new(cfg.horizon));
 
         model.finalize(cfg.horizon, engine.processed_total())
     }
+}
+
+/// Per-run fault-injection state (present only when configured).
+struct FaultRuntime {
+    spec: FaultSpec,
+    up_dist: BuiltDist,
+    down_dist: BuiltDist,
+    /// One RNG stream per server (`Rng64::stream(seed, 4 + i)`), used
+    /// for that server's up/down draws and notice delays.
+    rngs: Vec<Rng64>,
+    /// Jobs awaiting restart on each down server
+    /// ([`JobFaultSemantics::Restart`] only).
+    parked: Vec<Vec<JobId>>,
 }
 
 struct Model<P: Policy> {
@@ -145,6 +201,13 @@ struct Model<P: Policy> {
     deviation: Option<DeviationTracker>,
     jobs_counted: u64,
     speeds: Vec<f64>,
+    faults: Option<FaultRuntime>,
+    down_count: usize,
+    jobs_lost: u64,
+    jobs_resubmitted: u64,
+    jobs_restarted: u64,
+    degraded_time: Welford,
+    degraded_ratio: Welford,
 }
 
 impl<P: Policy> Model<P> {
@@ -176,6 +239,10 @@ impl<P: Policy> Model<P> {
                 self.resp_ratio.push(ratio);
                 self.ratio_p95.push(ratio);
                 self.ratio_p99.push(ratio);
+                if rec.degraded {
+                    self.degraded_time.push(response);
+                    self.degraded_ratio.push(ratio);
+                }
                 if let Some(h) = &mut self.ratio_histogram {
                     h.record(ratio);
                 }
@@ -202,6 +269,18 @@ impl<P: Policy> Model<P> {
         sched.schedule_in(gap, Ev::Arrival);
 
         let size = self.sizes.sample(&mut self.rng_size);
+        let counted = now >= self.warmup;
+        if self.down_count == self.servers.len() {
+            // Total outage: no destination exists, so the policy is not
+            // consulted (keeping its bookkeeping consistent with the
+            // jobs it actually placed) and the job is lost. The size was
+            // already sampled, keeping the size stream aligned.
+            if counted {
+                self.jobs_counted += 1;
+                self.jobs_lost += 1;
+            }
+            return;
+        }
         self.qlen_buf.clear();
         self.qlen_buf
             .extend(self.servers.iter().map(|s| s.queue_len()));
@@ -214,18 +293,27 @@ impl<P: Policy> Model<P> {
         let target = self.policy.choose(&ctx, &mut self.rng_dispatch);
         debug_assert!(target < self.servers.len(), "policy chose {target}");
 
-        let counted = now >= self.warmup;
         if counted {
             self.jobs_counted += 1;
         }
         if let Some(dev) = &mut self.deviation {
             dev.record(now, target);
         }
+        if !self.servers[target].is_up() {
+            // The dispatcher (stale or failure-unaware) sent the job to
+            // a dead machine: the job is lost. This is the cost a policy
+            // pays for ignoring membership notices.
+            if counted {
+                self.jobs_lost += 1;
+            }
+            return;
+        }
         let id = self.slab.insert(JobRecord {
             size,
             arrival: now,
             server: target,
             counted,
+            degraded: self.down_count > 0,
         });
         // Catch any boundary-epsilon completion before admitting.
         self.servers[target].advance(now, &mut self.done_buf);
@@ -241,6 +329,137 @@ impl<P: Policy> Model<P> {
         self.servers[server].advance(now, &mut self.done_buf);
         self.drain_completions(server, now, sched);
         self.reschedule(server, sched);
+    }
+
+    fn handle_crash(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        // Completions landing exactly at the crash instant still count.
+        self.servers[server].advance(now, &mut self.done_buf);
+        self.drain_completions(server, now, sched);
+
+        let fr = self.faults.as_mut().expect("crash event without faults");
+        // Fixed per-crash draw order on the server's own stream: repair
+        // time first, then (optionally) the notice delay.
+        let semantics = fr.spec.on_crash;
+        let down_for = fr.down_dist.sample(&mut fr.rngs[server]);
+        let notice = membership_notice_delay(fr.spec.notice_delay_mean, &mut fr.rngs[server]);
+        sched.schedule_in(down_for, Ev::ServerRepair { server });
+
+        let mut evicted = Vec::new();
+        self.servers[server].fail(now, &mut evicted);
+        self.servers[server].bump_epoch(); // orphan the pending wake
+        self.down_count += 1;
+        self.notify_membership(notice, now, sched);
+
+        match semantics {
+            JobFaultSemantics::Lost => {
+                for id in evicted {
+                    if self.slab.remove(id).counted {
+                        self.jobs_lost += 1;
+                    }
+                }
+            }
+            JobFaultSemantics::Resubmit => {
+                // Evicted in deterministic discipline order; each goes
+                // back through the dispatcher at the crash instant. With
+                // an instantaneous notice the policy has already been
+                // told about the outage; with a delayed one it may well
+                // re-pick the dead server and lose the job.
+                for id in evicted {
+                    self.resubmit(id, now, sched);
+                }
+            }
+            JobFaultSemantics::Restart => {
+                let fr = self.faults.as_mut().expect("checked above");
+                fr.parked[server] = evicted;
+            }
+        }
+    }
+
+    /// Pushes a crash-evicted job back through the dispatcher with its
+    /// full service demand and original arrival time.
+    fn resubmit(&mut self, id: JobId, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        let mut rec = self.slab.remove(id);
+        if self.down_count == self.servers.len() {
+            if rec.counted {
+                self.jobs_lost += 1;
+            }
+            return;
+        }
+        self.qlen_buf.clear();
+        self.qlen_buf
+            .extend(self.servers.iter().map(|s| s.queue_len()));
+        let ctx = DispatchCtx {
+            now,
+            job_size: rec.size,
+            queue_lens: &self.qlen_buf,
+            speeds: &self.speeds,
+        };
+        let target = self.policy.choose(&ctx, &mut self.rng_dispatch);
+        debug_assert!(target < self.servers.len(), "policy chose {target}");
+        if !self.servers[target].is_up() {
+            if rec.counted {
+                self.jobs_lost += 1;
+            }
+            return;
+        }
+        if rec.counted {
+            self.jobs_resubmitted += 1;
+        }
+        if let Some(dev) = &mut self.deviation {
+            dev.record(now, target);
+        }
+        rec.server = target;
+        rec.degraded = true;
+        let size = rec.size;
+        let new_id = self.slab.insert(rec);
+        self.servers[target].advance(now, &mut self.done_buf);
+        self.drain_completions(target, now, sched);
+        self.servers[target].arrive(now, new_id, size);
+        self.reschedule(target, sched);
+    }
+
+    fn handle_repair(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        self.servers[server].repair(now);
+        self.down_count -= 1;
+
+        let fr = self.faults.as_mut().expect("repair event without faults");
+        // Per-repair draw order mirrors the crash: next up time first,
+        // then (optionally) the notice delay.
+        let up_for = fr.up_dist.sample(&mut fr.rngs[server]);
+        let notice = membership_notice_delay(fr.spec.notice_delay_mean, &mut fr.rngs[server]);
+        let parked = std::mem::take(&mut fr.parked[server]);
+        sched.schedule_in(up_for, Ev::ServerCrash { server });
+        self.notify_membership(notice, now, sched);
+
+        // Restart semantics: parked jobs re-enter with their full demand
+        // and original arrival time, so the outage shows up as response
+        // time.
+        for id in parked {
+            let mut rec = self.slab.remove(id);
+            rec.degraded = true;
+            debug_assert_eq!(rec.server, server);
+            if rec.counted {
+                self.jobs_restarted += 1;
+            }
+            let size = rec.size;
+            let new_id = self.slab.insert(rec);
+            self.servers[server].arrive(now, new_id, size);
+        }
+        self.reschedule(server, sched);
+    }
+
+    /// Delivers (or schedules) a membership notice to the policy.
+    fn notify_membership(&mut self, delay: f64, now: f64, sched: &mut Scheduler<'_, Ev>) {
+        if delay <= 0.0 {
+            self.deliver_membership(now);
+        } else {
+            sched.schedule_in(delay, Ev::MembershipNotice);
+        }
+    }
+
+    fn deliver_membership(&mut self, now: f64) {
+        let up: Vec<bool> = self.servers.iter().map(|s| s.is_up()).collect();
+        self.policy.on_membership_change(&up, now);
     }
 
     fn finalize(mut self, horizon: f64, events: u64) -> RunStats {
@@ -265,6 +484,9 @@ impl<P: Policy> Model<P> {
                 } else {
                     s.dispatched() as f64 / total_dispatched as f64
                 },
+                availability: s.availability(),
+                downtime: s.downtime(),
+                crashes: s.crashes(),
             })
             .collect();
         let total_speed: f64 = self.speeds.iter().sum();
@@ -274,6 +496,14 @@ impl<P: Policy> Model<P> {
             .map(|s| s.utilization() * s.speed())
             .sum::<f64>()
             / total_speed;
+        let availability = self
+            .servers
+            .iter()
+            .map(|s| s.availability() * s.speed())
+            .sum::<f64>()
+            / total_speed;
+        let crashes = self.servers.iter().map(|s| s.crashes()).sum();
+        let degraded_jobs = self.degraded_ratio.count();
         RunStats {
             policy: self.policy.name(),
             jobs_counted: self.jobs_counted,
@@ -292,6 +522,22 @@ impl<P: Policy> Model<P> {
             trace: self.trace,
             events_processed: events,
             realized_utilization,
+            jobs_lost: self.jobs_lost,
+            jobs_resubmitted: self.jobs_resubmitted,
+            jobs_restarted: self.jobs_restarted,
+            crashes,
+            availability,
+            degraded_jobs,
+            mean_degraded_response_time: if degraded_jobs == 0 {
+                0.0
+            } else {
+                self.degraded_time.mean()
+            },
+            mean_degraded_response_ratio: if degraded_jobs == 0 {
+                0.0
+            } else {
+                self.degraded_ratio.mean()
+            },
         }
     }
 }
@@ -314,7 +560,16 @@ impl<P: Policy> Actor<Ev> for Model<P> {
                 for s in &mut self.servers {
                     s.reset_window(t);
                 }
+                // Fault metrics are measurement-window quantities too.
+                self.jobs_lost = 0;
+                self.jobs_resubmitted = 0;
+                self.jobs_restarted = 0;
+                self.degraded_time = Welford::new();
+                self.degraded_ratio = Welford::new();
             }
+            Ev::ServerCrash { server } => self.handle_crash(server, t, sched),
+            Ev::ServerRepair { server } => self.handle_repair(server, t, sched),
+            Ev::MembershipNotice => self.deliver_membership(t),
         }
     }
 }
@@ -356,6 +611,7 @@ mod tests {
             deviation_interval: None,
             track_ratio_histogram: false,
             trace: None,
+            faults: None,
         }
     }
 
@@ -471,6 +727,89 @@ mod tests {
             "traced mean {mean_ratio} vs run mean {}",
             stats.mean_response_ratio
         );
+    }
+
+    #[test]
+    fn faults_inject_crashes_and_losses() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(crate::faults::FaultSpec::exponential(2_000.0, 200.0));
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 11).unwrap().run();
+        assert!(stats.crashes > 0, "expected crashes, got {}", stats.crashes);
+        assert!(stats.availability < 1.0);
+        assert!(stats.availability > 0.5, "MTTR/MTBF ≈ 0.09");
+        assert!(stats.jobs_lost > 0, "Lost semantics must lose jobs");
+        assert_eq!(stats.jobs_resubmitted, 0);
+        assert_eq!(stats.jobs_restarted, 0);
+        let total_downtime: f64 = stats.servers.iter().map(|s| s.downtime).sum();
+        assert!(total_downtime > 0.0);
+        assert!(stats.servers.iter().any(|s| s.availability < 1.0));
+        // Churn-conditioned metrics exist and degraded jobs fared no
+        // better than the average job (they arrived during outages).
+        assert!(stats.degraded_jobs > 0);
+        assert!(stats.mean_degraded_response_time > 0.0);
+    }
+
+    #[test]
+    fn inactive_faults_match_faults_none_exactly() {
+        // An enabled fault layer whose first crash lies beyond the
+        // horizon must reproduce the fault-free run bit-for-bit: the
+        // fault streams are disjoint from the workload streams.
+        let mut cfg = small_cfg();
+        cfg.faults = Some(crate::faults::FaultSpec {
+            up_time: hetsched_dist::DistSpec::Deterministic { value: 1e12 },
+            down_time: hetsched_dist::DistSpec::Exponential { mean: 100.0 },
+            on_crash: crate::faults::JobFaultSemantics::Lost,
+            notice_delay_mean: 0.0,
+        });
+        let faulted = Simulation::new(cfg, Cyclic { next: 0 }, 7).unwrap().run();
+        let baseline = Simulation::new(small_cfg(), Cyclic { next: 0 }, 7)
+            .unwrap()
+            .run();
+        assert_eq!(faulted, baseline);
+    }
+
+    #[test]
+    fn resubmit_semantics_reroute_in_flight_jobs() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(
+            crate::faults::FaultSpec::exponential(2_000.0, 200.0)
+                .with_semantics(crate::faults::JobFaultSemantics::Resubmit),
+        );
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 11).unwrap().run();
+        assert!(stats.crashes > 0);
+        assert!(stats.jobs_resubmitted > 0);
+        assert_eq!(stats.jobs_restarted, 0);
+    }
+
+    #[test]
+    fn restart_semantics_rerun_jobs_on_repair() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(
+            crate::faults::FaultSpec::exponential(2_000.0, 200.0)
+                .with_semantics(crate::faults::JobFaultSemantics::Restart),
+        );
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 11).unwrap().run();
+        assert!(stats.crashes > 0);
+        assert!(stats.jobs_restarted > 0);
+        assert_eq!(stats.jobs_resubmitted, 0);
+        // Restarted jobs sat through the outage: their conditioned
+        // response time dwarfs the overall mean.
+        assert!(stats.mean_degraded_response_time > stats.mean_response_time);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(
+            crate::faults::FaultSpec::exponential(1_000.0, 100.0)
+                .with_semantics(crate::faults::JobFaultSemantics::Resubmit)
+                .with_notice_delay(5.0),
+        );
+        let a = Simulation::new(cfg.clone(), Cyclic { next: 0 }, 9)
+            .unwrap()
+            .run();
+        let b = Simulation::new(cfg, Cyclic { next: 0 }, 9).unwrap().run();
+        assert_eq!(a, b);
     }
 
     #[test]

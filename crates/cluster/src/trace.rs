@@ -11,6 +11,7 @@
 //! [`crate::RunStats::trace`] and can be exported as JSON lines for
 //! external tooling.
 
+use hetsched_error::HetschedError;
 use serde::{Deserialize, Serialize};
 
 /// Sampling configuration for the trace collector.
@@ -35,12 +36,19 @@ impl Default for TraceSpec {
 
 impl TraceSpec {
     /// Validates the spec.
-    pub fn validate(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidConfig`] when a field is out of range.
+    pub fn validate(&self) -> Result<(), HetschedError> {
         if self.sample_every == 0 {
-            return Err("trace sample_every must be ≥ 1".into());
+            return Err(HetschedError::InvalidConfig(
+                "trace sample_every must be ≥ 1".into(),
+            ));
         }
         if self.max_records == 0 {
-            return Err("trace max_records must be ≥ 1".into());
+            return Err(HetschedError::InvalidConfig(
+                "trace max_records must be ≥ 1".into(),
+            ));
         }
         Ok(())
     }

@@ -7,6 +7,7 @@
 //! different random number streams", §4.1).
 
 use hetsched_cluster::{ClusterConfig, RunStats, Simulation};
+use hetsched_error::HetschedError;
 use hetsched_metrics::CiSummary;
 use hetsched_parallel::{replicate, resolve_threads};
 use hetsched_policies::PolicySpec;
@@ -61,7 +62,7 @@ impl Experiment {
     ///
     /// # Errors
     /// Returns the configuration/policy validation error, if any.
-    pub fn run_single(&self, replication: u64) -> Result<RunStats, String> {
+    pub fn run_single(&self, replication: u64) -> Result<RunStats, HetschedError> {
         let policy = self.policy.build(&self.cluster)?;
         let sim = Simulation::new(self.cluster.clone(), policy, self.seed_of(replication))?;
         Ok(sim.run())
@@ -71,7 +72,7 @@ impl Experiment {
     ///
     /// # Errors
     /// Returns the validation error without spawning any run.
-    pub fn run(&self) -> Result<ExperimentResult, String> {
+    pub fn run(&self) -> Result<ExperimentResult, HetschedError> {
         // Validate once up front so errors surface before threads spawn.
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;
@@ -102,12 +103,16 @@ impl Experiment {
         &self,
         rel_precision: f64,
         max_reps: u64,
-    ) -> Result<ExperimentResult, String> {
+    ) -> Result<ExperimentResult, HetschedError> {
         if !(rel_precision > 0.0 && rel_precision.is_finite()) {
-            return Err("precision must be a positive fraction".into());
+            return Err(HetschedError::BadParameter(
+                "precision must be a positive fraction".into(),
+            ));
         }
         if max_reps == 0 {
-            return Err("need at least one replication".into());
+            return Err(HetschedError::BadParameter(
+                "need at least one replication".into(),
+            ));
         }
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;

@@ -44,8 +44,9 @@
 //! | [`dist`] | Bounded Pareto, hyperexponential, … with analytic moments |
 //! | [`metrics`] | Welford, time-weighted stats, P² quantiles, CIs |
 //! | [`queueing`] | M/M/1-PS analysis, Algorithm 1, numeric cross-check |
-//! | [`cluster`] | the simulated network of heterogeneous computers |
-//! | [`policies`] | WRAN/ORAN/WRR/ORR, Dynamic Least-Load, JSQ(d), SITA-E |
+//! | [`cluster`] | the simulated network of heterogeneous computers, incl. the fault-injection layer |
+//! | [`policies`] | WRAN/ORAN/WRR/ORR, Dynamic Least-Load, JSQ(d), SITA-E, ReORR |
+//! | [`error`] | the typed error shared across the workspace |
 //! | [`parallel`] | scoped-thread replication runner |
 //! | [`experiment`] | replication + aggregation harness |
 //! | [`sweep`] | sweep-level work pool: all points' replications through one set of workers |
@@ -57,6 +58,7 @@
 pub use hetsched_cluster as cluster;
 pub use hetsched_desim as desim;
 pub use hetsched_dist as dist;
+pub use hetsched_error as error;
 pub use hetsched_metrics as metrics;
 pub use hetsched_parallel as parallel;
 pub use hetsched_policies as policies;
@@ -72,8 +74,10 @@ pub use sweep::{PointStats, Sweep, SweepOutcome, SweepStats};
 
 /// The usual imports for examples and experiment binaries.
 pub mod prelude {
+    pub use crate::cluster::faults::{FaultSpec, JobFaultSemantics};
     pub use crate::cluster::{ArrivalSpec, ClusterConfig, DisciplineSpec, RunStats};
     pub use crate::dist::DistSpec;
+    pub use crate::error::HetschedError;
     pub use crate::experiment::{Experiment, ExperimentResult};
     pub use crate::metrics::CiSummary;
     pub use crate::policies::{AllocationSpec, DispatcherSpec, PolicySpec};

@@ -13,7 +13,12 @@
 //! | Figure 4 | [`fig4_config`] (half fast@10, half slow@1, size swept) |
 //! | Figure 5 | [`fig5_config`] (base config, utilization swept) |
 //! | Figure 6 | [`fig6_policies`] (ORR with estimation errors) |
+//!
+//! The fault extension adds [`faults_config`] (base configuration with a
+//! crash/repair process) and [`fault_policies`] ({ORR, ReORR, WRR,
+//! Dynamic} — the roster the failure experiments compare).
 
+use hetsched_cluster::faults::FaultSpec;
 use hetsched_cluster::ClusterConfig;
 use hetsched_desim::Rng64;
 use hetsched_dist::{ArrivalProcess, Hyperexp2, IidArrivals};
@@ -106,6 +111,29 @@ pub fn headline_policies() -> Vec<PolicySpec> {
         PolicySpec::oran(),
         PolicySpec::wrr(),
         PolicySpec::orr(),
+        PolicySpec::DynamicLeastLoad,
+    ]
+}
+
+/// The fault-experiment configuration: the Table-3 base system at
+/// utilization `rho` with exponential crash/repair processes of the
+/// given mean time between failures and mean time to repair (seconds).
+/// In-flight jobs on a crashed machine are lost (the paper's machines
+/// have no checkpointing); override `faults.on_crash` for the other
+/// semantics.
+pub fn faults_config(rho: f64, mtbf: f64, mttr: f64) -> ClusterConfig {
+    let mut cfg = fig5_config(rho);
+    cfg.faults = Some(FaultSpec::exponential(mtbf, mttr));
+    cfg
+}
+
+/// The policies the failure experiments compare: static ORR (keeps its
+/// full-set α), re-optimizing ORR, WRR, and the dynamic yardstick.
+pub fn fault_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::orr(),
+        PolicySpec::reopt_orr(),
+        PolicySpec::wrr(),
         PolicySpec::DynamicLeastLoad,
     ]
 }
@@ -273,5 +301,21 @@ mod tests {
     #[test]
     fn headline_has_five_policies() {
         assert_eq!(headline_policies().len(), 5);
+    }
+
+    #[test]
+    fn faults_config_validates_and_carries_spec() {
+        let cfg = faults_config(0.7, 3_600.0, 120.0);
+        cfg.validate().unwrap();
+        let spec = cfg.faults.expect("fault spec present");
+        spec.validate().unwrap();
+        assert_eq!(cfg.speeds, table3_speeds());
+    }
+
+    #[test]
+    fn fault_roster_has_reopt_orr() {
+        let roster = fault_policies();
+        assert_eq!(roster.len(), 4);
+        assert!(roster.iter().any(|p| p.label() == "ReORR"));
     }
 }

@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use hetsched_cluster::RunStats;
+use hetsched_error::HetschedError;
 use hetsched_metrics::CiSummary;
 use hetsched_parallel::{parallel_map_in_order, resolve_threads};
 use serde::{Deserialize, Serialize};
@@ -116,19 +117,20 @@ impl Sweep {
 
     /// Validates every point up front so errors surface before any
     /// thread spawns.
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> Result<(), HetschedError> {
         for p in &self.points {
             p.policy
                 .build(&p.cluster)
-                .map_err(|e| format!("point '{}': {e}", p.name))?;
+                .map(|_| ())
+                .map_err(|e| e.context(format!("point '{}'", p.name)))?;
             p.cluster
                 .validate()
-                .map_err(|e| format!("point '{}': {e}", p.name))?;
+                .map_err(|e| e.context(format!("point '{}'", p.name)))?;
             if p.replications == 0 {
-                return Err(format!(
+                return Err(HetschedError::BadParameter(format!(
                     "point '{}': needs at least one replication",
                     p.name
-                ));
+                )));
             }
         }
         Ok(())
@@ -180,7 +182,7 @@ impl Sweep {
     /// # Errors
     /// Returns the first point's validation error without spawning any
     /// run.
-    pub fn run(&self) -> Result<SweepOutcome, String> {
+    pub fn run(&self) -> Result<SweepOutcome, HetschedError> {
         self.validate()?;
         let threads = resolve_threads(self.threads);
         let tasks: Vec<Task> = self
@@ -237,12 +239,16 @@ impl Sweep {
         &self,
         rel_precision: f64,
         max_reps: u64,
-    ) -> Result<SweepOutcome, String> {
+    ) -> Result<SweepOutcome, HetschedError> {
         if !(rel_precision > 0.0 && rel_precision.is_finite()) {
-            return Err("precision must be a positive fraction".into());
+            return Err(HetschedError::BadParameter(
+                "precision must be a positive fraction".into(),
+            ));
         }
         if max_reps == 0 {
-            return Err("need at least one replication".into());
+            return Err(HetschedError::BadParameter(
+                "need at least one replication".into(),
+            ));
         }
         self.validate()?;
         let threads = resolve_threads(self.threads);
@@ -466,7 +472,19 @@ mod tests {
         let mut sweep = tiny_sweep();
         sweep.points[1].cluster.utilization = 1.5;
         let err = sweep.run().unwrap_err();
-        assert!(err.contains("rho=0.9"), "error names the point: {err}");
+        assert!(
+            err.to_string().contains("rho=0.9"),
+            "error names the point: {err}"
+        );
+        assert!(
+            matches!(
+                err.root_cause(),
+                hetsched_error::HetschedError::InvalidPolicy(_)
+                    | hetsched_error::HetschedError::Saturated
+            ),
+            "typed root cause: {:?}",
+            err.root_cause()
+        );
     }
 
     #[test]

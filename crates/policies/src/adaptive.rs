@@ -38,6 +38,9 @@ pub struct AdaptiveOrr {
     ewma_gap: Option<f64>,
     last_arrival: Option<f64>,
     last_recompute: f64,
+    /// Believed membership from the fault layer, reapplied to the inner
+    /// dispatcher whenever the allocation is rebuilt.
+    up: Vec<bool>,
     inner: RoundRobinDispatch,
 }
 
@@ -85,6 +88,7 @@ impl AdaptiveOrr {
             ewma_gap: None,
             last_arrival: None,
             last_recompute: 0.0,
+            up: vec![true; speeds.len()],
             inner: RoundRobinDispatch::new(&weighted, "AORR"),
         }
     }
@@ -132,8 +136,10 @@ impl AdaptiveOrr {
         let rho = rho.clamp(0.01, 0.999);
         let fractions = AllocationSpec::Optimized { rho_error: 0.0 }.fractions(&self.speeds, rho);
         // Rebuilding resets Algorithm 2's credit state; the start-up rule
-        // re-spreads first jobs, so the transient is a few jobs long.
+        // re-spreads first jobs, so the transient is a few jobs long. The
+        // membership mask must survive the rebuild.
         self.inner = RoundRobinDispatch::new(&fractions, "AORR");
+        self.inner.set_membership(&self.up);
     }
 }
 
@@ -142,6 +148,12 @@ impl Policy for AdaptiveOrr {
         self.observe_arrival(ctx.now);
         self.maybe_recompute(ctx.now);
         self.inner.choose(ctx, rng)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], now: f64) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+        self.inner.on_membership_change(up, now);
     }
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
@@ -233,6 +245,32 @@ mod tests {
         drive(&mut p, std::iter::repeat_n(1.0, 500));
         let f = p.current_fractions();
         assert!((f[0] - 0.5).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn membership_mask_survives_recompute() {
+        let speeds = [1.0, 3.0];
+        let mut p = AdaptiveOrr::new(&speeds, 10.0, 100.0, 0.0, 0.05);
+        p.on_membership_change(&[true, false], 0.0);
+        // Many recomputation periods pass; the rebuilt inner dispatcher
+        // must keep excluding the down machine.
+        let qlens = [0usize; 2];
+        let mut rng = Rng64::from_seed(0);
+        let mut now = 0.0;
+        for _ in 0..2_000 {
+            now += 5.0;
+            let ctx = DispatchCtx {
+                now,
+                job_size: 1.0,
+                queue_lens: &qlens,
+                speeds: &speeds,
+            };
+            assert_eq!(p.choose(&ctx, &mut rng), 0, "down machine chosen");
+        }
+        assert!(
+            p.estimated_utilization().is_some(),
+            "recompute ran during the drive"
+        );
     }
 
     #[test]

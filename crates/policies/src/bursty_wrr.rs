@@ -18,6 +18,10 @@ pub struct BurstyWeightedRr {
     /// Flattened dispatch cycle: server index repeated `weight` times.
     cycle: Vec<u32>,
     pos: usize,
+    /// Believed membership from the fault layer. The cycle itself is
+    /// never mutated: down servers' slots are skipped in place, so the
+    /// burst structure resumes intact on repair.
+    up: Vec<bool>,
     label: String,
 }
 
@@ -71,6 +75,7 @@ impl BurstyWeightedRr {
         BurstyWeightedRr {
             cycle,
             pos: 0,
+            up: vec![true; fractions.len()],
             label: label.into(),
         }
     }
@@ -85,8 +90,20 @@ impl BurstyWeightedRr {
         w
     }
 
-    /// One dispatch decision.
+    /// One dispatch decision. Scans forward past slots belonging to
+    /// believed-down servers (at most one full cycle); if every slot is
+    /// down the current slot is served anyway — the simulation records
+    /// the loss.
     pub fn dispatch(&mut self) -> usize {
+        for _ in 0..self.cycle.len() {
+            let s = self.cycle[self.pos] as usize;
+            if self.up.get(s).copied().unwrap_or(true) {
+                self.pos = (self.pos + 1) % self.cycle.len();
+                return s;
+            }
+            self.pos = (self.pos + 1) % self.cycle.len();
+        }
+        // Stale all-down belief: fall through to plain cycling.
         let s = self.cycle[self.pos] as usize;
         self.pos = (self.pos + 1) % self.cycle.len();
         s
@@ -96,6 +113,13 @@ impl BurstyWeightedRr {
 impl Policy for BurstyWeightedRr {
     fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
         self.dispatch()
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        let n = self.up.len();
+        if up.len() >= n {
+            self.up.copy_from_slice(&up[..n]);
+        }
     }
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
@@ -171,5 +195,37 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn rejects_unnormalized() {
         BurstyWeightedRr::new(&[0.4, 0.4], 10, "b");
+    }
+
+    #[test]
+    fn down_slots_are_skipped_in_place() {
+        use hetsched_cluster::Policy;
+        let mut p = BurstyWeightedRr::new(&[0.5, 0.5], 8, "b");
+        p.on_membership_change(&[false, true], 0.0);
+        // The cycle is 0 0 0 0 1 1 1 1; server 0's burst is skipped.
+        for _ in 0..8 {
+            assert_eq!(p.dispatch(), 1);
+        }
+        // Repair restores the original burst structure, picking up at
+        // whatever slot the position reached.
+        p.on_membership_change(&[true, true], 1.0);
+        let mut seen0 = 0;
+        let mut seen1 = 0;
+        for _ in 0..16 {
+            match p.dispatch() {
+                0 => seen0 += 1,
+                _ => seen1 += 1,
+            }
+        }
+        assert_eq!((seen0, seen1), (8, 8), "burst weights survive repair");
+    }
+
+    #[test]
+    fn all_down_belief_falls_back_to_plain_cycling() {
+        use hetsched_cluster::Policy;
+        let mut p = BurstyWeightedRr::new(&[0.75, 0.25], 4, "b");
+        p.on_membership_change(&[false, false], 0.0);
+        let seq: Vec<usize> = (0..4).map(|_| p.dispatch()).collect();
+        assert_eq!(seq, vec![0, 0, 0, 1]);
     }
 }

@@ -11,12 +11,14 @@
 
 use hetsched_cluster::{ClusterConfig, Policy};
 use hetsched_dist::{BoundedPareto, DistSpec};
+use hetsched_error::HetschedError;
 use serde::{Deserialize, Serialize};
 
 use crate::allocation::AllocationSpec;
 use crate::dynamic::LeastLoadPolicy;
 use crate::extra::{JsqPolicy, SitaEPolicy};
 use crate::random::RandomDispatch;
+use crate::reopt::ReoptimizingOrr;
 use crate::round_robin::RoundRobinDispatch;
 
 /// Job dispatching strategies for static policies.
@@ -76,6 +78,10 @@ pub enum PolicySpec {
         /// conservatism).
         safety_margin: f64,
     },
+    /// ORR that re-solves Algorithm 1 over the surviving machines on
+    /// every membership change (fault-tolerance extension). Identical to
+    /// ORR when no machine ever fails.
+    ReoptimizingOrr,
 }
 
 impl PolicySpec {
@@ -124,6 +130,11 @@ impl PolicySpec {
         [Self::wran(), Self::oran(), Self::wrr(), Self::orr()]
     }
 
+    /// ORR that re-optimizes the allocation over the surviving machines.
+    pub fn reopt_orr() -> Self {
+        PolicySpec::ReoptimizingOrr
+    }
+
     /// The policy's display name (WRAN/ORAN/WRR/ORR/DYNAMIC/…).
     pub fn label(&self) -> String {
         match self {
@@ -136,15 +147,17 @@ impl PolicySpec {
             PolicySpec::SitaE => "SITA-E".into(),
             PolicySpec::BurstyWrr { .. } => "BWRR".into(),
             PolicySpec::AdaptiveOrr { .. } => "AORR".into(),
+            PolicySpec::ReoptimizingOrr => "ReORR".into(),
         }
     }
 
     /// Materializes the policy for a cluster configuration.
     ///
     /// # Errors
-    /// `SitaE` requires Bounded Pareto job sizes; other specs always
-    /// succeed for a valid configuration.
-    pub fn build(&self, cfg: &ClusterConfig) -> Result<Box<dyn Policy>, String> {
+    /// [`HetschedError::InvalidPolicy`] when the spec's parameters are
+    /// out of range or incompatible with the configuration (e.g. `SitaE`
+    /// without Bounded Pareto job sizes).
+    pub fn build(&self, cfg: &ClusterConfig) -> Result<Box<dyn Policy>, HetschedError> {
         match self {
             PolicySpec::Static {
                 allocation,
@@ -152,10 +165,10 @@ impl PolicySpec {
             } => {
                 if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
                 {
-                    return Err(format!(
+                    return Err(HetschedError::InvalidPolicy(format!(
                         "static policies need utilization in (0,1), got {}",
                         cfg.utilization
-                    ));
+                    )));
                 }
                 let fractions = allocation.fractions(&cfg.speeds, cfg.utilization);
                 let label = self.label();
@@ -169,7 +182,7 @@ impl PolicySpec {
             PolicySpec::DynamicLeastLoad => Ok(Box::new(LeastLoadPolicy::new(&cfg.speeds))),
             PolicySpec::Jsq { d } => {
                 if *d == 0 {
-                    return Err("JSQ requires d ≥ 1".into());
+                    return Err(HetschedError::InvalidPolicy("JSQ requires d ≥ 1".into()));
                 }
                 Ok(Box::new(JsqPolicy::new(*d)))
             }
@@ -178,17 +191,21 @@ impl PolicySpec {
                     &cfg.speeds,
                     BoundedPareto::new(k, p, alpha),
                 ))),
-                other => Err(format!(
+                other => Err(HetschedError::InvalidPolicy(format!(
                     "SITA-E needs Bounded Pareto job sizes, got {other:?}"
-                )),
+                ))),
             },
             PolicySpec::BurstyWrr { cycle_len } => {
                 if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
                 {
-                    return Err("BWRR needs utilization in (0,1)".into());
+                    return Err(HetschedError::InvalidPolicy(
+                        "BWRR needs utilization in (0,1)".into(),
+                    ));
                 }
                 if *cycle_len == 0 {
-                    return Err("BWRR needs a positive cycle length".into());
+                    return Err(HetschedError::InvalidPolicy(
+                        "BWRR needs a positive cycle length".into(),
+                    ));
                 }
                 let fractions = crate::allocation::AllocationSpec::optimized()
                     .fractions(&cfg.speeds, cfg.utilization);
@@ -201,10 +218,14 @@ impl PolicySpec {
                 safety_margin,
             } => {
                 if !(*recompute_every > 0.0 && recompute_every.is_finite()) {
-                    return Err("AORR needs a positive recompute period".into());
+                    return Err(HetschedError::InvalidPolicy(
+                        "AORR needs a positive recompute period".into(),
+                    ));
                 }
                 if !(*safety_margin >= 0.0 && safety_margin.is_finite()) {
-                    return Err("AORR needs a non-negative safety margin".into());
+                    return Err(HetschedError::InvalidPolicy(
+                        "AORR needs a non-negative safety margin".into(),
+                    ));
                 }
                 Ok(Box::new(crate::adaptive::AdaptiveOrr::new(
                     &cfg.speeds,
@@ -213,6 +234,15 @@ impl PolicySpec {
                     *safety_margin,
                     0.01,
                 )))
+            }
+            PolicySpec::ReoptimizingOrr => {
+                if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
+                {
+                    return Err(HetschedError::InvalidPolicy(
+                        "ReORR needs utilization in (0,1)".into(),
+                    ));
+                }
+                Ok(Box::new(ReoptimizingOrr::new(&cfg.speeds, cfg.utilization)))
             }
         }
     }
@@ -262,10 +292,25 @@ mod tests {
                 recompute_every: 500.0,
                 safety_margin: 0.05,
             },
+            PolicySpec::reopt_orr(),
         ] {
             let p = spec.build(&cfg).unwrap();
             assert_eq!(p.name(), spec.label());
         }
+    }
+
+    #[test]
+    fn build_errors_are_typed() {
+        let cfg = cfg();
+        let err = PolicySpec::Jsq { d: 0 }
+            .build(&cfg)
+            .err()
+            .expect("JSQ with d = 0 must be rejected");
+        assert!(matches!(
+            err,
+            hetsched_error::HetschedError::InvalidPolicy(_)
+        ));
+        assert!(err.to_string().contains("JSQ"));
     }
 
     #[test]
@@ -316,6 +361,7 @@ mod tests {
             PolicySpec::orr(),
             PolicySpec::DynamicLeastLoad,
             PolicySpec::Jsq { d: 2 },
+            PolicySpec::ReoptimizingOrr,
         ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: PolicySpec = serde_json::from_str(&json).unwrap();

@@ -21,6 +21,9 @@ use hetsched_desim::Rng64;
 pub struct LeastLoadPolicy {
     speeds: Vec<f64>,
     believed: Vec<f64>,
+    /// Believed membership from the fault layer; down machines are
+    /// excluded from the argmin.
+    up: Vec<bool>,
 }
 
 impl LeastLoadPolicy {
@@ -38,6 +41,7 @@ impl LeastLoadPolicy {
         LeastLoadPolicy {
             speeds: speeds.to_vec(),
             believed: vec![0.0; speeds.len()],
+            up: vec![true; speeds.len()],
         }
     }
 
@@ -53,15 +57,29 @@ impl Policy for LeastLoadPolicy {
         // minimum wins, which is deterministic and unbiased across
         // machines of equal load-and-speed in the long run because
         // believed loads immediately diverge after a dispatch.
-        let mut best = 0;
+        let mut best: Option<usize> = None;
         let mut best_load = f64::INFINITY;
         for (i, (&q, &s)) in self.believed.iter().zip(&self.speeds).enumerate() {
+            if !self.up[i] {
+                continue; // believed dead: a job sent there is lost
+            }
             let load = (q + 1.0) / s;
             if load < best_load {
                 best_load = load;
-                best = i;
+                best = Some(i);
             }
         }
+        // With a stale all-down belief, fall back to the fastest machine
+        // without inflating its believed load (the job likely dies).
+        let Some(best) = best else {
+            return self
+                .speeds
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+        };
         // Arrival update: the scheduler knows it just sent a job there.
         self.believed[best] += 1.0;
         best
@@ -70,6 +88,17 @@ impl Policy for LeastLoadPolicy {
     fn on_load_update(&mut self, server: usize, queue_len: usize, _now: f64) {
         // Departure update: overwrite with the (stale) reported length.
         self.believed[server] = queue_len as f64;
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        for (i, &u) in up.iter().enumerate() {
+            if u && !self.up[i] {
+                // A repaired machine rejoins with an empty run queue; any
+                // stale believed load predates the crash.
+                self.believed[i] = 0.0;
+            }
+            self.up[i] = u;
+        }
     }
 
     fn needs_load_updates(&self) -> bool {
@@ -156,6 +185,34 @@ mod tests {
         for w in counts.windows(2) {
             assert!(w[0] <= w[1], "counts not ordered by speed: {counts:?}");
         }
+    }
+
+    #[test]
+    fn down_machines_are_excluded_until_repair() {
+        let speeds = [1.0, 10.0];
+        let mut p = LeastLoadPolicy::new(&speeds);
+        let qlens = [0, 0];
+        let mut rng = Rng64::from_seed(0);
+        p.on_membership_change(&[true, false], 0.0);
+        // The fast machine is down: the slow one wins despite its load.
+        for _ in 0..5 {
+            assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 0);
+        }
+        // Repair resets the believed load and restores speed preference.
+        p.on_membership_change(&[true, true], 1.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 1);
+        assert_eq!(p.believed()[1], 1.0);
+    }
+
+    #[test]
+    fn all_down_belief_picks_fastest_without_bookkeeping() {
+        let speeds = [1.0, 5.0, 2.0];
+        let mut p = LeastLoadPolicy::new(&speeds);
+        let qlens = [0, 0, 0];
+        let mut rng = Rng64::from_seed(0);
+        p.on_membership_change(&[false, false, false], 0.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 1);
+        assert_eq!(p.believed(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -24,6 +24,9 @@ use hetsched_dist::BoundedPareto;
 #[derive(Debug, Clone)]
 pub struct JsqPolicy {
     d: usize,
+    /// Believed membership from the fault layer; empty means all up
+    /// (pre-fault behavior, bit-identical RNG draw sequence).
+    up: Vec<bool>,
 }
 
 impl JsqPolicy {
@@ -33,22 +36,39 @@ impl JsqPolicy {
     /// Panics if `d == 0`.
     pub fn new(d: usize) -> Self {
         assert!(d > 0, "d must be positive");
-        JsqPolicy { d }
+        JsqPolicy { d, up: Vec::new() }
+    }
+
+    fn is_up(&self, i: usize) -> bool {
+        self.up.get(i).copied().unwrap_or(true)
     }
 }
 
 impl Policy for JsqPolicy {
     fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
         let n = ctx.speeds.len();
-        let probes = self.d.min(n);
+        let live = if self.up.is_empty() {
+            n
+        } else {
+            self.up.iter().filter(|&&u| u).count().min(n)
+        };
+        // Stale all-down belief: probe as if everyone were up; the
+        // simulation records the loss.
+        let ignore_membership = live == 0;
+        let probes = self.d.min(if ignore_membership { n } else { live });
         let mut best = usize::MAX;
         let mut best_load = f64::INFINITY;
         // Sample `probes` machines with replacement-free rejection; for
-        // the small d used in practice (2–4) this is cheap.
+        // the small d used in practice (2–4) this is cheap. Down
+        // machines are rejected the same way, which leaves the draw
+        // sequence untouched whenever everyone is up.
         let mut chosen: [usize; 8] = [usize::MAX; 8];
         let mut picked = 0;
         while picked < probes {
             let c = rng.below(n as u64) as usize;
+            if !ignore_membership && !self.is_up(c) {
+                continue;
+            }
             if chosen[..picked.min(8)].contains(&c) {
                 continue;
             }
@@ -65,6 +85,10 @@ impl Policy for JsqPolicy {
         best
     }
 
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up = up.to_vec();
+    }
+
     fn name(&self) -> String {
         format!("JSQ({})", self.d)
     }
@@ -79,6 +103,8 @@ pub struct SitaEPolicy {
     /// Machines sorted by ascending speed — slow machines get the small
     /// jobs.
     order: Vec<usize>,
+    /// Believed membership from the fault layer; empty means all up.
+    up: Vec<bool>,
 }
 
 impl SitaEPolicy {
@@ -109,7 +135,11 @@ impl SitaEPolicy {
                 cutoffs.push(invert_partial_mean(&sizes, cum * full_load));
             }
         }
-        SitaEPolicy { cutoffs, order }
+        SitaEPolicy {
+            cutoffs,
+            order,
+            up: Vec::new(),
+        }
     }
 
     /// The size cutoffs, ascending, length `n + 1`.
@@ -145,7 +175,21 @@ impl Policy for SitaEPolicy {
             .partition_point(|&c| c <= ctx.job_size)
             .saturating_sub(1)
             .min(self.order.len() - 1);
+        // With faults, spill to the next live machine in speed order
+        // (wrapping): the nearest size band whose server can take the
+        // job. A stale all-down belief serves the original band.
+        let n = self.order.len();
+        for k in 0..n {
+            let m = self.order[(band + k) % n];
+            if self.up.get(m).copied().unwrap_or(true) {
+                return m;
+            }
+        }
         self.order[band]
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up = up.to_vec();
     }
 
     fn name(&self) -> String {
@@ -250,6 +294,51 @@ mod tests {
             "fast machine load share {frac}, expected ≈ 0.75 (mean size {})",
             sizes.mean()
         );
+    }
+
+    #[test]
+    fn jsq_rejects_down_machines() {
+        let speeds = [1.0, 1.0, 1.0];
+        let qlens = [5, 0, 3];
+        let mut p = JsqPolicy::new(3);
+        let mut rng = Rng64::from_seed(2);
+        // The least-loaded machine is down: the probe set shrinks to the
+        // two live ones and the better of those wins.
+        p.on_membership_change(&[true, false, true], 0.0);
+        for _ in 0..20 {
+            assert_eq!(p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng), 2);
+        }
+        // Repair restores full probing.
+        p.on_membership_change(&[true, true, true], 1.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng), 1);
+    }
+
+    #[test]
+    fn jsq_all_down_belief_still_probes() {
+        let speeds = [1.0, 1.0];
+        let qlens = [4, 1];
+        let mut p = JsqPolicy::new(2);
+        let mut rng = Rng64::from_seed(3);
+        p.on_membership_change(&[false, false], 0.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 1.0), &mut rng), 1);
+    }
+
+    #[test]
+    fn sita_spills_to_next_live_machine_in_speed_order() {
+        let sizes = BoundedPareto::paper_default();
+        let speeds = [4.0, 1.0, 2.0];
+        let mut p = SitaEPolicy::new(&speeds, sizes);
+        let qlens = [0, 0, 0];
+        let mut rng = Rng64::from_seed(0);
+        // The slowest machine (index 1) is down: its small-job band
+        // spills to the next in speed order — index 2.
+        p.on_membership_change(&[true, false, true], 0.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 10.5), &mut rng), 2);
+        // The fastest band is unaffected.
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 21000.0), &mut rng), 0);
+        // The fastest machine down: its band wraps to the slowest live.
+        p.on_membership_change(&[false, true, true], 1.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens, 21000.0), &mut rng), 1);
     }
 
     #[test]

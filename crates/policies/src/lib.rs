@@ -16,6 +16,12 @@
 //! — built by [`combo::PolicySpec`]. The *Dynamic Least-Load* yardstick
 //! ([`dynamic`]) and two extension baselines (power-of-d JSQ and the
 //! clairvoyant SITA-E, [`extra`]) complete the roster.
+//!
+//! All dispatchers are **failure-aware**: they receive up/down membership
+//! events from the fault layer (`hetsched-cluster::faults`) and stop
+//! routing jobs to believed-down machines. [`reopt::ReoptimizingOrr`]
+//! goes further and re-solves Algorithm 1 over the surviving subset on
+//! every membership change.
 
 #![warn(missing_docs)]
 
@@ -26,6 +32,7 @@ pub mod combo;
 pub mod dynamic;
 pub mod extra;
 pub mod random;
+pub mod reopt;
 pub mod round_robin;
 
 pub use adaptive::AdaptiveOrr;
@@ -35,4 +42,5 @@ pub use combo::{DispatcherSpec, PolicySpec};
 pub use dynamic::LeastLoadPolicy;
 pub use extra::{JsqPolicy, SitaEPolicy};
 pub use random::RandomDispatch;
+pub use reopt::ReoptimizingOrr;
 pub use round_robin::RoundRobinDispatch;

@@ -12,7 +12,11 @@ use hetsched_desim::Rng64;
 /// Dispatches to server `i` with probability `α_i`.
 #[derive(Debug, Clone)]
 pub struct RandomDispatch {
-    /// Cumulative distribution over servers: `cum[i] = α_0 + … + α_i`.
+    /// Configured fractions (the membership-independent base).
+    base: Vec<f64>,
+    /// Cumulative distribution over the believed-up servers:
+    /// `cum[i] = α'_0 + … + α'_i` with `α'` the base renormalized over
+    /// the live set (down servers get probability 0).
     cum: Vec<f64>,
     label: String,
 }
@@ -33,18 +37,41 @@ impl RandomDispatch {
             (sum - 1.0).abs() < 1e-6,
             "fractions must sum to 1, got {sum}"
         );
-        let mut cum = Vec::with_capacity(fractions.len());
+        let mut p = RandomDispatch {
+            base: fractions.to_vec(),
+            cum: Vec::new(),
+            label: label.into(),
+        };
+        p.rebuild(&vec![true; fractions.len()]);
+        p
+    }
+
+    /// Rebuilds the cumulative distribution for the given membership,
+    /// renormalizing the base fractions over the live set. A stale
+    /// all-down belief falls back to the base fractions (the simulation
+    /// loses jobs sent to dead machines anyway).
+    fn rebuild(&mut self, up: &[bool]) {
+        let live_total: f64 = self
+            .base
+            .iter()
+            .zip(up)
+            .filter(|&(_, &u)| u)
+            .map(|(&a, _)| a)
+            .sum();
+        self.cum.clear();
         let mut acc = 0.0;
-        for &a in fractions {
-            acc += a;
-            cum.push(acc);
+        for (i, &a) in self.base.iter().enumerate() {
+            if live_total > 0.0 {
+                if up[i] {
+                    acc += a / live_total;
+                }
+            } else {
+                acc += a;
+            }
+            self.cum.push(acc);
         }
         // Force the last edge to exactly 1 so u ∈ [0,1) always lands.
-        *cum.last_mut().expect("non-empty") = 1.0;
-        RandomDispatch {
-            cum,
-            label: label.into(),
-        }
+        *self.cum.last_mut().expect("non-empty") = 1.0;
     }
 
     /// The realized fractions (recovered from the cumulative form).
@@ -69,6 +96,10 @@ impl Policy for RandomDispatch {
         self.cum
             .partition_point(|&c| c <= u)
             .min(self.cum.len() - 1)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.rebuild(up);
     }
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
@@ -136,6 +167,38 @@ mod tests {
         let p = RandomDispatch::new(&[1.0], "x");
         assert!(!p.needs_load_updates());
         assert_eq!(p.name(), "x");
+    }
+
+    #[test]
+    fn membership_renormalizes_over_live_set() {
+        let mut p = RandomDispatch::new(&[0.25, 0.25, 0.5], "test");
+        p.on_membership_change(&[true, false, true], 0.0);
+        let speeds = [1.0; 3];
+        let qlens = [0usize; 3];
+        let mut rng = Rng64::from_seed(11);
+        let n = 60_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            counts[p.choose(&ctx(&speeds, &qlens), &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "down server must not be chosen");
+        // Renormalized: 0.25/0.75 = 1/3 and 0.5/0.75 = 2/3.
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - 1.0 / 3.0).abs() < 0.01, "{f0}");
+        // Repair restores the base fractions.
+        p.on_membership_change(&[true, true, true], 1.0);
+        for (a, b) in p.fractions().iter().zip(&[0.25, 0.25, 0.5]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_down_belief_falls_back_to_base() {
+        let mut p = RandomDispatch::new(&[0.5, 0.5], "test");
+        p.on_membership_change(&[false, false], 0.0);
+        for (a, b) in p.fractions().iter().zip(&[0.5, 0.5]) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Re-optimizing ORR — failure-aware Algorithm 1 (extension).
+//!
+//! The paper's ORR computes the optimized allocation once, offline, for
+//! the full machine set. Under crashes that static α keeps crediting
+//! dead machines: the round-robin dispatcher skips them, but the split
+//! over the survivors is whatever the gap-equalization credits happen to
+//! leave — not the allocation Algorithm 1 would pick for the surviving
+//! subset. [`ReoptimizingOrr`] closes that gap: on every membership
+//! change it re-solves Algorithm 1 over the live machines at the
+//! *effective* utilization `ρ · Σs_all / Σs_live` (the same job stream
+//! hitting less capacity) and rebuilds the round-robin dispatcher.
+//!
+//! Comparing ORR and ReORR under increasing failure rates isolates how
+//! much of the fault-tolerance story is membership *avoidance* (both do
+//! it) versus allocation *re-optimization* (only ReORR does it).
+
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+use hetsched_queueing::closed_form::try_optimized_allocation_for;
+
+use crate::round_robin::RoundRobinDispatch;
+
+/// ORR that re-solves Algorithm 1 over the surviving machines on every
+/// membership change.
+#[derive(Debug, Clone)]
+pub struct ReoptimizingOrr {
+    speeds: Vec<f64>,
+    /// Configured (full-set) utilization estimate.
+    rho: f64,
+    /// Believed membership from the fault layer.
+    up: Vec<bool>,
+    inner: RoundRobinDispatch,
+}
+
+impl ReoptimizingOrr {
+    /// Creates the policy; with every machine up it is exactly ORR.
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or non-positive, or `rho ∉ (0, 1)`.
+    pub fn new(speeds: &[f64], rho: f64) -> Self {
+        assert!(!speeds.is_empty(), "no computers");
+        assert!(
+            speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+            "speeds must be positive"
+        );
+        assert!(
+            rho.is_finite() && rho > 0.0 && rho < 1.0,
+            "utilization must lie in (0,1), got {rho}"
+        );
+        let up = vec![true; speeds.len()];
+        let fractions = live_allocation(speeds, rho, &up);
+        ReoptimizingOrr {
+            speeds: speeds.to_vec(),
+            rho,
+            up,
+            inner: RoundRobinDispatch::new(&fractions, "ReORR"),
+        }
+    }
+
+    /// The fractions currently driving the dispatcher (zeros for down
+    /// machines).
+    pub fn current_fractions(&self) -> &[f64] {
+        self.inner.fractions()
+    }
+}
+
+/// Algorithm 1 over the live subset, expanded to a full-length fraction
+/// vector with zeros for down machines. A stale all-down belief keeps
+/// the full-set allocation (the dispatcher's own fallback handles it).
+fn live_allocation(speeds: &[f64], rho: f64, up: &[bool]) -> Vec<f64> {
+    let total: f64 = speeds.iter().sum();
+    let live: Vec<f64> = speeds
+        .iter()
+        .zip(up)
+        .filter(|&(_, &u)| u)
+        .map(|(&s, _)| s)
+        .collect();
+    let live_total: f64 = live.iter().sum();
+    if live.is_empty() {
+        return match try_optimized_allocation_for(speeds, rho) {
+            Ok(f) => f,
+            Err(_) => speeds.iter().map(|s| s / total).collect(),
+        };
+    }
+    // The same arrival stream now hits less capacity.
+    let rho_live = rho * total / live_total;
+    let live_fractions = if rho_live >= 1.0 {
+        // Survivors are saturated: footnote 7's limit — weighted split.
+        live.iter().map(|s| s / live_total).collect()
+    } else {
+        try_optimized_allocation_for(&live, rho_live)
+            .unwrap_or_else(|_| live.iter().map(|s| s / live_total).collect())
+    };
+    let mut full = vec![0.0; speeds.len()];
+    let mut k = 0;
+    for (i, &u) in up.iter().enumerate() {
+        if u {
+            full[i] = live_fractions[k];
+            k += 1;
+        }
+    }
+    full
+}
+
+impl Policy for ReoptimizingOrr {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        self.inner.choose(ctx, rng)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up.clear();
+        self.up.extend_from_slice(up);
+        let fractions = live_allocation(&self.speeds, self.rho, &self.up);
+        // Rebuild Algorithm 2 over the new allocation; reapply the mask
+        // so a stale all-down belief still falls back deterministically.
+        self.inner = RoundRobinDispatch::new(&fractions, "ReORR");
+        self.inner.set_membership(&self.up);
+    }
+
+    fn expected_fractions(&self) -> Option<Vec<f64>> {
+        Some(self.current_fractions().to_vec())
+    }
+
+    fn name(&self) -> String {
+        "ReORR".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::AllocationSpec;
+
+    fn ctx<'a>(speeds: &'a [f64], qlens: &'a [usize]) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now: 0.0,
+            job_size: 1.0,
+            queue_lens: qlens,
+            speeds,
+        }
+    }
+
+    #[test]
+    fn matches_orr_when_all_up() {
+        let speeds = [1.0, 2.0, 10.0];
+        let p = ReoptimizingOrr::new(&speeds, 0.7);
+        let orr = AllocationSpec::optimized().fractions(&speeds, 0.7);
+        for (a, b) in p.current_fractions().iter().zip(&orr) {
+            assert!((a - b).abs() < 1e-12, "{:?}", p.current_fractions());
+        }
+    }
+
+    #[test]
+    fn reoptimizes_over_survivors() {
+        let speeds = [1.0, 2.0, 10.0];
+        let mut p = ReoptimizingOrr::new(&speeds, 0.5);
+        p.on_membership_change(&[true, true, false], 0.0);
+        let f = p.current_fractions().to_vec();
+        assert_eq!(f[2], 0.0, "down machine must get fraction 0: {f:?}");
+        // ρ_live = 0.5 · 13 / 3 > 1 ⇒ weighted over the survivors.
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-9, "{f:?}");
+        assert!((f[1] - 2.0 / 3.0).abs() < 1e-9, "{f:?}");
+        // Dispatch respects the reallocation.
+        let qlens = [0usize; 3];
+        let mut rng = hetsched_desim::Rng64::from_seed(0);
+        for _ in 0..50 {
+            assert_ne!(p.choose(&ctx(&speeds, &qlens), &mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn unsaturated_survivors_get_algorithm1() {
+        let speeds = [1.0, 2.0, 10.0];
+        let mut p = ReoptimizingOrr::new(&speeds, 0.3);
+        p.on_membership_change(&[false, true, true], 0.0);
+        // ρ_live = 0.3 · 13 / 12 = 0.325 < 1: Algorithm 1 over [2, 10].
+        let expected = AllocationSpec::optimized().fractions(&[2.0, 10.0], 0.3 * 13.0 / 12.0);
+        let f = p.current_fractions();
+        assert_eq!(f[0], 0.0);
+        assert!((f[1] - expected[0]).abs() < 1e-12, "{f:?} vs {expected:?}");
+        assert!((f[2] - expected[1]).abs() < 1e-12, "{f:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn repair_restores_full_set_allocation() {
+        let speeds = [1.0, 2.0, 10.0];
+        let mut p = ReoptimizingOrr::new(&speeds, 0.7);
+        let full = p.current_fractions().to_vec();
+        p.on_membership_change(&[true, true, false], 0.0);
+        p.on_membership_change(&[true, true, true], 1.0);
+        for (a, b) in p.current_fractions().iter().zip(&full) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_down_belief_keeps_dispatching() {
+        let speeds = [1.0, 4.0];
+        let mut p = ReoptimizingOrr::new(&speeds, 0.5);
+        p.on_membership_change(&[false, false], 0.0);
+        let qlens = [0usize; 2];
+        let mut rng = hetsched_desim::Rng64::from_seed(0);
+        // The round-robin fallback serves *some* machine; no panic.
+        let c = p.choose(&ctx(&speeds, &qlens), &mut rng);
+        assert!(c < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must lie in (0,1)")]
+    fn rejects_bad_rho() {
+        ReoptimizingOrr::new(&[1.0, 2.0], 1.0);
+    }
+}

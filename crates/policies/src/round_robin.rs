@@ -50,6 +50,10 @@ pub struct RoundRobinDispatch {
     fractions: Vec<f64>,
     assign: Vec<u64>,
     next: Vec<f64>,
+    /// Believed membership from the fault layer; down computers are
+    /// skipped by the scan and frozen out of the pay loop so their
+    /// credit/debit state is preserved across the outage.
+    up: Vec<bool>,
     label: String,
 }
 
@@ -79,8 +83,19 @@ impl RoundRobinDispatch {
             fractions: fractions.to_vec(),
             assign: vec![0; fractions.len()],
             next: vec![1.0; fractions.len()],
+            up: vec![true; fractions.len()],
             label: label.into(),
         }
+    }
+
+    /// Updates the believed membership (see
+    /// [`Policy::on_membership_change`]). Down computers stop receiving
+    /// jobs and stop paying for arrivals, so gap equalization continues
+    /// over the live set and a repaired computer resumes exactly where
+    /// it left off.
+    pub fn set_membership(&mut self, up: &[bool]) {
+        debug_assert_eq!(up.len(), self.up.len());
+        self.up.copy_from_slice(up);
     }
 
     /// The configured fractions.
@@ -103,8 +118,8 @@ impl RoundRobinDispatch {
         let mut norassign = f64::INFINITY;
         for i in 0..self.fractions.len() {
             let a = self.fractions[i];
-            if a == 0.0 {
-                continue; // step 2.c.1
+            if a == 0.0 || !self.up[i] {
+                continue; // step 2.c.1, extended to down computers
             }
             let cand_nor = (self.assign[i] + 1) as f64 / a;
             if select.is_none() || self.next[i] < minnext - TIE_EPS {
@@ -116,7 +131,18 @@ impl RoundRobinDispatch {
                 norassign = cand_nor;
             }
         }
-        let s = select.expect("at least one positive fraction");
+        let Some(s) = select else {
+            // Every positive-fraction computer is believed down. Return a
+            // deterministic last resort without touching the credit state
+            // (the simulation will lose the job if the pick really is
+            // down; if the belief is stale, the job survives).
+            return self.up.iter().position(|&u| u).unwrap_or_else(|| {
+                self.fractions
+                    .iter()
+                    .position(|&a| a > 0.0)
+                    .expect("checked")
+            });
+        };
 
         // Step 2.d: a computer selected for the first time resets its
         // guard before the normal update.
@@ -127,9 +153,12 @@ impl RoundRobinDispatch {
         self.next[s] += 1.0 / self.fractions[s];
         self.assign[s] += 1;
         // Step 2.h: every computer that has started receiving jobs pays
-        // for the arrival that was just dispatched.
+        // for the arrival that was just dispatched. Down computers are
+        // frozen: they neither receive nor pay, so the gap structure of
+        // the live set is undisturbed and a repaired computer rejoins
+        // with the credit it had at crash time.
         for i in 0..self.fractions.len() {
-            if self.assign[i] != 0 {
+            if self.assign[i] != 0 && self.up[i] {
                 self.next[i] -= 1.0;
             }
         }
@@ -140,6 +169,10 @@ impl RoundRobinDispatch {
 impl Policy for RoundRobinDispatch {
     fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
         self.dispatch()
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.set_membership(up);
     }
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
@@ -268,6 +301,42 @@ mod tests {
         p.dispatch();
         p.dispatch();
         assert_eq!(p.assignments().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn down_servers_are_skipped_and_rejoin_smoothly() {
+        let fractions = [0.25; 4];
+        let mut p = RoundRobinDispatch::new(&fractions, "RR");
+        for _ in 0..8 {
+            p.dispatch(); // settle into the cycle
+        }
+        p.set_membership(&[true, true, false, true]);
+        let counts = counts_after(&mut p, 30);
+        assert_eq!(counts[2], 0, "down server must not be selected");
+        // The live set keeps round-robin order: counts stay balanced.
+        assert!(counts[..2].iter().chain(&counts[3..]).all(|&c| c == 10));
+        p.set_membership(&[true, true, true, true]);
+        // The repaired server kept its frozen credit, so it briefly wins
+        // back-to-back turns to catch up, then rotation resumes — no
+        // server ends up far from its fair share of the next 40 jobs.
+        let counts = counts_after(&mut p, 40);
+        assert!(counts[2] >= 10, "repaired server under-served: {counts:?}");
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((8..=14).contains(&c), "server {i} got {c} of 40");
+        }
+    }
+
+    #[test]
+    fn all_down_falls_back_deterministically() {
+        let mut p = RoundRobinDispatch::new(&[0.5, 0.5], "RR");
+        p.set_membership(&[false, false]);
+        // Stale all-down belief: a deterministic pick, no panic, no
+        // credit-state mutation.
+        let before_next = p.next.clone();
+        assert_eq!(p.dispatch(), 0);
+        assert_eq!(p.next, before_next);
+        p.set_membership(&[false, true]);
+        assert_eq!(p.dispatch(), 1);
     }
 
     #[test]

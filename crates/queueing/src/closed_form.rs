@@ -19,6 +19,7 @@
 //! simple weighted allocation.
 
 use crate::system::HetSystem;
+use hetsched_error::HetschedError;
 
 /// The Theorem-2 cutoff predicate for 0-based index `i` into the
 /// ascending-speed array: machine `i` should be cut off iff
@@ -132,10 +133,58 @@ pub fn optimized_allocation(sys: &HetSystem) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics if the parameters are invalid (empty speeds, `ρ ∉ (0,1)`).
+/// Use [`try_optimized_allocation_for`] for a panic-free variant.
 pub fn optimized_allocation_for(speeds: &[f64], rho: f64) -> Vec<f64> {
     let sys = HetSystem::from_utilization(speeds, rho)
         .expect("invalid speeds/utilization for Algorithm 1");
     optimized_allocation(&sys)
+}
+
+/// Panic-free Algorithm 1 with explicit guards for every degenerate
+/// input a degraded cluster can produce: no computers, zero/negative or
+/// non-finite speeds, and a utilization outside `(0, 1)` (including the
+/// saturated case `ρ ≥ 1` a shrunken live subset can reach). A
+/// single-computer system trivially gets the whole workload.
+///
+/// # Errors
+/// * [`HetschedError::NoComputers`] — `speeds` is empty (e.g. every
+///   server failed);
+/// * [`HetschedError::BadParameter`] — a speed is not positive and
+///   finite, or `ρ ≤ 0` / non-finite;
+/// * [`HetschedError::Saturated`] — `ρ ≥ 1`: no stabilizing allocation
+///   exists;
+/// * [`HetschedError::Solver`] — the closed form produced a non-finite
+///   fraction (defensive; not expected for guarded inputs).
+pub fn try_optimized_allocation_for(speeds: &[f64], rho: f64) -> Result<Vec<f64>, HetschedError> {
+    if speeds.is_empty() {
+        return Err(HetschedError::NoComputers);
+    }
+    for (i, &s) in speeds.iter().enumerate() {
+        if !(s.is_finite() && s > 0.0) {
+            return Err(HetschedError::BadParameter(format!(
+                "speed[{i}] must be positive and finite, got {s}"
+            )));
+        }
+    }
+    if !(rho.is_finite() && rho > 0.0) {
+        return Err(HetschedError::BadParameter(format!(
+            "utilization must lie in (0,1), got {rho}"
+        )));
+    }
+    if rho >= 1.0 {
+        return Err(HetschedError::Saturated);
+    }
+    if speeds.len() == 1 {
+        return Ok(vec![1.0]);
+    }
+    let sys = HetSystem::from_utilization(speeds, rho)?;
+    let alphas = optimized_allocation(&sys);
+    if alphas.iter().any(|a| !a.is_finite()) {
+        return Err(HetschedError::Solver(format!(
+            "closed form produced non-finite fractions for speeds {speeds:?} at rho {rho}"
+        )));
+    }
+    Ok(alphas)
 }
 
 #[cfg(test)]
@@ -328,6 +377,44 @@ mod tests {
         optimized_allocation_for(&[1.0], 1.5);
     }
 
+    #[test]
+    fn try_variant_guards_degenerate_inputs() {
+        use hetsched_error::HetschedError;
+        assert_eq!(
+            try_optimized_allocation_for(&[], 0.5),
+            Err(HetschedError::NoComputers)
+        );
+        assert_eq!(
+            try_optimized_allocation_for(&[1.0, 2.0], 1.0),
+            Err(HetschedError::Saturated)
+        );
+        assert_eq!(
+            try_optimized_allocation_for(&[1.0, 2.0], 1.5),
+            Err(HetschedError::Saturated)
+        );
+        assert!(matches!(
+            try_optimized_allocation_for(&[1.0, 0.0], 0.5),
+            Err(HetschedError::BadParameter(_))
+        ));
+        assert!(matches!(
+            try_optimized_allocation_for(&[1.0, f64::NAN], 0.5),
+            Err(HetschedError::BadParameter(_))
+        ));
+        assert!(matches!(
+            try_optimized_allocation_for(&[1.0], -0.2),
+            Err(HetschedError::BadParameter(_))
+        ));
+        // A single-computer cluster is fine: it gets everything.
+        assert_eq!(try_optimized_allocation_for(&[3.0], 0.7), Ok(vec![1.0]));
+    }
+
+    #[test]
+    fn try_variant_matches_panicking_wrapper() {
+        let speeds = [1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0];
+        let a = try_optimized_allocation_for(&speeds, 0.7).unwrap();
+        assert_eq!(a, optimized_allocation_for(&speeds, 0.7));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -368,6 +455,50 @@ mod tests {
             let f_opt = objective_f(&sys, &optimized_allocation(&sys)).unwrap();
             let f_w = objective_f(&sys, &sys.weighted_allocation()).unwrap();
             prop_assert!(f_opt <= f_w * (1.0 + 1e-9));
+        }
+
+        /// Panic-free allocation over random heterogeneous fleets and
+        /// random up/down subsets (the failure-aware re-optimization
+        /// path): on success the fractions sum to 1, are non-negative
+        /// and contain no NaNs; otherwise the error is descriptive, not
+        /// a panic.
+        #[test]
+        fn try_allocation_over_random_subsets(
+            speeds in prop::collection::vec(0.01f64..100.0, 1..16),
+            up in prop::collection::vec(prop::bool::ANY, 16),
+            rho in 0.02f64..0.98,
+        ) {
+            // Restrict to the live subset the way a failure-aware
+            // dispatcher would; the subset may be empty.
+            let live: Vec<f64> = speeds
+                .iter()
+                .zip(&up)
+                .filter_map(|(&s, &u)| u.then_some(s))
+                .collect();
+            // Scale rho as the re-optimizer does: the full fleet's
+            // arrival rate lands on the surviving capacity.
+            let total: f64 = speeds.iter().sum();
+            let live_total: f64 = live.iter().sum();
+            let rho_live = if live_total > 0.0 { rho * total / live_total } else { rho };
+            match try_optimized_allocation_for(&live, rho_live) {
+                Ok(a) => {
+                    prop_assert_eq!(a.len(), live.len());
+                    prop_assert!(a.iter().all(|x| x.is_finite() && *x >= 0.0), "{:?}", a);
+                    let sum: f64 = a.iter().sum();
+                    prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+                }
+                Err(e) => {
+                    // Only the expected degeneracies may be reported.
+                    use hetsched_error::HetschedError;
+                    prop_assert!(
+                        matches!(
+                            e,
+                            HetschedError::NoComputers | HetschedError::Saturated
+                        ),
+                        "unexpected error {e:?}"
+                    );
+                }
+            }
         }
     }
 }

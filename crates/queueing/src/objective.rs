@@ -18,6 +18,7 @@
 //! response ratio.
 
 use crate::system::HetSystem;
+use hetsched_error::HetschedError;
 
 /// Evaluates the objective `F(α…) = Σ s_iμ / (s_iμ − α_iλ)`.
 ///
@@ -51,6 +52,10 @@ pub fn theorem1_min_value(sys: &HetSystem) -> f64 {
 /// remainder.
 ///
 /// `sorted_speeds` must be ascending.
+///
+/// # Panics
+/// Panics if every machine is cut off or the remainder is saturated.
+/// Use [`try_cutoff_min_value`] for a panic-free variant.
 pub fn cutoff_min_value(sorted_speeds: &[f64], mu: f64, lambda: f64, m: usize) -> f64 {
     assert!(m < sorted_speeds.len(), "cannot cut off every machine");
     let rest = &sorted_speeds[m..];
@@ -58,6 +63,30 @@ pub fn cutoff_min_value(sorted_speeds: &[f64], mu: f64, lambda: f64, m: usize) -
     assert!(lambda < cap, "remaining machines saturated");
     let sqrt_sum: f64 = rest.iter().map(|&s| (s * mu).sqrt()).sum();
     m as f64 + sqrt_sum * sqrt_sum / (cap - lambda)
+}
+
+/// Panic-free variant of [`cutoff_min_value`].
+///
+/// # Errors
+/// * [`HetschedError::NoComputers`] — `m` cuts off every machine (the
+///   all-servers-failed subset);
+/// * [`HetschedError::Saturated`] — the surviving machines cannot absorb
+///   `λ`.
+pub fn try_cutoff_min_value(
+    sorted_speeds: &[f64],
+    mu: f64,
+    lambda: f64,
+    m: usize,
+) -> Result<f64, HetschedError> {
+    if m >= sorted_speeds.len() {
+        return Err(HetschedError::NoComputers);
+    }
+    let rest = &sorted_speeds[m..];
+    let cap: f64 = rest.iter().sum::<f64>() * mu;
+    if lambda >= cap {
+        return Err(HetschedError::Saturated);
+    }
+    Ok(cutoff_min_value(sorted_speeds, mu, lambda, m))
 }
 
 /// The gradient of `F` with respect to `α_i`:
@@ -219,5 +248,19 @@ mod tests {
     #[should_panic(expected = "cannot cut off every machine")]
     fn cutoff_rejects_cutting_all() {
         cutoff_min_value(&[1.0], 1.0, 0.5, 1);
+    }
+
+    #[test]
+    fn try_cutoff_reports_degenerate_subsets() {
+        assert_eq!(
+            try_cutoff_min_value(&[1.0], 1.0, 0.5, 1),
+            Err(HetschedError::NoComputers)
+        );
+        assert_eq!(
+            try_cutoff_min_value(&[1.0, 2.0], 1.0, 2.5, 1),
+            Err(HetschedError::Saturated)
+        );
+        let ok = try_cutoff_min_value(&[1.0, 2.0, 4.0], 1.0, 2.0, 1).unwrap();
+        assert_eq!(ok, cutoff_min_value(&[1.0, 2.0, 4.0], 1.0, 2.0, 1));
     }
 }

@@ -39,6 +39,17 @@ impl std::fmt::Display for SystemError {
 
 impl std::error::Error for SystemError {}
 
+impl From<SystemError> for hetsched_error::HetschedError {
+    fn from(e: SystemError) -> Self {
+        use hetsched_error::HetschedError;
+        match e {
+            SystemError::NoComputers => HetschedError::NoComputers,
+            SystemError::BadParameter => HetschedError::BadParameter(e.to_string()),
+            SystemError::Saturated => HetschedError::Saturated,
+        }
+    }
+}
+
 /// A network of heterogeneous computers fed by a central scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HetSystem {

@@ -1,0 +1,144 @@
+//! Cross-crate contracts of the fault-injection layer.
+//!
+//! * a faulted sweep is bit-identical at any thread count;
+//! * a config JSON without a `faults` key deserializes to `faults: None`
+//!   and reproduces the pre-fault results exactly;
+//! * an actively faulted run reports crashes, lost jobs, downtime, and
+//!   sub-unit availability;
+//! * the resubmit/restart semantics keep jobs instead of losing them;
+//! * the re-optimizing policy runs under faults and loses no more jobs
+//!   than static ORR loses.
+
+use hetsched::prelude::*;
+
+/// A small faulted system: crashes are frequent enough to be seen in a
+/// short horizon but the system stays mostly up.
+fn faulted_cfg(on_crash: JobFaultSemantics) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 40_000.0;
+    cfg.warmup = 4_000.0;
+    cfg.faults = Some(FaultSpec::exponential(3_000.0, 300.0).with_semantics(on_crash));
+    cfg
+}
+
+fn faulted_experiment(policy: PolicySpec, on_crash: JobFaultSemantics) -> Experiment {
+    let mut e = Experiment::new(
+        format!("faulted {}", policy.label()),
+        faulted_cfg(on_crash),
+        policy,
+    );
+    e.replications = 3;
+    e
+}
+
+#[test]
+fn faulted_sweep_bit_identical_across_thread_counts() {
+    let points = || {
+        vec![
+            faulted_experiment(PolicySpec::orr(), JobFaultSemantics::Lost),
+            faulted_experiment(PolicySpec::reopt_orr(), JobFaultSemantics::Resubmit),
+            faulted_experiment(PolicySpec::DynamicLeastLoad, JobFaultSemantics::Restart),
+        ]
+    };
+    let one = Sweep::new(points()).with_threads(1).run().expect("runs");
+    let eight = Sweep::new(points()).with_threads(8).run().expect("runs");
+    assert_eq!(one.results, eight.results);
+}
+
+#[test]
+fn config_without_faults_key_reproduces_fault_free_results() {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 40_000.0;
+    cfg.warmup = 4_000.0;
+
+    // Strip the `faults` key from the serialized form — a pre-fault-layer
+    // archive — and check it loads as `None` and runs identically.
+    let mut json = serde_json::to_value(&cfg).expect("serializes");
+    assert!(json
+        .as_object_mut()
+        .expect("object")
+        .remove("faults")
+        .is_some());
+    let legacy: ClusterConfig = serde_json::from_value(json).expect("legacy deserializes");
+    assert!(legacy.faults.is_none());
+
+    let mut a = Experiment::new("explicit-none", cfg, PolicySpec::orr());
+    a.replications = 2;
+    let mut b = Experiment::new("explicit-none", legacy, PolicySpec::orr());
+    b.replications = 2;
+    let ra = a.run().expect("runs");
+    let rb = b.run().expect("runs");
+    assert_eq!(ra, rb);
+    for run in &ra.runs {
+        assert_eq!(run.crashes, 0);
+        assert_eq!(run.jobs_lost, 0);
+        assert_eq!(run.availability, 1.0);
+        assert!(run.servers.iter().all(|s| s.downtime == 0.0));
+    }
+}
+
+#[test]
+fn faulted_run_reports_churn() {
+    let result = faulted_experiment(PolicySpec::orr(), JobFaultSemantics::Lost)
+        .run()
+        .expect("runs");
+    let crashes: u64 = result.runs.iter().map(|r| r.crashes).sum();
+    let lost: u64 = result.runs.iter().map(|r| r.jobs_lost).sum();
+    assert!(crashes > 0, "MTBF 3000 over 36k-second window must crash");
+    assert!(lost > 0, "lost semantics with crashes must lose jobs");
+    for run in &result.runs {
+        assert!(
+            run.availability < 1.0 && run.availability > 0.5,
+            "availability {}",
+            run.availability
+        );
+        assert!(run.servers.iter().map(|s| s.downtime).sum::<f64>() > 0.0);
+        assert_eq!(run.jobs_resubmitted, 0);
+        assert_eq!(run.jobs_restarted, 0);
+    }
+}
+
+#[test]
+fn resubmit_and_restart_keep_in_flight_jobs() {
+    let resub = faulted_experiment(PolicySpec::orr(), JobFaultSemantics::Resubmit)
+        .run()
+        .expect("runs");
+    assert!(
+        resub.runs.iter().map(|r| r.jobs_resubmitted).sum::<u64>() > 0,
+        "crashes must bounce in-flight jobs back through the dispatcher"
+    );
+    let restart = faulted_experiment(PolicySpec::orr(), JobFaultSemantics::Restart)
+        .run()
+        .expect("runs");
+    assert!(
+        restart.runs.iter().map(|r| r.jobs_restarted).sum::<u64>() > 0,
+        "repairs must restart parked jobs"
+    );
+    // Both keep the churned jobs countable as degraded.
+    for result in [&resub, &restart] {
+        assert!(result.runs.iter().map(|r| r.degraded_jobs).sum::<u64>() > 0);
+    }
+}
+
+#[test]
+fn reoptimizing_orr_runs_under_faults() {
+    let reorr = faulted_experiment(PolicySpec::reopt_orr(), JobFaultSemantics::Lost)
+        .run()
+        .expect("runs");
+    let orr = faulted_experiment(PolicySpec::orr(), JobFaultSemantics::Lost)
+        .run()
+        .expect("runs");
+    let lost = |r: &ExperimentResult| r.runs.iter().map(|x| x.jobs_lost).sum::<u64>();
+    // Both are failure-aware, so losses come only from the notice window
+    // and full outages; re-optimizing must not make them worse.
+    assert!(
+        lost(&reorr) <= lost(&orr) + lost(&orr) / 2 + 5,
+        "ReORR lost {} vs ORR {}",
+        lost(&reorr),
+        lost(&orr)
+    );
+    assert!(reorr.mean_response_ratio.mean.is_finite());
+    assert!(reorr.runs.iter().all(|r| r.availability < 1.0));
+}
