@@ -1,0 +1,175 @@
+//! Microbenchmark: the event-kernel overhaul.
+//!
+//! Races the pre-overhaul `LegacyEventQueue` (payload-in-entry heap with
+//! a `HashSet` cancellation probe on every pop) against the current
+//! generation-stamped backends under three mixes:
+//!
+//! * `pop_heavy_no_cancel` — the hold model with zero cancellations, the
+//!   common case the rewrite optimizes: the legacy queue still pays a
+//!   hash probe per pop here, the new heap pays two integer compares.
+//! * `cancel_mix` — cancel-and-replace on every pop (dynamic-timer
+//!   churn).
+//! * `schedule_drain` — bulk schedule then drain, stressing insertion.
+//!
+//! The acceptance bar for the overhaul is ≥20% on
+//! `pop_heavy_no_cancel/heap` versus `pop_heavy_no_cancel/legacy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::desim::{CalendarQueue, EventQueue, FutureEventList, Rng64, SimTime};
+use hetsched_bench::legacy_queue::LegacyEventQueue;
+
+const HOLD_OPS: usize = 10_000;
+
+fn hold_fel<Q: FutureEventList<u64>>(mut q: Q, size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+    }
+    acc
+}
+
+fn hold_legacy(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    let mut q: LegacyEventQueue<u64> = LegacyEventQueue::with_capacity(size);
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (time, payload) = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(payload);
+        q.schedule(time.after(rng.next_f64() * 100.0), payload);
+    }
+    acc
+}
+
+fn cancel_fel<Q: FutureEventList<u64>>(mut q: Q, size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(6);
+    let mut ids = Vec::with_capacity(size);
+    for i in 0..size {
+        ids.push(q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64));
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        let id = q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+        let idx = (ev.payload as usize) % ids.len();
+        q.cancel(ids[idx]);
+        ids[idx] = id;
+        ids.push(q.schedule(ev.time.after(rng.next_f64() * 50.0), ev.payload));
+        if ids.len() > 2 * size {
+            ids.truncate(size);
+        }
+    }
+    acc
+}
+
+fn cancel_legacy(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(6);
+    let mut q: LegacyEventQueue<u64> = LegacyEventQueue::with_capacity(size);
+    let mut ids = Vec::with_capacity(size);
+    for i in 0..size {
+        ids.push(q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64));
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (time, payload) = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(payload);
+        let id = q.schedule(time.after(rng.next_f64() * 100.0), payload);
+        let idx = (payload as usize) % ids.len();
+        q.cancel(ids[idx]);
+        ids[idx] = id;
+        ids.push(q.schedule(time.after(rng.next_f64() * 50.0), payload));
+        if ids.len() > 2 * size {
+            ids.truncate(size);
+        }
+    }
+    acc
+}
+
+fn drain_fel<Q: FutureEventList<u64>>(mut q: Q, n: usize) -> u64 {
+    let mut rng = Rng64::from_seed(7);
+    for i in 0..n {
+        q.schedule(SimTime::new(rng.next_f64() * 1000.0), i as u64);
+    }
+    let mut acc = 0u64;
+    while let Some(ev) = q.pop() {
+        acc = acc.wrapping_add(ev.payload);
+    }
+    acc
+}
+
+fn drain_legacy(n: usize) -> u64 {
+    let mut rng = Rng64::from_seed(7);
+    let mut q: LegacyEventQueue<u64> = LegacyEventQueue::with_capacity(n);
+    for i in 0..n {
+        q.schedule(SimTime::new(rng.next_f64() * 1000.0), i as u64);
+    }
+    let mut acc = 0u64;
+    while let Some((_, payload)) = q.pop() {
+        acc = acc.wrapping_add(payload);
+    }
+    acc
+}
+
+fn bench_event_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_kernel");
+    for &size in &[1024usize, 16384] {
+        group.bench_with_input(
+            BenchmarkId::new("pop_heavy_no_cancel/legacy", size),
+            &size,
+            |b, &size| b.iter(|| hold_legacy(size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pop_heavy_no_cancel/heap", size),
+            &size,
+            |b, &size| b.iter(|| hold_fel(EventQueue::with_capacity(size), size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pop_heavy_no_cancel/calendar", size),
+            &size,
+            |b, &size| b.iter(|| hold_fel(CalendarQueue::with_capacity(size), size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cancel_mix/legacy", size),
+            &size,
+            |b, &size| b.iter(|| cancel_legacy(size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cancel_mix/heap", size),
+            &size,
+            |b, &size| b.iter(|| cancel_fel(EventQueue::with_capacity(size), size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cancel_mix/calendar", size),
+            &size,
+            |b, &size| b.iter(|| cancel_fel(CalendarQueue::with_capacity(size), size, HOLD_OPS)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schedule_drain/legacy", size),
+            &size,
+            |b, &size| b.iter(|| drain_legacy(size)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schedule_drain/heap", size),
+            &size,
+            |b, &size| b.iter(|| drain_fel(EventQueue::with_capacity(size), size)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("schedule_drain/calendar", size),
+            &size,
+            |b, &size| b.iter(|| drain_fel(CalendarQueue::with_capacity(size), size)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_kernel);
+criterion_main!(benches);

@@ -56,9 +56,9 @@ fn hold_model_calendar(size: usize, ops: usize) -> u64 {
     }
     let mut acc = 0u64;
     for _ in 0..ops {
-        let (time, payload) = q.pop().expect("queue stays full");
-        acc = acc.wrapping_add(payload);
-        q.schedule(time.after(rng.next_f64() * 100.0), payload);
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
     }
     acc
 }

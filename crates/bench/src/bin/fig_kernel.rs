@@ -1,0 +1,347 @@
+//! Event-kernel throughput harness.
+//!
+//! Two measurements, both archived into `BENCH_kernel.json` (override
+//! with `--bench-json PATH`):
+//!
+//! 1. **Whole-model**: a fig2-shaped cluster (8 computers, paper
+//!    workload, 120 s deviation tracking) driven end-to-end through each
+//!    future-event-list backend, replications run *sequentially* so the
+//!    wall-clock numbers measure the kernel rather than the thread pool.
+//!    The run panics if the backends disagree on any statistic — the
+//!    perf comparison is only meaningful while results stay
+//!    bit-identical.
+//! 2. **Micro-kernel**: hold-model loops against the queues alone —
+//!    the pre-overhaul `LegacyEventQueue` versus the current heap and
+//!    calendar backends, with and without cancellation churn.
+//!
+//! `--quick` keeps the whole thing under a few seconds for CI.
+
+use std::time::Instant;
+
+use hetsched::desim::{CalendarQueue, EventQueue, FutureEventList, Rng64, SimTime};
+use hetsched::prelude::*;
+use hetsched_bench::legacy_queue::LegacyEventQueue;
+use hetsched_bench::{json_num, json_str, Mode};
+
+/// One backend's whole-model measurement.
+struct BackendRow {
+    backend: &'static str,
+    runs: u64,
+    events: u64,
+    wall_s: f64,
+}
+
+impl BackendRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// One micro-kernel measurement.
+struct MicroRow {
+    case: &'static str,
+    queue: &'static str,
+    size: usize,
+    ops: usize,
+    wall_s: f64,
+}
+
+impl MicroRow {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// The fig2-shaped cluster: 8 computers with a strongly skewed speed
+/// profile (the paper's fractions {.35, .22, .15, .12, .04 × 4} arise
+/// from a mix like this) and the deviation tracker on.
+fn kernel_config() -> ClusterConfig {
+    let speeds = [5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0];
+    let mut cfg = ClusterConfig::paper_default(&speeds);
+    cfg.deviation_interval = Some(120.0);
+    cfg
+}
+
+/// Runs every replication of `exp` sequentially, returning the per-run
+/// stats and the summed event count.
+fn run_sequential(exp: &Experiment) -> (Vec<RunStats>, u64) {
+    let mut runs = Vec::with_capacity(exp.replications as usize);
+    let mut events = 0u64;
+    for rep in 0..exp.replications {
+        let stats = exp
+            .run_single(rep)
+            .unwrap_or_else(|e| panic!("replication {rep}: {e}"));
+        events += stats.events_processed;
+        runs.push(stats);
+    }
+    (runs, events)
+}
+
+fn measure_backend(mode: &Mode, backend: EventListBackend) -> (BackendRow, Vec<RunStats>) {
+    let mut cfg = kernel_config();
+    cfg.event_list = backend;
+    let exp = Experiment::new("fig_kernel", cfg, PolicySpec::orr()).quick(mode.scale, mode.reps);
+    let start = Instant::now();
+    let (runs, events) = run_sequential(&exp);
+    let wall_s = start.elapsed().as_secs_f64();
+    (
+        BackendRow {
+            backend: backend.label(),
+            runs: mode.reps,
+            events,
+            wall_s,
+        },
+        runs,
+    )
+}
+
+/// Hold model (pop one, push one later) with no cancellation — the
+/// common case the generation-stamped rewrite optimizes for.
+fn hold_fel<Q: FutureEventList<u64>>(mut q: Q, size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+    }
+    acc
+}
+
+fn hold_legacy(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(5);
+    let mut q: LegacyEventQueue<u64> = LegacyEventQueue::with_capacity(size);
+    for i in 0..size {
+        q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64);
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (time, payload) = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(payload);
+        q.schedule(time.after(rng.next_f64() * 100.0), payload);
+    }
+    acc
+}
+
+/// Hold model with a cancel-and-replace on every pop — the dynamic-timer
+/// pattern that exercises the cancellation path.
+fn cancel_fel<Q: FutureEventList<u64>>(mut q: Q, size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(6);
+    let mut ids = Vec::with_capacity(size);
+    for i in 0..size {
+        ids.push(q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64));
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let ev = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(ev.payload);
+        let id = q.schedule(ev.time.after(rng.next_f64() * 100.0), ev.payload);
+        let idx = (ev.payload as usize) % ids.len();
+        q.cancel(ids[idx]);
+        ids[idx] = id;
+        ids.push(q.schedule(ev.time.after(rng.next_f64() * 50.0), ev.payload));
+        if ids.len() > 2 * size {
+            ids.truncate(size);
+        }
+    }
+    acc
+}
+
+fn cancel_legacy(size: usize, ops: usize) -> u64 {
+    let mut rng = Rng64::from_seed(6);
+    let mut q: LegacyEventQueue<u64> = LegacyEventQueue::with_capacity(size);
+    let mut ids = Vec::with_capacity(size);
+    for i in 0..size {
+        ids.push(q.schedule(SimTime::new(rng.next_f64() * 100.0), i as u64));
+    }
+    let mut acc = 0u64;
+    for _ in 0..ops {
+        let (time, payload) = q.pop().expect("queue stays full");
+        acc = acc.wrapping_add(payload);
+        let id = q.schedule(time.after(rng.next_f64() * 100.0), payload);
+        let idx = (payload as usize) % ids.len();
+        q.cancel(ids[idx]);
+        ids[idx] = id;
+        ids.push(q.schedule(time.after(rng.next_f64() * 50.0), payload));
+        if ids.len() > 2 * size {
+            ids.truncate(size);
+        }
+    }
+    acc
+}
+
+fn time_micro(
+    case: &'static str,
+    queue: &'static str,
+    size: usize,
+    ops: usize,
+    f: impl FnOnce() -> u64,
+) -> MicroRow {
+    let start = Instant::now();
+    let acc = f();
+    let wall_s = start.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+    MicroRow {
+        case,
+        queue,
+        size,
+        ops,
+        wall_s,
+    }
+}
+
+fn micro_suite(scale: f64) -> Vec<MicroRow> {
+    let size = 4096usize;
+    // Scale the op count with fidelity so --quick stays CI-friendly but
+    // still long enough (tens of ms) for a stable ratio.
+    let ops = ((800_000.0 * scale) as usize).max(50_000);
+    let mut rows = Vec::new();
+    rows.push(time_micro(
+        "pop_heavy_no_cancel",
+        "legacy",
+        size,
+        ops,
+        || hold_legacy(size, ops),
+    ));
+    rows.push(time_micro("pop_heavy_no_cancel", "heap", size, ops, || {
+        hold_fel(EventQueue::with_capacity(size), size, ops)
+    }));
+    rows.push(time_micro(
+        "pop_heavy_no_cancel",
+        "calendar",
+        size,
+        ops,
+        || hold_fel(CalendarQueue::with_capacity(size), size, ops),
+    ));
+    rows.push(time_micro("cancel_mix", "legacy", size, ops, || {
+        cancel_legacy(size, ops)
+    }));
+    rows.push(time_micro("cancel_mix", "heap", size, ops, || {
+        cancel_fel(EventQueue::with_capacity(size), size, ops)
+    }));
+    rows.push(time_micro("cancel_mix", "calendar", size, ops, || {
+        cancel_fel(CalendarQueue::with_capacity(size), size, ops)
+    }));
+    rows
+}
+
+fn report_json(
+    mode: &Mode,
+    backends: &[BackendRow],
+    micro: &[MicroRow],
+    identical: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bin\": {},\n", json_str("fig_kernel")));
+    out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
+    out.push_str(&format!("  \"reps\": {},\n", mode.reps));
+    out.push_str(&format!("  \"identical_results\": {identical},\n"));
+    let rows: Vec<String> = backends
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{ \"backend\": {}, \"runs\": {}, \"events\": {}, \
+                 \"wall_s\": {}, \"events_per_sec\": {} }}",
+                json_str(b.backend),
+                b.runs,
+                b.events,
+                json_num(b.wall_s),
+                json_num(b.events_per_sec()),
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"backends\": [\n{}\n  ],\n", rows.join(",\n")));
+    let rows: Vec<String> = micro
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{ \"case\": {}, \"queue\": {}, \"size\": {}, \"ops\": {}, \
+                 \"wall_s\": {}, \"ops_per_sec\": {} }}",
+                json_str(m.case),
+                json_str(m.queue),
+                m.size,
+                m.ops,
+                json_num(m.wall_s),
+                json_num(m.ops_per_sec()),
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"kernel_micro\": [\n{}\n  ]\n",
+        rows.join(",\n")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("\nEvent-kernel bench: fig2-shaped model through both backends");
+    let (heap_row, heap_runs) = measure_backend(&mode, EventListBackend::Heap);
+    let (cal_row, cal_runs) = measure_backend(&mode, EventListBackend::Calendar);
+    let identical = heap_runs == cal_runs;
+    assert!(
+        identical,
+        "backends diverged: heap and calendar runs must be bit-identical"
+    );
+
+    let mut t = Table::new(["backend", "runs", "events", "wall s", "events/s"]);
+    for row in [&heap_row, &cal_row] {
+        t.row([
+            row.backend.to_string(),
+            format!("{}", row.runs),
+            format!("{}", row.events),
+            format!("{:.3}", row.wall_s),
+            format!("{:.0}", row.events_per_sec()),
+        ]);
+    }
+    t.print();
+    println!("results bit-identical across backends: {identical}");
+
+    println!("\nMicro-kernel: hold model, size 4096");
+    let micro = micro_suite(mode.scale);
+    let mut t = Table::new(["case", "queue", "ops", "wall s", "ops/s"]);
+    for m in &micro {
+        t.row([
+            m.case.to_string(),
+            m.queue.to_string(),
+            format!("{}", m.ops),
+            format!("{:.3}", m.wall_s),
+            format!("{:.0}", m.ops_per_sec()),
+        ]);
+    }
+    t.print();
+    let ratio = |q: &str, case: &str| {
+        let legacy = micro
+            .iter()
+            .find(|m| m.queue == "legacy" && m.case == case)
+            .expect("legacy row");
+        let new = micro
+            .iter()
+            .find(|m| m.queue == q && m.case == case)
+            .expect("backend row");
+        new.ops_per_sec() / legacy.ops_per_sec()
+    };
+    println!(
+        "speedup vs legacy (pop-heavy): heap {:.2}x, calendar {:.2}x",
+        ratio("heap", "pop_heavy_no_cancel"),
+        ratio("calendar", "pop_heavy_no_cancel"),
+    );
+    println!(
+        "speedup vs legacy (cancel mix): heap {:.2}x, calendar {:.2}x",
+        ratio("heap", "cancel_mix"),
+        ratio("calendar", "cancel_mix"),
+    );
+
+    let path = mode
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_kernel.json"));
+    let json = report_json(&mode, &[heap_row, cal_row], &micro, identical);
+    std::fs::write(&path, json).expect("writing kernel bench json");
+    println!("kernel bench counters -> {}", path.display());
+}

@@ -1,0 +1,150 @@
+//! The pre-overhaul future-event list, preserved as a perf baseline.
+//!
+//! This is the binary-heap queue the kernel shipped with before the
+//! generation-stamped rewrite: payloads live *inside* the heap entries,
+//! and cancellation goes through a `HashSet<LegacyEventId>` that every
+//! single `pop` must consult — even in runs that never cancel anything.
+//! The criterion bench (`benches/event_kernel.rs`) and the `fig_kernel`
+//! binary race it against the current backends so the speedup claimed in
+//! the perf trajectory stays measurable instead of anecdotal.
+//!
+//! Frozen on purpose: do not "fix" or optimize this module.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use hetsched::desim::SimTime;
+
+/// Identifier of an event scheduled on the legacy queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LegacyEventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: LegacyEventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (then the
+        // lowest sequence number) is the greatest element.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The old future-event list: heap entries own their payloads and
+/// cancellation is a `HashSet` probe on every pop.
+pub struct LegacyEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<LegacyEventId>,
+    next_seq: u64,
+}
+
+impl<E> Default for LegacyEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> LegacyEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LegacyEventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated heap capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        LegacyEventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> LegacyEventId {
+        let id = LegacyEventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Lazily cancels a scheduled event; the entry is discarded when it
+    /// surfaces at the heap top.
+    pub fn cancel(&mut self, id: LegacyEventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Removes and returns the earliest live `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Number of entries in the heap, including not-yet-purged cancelled
+    /// ones — the legacy stored-count semantics.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = LegacyEventQueue::new();
+        q.schedule(SimTime::new(2.0), "late");
+        q.schedule(SimTime::new(1.0), "a");
+        q.schedule(SimTime::new(1.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, ["a", "b", "late"]);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = LegacyEventQueue::new();
+        let id = q.schedule(SimTime::new(1.0), 1u32);
+        q.schedule(SimTime::new(2.0), 2u32);
+        assert!(q.cancel(id));
+        assert_eq!(q.pop(), Some((SimTime::new(2.0), 2)));
+        assert_eq!(q.pop(), None);
+    }
+}

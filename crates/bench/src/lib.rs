@@ -10,7 +10,10 @@
 //!   `HETSCHED_THREADS` environment variable sets the default);
 //! * `--json PATH` — archive the structured results as pretty JSON;
 //! * `--bench-json PATH` — archive the sweep pool's throughput counters
-//!   (events/sec, per-point busy time) as machine-readable JSON.
+//!   (events/sec, per-point busy time) as machine-readable JSON;
+//! * `--event-list heap|calendar` — override the simulator's future-event
+//!   list backend (results are bit-identical either way; this knob exists
+//!   for perf comparisons).
 //!
 //! The default sits between `--quick` and `--full` (25% horizon, 5
 //! replications): good enough for every ranking in the paper to be
@@ -20,11 +23,15 @@
 //! per-point fork/join barrier) via [`Mode::run_sweep`]; single data
 //! points still use [`Mode::run`].
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use hetsched::experiment::{Experiment, ExperimentResult};
 use hetsched::prelude::*;
+use hetsched::PointStats;
 use serde::Serialize;
+
+pub mod legacy_queue;
 
 /// Fidelity and output options parsed from the command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +46,9 @@ pub struct Mode {
     pub json: Option<PathBuf>,
     /// Optional sweep-throughput JSON path (`BENCH_sweep.json` style).
     pub bench_json: Option<PathBuf>,
+    /// Future-event list backend override (`None` = whatever the preset
+    /// config says, i.e. the heap default).
+    pub event_list: Option<EventListBackend>,
 }
 
 impl Default for Mode {
@@ -49,6 +59,7 @@ impl Default for Mode {
             threads: 0,
             json: None,
             bench_json: None,
+            event_list: None,
         }
     }
 }
@@ -103,9 +114,17 @@ impl Mode {
                     let v = it.next().expect("--bench-json needs a path");
                     mode.bench_json = Some(PathBuf::from(v));
                 }
+                "--event-list" => {
+                    let v = it.next().expect("--event-list needs 'heap' or 'calendar'");
+                    mode.event_list = Some(
+                        v.parse::<EventListBackend>()
+                            .unwrap_or_else(|e| panic!("{e}")),
+                    );
+                }
                 other => panic!(
                     "unknown flag {other}; use --full | --quick | --scale X | --reps N | \
-                     --threads N | --json PATH | --bench-json PATH"
+                     --threads N | --json PATH | --bench-json PATH | \
+                     --event-list heap|calendar"
                 ),
             }
         }
@@ -129,7 +148,10 @@ impl Mode {
     }
 
     /// Builds the experiment for one data point at this fidelity.
-    fn experiment(&self, name: &str, cfg: ClusterConfig, policy: PolicySpec) -> Experiment {
+    fn experiment(&self, name: &str, mut cfg: ClusterConfig, policy: PolicySpec) -> Experiment {
+        if let Some(backend) = self.event_list {
+            cfg.event_list = backend;
+        }
         let mut exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
         exp.threads = self.threads;
         exp
@@ -180,10 +202,80 @@ impl Mode {
     pub fn archive_bench(&self, bin: &str, sweeps: &[SweepStats]) {
         if let Some(path) = &self.bench_json {
             let report = BenchReport::new(bin, self, sweeps);
-            hetsched::report::save_json(path, &report).expect("archiving sweep bench");
+            std::fs::write(path, report.to_json_string()).expect("archiving sweep bench");
             eprintln!("sweep bench counters -> {}", path.display());
         }
     }
+}
+
+/// Formats an `f64` for a JSON document: finite values verbatim,
+/// non-finite ones (which JSON cannot express) as `0`.
+pub fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn point_stats_json(p: &PointStats, pad: &str) -> String {
+    format!(
+        "{pad}{{ \"name\": {}, \"policy\": {}, \"utilization\": {}, \
+         \"replications\": {}, \"events\": {}, \"busy_s\": {} }}",
+        json_str(&p.name),
+        json_str(&p.policy),
+        json_num(p.utilization),
+        p.replications,
+        p.events,
+        json_num(p.busy_s),
+    )
+}
+
+fn sweep_stats_json(s: &SweepStats, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let inner = " ".repeat(indent + 2);
+    let points = if s.point_stats.is_empty() {
+        "[]".to_string()
+    } else {
+        let rows: Vec<String> = s
+            .point_stats
+            .iter()
+            .map(|p| point_stats_json(p, &" ".repeat(indent + 4)))
+            .collect();
+        format!("[\n{}\n{inner}]", rows.join(",\n"))
+    };
+    format!(
+        "{{\n{inner}\"threads\": {},\n{inner}\"points\": {},\n{inner}\"tasks\": {},\n\
+         {inner}\"wall_s\": {},\n{inner}\"total_events\": {},\n\
+         {inner}\"events_per_sec\": {},\n{inner}\"point_stats\": {points}\n{pad}}}",
+        s.threads,
+        s.points,
+        s.tasks,
+        json_num(s.wall_s),
+        s.total_events,
+        json_num(s.events_per_sec),
+    )
 }
 
 /// Machine-readable perf-trajectory record (`BENCH_sweep.json`).
@@ -197,6 +289,8 @@ pub struct BenchReport {
     pub reps: u64,
     /// Pool thread knob (0 = auto).
     pub threads_requested: usize,
+    /// The future-event list backend the runs used.
+    pub event_list: String,
     /// Totals across every sweep the binary ran.
     pub totals: SweepStats,
     /// One entry per sweep pool execution.
@@ -211,9 +305,37 @@ impl BenchReport {
             scale: mode.scale,
             reps: mode.reps,
             threads_requested: mode.threads,
+            event_list: mode.event_list.unwrap_or_default().label().to_string(),
             totals: SweepStats::merged(sweeps),
             sweeps: sweeps.to_vec(),
         }
+    }
+
+    /// Renders the report as pretty JSON without going through serde —
+    /// the perf-trajectory artifacts must be writable even when the
+    /// workspace is built against the offline serde stubs.
+    pub fn to_json_string(&self) -> String {
+        let sweeps = if self.sweeps.is_empty() {
+            "[]".to_string()
+        } else {
+            let rows: Vec<String> = self
+                .sweeps
+                .iter()
+                .map(|s| format!("    {}", sweep_stats_json(s, 4)))
+                .collect();
+            format!("[\n{}\n  ]", rows.join(",\n"))
+        };
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bin\": {},", json_str(&self.bin));
+        let _ = writeln!(out, "  \"scale\": {},", json_num(self.scale));
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "  \"threads_requested\": {},", self.threads_requested);
+        let _ = writeln!(out, "  \"event_list\": {},", json_str(&self.event_list));
+        let _ = writeln!(out, "  \"totals\": {},", sweep_stats_json(&self.totals, 2));
+        let _ = writeln!(out, "  \"sweeps\": {sweeps}");
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -326,7 +448,45 @@ mod tests {
         let report = BenchReport::new("test", &m, &[s1.clone(), s2.clone()]);
         assert_eq!(report.totals.tasks, s1.tasks + s2.tasks);
         assert_eq!(report.sweeps.len(), 2);
-        let json = serde_json::to_string(&report).unwrap();
-        assert!(json.contains("events_per_sec"));
+        assert_eq!(report.event_list, "heap");
+        let json = report.to_json_string();
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"event_list\": \"heap\""));
+    }
+
+    #[test]
+    fn event_list_flag() {
+        assert_eq!(parse(&[]).event_list, None);
+        assert_eq!(
+            parse(&["--event-list", "calendar"]).event_list,
+            Some(EventListBackend::Calendar)
+        );
+        assert_eq!(
+            parse(&["--event-list", "heap"]).event_list,
+            Some(EventListBackend::Heap)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown event-list backend")]
+    fn rejects_bad_event_list() {
+        parse(&["--event-list", "splay"]);
+    }
+
+    #[test]
+    fn json_helpers_escape_and_guard() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn event_list_override_is_bit_identical() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let heap = parse(&["--quick"]).run("p", cfg.clone(), PolicySpec::orr());
+        let cal = parse(&["--quick", "--event-list", "calendar"]).run("p", cfg, PolicySpec::orr());
+        assert_eq!(heap, cal);
     }
 }

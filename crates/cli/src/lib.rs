@@ -9,8 +9,11 @@
 //!     performance predictions for a fleet.
 //!
 //! hetsched simulate --spec experiment.json [--out results.json]
+//!                   [--event-list heap|calendar]
 //!     Run a full replicated simulation experiment described by a JSON
-//!     spec (see `hetsched template`).
+//!     spec (see `hetsched template`). `--event-list` overrides the
+//!     spec's future-event-list backend; results are bit-identical
+//!     either way.
 //!
 //! hetsched template
 //!     Print a commented example experiment spec to adapt.
@@ -41,6 +44,8 @@ pub enum Command {
         spec: String,
         /// Optional path for the JSON results.
         out: Option<String>,
+        /// Optional future-event-list backend override.
+        event_list: Option<EventListBackend>,
     },
     /// `template`: print an example spec.
     Template,
@@ -55,6 +60,7 @@ hetsched — optimized static job scheduling (Tang & Chanson, ICPP 2000)
 USAGE:
   hetsched allocate --speeds 1,1.5,10 --rho 0.7
   hetsched simulate --spec experiment.json [--out results.json]
+                    [--event-list heap|calendar]
   hetsched template
   hetsched help
 ";
@@ -102,16 +108,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "simulate" => {
             let mut spec = None;
             let mut out = None;
+            let mut event_list = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
                     "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    "--event-list" => {
+                        let v = it.next().ok_or("--event-list needs 'heap' or 'calendar'")?;
+                        event_list = Some(v.parse::<EventListBackend>()?);
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             Ok(Command::Simulate {
                 spec: spec.ok_or("simulate requires --spec")?,
                 out,
+                event_list,
             })
         }
         other => Err(format!("unknown command {other}; try `hetsched help`")),
@@ -139,7 +151,11 @@ pub fn run(cmd: Command) -> i32 {
                 1
             }
         },
-        Command::Simulate { spec, out } => match simulate(&spec, out.as_deref()) {
+        Command::Simulate {
+            spec,
+            out,
+            event_list,
+        } => match simulate(&spec, out.as_deref(), event_list) {
             Ok(text) => {
                 println!("{text}");
                 0
@@ -189,10 +205,18 @@ pub fn allocate_report(speeds: &[f64], rho: f64) -> Result<String, String> {
 ///
 /// # Errors
 /// Propagates IO, parsing, and validation errors.
-pub fn simulate(spec_path: &str, out: Option<&str>) -> Result<String, String> {
+pub fn simulate(
+    spec_path: &str,
+    out: Option<&str>,
+    event_list: Option<EventListBackend>,
+) -> Result<String, String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
-    let exp: Experiment = serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
+    let mut exp: Experiment =
+        serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
+    if let Some(backend) = event_list {
+        exp.cluster.event_list = backend;
+    }
     let result = exp.run()?;
     if let Some(path) = out {
         hetsched::report::save_json(path, &result)?;
@@ -257,9 +281,39 @@ mod tests {
             cmd,
             Command::Simulate {
                 spec: "a.json".into(),
-                out: Some("b.json".into())
+                out: Some("b.json".into()),
+                event_list: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_simulate_event_list_override() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--event-list",
+            "calendar",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                spec: "a.json".into(),
+                out: None,
+                event_list: Some(EventListBackend::Calendar),
+            }
+        );
+        let e = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--event-list",
+            "splay",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown event-list backend"), "{e}");
     }
 
     #[test]
@@ -306,6 +360,7 @@ mod tests {
         let report = simulate(
             spec_path.to_str().unwrap(),
             Some(out_path.to_str().unwrap()),
+            Some(EventListBackend::Calendar),
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -318,7 +373,7 @@ mod tests {
 
     #[test]
     fn simulate_reports_missing_file() {
-        let e = simulate("/definitely/not/here.json", None).unwrap_err();
+        let e = simulate("/definitely/not/here.json", None, None).unwrap_err();
         assert!(e.contains("reading"));
     }
 
@@ -330,7 +385,7 @@ mod tests {
         let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
         exp.cluster.utilization = 1.5;
         std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
-        let e = simulate(spec_path.to_str().unwrap(), None).unwrap_err();
+        let e = simulate(spec_path.to_str().unwrap(), None, None).unwrap_err();
         assert!(e.contains("utilization"), "message names the bad knob: {e}");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -106,6 +106,55 @@ impl ArrivalProcess for ArrivalKind {
     }
 }
 
+/// Future-event-list backend for the simulation engine.
+///
+/// Both backends produce bit-identical results (same timestamp order,
+/// same FIFO tie-breaks — see `hetsched_desim::fel`); the choice is
+/// purely a throughput knob. The heap's constants win for the paper's
+/// event populations (tens to hundreds pending); the calendar queue
+/// (Brown, CACM 1988) amortizes to O(1) per operation and pays off when
+/// scaling to very large fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventListBackend {
+    /// Binary min-heap (`EventQueue`) — the default.
+    #[default]
+    Heap,
+    /// Brown's calendar queue (`CalendarQueue`).
+    Calendar,
+}
+
+impl EventListBackend {
+    /// Stable lowercase name (matches the CLI flag values and the serde
+    /// encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventListBackend::Heap => "heap",
+            EventListBackend::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::fmt::Display for EventListBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for EventListBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "heap" => Ok(EventListBackend::Heap),
+            "calendar" => Ok(EventListBackend::Calendar),
+            other => Err(format!(
+                "unknown event-list backend '{other}' (expected 'heap' or 'calendar')"
+            )),
+        }
+    }
+}
+
 /// Full description of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
@@ -141,6 +190,11 @@ pub struct ClusterConfig {
     /// keep their exact results.
     #[serde(default)]
     pub faults: Option<FaultSpec>,
+    /// Future-event-list backend for the engine. Defaults to the binary
+    /// heap; results are bit-identical either way, so configs serialized
+    /// before this field existed parse (and reproduce) unchanged.
+    #[serde(default)]
+    pub event_list: EventListBackend,
 }
 
 impl ClusterConfig {
@@ -159,6 +213,7 @@ impl ClusterConfig {
             track_ratio_histogram: false,
             trace: None,
             faults: None,
+            event_list: EventListBackend::default(),
         }
     }
 
@@ -338,6 +393,33 @@ mod tests {
         let back: ClusterConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back, cfg);
         assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn config_without_event_list_key_deserializes_to_heap() {
+        // Back-compat: configs serialized before the backend knob existed
+        // must parse unchanged, running on the default heap.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("event_list");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.event_list, EventListBackend::Heap);
+    }
+
+    #[test]
+    fn event_list_backend_parses_and_displays() {
+        assert_eq!(
+            "heap".parse::<EventListBackend>(),
+            Ok(EventListBackend::Heap)
+        );
+        assert_eq!(
+            "calendar".parse::<EventListBackend>(),
+            Ok(EventListBackend::Calendar)
+        );
+        assert!("fibheap".parse::<EventListBackend>().is_err());
+        assert_eq!(EventListBackend::Heap.to_string(), "heap");
+        assert_eq!(EventListBackend::Calendar.label(), "calendar");
     }
 
     #[test]

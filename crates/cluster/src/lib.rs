@@ -50,7 +50,7 @@ pub mod server;
 pub mod simulation;
 pub mod trace;
 
-pub use config::{ArrivalSpec, ClusterConfig};
+pub use config::{ArrivalSpec, ClusterConfig, EventListBackend};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};
 pub use job::{JobId, JobRecord, JobSlab};

@@ -32,12 +32,14 @@
 //! created and no fault event is ever scheduled, so the simulation is
 //! byte-for-byte the fault-free one.
 
-use hetsched_desim::{Actor, Engine, Rng64, Scheduler, SimTime};
+use hetsched_desim::{
+    Actor, CalendarQueue, Engine, EventQueue, FutureEventList, Rng64, Scheduler, SimTime,
+};
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
 use hetsched_error::HetschedError;
 use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
 
-use crate::config::{ArrivalKind, ClusterConfig};
+use crate::config::{ArrivalKind, ClusterConfig, EventListBackend};
 use crate::faults::{FaultSpec, JobFaultSemantics};
 use crate::job::{JobId, JobRecord, JobSlab};
 use crate::network::membership_notice_delay;
@@ -85,7 +87,19 @@ impl<P: Policy> Simulation<P> {
     }
 
     /// Runs to the horizon and returns the collected statistics.
+    ///
+    /// The event-list backend is picked from
+    /// [`ClusterConfig::event_list`]; both backends are bit-identical in
+    /// results (see `hetsched_desim::fel`), so the knob only affects
+    /// throughput.
     pub fn run(self) -> RunStats {
+        match self.cfg.event_list {
+            EventListBackend::Heap => self.run_on(EventQueue::with_capacity(1024)),
+            EventListBackend::Calendar => self.run_on(CalendarQueue::with_capacity(1024)),
+        }
+    }
+
+    fn run_on<Q: FutureEventList<Ev>>(self, queue: Q) -> RunStats {
         let Simulation { cfg, policy, seed } = self;
         let lambda = cfg.lambda();
         let servers: Vec<Server> = cfg
@@ -147,7 +161,7 @@ impl<P: Policy> Simulation<P> {
             degraded_ratio: Welford::new(),
         };
 
-        let mut engine: Engine<Ev> = Engine::with_capacity(1024);
+        let mut engine: Engine<Ev, Q> = Engine::with_queue(queue);
         let first_gap = model.arrivals.next_interarrival(&mut model.rng_arrival);
         engine.schedule_at(SimTime::new(first_gap), Ev::Arrival);
         if cfg.warmup > 0.0 {
@@ -212,7 +226,11 @@ struct Model<P: Policy> {
 
 impl<P: Policy> Model<P> {
     /// Re-arms the wake timer of `server` after any state change.
-    fn reschedule(&mut self, server: usize, sched: &mut Scheduler<'_, Ev>) {
+    fn reschedule<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         let epoch = self.servers[server].bump_epoch();
         if let Some(t) = self.servers[server].next_wakeup() {
             // Guard against sub-epsilon drift putting the wake a hair in
@@ -223,7 +241,12 @@ impl<P: Policy> Model<P> {
     }
 
     /// Handles completions gathered in `done_buf` for `server` at `now`.
-    fn drain_completions(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn drain_completions<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         if self.done_buf.is_empty() {
             return;
         }
@@ -263,7 +286,11 @@ impl<P: Policy> Model<P> {
         self.done_buf.clear();
     }
 
-    fn handle_arrival(&mut self, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_arrival<Q: FutureEventList<Ev>>(
+        &mut self,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         // Keep the arrival stream flowing.
         let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
         sched.schedule_in(gap, Ev::Arrival);
@@ -322,7 +349,13 @@ impl<P: Policy> Model<P> {
         self.reschedule(target, sched);
     }
 
-    fn handle_wake(&mut self, server: usize, epoch: u64, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_wake<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        epoch: u64,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         if epoch != self.servers[server].epoch() {
             return; // superseded by a later arrival
         }
@@ -331,7 +364,12 @@ impl<P: Policy> Model<P> {
         self.reschedule(server, sched);
     }
 
-    fn handle_crash(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_crash<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         // Completions landing exactly at the crash instant still count.
         self.servers[server].advance(now, &mut self.done_buf);
         self.drain_completions(server, now, sched);
@@ -377,7 +415,12 @@ impl<P: Policy> Model<P> {
 
     /// Pushes a crash-evicted job back through the dispatcher with its
     /// full service demand and original arrival time.
-    fn resubmit(&mut self, id: JobId, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn resubmit<Q: FutureEventList<Ev>>(
+        &mut self,
+        id: JobId,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         let mut rec = self.slab.remove(id);
         if self.down_count == self.servers.len() {
             if rec.counted {
@@ -418,7 +461,12 @@ impl<P: Policy> Model<P> {
         self.reschedule(target, sched);
     }
 
-    fn handle_repair(&mut self, server: usize, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn handle_repair<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         self.servers[server].repair(now);
         self.down_count -= 1;
 
@@ -449,7 +497,12 @@ impl<P: Policy> Model<P> {
     }
 
     /// Delivers (or schedules) a membership notice to the policy.
-    fn notify_membership(&mut self, delay: f64, now: f64, sched: &mut Scheduler<'_, Ev>) {
+    fn notify_membership<Q: FutureEventList<Ev>>(
+        &mut self,
+        delay: f64,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
         if delay <= 0.0 {
             self.deliver_membership(now);
         } else {
@@ -542,8 +595,8 @@ impl<P: Policy> Model<P> {
     }
 }
 
-impl<P: Policy> Actor<Ev> for Model<P> {
-    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
+    fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev, Q>) {
         let t = now.as_secs();
         match event {
             Ev::Arrival => self.handle_arrival(t, sched),
@@ -612,6 +665,7 @@ mod tests {
             track_ratio_histogram: false,
             trace: None,
             faults: None,
+            event_list: EventListBackend::default(),
         }
     }
 
@@ -628,6 +682,33 @@ mod tests {
         assert!(stats.mean_response_ratio >= 1.0);
         assert!(stats.fairness >= 0.0);
         assert_eq!(stats.policy, "cyclic-test");
+    }
+
+    #[test]
+    fn backends_produce_identical_results() {
+        // The whole-model differential: heap and calendar engines must
+        // agree bit-for-bit, fault-free and under heavy fault churn.
+        for faults in [
+            None,
+            Some(
+                crate::faults::FaultSpec::exponential(1_000.0, 100.0)
+                    .with_semantics(crate::faults::JobFaultSemantics::Resubmit)
+                    .with_notice_delay(5.0),
+            ),
+        ] {
+            let has_faults = faults.is_some();
+            let mut heap_cfg = small_cfg();
+            heap_cfg.faults = faults;
+            let mut cal_cfg = heap_cfg.clone();
+            cal_cfg.event_list = EventListBackend::Calendar;
+            let heap = Simulation::new(heap_cfg, Cyclic { next: 0 }, 13)
+                .unwrap()
+                .run();
+            let cal = Simulation::new(cal_cfg, Cyclic { next: 0 }, 13)
+                .unwrap()
+                .run();
+            assert_eq!(heap, cal, "faults: {has_faults}");
+        }
     }
 
     #[test]

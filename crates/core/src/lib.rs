@@ -75,7 +75,9 @@ pub use sweep::{PointStats, Sweep, SweepOutcome, SweepStats};
 /// The usual imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::cluster::faults::{FaultSpec, JobFaultSemantics};
-    pub use crate::cluster::{ArrivalSpec, ClusterConfig, DisciplineSpec, RunStats};
+    pub use crate::cluster::{
+        ArrivalSpec, ClusterConfig, DisciplineSpec, EventListBackend, RunStats,
+    };
     pub use crate::dist::DistSpec;
     pub use crate::error::HetschedError;
     pub use crate::experiment::{Experiment, ExperimentResult};

@@ -8,20 +8,38 @@
 //! the event-time density, which the structure maintains by resizing and
 //! re-estimating the width as the population grows and shrinks.
 //!
+//! The calendar implements the full [`FutureEventList`] contract — FIFO
+//! ties, peeking, and generation-stamped cancellation — so the
+//! [`Engine`](crate::engine::Engine) can run on it interchangeably with
+//! the binary heap. Buckets store the same 24-byte `Copy` keys as the
+//! heap backend, with payloads parked in a shared
+//! [`PayloadSlab`](crate::slab); cancelled keys are purged lazily when
+//! they reach a bucket head or during a resize.
+//!
 //! For the cluster simulator's workloads the binary heap in
 //! [`crate::queue`] is typically faster in practice (its constants are
-//! tiny and event populations are small); the calendar queue is provided
-//! for large-population models and benchmarked against the heap in
-//! `hetsched-bench`'s `event_queue` bench. Same determinism contract:
-//! equal timestamps dequeue in insertion order.
+//! tiny and event populations are small); the calendar queue pays off for
+//! large-population models, and both are compared in `hetsched-bench`'s
+//! `event_queue` / `event_kernel` benches and the `fig_kernel` harness.
 
+use crate::fel::{FutureEventList, ScheduledEvent};
+use crate::slab::{EventId, PayloadSlab};
 use crate::time::SimTime;
 
-#[derive(Debug, Clone)]
-struct Entry<E> {
+/// A bucket key: timestamp, FIFO sequence number, and slab reference.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     time: f64,
     seq: u64,
-    payload: E,
+    slot: u32,
+    gen: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn id(self) -> EventId {
+        EventId::new(self.slot, self.gen)
+    }
 }
 
 /// Brown's calendar queue with FIFO tie-breaking.
@@ -33,7 +51,9 @@ struct Entry<E> {
 /// events for a whole extra year.
 pub struct CalendarQueue<E> {
     /// Buckets, each sorted ascending by (time, seq).
-    buckets: Vec<Vec<Entry<E>>>,
+    buckets: Vec<Vec<Entry>>,
+    /// Payloads, keyed by generation-stamped slots.
+    slab: PayloadSlab<E>,
     /// Width of one day in simulated seconds.
     width: f64,
     /// Virtual day the dequeue cursor is on.
@@ -41,8 +61,12 @@ pub struct CalendarQueue<E> {
     /// Priority of the last dequeued event (dequeues below this would
     /// violate monotonicity and indicate a bug).
     last_time: f64,
-    len: usize,
+    /// Keys stored in buckets, including not-yet-purged cancelled ones
+    /// (drives the resize thresholds; `len()` reports live events).
+    stored: usize,
     next_seq: u64,
+    scheduled_total: u64,
+    popped_total: u64,
 }
 
 impl<E> CalendarQueue<E> {
@@ -51,14 +75,24 @@ impl<E> CalendarQueue<E> {
         Self::with_layout(2, 1.0, 0.0)
     }
 
+    /// Creates an empty calendar with payload capacity pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::with_layout(2, 1.0, 0.0);
+        q.slab = PayloadSlab::with_capacity(cap);
+        q
+    }
+
     fn with_layout(nbuckets: usize, width: f64, start: f64) -> Self {
         let mut q = CalendarQueue {
             buckets: Vec::new(),
+            slab: PayloadSlab::new(),
             width,
             cur_day: 0,
             last_time: start,
-            len: 0,
+            stored: 0,
             next_seq: 0,
+            scheduled_total: 0,
+            popped_total: 0,
         };
         q.buckets.resize_with(nbuckets, Vec::new);
         q.cur_day = q.day_of(start);
@@ -70,33 +104,43 @@ impl<E> CalendarQueue<E> {
         (time / self.width) as u64
     }
 
-    /// Number of stored events.
+    /// Number of pending (live) events.
     pub fn len(&self) -> usize {
-        self.len
+        self.slab.live()
     }
 
-    /// Whether the calendar is empty.
+    /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
-    /// Schedules `payload` at `time`.
-    pub fn schedule(&mut self, time: SimTime, payload: E) {
+    /// Schedules `payload` at `time`; returns a cancellation id.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
         let t = time.as_secs();
+        let id = self.slab.insert(payload);
         let entry = Entry {
             time: t,
             seq: self.next_seq,
-            payload,
+            slot: id.slot(),
+            gen: id.gen(),
         };
         self.next_seq += 1;
+        self.scheduled_total += 1;
+        // A peek's year-jump may have parked the cursor past this event's
+        // day; pull it back so the walk cannot skip the event.
+        let day = self.day_of(t);
+        if day < self.cur_day {
+            self.cur_day = day;
+        }
         self.insert(entry);
-        self.len += 1;
-        if self.len > 2 * self.buckets.len() {
+        self.stored += 1;
+        if self.stored > 2 * self.buckets.len() {
             self.resize(2 * self.buckets.len());
         }
+        id
     }
 
-    fn insert(&mut self, entry: Entry<E>) {
+    fn insert(&mut self, entry: Entry) {
         let n = self.buckets.len();
         let idx = (self.day_of(entry.time) % n as u64) as usize;
         let bucket = &mut self.buckets[idx];
@@ -111,9 +155,32 @@ impl<E> CalendarQueue<E> {
         bucket.insert(pos, entry);
     }
 
-    /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.len == 0 {
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` iff the id named a still-pending event. O(1): the
+    /// slot's generation is bumped; the stale bucket key is purged when
+    /// it reaches a bucket head or during a resize.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.slab.take(id).is_some()
+    }
+
+    /// Purges stale keys from the head of bucket `bi` and returns the
+    /// live head, if any.
+    fn live_head(&mut self, bi: usize) -> Option<Entry> {
+        while let Some(&head) = self.buckets[bi].first() {
+            if self.slab.is_live(head.id()) {
+                return Some(head);
+            }
+            self.buckets[bi].remove(0);
+            self.stored -= 1;
+        }
+        None
+    }
+
+    /// Advances the cursor to the bucket holding the earliest live event
+    /// and returns its index (the bucket's head is that event).
+    fn next_position(&mut self) -> Option<usize> {
+        if self.slab.live() == 0 {
             return None;
         }
         let n = self.buckets.len();
@@ -122,69 +189,105 @@ impl<E> CalendarQueue<E> {
         // any event from an already-passed day, which cannot be earlier
         // than the last pop by construction).
         for _ in 0..n {
-            let bucket_idx = (self.cur_day % n as u64) as usize;
-            let head_due = self.buckets[bucket_idx]
-                .first()
-                .is_some_and(|e| self.day_of(e.time) <= self.cur_day);
-            if head_due {
-                let entry = self.buckets[bucket_idx].remove(0);
-                self.len -= 1;
-                debug_assert!(
-                    entry.time >= self.last_time - 1e-9,
-                    "calendar went backwards"
-                );
-                self.last_time = entry.time;
-                if self.len < self.buckets.len() / 2 && self.buckets.len() > 2 {
-                    self.resize(self.buckets.len() / 2);
+            let bi = (self.cur_day % n as u64) as usize;
+            if let Some(head) = self.live_head(bi) {
+                if self.day_of(head.time) <= self.cur_day {
+                    return Some(bi);
                 }
-                return Some((SimTime::new(entry.time.max(0.0)), entry.payload));
             }
             self.cur_day += 1;
         }
         // A whole year was empty: the next event is far away — jump the
-        // cursor directly to the global minimum.
+        // cursor directly to the global minimum. Every bucket head is
+        // live here (the walk just purged stale heads), and equal times
+        // always share a bucket, so the minimum is unambiguous.
         let (bi, t) = self
             .buckets
             .iter()
             .enumerate()
-            .filter_map(|(i, b)| b.first().map(|e| (i, e.time)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("len > 0 implies a head exists");
+            .filter_map(|(i, b)| b.first().map(|e| (i, (e.time, e.seq))))
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0).then(a.1 .1.cmp(&b.1 .1)))
+            .map(|(i, (t, _))| (i, t))
+            .expect("live > 0 implies a live head exists");
         self.cur_day = self.day_of(t);
+        Some(bi)
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let bi = self.next_position()?;
         let entry = self.buckets[bi].remove(0);
-        self.len -= 1;
+        self.stored -= 1;
+        let payload = self
+            .slab
+            .take(entry.id())
+            .expect("next_position returns a live head");
+        debug_assert!(
+            entry.time >= self.last_time - 1e-9,
+            "calendar went backwards"
+        );
         self.last_time = entry.time;
-        Some((SimTime::new(entry.time.max(0.0)), entry.payload))
+        self.popped_total += 1;
+        if self.stored < self.buckets.len() / 2 && self.buckets.len() > 2 {
+            self.resize(self.buckets.len() / 2);
+        }
+        Some(ScheduledEvent {
+            time: SimTime::new(entry.time),
+            id: entry.id(),
+            payload,
+        })
+    }
+
+    /// Time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let bi = self.next_position()?;
+        self.buckets[bi].first().map(|e| SimTime::new(e.time))
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of events ever popped (excluding cancelled ones).
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
     }
 
     /// Rebuilds the calendar with `nbuckets` buckets and a re-estimated
-    /// width.
+    /// width, dropping cancelled keys in the process.
     fn resize(&mut self, nbuckets: usize) {
         let width = self.estimate_width();
         let mut old = std::mem::take(&mut self.buckets);
         self.buckets.resize_with(nbuckets, Vec::new);
         self.width = width;
-        self.cur_day = self.day_of(self.last_time);
+        let mut min_t = self.last_time;
         for bucket in &mut old {
             for entry in bucket.drain(..) {
-                self.insert(entry);
-            }
-        }
-    }
-
-    /// Brown's width heuristic: sample events near the head and use a
-    /// multiple of their average separation.
-    fn estimate_width(&self) -> f64 {
-        let mut sample: Vec<f64> = Vec::with_capacity(32);
-        for bucket in &self.buckets {
-            for e in bucket {
-                sample.push(e.time);
-                if sample.len() >= 32 {
-                    break;
+                if self.slab.is_live(entry.id()) {
+                    min_t = min_t.min(entry.time);
+                    self.insert(entry);
+                } else {
+                    self.stored -= 1;
                 }
             }
-            if sample.len() >= 32 {
-                break;
+        }
+        self.cur_day = self.day_of(min_t);
+    }
+
+    /// Brown's width heuristic: sample live events near the head and use
+    /// a multiple of their average separation.
+    fn estimate_width(&self) -> f64 {
+        let mut sample: Vec<f64> = Vec::with_capacity(32);
+        'outer: for bucket in &self.buckets {
+            for e in bucket {
+                if !self.slab.is_live(e.id()) {
+                    continue;
+                }
+                sample.push(e.time);
+                if sample.len() >= 32 {
+                    break 'outer;
+                }
             }
         }
         if sample.len() < 2 {
@@ -207,6 +310,43 @@ impl<E> Default for CalendarQueue<E> {
     }
 }
 
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    #[inline]
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        CalendarQueue::schedule(self, time, payload)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        CalendarQueue::pop(self)
+    }
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+
+    #[inline]
+    fn cancel(&mut self, id: EventId) -> bool {
+        CalendarQueue::cancel(self, id)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+
+    #[inline]
+    fn scheduled_total(&self) -> u64 {
+        CalendarQueue::scheduled_total(self)
+    }
+
+    #[inline]
+    fn popped_total(&self) -> u64 {
+        CalendarQueue::popped_total(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,9 +363,9 @@ mod tests {
         q.schedule(t(3.0), "c");
         q.schedule(t(1.0), "a");
         q.schedule(t(2.0), "b");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert_eq!(q.pop().unwrap().1, "b");
-        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
         assert!(q.pop().is_none());
     }
 
@@ -236,7 +376,7 @@ mod tests {
             q.schedule(t(7.0), i);
         }
         for i in 0..50 {
-            assert_eq!(q.pop().unwrap().1, i);
+            assert_eq!(q.pop().unwrap().payload, i);
         }
     }
 
@@ -245,9 +385,9 @@ mod tests {
         let mut q = CalendarQueue::new();
         q.schedule(t(0.5), "near");
         q.schedule(t(1.0e6), "far");
-        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().payload, "near");
         // The far event lies many years ahead of the cursor.
-        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().payload, "far");
     }
 
     #[test]
@@ -258,8 +398,8 @@ mod tests {
         }
         assert_eq!(q.len(), 1000);
         for i in 0..1000u32 {
-            let (_, v) = q.pop().expect("present");
-            assert_eq!(v, i);
+            let ev = q.pop().expect("present");
+            assert_eq!(ev.payload, i);
         }
         assert!(q.is_empty());
     }
@@ -274,11 +414,73 @@ mod tests {
         }
         let mut last = 0.0;
         for _ in 0..10_000 {
-            let (time, v) = q.pop().expect("non-empty");
-            assert!(time.as_secs() >= last);
-            last = time.as_secs();
-            q.schedule(time.after(rng.next_f64() * 10.0), v);
+            let ev = q.pop().expect("non-empty");
+            assert!(ev.time.as_secs() >= last);
+            last = ev.time.as_secs();
+            q.schedule(ev.time.after(rng.next_f64() * 10.0), ev.payload);
         }
+    }
+
+    #[test]
+    fn cancel_skips_event_and_peek_sees_next_live() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_false() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert_eq!(q.pop().unwrap().id, a);
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_then_schedule_earlier_pops_in_order() {
+        // A peek's year-jump parks the cursor far ahead; a subsequent
+        // schedule of a nearer event must still pop first.
+        let mut q = CalendarQueue::new();
+        q.schedule(t(1.0e6), "far");
+        assert_eq!(q.peek_time(), Some(t(1.0e6)));
+        q.schedule(t(5.0), "near");
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+        assert_eq!(q.pop().unwrap().payload, "near");
+        assert_eq!(q.pop().unwrap().payload, "far");
+    }
+
+    #[test]
+    fn resize_purges_cancelled_entries() {
+        let mut q = CalendarQueue::new();
+        let ids: Vec<_> = (0..100u32).map(|i| q.schedule(t(i as f64), i)).collect();
+        for id in ids.iter().step_by(2) {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 50);
+        // Grow and shrink cycles drop stale keys; everything live pops.
+        let mut seen = Vec::new();
+        while let Some(ev) = q.pop() {
+            seen.push(ev.payload);
+        }
+        assert_eq!(seen, (0..100u32).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.cancel(a);
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
     }
 
     #[test]
@@ -301,9 +503,9 @@ mod tests {
         loop {
             match (cal.pop(), heap.pop()) {
                 (None, None) => break,
-                (Some((ct, cv)), Some(h)) => {
-                    assert_eq!(ct, h.time, "times diverge");
-                    assert_eq!(cv, h.payload, "payloads diverge at {ct}");
+                (Some(c), Some(h)) => {
+                    assert_eq!(c.time, h.time, "times diverge");
+                    assert_eq!(c.payload, h.payload, "payloads diverge at {}", c.time);
                 }
                 (a, b) => panic!("length mismatch: {:?} vs {:?}", a.is_some(), b.is_some()),
             }
@@ -314,6 +516,6 @@ mod tests {
     fn zero_time_events() {
         let mut q = CalendarQueue::new();
         q.schedule(t(0.0), "z");
-        assert_eq!(q.pop().unwrap().1, "z");
+        assert_eq!(q.pop().unwrap().payload, "z");
     }
 }

@@ -6,6 +6,12 @@
 //! through which the model schedules follow-up events (and may cancel
 //! pending ones or stop the run).
 //!
+//! The engine is generic over its [`FutureEventList`] backend, defaulting
+//! to the binary-heap [`EventQueue`]; [`HeapEngine`] and [`CalendarEngine`]
+//! name the two shipped configurations. Because every backend honours the
+//! same determinism contract (see [`crate::fel`]), swapping backends never
+//! changes results — only throughput.
+//!
 //! The loop guarantees:
 //!
 //! * the clock never moves backwards;
@@ -14,7 +20,12 @@
 //!   the clock at exactly `t`, so time-weighted statistics can be closed
 //!   out at the horizon.
 
-use crate::queue::{EventId, EventQueue};
+use std::marker::PhantomData;
+
+use crate::calendar::CalendarQueue;
+use crate::fel::FutureEventList;
+use crate::queue::EventQueue;
+use crate::slab::EventId;
 use crate::time::SimTime;
 
 /// Why a run loop returned.
@@ -32,13 +43,14 @@ pub enum RunOutcome {
 ///
 /// Borrowing the queue through this facade (instead of the whole engine)
 /// lets the actor schedule and cancel while the engine iterates.
-pub struct Scheduler<'a, E> {
-    queue: &'a mut EventQueue<E>,
+pub struct Scheduler<'a, E, Q = EventQueue<E>> {
+    queue: &'a mut Q,
     now: SimTime,
     stop: &'a mut bool,
+    _payload: PhantomData<fn() -> E>,
 }
 
-impl<'a, E> Scheduler<'a, E> {
+impl<'a, E, Q: FutureEventList<E>> Scheduler<'a, E, Q> {
     /// Current simulation time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -46,8 +58,16 @@ impl<'a, E> Scheduler<'a, E> {
     }
 
     /// Schedules `payload` to fire `delay` seconds from now.
+    ///
+    /// # Panics
+    /// Panics if `delay` is NaN, infinite, or negative — enqueueing into
+    /// the past would silently corrupt every statistic downstream.
     #[inline]
     pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "schedule_in: delay must be finite and non-negative, got {delay}"
+        );
         self.queue.schedule(self.now.after(delay), payload)
     }
 
@@ -79,47 +99,63 @@ impl<'a, E> Scheduler<'a, E> {
 }
 
 /// The model: receives every event in timestamp order.
-pub trait Actor<E> {
+///
+/// Generic over the event-list backend so the same model can run on any
+/// engine configuration; the default keeps existing `Actor<E>` impls and
+/// bounds compiling unchanged.
+pub trait Actor<E, Q = EventQueue<E>> {
     /// Handles one event at time `now`.
-    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>);
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E, Q>);
 }
 
 // Closures can serve as throwaway actors in tests and examples.
-impl<E, F> Actor<E> for F
+impl<E, Q, F> Actor<E, Q> for F
 where
-    F: FnMut(SimTime, E, &mut Scheduler<'_, E>),
+    F: FnMut(SimTime, E, &mut Scheduler<'_, E, Q>),
 {
-    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E>) {
+    fn handle(&mut self, now: SimTime, event: E, sched: &mut Scheduler<'_, E, Q>) {
         self(now, event, sched)
     }
 }
 
 /// The discrete-event engine: clock + future-event list + run loop.
-pub struct Engine<E> {
-    queue: EventQueue<E>,
+pub struct Engine<E, Q = EventQueue<E>> {
+    queue: Q,
     now: SimTime,
+    _payload: PhantomData<fn() -> E>,
 }
 
-impl<E> Default for Engine<E> {
+/// An [`Engine`] on the binary-heap backend (the default).
+pub type HeapEngine<E> = Engine<E, EventQueue<E>>;
+
+/// An [`Engine`] on the calendar-queue backend.
+pub type CalendarEngine<E> = Engine<E, CalendarQueue<E>>;
+
+impl<E, Q: FutureEventList<E> + Default> Default for Engine<E, Q> {
     fn default() -> Self {
-        Self::new()
+        Self::with_queue(Q::default())
     }
 }
 
 impl<E> Engine<E> {
-    /// Creates an engine with the clock at zero and an empty queue.
+    /// Creates a heap-backed engine with the clock at zero.
     pub fn new() -> Self {
-        Engine {
-            queue: EventQueue::new(),
-            now: SimTime::ZERO,
-        }
+        Self::with_queue(EventQueue::new())
     }
 
-    /// Creates an engine with a pre-allocated event queue.
+    /// Creates a heap-backed engine with a pre-allocated event queue.
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_queue(EventQueue::with_capacity(cap))
+    }
+}
+
+impl<E, Q: FutureEventList<E>> Engine<E, Q> {
+    /// Creates an engine running on an explicit event-list backend.
+    pub fn with_queue(queue: Q) -> Self {
         Engine {
-            queue: EventQueue::with_capacity(cap),
+            queue,
             now: SimTime::ZERO,
+            _payload: PhantomData,
         }
     }
 
@@ -140,7 +176,14 @@ impl<E> Engine<E> {
     }
 
     /// Schedules an event `delay` seconds from the current clock.
+    ///
+    /// # Panics
+    /// Panics if `delay` is NaN, infinite, or negative.
     pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "schedule_in: delay must be finite and non-negative, got {delay}"
+        );
         self.queue.schedule(self.now.after(delay), payload)
     }
 
@@ -155,7 +198,7 @@ impl<E> Engine<E> {
     }
 
     /// Runs until the queue drains or the actor stops the run.
-    pub fn run<A: Actor<E>>(&mut self, actor: &mut A) -> RunOutcome {
+    pub fn run<A: Actor<E, Q>>(&mut self, actor: &mut A) -> RunOutcome {
         self.run_inner(actor, None)
     }
 
@@ -163,11 +206,11 @@ impl<E> Engine<E> {
     ///
     /// On return the clock equals `horizon` unless the actor stopped the
     /// run early (then it equals the stop event's timestamp).
-    pub fn run_until<A: Actor<E>>(&mut self, actor: &mut A, horizon: SimTime) -> RunOutcome {
+    pub fn run_until<A: Actor<E, Q>>(&mut self, actor: &mut A, horizon: SimTime) -> RunOutcome {
         self.run_inner(actor, Some(horizon))
     }
 
-    fn run_inner<A: Actor<E>>(&mut self, actor: &mut A, horizon: Option<SimTime>) -> RunOutcome {
+    fn run_inner<A: Actor<E, Q>>(&mut self, actor: &mut A, horizon: Option<SimTime>) -> RunOutcome {
         let mut stop = false;
         loop {
             // Respect the horizon before popping, so events beyond it stay
@@ -190,6 +233,7 @@ impl<E> Engine<E> {
                 queue: &mut self.queue,
                 now: self.now,
                 stop: &mut stop,
+                _payload: PhantomData,
             };
             actor.handle(ev.time, ev.payload, &mut sched);
             if stop {
@@ -230,6 +274,32 @@ mod tests {
         });
         assert_eq!(count, 6);
         assert_eq!(engine.now().as_secs(), 5.0);
+    }
+
+    #[test]
+    fn calendar_backend_runs_identically() {
+        // The same scripted workload through both backends: identical
+        // delivery order, clock, and counters.
+        fn drive<Q: FutureEventList<u32>>(mut engine: Engine<u32, Q>) -> (Vec<(f64, u32)>, f64) {
+            engine.schedule_at(SimTime::ZERO, 0u32);
+            engine.schedule_at(SimTime::new(2.0), 100u32);
+            engine.schedule_at(SimTime::new(2.0), 101u32);
+            let mut seen = Vec::new();
+            engine.run_until(
+                &mut |now: SimTime, ev: u32, sched: &mut Scheduler<u32, Q>| {
+                    seen.push((now.as_secs(), ev));
+                    if ev < 5 {
+                        sched.schedule_in(1.0, ev + 1);
+                    }
+                },
+                SimTime::new(100.0),
+            );
+            (seen, engine.now().as_secs())
+        }
+        let heap = drive(HeapEngine::<u32>::new());
+        let cal = drive(CalendarEngine::<u32>::with_queue(CalendarQueue::new()));
+        assert_eq!(heap, cal);
+        assert_eq!(heap.1, 100.0);
     }
 
     #[test]
@@ -339,6 +409,30 @@ mod tests {
         engine.schedule_at(SimTime::new(5.0), ());
         engine.run(&mut |_: SimTime, _: (), _: &mut Scheduler<()>| {});
         engine.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_in: delay must be finite")]
+    fn engine_rejects_negative_delay() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_in: delay must be finite")]
+    fn engine_rejects_nan_delay() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_in(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule_in: delay must be finite")]
+    fn scheduler_rejects_bad_delay() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        engine.run(&mut |_: SimTime, _: (), sched: &mut Scheduler<()>| {
+            sched.schedule_in(f64::INFINITY, ());
+        });
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! The future-event-list contract shared by all kernel backends.
+//!
+//! A future-event list (FEL) is the heart of a discrete-event simulator:
+//! it holds pending events and surrenders them in timestamp order. The
+//! [`Engine`](crate::engine::Engine) is generic over this trait so the
+//! backing structure can be swapped without touching model code — the
+//! binary-heap [`EventQueue`](crate::queue::EventQueue) is the default,
+//! and the [`CalendarQueue`](crate::calendar::CalendarQueue) (Brown,
+//! CACM 1988) trades a little bookkeeping for O(1) amortized operation
+//! on large event populations.
+//!
+//! Every implementation must uphold the same three guarantees, because
+//! the reproduction's figures are asserted bit-for-bit:
+//!
+//! 1. **Timestamp order.** `pop` returns events in non-decreasing time.
+//! 2. **FIFO ties.** Events with *equal* timestamps pop in the order
+//!    they were scheduled. This is what makes replications byte-stable:
+//!    simultaneous completions, arrivals, and load-update ticks resolve
+//!    identically on every run and every backend.
+//! 3. **Exact cancellation.** `cancel(id)` returns `true` iff `id`
+//!    named a still-pending event, which is then never delivered. Ids
+//!    die when their event pops or is cancelled, so double-cancel and
+//!    cancel-after-delivery are safe no-ops returning `false`.
+
+use crate::slab::EventId;
+use crate::time::SimTime;
+
+/// An event handed back by a future-event list, with its timestamp and id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The id under which it was scheduled.
+    pub id: EventId,
+    /// The model-defined payload.
+    pub payload: E,
+}
+
+/// A pending-event store ordered by `(time, scheduling order)`.
+///
+/// See the [module docs](self) for the determinism contract every
+/// implementation must honour.
+pub trait FutureEventList<E> {
+    /// Schedules `payload` at absolute `time`; returns a cancellation id.
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId;
+
+    /// Removes and returns the earliest pending event (FIFO among ties).
+    fn pop(&mut self) -> Option<ScheduledEvent<E>>;
+
+    /// The timestamp of the earliest pending event, without removing it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+
+    /// Cancels a pending event. Returns `true` iff the event was still
+    /// pending (and is now guaranteed never to be delivered).
+    fn cancel(&mut self, id: EventId) -> bool;
+
+    /// Number of pending events.
+    ///
+    /// Backends purge cancelled storage lazily, but this count is exact:
+    /// it reflects live (deliverable) events only.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled (monotone counter).
+    fn scheduled_total(&self) -> u64;
+
+    /// Total events ever delivered by `pop` (monotone counter).
+    fn popped_total(&self) -> u64;
+}

@@ -8,13 +8,16 @@
 //! The kernel provides:
 //!
 //! * [`SimTime`] — a validated, totally ordered simulation timestamp.
-//! * [`EventQueue`] — a future-event list with deterministic FIFO
-//!   tie-breaking for simultaneous events and O(log n) insert/pop.
-//!   Cancellation is supported both directly (lazy deletion by
-//!   [`EventId`]) and by the cheaper *epoch* idiom (see [`queue`] docs).
-//! * [`Engine`] / [`Actor`] — a run loop that drains the event queue,
-//!   advancing the clock monotonically and handing each event to user code
-//!   together with a [`Scheduler`] facade for scheduling follow-up events.
+//! * [`FutureEventList`] — the pending-event contract (timestamp order,
+//!   FIFO ties, O(1) generation-stamped cancellation by [`EventId`]) with
+//!   two interchangeable backends: the binary-heap [`EventQueue`]
+//!   (default; O(log n) with tiny constants) and the [`CalendarQueue`]
+//!   (Brown, CACM 1988; O(1) amortized for large event populations).
+//!   The cheaper *epoch* cancellation idiom is documented in [`queue`].
+//! * [`Engine`] / [`Actor`] — a run loop, generic over the backend, that
+//!   drains the event list, advancing the clock monotonically and handing
+//!   each event to user code together with a [`Scheduler`] facade for
+//!   scheduling follow-up events.
 //! * [`rng`] — a deterministic xoshiro256++ PRNG with SplitMix64 stream
 //!   derivation so that every model component (arrivals, job sizes, network
 //!   delays, random dispatching) draws from an *independent* reproducible
@@ -57,12 +60,16 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod fel;
 pub mod queue;
 pub mod rng;
+mod slab;
 pub mod time;
 
 pub use calendar::CalendarQueue;
-pub use engine::{Actor, Engine, RunOutcome, Scheduler};
-pub use queue::{EventId, EventQueue, ScheduledEvent};
+pub use engine::{Actor, CalendarEngine, Engine, HeapEngine, RunOutcome, Scheduler};
+pub use fel::{FutureEventList, ScheduledEvent};
+pub use queue::EventQueue;
 pub use rng::{Rng64, SplitMix64};
+pub use slab::EventId;
 pub use time::SimTime;

@@ -1,4 +1,4 @@
-//! Future-event list.
+//! Binary-heap future-event list (the default backend).
 //!
 //! [`EventQueue`] stores `(time, payload)` pairs and pops them in
 //! non-decreasing time order. Two events with identical timestamps pop in
@@ -7,13 +7,23 @@
 //! methodology, where the *only* source of variation between replications
 //! must be the random seed.
 //!
+//! ## Hot-path layout
+//!
+//! The heap array holds only 24-byte `Copy` keys: the timestamp packed as
+//! an order-preserving `u64` (see [`SimTime::key_bits`]), a FIFO sequence
+//! number, and a `(slot, generation)` reference into a
+//! [`PayloadSlab`](crate::slab). Sift operations therefore compare raw
+//! integers and never move payloads, and a pop decides whether the
+//! surfacing key is still live with a single generation comparison — the
+//! no-cancel fast path does no hashing at all.
+//!
 //! ## Cancellation
 //!
 //! Two idioms are supported:
 //!
-//! 1. **Lazy deletion** — [`EventQueue::cancel`] marks an [`EventId`];
-//!    the entry is discarded when it reaches the top of the heap. O(1) per
-//!    cancellation, no heap restructuring.
+//! 1. **Generation-stamped deletion** — [`EventQueue::cancel`] bumps the
+//!    slot's generation (O(1), no heap restructuring); the stale heap key
+//!    is discarded when it surfaces.
 //! 2. **Epoch filtering** (recommended for high-churn timers such as
 //!    processor-sharing completion estimates) — the *model* stamps each
 //!    timer with an epoch counter and ignores stale firings. This avoids
@@ -22,60 +32,53 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
+use crate::fel::{FutureEventList, ScheduledEvent};
+use crate::slab::{EventId, PayloadSlab};
 use crate::time::SimTime;
 
-/// Identifier of a scheduled event, used for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-/// An event popped from the queue.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScheduledEvent<E> {
-    /// When the event fires.
-    pub time: SimTime,
-    /// The identifier it was scheduled under.
-    pub id: EventId,
-    /// The user payload.
-    pub payload: E,
-}
-
-struct Entry<E> {
-    time: SimTime,
+/// A heap key: packed timestamp, FIFO sequence number, and slab reference.
+#[derive(Clone, Copy)]
+struct Entry {
+    time_bits: u64,
     seq: u64,
-    id: EventId,
-    payload: E,
+    slot: u32,
+    gen: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Entry {
+    #[inline]
+    fn id(self) -> EventId {
+        EventId::new(self.slot, self.gen)
     }
 }
-impl<E> Eq for Entry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_bits == other.time_bits && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest time (then the
         // lowest sequence number) is the greatest element.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        (other.time_bits, other.seq).cmp(&(self.time_bits, self.seq))
     }
 }
 
 /// A future-event list: a binary heap ordered by `(time, insertion order)`.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    heap: BinaryHeap<Entry>,
+    slab: PayloadSlab<E>,
     next_seq: u64,
     scheduled_total: u64,
     popped_total: u64,
@@ -92,7 +95,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slab: PayloadSlab::new(),
             next_seq: 0,
             scheduled_total: 0,
             popped_total: 0,
@@ -103,18 +106,19 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
+            slab: PayloadSlab::with_capacity(cap),
             ..Self::new()
         }
     }
 
     /// Schedules `payload` to fire at absolute time `time`.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
-        let id = EventId(self.next_seq);
+        let id = self.slab.insert(payload);
         self.heap.push(Entry {
-            time,
+            time_bits: time.key_bits(),
             seq: self.next_seq,
-            id,
-            payload,
+            slot: id.slot(),
+            gen: id.gen(),
         });
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -123,66 +127,48 @@ impl<E> EventQueue<E> {
 
     /// Cancels a previously scheduled event.
     ///
-    /// Returns `true` if the id was live (scheduled and neither popped nor
-    /// already cancelled). Cancellation is lazy: the entry stays in the
-    /// heap until it surfaces, then is skipped.
+    /// Returns `true` iff the id named a still-pending event. The slot's
+    /// generation is bumped immediately (so the event can never fire); the
+    /// stale heap key is purged lazily when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false; // never scheduled
-        }
-        // We cannot cheaply know whether it was already popped; track only
-        // pending ids in `cancelled` and let pop() clean up.
-        self.cancelled.insert(id)
+        self.slab.take(id).is_some()
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue; // skip cancelled entries
+            if let Some(payload) = self.slab.take(entry.id()) {
+                self.popped_total += 1;
+                return Some(ScheduledEvent {
+                    time: SimTime::from_key_bits(entry.time_bits),
+                    id: entry.id(),
+                    payload,
+                });
             }
-            self.popped_total += 1;
-            return Some(ScheduledEvent {
-                time: entry.time,
-                id: entry.id,
-                payload: entry.payload,
-            });
+            // Stale key from a cancelled event; keep draining.
         }
         None
     }
 
     /// Time of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Purge cancelled heads so the answer reflects a live event.
         while let Some(head) = self.heap.peek() {
-            if self.cancelled.contains(&head.id) {
-                let popped = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&popped.id);
-            } else {
-                return Some(head.time);
+            if self.slab.is_live(head.id()) {
+                return Some(SimTime::from_key_bits(head.time_bits));
             }
+            self.heap.pop();
         }
         None
     }
 
-    /// Number of entries currently in the heap (including not-yet-purged
-    /// cancelled entries).
-    // `is_empty` needs `&mut self` to purge cancelled heads, which clippy
-    // flags against this `len`; the asymmetry is intentional.
-    #[allow(clippy::len_without_is_empty)]
+    /// Number of pending (live) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.slab.live()
     }
 
     /// Whether no live events remain.
-    ///
-    /// Takes `&mut self` (unlike the convention clippy expects next to
-    /// `len`) because answering correctly requires purging cancelled
-    /// entries from the heap top; `len` deliberately counts those
-    /// entries, as documented.
-    #[allow(clippy::wrong_self_convention)]
-    pub fn is_empty(&mut self) -> bool {
-        self.peek_time().is_none()
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled.
@@ -193,6 +179,43 @@ impl<E> EventQueue<E> {
     /// Total number of events ever popped (excluding cancelled ones).
     pub fn popped_total(&self) -> u64 {
         self.popped_total
+    }
+}
+
+impl<E> FutureEventList<E> for EventQueue<E> {
+    #[inline]
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        EventQueue::schedule(self, time, payload)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        EventQueue::pop(self)
+    }
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    #[inline]
+    fn cancel(&mut self, id: EventId) -> bool {
+        EventQueue::cancel(self, id)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    #[inline]
+    fn scheduled_total(&self) -> u64 {
+        EventQueue::scheduled_total(self)
+    }
+
+    #[inline]
+    fn popped_total(&self) -> u64 {
+        EventQueue::popped_total(self)
     }
 }
 
@@ -249,9 +272,11 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_is_false() {
-        let mut q: EventQueue<&str> = EventQueue::new();
-        assert!(!q.cancel(EventId(99)));
+    fn cancel_after_pop_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert_eq!(q.pop().unwrap().id, a);
+        assert!(!q.cancel(a), "ids die when their event is delivered");
     }
 
     #[test]
@@ -260,6 +285,17 @@ mod tests {
         let a = q.schedule(t(1.0), ());
         assert!(q.cancel(a));
         assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn stale_id_stays_dead_after_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        assert!(q.cancel(a));
+        let b = q.schedule(t(2.0), "b");
+        assert!(!q.cancel(a), "recycled slot must not honour the old id");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(!q.cancel(b));
     }
 
     #[test]
@@ -273,11 +309,15 @@ mod tests {
     }
 
     #[test]
-    fn is_empty_accounts_for_cancellation() {
+    fn len_and_is_empty_account_for_cancellation() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
         q.cancel(a);
+        assert_eq!(q.len(), 1, "len counts live events only");
+        q.pop();
         assert!(q.is_empty());
     }
 
@@ -312,19 +352,16 @@ mod tests {
         use crate::rng::Rng64;
         let mut rng = Rng64::from_seed(12);
         let mut q = EventQueue::new();
-        let mut live = 0usize;
         let mut ids = Vec::new();
         for i in 0..5_000u32 {
             let id = q.schedule(t(rng.next_f64() * 100.0), i);
             ids.push(id);
-            live += 1;
             if rng.chance(0.3) {
                 let idx = rng.below(ids.len() as u64) as usize;
-                if q.cancel(ids[idx]) {
-                    live -= 1;
-                }
+                q.cancel(ids[idx]);
             }
         }
+        let live = q.len();
         let mut popped = 0;
         while q.pop().is_some() {
             popped += 1;

@@ -1,0 +1,163 @@
+//! Generation-stamped payload slots shared by the event-list backends.
+//!
+//! Both [`crate::queue::EventQueue`] and [`crate::calendar::CalendarQueue`]
+//! park event payloads in a [`PayloadSlab`] and keep only a small `Copy`
+//! key (time, sequence number, slot reference) in their ordering
+//! structure. That buys two things:
+//!
+//! * the ordering hot path (heap sifts, bucket inserts) moves 24-byte
+//!   keys instead of full entries carrying the payload;
+//! * cancellation is O(1) and *free for the no-cancel fast path*: an
+//!   [`EventId`] is a `(slot, generation)` pair, cancelling bumps the
+//!   slot's generation, and a pop only has to compare two integers to
+//!   decide whether the surfacing key is still live — no hash probe.
+//!
+//! Generations are 32-bit and wrap: an `EventId` is only guaranteed
+//! unambiguous for the first 2³² schedule/cancel cycles of its slot.
+//! Holding an id across four billion reuses of the same slot is far
+//! outside any simulation's cancellation window (the cluster model holds
+//! ids for at most one event's lifetime, and mostly cancels via epochs).
+
+/// Identifier of a scheduled event, used for cancellation.
+///
+/// A slot index plus the slot's generation at scheduling time. The id is
+/// dead as soon as the event pops or is cancelled (the generation moves
+/// on), so cancelling a completed event is a cheap, safe no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+impl EventId {
+    #[inline]
+    pub(crate) fn new(slot: u32, gen: u32) -> Self {
+        EventId { slot, gen }
+    }
+
+    #[inline]
+    pub(crate) fn slot(self) -> u32 {
+        self.slot
+    }
+
+    #[inline]
+    pub(crate) fn gen(self) -> u32 {
+        self.gen
+    }
+}
+
+struct Slot<E> {
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// Reusable payload slots with per-slot generation counters.
+pub(crate) struct PayloadSlab<E> {
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<E> PayloadSlab<E> {
+    pub(crate) fn new() -> Self {
+        PayloadSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        PayloadSlab {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Parks `payload` in a free slot and returns its id.
+    pub(crate) fn insert(&mut self, payload: E) -> EventId {
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.payload.is_none(), "free list pointed at a live slot");
+            s.payload = Some(payload);
+            EventId::new(slot, s.gen)
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+            self.slots.push(Slot {
+                gen: 0,
+                payload: Some(payload),
+            });
+            EventId::new(slot, 0)
+        }
+    }
+
+    /// Whether `id` still names a pending event.
+    #[inline]
+    pub(crate) fn is_live(&self, id: EventId) -> bool {
+        // The generation only matches while the event is pending: `take`
+        // bumps it on pop and on cancel.
+        self.slots
+            .get(id.slot() as usize)
+            .is_some_and(|s| s.gen == id.gen())
+    }
+
+    /// Removes and returns the payload if `id` is live; bumps the slot's
+    /// generation (killing the id) and recycles the slot.
+    pub(crate) fn take(&mut self, id: EventId) -> Option<E> {
+        let s = self.slots.get_mut(id.slot() as usize)?;
+        if s.gen != id.gen() {
+            return None;
+        }
+        let payload = s.payload.take();
+        debug_assert!(payload.is_some(), "generation matched an empty slot");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot());
+        self.live -= 1;
+        payload
+    }
+
+    /// Number of live (pending) payloads.
+    #[inline]
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut slab = PayloadSlab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.live(), 2);
+        assert!(slab.is_live(a) && slab.is_live(b));
+        assert_eq!(slab.take(a), Some("a"));
+        assert!(!slab.is_live(a));
+        assert_eq!(slab.take(a), None, "id dies with the take");
+        assert_eq!(slab.take(b), Some("b"));
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled_with_fresh_generations() {
+        let mut slab = PayloadSlab::new();
+        let a = slab.insert(1u32);
+        slab.take(a);
+        let b = slab.insert(2u32);
+        assert_eq!(b.slot(), a.slot(), "slot recycled");
+        assert_ne!(b.gen(), a.gen(), "generation moved on");
+        assert!(!slab.is_live(a), "stale id stays dead after reuse");
+        assert_eq!(slab.take(b), Some(2));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_dead() {
+        let slab: PayloadSlab<u8> = PayloadSlab::new();
+        assert!(!slab.is_live(EventId::new(7, 0)));
+    }
+}

@@ -35,7 +35,11 @@ impl SimTime {
             secs.is_finite() && secs >= 0.0,
             "SimTime must be finite and non-negative, got {secs}"
         );
-        SimTime(secs)
+        // `-0.0` passes the check above but its bit pattern would break the
+        // packed integer keys used by the event-list backends; `+ 0.0`
+        // normalizes it to `+0.0` (IEEE 754: -0.0 + 0.0 = +0.0) and is a
+        // no-op for every other value.
+        SimTime(secs + 0.0)
     }
 
     /// The timestamp as a raw number of seconds.
@@ -71,6 +75,25 @@ impl SimTime {
             "delay must be finite and non-negative, got {delay}"
         );
         SimTime(self.0 + delay)
+    }
+
+    /// The timestamp as an order-preserving `u64` key.
+    ///
+    /// For finite non-negative floats (guaranteed by construction, with
+    /// `-0.0` normalized away) the IEEE 754 bit pattern is monotone in the
+    /// value, so backends can sort raw integers instead of floats in their
+    /// hot paths.
+    #[inline]
+    pub(crate) fn key_bits(self) -> u64 {
+        self.0.to_bits()
+    }
+
+    /// Inverse of [`SimTime::key_bits`].
+    #[inline]
+    pub(crate) fn from_key_bits(bits: u64) -> SimTime {
+        let secs = f64::from_bits(bits);
+        debug_assert!(secs.is_finite() && secs >= 0.0);
+        SimTime(secs)
     }
 
     /// The later of two timestamps.
@@ -199,6 +222,26 @@ mod tests {
         let b = SimTime::new(12.5);
         assert_eq!(a.delta_to(b), 2.5);
         assert_eq!(a.delta_to(a), 0.0);
+    }
+
+    #[test]
+    fn negative_zero_is_normalized() {
+        let t = SimTime::new(-0.0);
+        assert!(
+            t.as_secs().is_sign_positive(),
+            "-0.0 must normalize to +0.0"
+        );
+        assert_eq!(t.key_bits(), SimTime::ZERO.key_bits());
+    }
+
+    #[test]
+    fn key_bits_are_order_preserving() {
+        let times = [0.0, 1e-300, 0.5, 1.0, 1.0 + f64::EPSILON, 4.0e6];
+        for w in times.windows(2) {
+            let (a, b) = (SimTime::new(w[0]), SimTime::new(w[1]));
+            assert!(a.key_bits() < b.key_bits(), "{a:?} vs {b:?}");
+            assert_eq!(SimTime::from_key_bits(a.key_bits()), a);
+        }
     }
 
     #[test]

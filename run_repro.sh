@@ -27,4 +27,8 @@ for bin in ablation_sizes ablation_burstiness ablation_dispatcher extra_baseline
         > "results/$bin.txt" 2> "results/$bin.log"
     echo "    done: results/$bin.txt"
 done
+echo "=== fig_kernel (event-list backends) ==="
+./target/release/fig_kernel --scale 0.1 --reps 3 --bench-json results/BENCH_kernel.json \
+    > results/fig_kernel.txt 2> results/fig_kernel.log
+echo "    done: results/fig_kernel.txt"
 echo ALL_DONE

@@ -1,0 +1,196 @@
+//! Differential check of the two future-event-list backends.
+//!
+//! The heap ([`EventQueue`]) and the calendar queue ([`CalendarQueue`])
+//! implement the same [`FutureEventList`] contract: timestamp order,
+//! FIFO ties, exact cancellation. This suite drives both with identical
+//! random schedule/cancel/pop scripts — including deliberate tie bursts
+//! — and requires every observable (pop results, cancel return values,
+//! `peek_time`, `len`) to match step for step. A final test closes the
+//! loop at the public-API level: a whole `Experiment` must produce equal
+//! results under either backend.
+//!
+//! Scripts respect the calendar queue's monotone-clock contract (never
+//! schedule before the last popped time), which is also the only way the
+//! simulation engine uses the list.
+
+use hetsched::desim::{CalendarQueue, EventQueue, Rng64, SimTime};
+use hetsched::prelude::*;
+use proptest::prelude::*;
+
+/// One step of a backend-agnostic script.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + dt` (dt ≥ 0; quantized values produce ties).
+    Schedule(f64),
+    /// Cancel the pending id at `index % pending.len()` (no-op when
+    /// nothing is pending) and compare the returned flag.
+    Cancel(usize),
+    /// Pop once and compare `(time, payload)`.
+    Pop,
+}
+
+/// Plays `ops` on both backends in lockstep, asserting every observable
+/// matches, then drains both and asserts the tails match too.
+fn assert_backends_agree(ops: &[Op]) {
+    let mut heap: EventQueue<u32> = EventQueue::new();
+    let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+    // Pending ids, same insertion order on both sides; cancel picks the
+    // same index so both backends kill the "same" event.
+    let mut heap_ids = Vec::new();
+    let mut cal_ids = Vec::new();
+    let mut next_payload = 0u32;
+    let mut now = 0.0f64;
+
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Schedule(dt) => {
+                let t = SimTime::new(now + dt);
+                heap_ids.push(heap.schedule(t, next_payload));
+                cal_ids.push(cal.schedule(t, next_payload));
+                next_payload += 1;
+            }
+            Op::Cancel(index) => {
+                if heap_ids.is_empty() {
+                    continue;
+                }
+                let i = index % heap_ids.len();
+                let a = heap.cancel(heap_ids.swap_remove(i));
+                let b = cal.cancel(cal_ids.swap_remove(i));
+                assert_eq!(a, b, "step {step}: cancel flags diverge");
+            }
+            Op::Pop => {
+                let a = heap.pop();
+                let b = cal.pop();
+                match (&a, &b) {
+                    (Some(x), Some(y)) => {
+                        assert_eq!(x.time, y.time, "step {step}: pop times diverge");
+                        assert_eq!(x.payload, y.payload, "step {step}: pop payloads diverge");
+                        now = x.time.as_secs();
+                    }
+                    (None, None) => {}
+                    _ => panic!("step {step}: one backend empty, the other not"),
+                }
+            }
+        }
+        assert_eq!(heap.peek_time(), cal.peek_time(), "step {step}: peek_time");
+        assert_eq!(heap.len(), cal.len(), "step {step}: len");
+    }
+
+    loop {
+        let a = heap.pop();
+        let b = cal.pop();
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                assert_eq!((x.time, x.payload), (y.time, y.payload), "drain diverges");
+            }
+            (None, None) => break,
+            _ => panic!("drain: one backend empty, the other not"),
+        }
+    }
+    assert_eq!(heap.scheduled_total(), cal.scheduled_total());
+    assert_eq!(heap.popped_total(), cal.popped_total());
+}
+
+/// Decodes raw `(selector, magnitude)` pairs into a script. Magnitudes
+/// are quantized to multiples of 0.5 so identical timestamps (ties) are
+/// common rather than measure-zero.
+fn decode_ops(raw: &[(u8, u16)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(sel, mag)| match sel % 4 {
+            0 | 1 => Op::Schedule(f64::from(mag % 40) * 0.5),
+            2 => Op::Cancel(usize::from(mag)),
+            _ => Op::Pop,
+        })
+        .collect()
+}
+
+#[test]
+fn random_interleavings_match() {
+    for seed in 0..20 {
+        let mut rng = Rng64::from_seed(seed);
+        let raw: Vec<(u8, u16)> = (0..400)
+            .map(|_| {
+                let bits = rng.next_u64();
+                (bits as u8, (bits >> 8) as u16)
+            })
+            .collect();
+        assert_backends_agree(&decode_ops(&raw));
+    }
+}
+
+#[test]
+fn tie_bursts_pop_in_fifo_order_on_both() {
+    // Many events at exactly the same instants, interleaved with pops
+    // and cancellations: the strictest FIFO-tie stress.
+    let mut ops = Vec::new();
+    for _ in 0..10 {
+        for _ in 0..8 {
+            ops.push(Op::Schedule(1.0));
+            ops.push(Op::Schedule(1.0));
+            ops.push(Op::Schedule(2.0));
+        }
+        ops.push(Op::Cancel(3));
+        ops.push(Op::Cancel(0));
+        for _ in 0..12 {
+            ops.push(Op::Pop);
+        }
+    }
+    assert_backends_agree(&ops);
+}
+
+#[test]
+fn cancel_heavy_scripts_match() {
+    // Cancellation dominates: most scheduled events die before firing.
+    let mut ops = Vec::new();
+    for i in 0..60 {
+        ops.push(Op::Schedule(f64::from(i % 7)));
+        ops.push(Op::Schedule(f64::from(i % 5)));
+        ops.push(Op::Cancel(i as usize));
+        if i % 3 == 0 {
+            ops.push(Op::Pop);
+        }
+    }
+    for _ in 0..120 {
+        ops.push(Op::Pop);
+    }
+    assert_backends_agree(&ops);
+}
+
+proptest! {
+    /// Any schedule/cancel/pop interleaving is observably identical on
+    /// both backends, ties included.
+    #[test]
+    fn backends_agree_on_arbitrary_scripts(
+        raw in prop::collection::vec((any::<u8>(), any::<u16>()), 0..300)
+    ) {
+        assert_backends_agree(&decode_ops(&raw));
+    }
+}
+
+#[test]
+fn experiment_results_identical_across_backends() {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 20_000.0;
+    cfg.warmup = 2_000.0;
+
+    let mut heap_cfg = cfg.clone();
+    heap_cfg.event_list = EventListBackend::Heap;
+    let mut cal_cfg = cfg;
+    cal_cfg.event_list = EventListBackend::Calendar;
+
+    let mut heap_exp = Experiment::new("heap", heap_cfg, PolicySpec::orr());
+    heap_exp.replications = 3;
+    let mut cal_exp = Experiment::new("cal", cal_cfg, PolicySpec::orr());
+    cal_exp.replications = 3;
+
+    let heap = heap_exp.run().expect("heap run");
+    let cal = cal_exp.run().expect("calendar run");
+    // Names differ by construction; every statistic must not.
+    assert_eq!(heap.policy, cal.policy);
+    assert_eq!(heap.mean_response_time, cal.mean_response_time);
+    assert_eq!(heap.mean_response_ratio, cal.mean_response_ratio);
+    assert_eq!(heap.fairness, cal.fairness);
+    assert_eq!(heap.p95_response_ratio, cal.p95_response_ratio);
+    assert_eq!(heap.runs, cal.runs);
+}
