@@ -96,4 +96,5 @@ fn main() {
     );
     mode.archive(&grid);
     mode.archive_bench("fig_faults", &[stats]);
+    mode.archive_obs(results.iter().flat_map(|r| r.runs.iter()));
 }

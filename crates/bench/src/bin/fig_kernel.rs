@@ -80,6 +80,9 @@ fn run_sequential(exp: &Experiment) -> (Vec<RunStats>, u64) {
 fn measure_backend(mode: &Mode, backend: EventListBackend) -> (BackendRow, Vec<RunStats>) {
     let mut cfg = kernel_config();
     cfg.event_list = backend;
+    if mode.obs.is_some() {
+        cfg.obs = Some(ObsSpec::default());
+    }
     let exp = Experiment::new("fig_kernel", cfg, PolicySpec::orr()).quick(mode.scale, mode.reps);
     let start = Instant::now();
     let (runs, events) = run_sequential(&exp);
@@ -283,11 +286,26 @@ fn main() {
     println!("\nEvent-kernel bench: fig2-shaped model through both backends");
     let (heap_row, heap_runs) = measure_backend(&mode, EventListBackend::Heap);
     let (cal_row, cal_runs) = measure_backend(&mode, EventListBackend::Calendar);
-    let identical = heap_runs == cal_runs;
+    // Everything in a run — including the obs time series, when `--obs`
+    // is on — must match across backends, except `kernel.resizes`, which
+    // only the calendar queue increments by design.
+    let comparable = |runs: &[RunStats]| -> Vec<RunStats> {
+        runs.iter()
+            .cloned()
+            .map(|mut r| {
+                if let Some(obs) = &mut r.obs {
+                    obs.kernel.resizes = 0;
+                }
+                r
+            })
+            .collect()
+    };
+    let identical = comparable(&heap_runs) == comparable(&cal_runs);
     assert!(
         identical,
         "backends diverged: heap and calendar runs must be bit-identical"
     );
+    mode.archive_obs(heap_runs.iter());
 
     let mut t = Table::new(["backend", "runs", "events", "wall s", "events/s"]);
     for row in [&heap_row, &cal_row] {

@@ -13,7 +13,10 @@
 //!   (events/sec, per-point busy time) as machine-readable JSON;
 //! * `--event-list heap|calendar` — override the simulator's future-event
 //!   list backend (results are bit-identical either way; this knob exists
-//!   for perf comparisons).
+//!   for perf comparisons);
+//! * `--obs PATH` — enable the run-level observability probes (default
+//!   120 s windows) and archive one representative run's time series as
+//!   JSONL. Probes never perturb results.
 //!
 //! The default sits between `--quick` and `--full` (25% horizon, 5
 //! replications): good enough for every ranking in the paper to be
@@ -49,6 +52,9 @@ pub struct Mode {
     /// Future-event list backend override (`None` = whatever the preset
     /// config says, i.e. the heap default).
     pub event_list: Option<EventListBackend>,
+    /// If set, enable the observability probes on every run and archive
+    /// one representative run's time series as JSONL at this path.
+    pub obs: Option<PathBuf>,
 }
 
 impl Default for Mode {
@@ -60,6 +66,7 @@ impl Default for Mode {
             json: None,
             bench_json: None,
             event_list: None,
+            obs: None,
         }
     }
 }
@@ -121,10 +128,14 @@ impl Mode {
                             .unwrap_or_else(|e| panic!("{e}")),
                     );
                 }
+                "--obs" => {
+                    let v = it.next().expect("--obs needs a path");
+                    mode.obs = Some(PathBuf::from(v));
+                }
                 other => panic!(
                     "unknown flag {other}; use --full | --quick | --scale X | --reps N | \
                      --threads N | --json PATH | --bench-json PATH | \
-                     --event-list heap|calendar"
+                     --event-list heap|calendar | --obs PATH"
                 ),
             }
         }
@@ -151,6 +162,9 @@ impl Mode {
     fn experiment(&self, name: &str, mut cfg: ClusterConfig, policy: PolicySpec) -> Experiment {
         if let Some(backend) = self.event_list {
             cfg.event_list = backend;
+        }
+        if self.obs.is_some() && cfg.obs.is_none() {
+            cfg.obs = Some(ObsSpec::default());
         }
         let mut exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
         exp.threads = self.threads;
@@ -194,6 +208,29 @@ impl Mode {
     pub fn archive<T: serde::Serialize>(&self, value: &T) {
         if let Some(path) = &self.json {
             hetsched::report::save_json(path, value).expect("archiving results");
+        }
+    }
+
+    /// Archives one representative run's observability time series as
+    /// JSONL if `--obs` was given (the probes were enabled on every run
+    /// the iterator covers).
+    ///
+    /// # Panics
+    /// Panics when `--obs` was given but no run carries a report, or on
+    /// IO/serialization failures — appropriate for a CLI entry point.
+    pub fn archive_obs<'a>(&self, runs: impl IntoIterator<Item = &'a RunStats>) {
+        if let Some(path) = &self.obs {
+            let report = runs
+                .into_iter()
+                .find_map(|r| r.obs.as_ref())
+                .expect("--obs runs carry an observability report");
+            let jsonl = report.to_jsonl().expect("obs series serializes");
+            std::fs::write(path, jsonl).expect("archiving obs series");
+            eprintln!(
+                "obs time series ({} windows) -> {}",
+                report.len(),
+                path.display()
+            );
         }
     }
 
@@ -471,6 +508,31 @@ mod tests {
     #[should_panic(expected = "unknown event-list backend")]
     fn rejects_bad_event_list() {
         parse(&["--event-list", "splay"]);
+    }
+
+    #[test]
+    fn obs_flag() {
+        assert_eq!(parse(&[]).obs, None);
+        assert_eq!(
+            parse(&["--obs", "series.jsonl"]).obs,
+            Some(PathBuf::from("series.jsonl"))
+        );
+    }
+
+    #[test]
+    fn obs_probes_do_not_perturb_bench_runs() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let plain = parse(&["--quick"]);
+        let mut with_obs = plain.clone();
+        with_obs.obs = Some(PathBuf::from("unused.jsonl"));
+        let baseline = plain.run("p", cfg.clone(), PolicySpec::orr());
+        let mut observed = with_obs.run("p", cfg, PolicySpec::orr());
+        for run in &mut observed.runs {
+            let report = run.obs.take().expect("--obs enables probes on every run");
+            assert!(!report.is_empty());
+        }
+        assert_eq!(observed, baseline);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # hetsched-cli — command-line front end
 //!
-//! Three subcommands wrap the library's planning and simulation layers
-//! for operators who don't want to write Rust:
+//! Four subcommands wrap the library's planning, simulation, and
+//! observability layers for operators who don't want to write Rust:
 //!
 //! ```text
 //! hetsched allocate --speeds 1,1.5,10 --rho 0.7
@@ -14,6 +14,15 @@
 //!     spec (see `hetsched template`). `--event-list` overrides the
 //!     spec's future-event-list backend; results are bit-identical
 //!     either way.
+//!
+//! hetsched observe --spec experiment.json [--interval 120]
+//!                  [--out series.jsonl] [--csv series.csv]
+//!                  [--replication 0] [--event-list heap|calendar]
+//!     Run one replication with the time-series probe plane enabled and
+//!     export per-window queue lengths, utilizations, rates, response
+//!     quantiles, and the Fig. 2 deviation, plus the event-kernel
+//!     counters. Probes never perturb the run: the headline statistics
+//!     are bit-identical to `simulate` on the same seed.
 //!
 //! hetsched template
 //!     Print a commented example experiment spec to adapt.
@@ -47,6 +56,21 @@ pub enum Command {
         /// Optional future-event-list backend override.
         event_list: Option<EventListBackend>,
     },
+    /// `observe`: run one replication with the probe plane enabled.
+    Observe {
+        /// Path to the JSON spec.
+        spec: String,
+        /// Optional sampling-interval override (seconds).
+        interval: Option<f64>,
+        /// Optional path for the JSONL time series.
+        out: Option<String>,
+        /// Optional path for the CSV time series.
+        csv: Option<String>,
+        /// Replication index to observe (seed derives from it).
+        replication: u64,
+        /// Optional future-event-list backend override.
+        event_list: Option<EventListBackend>,
+    },
     /// `template`: print an example spec.
     Template,
     /// `help`: print usage.
@@ -61,6 +85,9 @@ USAGE:
   hetsched allocate --speeds 1,1.5,10 --rho 0.7
   hetsched simulate --spec experiment.json [--out results.json]
                     [--event-list heap|calendar]
+  hetsched observe --spec experiment.json [--interval 120]
+                   [--out series.jsonl] [--csv series.csv]
+                   [--replication 0] [--event-list heap|calendar]
   hetsched template
   hetsched help
 ";
@@ -126,6 +153,46 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 event_list,
             })
         }
+        "observe" => {
+            let mut spec = None;
+            let mut interval = None;
+            let mut out = None;
+            let mut csv = None;
+            let mut replication = 0;
+            let mut event_list = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
+                    "--interval" => {
+                        let v = it.next().ok_or("--interval needs seconds")?;
+                        let iv: f64 = v.parse().map_err(|e| format!("bad interval: {e}"))?;
+                        if !(iv.is_finite() && iv > 0.0) {
+                            return Err(format!("interval must be positive, got {v}"));
+                        }
+                        interval = Some(iv);
+                    }
+                    "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    "--csv" => csv = Some(it.next().ok_or("--csv needs a path")?.clone()),
+                    "--replication" => {
+                        let v = it.next().ok_or("--replication needs an index")?;
+                        replication = v.parse().map_err(|e| format!("bad replication: {e}"))?;
+                    }
+                    "--event-list" => {
+                        let v = it.next().ok_or("--event-list needs 'heap' or 'calendar'")?;
+                        event_list = Some(v.parse::<EventListBackend>()?);
+                    }
+                    other => return Err(format!("unknown flag {other}")),
+                }
+            }
+            Ok(Command::Observe {
+                spec: spec.ok_or("observe requires --spec")?,
+                interval,
+                out,
+                csv,
+                replication,
+                event_list,
+            })
+        }
         other => Err(format!("unknown command {other}; try `hetsched help`")),
     }
 }
@@ -156,6 +223,30 @@ pub fn run(cmd: Command) -> i32 {
             out,
             event_list,
         } => match simulate(&spec, out.as_deref(), event_list) {
+            Ok(text) => {
+                println!("{text}");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Command::Observe {
+            spec,
+            interval,
+            out,
+            csv,
+            replication,
+            event_list,
+        } => match observe(
+            &spec,
+            interval,
+            out.as_deref(),
+            csv.as_deref(),
+            replication,
+            event_list,
+        ) {
             Ok(text) => {
                 println!("{text}");
                 0
@@ -244,6 +335,71 @@ pub fn simulate(
     ))
 }
 
+/// Runs the `observe` subcommand: a single replication with the probe
+/// plane enabled, exported as JSONL and/or CSV.
+///
+/// The spec's own `cluster.obs` block (if any) supplies the defaults;
+/// `--interval` overrides the window length. Enabling the probes does
+/// not change the run itself, so the printed headline statistics match
+/// `simulate` on the same replication.
+///
+/// # Errors
+/// Propagates IO, parsing, and validation errors.
+pub fn observe(
+    spec_path: &str,
+    interval: Option<f64>,
+    out: Option<&str>,
+    csv: Option<&str>,
+    replication: u64,
+    event_list: Option<EventListBackend>,
+) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let mut exp: Experiment =
+        serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
+    if let Some(backend) = event_list {
+        exp.cluster.event_list = backend;
+    }
+    let mut spec = exp.cluster.obs.take().unwrap_or_default();
+    if let Some(iv) = interval {
+        spec.sample_interval = iv;
+    }
+    spec.validate().map_err(String::from)?;
+    exp.cluster.obs = Some(spec);
+
+    let mut stats = exp.run_single(replication).map_err(String::from)?;
+    let report = stats.obs.take().expect("observability was enabled");
+    if let Some(path) = out {
+        let jsonl = report.to_jsonl().map_err(String::from)?;
+        std::fs::write(path, jsonl).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = csv {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let k = &report.kernel;
+    let mut t = Table::new(["kernel counter", "value"]);
+    t.row(["events scheduled".to_string(), k.scheduled.to_string()]);
+    t.row(["events delivered".to_string(), k.popped.to_string()]);
+    t.row(["events cancelled".to_string(), k.cancelled.to_string()]);
+    t.row([
+        "live-event high-water".to_string(),
+        k.high_water.to_string(),
+    ]);
+    t.row(["calendar resizes".to_string(), k.resizes.to_string()]);
+    Ok(format!(
+        "experiment '{}' replication {replication} with policy {}\n\
+         {} windows of {} s across {} columns; mean response ratio {:.4}\n\n{}",
+        exp.name,
+        stats.policy,
+        report.len(),
+        report.sample_interval,
+        report.columns.len(),
+        stats.mean_response_ratio,
+        t.render()
+    ))
+}
+
 /// An example experiment spec (JSON) for `hetsched template`.
 pub fn template_spec() -> String {
     let mut cfg = ClusterConfig::paper_default(&[1.0, 1.0, 4.0, 8.0]);
@@ -317,6 +473,58 @@ mod tests {
     }
 
     #[test]
+    fn parses_observe() {
+        let cmd = parse_args(&args(&[
+            "observe",
+            "--spec",
+            "a.json",
+            "--interval",
+            "60",
+            "--out",
+            "series.jsonl",
+            "--csv",
+            "series.csv",
+            "--replication",
+            "3",
+            "--event-list",
+            "calendar",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Observe {
+                spec: "a.json".into(),
+                interval: Some(60.0),
+                out: Some("series.jsonl".into()),
+                csv: Some("series.csv".into()),
+                replication: 3,
+                event_list: Some(EventListBackend::Calendar),
+            }
+        );
+        // Defaults: replication 0, spec-provided interval.
+        let cmd = parse_args(&args(&["observe", "--spec", "a.json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Observe {
+                spec: "a.json".into(),
+                interval: None,
+                out: None,
+                csv: None,
+                replication: 0,
+                event_list: None,
+            }
+        );
+    }
+
+    #[test]
+    fn observe_rejects_bad_input() {
+        assert!(parse_args(&args(&["observe"])).is_err());
+        assert!(parse_args(&args(&["observe", "--spec", "a.json", "--interval", "0"])).is_err());
+        assert!(parse_args(&args(&["observe", "--spec", "a.json", "--interval", "x"])).is_err());
+        assert!(parse_args(&args(&["observe", "--spec", "a.json", "--frob"])).is_err());
+    }
+
+    #[test]
     fn empty_args_is_help() {
         assert_eq!(parse_args(&[]).unwrap(), Command::Help);
         assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
@@ -368,6 +576,51 @@ mod tests {
         let saved: hetsched::experiment::ExperimentResult =
             serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(saved.runs.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observe_exports_monotone_series() {
+        let dir = std::env::temp_dir().join("hetsched_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let jsonl_path = dir.join("series.jsonl");
+        let csv_path = dir.join("series.csv");
+
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let report = observe(
+            spec_path.to_str().unwrap(),
+            Some(500.0),
+            Some(jsonl_path.to_str().unwrap()),
+            Some(csv_path.to_str().unwrap()),
+            0,
+            None,
+        )
+        .unwrap();
+        assert!(report.contains("windows of 500 s"));
+        assert!(report.contains("events scheduled"));
+
+        // The JSONL is non-empty, one `{"t":...}` object per window,
+        // with strictly increasing timestamps.
+        let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+        let times: Vec<f64> = jsonl
+            .lines()
+            .map(|l| {
+                assert!(l.starts_with("{\"t\":") && l.ends_with('}'), "line: {l}");
+                l["{\"t\":".len()..l.find(',').unwrap()].parse().unwrap()
+            })
+            .collect();
+        assert_eq!(times.len(), 40, "20 000 s / 500 s windows");
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "monotone timestamps");
+
+        // The CSV agrees on shape: header plus one row per window.
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("t,"));
+        assert_eq!(csv.lines().count(), 41);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

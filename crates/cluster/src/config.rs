@@ -195,6 +195,13 @@ pub struct ClusterConfig {
     /// before this field existed parse (and reproduce) unchanged.
     #[serde(default)]
     pub event_list: EventListBackend,
+    /// If set, sample the run-level observability probes (see
+    /// [`crate::obs`]) on this window. Probes only read model state, so
+    /// the headline `RunStats` are bit-identical with or without this —
+    /// `None` (the serde default) keeps pre-observability configs
+    /// parsing and reproducing unchanged.
+    #[serde(default)]
+    pub obs: Option<hetsched_obs::ObsSpec>,
 }
 
 impl ClusterConfig {
@@ -214,6 +221,7 @@ impl ClusterConfig {
             trace: None,
             faults: None,
             event_list: EventListBackend::default(),
+            obs: None,
         }
     }
 
@@ -300,6 +308,9 @@ impl ClusterConfig {
         if let Some(faults) = &self.faults {
             faults.validate()?;
         }
+        if let Some(obs) = &self.obs {
+            obs.validate()?;
+        }
         Ok(())
     }
 }
@@ -365,6 +376,9 @@ mod tests {
         let mut bad = good.clone();
         bad.faults = Some(FaultSpec::exponential(0.0, 10.0));
         assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.obs = Some(hetsched_obs::ObsSpec::every(-5.0));
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -405,6 +419,18 @@ mod tests {
         let back: ClusterConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back, cfg);
         assert_eq!(back.event_list, EventListBackend::Heap);
+    }
+
+    #[test]
+    fn config_without_obs_key_deserializes_to_none() {
+        // Back-compat: configs serialized before observability existed
+        // must parse unchanged, with sampling disabled.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("obs");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.obs.is_none());
     }
 
     #[test]

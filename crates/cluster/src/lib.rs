@@ -31,6 +31,11 @@
 //!   restarted), driven by dedicated RNG streams so fault runs stay
 //!   bit-reproducible and `faults: None` reproduces the fault-free
 //!   simulation byte-for-byte.
+//! * [`obs`] — the run-level observability driver: a
+//!   `hetsched-obs` probe registry sampled on a fixed window, recording
+//!   per-server queue length / utilization / availability, cluster-wide
+//!   rates and response quantiles, and the Fig. 2 deviation — without
+//!   perturbing the run (probes read, never schedule).
 //! * [`config`] / [`results`] — serde-friendly run configuration and
 //!   output statistics (mean response time / response ratio / fairness /
 //!   per-server detail).
@@ -44,6 +49,7 @@ pub mod discipline;
 pub mod faults;
 pub mod job;
 pub mod network;
+pub mod obs;
 pub mod policy;
 pub mod results;
 pub mod server;
@@ -53,7 +59,9 @@ pub mod trace;
 pub use config::{ArrivalSpec, ClusterConfig, EventListBackend};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};
+pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
 pub use job::{JobId, JobRecord, JobSlab};
+pub use obs::{ObsDriver, ObsView};
 pub use policy::{DispatchCtx, Policy};
 pub use results::{RunStats, ServerStats};
 pub use simulation::Simulation;

@@ -1,0 +1,451 @@
+//! The simulation-side observability driver.
+//!
+//! [`ObsDriver`] owns a `hetsched_obs::ProbeRegistry` and the per-window
+//! counters the probes read. The simulation actor calls
+//! [`ObsDriver::flush_to`] at the top of every event delivery, *before*
+//! the event mutates the model: every window whose boundary has passed
+//! is closed with an immutable [`ObsView`] snapshot. Because all prior
+//! events carried timestamps strictly below the boundary, reading
+//! [`Server::busy_integral_at`] at the boundary never runs time
+//! backwards, and because the driver only ever reads model state (it
+//! never schedules events or touches the RNG streams), a run with
+//! observability enabled is bit-identical to one without — the
+//! non-perturbation invariant `tests/obs_determinism.rs` enforces.
+//!
+//! The window arithmetic deliberately mirrors
+//! `hetsched_metrics::DeviationTracker`: windows start at `t = 0`,
+//! close while `now >= window_start + interval`, and the deviation
+//! column uses the exact same accumulation order, so sampling at the
+//! Fig. 2 interval reproduces the tracker's series bitwise.
+
+use hetsched_desim::FelStats;
+use hetsched_metrics::{P2Quantile, Welford};
+use hetsched_obs::{ObsReport, ObsSpec, Probe, ProbeRegistry};
+
+use crate::server::Server;
+
+/// Immutable model snapshot assembled at one window boundary.
+///
+/// Everything a probe may observe is precomputed here; probes receive
+/// only this view, never the model, which makes the read-only contract
+/// structural.
+#[derive(Debug, Clone)]
+pub struct ObsView {
+    /// Instantaneous per-server queue length (jobs in system).
+    pub queue_lens: Vec<f64>,
+    /// Cumulative per-server busy-time integral at the boundary.
+    pub busy_integrals: Vec<f64>,
+    /// Per-server up/down state (1.0 = up, 0.0 = down).
+    pub up: Vec<f64>,
+    /// Jobs in flight anywhere in the cluster.
+    pub in_flight: f64,
+    /// Scheduler arrivals this window divided by the window length.
+    pub arrival_rate: f64,
+    /// Completions this window divided by the window length.
+    pub completion_rate: f64,
+    /// Mean response time of jobs completing this window (0 if none).
+    pub resp_mean: f64,
+    /// P² median response time this window (0 if none completed).
+    pub resp_p50: f64,
+    /// P² 95th-percentile response time this window (0 if none).
+    pub resp_p95: f64,
+    /// P² 99th-percentile response time this window (0 if none).
+    pub resp_p99: f64,
+    /// Fig. 2 workload-allocation deviation for this window.
+    pub deviation: f64,
+}
+
+/// Per-server instantaneous queue length, column `qlen[i]`.
+struct QueueLenProbe {
+    server: usize,
+}
+
+impl Probe<ObsView> for QueueLenProbe {
+    fn name(&self) -> String {
+        format!("qlen[{}]", self.server)
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        view.queue_lens[self.server]
+    }
+}
+
+/// Per-server utilization over one window, column `util[i]`.
+///
+/// Differences the cumulative busy integral across boundaries. When the
+/// model discards its warmup history the integral restarts from zero,
+/// so the baseline is rebased in `on_reset`; the window straddling the
+/// warmup end therefore reports only its post-reset share — a
+/// deterministic, documented edge rather than a negative utilization.
+struct UtilizationProbe {
+    server: usize,
+    interval: f64,
+    prev: f64,
+}
+
+impl Probe<ObsView> for UtilizationProbe {
+    fn name(&self) -> String {
+        format!("util[{}]", self.server)
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        let integral = view.busy_integrals[self.server];
+        let busy = integral - self.prev;
+        self.prev = integral;
+        busy / self.interval
+    }
+    fn on_reset(&mut self, _now: f64) {
+        self.prev = 0.0;
+    }
+}
+
+/// Per-server availability flag, column `up[i]`.
+struct UpProbe {
+    server: usize,
+}
+
+impl Probe<ObsView> for UpProbe {
+    fn name(&self) -> String {
+        format!("up[{}]", self.server)
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        view.up[self.server]
+    }
+}
+
+/// Reader for one cluster-wide scalar column of the view.
+type ViewRead = fn(&ObsView) -> f64;
+
+/// A stateless cluster-wide scalar read straight off the view.
+struct ViewProbe {
+    name: &'static str,
+    read: ViewRead,
+}
+
+impl Probe<ObsView> for ViewProbe {
+    fn name(&self) -> String {
+        self.name.into()
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        (self.read)(view)
+    }
+}
+
+/// Drives the probe registry from inside the simulation model.
+///
+/// Constructed only when the run's `ClusterConfig::obs` is set; a run
+/// without it carries no observability state at all. All methods are
+/// read-only with respect to the simulation (they never schedule events
+/// or draw random numbers).
+pub struct ObsDriver {
+    interval: f64,
+    window_start: f64,
+    expected: Vec<f64>,
+    registry: ProbeRegistry<ObsView>,
+    // Per-window counters, zeroed after every boundary.
+    arrivals: u64,
+    completions: u64,
+    dispatch: Vec<u64>,
+    dispatch_total: u64,
+    resp: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl ObsDriver {
+    /// Builds the standard probe set for `n` servers.
+    ///
+    /// `expected` is the policy's expected workload allocation (the same
+    /// fractions `DeviationTracker` is built from); its length must be
+    /// `n`.
+    pub fn new(spec: &ObsSpec, n: usize, expected: Vec<f64>) -> Self {
+        assert_eq!(expected.len(), n, "one expected fraction per server");
+        let interval = spec.sample_interval;
+        let mut registry = ProbeRegistry::new();
+        for server in 0..n {
+            registry.register(Box::new(QueueLenProbe { server }));
+            registry.register(Box::new(UtilizationProbe {
+                server,
+                interval,
+                prev: 0.0,
+            }));
+            registry.register(Box::new(UpProbe { server }));
+        }
+        let scalars: [(&'static str, ViewRead); 8] = [
+            ("in_flight", |v| v.in_flight),
+            ("arrival_rate", |v| v.arrival_rate),
+            ("completion_rate", |v| v.completion_rate),
+            ("resp_mean", |v| v.resp_mean),
+            ("resp_p50", |v| v.resp_p50),
+            ("resp_p95", |v| v.resp_p95),
+            ("resp_p99", |v| v.resp_p99),
+            ("deviation", |v| v.deviation),
+        ];
+        for (name, read) in scalars {
+            registry.register(Box::new(ViewProbe { name, read }));
+        }
+        ObsDriver {
+            interval,
+            window_start: 0.0,
+            expected,
+            registry,
+            arrivals: 0,
+            completions: 0,
+            dispatch: vec![0; n],
+            dispatch_total: 0,
+            resp: Welford::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Closes every window whose boundary is at or before `now`.
+    ///
+    /// Same lazy-closing arithmetic as `DeviationTracker::record`: the
+    /// boundary at exactly `now` closes *before* the event at `now` is
+    /// processed.
+    pub fn flush_to(&mut self, now: f64, servers: &[Server], in_flight: usize) {
+        while now >= self.window_start + self.interval {
+            let boundary = self.window_start + self.interval;
+            let view = self.view_at(boundary, servers, in_flight);
+            self.registry.sample_all(boundary, &view);
+            self.reset_window();
+            self.window_start += self.interval;
+        }
+    }
+
+    /// Records one scheduler arrival (counted even during total outage).
+    #[inline]
+    pub fn on_arrival(&mut self) {
+        self.arrivals += 1;
+    }
+
+    /// Records a dispatch decision for `server` — call exactly where
+    /// `DeviationTracker::record` is called so the deviation column
+    /// reproduces Fig. 2 bitwise.
+    #[inline]
+    pub fn on_dispatch(&mut self, server: usize) {
+        self.dispatch[server] += 1;
+        self.dispatch_total += 1;
+    }
+
+    /// Records one job completion (counted or not).
+    #[inline]
+    pub fn on_completion(&mut self) {
+        self.completions += 1;
+    }
+
+    /// Records the response time of one *counted* job completion.
+    #[inline]
+    pub fn on_response(&mut self, response: f64) {
+        self.resp.push(response);
+        self.p50.push(response);
+        self.p95.push(response);
+        self.p99.push(response);
+    }
+
+    /// Forwards the end-of-warmup history reset to the probes.
+    pub fn on_warmup_reset(&mut self, now: f64) {
+        self.registry.notify_reset(now);
+    }
+
+    /// Consumes the driver into the exportable report, attaching the
+    /// kernel's lifetime counters.
+    pub fn into_report(self, kernel: FelStats) -> ObsReport {
+        self.registry.into_report(self.interval, kernel.into())
+    }
+
+    fn view_at(&self, boundary: f64, servers: &[Server], in_flight: usize) -> ObsView {
+        // Identical accumulation order to DeviationTracker::close_interval
+        // so the deviation column matches the Fig. 2 series bitwise.
+        let deviation: f64 = if self.dispatch_total == 0 {
+            self.expected.iter().map(|a| a * a).sum()
+        } else {
+            let t = self.dispatch_total as f64;
+            self.expected
+                .iter()
+                .zip(&self.dispatch)
+                .map(|(&a, &c)| {
+                    let actual = c as f64 / t;
+                    (a - actual) * (a - actual)
+                })
+                .sum()
+        };
+        ObsView {
+            queue_lens: servers.iter().map(|s| s.queue_len() as f64).collect(),
+            busy_integrals: servers
+                .iter()
+                .map(|s| s.busy_integral_at(boundary))
+                .collect(),
+            up: servers
+                .iter()
+                .map(|s| if s.is_up() { 1.0 } else { 0.0 })
+                .collect(),
+            in_flight: in_flight as f64,
+            arrival_rate: self.arrivals as f64 / self.interval,
+            completion_rate: self.completions as f64 / self.interval,
+            resp_mean: self.resp.mean(),
+            resp_p50: self.p50.estimate().unwrap_or(0.0),
+            resp_p95: self.p95.estimate().unwrap_or(0.0),
+            resp_p99: self.p99.estimate().unwrap_or(0.0),
+            deviation,
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.arrivals = 0;
+        self.completions = 0;
+        self.dispatch.iter_mut().for_each(|c| *c = 0);
+        self.dispatch_total = 0;
+        self.resp = Welford::new();
+        self.p50 = P2Quantile::new(0.50);
+        self.p95 = P2Quantile::new(0.95);
+        self.p99 = P2Quantile::new(0.99);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discipline::DisciplineSpec;
+    use hetsched_metrics::DeviationTracker;
+    use hetsched_obs::ObsSpec;
+
+    fn servers(n: usize) -> Vec<Server> {
+        (0..n)
+            .map(|_| Server::new(1.0, DisciplineSpec::ProcessorSharing))
+            .collect()
+    }
+
+    #[test]
+    fn standard_columns_in_order() {
+        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5]);
+        let report = driver.into_report(FelStats::default());
+        assert_eq!(
+            report.columns,
+            vec![
+                "qlen[0]",
+                "util[0]",
+                "up[0]",
+                "qlen[1]",
+                "util[1]",
+                "up[1]",
+                "in_flight",
+                "arrival_rate",
+                "completion_rate",
+                "resp_mean",
+                "resp_p50",
+                "resp_p95",
+                "resp_p99",
+                "deviation",
+            ]
+        );
+    }
+
+    #[test]
+    fn deviation_column_matches_tracker_bitwise() {
+        let expected = vec![0.2, 0.3, 0.5];
+        let interval = 100.0;
+        let mut tracker = DeviationTracker::new(&expected, interval, 0.0);
+        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone());
+        let servers = servers(3);
+
+        // Irregular dispatch stream crossing several windows, including
+        // an empty window (t jumps from 250 to 470) and a dispatch at an
+        // exact boundary (t = 300 closes [200, 300) first).
+        let events = [
+            (5.0, 0),
+            (40.0, 2),
+            (99.0, 1),
+            (150.0, 2),
+            (250.0, 2),
+            (300.0, 0),
+            (470.0, 1),
+            (471.0, 1),
+        ];
+        for (t, target) in events {
+            driver.flush_to(t, &servers, 0);
+            driver.on_dispatch(target);
+            tracker.record(t, target);
+        }
+        let horizon = 600.0;
+        driver.flush_to(horizon, &servers, 0);
+        tracker.advance_to(horizon);
+
+        let report = driver.into_report(FelStats::default());
+        let column = report.column("deviation").expect("deviation column");
+        assert_eq!(column, tracker.deviations().to_vec());
+        assert_eq!(report.times, vec![100.0, 200.0, 300.0, 400.0, 500.0, 600.0]);
+    }
+
+    #[test]
+    fn empty_window_reports_zero_rates_and_full_deviation() {
+        let expected = vec![0.25, 0.75];
+        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone());
+        let servers = servers(2);
+        driver.flush_to(50.0, &servers, 0);
+        let report = driver.into_report(FelStats::default());
+        assert_eq!(report.len(), 1);
+        let row = &report.rows[0];
+        let col = |name: &str| {
+            let idx = report.columns.iter().position(|c| c == name).unwrap();
+            row[idx]
+        };
+        assert_eq!(col("arrival_rate"), 0.0);
+        assert_eq!(col("completion_rate"), 0.0);
+        assert_eq!(col("resp_mean"), 0.0);
+        assert_eq!(col("resp_p95"), 0.0);
+        // No dispatches: deviation degenerates to Σ aᵢ² exactly as the
+        // tracker's empty-interval branch does.
+        let full: f64 = expected.iter().map(|a| a * a).sum();
+        assert_eq!(col("deviation"), full);
+    }
+
+    #[test]
+    fn window_counters_reset_between_windows() {
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0]);
+        let servers = servers(1);
+        driver.on_arrival();
+        driver.on_arrival();
+        driver.on_completion();
+        driver.on_response(3.0);
+        driver.flush_to(10.0, &servers, 2);
+        driver.on_arrival();
+        driver.flush_to(20.0, &servers, 0);
+        let report = driver.into_report(FelStats::default());
+        let arrivals = report.column("arrival_rate").unwrap();
+        assert_eq!(arrivals, vec![0.2, 0.1]);
+        let resp = report.column("resp_mean").unwrap();
+        assert_eq!(resp, vec![3.0, 0.0]);
+        let inflight = report.column("in_flight").unwrap();
+        assert_eq!(inflight, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn utilization_probe_differences_and_rebases() {
+        let mk_view = |busy: f64| ObsView {
+            queue_lens: vec![0.0],
+            busy_integrals: vec![busy],
+            up: vec![1.0],
+            in_flight: 0.0,
+            arrival_rate: 0.0,
+            completion_rate: 0.0,
+            resp_mean: 0.0,
+            resp_p50: 0.0,
+            resp_p95: 0.0,
+            resp_p99: 0.0,
+            deviation: 0.0,
+        };
+        let mut p = UtilizationProbe {
+            server: 0,
+            interval: 100.0,
+            prev: 0.0,
+        };
+        assert_eq!(p.sample(100.0, &mk_view(50.0)), 0.5);
+        assert_eq!(p.sample(200.0, &mk_view(120.0)), 0.7);
+        // Warmup reset: the server's integral restarts from zero, so the
+        // probe's baseline must too.
+        p.on_reset(250.0);
+        assert_eq!(p.sample(300.0, &mk_view(30.0)), 0.3);
+    }
+}

@@ -112,6 +112,15 @@ pub struct RunStats {
     /// Mean response ratio over the degraded subset (0 when empty).
     #[serde(default)]
     pub mean_degraded_response_ratio: f64,
+    /// Observability time series (present only when `ClusterConfig::obs`
+    /// was set). Excluded from results archived before the observability
+    /// layer existed, which deserialize to `None`.
+    ///
+    /// Note: `obs.kernel.resizes` depends on the event-list backend
+    /// (only the calendar queue resizes), so comparisons that assert
+    /// backend bit-identity must strip this field first.
+    #[serde(default)]
+    pub obs: Option<hetsched_obs::ObsReport>,
 }
 
 impl RunStats {
@@ -172,6 +181,7 @@ mod tests {
             degraded_jobs: 5,
             mean_degraded_response_time: 20.0,
             mean_degraded_response_ratio: 4.0,
+            obs: None,
         }
     }
 
@@ -218,5 +228,17 @@ mod tests {
         assert_eq!(back.availability, 1.0);
         assert_eq!(back.servers[1].availability, 1.0);
         assert_eq!(back.servers[1].crashes, 0);
+    }
+
+    #[test]
+    fn pre_obs_json_deserializes_to_none() {
+        // Archived results from before the observability layer lack the
+        // obs field; they must load with sampling absent.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        json.as_object_mut().unwrap().remove("obs");
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back, s);
+        assert!(back.obs.is_none());
     }
 }

@@ -182,6 +182,18 @@ impl Server {
         self.busy.time_average()
     }
 
+    /// Cumulative busy-time integral extended to `now` *without*
+    /// mutating the accounting.
+    ///
+    /// Observability probes difference this across sampling boundaries
+    /// to get per-window utilization; a mutating read here would change
+    /// the floating-point accrual sequence behind
+    /// [`Server::utilization`] and break the bit-identical-with-probes
+    /// invariant.
+    pub fn busy_integral_at(&self, now: f64) -> f64 {
+        self.busy.integral_at(now)
+    }
+
     /// Time-average queue length over the measurement window.
     pub fn mean_queue_len(&self) -> f64 {
         self.qlen.time_average()

@@ -33,7 +33,7 @@
 //! byte-for-byte the fault-free one.
 
 use hetsched_desim::{
-    Actor, CalendarQueue, Engine, EventQueue, FutureEventList, Rng64, Scheduler, SimTime,
+    Actor, CalendarQueue, Engine, EventQueue, FelStats, FutureEventList, Rng64, Scheduler, SimTime,
 };
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
 use hetsched_error::HetschedError;
@@ -43,6 +43,7 @@ use crate::config::{ArrivalKind, ClusterConfig, EventListBackend};
 use crate::faults::{FaultSpec, JobFaultSemantics};
 use crate::job::{JobId, JobRecord, JobSlab};
 use crate::network::membership_notice_delay;
+use crate::obs::ObsDriver;
 use crate::policy::{DispatchCtx, Policy};
 use crate::results::{RunStats, ServerStats};
 use crate::server::Server;
@@ -107,19 +108,24 @@ impl<P: Policy> Simulation<P> {
             .iter()
             .map(|&s| Server::new(s, cfg.discipline))
             .collect();
-        // The deviation tracker compares realized dispatch fractions with
-        // the policy's *target* fractions; policies without a target
-        // (dynamic ones) are measured against an equal split.
-        let deviation = cfg.deviation_interval.map(|iv| {
-            let expected = policy
-                .expected_fractions()
-                .unwrap_or_else(|| vec![1.0 / cfg.speeds.len() as f64; cfg.speeds.len()]);
-            DeviationTracker::new(&expected, iv, 0.0)
-        });
+        let n = cfg.speeds.len();
+        // The deviation tracker and the observability plane both compare
+        // realized dispatch fractions with the policy's *target*
+        // fractions; policies without a target (dynamic ones) are
+        // measured against an equal split.
+        let expected = policy
+            .expected_fractions()
+            .unwrap_or_else(|| vec![1.0 / n as f64; n]);
+        let deviation = cfg
+            .deviation_interval
+            .map(|iv| DeviationTracker::new(&expected, iv, 0.0));
+        let obs = cfg
+            .obs
+            .as_ref()
+            .map(|spec| ObsDriver::new(spec, n, expected));
         // Fault streams are only created when faults are configured, so a
         // `faults: None` run draws exactly the same values from exactly
         // the same streams as a build without the fault layer.
-        let n = cfg.speeds.len();
         let faults = cfg.faults.map(|spec| FaultRuntime {
             up_dist: spec.up_time.build(),
             down_dist: spec.down_time.build(),
@@ -150,6 +156,7 @@ impl<P: Policy> Simulation<P> {
                 .then(|| Histogram::new(1e-4, 1e6, 1.05)),
             trace: cfg.trace.map(crate::trace::TraceCollector::new),
             deviation,
+            obs,
             jobs_counted: 0,
             speeds: cfg.speeds.clone(),
             faults,
@@ -175,7 +182,8 @@ impl<P: Policy> Simulation<P> {
         }
         engine.run_until(&mut model, SimTime::new(cfg.horizon));
 
-        model.finalize(cfg.horizon, engine.processed_total())
+        let kernel = engine.fel_stats();
+        model.finalize(cfg.horizon, engine.processed_total(), kernel)
     }
 }
 
@@ -213,6 +221,7 @@ struct Model<P: Policy> {
     ratio_histogram: Option<Histogram>,
     trace: Option<crate::trace::TraceCollector>,
     deviation: Option<DeviationTracker>,
+    obs: Option<ObsDriver>,
     jobs_counted: u64,
     speeds: Vec<f64>,
     faults: Option<FaultRuntime>,
@@ -255,8 +264,14 @@ impl<P: Policy> Model<P> {
             let id = self.done_buf[idx];
             let rec = self.slab.remove(id);
             debug_assert_eq!(rec.server, server);
+            if let Some(obs) = &mut self.obs {
+                obs.on_completion();
+            }
             if rec.counted {
                 let response = now - rec.arrival;
+                if let Some(obs) = &mut self.obs {
+                    obs.on_response(response);
+                }
                 self.resp_time.push(response);
                 let ratio = response / rec.size;
                 self.resp_ratio.push(ratio);
@@ -294,6 +309,9 @@ impl<P: Policy> Model<P> {
         // Keep the arrival stream flowing.
         let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
         sched.schedule_in(gap, Ev::Arrival);
+        if let Some(obs) = &mut self.obs {
+            obs.on_arrival();
+        }
 
         let size = self.sizes.sample(&mut self.rng_size);
         let counted = now >= self.warmup;
@@ -325,6 +343,9 @@ impl<P: Policy> Model<P> {
         }
         if let Some(dev) = &mut self.deviation {
             dev.record(now, target);
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.on_dispatch(target);
         }
         if !self.servers[target].is_up() {
             // The dispatcher (stale or failure-unaware) sent the job to
@@ -451,6 +472,9 @@ impl<P: Policy> Model<P> {
         if let Some(dev) = &mut self.deviation {
             dev.record(now, target);
         }
+        if let Some(obs) = &mut self.obs {
+            obs.on_dispatch(target);
+        }
         rec.server = target;
         rec.degraded = true;
         let size = rec.size;
@@ -515,7 +539,14 @@ impl<P: Policy> Model<P> {
         self.policy.on_membership_change(&up, now);
     }
 
-    fn finalize(mut self, horizon: f64, events: u64) -> RunStats {
+    fn finalize(mut self, horizon: f64, events: u64, kernel: FelStats) -> RunStats {
+        // Close the remaining whole observability windows *before* the
+        // servers flush their integrals at the horizon: every boundary
+        // up to the horizon reads state as of that boundary.
+        let obs = self.obs.take().map(|mut o| {
+            o.flush_to(horizon, &self.servers, self.slab.len());
+            o.into_report(kernel)
+        });
         for s in &mut self.servers {
             s.finalize(horizon);
         }
@@ -591,6 +622,7 @@ impl<P: Policy> Model<P> {
             } else {
                 self.degraded_ratio.mean()
             },
+            obs,
         }
     }
 }
@@ -598,6 +630,14 @@ impl<P: Policy> Model<P> {
 impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
     fn handle(&mut self, now: SimTime, event: Ev, sched: &mut Scheduler<'_, Ev, Q>) {
         let t = now.as_secs();
+        // Observability windows close *before* the event at their
+        // boundary is processed — the same lazy arithmetic as the
+        // deviation tracker. The flush only reads model state; it never
+        // schedules events or draws random numbers, so the run is
+        // bit-identical with observability on or off.
+        if let Some(obs) = &mut self.obs {
+            obs.flush_to(t, &self.servers, self.slab.len());
+        }
         match event {
             Ev::Arrival => self.handle_arrival(t, sched),
             Ev::ServerWake { server, epoch } => self.handle_wake(server, epoch, t, sched),
@@ -619,6 +659,11 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
                 self.jobs_restarted = 0;
                 self.degraded_time = Welford::new();
                 self.degraded_ratio = Welford::new();
+                // Probes differencing cumulative server counters must
+                // rebase on the same reset.
+                if let Some(obs) = &mut self.obs {
+                    obs.on_warmup_reset(t);
+                }
             }
             Ev::ServerCrash { server } => self.handle_crash(server, t, sched),
             Ev::ServerRepair { server } => self.handle_repair(server, t, sched),
@@ -666,6 +711,7 @@ mod tests {
             trace: None,
             faults: None,
             event_list: EventListBackend::default(),
+            obs: None,
         }
     }
 
@@ -891,6 +937,37 @@ mod tests {
             .run();
         let b = Simulation::new(cfg, Cyclic { next: 0 }, 9).unwrap().run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn obs_probes_do_not_perturb_the_run() {
+        // The tentpole invariant: with observability on, RunStats must be
+        // bit-identical to the unobserved run once the report itself is
+        // set aside — probes read, they never schedule.
+        let mut cfg = small_cfg();
+        cfg.deviation_interval = Some(500.0);
+        let mut obs_cfg = cfg.clone();
+        obs_cfg.obs = Some(hetsched_obs::ObsSpec::every(500.0));
+        let mut observed = Simulation::new(obs_cfg, Cyclic { next: 0 }, 5)
+            .unwrap()
+            .run();
+        let baseline = Simulation::new(cfg, Cyclic { next: 0 }, 5).unwrap().run();
+
+        let report = observed.obs.take().expect("obs report present");
+        assert_eq!(observed, baseline);
+        assert!(baseline.obs.is_none());
+
+        // 20 000 s horizon / 500 s windows = 40 whole windows, with
+        // strictly increasing boundaries.
+        assert_eq!(report.len(), 40);
+        assert!(report.times.windows(2).all(|w| w[0] < w[1]));
+        // Sampled at the deviation interval, the deviation column IS the
+        // Fig. 2 series.
+        assert_eq!(report.column("deviation").unwrap(), baseline.deviations);
+        // Kernel counters came along for the ride.
+        assert!(report.kernel.scheduled >= report.kernel.popped);
+        assert!(report.kernel.high_water > 0);
+        assert_eq!(report.kernel.resizes, 0, "heap backend never resizes");
     }
 
     #[test]

@@ -135,12 +135,14 @@ impl TraceCollector {
     /// Serializes the records as JSON lines.
     ///
     /// # Errors
-    /// Propagates serialization failures (effectively unreachable for
-    /// this plain-old-data record type).
-    pub fn to_jsonl(&self) -> Result<String, String> {
+    /// [`HetschedError::Serialization`] when a record fails to encode
+    /// (effectively unreachable for this plain-old-data record type).
+    pub fn to_jsonl(&self) -> Result<String, HetschedError> {
         let mut out = String::with_capacity(self.records.len() * 96);
         for r in &self.records {
-            out.push_str(&serde_json::to_string(r).map_err(|e| e.to_string())?);
+            let line = serde_json::to_string(r)
+                .map_err(|e| HetschedError::Serialization(e.to_string()))?;
+            out.push_str(&line);
             out.push('\n');
         }
         Ok(out)

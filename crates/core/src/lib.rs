@@ -43,6 +43,7 @@
 //! | [`desim`] | deterministic discrete-event kernel + RNG streams |
 //! | [`dist`] | Bounded Pareto, hyperexponential, … with analytic moments |
 //! | [`metrics`] | Welford, time-weighted stats, P² quantiles, CIs |
+//! | [`obs`] | run-level observability: probe registry, time-series report, exporters |
 //! | [`queueing`] | M/M/1-PS analysis, Algorithm 1, numeric cross-check |
 //! | [`cluster`] | the simulated network of heterogeneous computers, incl. the fault-injection layer |
 //! | [`policies`] | WRAN/ORAN/WRR/ORR, Dynamic Least-Load, JSQ(d), SITA-E, ReORR |
@@ -60,6 +61,7 @@ pub use hetsched_desim as desim;
 pub use hetsched_dist as dist;
 pub use hetsched_error as error;
 pub use hetsched_metrics as metrics;
+pub use hetsched_obs as obs;
 pub use hetsched_parallel as parallel;
 pub use hetsched_policies as policies;
 pub use hetsched_queueing as queueing;
@@ -82,6 +84,7 @@ pub mod prelude {
     pub use crate::error::HetschedError;
     pub use crate::experiment::{Experiment, ExperimentResult};
     pub use crate::metrics::CiSummary;
+    pub use crate::obs::{ObsReport, ObsSpec};
     pub use crate::policies::{AllocationSpec, DispatcherSpec, PolicySpec};
     pub use crate::queueing::{closed_form, objective, HetSystem};
     pub use crate::report::{Chart, Table};

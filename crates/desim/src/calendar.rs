@@ -22,7 +22,7 @@
 //! large-population models, and both are compared in `hetsched-bench`'s
 //! `event_queue` / `event_kernel` benches and the `fig_kernel` harness.
 
-use crate::fel::{FutureEventList, ScheduledEvent};
+use crate::fel::{FelStats, FutureEventList, ScheduledEvent};
 use crate::slab::{EventId, PayloadSlab};
 use crate::time::SimTime;
 
@@ -67,6 +67,9 @@ pub struct CalendarQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     popped_total: u64,
+    cancelled_total: u64,
+    high_water: u64,
+    resizes: u64,
 }
 
 impl<E> CalendarQueue<E> {
@@ -93,6 +96,9 @@ impl<E> CalendarQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             popped_total: 0,
+            cancelled_total: 0,
+            high_water: 0,
+            resizes: 0,
         };
         q.buckets.resize_with(nbuckets, Vec::new);
         q.cur_day = q.day_of(start);
@@ -126,6 +132,7 @@ impl<E> CalendarQueue<E> {
         };
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.high_water = self.high_water.max(self.slab.live() as u64);
         // A peek's year-jump may have parked the cursor past this event's
         // day; pull it back so the walk cannot skip the event.
         let day = self.day_of(t);
@@ -161,7 +168,9 @@ impl<E> CalendarQueue<E> {
     /// slot's generation is bumped; the stale bucket key is purged when
     /// it reaches a bucket head or during a resize.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.slab.take(id).is_some()
+        let live = self.slab.take(id).is_some();
+        self.cancelled_total += live as u64;
+        live
     }
 
     /// Purges stale keys from the head of bucket `bi` and returns the
@@ -254,9 +263,21 @@ impl<E> CalendarQueue<E> {
         self.popped_total
     }
 
+    /// Lifetime traffic counters, including bucket-array resizes.
+    pub fn stats(&self) -> FelStats {
+        FelStats {
+            scheduled: self.scheduled_total,
+            popped: self.popped_total,
+            cancelled: self.cancelled_total,
+            high_water: self.high_water,
+            resizes: self.resizes,
+        }
+    }
+
     /// Rebuilds the calendar with `nbuckets` buckets and a re-estimated
     /// width, dropping cancelled keys in the process.
     fn resize(&mut self, nbuckets: usize) {
+        self.resizes += 1;
         let width = self.estimate_width();
         let mut old = std::mem::take(&mut self.buckets);
         self.buckets.resize_with(nbuckets, Vec::new);
@@ -344,6 +365,11 @@ impl<E> FutureEventList<E> for CalendarQueue<E> {
     #[inline]
     fn popped_total(&self) -> u64 {
         CalendarQueue::popped_total(self)
+    }
+
+    #[inline]
+    fn stats(&self) -> FelStats {
+        CalendarQueue::stats(self)
     }
 }
 
@@ -481,6 +507,31 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.popped_total(), 1);
+    }
+
+    #[test]
+    fn stats_count_resizes_under_growth() {
+        let mut q = CalendarQueue::new();
+        for i in 0..1000u32 {
+            q.schedule(t(i as f64 * 0.1), i);
+        }
+        let grown = q.stats();
+        assert!(grown.resizes > 0, "1000 events must outgrow 2 buckets");
+        assert_eq!(grown.high_water, 1000);
+        while q.pop().is_some() {}
+        let drained = q.stats();
+        assert!(drained.resizes > grown.resizes, "draining shrinks buckets");
+        assert_eq!(drained.popped, 1000);
+        assert_eq!(drained.cancelled, 0);
+    }
+
+    #[test]
+    fn stats_count_cancellations_once() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.stats().cancelled, 1);
     }
 
     #[test]

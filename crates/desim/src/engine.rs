@@ -23,7 +23,7 @@
 use std::marker::PhantomData;
 
 use crate::calendar::CalendarQueue;
-use crate::fel::FutureEventList;
+use crate::fel::{FelStats, FutureEventList};
 use crate::queue::EventQueue;
 use crate::slab::EventId;
 use crate::time::SimTime;
@@ -195,6 +195,15 @@ impl<E, Q: FutureEventList<E>> Engine<E, Q> {
     /// Number of events ever delivered to an actor.
     pub fn processed_total(&self) -> u64 {
         self.queue.popped_total()
+    }
+
+    /// Snapshot of the backend's lifetime traffic counters.
+    ///
+    /// Purely observational: reading the counters never mutates the
+    /// queue, so models may call this at any point (typically after
+    /// `run_until`) without perturbing determinism.
+    pub fn fel_stats(&self) -> FelStats {
+        self.queue.stats()
     }
 
     /// Runs until the queue drains or the actor stops the run.

@@ -36,6 +36,32 @@ pub struct ScheduledEvent<E> {
     pub payload: E,
 }
 
+/// A snapshot of a future-event list's lifetime counters.
+///
+/// These are *observability* counters: they describe kernel traffic
+/// (how many events were scheduled, delivered, cancelled) and pressure
+/// (the largest live population, calendar resizes) without exposing any
+/// pending payloads. Reading them never mutates the list, so models can
+/// surface them in run reports without perturbing determinism.
+///
+/// The struct is deliberately serde-free: `hetsched-desim` has no
+/// dependencies, and the reproduction keeps it that way. Crates that
+/// need to serialize kernel counters mirror this type (see
+/// `hetsched-obs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FelStats {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Total events ever delivered by `pop`.
+    pub popped: u64,
+    /// Total events cancelled while still pending.
+    pub cancelled: u64,
+    /// Largest number of live (deliverable) events ever pending at once.
+    pub high_water: u64,
+    /// Bucket-array resizes (calendar backend only; zero elsewhere).
+    pub resizes: u64,
+}
+
 /// A pending-event store ordered by `(time, scheduling order)`.
 ///
 /// See the [module docs](self) for the determinism contract every
@@ -70,4 +96,18 @@ pub trait FutureEventList<E> {
 
     /// Total events ever delivered by `pop` (monotone counter).
     fn popped_total(&self) -> u64;
+
+    /// Lifetime traffic counters for observability.
+    ///
+    /// The default implementation reports only the two counters every
+    /// backend must already track; backends that know more (cancellation
+    /// volume, high-water mark, resizes) override it. Implementations
+    /// must not mutate any state observable through the other methods.
+    fn stats(&self) -> FelStats {
+        FelStats {
+            scheduled: self.scheduled_total(),
+            popped: self.popped_total(),
+            ..FelStats::default()
+        }
+    }
 }

@@ -68,7 +68,7 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use engine::{Actor, CalendarEngine, Engine, HeapEngine, RunOutcome, Scheduler};
-pub use fel::{FutureEventList, ScheduledEvent};
+pub use fel::{FelStats, FutureEventList, ScheduledEvent};
 pub use queue::EventQueue;
 pub use rng::{Rng64, SplitMix64};
 pub use slab::EventId;

@@ -33,7 +33,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::fel::{FutureEventList, ScheduledEvent};
+use crate::fel::{FelStats, FutureEventList, ScheduledEvent};
 use crate::slab::{EventId, PayloadSlab};
 use crate::time::SimTime;
 
@@ -82,6 +82,8 @@ pub struct EventQueue<E> {
     next_seq: u64,
     scheduled_total: u64,
     popped_total: u64,
+    cancelled_total: u64,
+    high_water: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -99,6 +101,8 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             scheduled_total: 0,
             popped_total: 0,
+            cancelled_total: 0,
+            high_water: 0,
         }
     }
 
@@ -122,6 +126,7 @@ impl<E> EventQueue<E> {
         });
         self.next_seq += 1;
         self.scheduled_total += 1;
+        self.high_water = self.high_water.max(self.slab.live() as u64);
         id
     }
 
@@ -131,7 +136,9 @@ impl<E> EventQueue<E> {
     /// generation is bumped immediately (so the event can never fire); the
     /// stale heap key is purged lazily when it surfaces.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.slab.take(id).is_some()
+        let live = self.slab.take(id).is_some();
+        self.cancelled_total += live as u64;
+        live
     }
 
     /// Removes and returns the earliest live event.
@@ -180,6 +187,17 @@ impl<E> EventQueue<E> {
     pub fn popped_total(&self) -> u64 {
         self.popped_total
     }
+
+    /// Lifetime traffic counters (`resizes` is always zero for a heap).
+    pub fn stats(&self) -> FelStats {
+        FelStats {
+            scheduled: self.scheduled_total,
+            popped: self.popped_total,
+            cancelled: self.cancelled_total,
+            high_water: self.high_water,
+            resizes: 0,
+        }
+    }
 }
 
 impl<E> FutureEventList<E> for EventQueue<E> {
@@ -216,6 +234,11 @@ impl<E> FutureEventList<E> for EventQueue<E> {
     #[inline]
     fn popped_total(&self) -> u64 {
         EventQueue::popped_total(self)
+    }
+
+    #[inline]
+    fn stats(&self) -> FelStats {
+        EventQueue::stats(self)
     }
 }
 
@@ -330,6 +353,36 @@ mod tests {
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
         assert_eq!(q.popped_total(), 1);
+    }
+
+    #[test]
+    fn stats_report_cancellations_and_high_water() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.schedule(t(3.0), ());
+        q.cancel(a);
+        q.cancel(a); // dead id: must not count
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.popped, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.high_water, 3, "peak live population was 3");
+        assert_eq!(s.resizes, 0, "heap backend never resizes buckets");
+    }
+
+    #[test]
+    fn trait_default_stats_matches_override_on_basic_counters() {
+        // The trait-level default (used by backends without extra
+        // bookkeeping) must agree with the override on the two counters
+        // every backend tracks.
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        q.pop();
+        let s = FutureEventList::<()>::stats(&q);
+        assert_eq!(s.scheduled, q.scheduled_total());
+        assert_eq!(s.popped, q.popped_total());
     }
 
     #[test]

@@ -34,6 +34,8 @@ pub enum HetschedError {
     InvalidPolicy(String),
     /// A solver failed to produce a usable allocation.
     Solver(String),
+    /// Serializing a result artifact (JSON/JSONL/CSV) failed.
+    Serialization(String),
     /// An error wrapped with the context it occurred in.
     Context {
         /// What was being attempted (e.g. the sweep point's name).
@@ -76,6 +78,7 @@ impl fmt::Display for HetschedError {
             HetschedError::InvalidConfig(msg) => write!(f, "{msg}"),
             HetschedError::InvalidPolicy(msg) => write!(f, "{msg}"),
             HetschedError::Solver(msg) => write!(f, "solver failed: {msg}"),
+            HetschedError::Serialization(msg) => write!(f, "serialization failed: {msg}"),
             HetschedError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -132,6 +135,13 @@ mod tests {
         let e = HetschedError::NoComputers.context("building policy");
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&HetschedError::NoComputers).is_none());
+    }
+
+    #[test]
+    fn serialization_variant_displays_cause() {
+        let e = HetschedError::Serialization("key must be a string".into());
+        assert_eq!(e.to_string(), "serialization failed: key must be a string");
+        assert_eq!(e.root_cause(), &e.clone());
     }
 
     #[test]

@@ -70,6 +70,25 @@ impl TimeWeighted {
         self.integral
     }
 
+    /// The integral extended to `now` *without* mutating the tracker.
+    ///
+    /// Because the signal is piecewise constant, the integral at any
+    /// `now >= last update` is the accrued integral plus the current
+    /// value held over the remaining span. Observability probes use this
+    /// to read windowed integrals mid-run without perturbing the state
+    /// the simulation itself will later finalize.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn integral_at(&self, now: f64) -> f64 {
+        assert!(
+            now >= self.last_t,
+            "time ran backwards: {now} < {}",
+            self.last_t
+        );
+        self.integral + self.value * (now - self.last_t)
+    }
+
     /// Time-average of the signal between `start` and the last update
     /// (0 if no time has elapsed).
     pub fn time_average(&self) -> f64 {
@@ -169,5 +188,24 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 1.0);
         tw.update(1.0, 7.0);
         assert_eq!(tw.value(), 7.0);
+    }
+
+    #[test]
+    fn integral_at_reads_ahead_without_mutating() {
+        let mut tw = TimeWeighted::new(0.0, 2.0);
+        tw.update(3.0, 4.0); // ∫ = 6 so far, value 4 from t = 3
+        assert_eq!(tw.integral_at(5.0), 6.0 + 4.0 * 2.0);
+        assert_eq!(tw.integral(), 6.0, "read must not accrue");
+        assert_eq!(tw.integral_at(3.0), 6.0, "zero extension is identity");
+        tw.touch(5.0);
+        assert_eq!(tw.integral(), 14.0, "later accrual agrees with the read");
+    }
+
+    #[test]
+    #[should_panic(expected = "time ran backwards")]
+    fn integral_at_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new(0.0, 1.0);
+        tw.update(5.0, 2.0);
+        tw.integral_at(4.0);
     }
 }

@@ -1,0 +1,40 @@
+//! # hetsched-obs — run-level observability for the reproduction
+//!
+//! The paper's Fig. 2 is itself a time-series observable: workload
+//! allocation deviation sampled once per 120 s interval. This crate
+//! generalizes that shape into a reusable metrics plane for the
+//! simulator — the standard per-interval instrumentation a serving
+//! stack would expose, applied to a discrete-event model:
+//!
+//! * [`ObsSpec`] — the sampling contract (window length), threaded
+//!   through `ClusterConfig` and serde-defaulted so pre-observability
+//!   JSON keeps loading unchanged.
+//! * [`Probe`] / [`ProbeRegistry`] — a model-agnostic probe registry.
+//!   A probe is named, reads a model-provided *view*, and returns one
+//!   number per sampling window; the registry accumulates the rows.
+//! * [`ObsReport`] — the columnar time series that lands in `RunStats`,
+//!   with JSONL and CSV exporters.
+//! * [`KernelCounters`] — a serializable mirror of the event kernel's
+//!   [`FelStats`](hetsched_desim::FelStats) traffic counters
+//!   (`hetsched-desim` is dependency-free by design, so the serde view
+//!   of its counters lives here).
+//!
+//! ## The non-perturbation invariant
+//!
+//! Observability must never change what it observes. Probes *read* a
+//! view assembled by the model; they cannot schedule events, draw from
+//! the simulation's RNG streams, or mutate model state. The simulator
+//! enforces this by construction (the registry is driven from the
+//! actor's event boundary with an immutable snapshot) and by test
+//! (`tests/obs_determinism.rs` asserts `RunStats` is bit-identical with
+//! observability on and off).
+
+#![warn(missing_docs)]
+
+pub mod probe;
+pub mod report;
+pub mod spec;
+
+pub use probe::{Probe, ProbeRegistry};
+pub use report::{KernelCounters, ObsReport};
+pub use spec::ObsSpec;

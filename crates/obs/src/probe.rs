@@ -1,0 +1,182 @@
+//! The probe registry: named read-only samplers over a model view.
+//!
+//! A [`Probe`] observes one scalar quantity. It is generic over a view
+//! type `V` that the *model* assembles at each sampling boundary — the
+//! registry never touches the model directly, which is what makes the
+//! non-perturbation invariant structural: a probe physically cannot
+//! schedule events or draw random numbers, because all it ever receives
+//! is an immutable snapshot.
+//!
+//! Probes may keep private state between windows (e.g. the utilization
+//! probe remembers the busy integral at the previous boundary to
+//! difference it), and are told when the model discards its warmup
+//! history via [`Probe::on_reset`].
+
+use crate::report::{KernelCounters, ObsReport};
+
+/// A named, read-only sampler producing one value per window.
+///
+/// `Send` is required so a model carrying a registry can run on the
+/// sweep pool's worker threads.
+pub trait Probe<V>: Send {
+    /// Column name in the exported time series (e.g. `"qlen[3]"`).
+    fn name(&self) -> String;
+
+    /// Samples the probe at window boundary `now` from the model view.
+    ///
+    /// `&mut self` permits private probe state (windowed differencing);
+    /// the view itself is immutable.
+    fn sample(&mut self, now: f64, view: &V) -> f64;
+
+    /// Notifies the probe that the model reset its cumulative history
+    /// (end of warmup). Probes that difference cumulative counters must
+    /// drop their remembered baseline here.
+    fn on_reset(&mut self, _now: f64) {}
+}
+
+/// An ordered collection of probes plus the rows they have produced.
+pub struct ProbeRegistry<V> {
+    probes: Vec<Box<dyn Probe<V>>>,
+    times: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl<V> Default for ProbeRegistry<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ProbeRegistry<V> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ProbeRegistry {
+            probes: Vec::new(),
+            times: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a probe; its column appears in registration order.
+    pub fn register(&mut self, probe: Box<dyn Probe<V>>) {
+        self.probes.push(probe);
+    }
+
+    /// Number of registered probes (columns).
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Number of sampled rows so far.
+    pub fn sample_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column names in registration order.
+    pub fn columns(&self) -> Vec<String> {
+        self.probes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Samples every probe at boundary `now` and appends one row.
+    pub fn sample_all(&mut self, now: f64, view: &V) {
+        let row = self
+            .probes
+            .iter_mut()
+            .map(|p| p.sample(now, view))
+            .collect();
+        self.times.push(now);
+        self.rows.push(row);
+    }
+
+    /// Forwards a model history reset (end of warmup) to every probe.
+    pub fn notify_reset(&mut self, now: f64) {
+        for p in &mut self.probes {
+            p.on_reset(now);
+        }
+    }
+
+    /// Consumes the registry into an exportable report.
+    pub fn into_report(self, sample_interval: f64, kernel: KernelCounters) -> ObsReport {
+        let columns = self.columns();
+        ObsReport {
+            sample_interval,
+            columns,
+            times: self.times,
+            rows: self.rows,
+            kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct View {
+        load: f64,
+    }
+
+    struct LoadProbe;
+    impl Probe<View> for LoadProbe {
+        fn name(&self) -> String {
+            "load".into()
+        }
+        fn sample(&mut self, _now: f64, view: &View) -> f64 {
+            view.load
+        }
+    }
+
+    /// Differences a cumulative counter across windows, like the
+    /// utilization probe in the cluster simulator.
+    struct DeltaProbe {
+        prev: f64,
+    }
+    impl Probe<View> for DeltaProbe {
+        fn name(&self) -> String {
+            "delta".into()
+        }
+        fn sample(&mut self, _now: f64, view: &View) -> f64 {
+            let d = view.load - self.prev;
+            self.prev = view.load;
+            d
+        }
+        fn on_reset(&mut self, _now: f64) {
+            self.prev = 0.0;
+        }
+    }
+
+    #[test]
+    fn samples_accumulate_in_registration_order() {
+        let mut reg = ProbeRegistry::new();
+        reg.register(Box::new(LoadProbe));
+        reg.register(Box::new(DeltaProbe { prev: 0.0 }));
+        reg.sample_all(1.0, &View { load: 3.0 });
+        reg.sample_all(2.0, &View { load: 5.0 });
+        let report = reg.into_report(1.0, KernelCounters::default());
+        assert_eq!(report.columns, vec!["load", "delta"]);
+        assert_eq!(report.times, vec![1.0, 2.0]);
+        assert_eq!(report.rows, vec![vec![3.0, 3.0], vec![5.0, 2.0]]);
+    }
+
+    #[test]
+    fn reset_rebases_differencing_probes() {
+        let mut reg = ProbeRegistry::new();
+        reg.register(Box::new(DeltaProbe { prev: 0.0 }));
+        reg.sample_all(1.0, &View { load: 10.0 });
+        // The model discarded its cumulative history (e.g. warmup end):
+        // the counter restarts from zero and so must the baseline.
+        reg.notify_reset(1.5);
+        reg.sample_all(2.0, &View { load: 4.0 });
+        let report = reg.into_report(1.0, KernelCounters::default());
+        assert_eq!(report.rows, vec![vec![10.0], vec![4.0]]);
+    }
+
+    #[test]
+    fn empty_registry_produces_empty_rows() {
+        let mut reg: ProbeRegistry<View> = ProbeRegistry::new();
+        assert_eq!(reg.probe_count(), 0);
+        reg.sample_all(1.0, &View { load: 0.0 });
+        let report = reg.into_report(1.0, KernelCounters::default());
+        assert_eq!(report.rows, vec![Vec::<f64>::new()]);
+    }
+}

@@ -1,0 +1,241 @@
+//! The exportable time-series report and kernel counter mirror.
+
+use hetsched_desim::FelStats;
+use hetsched_error::HetschedError;
+use serde::{Deserialize, Serialize};
+
+/// Serializable mirror of the event kernel's lifetime traffic counters.
+///
+/// `hetsched-desim` is dependency-free, so its
+/// [`FelStats`](hetsched_desim::FelStats) cannot derive serde; this is
+/// the serde-able view that lands in run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCounters {
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+    /// Total events ever delivered.
+    pub popped: u64,
+    /// Total events cancelled while still pending.
+    pub cancelled: u64,
+    /// Largest live event population ever pending at once.
+    pub high_water: u64,
+    /// Bucket-array resizes (calendar backend only; zero elsewhere).
+    pub resizes: u64,
+}
+
+impl From<FelStats> for KernelCounters {
+    fn from(s: FelStats) -> Self {
+        KernelCounters {
+            scheduled: s.scheduled,
+            popped: s.popped,
+            cancelled: s.cancelled,
+            high_water: s.high_water,
+            resizes: s.resizes,
+        }
+    }
+}
+
+/// A columnar time series: one row per sampling window, one column per
+/// probe, plus the kernel counters captured at the end of the run.
+///
+/// Stored columnar (names once, rows as bare `f64` vectors) so a
+/// paper-scale run with tens of thousands of windows stays compact in
+/// `RunStats` JSON; the exporters denormalize to the usual
+/// one-object-per-line JSONL / header-plus-rows CSV shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Length of one sampling window in simulated seconds.
+    pub sample_interval: f64,
+    /// Column names in probe registration order.
+    pub columns: Vec<String>,
+    /// Window-boundary timestamps, strictly increasing.
+    pub times: Vec<f64>,
+    /// One row of probe values per timestamp.
+    pub rows: Vec<Vec<f64>>,
+    /// Event-kernel traffic counters at the end of the run.
+    pub kernel: KernelCounters,
+}
+
+impl ObsReport {
+    /// Number of sampled windows.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no window was ever sampled.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The values of one column by name, if present.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Renders the series as JSON Lines: one flat object per window,
+    /// timestamp under `"t"`, then every column by name.
+    ///
+    /// The writer is hand-rolled (like the bench artifact writers):
+    /// Rust's `f64` Display is a valid JSON number for every finite
+    /// value, and exporters must keep working even where serde_json's
+    /// runtime is stubbed out.
+    ///
+    /// Fails with [`HetschedError::Serialization`] if any value is not
+    /// a finite number (JSON has no NaN/∞).
+    pub fn to_jsonl(&self) -> Result<String, HetschedError> {
+        fn push_num(out: &mut String, label: &str, x: f64) -> Result<(), HetschedError> {
+            if !x.is_finite() {
+                return Err(HetschedError::Serialization(format!(
+                    "non-finite value {x} in column '{label}'"
+                )));
+            }
+            out.push_str(&x.to_string());
+            Ok(())
+        }
+        fn push_str(out: &mut String, s: &str) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut out = String::new();
+        for (t, row) in self.times.iter().zip(&self.rows) {
+            out.push_str("{\"t\":");
+            push_num(&mut out, "t", *t)?;
+            for (name, v) in self.columns.iter().zip(row) {
+                out.push(',');
+                push_str(&mut out, name);
+                out.push(':');
+                push_num(&mut out, name, *v)?;
+            }
+            out.push_str("}\n");
+        }
+        Ok(out)
+    }
+
+    /// Renders the series as CSV with a `t,<columns...>` header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (t, row) in self.times.iter().zip(&self.rows) {
+            out.push_str(&t.to_string());
+            for v in row {
+                out.push(',');
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ObsReport {
+        ObsReport {
+            sample_interval: 120.0,
+            columns: vec!["qlen[0]".into(), "util[0]".into()],
+            times: vec![120.0, 240.0],
+            rows: vec![vec![3.0, 0.5], vec![1.0, 0.25]],
+            kernel: KernelCounters {
+                scheduled: 10,
+                popped: 8,
+                cancelled: 1,
+                high_water: 4,
+                resizes: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_flat_object_per_window() {
+        let jsonl = report().to_jsonl().expect("finite values");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"t":120,"qlen[0]":3,"util[0]":0.5}"#,
+                r#"{"t":240,"qlen[0]":1,"util[0]":0.25}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_escapes_awkward_column_names() {
+        let r = ObsReport {
+            sample_interval: 1.0,
+            columns: vec!["a\"b\\c".into()],
+            times: vec![1.0],
+            rows: vec![vec![2.0]],
+            kernel: KernelCounters::default(),
+        };
+        let jsonl = r.to_jsonl().expect("finite values");
+        assert_eq!(jsonl, "{\"t\":1,\"a\\\"b\\\\c\":2}\n");
+    }
+
+    #[test]
+    fn jsonl_rejects_non_finite_values() {
+        let mut r = report();
+        r.rows[1][0] = f64::NAN;
+        let err = r.to_jsonl().expect_err("NaN must not serialize");
+        assert!(matches!(err, HetschedError::Serialization(_)));
+        assert!(err.to_string().contains("qlen[0]"), "names the column");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = report().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,qlen[0],util[0]");
+        assert_eq!(lines[1], "120,3,0.5");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let r = report();
+        assert_eq!(r.column("qlen[0]"), Some(vec![3.0, 1.0]));
+        assert_eq!(r.column("missing"), None);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn kernel_counters_mirror_fel_stats() {
+        let fel = FelStats {
+            scheduled: 5,
+            popped: 3,
+            cancelled: 1,
+            high_water: 2,
+            resizes: 7,
+        };
+        let k = KernelCounters::from(fel);
+        assert_eq!(k.scheduled, 5);
+        assert_eq!(k.popped, 3);
+        assert_eq!(k.cancelled, 1);
+        assert_eq!(k.high_water, 2);
+        assert_eq!(k.resizes, 7);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: ObsReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,86 @@
+//! The observability sampling contract.
+
+use hetsched_error::HetschedError;
+use serde::{Deserialize, Serialize};
+
+/// The paper's Fig. 2 sampling interval (seconds): the default window.
+pub const DEFAULT_SAMPLE_INTERVAL: f64 = 120.0;
+
+/// Configuration of the run-level observability plane.
+///
+/// Attached to a cluster configuration as `Option<ObsSpec>`: `None`
+/// (the serde default) means observability is fully disabled and the
+/// simulation carries no probe state at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsSpec {
+    /// Length of one sampling window in simulated seconds.
+    ///
+    /// Windows start at `t = 0` and close at `k · sample_interval`
+    /// using the same arithmetic as the Fig. 2 deviation tracker, so a
+    /// deviation probe sampled at the deviation interval reproduces
+    /// `metrics::DeviationTracker` exactly.
+    #[serde(default = "default_interval")]
+    pub sample_interval: f64,
+}
+
+fn default_interval() -> f64 {
+    DEFAULT_SAMPLE_INTERVAL
+}
+
+impl Default for ObsSpec {
+    fn default() -> Self {
+        ObsSpec {
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
+        }
+    }
+}
+
+impl ObsSpec {
+    /// A spec sampling every `sample_interval` simulated seconds.
+    pub fn every(sample_interval: f64) -> Self {
+        ObsSpec { sample_interval }
+    }
+
+    /// Checks the spec describes a usable sampling plan.
+    pub fn validate(&self) -> Result<(), HetschedError> {
+        if !self.sample_interval.is_finite() || self.sample_interval <= 0.0 {
+            return Err(HetschedError::BadParameter(format!(
+                "obs.sample_interval must be positive and finite, got {}",
+                self.sample_interval
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_fig2_interval() {
+        assert_eq!(ObsSpec::default().sample_interval, 120.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_intervals() {
+        assert!(ObsSpec::every(120.0).validate().is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(ObsSpec::every(bad).validate().is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn empty_json_object_uses_default_interval() {
+        let spec: ObsSpec = serde_json::from_str("{}").expect("deserializes");
+        assert_eq!(spec, ObsSpec::default());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = ObsSpec::every(30.0);
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: ObsSpec = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, spec);
+    }
+}

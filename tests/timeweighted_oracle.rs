@@ -1,0 +1,173 @@
+//! Property-based oracle for the time-weighted integrator.
+//!
+//! `TimeWeighted` integrates a piecewise-constant signal; the oracle
+//! below replays the same segments with the same left-to-right
+//! accumulation, so every comparison is *exact* (`assert_eq!` on f64),
+//! not approximate — any drift in the integrator's arithmetic is a bug,
+//! because the observability layer relies on `integral_at` reproducing
+//! the finalized integrals bit for bit.
+
+use hetsched::metrics::TimeWeighted;
+use proptest::prelude::*;
+
+/// One signal change: hold the previous value for `dt`, then switch.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    dt: f64,
+    value: f64,
+}
+
+/// Decodes raw `(selector, dt, value)` triples into steps. Selector 0
+/// forces a zero-length hold (1 in 4): simultaneous events are everyday
+/// business in a discrete-event simulation, so the oracle must cover
+/// zero-width segments as a common case, not a corner.
+fn decode_steps(raw: &[(u8, f64, f64)]) -> Vec<Step> {
+    raw.iter()
+        .map(|&(sel, dt, value)| Step {
+            dt: if sel % 4 == 0 { 0.0 } else { dt },
+            value,
+        })
+        .collect()
+}
+
+/// Replays `steps` on a tracker and, in lockstep, on a plain fold that
+/// accumulates `value · Δt` exactly the way the tracker claims to.
+/// Returns `(tracker, oracle_integral, oracle_peak, final_time)`.
+fn replay(start: f64, initial: f64, steps: &[Step]) -> (TimeWeighted, f64, f64, f64) {
+    let mut tw = TimeWeighted::new(start, initial);
+    let mut t = start;
+    let mut value = initial;
+    let mut integral = 0.0;
+    let mut peak = initial;
+    for s in steps {
+        let next = t + s.dt;
+        tw.update(next, s.value);
+        integral += value * (next - t);
+        t = next;
+        value = s.value;
+        peak = peak.max(s.value);
+    }
+    (tw, integral, peak, t)
+}
+
+proptest! {
+    /// The integral, peak, value, and time-average all match the oracle
+    /// exactly after any update sequence.
+    #[test]
+    fn integral_matches_the_piecewise_oracle(
+        start in -1000.0f64..1000.0,
+        initial in -100.0f64..100.0,
+        raw in prop::collection::vec((any::<u8>(), 0.0f64..50.0, -100.0f64..100.0), 0..40),
+    ) {
+        let steps = decode_steps(&raw);
+        let (tw, integral, peak, t) = replay(start, initial, &steps);
+        prop_assert_eq!(tw.integral(), integral);
+        prop_assert_eq!(tw.peak(), peak);
+        if let Some(last) = steps.last() {
+            prop_assert_eq!(tw.value(), last.value);
+        }
+        let elapsed = t - start;
+        if elapsed > 0.0 {
+            prop_assert_eq!(tw.time_average(), integral / elapsed);
+        } else {
+            prop_assert_eq!(tw.time_average(), 0.0);
+        }
+    }
+
+    /// `integral_at` is a pure read: it equals accrued-plus-extension,
+    /// never mutates, and agrees with actually advancing the tracker.
+    #[test]
+    fn integral_at_agrees_with_a_real_advance(
+        initial in -100.0f64..100.0,
+        raw in prop::collection::vec((any::<u8>(), 0.0f64..50.0, -100.0f64..100.0), 0..40),
+        extra in 0.0f64..50.0,
+    ) {
+        let steps = decode_steps(&raw);
+        let (tw, integral, _, t) = replay(0.0, initial, &steps);
+        let horizon = t + extra;
+        let expected = integral + tw.value() * (horizon - t);
+        prop_assert_eq!(tw.integral_at(horizon), expected);
+        // Reading twice gives the same answer (no hidden accrual) …
+        prop_assert_eq!(tw.integral_at(horizon), expected);
+        prop_assert_eq!(tw.integral(), integral);
+        // … and a genuine touch lands on exactly the value read.
+        let mut advanced = tw;
+        advanced.touch(horizon);
+        prop_assert_eq!(advanced.integral(), expected);
+    }
+
+    /// `touch` at the current instant is a no-op on every statistic.
+    #[test]
+    fn zero_length_touch_changes_nothing(
+        initial in -100.0f64..100.0,
+        raw in prop::collection::vec((any::<u8>(), 0.0f64..50.0, -100.0f64..100.0), 0..40),
+    ) {
+        let steps = decode_steps(&raw);
+        let (tw, _, _, t) = replay(0.0, initial, &steps);
+        let mut touched = tw;
+        touched.touch(t);
+        prop_assert_eq!(touched, tw);
+    }
+
+    /// `reset_window` restarts the oracle from the reset point: replaying
+    /// the tail alone (with the value live at the reset) reproduces the
+    /// post-reset tracker exactly. This is the warmup-end semantics the
+    /// simulation depends on.
+    #[test]
+    fn reset_window_equals_a_fresh_tracker_from_the_tail(
+        initial in -100.0f64..100.0,
+        raw in prop::collection::vec((any::<u8>(), 0.0f64..50.0, -100.0f64..100.0), 0..40),
+        cut in 0usize..40,
+    ) {
+        let steps = decode_steps(&raw);
+        let cut = cut.min(steps.len());
+        let (mut tw, _, _, t) = replay(0.0, initial, &steps[..cut]);
+        tw.reset_window(t);
+        let live = tw.value();
+        let mut now = t;
+        for s in &steps[cut..] {
+            now += s.dt;
+            tw.update(now, s.value);
+        }
+        // Rebuild the same tail on a fresh tracker started at the cut.
+        let (fresh, integral, peak, _) = replay(t, live, &steps[cut..]);
+        prop_assert_eq!(tw.integral(), integral);
+        prop_assert_eq!(tw.peak(), peak);
+        prop_assert_eq!(tw.value(), fresh.value());
+        prop_assert_eq!(tw.time_average(), fresh.time_average());
+    }
+}
+
+#[test]
+fn backwards_time_is_rejected_everywhere() {
+    let mut tw = TimeWeighted::new(0.0, 1.0);
+    tw.update(5.0, 2.0);
+    for f in [
+        (|tw: &mut TimeWeighted| tw.update(4.9, 0.0)) as fn(&mut TimeWeighted),
+        |tw: &mut TimeWeighted| tw.touch(4.9),
+        |tw: &mut TimeWeighted| {
+            tw.integral_at(4.9);
+        },
+        |tw: &mut TimeWeighted| tw.reset_window(4.9),
+    ] {
+        let mut clone = tw;
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut clone)));
+        assert!(err.is_err(), "backwards time must panic");
+    }
+}
+
+#[test]
+fn final_interval_flush_closes_the_run_integral() {
+    // The simulation's finalize path: irregular updates, then one touch
+    // at the horizon. The closed integral equals the windowed reads the
+    // obs layer made along the way plus the remainder.
+    let mut tw = TimeWeighted::new(0.0, 1.0);
+    tw.update(130.0, 0.0);
+    tw.update(250.0, 1.0);
+    let at_window = tw.integral_at(360.0); // obs boundary read
+    tw.update(470.0, 0.0);
+    tw.touch(500.0); // horizon flush
+    assert_eq!(at_window, 130.0 + 110.0);
+    assert_eq!(tw.integral(), 130.0 + 220.0);
+    assert_eq!(tw.time_average(), 350.0 / 500.0);
+}
