@@ -1,0 +1,224 @@
+//! Dispatch-tier degradation figure.
+//!
+//! The paper's ORR assumes ONE central scheduler running Algorithm 2
+//! over the whole arrival stream. This harness measures what sharding
+//! that front end costs: the global stream is split i.i.d.-randomly
+//! across `D` dispatchers, each running a private ORR instance, and the
+//! mean response ratio is swept over `D ∈ {1, 2, 4, 8, 16}` — once with
+//! no coordination and once per state-sync setting (the tier's periodic
+//! credit-merge protocol, see `hetsched-dispatch`).
+//!
+//! What this figure documents:
+//!
+//! * degradation grows with `D`: each shard equalizes gaps in its *own*
+//!   substream, so the superposed per-computer streams lose the global
+//!   spacing Algorithm 2 exists to provide;
+//! * the naive credit-mean sync is NOT a repair: forcing every shard
+//!   onto the tier-mean `next` vector phase-locks the shards — right
+//!   after a merge all `D` dispatchers favor the same computer, and a
+//!   tight interval re-locks them before they decorrelate. The sweep
+//!   keeps both intervals precisely to archive that effect (a
+//!   phase-preserving merge is a ROADMAP item);
+//! * `D = 1` with the tier compiled in is **bit-identical** to the
+//!   plain single-dispatcher simulation on both event-list backends
+//!   (asserted, not just eyeballed — the sweep is only meaningful if
+//!   the tier itself costs nothing).
+//!
+//! Results are archived into `BENCH_dispatch.json` (override with
+//! `--bench-json PATH`). `--quick` keeps the whole thing CI-friendly.
+
+use hetsched::prelude::*;
+use hetsched_bench::{ci, json_num, json_str, Mode};
+
+/// Dispatcher shard counts swept (1 is the paper's central scheduler).
+const SHARD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// The sync settings swept per shard count. `None` is the uncoordinated
+/// tier; the intervals are simulated seconds between credit merges, all
+/// with a constant 5 s one-way latency.
+const SYNC_SETTINGS: [(&str, Option<f64>); 3] = [
+    ("none", None),
+    ("every 500 s", Some(500.0)),
+    ("every 5000 s", Some(5000.0)),
+];
+
+/// One (D, sync) cell of the sweep.
+struct Cell {
+    dispatchers: usize,
+    sync_label: &'static str,
+    result: ExperimentResult,
+    /// Mean applied sync rounds per replication.
+    syncs_applied: f64,
+    /// Largest per-shard deviation from the ideal 1/D arrival share.
+    max_share_dev: f64,
+}
+
+/// The fig2-shaped cluster: 8 computers with a strongly skewed speed
+/// profile, the same base the kernel bench uses.
+fn dispatch_config() -> ClusterConfig {
+    let speeds = [5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0];
+    ClusterConfig::paper_default(&speeds)
+}
+
+fn experiment(mode: &Mode, dispatchers: usize, sync: Option<f64>) -> Experiment {
+    let mut cfg = dispatch_config();
+    cfg.dispatch = DispatchSpec::sharded(dispatchers, SplitterSpec::IidRandom);
+    if let Some(interval) = sync {
+        cfg.dispatch.sync = Some(SyncSpec::every(interval).with_latency(5.0));
+    }
+    if let Some(backend) = mode.event_list {
+        cfg.event_list = backend;
+    }
+    let mut exp =
+        Experiment::new("fig_dispatch", cfg, PolicySpec::orr()).quick(mode.scale, mode.reps);
+    exp.threads = mode.threads;
+    exp
+}
+
+fn run_cell(mode: &Mode, dispatchers: usize, sync_label: &'static str, sync: Option<f64>) -> Cell {
+    let result = experiment(mode, dispatchers, sync)
+        .run()
+        .unwrap_or_else(|e| panic!("D={dispatchers}, sync {sync_label}: {e}"));
+    let n = result.runs.len() as f64;
+    let syncs_applied = result
+        .runs
+        .iter()
+        .map(|r| r.syncs_applied as f64)
+        .sum::<f64>()
+        / n;
+    let ideal = 1.0 / dispatchers as f64;
+    let max_share_dev = result
+        .runs
+        .iter()
+        .flat_map(|r| r.shards.iter().map(|s| (s.share - ideal).abs()))
+        .fold(0.0f64, f64::max);
+    Cell {
+        dispatchers,
+        sync_label,
+        result,
+        syncs_applied,
+        max_share_dev,
+    }
+}
+
+/// The tentpole guarantee, checked at bench time: an explicit `D = 1`
+/// tier reproduces the implicit (default-config) single dispatcher
+/// bit-for-bit on both event-list backends. `obs.kernel.resizes` is
+/// backend-dependent by design and never populated here (no `--obs`),
+/// so plain equality is the right comparison.
+fn assert_d1_bit_identity(mode: &Mode) -> bool {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        let mut tiered_mode = mode.clone();
+        tiered_mode.event_list = Some(backend);
+        let tiered = experiment(&tiered_mode, 1, None);
+        let mut plain = tiered.clone();
+        plain.cluster.dispatch = Default::default();
+        for rep in 0..mode.reps.min(2) {
+            let a = tiered.run_single(rep).expect("tiered run");
+            let b = plain.run_single(rep).expect("plain run");
+            assert_eq!(
+                a,
+                b,
+                "D=1 tier diverged from the single-dispatcher path on the {} backend",
+                backend.label()
+            );
+        }
+    }
+    true
+}
+
+fn report_json(mode: &Mode, cells: &[Cell], baseline_orr: f64, identical: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bin\": {},\n", json_str("fig_dispatch")));
+    out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
+    out.push_str(&format!("  \"reps\": {},\n", mode.reps));
+    out.push_str(&format!("  \"d1_bit_identical\": {identical},\n"));
+    out.push_str(&format!(
+        "  \"baseline_mean_response_ratio\": {},\n",
+        json_num(baseline_orr)
+    ));
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let orr = c.result.mean_response_ratio.mean;
+            format!(
+                "    {{ \"dispatchers\": {}, \"sync\": {}, \
+                 \"mean_response_ratio\": {}, \"ci_half_width\": {}, \
+                 \"degradation_pct\": {}, \"syncs_applied\": {}, \
+                 \"max_share_dev\": {} }}",
+                c.dispatchers,
+                json_str(c.sync_label),
+                json_num(orr),
+                json_num(c.result.mean_response_ratio.half_width),
+                json_num(100.0 * (orr - baseline_orr) / baseline_orr),
+                json_num(c.syncs_applied),
+                json_num(c.max_share_dev),
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"cells\": [\n{}\n  ]\n", rows.join(",\n")));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("\nDispatch tier: D=1 bit-identity check (both backends)");
+    let identical = assert_d1_bit_identity(&mode);
+    println!("D=1 tier bit-identical to the single-dispatcher path: {identical}");
+
+    println!("\nORR degradation under front-end sharding (i.i.d.-random splitter)");
+    let mut cells = Vec::new();
+    for &d in &SHARD_COUNTS {
+        for &(label, sync) in &SYNC_SETTINGS {
+            if d == 1 && sync.is_some() {
+                continue; // one shard has no peer to sync with
+            }
+            cells.push(run_cell(&mode, d, label, sync));
+        }
+    }
+    let baseline_orr = cells
+        .iter()
+        .find(|c| c.dispatchers == 1)
+        .expect("D=1 cell present")
+        .result
+        .mean_response_ratio
+        .mean;
+
+    let mut t = Table::new([
+        "D",
+        "sync",
+        "mean response ratio",
+        "degradation",
+        "syncs/run",
+        "max share dev",
+    ]);
+    for c in &cells {
+        let orr = c.result.mean_response_ratio.mean;
+        t.row([
+            format!("{}", c.dispatchers),
+            c.sync_label.to_string(),
+            ci(&c.result.mean_response_ratio),
+            format!("{:+.2}%", 100.0 * (orr - baseline_orr) / baseline_orr),
+            format!("{:.0}", c.syncs_applied),
+            format!("{:.4}", c.max_share_dev),
+        ]);
+    }
+    t.print();
+
+    if let Some(path) = &mode.json {
+        let results: Vec<&ExperimentResult> = cells.iter().map(|c| &c.result).collect();
+        hetsched::report::save_json(path.to_str().expect("utf-8 path"), &results)
+            .expect("archiving results");
+        println!("results -> {}", path.display());
+    }
+
+    let path = mode
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_dispatch.json"));
+    let json = report_json(&mode, &cells, baseline_orr, identical);
+    std::fs::write(&path, json).expect("writing dispatch bench json");
+    println!("dispatch sweep -> {}", path.display());
+}

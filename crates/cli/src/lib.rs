@@ -9,11 +9,14 @@
 //!     performance predictions for a fleet.
 //!
 //! hetsched simulate --spec experiment.json [--out results.json]
-//!                   [--event-list heap|calendar]
+//!                   [--event-list heap|calendar] [--dispatchers 4]
+//!                   [--sync-interval 500] [--sync-latency 10]
 //!     Run a full replicated simulation experiment described by a JSON
 //!     spec (see `hetsched template`). `--event-list` overrides the
 //!     spec's future-event-list backend; results are bit-identical
-//!     either way.
+//!     either way. `--dispatchers` shards the front end across D
+//!     dispatcher instances; `--sync-interval` (with an optional
+//!     `--sync-latency`) turns on the tier's periodic state-sync.
 //!
 //! hetsched observe --spec experiment.json [--interval 120]
 //!                  [--out series.jsonl] [--csv series.csv]
@@ -55,6 +58,14 @@ pub enum Command {
         out: Option<String>,
         /// Optional future-event-list backend override.
         event_list: Option<EventListBackend>,
+        /// Optional dispatcher-shard-count override.
+        dispatchers: Option<usize>,
+        /// Optional state-sync interval override (seconds; enables the
+        /// sync plane).
+        sync_interval: Option<f64>,
+        /// Optional one-way sync latency (seconds; requires
+        /// `sync_interval`).
+        sync_latency: Option<f64>,
     },
     /// `observe`: run one replication with the probe plane enabled.
     Observe {
@@ -84,7 +95,8 @@ hetsched — optimized static job scheduling (Tang & Chanson, ICPP 2000)
 USAGE:
   hetsched allocate --speeds 1,1.5,10 --rho 0.7
   hetsched simulate --spec experiment.json [--out results.json]
-                    [--event-list heap|calendar]
+                    [--event-list heap|calendar] [--dispatchers 4]
+                    [--sync-interval 500] [--sync-latency 10]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
                    [--replication 0] [--event-list heap|calendar]
@@ -136,6 +148,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut spec = None;
             let mut out = None;
             let mut event_list = None;
+            let mut dispatchers = None;
+            let mut sync_interval = None;
+            let mut sync_latency = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
@@ -144,13 +159,43 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         let v = it.next().ok_or("--event-list needs 'heap' or 'calendar'")?;
                         event_list = Some(v.parse::<EventListBackend>()?);
                     }
+                    "--dispatchers" => {
+                        let v = it.next().ok_or("--dispatchers needs a count")?;
+                        let d: usize = v.parse().map_err(|e| format!("bad dispatchers: {e}"))?;
+                        if d == 0 {
+                            return Err("need at least one dispatcher".into());
+                        }
+                        dispatchers = Some(d);
+                    }
+                    "--sync-interval" => {
+                        let v = it.next().ok_or("--sync-interval needs seconds")?;
+                        let iv: f64 = v.parse().map_err(|e| format!("bad sync interval: {e}"))?;
+                        if !(iv.is_finite() && iv > 0.0) {
+                            return Err(format!("sync interval must be positive, got {v}"));
+                        }
+                        sync_interval = Some(iv);
+                    }
+                    "--sync-latency" => {
+                        let v = it.next().ok_or("--sync-latency needs seconds")?;
+                        let lat: f64 = v.parse().map_err(|e| format!("bad sync latency: {e}"))?;
+                        if !(lat.is_finite() && lat >= 0.0) {
+                            return Err(format!("sync latency must be ≥ 0, got {v}"));
+                        }
+                        sync_latency = Some(lat);
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
+            }
+            if sync_latency.is_some() && sync_interval.is_none() {
+                return Err("--sync-latency requires --sync-interval".into());
             }
             Ok(Command::Simulate {
                 spec: spec.ok_or("simulate requires --spec")?,
                 out,
                 event_list,
+                dispatchers,
+                sync_interval,
+                sync_latency,
             })
         }
         "observe" => {
@@ -222,7 +267,17 @@ pub fn run(cmd: Command) -> i32 {
             spec,
             out,
             event_list,
-        } => match simulate(&spec, out.as_deref(), event_list) {
+            dispatchers,
+            sync_interval,
+            sync_latency,
+        } => match simulate(
+            &spec,
+            out.as_deref(),
+            event_list,
+            dispatchers,
+            sync_interval,
+            sync_latency,
+        ) {
             Ok(text) => {
                 println!("{text}");
                 0
@@ -300,6 +355,9 @@ pub fn simulate(
     spec_path: &str,
     out: Option<&str>,
     event_list: Option<EventListBackend>,
+    dispatchers: Option<usize>,
+    sync_interval: Option<f64>,
+    sync_latency: Option<f64>,
 ) -> Result<String, String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
@@ -307,6 +365,16 @@ pub fn simulate(
         serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
     if let Some(backend) = event_list {
         exp.cluster.event_list = backend;
+    }
+    if let Some(d) = dispatchers {
+        exp.cluster.dispatch.dispatchers = d;
+    }
+    if let Some(iv) = sync_interval {
+        let mut sync = SyncSpec::every(iv);
+        if let Some(lat) = sync_latency {
+            sync = sync.with_latency(lat);
+        }
+        exp.cluster.dispatch.sync = Some(sync);
     }
     let result = exp.run()?;
     if let Some(path) = out {
@@ -439,8 +507,72 @@ mod tests {
                 spec: "a.json".into(),
                 out: Some("b.json".into()),
                 event_list: None,
+                dispatchers: None,
+                sync_interval: None,
+                sync_latency: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_simulate_dispatch_overrides() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--dispatchers",
+            "4",
+            "--sync-interval",
+            "500",
+            "--sync-latency",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                spec: "a.json".into(),
+                out: None,
+                event_list: None,
+                dispatchers: Some(4),
+                sync_interval: Some(500.0),
+                sync_latency: Some(10.0),
+            }
+        );
+        // Zero dispatchers, negative knobs, and a latency without an
+        // interval are rejected at parse time.
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--dispatchers",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sync-interval",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sync-latency",
+            "-1"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sync-latency",
+            "5"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -459,6 +591,9 @@ mod tests {
                 spec: "a.json".into(),
                 out: None,
                 event_list: Some(EventListBackend::Calendar),
+                dispatchers: None,
+                sync_interval: None,
+                sync_latency: None,
             }
         );
         let e = parse_args(&args(&[
@@ -569,6 +704,9 @@ mod tests {
             spec_path.to_str().unwrap(),
             Some(out_path.to_str().unwrap()),
             Some(EventListBackend::Calendar),
+            None,
+            None,
+            None,
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -626,8 +764,39 @@ mod tests {
 
     #[test]
     fn simulate_reports_missing_file() {
-        let e = simulate("/definitely/not/here.json", None, None).unwrap_err();
+        let e = simulate("/definitely/not/here.json", None, None, None, None, None).unwrap_err();
         assert!(e.contains("reading"));
+    }
+
+    #[test]
+    fn simulate_applies_dispatch_overrides() {
+        let dir = std::env::temp_dir().join("hetsched_cli_dispatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let out_path = dir.join("out.json");
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        exp.replications = 2;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let report = simulate(
+            spec_path.to_str().unwrap(),
+            Some(out_path.to_str().unwrap()),
+            None,
+            Some(2),
+            Some(1_000.0),
+            Some(5.0),
+        )
+        .unwrap();
+        assert!(report.contains("ORR"));
+        let saved: hetsched::experiment::ExperimentResult =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        for run in &saved.runs {
+            assert_eq!(run.shards.len(), 2, "two dispatcher shards");
+            assert!(run.syncs_applied > 0, "sync plane was enabled");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -638,7 +807,7 @@ mod tests {
         let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
         exp.cluster.utilization = 1.5;
         std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
-        let e = simulate(spec_path.to_str().unwrap(), None, None).unwrap_err();
+        let e = simulate(spec_path.to_str().unwrap(), None, None, None, None, None).unwrap_err();
         assert!(e.contains("utilization"), "message names the bad knob: {e}");
         let _ = std::fs::remove_dir_all(&dir);
     }

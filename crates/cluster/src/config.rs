@@ -202,6 +202,12 @@ pub struct ClusterConfig {
     /// parsing and reproducing unchanged.
     #[serde(default)]
     pub obs: Option<hetsched_obs::ObsSpec>,
+    /// The front-end dispatch tier (see [`hetsched_dispatch`]). The
+    /// serde default — one dispatcher, no state-sync — is structurally
+    /// invisible, so configs serialized before the tier existed parse
+    /// and reproduce bit-for-bit.
+    #[serde(default)]
+    pub dispatch: hetsched_dispatch::DispatchSpec,
 }
 
 impl ClusterConfig {
@@ -222,6 +228,7 @@ impl ClusterConfig {
             faults: None,
             event_list: EventListBackend::default(),
             obs: None,
+            dispatch: hetsched_dispatch::DispatchSpec::default(),
         }
     }
 
@@ -311,6 +318,7 @@ impl ClusterConfig {
         if let Some(obs) = &self.obs {
             obs.validate()?;
         }
+        self.dispatch.validate()?;
         Ok(())
     }
 }
@@ -379,6 +387,9 @@ mod tests {
         let mut bad = good.clone();
         bad.obs = Some(hetsched_obs::ObsSpec::every(-5.0));
         assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.dispatch.dispatchers = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -431,6 +442,18 @@ mod tests {
         let back: ClusterConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back, cfg);
         assert!(back.obs.is_none());
+    }
+
+    #[test]
+    fn config_without_dispatch_key_deserializes_to_default() {
+        // Back-compat: configs serialized before the dispatch tier
+        // existed must parse unchanged, with the invisible D=1 tier.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("dispatch");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.dispatch.is_trivial());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! [`JobId`]s with generation counters so a stale id (a model bug) is
 //! detected instead of silently reading a recycled slot.
 
+use hetsched_error::HetschedError;
+
 /// Identifier of an in-flight job: slot index + generation.
 ///
 /// `Ord` is derived so ids can break ties deterministically inside
@@ -61,6 +63,21 @@ pub struct JobSlab {
     total_inserted: u64,
 }
 
+/// Computes the next fresh slot index, or a typed error when the `u32`
+/// index space is exhausted (more than `u32::MAX + 1` jobs in flight at
+/// once). Split out of `try_insert` so the exhaustion path is testable
+/// without allocating four billion slots.
+fn fresh_index(slots_len: usize, live: usize, total_inserted: u64) -> Result<u32, HetschedError> {
+    u32::try_from(slots_len).map_err(|_| {
+        HetschedError::Capacity(format!(
+            "job slab index space (u32) full: {live} jobs in flight, \
+             {total_inserted} inserted in total — the cluster cannot hold \
+             more than {} concurrent jobs",
+            u32::MAX as u64 + 1
+        ))
+    })
+}
+
 impl JobSlab {
     /// An empty slab.
     pub fn new() -> Self {
@@ -76,10 +93,19 @@ impl JobSlab {
     }
 
     /// Inserts a job, returning its id.
+    ///
+    /// # Panics
+    /// Panics when the slab's `u32` index space is exhausted; use
+    /// [`JobSlab::try_insert`] to get the typed error instead.
     pub fn insert(&mut self, record: JobRecord) -> JobId {
-        self.live += 1;
-        self.total_inserted += 1;
-        match self.free_head {
+        self.try_insert(record).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Inserts a job, returning its id, or a typed
+    /// [`HetschedError::Capacity`] when more than `u32::MAX + 1` jobs
+    /// would be in flight at once.
+    pub fn try_insert(&mut self, record: JobRecord) -> Result<JobId, HetschedError> {
+        let id = match self.free_head {
             Some(index) => {
                 let slot = &mut self.slots[index as usize];
                 let Slot::Free {
@@ -95,7 +121,7 @@ impl JobSlab {
                 JobId { index, generation }
             }
             None => {
-                let index = u32::try_from(self.slots.len()).expect("slab overflow");
+                let index = fresh_index(self.slots.len(), self.live, self.total_inserted)?;
                 self.slots.push(Slot::Occupied {
                     generation: 0,
                     record,
@@ -105,7 +131,10 @@ impl JobSlab {
                     generation: 0,
                 }
             }
-        }
+        };
+        self.live += 1;
+        self.total_inserted += 1;
+        Ok(id)
     }
 
     /// Reads a live job record.
@@ -233,6 +262,36 @@ mod tests {
         assert_eq!(slab.capacity_used(), 1, "churn should reuse one slot");
         assert_eq!(slab.total_inserted(), 10_000);
         assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn slab_exhaustion_is_a_typed_capacity_error() {
+        // The real condition needs > 4e9 concurrent jobs; exercise the
+        // extracted index computation instead.
+        assert!(fresh_index(12, 12, 40).is_ok());
+        assert_eq!(fresh_index(u32::MAX as usize, 5, 10).unwrap(), u32::MAX);
+        let err = fresh_index(u32::MAX as usize + 1, 4_294_967_296, 9_999).unwrap_err();
+        match &err {
+            HetschedError::Capacity(msg) => {
+                assert!(msg.contains("4294967296 jobs in flight"), "{msg}");
+                assert!(msg.contains("9999 inserted"), "{msg}");
+            }
+            other => panic!("expected Capacity, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("capacity exhausted:"));
+    }
+
+    #[test]
+    fn try_insert_matches_insert_bookkeeping() {
+        let mut slab = JobSlab::new();
+        let a = slab.try_insert(rec(1.0)).unwrap();
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.total_inserted(), 1);
+        assert_eq!(slab.get(a).size, 1.0);
+        slab.remove(a);
+        let b = slab.try_insert(rec(2.0)).unwrap();
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a, b);
     }
 
     #[test]

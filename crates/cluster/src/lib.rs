@@ -31,6 +31,12 @@
 //!   restarted), driven by dedicated RNG streams so fault runs stay
 //!   bit-reproducible and `faults: None` reproduces the fault-free
 //!   simulation byte-for-byte.
+//! * the dispatch tier (`hetsched-dispatch`, re-exported here) — an
+//!   optional front-end of `D` dispatcher shards, each running a private
+//!   [`Policy`] instance over a partition of the arrival stream, with an
+//!   optional periodic state-sync plane. One dispatcher with sync
+//!   disabled (the default) is bit-identical to the classic
+//!   single-scheduler simulation.
 //! * [`obs`] — the run-level observability driver: a
 //!   `hetsched-obs` probe registry sampled on a fixed window, recording
 //!   per-server queue length / utilization / availability, cluster-wide
@@ -59,10 +65,11 @@ pub mod trace;
 pub use config::{ArrivalSpec, ClusterConfig, EventListBackend};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};
+pub use hetsched_dispatch::{DispatchSpec, SplitterSpec, SyncSpec, SyncState};
 pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
 pub use job::{JobId, JobRecord, JobSlab};
 pub use obs::{ObsDriver, ObsView};
 pub use policy::{DispatchCtx, Policy};
-pub use results::{RunStats, ServerStats};
+pub use results::{RunStats, ServerStats, ShardStats};
 pub use simulation::Simulation;
 pub use trace::{JobTrace, TraceCollector, TraceSpec};

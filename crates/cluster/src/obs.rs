@@ -53,6 +53,13 @@ pub struct ObsView {
     pub resp_p99: f64,
     /// Fig. 2 workload-allocation deviation for this window.
     pub deviation: f64,
+    /// Per-dispatcher-shard arrival share this window (empty unless the
+    /// run used more than one dispatcher).
+    pub shard_shares: Vec<f64>,
+    /// Per-shard workload-allocation deviation this window, measured
+    /// against the same expected fractions as the global `deviation`
+    /// (empty unless the run used more than one dispatcher).
+    pub shard_deviations: Vec<f64>,
 }
 
 /// Per-server instantaneous queue length, column `qlen[i]`.
@@ -111,6 +118,34 @@ impl Probe<ObsView> for UpProbe {
     }
 }
 
+/// Per-dispatcher-shard arrival share, column `shard_share[d]`.
+struct ShardShareProbe {
+    shard: usize,
+}
+
+impl Probe<ObsView> for ShardShareProbe {
+    fn name(&self) -> String {
+        format!("shard_share[{}]", self.shard)
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        view.shard_shares[self.shard]
+    }
+}
+
+/// Per-dispatcher-shard allocation deviation, column `shard_dev[d]`.
+struct ShardDevProbe {
+    shard: usize,
+}
+
+impl Probe<ObsView> for ShardDevProbe {
+    fn name(&self) -> String {
+        format!("shard_dev[{}]", self.shard)
+    }
+    fn sample(&mut self, _now: f64, view: &ObsView) -> f64 {
+        view.shard_deviations[self.shard]
+    }
+}
+
 /// Reader for one cluster-wide scalar column of the view.
 type ViewRead = fn(&ObsView) -> f64;
 
@@ -149,6 +184,11 @@ pub struct ObsDriver {
     p50: P2Quantile,
     p95: P2Quantile,
     p99: P2Quantile,
+    // Per-shard dispatch counters (empty when the run has a single
+    // dispatcher — the shard probes are then never registered, keeping
+    // the report's column set byte-identical to the pre-tier one).
+    shard_dispatch: Vec<Vec<u64>>,
+    shard_total: Vec<u64>,
 }
 
 impl ObsDriver {
@@ -156,8 +196,10 @@ impl ObsDriver {
     ///
     /// `expected` is the policy's expected workload allocation (the same
     /// fractions `DeviationTracker` is built from); its length must be
-    /// `n`.
-    pub fn new(spec: &ObsSpec, n: usize, expected: Vec<f64>) -> Self {
+    /// `n`. `shards` is the dispatch tier's dispatcher count; values
+    /// below 2 disable the per-shard probes entirely, so a
+    /// single-dispatcher report keeps the pre-tier column set.
+    pub fn new(spec: &ObsSpec, n: usize, expected: Vec<f64>, shards: usize) -> Self {
         assert_eq!(expected.len(), n, "one expected fraction per server");
         let interval = spec.sample_interval;
         let mut registry = ProbeRegistry::new();
@@ -183,6 +225,11 @@ impl ObsDriver {
         for (name, read) in scalars {
             registry.register(Box::new(ViewProbe { name, read }));
         }
+        let shards = if shards >= 2 { shards } else { 0 };
+        for shard in 0..shards {
+            registry.register(Box::new(ShardShareProbe { shard }));
+            registry.register(Box::new(ShardDevProbe { shard }));
+        }
         ObsDriver {
             interval,
             window_start: 0.0,
@@ -196,6 +243,8 @@ impl ObsDriver {
             p50: P2Quantile::new(0.50),
             p95: P2Quantile::new(0.95),
             p99: P2Quantile::new(0.99),
+            shard_dispatch: vec![vec![0; n]; shards],
+            shard_total: vec![0; shards],
         }
     }
 
@@ -227,6 +276,18 @@ impl ObsDriver {
     pub fn on_dispatch(&mut self, server: usize) {
         self.dispatch[server] += 1;
         self.dispatch_total += 1;
+    }
+
+    /// Records which dispatcher shard routed the dispatch just recorded
+    /// via [`ObsDriver::on_dispatch`]. A no-op when the shard probes are
+    /// disabled (single-dispatcher runs).
+    #[inline]
+    pub fn on_shard_dispatch(&mut self, shard: usize, server: usize) {
+        if self.shard_total.is_empty() {
+            return;
+        }
+        self.shard_dispatch[shard][server] += 1;
+        self.shard_total[shard] += 1;
     }
 
     /// Records one job completion (counted or not).
@@ -271,6 +332,40 @@ impl ObsDriver {
                 })
                 .sum()
         };
+        // Per-shard deviations use the same accumulation formula over
+        // each shard's private dispatch counters: how far one shard's
+        // realized allocation strays from the tier-wide target.
+        let shard_deviations: Vec<f64> = self
+            .shard_dispatch
+            .iter()
+            .zip(&self.shard_total)
+            .map(|(counts, &total)| {
+                if total == 0 {
+                    self.expected.iter().map(|a| a * a).sum()
+                } else {
+                    let t = total as f64;
+                    self.expected
+                        .iter()
+                        .zip(counts)
+                        .map(|(&a, &c)| {
+                            let actual = c as f64 / t;
+                            (a - actual) * (a - actual)
+                        })
+                        .sum()
+                }
+            })
+            .collect();
+        let shard_shares: Vec<f64> = self
+            .shard_total
+            .iter()
+            .map(|&c| {
+                if self.dispatch_total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.dispatch_total as f64
+                }
+            })
+            .collect();
         ObsView {
             queue_lens: servers.iter().map(|s| s.queue_len() as f64).collect(),
             busy_integrals: servers
@@ -289,6 +384,8 @@ impl ObsDriver {
             resp_p95: self.p95.estimate().unwrap_or(0.0),
             resp_p99: self.p99.estimate().unwrap_or(0.0),
             deviation,
+            shard_shares,
+            shard_deviations,
         }
     }
 
@@ -301,6 +398,10 @@ impl ObsDriver {
         self.p50 = P2Quantile::new(0.50);
         self.p95 = P2Quantile::new(0.95);
         self.p99 = P2Quantile::new(0.99);
+        for counts in &mut self.shard_dispatch {
+            counts.iter_mut().for_each(|c| *c = 0);
+        }
+        self.shard_total.iter_mut().for_each(|c| *c = 0);
     }
 }
 
@@ -319,7 +420,7 @@ mod tests {
 
     #[test]
     fn standard_columns_in_order() {
-        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5]);
+        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5], 1);
         let report = driver.into_report(FelStats::default());
         assert_eq!(
             report.columns,
@@ -347,7 +448,7 @@ mod tests {
         let expected = vec![0.2, 0.3, 0.5];
         let interval = 100.0;
         let mut tracker = DeviationTracker::new(&expected, interval, 0.0);
-        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone());
+        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone(), 1);
         let servers = servers(3);
 
         // Irregular dispatch stream crossing several windows, including
@@ -381,7 +482,7 @@ mod tests {
     #[test]
     fn empty_window_reports_zero_rates_and_full_deviation() {
         let expected = vec![0.25, 0.75];
-        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone());
+        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone(), 1);
         let servers = servers(2);
         driver.flush_to(50.0, &servers, 0);
         let report = driver.into_report(FelStats::default());
@@ -403,7 +504,7 @@ mod tests {
 
     #[test]
     fn window_counters_reset_between_windows() {
-        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0]);
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1);
         let servers = servers(1);
         driver.on_arrival();
         driver.on_arrival();
@@ -422,6 +523,63 @@ mod tests {
     }
 
     #[test]
+    fn shard_probes_appear_only_with_multiple_dispatchers() {
+        // D = 1 (or 0): no shard columns — the report schema is exactly
+        // the pre-dispatch-tier one.
+        for shards in [0, 1] {
+            let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], shards);
+            let report = driver.into_report(FelStats::default());
+            assert!(
+                !report.columns.iter().any(|c| c.starts_with("shard_")),
+                "shards={shards}: {:?}",
+                report.columns
+            );
+        }
+        // D = 2: share and deviation columns per shard, after "deviation".
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 2);
+        let report = driver.into_report(FelStats::default());
+        let tail: Vec<&str> = report
+            .columns
+            .iter()
+            .rev()
+            .take(4)
+            .rev()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(
+            tail,
+            vec![
+                "shard_share[0]",
+                "shard_dev[0]",
+                "shard_share[1]",
+                "shard_dev[1]"
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_counters_track_shares_and_deviation() {
+        let expected = vec![0.5, 0.5];
+        let mut driver = ObsDriver::new(&ObsSpec::every(100.0), 2, expected, 2);
+        let servers = servers(2);
+        // Shard 0 routes three jobs (two to server 0), shard 1 routes one.
+        for (shard, server) in [(0, 0), (0, 1), (0, 0), (1, 1)] {
+            driver.on_dispatch(server);
+            driver.on_shard_dispatch(shard, server);
+        }
+        driver.flush_to(100.0, &servers, 0);
+        let report = driver.into_report(FelStats::default());
+        let col = |name: &str| report.column(name).unwrap()[0];
+        assert_eq!(col("shard_share[0]"), 0.75);
+        assert_eq!(col("shard_share[1]"), 0.25);
+        // Shard 0 realized (2/3, 1/3) against (0.5, 0.5).
+        let d0 = (0.5f64 - 2.0 / 3.0).powi(2) + (0.5f64 - 1.0 / 3.0).powi(2);
+        assert!((col("shard_dev[0]") - d0).abs() < 1e-15);
+        // Shard 1 realized (0, 1): deviation 0.25 + 0.25.
+        assert_eq!(col("shard_dev[1]"), 0.5);
+    }
+
+    #[test]
     fn utilization_probe_differences_and_rebases() {
         let mk_view = |busy: f64| ObsView {
             queue_lens: vec![0.0],
@@ -435,6 +593,8 @@ mod tests {
             resp_p95: 0.0,
             resp_p99: 0.0,
             deviation: 0.0,
+            shard_shares: Vec::new(),
+            shard_deviations: Vec::new(),
         };
         let mut p = UtilizationProbe {
             server: 0,

@@ -18,6 +18,7 @@
 //! bookkeeping (round-robin credits, believed loads) inside the call.
 
 use hetsched_desim::Rng64;
+use hetsched_dispatch::SyncState;
 
 /// Information available to a policy at dispatch time.
 #[derive(Debug)]
@@ -66,6 +67,20 @@ pub trait Policy {
         None
     }
 
+    /// Snapshot of this instance's mergeable state for the dispatch
+    /// tier's periodic state-sync (Algorithm-2 credit/deficit counters,
+    /// believed loads). `None` (the default) means the policy has
+    /// nothing mergeable and sync rounds skip it.
+    fn sync_state(&self) -> Option<SyncState> {
+        None
+    }
+
+    /// Adopts the tier-wide consensus shipped back by a sync round.
+    /// The default is a no-op; policies that publish state in
+    /// [`Policy::sync_state`] override this to merge the consensus into
+    /// their private counters.
+    fn merge_sync(&mut self, _consensus: &SyncState, _now: f64) {}
+
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
 }
@@ -89,6 +104,14 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
         (**self).expected_fractions()
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        (**self).sync_state()
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, now: f64) {
+        (**self).merge_sync(consensus, now)
     }
 
     fn name(&self) -> String {
@@ -129,5 +152,7 @@ mod tests {
         assert!(!p.needs_load_updates());
         p.on_load_update(0, 3, 1.0); // default no-op must not panic
         p.on_membership_change(&[true, false], 1.0); // likewise
+        assert!(p.sync_state().is_none()); // nothing mergeable by default
+        p.merge_sync(&SyncState::default(), 1.0); // default no-op
     }
 }

@@ -40,6 +40,17 @@ pub struct ServerStats {
     pub crashes: u64,
 }
 
+/// Per-dispatcher-shard statistics over the measurement window (only
+/// populated when the run used more than one dispatcher).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Counted jobs this dispatcher routed (including jobs later lost to
+    /// crashes; resubmissions route again and count again).
+    pub jobs: u64,
+    /// `jobs / Σ jobs` — the realized arrival share of this shard.
+    pub share: f64,
+}
+
 /// Statistics of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -121,6 +132,15 @@ pub struct RunStats {
     /// backend bit-identity must strip this field first.
     #[serde(default)]
     pub obs: Option<hetsched_obs::ObsReport>,
+    /// Per-dispatcher-shard detail. Empty for single-dispatcher runs —
+    /// including every run archived before the dispatch tier existed,
+    /// which deserialize to the empty default.
+    #[serde(default)]
+    pub shards: Vec<ShardStats>,
+    /// State-sync rounds applied during the measurement window (0 when
+    /// sync is disabled).
+    #[serde(default)]
+    pub syncs_applied: u64,
 }
 
 impl RunStats {
@@ -182,6 +202,17 @@ mod tests {
             mean_degraded_response_time: 20.0,
             mean_degraded_response_ratio: 4.0,
             obs: None,
+            shards: vec![
+                ShardStats {
+                    jobs: 60,
+                    share: 0.6,
+                },
+                ShardStats {
+                    jobs: 40,
+                    share: 0.4,
+                },
+            ],
+            syncs_applied: 7,
         }
     }
 
@@ -240,5 +271,19 @@ mod tests {
         let back: RunStats = serde_json::from_value(json).unwrap();
         assert_eq!(back, s);
         assert!(back.obs.is_none());
+    }
+
+    #[test]
+    fn pre_dispatch_json_deserializes_with_defaults() {
+        // Archived results from before the dispatch tier lack the shard
+        // fields; they must load as single-dispatcher runs.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("shards");
+        obj.remove("syncs_applied");
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert!(back.shards.is_empty());
+        assert_eq!(back.syncs_applied, 0);
     }
 }

@@ -23,18 +23,37 @@
 //!    see [`crate::faults`]) and a repair brings the server back empty.
 //!    `MembershipNotice` delivers the (optionally delayed) up/down view
 //!    to the policy.
+//! 7. `SyncPublish` / `SyncApply` — the dispatch tier's periodic
+//!    state-sync (only scheduled when [`ClusterConfig::dispatch`] has a
+//!    sync plane): every `interval` seconds the shards' mergeable policy
+//!    state is snapshotted, the elementwise-mean consensus computed, and
+//!    — after the configured one-way latency — merged back into every
+//!    shard.
+//!
+//! The dispatch tier: `ClusterConfig::dispatch.dispatchers` front-end
+//! dispatchers each run a private [`Policy`] instance; a
+//! [`Splitter`] partitions the arrival stream across them. With one
+//! dispatcher and sync disabled the tier is structurally invisible —
+//! the splitter routes without creating or drawing from any RNG and no
+//! sync event exists — so a `D = 1` run is bit-identical to the
+//! pre-tier simulation.
 //!
 //! Determinism: every stochastic component draws from its own
 //! seed-derived stream — arrivals (0), sizes (1), dispatch (2), network
-//! (3), and one fault stream per server (4 + i) — so two runs with the
-//! same seed are identical and runs with different seeds are the paper's
-//! "independent runs". With `faults: None` the fault streams are never
-//! created and no fault event is ever scheduled, so the simulation is
-//! byte-for-byte the fault-free one.
+//! (3), one fault stream per server (4 + i), and the splitter's own
+//! stream (`hetsched_dispatch::SPLITTER_STREAM`, far above any server
+//! index) — so two runs with the same seed are identical and runs with
+//! different seeds are the paper's "independent runs". With
+//! `faults: None` the fault streams are never created and no fault
+//! event is ever scheduled, so the simulation is byte-for-byte the
+//! fault-free one; the same construction applies to the dispatch tier.
+
+use std::collections::VecDeque;
 
 use hetsched_desim::{
     Actor, CalendarQueue, Engine, EventQueue, FelStats, FutureEventList, Rng64, Scheduler, SimTime,
 };
+use hetsched_dispatch::{consensus, Splitter, SyncSpec, SyncState};
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
 use hetsched_error::HetschedError;
 use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
@@ -45,8 +64,9 @@ use crate::job::{JobId, JobRecord, JobSlab};
 use crate::network::membership_notice_delay;
 use crate::obs::ObsDriver;
 use crate::policy::{DispatchCtx, Policy};
-use crate::results::{RunStats, ServerStats};
+use crate::results::{RunStats, ServerStats, ShardStats};
 use crate::server::Server;
+use crate::trace::TraceCollector;
 
 /// Events of the cluster model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,23 +88,76 @@ enum Ev {
     /// A delayed crash/repair notification reaches the scheduler; the
     /// policy is shown the *current* membership at delivery time.
     MembershipNotice,
+    /// The dispatch tier snapshots every shard's mergeable policy state
+    /// and computes the consensus (scheduled only when the config has a
+    /// sync plane).
+    SyncPublish,
+    /// A previously published consensus, delayed by the sync latency,
+    /// reaches the shards and is merged into every policy instance.
+    SyncApply,
 }
 
 /// A configured, seeded simulation ready to run.
 pub struct Simulation<P: Policy> {
     cfg: ClusterConfig,
-    policy: P,
+    /// One policy instance per dispatcher shard (exactly one for the
+    /// classic single-dispatcher simulation).
+    policies: Vec<P>,
+    /// Built eagerly so a bad trace spec is a typed constructor error
+    /// rather than a mid-run panic.
+    trace: Option<TraceCollector>,
     seed: u64,
 }
 
 impl<P: Policy> Simulation<P> {
-    /// Creates a simulation.
+    /// Creates a single-dispatcher simulation.
     ///
     /// # Errors
-    /// Returns the typed validation error of [`ClusterConfig::validate`].
+    /// Returns the typed validation error of [`ClusterConfig::validate`],
+    /// or [`HetschedError::InvalidConfig`] when the config asks for more
+    /// than one dispatcher — build those with
+    /// [`Simulation::with_policies`], which takes one policy instance
+    /// per shard.
     pub fn new(cfg: ClusterConfig, policy: P, seed: u64) -> Result<Self, HetschedError> {
+        if cfg.dispatch.dispatchers != 1 {
+            return Err(HetschedError::InvalidConfig(format!(
+                "config asks for {} dispatchers but Simulation::new wires a \
+                 single policy; use Simulation::with_policies with one \
+                 instance per shard",
+                cfg.dispatch.dispatchers
+            )));
+        }
+        Self::with_policies(cfg, vec![policy], seed)
+    }
+
+    /// Creates a simulation with one policy instance per dispatcher
+    /// shard (`policies.len()` must equal
+    /// `cfg.dispatch.dispatchers`).
+    ///
+    /// # Errors
+    /// Returns the typed validation error of [`ClusterConfig::validate`],
+    /// or [`HetschedError::InvalidConfig`] on a shard-count mismatch.
+    pub fn with_policies(
+        cfg: ClusterConfig,
+        policies: Vec<P>,
+        seed: u64,
+    ) -> Result<Self, HetschedError> {
         cfg.validate()?;
-        Ok(Simulation { cfg, policy, seed })
+        if policies.len() != cfg.dispatch.dispatchers {
+            return Err(HetschedError::InvalidConfig(format!(
+                "config asks for {} dispatchers but {} policy instances \
+                 were supplied",
+                cfg.dispatch.dispatchers,
+                policies.len()
+            )));
+        }
+        let trace = cfg.trace.map(TraceCollector::new).transpose()?;
+        Ok(Simulation {
+            cfg,
+            policies,
+            trace,
+            seed,
+        })
     }
 
     /// Runs to the horizon and returns the collected statistics.
@@ -101,7 +174,12 @@ impl<P: Policy> Simulation<P> {
     }
 
     fn run_on<Q: FutureEventList<Ev>>(self, queue: Q) -> RunStats {
-        let Simulation { cfg, policy, seed } = self;
+        let Simulation {
+            cfg,
+            policies,
+            trace,
+            seed,
+        } = self;
         let lambda = cfg.lambda();
         let servers: Vec<Server> = cfg
             .speeds
@@ -112,8 +190,9 @@ impl<P: Policy> Simulation<P> {
         // The deviation tracker and the observability plane both compare
         // realized dispatch fractions with the policy's *target*
         // fractions; policies without a target (dynamic ones) are
-        // measured against an equal split.
-        let expected = policy
+        // measured against an equal split. The shards run identical
+        // policy instances, so shard 0 speaks for the tier.
+        let expected = policies[0]
             .expected_fractions()
             .unwrap_or_else(|| vec![1.0 / n as f64; n]);
         let deviation = cfg
@@ -122,7 +201,7 @@ impl<P: Policy> Simulation<P> {
         let obs = cfg
             .obs
             .as_ref()
-            .map(|spec| ObsDriver::new(spec, n, expected));
+            .map(|spec| ObsDriver::new(spec, n, expected, cfg.dispatch.dispatchers));
         // Fault streams are only created when faults are configured, so a
         // `faults: None` run draws exactly the same values from exactly
         // the same streams as a build without the fault layer.
@@ -133,8 +212,15 @@ impl<P: Policy> Simulation<P> {
             parked: vec![Vec::new(); n],
             spec,
         });
+        let shards = cfg.dispatch.dispatchers;
         let mut model = Model {
-            policy,
+            policies,
+            // D = 1 builds the trivial splitter: shard 0 always, no RNG.
+            splitter: Splitter::new(&cfg.dispatch, seed),
+            shard_routed: vec![0; shards],
+            sync: cfg.dispatch.sync,
+            pending_sync: VecDeque::new(),
+            syncs_applied: 0,
             servers,
             arrivals: cfg.arrivals.build(lambda),
             sizes: cfg.job_sizes.build(),
@@ -154,7 +240,7 @@ impl<P: Policy> Simulation<P> {
             ratio_histogram: cfg
                 .track_ratio_histogram
                 .then(|| Histogram::new(1e-4, 1e6, 1.05)),
-            trace: cfg.trace.map(crate::trace::TraceCollector::new),
+            trace,
             deviation,
             obs,
             jobs_counted: 0,
@@ -173,6 +259,11 @@ impl<P: Policy> Simulation<P> {
         engine.schedule_at(SimTime::new(first_gap), Ev::Arrival);
         if cfg.warmup > 0.0 {
             engine.schedule_at(SimTime::new(cfg.warmup), Ev::WarmupEnd);
+        }
+        // The sync plane exists only when configured; without it no sync
+        // event is ever scheduled (the D=1 invisibility path).
+        if let Some(sync) = cfg.dispatch.sync {
+            engine.schedule_at(SimTime::new(sync.interval), Ev::SyncPublish);
         }
         if let Some(fr) = &mut model.faults {
             for i in 0..n {
@@ -201,7 +292,18 @@ struct FaultRuntime {
 }
 
 struct Model<P: Policy> {
-    policy: P,
+    /// One policy instance per dispatcher shard.
+    policies: Vec<P>,
+    /// Routes each arrival to a shard (trivial for one dispatcher).
+    splitter: Splitter,
+    /// Counted jobs routed per shard (reported only for `D > 1`).
+    shard_routed: Vec<u64>,
+    /// The sync plane, when configured.
+    sync: Option<SyncSpec>,
+    /// Published consensus snapshots in flight to the shards. The sync
+    /// latency is constant, so FIFO order matches event order.
+    pending_sync: VecDeque<SyncState>,
+    syncs_applied: u64,
     servers: Vec<Server>,
     arrivals: ArrivalKind,
     sizes: BuiltDist,
@@ -259,7 +361,7 @@ impl<P: Policy> Model<P> {
         if self.done_buf.is_empty() {
             return;
         }
-        let needs_updates = self.policy.needs_load_updates();
+        let needs_updates = self.policies[0].needs_load_updates();
         for idx in 0..self.done_buf.len() {
             let id = self.done_buf[idx];
             let rec = self.slab.remove(id);
@@ -335,17 +437,24 @@ impl<P: Policy> Model<P> {
             queue_lens: &self.qlen_buf,
             speeds: &self.speeds,
         };
-        let target = self.policy.choose(&ctx, &mut self.rng_dispatch);
+        // The splitter picks the dispatcher; that shard's private policy
+        // instance picks the server. All shards share the dispatch RNG
+        // stream, so with one shard the draw sequence is exactly the
+        // single-dispatcher one.
+        let shard = self.splitter.route();
+        let target = self.policies[shard].choose(&ctx, &mut self.rng_dispatch);
         debug_assert!(target < self.servers.len(), "policy chose {target}");
 
         if counted {
             self.jobs_counted += 1;
+            self.shard_routed[shard] += 1;
         }
         if let Some(dev) = &mut self.deviation {
             dev.record(now, target);
         }
         if let Some(obs) = &mut self.obs {
             obs.on_dispatch(target);
+            obs.on_shard_dispatch(shard, target);
         }
         if !self.servers[target].is_up() {
             // The dispatcher (stale or failure-unaware) sent the job to
@@ -458,7 +567,10 @@ impl<P: Policy> Model<P> {
             queue_lens: &self.qlen_buf,
             speeds: &self.speeds,
         };
-        let target = self.policy.choose(&ctx, &mut self.rng_dispatch);
+        // Resubmissions go back through the splitter like fresh
+        // arrivals: the original shard is not remembered.
+        let shard = self.splitter.route();
+        let target = self.policies[shard].choose(&ctx, &mut self.rng_dispatch);
         debug_assert!(target < self.servers.len(), "policy chose {target}");
         if !self.servers[target].is_up() {
             if rec.counted {
@@ -468,12 +580,14 @@ impl<P: Policy> Model<P> {
         }
         if rec.counted {
             self.jobs_resubmitted += 1;
+            self.shard_routed[shard] += 1;
         }
         if let Some(dev) = &mut self.deviation {
             dev.record(now, target);
         }
         if let Some(obs) = &mut self.obs {
             obs.on_dispatch(target);
+            obs.on_shard_dispatch(shard, target);
         }
         rec.server = target;
         rec.degraded = true;
@@ -536,7 +650,46 @@ impl<P: Policy> Model<P> {
 
     fn deliver_membership(&mut self, now: f64) {
         let up: Vec<bool> = self.servers.iter().map(|s| s.is_up()).collect();
-        self.policy.on_membership_change(&up, now);
+        // Membership is cluster-wide infrastructure news: every shard's
+        // dispatcher hears the same notice at the same instant.
+        for policy in &mut self.policies {
+            policy.on_membership_change(&up, now);
+        }
+    }
+
+    /// Snapshots every shard's mergeable state, computes the consensus,
+    /// and ships it back (inline for zero latency, else via `SyncApply`).
+    /// Reschedules itself: the publish cadence is a fixed clock, not
+    /// completion-driven.
+    fn handle_sync_publish<Q: FutureEventList<Ev>>(
+        &mut self,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let sync = self.sync.expect("sync event without a sync plane");
+        sched.schedule_in(sync.interval, Ev::SyncPublish);
+        let states: Vec<SyncState> = self
+            .policies
+            .iter()
+            .filter_map(|p| p.sync_state())
+            .collect();
+        let Some(merged) = consensus(&states) else {
+            return; // nothing mergeable this round
+        };
+        if sync.latency <= 0.0 {
+            self.apply_sync(&merged, now);
+        } else {
+            self.pending_sync.push_back(merged);
+            sched.schedule_in(sync.latency, Ev::SyncApply);
+        }
+    }
+
+    /// Merges a consensus snapshot into every shard's policy instance.
+    fn apply_sync(&mut self, merged: &SyncState, now: f64) {
+        for policy in &mut self.policies {
+            policy.merge_sync(merged, now);
+        }
+        self.syncs_applied += 1;
     }
 
     fn finalize(mut self, horizon: f64, events: u64, kernel: FelStats) -> RunStats {
@@ -588,8 +741,26 @@ impl<P: Policy> Model<P> {
             / total_speed;
         let crashes = self.servers.iter().map(|s| s.crashes()).sum();
         let degraded_jobs = self.degraded_ratio.count();
+        // Shard detail only exists for a real multi-dispatcher tier; a
+        // D = 1 run reports the pre-tier shape (empty vec) bit-for-bit.
+        let shards = if self.shard_routed.len() > 1 {
+            let total: u64 = self.shard_routed.iter().sum();
+            self.shard_routed
+                .iter()
+                .map(|&jobs| ShardStats {
+                    jobs,
+                    share: if total == 0 {
+                        0.0
+                    } else {
+                        jobs as f64 / total as f64
+                    },
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         RunStats {
-            policy: self.policy.name(),
+            policy: self.policies[0].name(),
             jobs_counted: self.jobs_counted,
             jobs_finished: self.resp_ratio.count(),
             mean_response_time: self.resp_time.mean(),
@@ -623,6 +794,8 @@ impl<P: Policy> Model<P> {
                 self.degraded_ratio.mean()
             },
             obs,
+            shards,
+            syncs_applied: self.syncs_applied,
         }
     }
 }
@@ -647,7 +820,12 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
                 sched.schedule_in(delay, Ev::LoadUpdate { server, queue_len });
             }
             Ev::LoadUpdate { server, queue_len } => {
-                self.policy.on_load_update(server, queue_len, t);
+                // Update messages come from the servers, not from a
+                // shard: every dispatcher sees the same (delayed) load
+                // news, as each would in a real broadcast.
+                for policy in &mut self.policies {
+                    policy.on_load_update(server, queue_len, t);
+                }
             }
             Ev::WarmupEnd => {
                 for s in &mut self.servers {
@@ -657,6 +835,7 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
                 self.jobs_lost = 0;
                 self.jobs_resubmitted = 0;
                 self.jobs_restarted = 0;
+                self.syncs_applied = 0;
                 self.degraded_time = Welford::new();
                 self.degraded_ratio = Welford::new();
                 // Probes differencing cumulative server counters must
@@ -668,6 +847,14 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
             Ev::ServerCrash { server } => self.handle_crash(server, t, sched),
             Ev::ServerRepair { server } => self.handle_repair(server, t, sched),
             Ev::MembershipNotice => self.deliver_membership(t),
+            Ev::SyncPublish => self.handle_sync_publish(t, sched),
+            Ev::SyncApply => {
+                let merged = self
+                    .pending_sync
+                    .pop_front()
+                    .expect("sync apply without pending consensus");
+                self.apply_sync(&merged, t);
+            }
         }
     }
 }
@@ -712,6 +899,7 @@ mod tests {
             faults: None,
             event_list: EventListBackend::default(),
             obs: None,
+            dispatch: Default::default(),
         }
     }
 
@@ -968,6 +1156,147 @@ mod tests {
         assert!(report.kernel.scheduled >= report.kernel.popped);
         assert!(report.kernel.high_water > 0);
         assert_eq!(report.kernel.resizes, 0, "heap backend never resizes");
+    }
+
+    /// Cyclic with a mergeable credit vector, for sync-plane tests.
+    struct SyncedCyclic {
+        next: usize,
+    }
+
+    impl Policy for SyncedCyclic {
+        fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+            let pick = self.next;
+            self.next = (self.next + 1) % ctx.speeds.len();
+            pick
+        }
+
+        fn sync_state(&self) -> Option<SyncState> {
+            Some(SyncState {
+                credits: vec![self.next as f64],
+                loads: Vec::new(),
+            })
+        }
+
+        fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+            if let Some(&c) = consensus.credits.first() {
+                self.next = c as usize;
+            }
+        }
+
+        fn name(&self) -> String {
+            "synced-cyclic".into()
+        }
+    }
+
+    #[test]
+    fn single_dispatcher_tier_is_invisible() {
+        // The tentpole contract: a D = 1 run — whatever the splitter
+        // kind, sync disabled — is bit-identical to the pre-tier
+        // simulation, and reports the pre-tier result shape.
+        let baseline = Simulation::new(small_cfg(), Cyclic { next: 0 }, 21)
+            .unwrap()
+            .run();
+        for splitter in [
+            hetsched_dispatch::SplitterSpec::RoundRobin,
+            hetsched_dispatch::SplitterSpec::IidRandom,
+            hetsched_dispatch::SplitterSpec::SourceHash { sources: 64 },
+        ] {
+            let mut cfg = small_cfg();
+            cfg.dispatch = hetsched_dispatch::DispatchSpec {
+                dispatchers: 1,
+                splitter,
+                sync: None,
+            };
+            let tiered = Simulation::new(cfg, Cyclic { next: 0 }, 21).unwrap().run();
+            assert_eq!(tiered, baseline);
+            assert!(tiered.shards.is_empty());
+            assert_eq!(tiered.syncs_applied, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_run_reports_shard_detail() {
+        let mut cfg = small_cfg();
+        cfg.dispatch = hetsched_dispatch::DispatchSpec::sharded(
+            4,
+            hetsched_dispatch::SplitterSpec::RoundRobin,
+        );
+        let policies = (0..4).map(|_| Cyclic { next: 0 }).collect();
+        let stats = Simulation::with_policies(cfg, policies, 22).unwrap().run();
+        assert_eq!(stats.shards.len(), 4);
+        let routed: u64 = stats.shards.iter().map(|s| s.jobs).sum();
+        assert_eq!(routed, stats.jobs_counted, "every counted job routed");
+        let share_sum: f64 = stats.shards.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+        // A round-robin splitter hands each shard a quarter (±1 job).
+        for s in &stats.shards {
+            assert!((s.share - 0.25).abs() < 0.01, "{:?}", stats.shards);
+        }
+    }
+
+    #[test]
+    fn sharded_backends_agree() {
+        // The backend bit-identity contract extends to the tier.
+        let mut cfg = small_cfg();
+        cfg.dispatch =
+            hetsched_dispatch::DispatchSpec::sharded(3, hetsched_dispatch::SplitterSpec::IidRandom)
+                .with_sync(hetsched_dispatch::SyncSpec::every(500.0).with_latency(25.0));
+        let mut cal_cfg = cfg.clone();
+        cal_cfg.event_list = EventListBackend::Calendar;
+        let mk = || (0..3).map(|_| SyncedCyclic { next: 0 }).collect();
+        let heap = Simulation::with_policies(cfg, mk(), 23).unwrap().run();
+        let cal = Simulation::with_policies(cal_cfg, mk(), 23).unwrap().run();
+        assert_eq!(heap, cal);
+    }
+
+    #[test]
+    fn constructors_check_shard_counts() {
+        let mut cfg = small_cfg();
+        cfg.dispatch = hetsched_dispatch::DispatchSpec::sharded(
+            2,
+            hetsched_dispatch::SplitterSpec::RoundRobin,
+        );
+        let Err(err) = Simulation::new(cfg.clone(), Cyclic { next: 0 }, 0) else {
+            panic!("new() must reject a multi-dispatcher config");
+        };
+        assert!(
+            err.to_string().contains("Simulation::with_policies"),
+            "{err}"
+        );
+        let Err(err) = Simulation::with_policies(cfg, vec![Cyclic { next: 0 }], 0) else {
+            panic!("with_policies must reject a shard-count mismatch");
+        };
+        assert!(
+            err.to_string().contains("2 dispatchers but 1 policy"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sync_plane_applies_rounds() {
+        // With mergeable policies the sync clock ticks: publishes every
+        // 500 s over an 18 000 s post-warmup window, applied after the
+        // one-way latency.
+        let mut cfg = small_cfg();
+        cfg.dispatch = hetsched_dispatch::DispatchSpec::sharded(
+            2,
+            hetsched_dispatch::SplitterSpec::RoundRobin,
+        )
+        .with_sync(hetsched_dispatch::SyncSpec::every(500.0).with_latency(50.0));
+        let mk = || (0..2).map(|_| SyncedCyclic { next: 0 }).collect();
+        let a = Simulation::with_policies(cfg.clone(), mk(), 24)
+            .unwrap()
+            .run();
+        assert!(a.syncs_applied > 10, "applied {}", a.syncs_applied);
+        // Deterministic under the same seed, like everything else.
+        let b = Simulation::with_policies(cfg.clone(), mk(), 24)
+            .unwrap()
+            .run();
+        assert_eq!(a, b);
+        // Policies with nothing mergeable never see a round applied.
+        let inert = (0..2).map(|_| Cyclic { next: 0 }).collect();
+        let c = Simulation::with_policies(cfg, inert, 24).unwrap().run();
+        assert_eq!(c.syncs_applied, 0);
     }
 
     #[test]

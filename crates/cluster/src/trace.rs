@@ -91,17 +91,18 @@ pub struct TraceCollector {
 impl TraceCollector {
     /// Creates a collector.
     ///
-    /// # Panics
-    /// Panics on an invalid spec (callers validate via
-    /// [`TraceSpec::validate`] first; the collector enforces it).
-    pub fn new(spec: TraceSpec) -> Self {
-        spec.validate().expect("invalid trace spec");
-        TraceCollector {
+    /// # Errors
+    /// Propagates the [`HetschedError::InvalidConfig`] from
+    /// [`TraceSpec::validate`] instead of panicking, so a bad spec
+    /// surfaces as a typed error at simulation construction.
+    pub fn new(spec: TraceSpec) -> Result<Self, HetschedError> {
+        spec.validate()?;
+        Ok(TraceCollector {
             spec,
             seen: 0,
             records: Vec::new(),
             dropped: 0,
-        }
+        })
     }
 
     /// Offers one completed counted job to the collector.
@@ -164,7 +165,7 @@ mod tests {
 
     #[test]
     fn records_everything_by_default() {
-        let mut c = TraceCollector::new(TraceSpec::default());
+        let mut c = TraceCollector::new(TraceSpec::default()).unwrap();
         for i in 0..100 {
             c.record(t(i as f64, i as f64 + 1.0));
         }
@@ -178,7 +179,8 @@ mod tests {
         let mut c = TraceCollector::new(TraceSpec {
             sample_every: 10,
             max_records: 1000,
-        });
+        })
+        .unwrap();
         for i in 0..100 {
             c.record(t(i as f64, i as f64 + 1.0));
         }
@@ -193,7 +195,8 @@ mod tests {
         let mut c = TraceCollector::new(TraceSpec {
             sample_every: 1,
             max_records: 5,
-        });
+        })
+        .unwrap();
         for i in 0..10 {
             c.record(t(i as f64, i as f64 + 1.0));
         }
@@ -217,7 +220,7 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips() {
-        let mut c = TraceCollector::new(TraceSpec::default());
+        let mut c = TraceCollector::new(TraceSpec::default()).unwrap();
         c.record(t(1.0, 2.0));
         c.record(t(3.0, 5.0));
         let jsonl = c.to_jsonl().unwrap();
@@ -245,11 +248,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid trace spec")]
-    fn collector_rejects_bad_spec() {
-        TraceCollector::new(TraceSpec {
+    fn collector_rejects_bad_spec_with_typed_error() {
+        let err = TraceCollector::new(TraceSpec {
             sample_every: 0,
             max_records: 1,
-        });
+        })
+        .unwrap_err();
+        assert!(matches!(err, HetschedError::InvalidConfig(_)));
+        assert!(err.to_string().contains("sample_every"));
     }
 }

@@ -63,8 +63,13 @@ impl Experiment {
     /// # Errors
     /// Returns the configuration/policy validation error, if any.
     pub fn run_single(&self, replication: u64) -> Result<RunStats, HetschedError> {
-        let policy = self.policy.build(&self.cluster)?;
-        let sim = Simulation::new(self.cluster.clone(), policy, self.seed_of(replication))?;
+        // One freshly built policy instance per dispatcher shard: the
+        // shards share a spec, never state.
+        let policies = (0..self.cluster.dispatch.dispatchers)
+            .map(|_| self.policy.build(&self.cluster))
+            .collect::<Result<Vec<_>, _>>()?;
+        let sim =
+            Simulation::with_policies(self.cluster.clone(), policies, self.seed_of(replication))?;
         Ok(sim.run())
     }
 
@@ -285,6 +290,24 @@ mod tests {
         let e = tiny();
         assert!(e.run_to_precision(0.0, 10).is_err());
         assert!(e.run_to_precision(0.1, 0).is_err());
+    }
+
+    #[test]
+    fn sharded_experiment_runs_with_per_shard_policies() {
+        let mut e = tiny();
+        e.cluster.dispatch =
+            hetsched_cluster::DispatchSpec::sharded(4, hetsched_cluster::SplitterSpec::IidRandom)
+                .with_sync(hetsched_cluster::SyncSpec::every(1_000.0));
+        let r = e.run().unwrap();
+        assert_eq!(r.runs.len(), 3);
+        for run in &r.runs {
+            assert_eq!(run.shards.len(), 4);
+            assert!(run.syncs_applied > 0, "ORR state must sync");
+            let share: f64 = run.shards.iter().map(|s| s.share).sum();
+            assert!((share - 1.0).abs() < 1e-12);
+        }
+        // Deterministic like every other experiment.
+        assert_eq!(e.run().unwrap(), r);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! | [`metrics`] | Welford, time-weighted stats, P² quantiles, CIs |
 //! | [`obs`] | run-level observability: probe registry, time-series report, exporters |
 //! | [`queueing`] | M/M/1-PS analysis, Algorithm 1, numeric cross-check |
+//! | [`dispatch`] | front-end dispatcher tier: arrival splitters + state-sync plane |
 //! | [`cluster`] | the simulated network of heterogeneous computers, incl. the fault-injection layer |
 //! | [`policies`] | WRAN/ORAN/WRR/ORR, Dynamic Least-Load, JSQ(d), SITA-E, ReORR |
 //! | [`error`] | the typed error shared across the workspace |
@@ -58,6 +59,7 @@
 
 pub use hetsched_cluster as cluster;
 pub use hetsched_desim as desim;
+pub use hetsched_dispatch as dispatch;
 pub use hetsched_dist as dist;
 pub use hetsched_error as error;
 pub use hetsched_metrics as metrics;
@@ -78,7 +80,8 @@ pub use sweep::{PointStats, Sweep, SweepOutcome, SweepStats};
 pub mod prelude {
     pub use crate::cluster::faults::{FaultSpec, JobFaultSemantics};
     pub use crate::cluster::{
-        ArrivalSpec, ClusterConfig, DisciplineSpec, EventListBackend, RunStats,
+        ArrivalSpec, ClusterConfig, DisciplineSpec, DispatchSpec, EventListBackend, RunStats,
+        SplitterSpec, SyncSpec,
     };
     pub use crate::dist::DistSpec;
     pub use crate::error::HetschedError;

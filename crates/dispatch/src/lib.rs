@@ -1,0 +1,38 @@
+//! # hetsched-dispatch — the sharded multi-dispatcher front-end tier
+//!
+//! The paper's Algorithm 2 equalizes inter-arrival gaps only because a
+//! *single* dispatcher observes the entire global arrival stream. A
+//! production front-end is sharded: `D` dispatchers each see a slice of
+//! the stream and run their own policy instance over private state. This
+//! crate supplies the machinery to model that tier:
+//!
+//! * [`DispatchSpec`] — the serde-friendly `dispatch:` section of a
+//!   cluster configuration: how many dispatchers, how arrivals are
+//!   split ([`SplitterSpec`]), and the optional periodic state-sync
+//!   plane ([`SyncSpec`]).
+//! * [`Splitter`] — the runtime splitter. Its random draws come from a
+//!   dedicated RNG stream ([`SPLITTER_STREAM`]), disjoint from the
+//!   workload streams (arrivals 0, sizes 1, dispatch 2, network 3) and
+//!   the per-server fault streams (4 + i), so enabling sharding never
+//!   perturbs the arrival or service processes.
+//! * [`SyncState`] / [`consensus`] — the mergeable snapshot each policy
+//!   shard publishes (Algorithm-2 credit/deficit counters, dynamic
+//!   believed loads) and the elementwise-mean consensus the sync plane
+//!   ships back to every shard after the configured one-way latency.
+//!
+//! **The load-bearing invariant**: with `dispatchers = 1` and sync
+//! disabled the tier is *structurally invisible* — [`Splitter::route`]
+//! returns shard 0 without creating or drawing from any RNG, and no
+//! sync event is ever scheduled — so a `D = 1` run is bit-identical to
+//! the pre-tier single-dispatcher simulation on any event-list backend,
+//! at any thread count, with or without fault injection.
+
+#![warn(missing_docs)]
+
+mod spec;
+mod splitter;
+mod sync;
+
+pub use spec::{DispatchSpec, SplitterSpec, SyncSpec};
+pub use splitter::{Splitter, SPLITTER_STREAM};
+pub use sync::{consensus, SyncState};

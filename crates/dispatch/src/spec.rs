@@ -1,0 +1,224 @@
+//! The `dispatch:` configuration section.
+
+use hetsched_error::HetschedError;
+use serde::{Deserialize, Serialize};
+
+/// How the global arrival stream is partitioned across dispatchers.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SplitterSpec {
+    /// Deterministic cycling over the dispatchers — the tightest
+    /// splitter: each shard sees exactly every `D`-th arrival.
+    #[default]
+    RoundRobin,
+    /// Each arrival picks a dispatcher independently and uniformly at
+    /// random (the classic iid-thinning model; each shard's stream is a
+    /// random thinning of the global one).
+    IidRandom,
+    /// Each arrival carries a stream key drawn from `sources` logical
+    /// job sources; the key hashes to a dispatcher, so one source's jobs
+    /// always land on the same shard (sticky routing, the model behind
+    /// consistent-hash front-ends).
+    SourceHash {
+        /// Number of logical job sources generating the stream.
+        sources: u64,
+    },
+}
+
+impl SplitterSpec {
+    /// Stable lowercase name for reports and bench labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SplitterSpec::RoundRobin => "round_robin",
+            SplitterSpec::IidRandom => "iid_random",
+            SplitterSpec::SourceHash { .. } => "source_hash",
+        }
+    }
+}
+
+/// The periodic state-sync plane between dispatcher shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyncSpec {
+    /// Simulated seconds between sync rounds. Each round snapshots every
+    /// shard's mergeable state and ships the consensus back.
+    pub interval: f64,
+    /// One-way latency (seconds) between snapshot and apply. `0` models
+    /// an instantaneous merge (a logically centralized credit table).
+    #[serde(default)]
+    pub latency: f64,
+}
+
+impl SyncSpec {
+    /// A sync plane with the given round interval and zero latency.
+    pub fn every(interval: f64) -> Self {
+        SyncSpec {
+            interval,
+            latency: 0.0,
+        }
+    }
+
+    /// Same spec with the given one-way latency.
+    #[must_use]
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidConfig`] when a field is out of range.
+    pub fn validate(&self) -> Result<(), HetschedError> {
+        if !(self.interval.is_finite() && self.interval > 0.0) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "sync interval must be positive, got {}",
+                self.interval
+            )));
+        }
+        if !(self.latency.is_finite() && self.latency >= 0.0) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "sync latency must be non-negative, got {}",
+                self.latency
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn one() -> usize {
+    1
+}
+
+/// The front-end tier configuration (`ClusterConfig::dispatch`).
+///
+/// The serde default — one dispatcher, no sync — reproduces the
+/// single-dispatcher simulation bit-for-bit, so configurations
+/// serialized before the tier existed parse (and run) unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSpec {
+    /// Number of dispatcher shards `D`.
+    #[serde(default = "one")]
+    pub dispatchers: usize,
+    /// How arrivals are partitioned across the shards.
+    #[serde(default)]
+    pub splitter: SplitterSpec,
+    /// Optional periodic state-sync between shards; `None` leaves the
+    /// shards fully independent.
+    #[serde(default)]
+    pub sync: Option<SyncSpec>,
+}
+
+impl Default for DispatchSpec {
+    fn default() -> Self {
+        DispatchSpec {
+            dispatchers: 1,
+            splitter: SplitterSpec::default(),
+            sync: None,
+        }
+    }
+}
+
+impl DispatchSpec {
+    /// A tier of `d` independent dispatchers with the given splitter.
+    pub fn sharded(d: usize, splitter: SplitterSpec) -> Self {
+        DispatchSpec {
+            dispatchers: d,
+            splitter,
+            sync: None,
+        }
+    }
+
+    /// Same tier with a state-sync plane.
+    #[must_use]
+    pub fn with_sync(mut self, sync: SyncSpec) -> Self {
+        self.sync = Some(sync);
+        self
+    }
+
+    /// Whether the tier is the invisible single-dispatcher default path.
+    pub fn is_trivial(&self) -> bool {
+        self.dispatchers == 1 && self.sync.is_none()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidConfig`] when a field is out of range.
+    pub fn validate(&self) -> Result<(), HetschedError> {
+        if self.dispatchers == 0 {
+            return Err(HetschedError::InvalidConfig(
+                "dispatch tier needs at least one dispatcher".into(),
+            ));
+        }
+        if let SplitterSpec::SourceHash { sources } = self.splitter {
+            if sources == 0 {
+                return Err(HetschedError::InvalidConfig(
+                    "source-hash splitter needs at least one source".into(),
+                ));
+            }
+        }
+        if let Some(sync) = &self.sync {
+            sync.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_trivial_single_dispatcher() {
+        let spec = DispatchSpec::default();
+        assert_eq!(spec.dispatchers, 1);
+        assert!(spec.sync.is_none());
+        assert!(spec.is_trivial());
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn sharded_builders_compose() {
+        let spec = DispatchSpec::sharded(4, SplitterSpec::IidRandom)
+            .with_sync(SyncSpec::every(500.0).with_latency(0.05));
+        assert_eq!(spec.dispatchers, 4);
+        assert!(!spec.is_trivial());
+        let sync = spec.sync.unwrap();
+        assert_eq!(sync.interval, 500.0);
+        assert_eq!(sync.latency, 0.05);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let bad = DispatchSpec {
+            dispatchers: 0,
+            ..DispatchSpec::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = DispatchSpec::sharded(2, SplitterSpec::SourceHash { sources: 0 });
+        assert!(bad.validate().is_err());
+        let bad =
+            DispatchSpec::sharded(2, SplitterSpec::RoundRobin).with_sync(SyncSpec::every(0.0));
+        assert!(bad.validate().is_err());
+        let bad = DispatchSpec::sharded(2, SplitterSpec::RoundRobin)
+            .with_sync(SyncSpec::every(10.0).with_latency(-1.0));
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 1000 })
+            .with_sync(SyncSpec::every(250.0).with_latency(1.5));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DispatchSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn empty_object_deserializes_to_default() {
+        // Back-compat inside the section itself: every field defaults.
+        let spec: DispatchSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec, DispatchSpec::default());
+    }
+}

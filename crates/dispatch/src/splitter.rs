@@ -1,0 +1,183 @@
+//! The runtime arrival splitter.
+
+use crate::spec::{DispatchSpec, SplitterSpec};
+use hetsched_desim::Rng64;
+
+/// RNG stream index reserved for splitter draws.
+///
+/// Workload streams occupy 0..=3 (arrivals, sizes, dispatch, network)
+/// and fault streams occupy `4 + server`. Placing the splitter at
+/// `1 << 40` keeps it disjoint from every per-server stream any
+/// realistic cluster size can reach, so enabling sharding never shifts
+/// an existing stream.
+pub const SPLITTER_STREAM: u64 = 1 << 40;
+
+enum Router {
+    /// `D = 1`: every arrival routes to shard 0 with zero state and
+    /// zero RNG draws — the structural-invisibility path.
+    Trivial,
+    RoundRobin {
+        next: usize,
+    },
+    IidRandom {
+        rng: Rng64,
+    },
+    SourceHash {
+        sources: u64,
+        rng: Rng64,
+    },
+}
+
+/// Partitions the global arrival stream across `D` dispatcher shards.
+pub struct Splitter {
+    shards: usize,
+    router: Router,
+}
+
+/// SplitMix64 finalizer; a full-avalanche hash so consecutive source ids
+/// spread uniformly over the shards.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl Splitter {
+    /// Builds the splitter for a run. An RNG is created only when
+    /// `D > 1` *and* the splitter kind actually draws randomness.
+    pub fn new(spec: &DispatchSpec, seed: u64) -> Self {
+        let shards = spec.dispatchers;
+        let router = if shards <= 1 {
+            Router::Trivial
+        } else {
+            match spec.splitter {
+                SplitterSpec::RoundRobin => Router::RoundRobin { next: 0 },
+                SplitterSpec::IidRandom => Router::IidRandom {
+                    rng: Rng64::stream(seed, SPLITTER_STREAM),
+                },
+                SplitterSpec::SourceHash { sources } => Router::SourceHash {
+                    sources: sources.max(1),
+                    rng: Rng64::stream(seed, SPLITTER_STREAM),
+                },
+            }
+        };
+        Splitter { shards, router }
+    }
+
+    /// Number of dispatcher shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Routes the next arrival, returning the shard index in
+    /// `0..shards()`.
+    pub fn route(&mut self) -> usize {
+        match &mut self.router {
+            Router::Trivial => 0,
+            Router::RoundRobin { next } => {
+                let shard = *next;
+                *next = (*next + 1) % self.shards;
+                shard
+            }
+            Router::IidRandom { rng } => {
+                // Uniform over shards via a 53-bit float draw; the shard
+                // count is tiny so modulo bias from integer reduction is
+                // avoided entirely.
+                let u = rng.next_f64();
+                let shard = (u * self.shards as f64) as usize;
+                shard.min(self.shards - 1)
+            }
+            Router::SourceHash { sources, rng } => {
+                // The arrival carries a stream key: which of the logical
+                // job sources emitted it. One draw picks the source, the
+                // hash pins that source to a shard forever.
+                let source = (rng.next_f64() * *sources as f64) as u64;
+                let source = source.min(*sources - 1);
+                (mix64(source) % self.shards as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DispatchSpec, SplitterSpec};
+
+    #[test]
+    fn trivial_splitter_routes_everything_to_shard_zero() {
+        let mut s = Splitter::new(&DispatchSpec::default(), 42);
+        assert_eq!(s.shards(), 1);
+        for _ in 0..100 {
+            assert_eq!(s.route(), 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_exactly() {
+        let spec = DispatchSpec::sharded(4, SplitterSpec::RoundRobin);
+        let mut s = Splitter::new(&spec, 42);
+        let got: Vec<usize> = (0..8).map(|_| s.route()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn iid_random_covers_all_shards_roughly_uniformly() {
+        let spec = DispatchSpec::sharded(4, SplitterSpec::IidRandom);
+        let mut s = Splitter::new(&spec, 7);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            let shard = s.route();
+            assert!(shard < 4);
+            counts[shard] += 1;
+        }
+        for &c in &counts {
+            // Expected 10k per shard; 4-sigma band is ~±350.
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn source_hash_is_sticky_per_source() {
+        // With a single source every arrival must land on one shard.
+        let spec = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 1 });
+        let mut s = Splitter::new(&spec, 13);
+        let first = s.route();
+        for _ in 0..100 {
+            assert_eq!(s.route(), first);
+        }
+        // With many sources all shards are eventually hit.
+        let spec = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 10_000 });
+        let mut s = Splitter::new(&spec, 13);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[s.route()] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "unreached shards: {seen:?}");
+    }
+
+    #[test]
+    fn routing_is_deterministic_per_seed() {
+        let spec = DispatchSpec::sharded(4, SplitterSpec::IidRandom);
+        let mut a = Splitter::new(&spec, 99);
+        let mut b = Splitter::new(&spec, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.route(), b.route());
+        }
+    }
+
+    #[test]
+    fn splitter_stream_is_disjoint_from_workload_and_fault_streams() {
+        // The first draws from the splitter stream must differ from the
+        // corresponding draws of every stream the simulation already
+        // uses with the same seed.
+        let seed = 4242;
+        let mut split = Rng64::stream(seed, SPLITTER_STREAM);
+        let first = split.next_f64();
+        for stream in (0..4).chain(4..260) {
+            let mut other = Rng64::stream(seed, stream);
+            assert_ne!(first, other.next_f64(), "collision with stream {stream}");
+        }
+    }
+}

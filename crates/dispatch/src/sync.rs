@@ -1,0 +1,132 @@
+//! The mergeable state snapshot and its consensus combinator.
+
+/// A shard's mergeable policy state, published at each sync round.
+///
+/// Both vectors are indexed by server. A policy fills in whichever
+/// parts of its state are meaningfully mergeable and leaves the rest
+/// empty: Algorithm-2 policies publish their credit/deficit counters in
+/// `credits`; dynamic policies publish their believed queue lengths in
+/// `loads`. Empty vectors are skipped by [`consensus`], so policies
+/// with disjoint state kinds coexist in one tier.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SyncState {
+    /// Algorithm-2 credit/deficit counters, one per server.
+    pub credits: Vec<f64>,
+    /// Believed per-server load (queue length), one per server.
+    pub loads: Vec<f64>,
+}
+
+impl SyncState {
+    /// Whether the snapshot carries no mergeable state at all.
+    pub fn is_empty(&self) -> bool {
+        self.credits.is_empty() && self.loads.is_empty()
+    }
+}
+
+/// Elementwise mean of each populated field across the shard snapshots.
+///
+/// Returns `None` when no shard published anything mergeable (the tier
+/// then skips the round entirely). A field contributes to the consensus
+/// only through the shards that populated it, and only positions shared
+/// by every contributing shard are averaged — mismatched lengths
+/// truncate to the shortest contributor rather than mixing servers.
+pub fn consensus(states: &[SyncState]) -> Option<SyncState> {
+    fn mean_rows(rows: Vec<&[f64]>) -> Vec<f64> {
+        let Some(width) = rows.iter().map(|r| r.len()).min() else {
+            return Vec::new();
+        };
+        let n = rows.len() as f64;
+        (0..width)
+            .map(|i| rows.iter().map(|r| r[i]).sum::<f64>() / n)
+            .collect()
+    }
+
+    let credits = mean_rows(
+        states
+            .iter()
+            .filter(|s| !s.credits.is_empty())
+            .map(|s| s.credits.as_slice())
+            .collect(),
+    );
+    let loads = mean_rows(
+        states
+            .iter()
+            .filter(|s| !s.loads.is_empty())
+            .map(|s| s.loads.as_slice())
+            .collect(),
+    );
+    let merged = SyncState { credits, loads };
+    if merged.is_empty() {
+        None
+    } else {
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_states_produce_no_consensus() {
+        assert_eq!(consensus(&[]), None);
+        assert_eq!(
+            consensus(&[SyncState::default(), SyncState::default()]),
+            None
+        );
+    }
+
+    #[test]
+    fn credits_average_elementwise() {
+        let a = SyncState {
+            credits: vec![1.0, 2.0, 3.0],
+            loads: Vec::new(),
+        };
+        let b = SyncState {
+            credits: vec![3.0, 4.0, 5.0],
+            loads: Vec::new(),
+        };
+        let c = consensus(&[a, b]).unwrap();
+        assert_eq!(c.credits, vec![2.0, 3.0, 4.0]);
+        assert!(c.loads.is_empty());
+    }
+
+    #[test]
+    fn loads_average_and_empty_contributors_are_skipped() {
+        let a = SyncState {
+            credits: Vec::new(),
+            loads: vec![4.0, 0.0],
+        };
+        let empty = SyncState::default();
+        let b = SyncState {
+            credits: Vec::new(),
+            loads: vec![0.0, 2.0],
+        };
+        let c = consensus(&[a, empty, b]).unwrap();
+        // The empty shard does not drag the mean toward zero.
+        assert_eq!(c.loads, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn mismatched_lengths_truncate_to_shortest() {
+        let a = SyncState {
+            credits: vec![2.0, 4.0, 6.0],
+            loads: Vec::new(),
+        };
+        let b = SyncState {
+            credits: vec![4.0, 6.0],
+            loads: Vec::new(),
+        };
+        let c = consensus(&[a, b]).unwrap();
+        assert_eq!(c.credits, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn single_shard_consensus_is_its_own_state() {
+        let a = SyncState {
+            credits: vec![1.5, -0.5],
+            loads: vec![3.0],
+        };
+        assert_eq!(consensus(std::slice::from_ref(&a)).unwrap(), a);
+    }
+}

@@ -36,6 +36,9 @@ pub enum HetschedError {
     Solver(String),
     /// Serializing a result artifact (JSON/JSONL/CSV) failed.
     Serialization(String),
+    /// A bounded runtime structure (e.g. the job slab's `u32` index
+    /// space) ran out of room.
+    Capacity(String),
     /// An error wrapped with the context it occurred in.
     Context {
         /// What was being attempted (e.g. the sweep point's name).
@@ -79,6 +82,7 @@ impl fmt::Display for HetschedError {
             HetschedError::InvalidPolicy(msg) => write!(f, "{msg}"),
             HetschedError::Solver(msg) => write!(f, "solver failed: {msg}"),
             HetschedError::Serialization(msg) => write!(f, "serialization failed: {msg}"),
+            HetschedError::Capacity(msg) => write!(f, "capacity exhausted: {msg}"),
             HetschedError::Context { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -141,6 +145,16 @@ mod tests {
     fn serialization_variant_displays_cause() {
         let e = HetschedError::Serialization("key must be a string".into());
         assert_eq!(e.to_string(), "serialization failed: key must be a string");
+        assert_eq!(e.root_cause(), &e.clone());
+    }
+
+    #[test]
+    fn capacity_variant_displays_cause() {
+        let e = HetschedError::Capacity("job slab index space (u32) full".into());
+        assert_eq!(
+            e.to_string(),
+            "capacity exhausted: job slab index space (u32) full"
+        );
         assert_eq!(e.root_cause(), &e.clone());
     }
 

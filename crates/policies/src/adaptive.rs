@@ -16,7 +16,7 @@
 //! is used, so the policy is still *static* in the paper's taxonomy,
 //! just periodically re-parameterized.
 
-use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_cluster::{DispatchCtx, Policy, SyncState};
 use hetsched_desim::Rng64;
 
 use crate::allocation::AllocationSpec;
@@ -158,6 +158,14 @@ impl Policy for AdaptiveOrr {
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
         Some(self.current_fractions().to_vec())
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        self.inner.sync_state()
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, now: f64) {
+        self.inner.merge_sync(consensus, now);
     }
 
     fn name(&self) -> String {

@@ -13,7 +13,7 @@
 //!   [`DispatchCtx::queue_lens`]: its whole point is operating on stale
 //!   information, at the cost the paper calls "high system overhead".
 
-use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_cluster::{DispatchCtx, Policy, SyncState};
 use hetsched_desim::Rng64;
 
 /// Dynamic Least-Load with stale believed loads.
@@ -103,6 +103,22 @@ impl Policy for LeastLoadPolicy {
 
     fn needs_load_updates(&self) -> bool {
         true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        // Each shard's belief only counts its own dispatches on top of
+        // the shared departure reports; the tier mean restores a
+        // cluster-wide arrival view between sync rounds.
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+        }
     }
 
     fn name(&self) -> String {
@@ -213,6 +229,36 @@ mod tests {
         p.on_membership_change(&[false, false, false], 0.0);
         assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 1);
         assert_eq!(p.believed(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sync_merges_believed_loads() {
+        let speeds = [1.0, 1.0];
+        let mut a = LeastLoadPolicy::new(&speeds);
+        let mut b = LeastLoadPolicy::new(&speeds);
+        let qlens = [0, 0];
+        let mut rng = Rng64::from_seed(0);
+        // Shard a placed 4 jobs shard b never saw.
+        for _ in 0..4 {
+            a.choose(&ctx(&speeds, &qlens), &mut rng);
+        }
+        let sa = a.sync_state().expect("mergeable");
+        let sb = b.sync_state().expect("mergeable");
+        assert!(sa.credits.is_empty(), "nothing in the credit lane");
+        assert_eq!(sa.loads, &[2.0, 2.0]);
+        assert_eq!(sb.loads, &[0.0, 0.0]);
+        let merged = SyncState {
+            credits: Vec::new(),
+            loads: sa
+                .loads
+                .iter()
+                .zip(&sb.loads)
+                .map(|(x, y)| (x + y) / 2.0)
+                .collect(),
+        };
+        b.merge_sync(&merged, 5.0);
+        // Shard b now believes half of shard a's arrivals happened.
+        assert_eq!(b.believed(), &[1.0, 1.0]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! much of the fault-tolerance story is membership *avoidance* (both do
 //! it) versus allocation *re-optimization* (only ReORR does it).
 
-use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_cluster::{DispatchCtx, Policy, SyncState};
 use hetsched_desim::Rng64;
 use hetsched_queueing::closed_form::try_optimized_allocation_for;
 
@@ -119,6 +119,14 @@ impl Policy for ReoptimizingOrr {
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
         Some(self.current_fractions().to_vec())
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        self.inner.sync_state()
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, now: f64) {
+        self.inner.merge_sync(consensus, now);
     }
 
     fn name(&self) -> String {

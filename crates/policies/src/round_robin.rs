@@ -23,7 +23,7 @@
 //! the ideal *counts*, though not necessarily the ideal *order* (the
 //! paper itself notes perfect spreading "may not always be possible").
 
-use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_cluster::{DispatchCtx, Policy, SyncState};
 use hetsched_desim::Rng64;
 
 /// Tolerance for `next`-value ties. Fraction reciprocals are rarely
@@ -177,6 +177,27 @@ impl Policy for RoundRobinDispatch {
 
     fn expected_fractions(&self) -> Option<Vec<f64>> {
         Some(self.fractions.clone())
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        // The `next` credit vector IS the algorithm's mergeable state:
+        // `assign` only matters through the start-up guard and the tie
+        // rule, and averaging monotone counters across shards would
+        // corrupt them.
+        Some(SyncState {
+            credits: self.next.clone(),
+            loads: Vec::new(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        // Adopting the tier-mean credits re-aligns the shards' gap
+        // structure: a shard that ran ahead of its α (its winners'
+        // credits high) is pulled back toward the tier average. A
+        // length mismatch (foreign consensus) is ignored.
+        if consensus.credits.len() == self.next.len() {
+            self.next.copy_from_slice(&consensus.credits);
+        }
     }
 
     fn name(&self) -> String {
@@ -337,6 +358,48 @@ mod tests {
         assert_eq!(p.next, before_next);
         p.set_membership(&[false, true]);
         assert_eq!(p.dispatch(), 1);
+    }
+
+    #[test]
+    fn sync_state_round_trips_credits() {
+        let fractions = [0.25, 0.25, 0.5];
+        let mut a = RoundRobinDispatch::new(&fractions, "RR");
+        let mut b = RoundRobinDispatch::new(&fractions, "RR");
+        // Shard a runs ahead of shard b.
+        for _ in 0..7 {
+            a.dispatch();
+        }
+        for _ in 0..2 {
+            b.dispatch();
+        }
+        let sa = a.sync_state().expect("mergeable");
+        let sb = b.sync_state().expect("mergeable");
+        assert_eq!(sa.credits, a.next);
+        assert!(sa.loads.is_empty(), "nothing in the load lane");
+        // Elementwise-mean consensus, as the tier computes it.
+        let merged = SyncState {
+            credits: sa
+                .credits
+                .iter()
+                .zip(&sb.credits)
+                .map(|(x, y)| (x + y) / 2.0)
+                .collect(),
+            loads: Vec::new(),
+        };
+        a.merge_sync(&merged, 10.0);
+        b.merge_sync(&merged, 10.0);
+        assert_eq!(a.next, b.next, "shards agree after a sync round");
+        assert_eq!(a.next, merged.credits);
+        // A foreign-length consensus is ignored, not misapplied.
+        let before = a.next.clone();
+        a.merge_sync(
+            &SyncState {
+                credits: vec![1.0; 5],
+                loads: Vec::new(),
+            },
+            11.0,
+        );
+        assert_eq!(a.next, before);
     }
 
     #[test]

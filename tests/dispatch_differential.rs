@@ -1,0 +1,169 @@
+//! Differential contracts of the dispatcher tier.
+//!
+//! The load-bearing guarantee: a `D = 1` tier with sync disabled is
+//! **bit-identical** to the plain single-dispatcher simulation — for
+//! every splitter kind, on both event-list backends, with and without
+//! fault injection, at any thread count. The tier must be structurally
+//! invisible until sharding is actually requested.
+//!
+//! The second contract: enabling sharding must not perturb the existing
+//! RNG streams. The splitter draws from its own reserved stream, so the
+//! arrival process (and hence `jobs_counted`) is identical whether the
+//! stream is split across 1 or 8 dispatchers.
+
+use hetsched::prelude::*;
+
+/// A small, statistically alive base system (shared by every test; kept
+/// deliberately fault-free — fault variants add their own spec).
+fn base_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 30_000.0;
+    cfg.warmup = 3_000.0;
+    cfg
+}
+
+fn experiment(cfg: ClusterConfig, name: &str) -> Experiment {
+    let mut e = Experiment::new(name, cfg, PolicySpec::orr());
+    e.replications = 3;
+    e
+}
+
+/// Every splitter kind at `D = 1` must collapse to the trivial router:
+/// zero RNG draws, zero state, results equal to the default config.
+#[test]
+fn d1_tier_is_invisible_for_every_splitter_kind() {
+    let baseline = experiment(base_cfg(), "plain").run().expect("baseline");
+    for splitter in [
+        SplitterSpec::RoundRobin,
+        SplitterSpec::IidRandom,
+        SplitterSpec::SourceHash { sources: 16 },
+    ] {
+        let mut cfg = base_cfg();
+        cfg.dispatch = DispatchSpec {
+            dispatchers: 1,
+            splitter,
+            sync: None,
+        };
+        let tiered = experiment(cfg, "plain").run().expect("tiered");
+        assert_eq!(
+            baseline,
+            tiered,
+            "D=1 with the {} splitter diverged from the seed path",
+            splitter.label()
+        );
+        assert!(tiered.runs.iter().all(|r| r.shards.is_empty()));
+        assert!(tiered.runs.iter().all(|r| r.syncs_applied == 0));
+    }
+}
+
+/// The identity holds on both event-list backends, with faults off and
+/// with resubmit-semantics faults churning jobs back through the
+/// dispatcher (the path where a tier bug would be most visible).
+#[test]
+fn d1_identity_holds_on_both_backends_with_and_without_faults() {
+    let fault_variants = [
+        None,
+        Some(FaultSpec::exponential(3_000.0, 300.0).with_semantics(JobFaultSemantics::Resubmit)),
+    ];
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for faults in &fault_variants {
+            let mut plain = base_cfg();
+            plain.event_list = backend;
+            plain.faults = *faults;
+            let mut tiered = plain.clone();
+            tiered.dispatch = DispatchSpec {
+                dispatchers: 1,
+                splitter: SplitterSpec::IidRandom,
+                sync: None,
+            };
+            let a = experiment(plain, "plain").run().expect("plain");
+            let b = experiment(tiered, "plain").run().expect("tiered");
+            assert_eq!(
+                a,
+                b,
+                "D=1 diverged on the {} backend (faults: {})",
+                backend.label(),
+                faults.is_some()
+            );
+        }
+    }
+}
+
+/// The identity is thread-count independent: 1 worker and 8 workers
+/// produce the same results on both the plain and the tiered path.
+#[test]
+fn d1_identity_is_thread_count_independent() {
+    let mut tiered_cfg = base_cfg();
+    tiered_cfg.dispatch = DispatchSpec {
+        dispatchers: 1,
+        splitter: SplitterSpec::RoundRobin,
+        sync: None,
+    };
+    let run = |cfg: &ClusterConfig, threads: usize| {
+        let mut e = experiment(cfg.clone(), "plain");
+        e.threads = threads;
+        e.run().expect("runs")
+    };
+    let plain_cfg = base_cfg();
+    let results = [
+        run(&plain_cfg, 1),
+        run(&plain_cfg, 8),
+        run(&tiered_cfg, 1),
+        run(&tiered_cfg, 8),
+    ];
+    for r in &results[1..] {
+        assert_eq!(&results[0], r);
+    }
+}
+
+/// Splitter draws come from a reserved RNG stream: sharding the front
+/// end must not shift the arrival or job-size streams. `jobs_counted`
+/// tallies arrivals in the measurement window before any dispatch
+/// decision, so it must be identical at every shard count.
+#[test]
+fn sharding_does_not_perturb_existing_rng_streams() {
+    let baseline = experiment(base_cfg(), "plain").run().expect("baseline");
+    for d in [2usize, 4, 8] {
+        let mut cfg = base_cfg();
+        cfg.dispatch = DispatchSpec::sharded(d, SplitterSpec::IidRandom);
+        let sharded = experiment(cfg, "sharded").run().expect("sharded");
+        for (a, b) in baseline.runs.iter().zip(&sharded.runs) {
+            assert_eq!(
+                a.jobs_counted, b.jobs_counted,
+                "D={d} shifted the arrival stream"
+            );
+            assert_eq!(b.shards.len(), d);
+            let routed: u64 = b.shards.iter().map(|s| s.jobs).sum();
+            assert_eq!(routed, b.jobs_counted, "every counted job routes once");
+            let share: f64 = b.shards.iter().map(|s| s.share).sum();
+            assert!((share - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+/// A sharded, synced run is deterministic and backend-agnostic — the
+/// same differential the seed path already guarantees, now under the
+/// tier's extra event types (SyncPublish/SyncApply).
+#[test]
+fn sharded_synced_runs_agree_across_backends_and_repeats() {
+    let cfg_for = |backend| {
+        let mut cfg = base_cfg();
+        cfg.event_list = backend;
+        cfg.dispatch = DispatchSpec::sharded(4, SplitterSpec::SourceHash { sources: 32 })
+            .with_sync(SyncSpec::every(500.0).with_latency(10.0));
+        cfg
+    };
+    let heap = experiment(cfg_for(EventListBackend::Heap), "synced")
+        .run()
+        .expect("heap");
+    let cal = experiment(cfg_for(EventListBackend::Calendar), "synced")
+        .run()
+        .expect("calendar");
+    assert_eq!(heap, cal);
+    assert!(heap.runs.iter().all(|r| r.syncs_applied > 0));
+    let again = experiment(cfg_for(EventListBackend::Heap), "synced")
+        .run()
+        .expect("repeat");
+    assert_eq!(heap, again);
+}
