@@ -13,11 +13,22 @@
 //! 2. **Micro-kernel**: hold-model loops against the queues alone —
 //!    the pre-overhaul `LegacyEventQueue` versus the current heap and
 //!    calendar backends, with and without cancellation churn.
+//! 3. **Shard scaling**: a 64-computer model (the fig2 speed profile
+//!    tiled 8×) split across D ∈ {1, 2, 4, 8} dispatch shards and run
+//!    through the conservative parallel engine. Each shard count is
+//!    verified bit-identical against the classic sequential engine and
+//!    against itself at D real worker threads; throughput is then
+//!    *projected* from the single-threaded critical path (arrival
+//!    pre-generation + slowest shard + merge), so the numbers are
+//!    meaningful even on a single-core CI box. The JSON records the
+//!    detected core count and a `projected` flag alongside the rows.
 //!
 //! `--quick` keeps the whole thing under a few seconds for CI.
 
 use std::time::Instant;
 
+use hetsched::cluster::pdes::{shard_config, shard_ranges};
+use hetsched::cluster::{ParallelSimulation, Policy, Simulation};
 use hetsched::desim::{CalendarQueue, EventQueue, FutureEventList, Rng64, SimTime};
 use hetsched::prelude::*;
 use hetsched_bench::legacy_queue::LegacyEventQueue;
@@ -176,6 +187,141 @@ fn cancel_legacy(size: usize, ops: usize) -> u64 {
     acc
 }
 
+/// One shard count's scaling measurement.
+struct ScaleRow {
+    shards: usize,
+    threads_checked: usize,
+    events: u64,
+    pregen_s: f64,
+    max_shard_s: f64,
+    merge_s: f64,
+    critical_s: f64,
+}
+
+impl ScaleRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.critical_s.max(1e-9)
+    }
+}
+
+/// The classic sequential baseline plus the projected parallel rows.
+struct ScalingReport {
+    cores_detected: usize,
+    classic_events: u64,
+    classic_wall_s: f64,
+    rows: Vec<ScaleRow>,
+    identical: bool,
+}
+
+impl ScalingReport {
+    fn classic_events_per_sec(&self) -> f64 {
+        self.classic_events as f64 / self.classic_wall_s.max(1e-9)
+    }
+
+    /// Projected speedup of the widest shard count over the classic
+    /// sequential engine.
+    fn peak_speedup(&self) -> f64 {
+        self.rows
+            .last()
+            .map(|r| r.events_per_sec() / self.classic_events_per_sec())
+            .unwrap_or(1.0)
+    }
+}
+
+/// The scaling model: the fig2 speed profile tiled 8× (64 computers),
+/// split across `d` dispatch shards by i.i.d. random routing with the
+/// sync plane off — the shards are fully independent (unbounded
+/// lookahead), and `d = 1` reproduces the classic single-scheduler
+/// model exactly.
+fn scaling_config(d: usize, scale: f64) -> ClusterConfig {
+    let base = [5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0];
+    let speeds: Vec<f64> = base.iter().copied().cycle().take(64).collect();
+    let mut cfg = ClusterConfig::paper_default(&speeds).scaled(scale);
+    if d > 1 {
+        cfg.dispatch = DispatchSpec::sharded(d, SplitterSpec::IidRandom);
+    }
+    cfg
+}
+
+/// One ORR policy instance per shard, each planned over its shard's
+/// server slice.
+fn scaling_policies(cfg: &ClusterConfig) -> Vec<Box<dyn Policy>> {
+    let d = cfg.dispatch.dispatchers.max(1);
+    if d == 1 {
+        return vec![PolicySpec::orr().build(cfg).expect("policy builds")];
+    }
+    shard_ranges(cfg.speeds.len(), d)
+        .iter()
+        .map(|r| {
+            PolicySpec::orr()
+                .build(&shard_config(cfg, r))
+                .expect("policy builds")
+        })
+        .collect()
+}
+
+/// Measures the shard-scaling table and verifies bit-identity along the
+/// way (classic engine vs the parallel engine at one shard; one worker
+/// thread vs `d` real worker threads at every shard count).
+fn measure_scaling(mode: &Mode) -> ScalingReport {
+    const SEED: u64 = 0x00C0_FFEE;
+    // The model is 8× the fig2 cluster, so shrink the horizon further to
+    // keep the whole sweep a few seconds at the default fidelity.
+    let scale = (mode.scale * 0.2).max(0.002);
+    let cores_detected = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Classic sequential baseline: the same model through the classic
+    // single-kernel engine.
+    let base_cfg = scaling_config(1, scale);
+    let policy = PolicySpec::orr()
+        .build(&base_cfg)
+        .expect("baseline policy builds");
+    let start = Instant::now();
+    let classic = Simulation::new(base_cfg.clone(), policy, SEED)
+        .expect("baseline simulation builds")
+        .run();
+    let classic_wall_s = start.elapsed().as_secs_f64();
+    let classic_events = classic.events_processed;
+
+    let mut rows = Vec::new();
+    let mut identical = true;
+    for d in [1usize, 2, 4, 8] {
+        let cfg = scaling_config(d, scale);
+        // Timed pass: single worker thread, per-shard wall clock.
+        let sim = ParallelSimulation::new(cfg.clone(), scaling_policies(&cfg), SEED, 1)
+            .expect("parallel simulation builds");
+        let (stats, timing) = sim.run_timed();
+        // Identity pass: d real worker threads must reproduce the
+        // single-threaded run bit for bit.
+        let threaded = ParallelSimulation::new(cfg.clone(), scaling_policies(&cfg), SEED, d)
+            .expect("parallel simulation builds")
+            .run();
+        identical &= stats == threaded;
+        if d == 1 {
+            identical &= stats == classic;
+        }
+        let max_shard_s = timing.shard_s.iter().copied().fold(0.0_f64, f64::max);
+        rows.push(ScaleRow {
+            shards: d,
+            threads_checked: d,
+            events: timing.events,
+            pregen_s: timing.pregen_s,
+            max_shard_s,
+            merge_s: timing.merge_s,
+            critical_s: timing.critical_path_s(),
+        });
+    }
+    ScalingReport {
+        cores_detected,
+        classic_events,
+        classic_wall_s,
+        rows,
+        identical,
+    }
+}
+
 fn time_micro(
     case: &'static str,
     queue: &'static str,
@@ -231,10 +377,47 @@ fn micro_suite(scale: f64) -> Vec<MicroRow> {
     rows
 }
 
+fn scaling_json(s: &ScalingReport) -> String {
+    let rows: Vec<String> = s
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"shards\": {}, \"threads_checked\": {}, \"events\": {}, \
+                 \"pregen_s\": {}, \"max_shard_s\": {}, \"merge_s\": {}, \
+                 \"critical_path_s\": {}, \"events_per_sec\": {}, \"speedup_vs_classic\": {} }}",
+                r.shards,
+                r.threads_checked,
+                r.events,
+                json_num(r.pregen_s),
+                json_num(r.max_shard_s),
+                json_num(r.merge_s),
+                json_num(r.critical_s),
+                json_num(r.events_per_sec()),
+                json_num(r.events_per_sec() / s.classic_events_per_sec()),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"model\": {},\n  \"cores_detected\": {},\n  \"projected\": true,\n  \
+         \"identical_results\": {},\n  \"classic\": {{ \"events\": {}, \"wall_s\": {}, \
+         \"events_per_sec\": {} }},\n  \"peak_speedup\": {},\n  \"rows\": [\n{}\n  ]\n  }}",
+        json_str("fig2x8_64computers_orr"),
+        s.cores_detected,
+        s.identical,
+        s.classic_events,
+        json_num(s.classic_wall_s),
+        json_num(s.classic_events_per_sec()),
+        json_num(s.peak_speedup()),
+        rows.join(",\n"),
+    )
+}
+
 fn report_json(
     mode: &Mode,
     backends: &[BackendRow],
     micro: &[MicroRow],
+    scaling: &ScalingReport,
     identical: bool,
 ) -> String {
     let mut out = String::from("{\n");
@@ -273,9 +456,10 @@ fn report_json(
         })
         .collect();
     out.push_str(&format!(
-        "  \"kernel_micro\": [\n{}\n  ]\n",
+        "  \"kernel_micro\": [\n{}\n  ],\n",
         rows.join(",\n")
     ));
+    out.push_str(&format!("  \"shard_scaling\": {}\n", scaling_json(scaling)));
     out.push_str("}\n");
     out
 }
@@ -355,11 +539,59 @@ fn main() {
         ratio("calendar", "cancel_mix"),
     );
 
+    println!("\nShard scaling: 64-computer model, conservative parallel engine");
+    let scaling = measure_scaling(&mode);
+    assert!(
+        scaling.identical,
+        "parallel engine diverged: classic, 1-thread, and d-thread runs \
+         must be bit-identical at every shard count"
+    );
+    let mut t = Table::new([
+        "shards",
+        "events",
+        "pregen s",
+        "max shard s",
+        "merge s",
+        "critical s",
+        "events/s",
+        "speedup",
+    ]);
+    for r in &scaling.rows {
+        t.row([
+            format!("{}", r.shards),
+            format!("{}", r.events),
+            format!("{:.3}", r.pregen_s),
+            format!("{:.3}", r.max_shard_s),
+            format!("{:.3}", r.merge_s),
+            format!("{:.3}", r.critical_s),
+            format!("{:.0}", r.events_per_sec()),
+            format!(
+                "{:.2}x",
+                r.events_per_sec() / scaling.classic_events_per_sec()
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "classic sequential baseline: {} events in {:.3} s ({:.0} events/s)",
+        scaling.classic_events,
+        scaling.classic_wall_s,
+        scaling.classic_events_per_sec()
+    );
+    println!(
+        "projected speedup at {} shards: {:.2}x on {} detected core(s) \
+         (critical path = pregen + slowest shard + merge); results bit-identical: {}",
+        scaling.rows.last().map_or(0, |r| r.shards),
+        scaling.peak_speedup(),
+        scaling.cores_detected,
+        scaling.identical
+    );
+
     let path = mode
         .bench_json
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_kernel.json"));
-    let json = report_json(&mode, &[heap_row, cal_row], &micro, identical);
+    let json = report_json(&mode, &[heap_row, cal_row], &micro, &scaling, identical);
     std::fs::write(&path, json).expect("writing kernel bench json");
     println!("kernel bench counters -> {}", path.display());
 }

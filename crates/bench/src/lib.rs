@@ -8,6 +8,9 @@
 //! * `--scale X` / `--reps N` — custom fidelity;
 //! * `--threads N` — worker threads for the sweep pool (0 = auto; the
 //!   `HETSCHED_THREADS` environment variable sets the default);
+//! * `--sim-threads N` — run every point through the conservative
+//!   parallel engine with up to `N` worker threads per run (0 = the
+//!   classic sequential engine; results are bit-identical either way);
 //! * `--json PATH` — archive the structured results as pretty JSON;
 //! * `--bench-json PATH` — archive the sweep pool's throughput counters
 //!   (events/sec, per-point busy time) as machine-readable JSON;
@@ -45,6 +48,9 @@ pub struct Mode {
     pub reps: u64,
     /// Worker threads for the sweep pool (0 = auto).
     pub threads: usize,
+    /// Parallel-engine worker threads per run (0 = classic sequential
+    /// engine).
+    pub sim_threads: usize,
     /// Optional JSON archive path.
     pub json: Option<PathBuf>,
     /// Optional sweep-throughput JSON path (`BENCH_sweep.json` style).
@@ -63,6 +69,7 @@ impl Default for Mode {
             scale: 0.25,
             reps: 5,
             threads: 0,
+            sim_threads: 0,
             json: None,
             bench_json: None,
             event_list: None,
@@ -113,6 +120,12 @@ impl Mode {
                     let v = it.next().expect("--threads needs a value");
                     mode.threads = v.parse().expect("--threads needs an integer (0 = auto)");
                 }
+                "--sim-threads" => {
+                    let v = it.next().expect("--sim-threads needs a value");
+                    mode.sim_threads = v
+                        .parse()
+                        .expect("--sim-threads needs an integer (0 = classic engine)");
+                }
                 "--json" => {
                     let v = it.next().expect("--json needs a path");
                     mode.json = Some(PathBuf::from(v));
@@ -134,7 +147,7 @@ impl Mode {
                 }
                 other => panic!(
                     "unknown flag {other}; use --full | --quick | --scale X | --reps N | \
-                     --threads N | --json PATH | --bench-json PATH | \
+                     --threads N | --sim-threads N | --json PATH | --bench-json PATH | \
                      --event-list heap|calendar | --obs PATH"
                 ),
             }
@@ -168,6 +181,7 @@ impl Mode {
         }
         let mut exp = Experiment::new(name, cfg, policy).quick(self.scale, self.reps);
         exp.threads = self.threads;
+        exp.sim_threads = self.sim_threads;
         exp
     }
 
@@ -424,6 +438,21 @@ mod tests {
         // … and the flag overrides it.
         let m = Mode::parse_with_env(["--threads".to_string(), "2".to_string()], Some("4"));
         assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn sim_threads_flag() {
+        assert_eq!(parse(&[]).sim_threads, 0);
+        assert_eq!(parse(&["--sim-threads", "4"]).sim_threads, 4);
+    }
+
+    #[test]
+    fn sim_threads_is_bit_identical() {
+        let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+        let classic = parse(&["--quick"]).run("p", cfg.clone(), PolicySpec::orr());
+        let pdes = parse(&["--quick", "--sim-threads", "2"]).run("p", cfg, PolicySpec::orr());
+        assert_eq!(classic, pdes);
     }
 
     #[test]

@@ -11,12 +11,16 @@
 //! hetsched simulate --spec experiment.json [--out results.json]
 //!                   [--event-list heap|calendar] [--dispatchers 4]
 //!                   [--sync-interval 500] [--sync-latency 10]
+//!                   [--sim-threads 4]
 //!     Run a full replicated simulation experiment described by a JSON
 //!     spec (see `hetsched template`). `--event-list` overrides the
 //!     spec's future-event-list backend; results are bit-identical
 //!     either way. `--dispatchers` shards the front end across D
 //!     dispatcher instances; `--sync-interval` (with an optional
 //!     `--sync-latency`) turns on the tier's periodic state-sync.
+//!     `--sim-threads` selects the conservative parallel engine (one
+//!     event kernel per dispatch shard, capped at D worker threads);
+//!     results are bit-identical at every thread count.
 //!
 //! hetsched observe --spec experiment.json [--interval 120]
 //!                  [--out series.jsonl] [--csv series.csv]
@@ -66,6 +70,12 @@ pub enum Command {
         /// Optional one-way sync latency (seconds; requires
         /// `sync_interval`).
         sync_latency: Option<f64>,
+        /// Optional parallel-engine worker-thread count (None = classic
+        /// sequential engine; `Some(n)` runs one event kernel per
+        /// dispatch shard on up to `n` threads, bit-identical to the
+        /// classic engine for a single shard and to itself at every
+        /// thread count).
+        sim_threads: Option<usize>,
     },
     /// `observe`: run one replication with the probe plane enabled.
     Observe {
@@ -97,6 +107,7 @@ USAGE:
   hetsched simulate --spec experiment.json [--out results.json]
                     [--event-list heap|calendar] [--dispatchers 4]
                     [--sync-interval 500] [--sync-latency 10]
+                    [--sim-threads 4]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
                    [--replication 0] [--event-list heap|calendar]
@@ -151,6 +162,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut dispatchers = None;
             let mut sync_interval = None;
             let mut sync_latency = None;
+            let mut sim_threads = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
@@ -183,6 +195,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         sync_latency = Some(lat);
                     }
+                    "--sim-threads" => {
+                        let v = it.next().ok_or("--sim-threads needs a count")?;
+                        let n: usize = v.parse().map_err(|e| format!("bad sim-threads: {e}"))?;
+                        if n == 0 {
+                            return Err("need at least one simulation thread".into());
+                        }
+                        sim_threads = Some(n);
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -196,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dispatchers,
                 sync_interval,
                 sync_latency,
+                sim_threads,
             })
         }
         "observe" => {
@@ -270,6 +291,7 @@ pub fn run(cmd: Command) -> i32 {
             dispatchers,
             sync_interval,
             sync_latency,
+            sim_threads,
         } => match simulate(
             &spec,
             out.as_deref(),
@@ -277,6 +299,7 @@ pub fn run(cmd: Command) -> i32 {
             dispatchers,
             sync_interval,
             sync_latency,
+            sim_threads,
         ) {
             Ok(text) => {
                 println!("{text}");
@@ -358,6 +381,7 @@ pub fn simulate(
     dispatchers: Option<usize>,
     sync_interval: Option<f64>,
     sync_latency: Option<f64>,
+    sim_threads: Option<usize>,
 ) -> Result<String, String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
@@ -375,6 +399,9 @@ pub fn simulate(
             sync = sync.with_latency(lat);
         }
         exp.cluster.dispatch.sync = Some(sync);
+    }
+    if let Some(n) = sim_threads {
+        exp.sim_threads = n;
     }
     let result = exp.run()?;
     if let Some(path) = out {
@@ -510,6 +537,7 @@ mod tests {
                 dispatchers: None,
                 sync_interval: None,
                 sync_latency: None,
+                sim_threads: None,
             }
         );
     }
@@ -537,6 +565,7 @@ mod tests {
                 dispatchers: Some(4),
                 sync_interval: Some(500.0),
                 sync_latency: Some(10.0),
+                sim_threads: None,
             }
         );
         // Zero dispatchers, negative knobs, and a latency without an
@@ -576,6 +605,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_sim_threads() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sim-threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                spec: "a.json".into(),
+                out: None,
+                event_list: None,
+                dispatchers: None,
+                sync_interval: None,
+                sync_latency: None,
+                sim_threads: Some(4),
+            }
+        );
+        // Zero or garbage thread counts are rejected at parse time.
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sim-threads",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--sim-threads",
+            "x"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn parses_simulate_event_list_override() {
         let cmd = parse_args(&args(&[
             "simulate",
@@ -594,6 +664,7 @@ mod tests {
                 dispatchers: None,
                 sync_interval: None,
                 sync_latency: None,
+                sim_threads: None,
             }
         );
         let e = parse_args(&args(&[
@@ -707,6 +778,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -764,7 +836,16 @@ mod tests {
 
     #[test]
     fn simulate_reports_missing_file() {
-        let e = simulate("/definitely/not/here.json", None, None, None, None, None).unwrap_err();
+        let e = simulate(
+            "/definitely/not/here.json",
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
         assert!(e.contains("reading"));
     }
 
@@ -787,6 +868,7 @@ mod tests {
             Some(2),
             Some(1_000.0),
             Some(5.0),
+            None,
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -800,6 +882,48 @@ mod tests {
     }
 
     #[test]
+    fn simulate_parallel_engine_is_bit_identical() {
+        let dir = std::env::temp_dir().join("hetsched_cli_pdes_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let classic_path = dir.join("classic.json");
+        let pdes_path = dir.join("pdes.json");
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        exp.replications = 2;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let spec = spec_path.to_str().unwrap();
+        simulate(
+            spec,
+            Some(classic_path.to_str().unwrap()),
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        simulate(
+            spec,
+            Some(pdes_path.to_str().unwrap()),
+            None,
+            None,
+            None,
+            None,
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&classic_path).unwrap(),
+            std::fs::read_to_string(&pdes_path).unwrap(),
+            "parallel engine output differs from the classic engine"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn simulate_reports_contextual_validation_error() {
         let dir = std::env::temp_dir().join("hetsched_cli_err_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -807,7 +931,16 @@ mod tests {
         let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
         exp.cluster.utilization = 1.5;
         std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
-        let e = simulate(spec_path.to_str().unwrap(), None, None, None, None, None).unwrap_err();
+        let e = simulate(
+            spec_path.to_str().unwrap(),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
         assert!(e.contains("utilization"), "message names the bad knob: {e}");
         let _ = std::fs::remove_dir_all(&dir);
     }

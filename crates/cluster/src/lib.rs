@@ -56,6 +56,7 @@ pub mod faults;
 pub mod job;
 pub mod network;
 pub mod obs;
+pub mod pdes;
 pub mod policy;
 pub mod results;
 pub mod server;
@@ -69,6 +70,7 @@ pub use hetsched_dispatch::{DispatchSpec, SplitterSpec, SyncSpec, SyncState};
 pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
 pub use job::{JobId, JobRecord, JobSlab};
 pub use obs::{ObsDriver, ObsView};
+pub use pdes::{shard_config, shard_ranges, ParallelSimulation, PdesTiming, PDES_STREAM_BASE};
 pub use policy::{DispatchCtx, Policy};
 pub use results::{RunStats, ServerStats, ShardStats};
 pub use simulation::Simulation;

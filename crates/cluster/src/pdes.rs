@@ -1,0 +1,932 @@
+//! Conservative parallel discrete-event engine across dispatch shards.
+//!
+//! The classic [`crate::Simulation`] runs one event kernel over the
+//! whole cluster. This module runs one kernel instance **per dispatch
+//! shard**: the servers are partitioned into `D` contiguous slices, the
+//! arrival stream is pre-partitioned by the tier's [`Splitter`], and
+//! each shard advances through its own future-event list. Shards only
+//! interact through the periodic state-sync plane, whose one-way
+//! latency gives the engine its *lookahead*: between two sync epochs no
+//! shard can possibly affect another, so every shard may be advanced to
+//! the next epoch boundary without violating causality (a conservative
+//! synchronization scheme in the Chandy–Misra tradition, degenerated to
+//! barrier steps because the inter-shard topology is all-to-all). With
+//! sync disabled the lookahead is infinite and the shards are embarrassingly
+//! parallel.
+//!
+//! ## Determinism
+//!
+//! The engine is *bit-identical across thread counts*: running `D`
+//! shards on one thread or on `min(sim_threads, D)` threads produces
+//! byte-for-byte the same [`RunStats`]. Three mechanisms make that
+//! true:
+//!
+//! 1. **Pre-partitioned arrivals.** The arrival, size, and splitter
+//!    streams are drawn once, up front, in the exact per-stream order
+//!    the live single-kernel path draws them (each stream is an
+//!    independent [`Rng64`], so per-stream order is all that matters).
+//!    Every shard then replays its slice as a scripted feed.
+//! 2. **Disjoint RNG streams.** Shard `s` draws dispatch and network
+//!    values from streams `PDES_STREAM_BASE + 2s` and
+//!    `PDES_STREAM_BASE + 2s + 1`; fault streams keep the classic
+//!    `4 + global_server_index` layout. No stream is shared.
+//! 3. **Shard-ordered reductions.** Sync consensus folds snapshots in
+//!    shard-index order (see [`hetsched_dispatch::SyncExchange`]), and
+//!    the final merge folds per-shard statistics in shard order, so no
+//!    floating-point sum ever depends on thread scheduling.
+//!
+//! With one dispatcher the whole apparatus degenerates: the single
+//! shard sees the full cluster, the classic stream layout, and the
+//! original dispatch spec, so a `D = 1` parallel run is bit-identical
+//! to [`crate::Simulation::run`] (for configurations without a sync
+//! plane, the only ones where the classic path and the epoch-barrier
+//! protocol are the same algorithm).
+//!
+//! ## Semantics for `D > 1`
+//!
+//! The partitioned engine is a *different model* from the classic
+//! multi-dispatcher simulation, not a faster implementation of it: each
+//! dispatcher owns only its server slice (the classic tier lets every
+//! dispatcher dispatch to every server), resubmitted jobs stay on their
+//! shard, and sync consensus is exchanged at epoch boundaries rather
+//! than at exact publish instants. Aggregate statistics are merged
+//! deterministically: Welford moments merge exactly (Chan et al.),
+//! P² tail quantiles merge as jobs-weighted means of the per-shard
+//! estimates, histograms merge bucketwise, and deviation curves merge
+//! as elementwise means.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use hetsched_desim::{
+    CalendarQueue, Engine, EventQueue, FelStats, FutureEventList, Rng64, SimTime,
+};
+use hetsched_dispatch::{consensus, DispatchSpec, Splitter, SyncExchange, SyncState};
+use hetsched_dist::{ArrivalProcess, Sample};
+use hetsched_error::HetschedError;
+use hetsched_metrics::Welford;
+use hetsched_obs::ObsReport;
+
+use crate::config::{ClusterConfig, EventListBackend};
+use crate::policy::Policy;
+use crate::results::{RunStats, ServerStats, ShardStats};
+use crate::simulation::{Ev, Model, ScriptedArrivals, StreamPlan};
+use crate::trace::TraceCollector;
+
+/// Base RNG stream index for per-shard dispatch/network streams.
+///
+/// Far above the classic layout (arrivals 0, sizes 1, dispatch 2,
+/// network 3, faults `4 + i`) and the splitter's own stream
+/// (`1 << 40`), so per-shard streams can never collide with any other
+/// stream at any cluster size.
+pub const PDES_STREAM_BASE: u64 = 1 << 41;
+
+/// Splits `n` servers into `d` contiguous, balanced slices.
+///
+/// The first `n % d` shards get one extra server. Requires `1 ≤ d ≤ n`.
+pub fn shard_ranges(n: usize, d: usize) -> Vec<Range<usize>> {
+    assert!(
+        d >= 1 && d <= n,
+        "need 1 ≤ shards ≤ servers, got {d} shards for {n} servers"
+    );
+    let base = n / d;
+    let extra = n % d;
+    let mut ranges = Vec::with_capacity(d);
+    let mut start = 0;
+    for s in 0..d {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Derives the cluster configuration a single shard simulates: the
+/// shard's server slice with a trivial (single-dispatcher, sync-free)
+/// dispatch section — the parallel driver itself owns splitting and
+/// sync.
+///
+/// Everything else (arrival spec, job sizes, discipline, horizon,
+/// warmup, faults, observability, tracing) is inherited unchanged.
+pub fn shard_config(cfg: &ClusterConfig, range: &Range<usize>) -> ClusterConfig {
+    let mut sub = cfg.clone();
+    sub.speeds = cfg.speeds[range.clone()].to_vec();
+    sub.dispatch = DispatchSpec::default();
+    sub
+}
+
+/// Pre-generates the partitioned arrival feeds: one `(time, size)`
+/// script per shard, plus a trailing past-horizon sentinel on every
+/// feed so each shard model always has a pending next arrival (the
+/// same invariant the live path maintains).
+///
+/// Draw order per stream is exactly the live path's: the gap stream
+/// advances once per arrival (including the final past-horizon gap),
+/// the size stream once per in-horizon arrival, and the splitter's
+/// stream once per in-horizon arrival. Arrival times accumulate through
+/// [`SimTime::after`], reproducing the live clock arithmetic bit for
+/// bit.
+pub(crate) fn pregen_feeds(cfg: &ClusterConfig, seed: u64) -> Vec<Vec<(f64, f64)>> {
+    let d = cfg.dispatch.dispatchers.max(1);
+    let mut arrivals = cfg.arrivals.build(cfg.lambda());
+    let sizes = cfg.job_sizes.build();
+    let mut splitter = Splitter::new(&cfg.dispatch, seed);
+    let mut rng_arrival = Rng64::stream(seed, 0);
+    let mut rng_size = Rng64::stream(seed, 1);
+    let mut feeds: Vec<Vec<(f64, f64)>> = vec![Vec::new(); d];
+    let mut t = SimTime::ZERO;
+    loop {
+        let gap = arrivals.next_interarrival(&mut rng_arrival);
+        t = t.after(gap);
+        if t.as_secs() > cfg.horizon {
+            // The sentinel: strictly past the horizon, so it is
+            // scheduled but never delivered — exactly like the live
+            // path's always-pending next arrival.
+            for feed in &mut feeds {
+                feed.push((t.as_secs(), 0.0));
+            }
+            return feeds;
+        }
+        let size = sizes.sample(&mut rng_size);
+        feeds[splitter.route()].push((t.as_secs(), size));
+    }
+}
+
+/// Wall-clock breakdown of a [`ParallelSimulation::run_timed`] run.
+///
+/// Timing is measured on the sequential driver, where each shard's
+/// events are processed in isolation; `pregen_s + max(shard_s) +
+/// merge_s` is therefore the critical path of the same run on
+/// sufficiently many cores, which is what the kernel benchmark reports
+/// as projected parallel throughput.
+#[derive(Debug, Clone)]
+pub struct PdesTiming {
+    /// Seconds spent pre-partitioning the arrival stream.
+    pub pregen_s: f64,
+    /// Seconds of event processing per shard.
+    pub shard_s: Vec<f64>,
+    /// Seconds spent merging per-shard statistics.
+    pub merge_s: f64,
+    /// Total events processed across all shards.
+    pub events: u64,
+}
+
+impl PdesTiming {
+    /// The parallel critical path `pregen + max(shard) + merge`.
+    pub fn critical_path_s(&self) -> f64 {
+        self.pregen_s + self.shard_s.iter().cloned().fold(0.0, f64::max) + self.merge_s
+    }
+}
+
+/// One shard's runtime: its model and its private event kernel.
+struct ShardRt<P: Policy, Q: FutureEventList<Ev>> {
+    model: Model<P>,
+    engine: Engine<Ev, Q>,
+}
+
+/// The conservative-parallel simulation driver.
+///
+/// Construct with one policy per dispatch shard (for `D > 1` each
+/// policy must be built over the matching [`shard_config`], since it
+/// only ever sees its slice of the cluster), then [`run`](Self::run).
+/// See the [module docs](self) for semantics and the determinism
+/// argument.
+pub struct ParallelSimulation<P: Policy> {
+    cfg: ClusterConfig,
+    policies: Vec<P>,
+    seed: u64,
+    sim_threads: usize,
+}
+
+impl<P: Policy> ParallelSimulation<P> {
+    /// Creates a parallel simulation.
+    ///
+    /// `sim_threads` is the number of worker threads to spread shards
+    /// over; it is capped at the shard count. `1` runs the identical
+    /// algorithm single-threaded (useful for the bit-identity tests).
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidConfig`] when the configuration is
+    /// invalid, when the policy count does not match the dispatcher
+    /// count, when there are fewer servers than shards, or when
+    /// `sim_threads` is zero.
+    pub fn new(
+        cfg: ClusterConfig,
+        policies: Vec<P>,
+        seed: u64,
+        sim_threads: usize,
+    ) -> Result<Self, HetschedError> {
+        cfg.validate()?;
+        let d = cfg.dispatch.dispatchers.max(1);
+        if policies.len() != d {
+            return Err(HetschedError::InvalidConfig(format!(
+                "parallel engine needs one policy per shard: got {} policies for {} shards",
+                policies.len(),
+                d
+            )));
+        }
+        if cfg.speeds.len() < d {
+            return Err(HetschedError::InvalidConfig(format!(
+                "parallel engine needs at least one server per shard: {} servers, {} shards",
+                cfg.speeds.len(),
+                d
+            )));
+        }
+        if sim_threads == 0 {
+            return Err(HetschedError::InvalidConfig(
+                "sim_threads must be ≥ 1".into(),
+            ));
+        }
+        Ok(ParallelSimulation {
+            cfg,
+            policies,
+            seed,
+            sim_threads,
+        })
+    }
+
+    /// Runs the simulation on the configured event-list backend.
+    pub fn run(self) -> RunStats {
+        match self.cfg.event_list {
+            EventListBackend::Heap => self.run_on(|| EventQueue::with_capacity(1024)).0,
+            EventListBackend::Calendar => self.run_on(|| CalendarQueue::with_capacity(1024)).0,
+        }
+    }
+
+    /// Runs single-threaded and reports the wall-clock breakdown the
+    /// kernel benchmark uses to project parallel throughput.
+    pub fn run_timed(mut self) -> (RunStats, PdesTiming) {
+        self.sim_threads = 1;
+        match self.cfg.event_list {
+            EventListBackend::Heap => self.run_on(|| EventQueue::with_capacity(1024)),
+            EventListBackend::Calendar => self.run_on(|| CalendarQueue::with_capacity(1024)),
+        }
+    }
+
+    fn run_on<Q, F>(self, make_queue: F) -> (RunStats, PdesTiming)
+    where
+        Q: FutureEventList<Ev> + Send,
+        F: Fn() -> Q,
+    {
+        let ParallelSimulation {
+            cfg,
+            policies,
+            seed,
+            sim_threads,
+        } = self;
+        let d = cfg.dispatch.dispatchers.max(1);
+        let ranges = shard_ranges(cfg.speeds.len(), d);
+        let horizon = SimTime::new(cfg.horizon);
+
+        let t0 = Instant::now();
+        let feeds = pregen_feeds(&cfg, seed);
+        let pregen_s = t0.elapsed().as_secs_f64();
+
+        let mut shards: Vec<ShardRt<P, Q>> = Vec::with_capacity(d);
+        for (s, (policy, feed)) in policies.into_iter().zip(feeds).enumerate() {
+            // A single shard sees the whole cluster through the original
+            // config — including the classic stream layout — which is
+            // what makes D = 1 bit-identical to the classic path.
+            let sub = if d == 1 {
+                cfg.clone()
+            } else {
+                shard_config(&cfg, &ranges[s])
+            };
+            let streams = if d == 1 {
+                StreamPlan::classic()
+            } else {
+                StreamPlan {
+                    dispatch: PDES_STREAM_BASE + 2 * s as u64,
+                    net: PDES_STREAM_BASE + 2 * s as u64 + 1,
+                    fault_base: 4 + ranges[s].start as u64,
+                }
+            };
+            let trace = cfg
+                .trace
+                .map(|spec| TraceCollector::new(spec).expect("trace spec validated"));
+            let script = ScriptedArrivals {
+                jobs: feed,
+                cursor: 0,
+            };
+            let mut model = Model::build(&sub, vec![policy], seed, trace, Some(script), streams);
+            let mut engine = Engine::with_queue(make_queue());
+            model.seed_initial_events(&mut engine, &sub);
+            shards.push(ShardRt { model, engine });
+        }
+
+        // Epoch boundaries exist only when D > 1 shards share a sync
+        // plane; the boundary spacing (the sync interval) plus the
+        // apply latency is the engine's lookahead. A single shard keeps
+        // its original config and handles sync internally, classic-style.
+        let sync = if d > 1 { cfg.dispatch.sync } else { None };
+        let mut epochs: Vec<SimTime> = Vec::new();
+        if let Some(plane) = sync {
+            let mut tk = SimTime::ZERO;
+            loop {
+                tk = tk.after(plane.interval);
+                if tk.as_secs() > cfg.horizon {
+                    break;
+                }
+                epochs.push(tk);
+            }
+        }
+        let latency = sync.map(|plane| plane.latency).unwrap_or(0.0);
+
+        let threads = sim_threads.min(d).max(1);
+        let mut shard_s = vec![0.0f64; d];
+        if threads == 1 {
+            for tk in &epochs {
+                let mut states: Vec<SyncState> = Vec::new();
+                for (s, rt) in shards.iter_mut().enumerate() {
+                    let t = Instant::now();
+                    rt.engine.run_until(&mut rt.model, *tk);
+                    shard_s[s] += t.elapsed().as_secs_f64();
+                    if let Some(state) = rt.model.policies[0].sync_state() {
+                        states.push(state);
+                    }
+                }
+                if let Some(merged) = consensus(&states) {
+                    for rt in shards.iter_mut() {
+                        rt.model.pending_sync.push_back(merged.clone());
+                        rt.engine.schedule_at(tk.after(latency), Ev::SyncApply);
+                    }
+                }
+            }
+            for (s, rt) in shards.iter_mut().enumerate() {
+                let t = Instant::now();
+                rt.engine.run_until(&mut rt.model, horizon);
+                shard_s[s] += t.elapsed().as_secs_f64();
+            }
+        } else {
+            let exchange = SyncExchange::new(d, threads);
+            let epochs_ref = &epochs;
+            let mut slots: Vec<Option<ShardRt<P, Q>>> = shards.into_iter().map(Some).collect();
+            let collected: Vec<(usize, ShardRt<P, Q>)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let mine: Vec<(usize, ShardRt<P, Q>)> = slots
+                        .iter_mut()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == t)
+                        .map(|(i, slot)| (i, slot.take().expect("shard assigned once")))
+                        .collect();
+                    let exchange = &exchange;
+                    handles.push(scope.spawn(move || {
+                        let mut mine = mine;
+                        for tk in epochs_ref {
+                            for (i, rt) in mine.iter_mut() {
+                                rt.engine.run_until(&mut rt.model, *tk);
+                                exchange.publish(*i, rt.model.policies[0].sync_state());
+                            }
+                            // Every thread must reach the exchange even
+                            // when no shard published: it is the epoch
+                            // barrier.
+                            if let Some(merged) = exchange.exchange() {
+                                for (_, rt) in mine.iter_mut() {
+                                    rt.model.pending_sync.push_back(merged.clone());
+                                    rt.engine.schedule_at(tk.after(latency), Ev::SyncApply);
+                                }
+                            }
+                        }
+                        for (_, rt) in mine.iter_mut() {
+                            rt.engine.run_until(&mut rt.model, horizon);
+                        }
+                        mine
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard thread panicked"))
+                    .collect()
+            });
+            let mut by_index: Vec<Option<ShardRt<P, Q>>> = (0..d).map(|_| None).collect();
+            for (i, rt) in collected {
+                by_index[i] = Some(rt);
+            }
+            shards = by_index
+                .into_iter()
+                .map(|slot| slot.expect("every shard returned"))
+                .collect();
+        }
+
+        let t_merge = Instant::now();
+        let mut parts: Vec<(Model<P>, u64, FelStats)> = shards
+            .into_iter()
+            .map(|rt| {
+                let events = rt.engine.processed_total();
+                let kernel = rt.engine.fel_stats();
+                (rt.model, events, kernel)
+            })
+            .collect();
+        let stats = if d == 1 {
+            let (model, events, kernel) = parts.pop().expect("one shard");
+            model.finalize(cfg.horizon, events, kernel)
+        } else {
+            finalize_sharded(&cfg, parts, &ranges)
+        };
+        let merge_s = t_merge.elapsed().as_secs_f64();
+        let timing = PdesTiming {
+            pregen_s,
+            shard_s,
+            merge_s,
+            events: stats.events_processed,
+        };
+        (stats, timing)
+    }
+}
+
+/// Deterministically merges per-shard run state into one [`RunStats`],
+/// folding in shard-index order throughout so the result is identical
+/// at every thread count.
+fn finalize_sharded<P: Policy>(
+    cfg: &ClusterConfig,
+    parts: Vec<(Model<P>, u64, FelStats)>,
+    ranges: &[Range<usize>],
+) -> RunStats {
+    let horizon = cfg.horizon;
+    // Per-shard close-out first, mirroring the sequential finalize
+    // order: observability windows read state as of each boundary, then
+    // server integrals flush at the horizon, then the deviation tail.
+    let mut obs_reports: Vec<ObsReport> = Vec::new();
+    let mut models: Vec<Model<P>> = Vec::with_capacity(parts.len());
+    let mut events_total = 0u64;
+    let mut kernel_total = FelStats::default();
+    for (mut model, events, kernel) in parts {
+        if let Some(report) = model.obs.take().map(|mut o| {
+            o.flush_to(horizon, &model.servers, model.slab.len());
+            o.into_report(kernel)
+        }) {
+            obs_reports.push(report);
+        }
+        for s in &mut model.servers {
+            s.finalize(horizon);
+        }
+        if let Some(dev) = &mut model.deviation {
+            dev.advance_to(horizon);
+        }
+        events_total += events;
+        kernel_total.scheduled += kernel.scheduled;
+        kernel_total.popped += kernel.popped;
+        kernel_total.cancelled += kernel.cancelled;
+        // Shards run concurrently, so the natural aggregate pressure
+        // gauge is the sum of per-shard high-water marks (an upper
+        // bound on simultaneous live events).
+        kernel_total.high_water += kernel.high_water;
+        kernel_total.resizes += kernel.resizes;
+        models.push(model);
+    }
+
+    // Welford moments merge exactly (Chan et al.).
+    let mut resp_time = Welford::new();
+    let mut resp_ratio = Welford::new();
+    let mut degraded_time = Welford::new();
+    let mut degraded_ratio = Welford::new();
+    for m in &models {
+        resp_time.merge(&m.resp_time);
+        resp_ratio.merge(&m.resp_ratio);
+        degraded_time.merge(&m.degraded_time);
+        degraded_ratio.merge(&m.degraded_ratio);
+    }
+
+    // P² markers cannot be merged exactly; the jobs-weighted mean of
+    // the per-shard estimates is the documented approximation.
+    let mut p95_num = 0.0;
+    let mut p99_num = 0.0;
+    let mut q_den = 0.0;
+    for m in &models {
+        let w = m.ratio_p95.count() as f64;
+        if w > 0.0 {
+            p95_num += w * m.ratio_p95.estimate().unwrap_or(0.0);
+            p99_num += w * m.ratio_p99.estimate().unwrap_or(0.0);
+            q_den += w;
+        }
+    }
+    let (p95, p99) = if q_den > 0.0 {
+        (p95_num / q_den, p99_num / q_den)
+    } else {
+        (0.0, 0.0)
+    };
+
+    // Identical layouts (all shards build the same histogram shape), so
+    // the bucketwise merge is exact.
+    let ratio_histogram = models[0].ratio_histogram.clone().map(|mut h| {
+        for m in &models[1..] {
+            if let Some(other) = &m.ratio_histogram {
+                h.merge(other);
+            }
+        }
+        h
+    });
+
+    // Deviation curves share interval and origin, so windows align;
+    // the merged curve is the elementwise mean over shards.
+    let dev_curves: Vec<&[f64]> = models
+        .iter()
+        .filter_map(|m| m.deviation.as_ref().map(|d| d.deviations()))
+        .collect();
+    let deviations: Vec<f64> = if dev_curves.is_empty() {
+        Vec::new()
+    } else {
+        let len = dev_curves.iter().map(|c| c.len()).min().unwrap_or(0);
+        (0..len)
+            .map(|i| dev_curves.iter().map(|c| c[i]).sum::<f64>() / dev_curves.len() as f64)
+            .collect()
+    };
+
+    // Shard ranges are contiguous and ascending, so shard-major
+    // concatenation is global server order; dispatch fractions are
+    // recomputed against the global total.
+    let total_dispatched: u64 = models
+        .iter()
+        .flat_map(|m| m.servers.iter())
+        .map(|s| s.dispatched())
+        .sum();
+    let servers: Vec<ServerStats> = models
+        .iter()
+        .flat_map(|m| m.servers.iter())
+        .map(|s| ServerStats {
+            speed: s.speed(),
+            dispatched: s.dispatched(),
+            completed: s.completed(),
+            utilization: s.utilization(),
+            mean_queue_len: s.mean_queue_len(),
+            dispatch_fraction: if total_dispatched == 0 {
+                0.0
+            } else {
+                s.dispatched() as f64 / total_dispatched as f64
+            },
+            availability: s.availability(),
+            downtime: s.downtime(),
+            crashes: s.crashes(),
+        })
+        .collect();
+    let total_speed: f64 = cfg.speeds.iter().sum();
+    let realized_utilization = models
+        .iter()
+        .flat_map(|m| m.servers.iter())
+        .map(|s| s.utilization() * s.speed())
+        .sum::<f64>()
+        / total_speed;
+    let availability = models
+        .iter()
+        .flat_map(|m| m.servers.iter())
+        .map(|s| s.availability() * s.speed())
+        .sum::<f64>()
+        / total_speed;
+    let crashes: u64 = models
+        .iter()
+        .flat_map(|m| m.servers.iter())
+        .map(|s| s.crashes())
+        .sum();
+
+    let mut trace: Option<TraceCollector> = None;
+    for m in &mut models {
+        if let Some(t) = m.trace.take() {
+            match &mut trace {
+                None => trace = Some(t),
+                Some(acc) => acc.absorb(t),
+            }
+        }
+    }
+
+    // One ShardStats entry per PDES shard (each shard model is a
+    // single-dispatcher model, so its own routed vector has length 1).
+    let routed: Vec<u64> = models
+        .iter()
+        .map(|m| m.shard_routed.iter().sum::<u64>())
+        .collect();
+    let total_routed: u64 = routed.iter().sum();
+    let shards: Vec<ShardStats> = routed
+        .iter()
+        .map(|&jobs| ShardStats {
+            jobs,
+            share: if total_routed == 0 {
+                0.0
+            } else {
+                jobs as f64 / total_routed as f64
+            },
+        })
+        .collect();
+
+    let obs = if obs_reports.len() == models.len() && !obs_reports.is_empty() {
+        Some(merge_obs_reports(obs_reports, ranges, kernel_total))
+    } else {
+        None
+    };
+
+    let degraded_jobs = degraded_ratio.count();
+    RunStats {
+        policy: models[0].policies[0].name(),
+        jobs_counted: models.iter().map(|m| m.jobs_counted).sum(),
+        jobs_finished: resp_ratio.count(),
+        mean_response_time: resp_time.mean(),
+        mean_response_ratio: resp_ratio.mean(),
+        fairness: resp_ratio.std_dev(),
+        p95_response_ratio: p95,
+        p99_response_ratio: p99,
+        servers,
+        deviations,
+        ratio_histogram,
+        trace,
+        events_processed: events_total,
+        realized_utilization,
+        jobs_lost: models.iter().map(|m| m.jobs_lost).sum(),
+        jobs_resubmitted: models.iter().map(|m| m.jobs_resubmitted).sum(),
+        jobs_restarted: models.iter().map(|m| m.jobs_restarted).sum(),
+        crashes,
+        availability,
+        degraded_jobs,
+        mean_degraded_response_time: if degraded_jobs == 0 {
+            0.0
+        } else {
+            degraded_time.mean()
+        },
+        mean_degraded_response_ratio: if degraded_jobs == 0 {
+            0.0
+        } else {
+            degraded_ratio.mean()
+        },
+        obs,
+        shards,
+        // Every shard applies the same consensus sequence; shard 0
+        // speaks for the tier (mirrors the classic single-counter).
+        syncs_applied: models[0].syncs_applied,
+    }
+}
+
+/// Number of tier-scalar columns in a single-dispatcher observability
+/// report (after the per-server column trios).
+const OBS_SCALARS: usize = 8;
+
+/// Merges per-shard observability reports into one global report.
+///
+/// Per-server columns are reindexed from shard-local to global server
+/// indices (shard-major concatenation = global order); `in_flight` and
+/// the rate columns sum across shards, the response/deviation level
+/// columns average, and the `shard_share[s]` / `shard_dev[s]` tails are
+/// derived from each shard's own arrival-rate and deviation columns.
+fn merge_obs_reports(
+    reports: Vec<ObsReport>,
+    ranges: &[Range<usize>],
+    kernel: FelStats,
+) -> ObsReport {
+    let d = reports.len();
+    let nrows = reports.iter().map(|r| r.rows.len()).min().unwrap_or(0);
+    let mut columns: Vec<String> = Vec::new();
+    for range in ranges {
+        for g in range.clone() {
+            columns.push(format!("qlen[{g}]"));
+            columns.push(format!("util[{g}]"));
+            columns.push(format!("up[{g}]"));
+        }
+    }
+    for name in [
+        "in_flight",
+        "arrival_rate",
+        "completion_rate",
+        "resp_mean",
+        "resp_p50",
+        "resp_p95",
+        "resp_p99",
+        "deviation",
+    ] {
+        columns.push(name.to_string());
+    }
+    for s in 0..d {
+        columns.push(format!("shard_share[{s}]"));
+        columns.push(format!("shard_dev[{s}]"));
+    }
+
+    // A shard report's layout: 3 columns per local server, then the 8
+    // tier scalars (single-dispatcher shards carry no shard_* tail).
+    let scalar_base = |s: usize| 3 * ranges[s].len();
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(nrows);
+    for r in 0..nrows {
+        let mut row: Vec<f64> = Vec::with_capacity(columns.len());
+        for (s, rep) in reports.iter().enumerate() {
+            row.extend_from_slice(&rep.rows[r][..scalar_base(s)]);
+        }
+        for k in 0..OBS_SCALARS {
+            let vals = reports
+                .iter()
+                .enumerate()
+                .map(|(s, rep)| rep.rows[r][scalar_base(s) + k]);
+            row.push(match k {
+                // in_flight, arrival_rate, completion_rate: extensive.
+                0..=2 => vals.sum::<f64>(),
+                // Response levels and deviation: intensive (mean).
+                _ => vals.sum::<f64>() / d as f64,
+            });
+        }
+        let shard_arrivals: Vec<f64> = reports
+            .iter()
+            .enumerate()
+            .map(|(s, rep)| rep.rows[r][scalar_base(s) + 1])
+            .collect();
+        let arrivals_total: f64 = shard_arrivals.iter().sum();
+        for (s, rep) in reports.iter().enumerate() {
+            row.push(if arrivals_total > 0.0 {
+                shard_arrivals[s] / arrivals_total
+            } else {
+                0.0
+            });
+            row.push(rep.rows[r][scalar_base(s) + OBS_SCALARS - 1]);
+        }
+        rows.push(row);
+    }
+    ObsReport {
+        sample_interval: reports[0].sample_interval,
+        columns,
+        times: reports[0].times[..nrows].to_vec(),
+        rows,
+        kernel: kernel.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::policy::DispatchCtx;
+    use crate::Simulation;
+    use hetsched_dispatch::{SplitterSpec, SyncSpec};
+
+    /// A deterministic policy with mergeable state, so the sync plane
+    /// has something to exchange.
+    struct Cyclic {
+        next: usize,
+        n: usize,
+        credit: f64,
+    }
+
+    impl Cyclic {
+        fn new(n: usize) -> Self {
+            Cyclic {
+                next: 0,
+                n,
+                credit: 0.0,
+            }
+        }
+    }
+
+    impl Policy for Cyclic {
+        fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+            let pick = self.next;
+            self.next = (self.next + 1) % self.n;
+            self.credit += 1.0;
+            pick
+        }
+
+        fn sync_state(&self) -> Option<SyncState> {
+            Some(SyncState {
+                credits: vec![self.credit],
+                loads: Vec::new(),
+            })
+        }
+
+        fn merge_sync(&mut self, merged: &SyncState, _now: f64) {
+            if let Some(&c) = merged.credits.first() {
+                self.credit = c;
+            }
+        }
+
+        fn name(&self) -> String {
+            "cyclic".into()
+        }
+    }
+
+    fn base_cfg(n: usize) -> ClusterConfig {
+        let speeds: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut cfg = ClusterConfig::paper_default(&speeds);
+        cfg.horizon = 5_000.0;
+        cfg.warmup = 500.0;
+        cfg
+    }
+
+    fn sharded_cfg(n: usize, d: usize, sync: Option<SyncSpec>) -> ClusterConfig {
+        let mut cfg = base_cfg(n);
+        cfg.dispatch = DispatchSpec {
+            dispatchers: d,
+            splitter: SplitterSpec::IidRandom,
+            sync,
+        };
+        cfg
+    }
+
+    fn policies_for(cfg: &ClusterConfig) -> Vec<Cyclic> {
+        let d = cfg.dispatch.dispatchers.max(1);
+        shard_ranges(cfg.speeds.len(), d)
+            .iter()
+            .map(|r| Cyclic::new(r.len()))
+            .collect()
+    }
+
+    #[test]
+    fn ranges_are_balanced_and_contiguous() {
+        assert_eq!(shard_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(
+            shard_ranges(8, 8),
+            (0..8).map(|i| i..i + 1).collect::<Vec<_>>()
+        );
+        assert_eq!(shard_ranges(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn shard_config_slices_speeds_and_strips_dispatch() {
+        let cfg = sharded_cfg(6, 2, Some(SyncSpec::every(100.0)));
+        let sub = shard_config(&cfg, &(3..6));
+        assert_eq!(sub.speeds, cfg.speeds[3..6].to_vec());
+        assert_eq!(sub.dispatch, DispatchSpec::default());
+        assert_eq!(sub.horizon, cfg.horizon);
+    }
+
+    #[test]
+    fn pregen_covers_horizon_and_ends_with_sentinel() {
+        let cfg = sharded_cfg(4, 2, None);
+        let feeds = pregen_feeds(&cfg, 7);
+        assert_eq!(feeds.len(), 2);
+        for feed in &feeds {
+            let (last_t, last_size) = *feed.last().unwrap();
+            assert!(last_t > cfg.horizon, "sentinel must lie past the horizon");
+            assert_eq!(last_size, 0.0);
+            for w in feed.windows(2) {
+                assert!(w[0].0 <= w[1].0, "feed must be time-ordered");
+            }
+            for &(t, size) in &feed[..feed.len() - 1] {
+                assert!(t <= cfg.horizon);
+                assert!(size > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_classic_simulation() {
+        let cfg = base_cfg(5);
+        let classic = Simulation::new(cfg.clone(), Cyclic::new(5), 42)
+            .unwrap()
+            .run();
+        let pdes = ParallelSimulation::new(cfg, vec![Cyclic::new(5)], 42, 1)
+            .unwrap()
+            .run();
+        assert_eq!(classic, pdes);
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        for sync in [None, Some(SyncSpec::every(250.0).with_latency(5.0))] {
+            let cfg = sharded_cfg(7, 3, sync);
+            let seq = ParallelSimulation::new(cfg.clone(), policies_for(&cfg), 11, 1)
+                .unwrap()
+                .run();
+            let par = ParallelSimulation::new(cfg.clone(), policies_for(&cfg), 11, 3)
+                .unwrap()
+                .run();
+            assert_eq!(seq, par, "sync={sync:?}");
+            assert_eq!(seq.shards.len(), 3);
+            let routed: u64 = seq.shards.iter().map(|s| s.jobs).sum();
+            assert_eq!(routed, seq.jobs_counted);
+        }
+    }
+
+    #[test]
+    fn sync_plane_reaches_every_shard() {
+        let cfg = sharded_cfg(6, 2, Some(SyncSpec::every(200.0)));
+        let stats = ParallelSimulation::new(cfg.clone(), policies_for(&cfg), 3, 2)
+            .unwrap()
+            .run();
+        // horizon 5000 / interval 200 → boundaries 200..=5000, minus the
+        // final one whose apply lands past the horizon.
+        assert!(stats.syncs_applied >= 23, "got {}", stats.syncs_applied);
+    }
+
+    #[test]
+    fn constructor_validates_shape() {
+        let cfg = sharded_cfg(4, 2, None);
+        assert!(ParallelSimulation::new(cfg.clone(), vec![Cyclic::new(2)], 1, 1).is_err());
+        assert!(
+            ParallelSimulation::new(cfg.clone(), vec![Cyclic::new(2), Cyclic::new(2)], 1, 0)
+                .is_err()
+        );
+        let mut narrow = sharded_cfg(4, 2, None);
+        narrow.speeds = vec![1.0];
+        narrow.dispatch.dispatchers = 2;
+        assert!(
+            ParallelSimulation::new(narrow, vec![Cyclic::new(1), Cyclic::new(1)], 1, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn timed_run_reports_per_shard_breakdown() {
+        let cfg = sharded_cfg(4, 2, None);
+        let (stats, timing) = ParallelSimulation::new(cfg.clone(), policies_for(&cfg), 5, 1)
+            .unwrap()
+            .run_timed();
+        assert_eq!(timing.shard_s.len(), 2);
+        assert_eq!(timing.events, stats.events_processed);
+        assert!(timing.critical_path_s() > 0.0);
+        assert!(
+            timing.critical_path_s()
+                <= timing.pregen_s + timing.shard_s.iter().sum::<f64>() + timing.merge_s + 1e-12
+        );
+    }
+}

@@ -37,7 +37,7 @@ pub struct DispatchCtx<'a> {
 }
 
 /// A job dispatching policy.
-pub trait Policy {
+pub trait Policy: Send {
     /// Chooses the server for an arriving job and commits any internal
     /// bookkeeping for that decision.
     fn choose(&mut self, ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize;

@@ -69,8 +69,12 @@ use crate::server::Server;
 use crate::trace::TraceCollector;
 
 /// Events of the cluster model.
+///
+/// `pub(crate)` so the conservative-parallel driver in [`crate::pdes`]
+/// can schedule `SyncApply` events at epoch barriers from outside the
+/// actor.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Ev {
+pub(crate) enum Ev {
     /// A job arrives at the central scheduler.
     Arrival,
     /// A server's next internal event (completion/rotation).
@@ -180,6 +184,131 @@ impl<P: Policy> Simulation<P> {
             trace,
             seed,
         } = self;
+        let mut model = Model::build(&cfg, policies, seed, trace, None, StreamPlan::classic());
+        let mut engine: Engine<Ev, Q> = Engine::with_queue(queue);
+        model.seed_initial_events(&mut engine, &cfg);
+        engine.run_until(&mut model, SimTime::new(cfg.horizon));
+
+        let kernel = engine.fel_stats();
+        model.finalize(cfg.horizon, engine.processed_total(), kernel)
+    }
+}
+
+/// A pre-generated arrival script: the splitter's partition of the
+/// global arrival stream, materialized before the run starts.
+///
+/// The last entry is always a *sentinel* — the first arrival past the
+/// horizon, with an unsampled size of `0.0`. It is scheduled (so the
+/// kernel's `scheduled` counter matches the live path, which always has
+/// one beyond-horizon arrival pending) but never fires.
+pub(crate) struct ScriptedArrivals {
+    /// `(arrival time, job size)` in arrival order.
+    pub(crate) jobs: Vec<(f64, f64)>,
+    /// Next entry to deliver.
+    pub(crate) cursor: usize,
+}
+
+/// Which RNG streams a model instance draws from.
+///
+/// The classic simulation uses the historical layout (dispatch 2,
+/// network 3, faults `4 + server`). A PDES shard keeps its fault streams
+/// globally indexed (`4 + global server index`, disjoint across shards)
+/// and moves its dispatch/network draws onto reserved high streams so
+/// shards never share a stateful generator.
+pub(crate) struct StreamPlan {
+    pub(crate) dispatch: u64,
+    pub(crate) net: u64,
+    /// Fault stream for *local* server `i` is `fault_base + i`.
+    pub(crate) fault_base: u64,
+}
+
+impl StreamPlan {
+    /// The seed path's historical stream layout.
+    pub(crate) fn classic() -> Self {
+        StreamPlan {
+            dispatch: 2,
+            net: 3,
+            fault_base: 4,
+        }
+    }
+}
+
+/// Per-run fault-injection state (present only when configured).
+pub(crate) struct FaultRuntime {
+    spec: FaultSpec,
+    up_dist: BuiltDist,
+    down_dist: BuiltDist,
+    /// One RNG stream per server (`Rng64::stream(seed, 4 + i)`), used
+    /// for that server's up/down draws and notice delays.
+    rngs: Vec<Rng64>,
+    /// Jobs awaiting restart on each down server
+    /// ([`JobFaultSemantics::Restart`] only).
+    parked: Vec<Vec<JobId>>,
+}
+
+pub(crate) struct Model<P: Policy> {
+    /// One policy instance per dispatcher shard.
+    pub(crate) policies: Vec<P>,
+    /// Routes each arrival to a shard (trivial for one dispatcher).
+    splitter: Splitter,
+    /// Counted jobs routed per shard (reported only for `D > 1`).
+    pub(crate) shard_routed: Vec<u64>,
+    /// The sync plane, when configured.
+    sync: Option<SyncSpec>,
+    /// Published consensus snapshots in flight to the shards. The sync
+    /// latency is constant, so FIFO order matches event order.
+    pub(crate) pending_sync: VecDeque<SyncState>,
+    pub(crate) syncs_applied: u64,
+    pub(crate) servers: Vec<Server>,
+    arrivals: ArrivalKind,
+    sizes: BuiltDist,
+    load_updates: crate::network::LoadUpdateModel,
+    warmup: f64,
+    rng_arrival: Rng64,
+    rng_size: Rng64,
+    rng_dispatch: Rng64,
+    rng_net: Rng64,
+    /// When set, arrivals replay this pre-generated script instead of
+    /// drawing from the arrival/size streams (the PDES shard path).
+    script: Option<ScriptedArrivals>,
+    pub(crate) slab: JobSlab,
+    qlen_buf: Vec<usize>,
+    done_buf: Vec<JobId>,
+    pub(crate) resp_time: Welford,
+    pub(crate) resp_ratio: Welford,
+    pub(crate) ratio_p95: P2Quantile,
+    pub(crate) ratio_p99: P2Quantile,
+    pub(crate) ratio_histogram: Option<Histogram>,
+    pub(crate) trace: Option<crate::trace::TraceCollector>,
+    pub(crate) deviation: Option<DeviationTracker>,
+    pub(crate) obs: Option<ObsDriver>,
+    pub(crate) jobs_counted: u64,
+    pub(crate) speeds: Vec<f64>,
+    faults: Option<FaultRuntime>,
+    down_count: usize,
+    pub(crate) jobs_lost: u64,
+    pub(crate) jobs_resubmitted: u64,
+    pub(crate) jobs_restarted: u64,
+    pub(crate) degraded_time: Welford,
+    pub(crate) degraded_ratio: Welford,
+}
+
+impl<P: Policy> Model<P> {
+    /// Builds a model instance over `cfg` with an explicit stream plan
+    /// and (optionally) a scripted arrival feed.
+    ///
+    /// The classic path calls this with `script: None` and
+    /// [`StreamPlan::classic`], reproducing the historical construction
+    /// exactly; the PDES driver calls it once per shard with that
+    /// shard's slice of the pre-partitioned arrival stream.
+    pub(crate) fn build(
+        cfg: &ClusterConfig,
+        policies: Vec<P>,
+        seed: u64,
+        trace: Option<TraceCollector>,
+        script: Option<ScriptedArrivals>,
+        streams: StreamPlan,
+    ) -> Self {
         let lambda = cfg.lambda();
         let servers: Vec<Server> = cfg
             .speeds
@@ -208,12 +337,14 @@ impl<P: Policy> Simulation<P> {
         let faults = cfg.faults.map(|spec| FaultRuntime {
             up_dist: spec.up_time.build(),
             down_dist: spec.down_time.build(),
-            rngs: (0..n).map(|i| Rng64::stream(seed, 4 + i as u64)).collect(),
+            rngs: (0..n)
+                .map(|i| Rng64::stream(seed, streams.fault_base + i as u64))
+                .collect(),
             parked: vec![Vec::new(); n],
             spec,
         });
         let shards = cfg.dispatch.dispatchers;
-        let mut model = Model {
+        Model {
             policies,
             // D = 1 builds the trivial splitter: shard 0 always, no RNG.
             splitter: Splitter::new(&cfg.dispatch, seed),
@@ -228,8 +359,9 @@ impl<P: Policy> Simulation<P> {
             warmup: cfg.warmup,
             rng_arrival: Rng64::stream(seed, 0),
             rng_size: Rng64::stream(seed, 1),
-            rng_dispatch: Rng64::stream(seed, 2),
-            rng_net: Rng64::stream(seed, 3),
+            rng_dispatch: Rng64::stream(seed, streams.dispatch),
+            rng_net: Rng64::stream(seed, streams.net),
+            script,
             slab: JobSlab::with_capacity(64),
             qlen_buf: Vec::new(),
             done_buf: Vec::new(),
@@ -252,11 +384,32 @@ impl<P: Policy> Simulation<P> {
             jobs_restarted: 0,
             degraded_time: Welford::new(),
             degraded_ratio: Welford::new(),
-        };
+        }
+    }
 
-        let mut engine: Engine<Ev, Q> = Engine::with_queue(queue);
-        let first_gap = model.arrivals.next_interarrival(&mut model.rng_arrival);
-        engine.schedule_at(SimTime::new(first_gap), Ev::Arrival);
+    /// Schedules the run's initial events: the first arrival, the warmup
+    /// boundary, the first sync publish (when a sync plane exists), and
+    /// the first crash of every server (when faults are configured) —
+    /// in exactly the seed path's order.
+    pub(crate) fn seed_initial_events<Q: FutureEventList<Ev>>(
+        &mut self,
+        engine: &mut Engine<Ev, Q>,
+        cfg: &ClusterConfig,
+    ) {
+        match &self.script {
+            Some(script) => {
+                // The script always carries at least the sentinel; the
+                // first entry (real or sentinel) mirrors the live path's
+                // always-pending next arrival.
+                if let Some(&(t, _)) = script.jobs.first() {
+                    engine.schedule_at(SimTime::new(t), Ev::Arrival);
+                }
+            }
+            None => {
+                let first_gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
+                engine.schedule_at(SimTime::new(first_gap), Ev::Arrival);
+            }
+        }
         if cfg.warmup > 0.0 {
             engine.schedule_at(SimTime::new(cfg.warmup), Ev::WarmupEnd);
         }
@@ -265,77 +418,13 @@ impl<P: Policy> Simulation<P> {
         if let Some(sync) = cfg.dispatch.sync {
             engine.schedule_at(SimTime::new(sync.interval), Ev::SyncPublish);
         }
-        if let Some(fr) = &mut model.faults {
-            for i in 0..n {
+        if let Some(fr) = &mut self.faults {
+            for i in 0..self.servers.len() {
                 let first_up = fr.up_dist.sample(&mut fr.rngs[i]);
                 engine.schedule_at(SimTime::new(first_up), Ev::ServerCrash { server: i });
             }
         }
-        engine.run_until(&mut model, SimTime::new(cfg.horizon));
-
-        let kernel = engine.fel_stats();
-        model.finalize(cfg.horizon, engine.processed_total(), kernel)
     }
-}
-
-/// Per-run fault-injection state (present only when configured).
-struct FaultRuntime {
-    spec: FaultSpec,
-    up_dist: BuiltDist,
-    down_dist: BuiltDist,
-    /// One RNG stream per server (`Rng64::stream(seed, 4 + i)`), used
-    /// for that server's up/down draws and notice delays.
-    rngs: Vec<Rng64>,
-    /// Jobs awaiting restart on each down server
-    /// ([`JobFaultSemantics::Restart`] only).
-    parked: Vec<Vec<JobId>>,
-}
-
-struct Model<P: Policy> {
-    /// One policy instance per dispatcher shard.
-    policies: Vec<P>,
-    /// Routes each arrival to a shard (trivial for one dispatcher).
-    splitter: Splitter,
-    /// Counted jobs routed per shard (reported only for `D > 1`).
-    shard_routed: Vec<u64>,
-    /// The sync plane, when configured.
-    sync: Option<SyncSpec>,
-    /// Published consensus snapshots in flight to the shards. The sync
-    /// latency is constant, so FIFO order matches event order.
-    pending_sync: VecDeque<SyncState>,
-    syncs_applied: u64,
-    servers: Vec<Server>,
-    arrivals: ArrivalKind,
-    sizes: BuiltDist,
-    load_updates: crate::network::LoadUpdateModel,
-    warmup: f64,
-    rng_arrival: Rng64,
-    rng_size: Rng64,
-    rng_dispatch: Rng64,
-    rng_net: Rng64,
-    slab: JobSlab,
-    qlen_buf: Vec<usize>,
-    done_buf: Vec<JobId>,
-    resp_time: Welford,
-    resp_ratio: Welford,
-    ratio_p95: P2Quantile,
-    ratio_p99: P2Quantile,
-    ratio_histogram: Option<Histogram>,
-    trace: Option<crate::trace::TraceCollector>,
-    deviation: Option<DeviationTracker>,
-    obs: Option<ObsDriver>,
-    jobs_counted: u64,
-    speeds: Vec<f64>,
-    faults: Option<FaultRuntime>,
-    down_count: usize,
-    jobs_lost: u64,
-    jobs_resubmitted: u64,
-    jobs_restarted: u64,
-    degraded_time: Welford,
-    degraded_ratio: Welford,
-}
-
-impl<P: Policy> Model<P> {
     /// Re-arms the wake timer of `server` after any state change.
     fn reschedule<Q: FutureEventList<Ev>>(
         &mut self,
@@ -408,14 +497,34 @@ impl<P: Policy> Model<P> {
         now: f64,
         sched: &mut Scheduler<'_, Ev, Q>,
     ) {
-        // Keep the arrival stream flowing.
-        let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
-        sched.schedule_in(gap, Ev::Arrival);
-        if let Some(obs) = &mut self.obs {
-            obs.on_arrival();
-        }
-
-        let size = self.sizes.sample(&mut self.rng_size);
+        // Keep the arrival stream flowing. A scripted feed (the PDES
+        // shard path) replays pre-generated (time, size) pairs instead
+        // of drawing, preserving the live path's order of operations:
+        // schedule the next arrival first, then observe, then take the
+        // size. The script's final entry is a past-horizon sentinel that
+        // is scheduled but never delivered, mirroring the live path's
+        // always-pending next arrival.
+        let size = match &mut self.script {
+            Some(script) => {
+                if let Some(&(t, _)) = script.jobs.get(script.cursor + 1) {
+                    sched.schedule_at(SimTime::new(t), Ev::Arrival);
+                }
+                if let Some(obs) = &mut self.obs {
+                    obs.on_arrival();
+                }
+                let size = script.jobs[script.cursor].1;
+                script.cursor += 1;
+                size
+            }
+            None => {
+                let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
+                sched.schedule_in(gap, Ev::Arrival);
+                if let Some(obs) = &mut self.obs {
+                    obs.on_arrival();
+                }
+                self.sizes.sample(&mut self.rng_size)
+            }
+        };
         let counted = now >= self.warmup;
         if self.down_count == self.servers.len() {
             // Total outage: no destination exists, so the policy is not
@@ -692,7 +801,7 @@ impl<P: Policy> Model<P> {
         self.syncs_applied += 1;
     }
 
-    fn finalize(mut self, horizon: f64, events: u64, kernel: FelStats) -> RunStats {
+    pub(crate) fn finalize(mut self, horizon: f64, events: u64, kernel: FelStats) -> RunStats {
         // Close the remaining whole observability windows *before* the
         // servers flush their integrals at the horizon: every boundary
         // up to the horizon reads state as of that boundary.

@@ -133,6 +133,22 @@ impl TraceCollector {
         self.dropped
     }
 
+    /// Folds another collector's records into this one, preserving the
+    /// other collector's record order and this collector's cap. Used by
+    /// the parallel engine to combine per-shard collectors in
+    /// deterministic shard order.
+    pub fn absorb(&mut self, other: TraceCollector) {
+        self.seen += other.seen;
+        self.dropped += other.dropped;
+        for r in other.records {
+            if self.records.len() >= self.spec.max_records {
+                self.dropped += 1;
+            } else {
+                self.records.push(r);
+            }
+        }
+    }
+
     /// Serializes the records as JSON lines.
     ///
     /// # Errors

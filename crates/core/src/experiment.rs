@@ -6,10 +6,13 @@
 //! ("Each data point … is the average result of 10 independent runs with
 //! different random number streams", §4.1).
 
-use hetsched_cluster::{ClusterConfig, RunStats, Simulation};
+use hetsched_cluster::{
+    pdes::{shard_config, shard_ranges},
+    ClusterConfig, ParallelSimulation, RunStats, Simulation,
+};
 use hetsched_error::HetschedError;
 use hetsched_metrics::CiSummary;
-use hetsched_parallel::{replicate, resolve_threads};
+use hetsched_parallel::{plan_nested, replicate};
 use hetsched_policies::PolicySpec;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +31,16 @@ pub struct Experiment {
     pub base_seed: u64,
     /// Worker threads for the replication runner (0 = auto).
     pub threads: usize,
+    /// Simulation threads per replication (0 = classic single-kernel
+    /// engine; ≥ 1 = the conservative parallel engine with one event
+    /// kernel per dispatch shard, spread over this many threads).
+    ///
+    /// `1` runs the parallel engine's algorithm single-threaded, which
+    /// is bit-identical to any higher thread count — useful for
+    /// determinism checks. Absent from older configs, so it defaults
+    /// to the classic engine.
+    #[serde(default)]
+    pub sim_threads: usize,
 }
 
 impl Experiment {
@@ -40,6 +53,7 @@ impl Experiment {
             replications: 10,
             base_seed: 0x5EED_0001,
             threads: 0,
+            sim_threads: 0,
         }
     }
 
@@ -63,6 +77,18 @@ impl Experiment {
     /// # Errors
     /// Returns the configuration/policy validation error, if any.
     pub fn run_single(&self, replication: u64) -> Result<RunStats, HetschedError> {
+        if self.sim_threads > 0 {
+            // The conservative parallel engine: each dispatch shard owns
+            // a contiguous server slice, so each shard's policy is built
+            // over that shard's sub-configuration.
+            let sim = ParallelSimulation::new(
+                self.cluster.clone(),
+                self.build_shard_policies()?,
+                self.seed_of(replication),
+                self.sim_threads,
+            )?;
+            return Ok(sim.run());
+        }
         // One freshly built policy instance per dispatcher shard: the
         // shards share a spec, never state.
         let policies = (0..self.cluster.dispatch.dispatchers)
@@ -73,6 +99,35 @@ impl Experiment {
         Ok(sim.run())
     }
 
+    /// Builds one policy instance per parallel-engine shard, each over
+    /// its shard's sub-configuration.
+    ///
+    /// # Errors
+    /// Returns the policy build error, or
+    /// [`HetschedError::InvalidConfig`] when there are fewer servers
+    /// than shards (the partitioned engine needs at least one server
+    /// per shard).
+    fn build_shard_policies(
+        &self,
+    ) -> Result<Vec<Box<dyn hetsched_cluster::Policy>>, HetschedError> {
+        let d = self.cluster.dispatch.dispatchers.max(1);
+        if d == 1 {
+            return Ok(vec![self.policy.build(&self.cluster)?]);
+        }
+        if self.cluster.speeds.len() < d {
+            return Err(HetschedError::InvalidConfig(format!(
+                "the parallel engine needs at least one server per shard: \
+                 {} servers, {} shards",
+                self.cluster.speeds.len(),
+                d
+            )));
+        }
+        shard_ranges(self.cluster.speeds.len(), d)
+            .iter()
+            .map(|r| self.policy.build(&shard_config(&self.cluster, r)))
+            .collect()
+    }
+
     /// Runs all replications (in parallel) and aggregates.
     ///
     /// # Errors
@@ -81,7 +136,7 @@ impl Experiment {
         // Validate once up front so errors surface before threads spawn.
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;
-        let threads = resolve_threads(self.threads);
+        let threads = self.plan_threads()?;
         let runs: Vec<RunStats> = replicate(self.replications, threads, |i| {
             self.run_single(i)
                 .expect("validated configuration cannot fail")
@@ -91,6 +146,23 @@ impl Experiment {
             self.policy.label(),
             runs,
         ))
+    }
+
+    /// Resolves the replication-worker count, accounting for the
+    /// per-replication simulation threads so `threads × sim_threads`
+    /// cannot silently oversubscribe the machine (see
+    /// [`hetsched_parallel::plan_nested`]). Also pre-validates the
+    /// per-shard policy builds when the parallel engine is selected, so
+    /// errors surface before any worker spawns.
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidConfig`] for absurd thread combinations
+    /// or an invalid shard decomposition.
+    fn plan_threads(&self) -> Result<usize, HetschedError> {
+        if self.sim_threads > 0 {
+            self.build_shard_policies()?;
+        }
+        plan_nested(self.threads, self.sim_threads, 0).map_err(HetschedError::InvalidConfig)
     }
 
     /// Runs replications until the 95% CI half-width of the mean
@@ -121,7 +193,7 @@ impl Experiment {
         }
         self.policy.build(&self.cluster)?;
         self.cluster.validate()?;
-        let threads = resolve_threads(self.threads);
+        let threads = self.plan_threads()?;
         let batch = self.replications.max(3).min(max_reps);
         let mut runs: Vec<RunStats> = Vec::new();
         let mut next_rep = 0u64;
@@ -308,6 +380,63 @@ mod tests {
         }
         // Deterministic like every other experiment.
         assert_eq!(e.run().unwrap(), r);
+    }
+
+    #[test]
+    fn parallel_engine_with_one_shard_matches_classic() {
+        let classic = tiny().run().unwrap();
+        let mut e = tiny();
+        e.sim_threads = 1;
+        let pdes = e.run().unwrap();
+        // D = 1, no sync plane: the parallel engine is the classic
+        // simulation bit-for-bit, replication by replication.
+        assert_eq!(classic.runs, pdes.runs);
+    }
+
+    #[test]
+    fn parallel_engine_shards_the_cluster() {
+        let mut e = tiny();
+        e.cluster.dispatch =
+            hetsched_cluster::DispatchSpec::sharded(2, hetsched_cluster::SplitterSpec::IidRandom)
+                .with_sync(hetsched_cluster::SyncSpec::every(1_000.0));
+        e.sim_threads = 2;
+        let r = e.run().unwrap();
+        assert_eq!(r.runs.len(), 3);
+        for run in &r.runs {
+            assert_eq!(run.shards.len(), 2);
+            assert_eq!(run.servers.len(), 2);
+        }
+        // Same experiment, one simulation thread: bit-identical.
+        let mut seq = e.clone();
+        seq.sim_threads = 1;
+        assert_eq!(seq.run().unwrap().runs, r.runs);
+    }
+
+    #[test]
+    fn parallel_engine_rejects_more_shards_than_servers() {
+        let mut e = tiny();
+        e.cluster.dispatch =
+            hetsched_cluster::DispatchSpec::sharded(4, hetsched_cluster::SplitterSpec::IidRandom);
+        e.sim_threads = 1;
+        assert!(e.run().is_err(), "2 servers cannot feed 4 shards");
+    }
+
+    #[test]
+    fn absurd_thread_combinations_error() {
+        let mut e = tiny();
+        e.threads = 64;
+        e.sim_threads = 64;
+        let err = e.run().unwrap_err();
+        assert!(err.to_string().contains("sim_threads") || err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn sim_threads_defaults_to_classic_in_old_configs() {
+        let json = serde_json::to_value(tiny()).unwrap();
+        let mut obj = json;
+        obj.as_object_mut().unwrap().remove("sim_threads");
+        let back: Experiment = serde_json::from_value(obj).unwrap();
+        assert_eq!(back.sim_threads, 0);
     }
 
     #[test]

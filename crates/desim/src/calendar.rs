@@ -237,7 +237,12 @@ impl<E> CalendarQueue<E> {
         );
         self.last_time = entry.time;
         self.popped_total += 1;
-        if self.stored < self.buckets.len() / 2 && self.buckets.len() > 2 {
+        // Shrink lazily (quarter occupancy, not half): a queueing model's
+        // event population breathes with the load, and the classic
+        // half-occupancy trigger sits right where that oscillation lives,
+        // thrashing grow/shrink rebuilds hundreds of times per run. The
+        // wider band trades a little bucket sparsity for rebuild churn.
+        if self.stored < self.buckets.len() / 4 && self.buckets.len() > 2 {
             self.resize(self.buckets.len() / 2);
         }
         Some(ScheduledEvent {
@@ -296,17 +301,27 @@ impl<E> CalendarQueue<E> {
         self.cur_day = self.day_of(min_t);
     }
 
-    /// Brown's width heuristic: sample live events near the head and use
-    /// a multiple of their average separation.
+    /// Brown's width heuristic, robustified: sample live events and use
+    /// a multiple of the *median* adjacent gap.
+    ///
+    /// The textbook estimator (mean separation = sampled span / count)
+    /// is fragile: one far-future timer in the sample — and the cluster
+    /// model always carries a handful of long-horizon timers among its
+    /// dense completion events — inflates the mean by orders of
+    /// magnitude, producing days so wide that the whole event population
+    /// lands in a few buckets and every pop degenerates into a sorted-
+    /// bucket insertion scan. The median of adjacent gaps ignores such
+    /// outliers entirely, so the width tracks the *typical* event
+    /// density.
     fn estimate_width(&self) -> f64 {
-        let mut sample: Vec<f64> = Vec::with_capacity(32);
+        let mut sample: Vec<f64> = Vec::with_capacity(64);
         'outer: for bucket in &self.buckets {
             for e in bucket {
                 if !self.slab.is_live(e.id()) {
                     continue;
                 }
                 sample.push(e.time);
-                if sample.len() >= 32 {
+                if sample.len() >= 64 {
                     break 'outer;
                 }
             }
@@ -315,6 +330,16 @@ impl<E> CalendarQueue<E> {
             return self.width.max(1e-12);
         }
         sample.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let mut gaps: Vec<f64> = sample.windows(2).map(|w| w[1] - w[0]).collect();
+        let mid = gaps.len() / 2;
+        let (_, median, _) =
+            gaps.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite gaps"));
+        let median = *median;
+        if median > 0.0 {
+            return (3.0 * median).max(1e-12);
+        }
+        // Over half the sampled gaps are exact ties (batched timers);
+        // fall back to the mean separation across the sample.
         let span = sample.last().expect("non-empty") - sample[0];
         let avg_gap = span / (sample.len() - 1) as f64;
         if avg_gap <= 0.0 {
@@ -404,6 +429,31 @@ mod tests {
         for i in 0..50 {
             assert_eq!(q.pop().unwrap().payload, i);
         }
+    }
+
+    #[test]
+    fn width_estimate_ignores_far_future_outliers() {
+        // A dense cluster of events 1 s apart plus one timer far in the
+        // future — the mix the cluster model produces (completion events
+        // plus long-horizon fault/deviation timers). The mean-gap
+        // estimator would smear the outlier into a ~3e7-second width;
+        // the median-of-gaps estimator must stay at the dense spacing.
+        let mut q = CalendarQueue::new();
+        for i in 0..63u32 {
+            q.schedule(t(i as f64), i);
+        }
+        q.schedule(t(2.0e9), 999);
+        let width = q.estimate_width();
+        assert!(
+            (2.0..=4.0).contains(&width),
+            "width {width} should track the 1 s median gap, not the outlier"
+        );
+        // All-tied samples fall back without a zero width.
+        let mut ties = CalendarQueue::new();
+        for i in 0..16u32 {
+            ties.schedule(t(5.0), i);
+        }
+        assert!(ties.estimate_width() > 0.0);
     }
 
     #[test]

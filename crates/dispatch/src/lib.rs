@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+mod plane;
 mod spec;
 mod splitter;
 mod sync;
 
+pub use plane::SyncExchange;
 pub use spec::{DispatchSpec, SplitterSpec, SyncSpec};
 pub use splitter::{Splitter, SPLITTER_STREAM};
 pub use sync::{consensus, SyncState};

@@ -1,0 +1,143 @@
+//! Cross-thread sync exchange for the conservative-parallel engine.
+//!
+//! When the parallel driver runs one simulation shard per thread, the
+//! epoch barrier needs a rendezvous: every shard publishes its mergeable
+//! policy snapshot, exactly one thread computes the consensus, and every
+//! thread reads the same merged state back. [`SyncExchange`] packages
+//! that protocol so the result is *deterministic regardless of thread
+//! interleaving*: snapshots are stored in per-shard slots and folded in
+//! shard-index order, which is exactly the order the sequential driver
+//! uses — so a one-thread run and an N-thread run produce bit-identical
+//! consensus states.
+
+use std::sync::{Barrier, Mutex};
+
+use crate::sync::{consensus, SyncState};
+
+/// A reusable epoch-barrier rendezvous for shard state synchronisation.
+///
+/// Built once per run with the shard count and the number of worker
+/// threads; used once per sync epoch. The protocol per epoch:
+///
+/// 1. every thread calls [`SyncExchange::publish`] for each shard it
+///    owns (threads own disjoint shard sets covering all shards);
+/// 2. every thread calls [`SyncExchange::exchange`] exactly once. The
+///    barrier's leader drains the slots *in shard order* and computes
+///    the elementwise-mean consensus; after a second barrier all
+///    threads receive the same merged state.
+pub struct SyncExchange {
+    /// One snapshot slot per shard; drained by the leader each epoch.
+    slots: Vec<Mutex<Option<SyncState>>>,
+    /// The consensus computed by the leader, read by everyone.
+    merged: Mutex<Option<SyncState>>,
+    /// Two-phase rendezvous over the worker threads.
+    barrier: Barrier,
+}
+
+impl SyncExchange {
+    /// Creates an exchange for `shards` slots rendezvousing `threads`
+    /// worker threads.
+    pub fn new(shards: usize, threads: usize) -> Self {
+        SyncExchange {
+            slots: (0..shards).map(|_| Mutex::new(None)).collect(),
+            merged: Mutex::new(None),
+            barrier: Barrier::new(threads),
+        }
+    }
+
+    /// Stores `state` as shard `shard`'s snapshot for this epoch.
+    ///
+    /// `None` means the shard's policy has no mergeable state; the
+    /// consensus simply skips it (same as the sequential driver).
+    pub fn publish(&self, shard: usize, state: Option<SyncState>) {
+        *self.slots[shard].lock().expect("sync slot poisoned") = state;
+    }
+
+    /// Runs the two-phase exchange and returns the epoch's consensus.
+    ///
+    /// Must be called exactly once per epoch by every thread the
+    /// exchange was built for, after all of the thread's shards have
+    /// published. Returns `None` when no shard published mergeable
+    /// state.
+    pub fn exchange(&self) -> Option<SyncState> {
+        let turn = self.barrier.wait();
+        if turn.is_leader() {
+            let states: Vec<SyncState> = self
+                .slots
+                .iter()
+                .filter_map(|slot| slot.lock().expect("sync slot poisoned").take())
+                .collect();
+            *self.merged.lock().expect("merged slot poisoned") = consensus(&states);
+        }
+        self.barrier.wait();
+        self.merged.lock().expect("merged slot poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn state(credits: Vec<f64>, loads: Vec<f64>) -> SyncState {
+        SyncState { credits, loads }
+    }
+
+    #[test]
+    fn single_thread_exchange_matches_direct_consensus() {
+        let ex = SyncExchange::new(2, 1);
+        ex.publish(0, Some(state(vec![1.0, 3.0], vec![2.0, 4.0])));
+        ex.publish(1, Some(state(vec![3.0, 5.0], vec![6.0, 8.0])));
+        let merged = ex.exchange().unwrap();
+        let direct = consensus(&[
+            state(vec![1.0, 3.0], vec![2.0, 4.0]),
+            state(vec![3.0, 5.0], vec![6.0, 8.0]),
+        ])
+        .unwrap();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn empty_publishes_yield_none() {
+        let ex = SyncExchange::new(3, 1);
+        ex.publish(0, None);
+        ex.publish(1, None);
+        ex.publish(2, None);
+        assert!(ex.exchange().is_none());
+    }
+
+    #[test]
+    fn slots_are_drained_between_epochs() {
+        let ex = SyncExchange::new(2, 1);
+        ex.publish(0, Some(state(vec![2.0], vec![2.0])));
+        ex.publish(1, Some(state(vec![4.0], vec![4.0])));
+        assert_eq!(ex.exchange().unwrap().credits, vec![3.0]);
+        // Next epoch: only shard 0 publishes; shard 1's stale snapshot
+        // must not leak in.
+        ex.publish(0, Some(state(vec![10.0], vec![10.0])));
+        assert_eq!(ex.exchange().unwrap().credits, vec![10.0]);
+    }
+
+    #[test]
+    fn multi_thread_exchange_is_shard_ordered() {
+        // Two threads, four shards (round-robin ownership); the merged
+        // state must equal the shard-order fold no matter which thread
+        // wins the leader election.
+        let ex = Arc::new(SyncExchange::new(4, 2));
+        let mut handles = Vec::new();
+        for t in 0..2usize {
+            let ex = Arc::clone(&ex);
+            handles.push(std::thread::spawn(move || {
+                for shard in (0..4).filter(|s| s % 2 == t) {
+                    let v = shard as f64;
+                    ex.publish(shard, Some(state(vec![v], vec![v * 10.0])));
+                }
+                ex.exchange().unwrap()
+            }));
+        }
+        let results: Vec<SyncState> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0].credits, vec![1.5]);
+        assert_eq!(results[0].loads, vec![15.0]);
+    }
+}

@@ -177,6 +177,59 @@ pub fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Plans a two-level thread split: `outer` replication workers, each of
+/// which may itself run `inner` simulation threads (the conservative
+/// parallel engine's per-shard kernels). Returns the effective outer
+/// worker count so that `outer × inner` stays within a sane multiple of
+/// the machine budget, instead of letting the two knobs multiply into
+/// hundreds of threads.
+///
+/// `outer` and `budget` follow the usual knob convention (`0` = auto:
+/// [`default_threads`] for both); `inner` below 1 is treated as 1.
+/// The cap is soft — oversubscription up to 4× the budget is allowed
+/// (threads blocked on epoch barriers don't saturate a core) — but the
+/// effective outer count is scaled down so `outer_eff × inner ≤ budget`
+/// whenever `inner > 1`.
+///
+/// # Errors
+/// Returns a message when the combination is absurd: `inner` alone
+/// exceeding 4× the budget, or an explicit `outer` whose product with
+/// a nested `inner > 1` exceeds 4× the budget (with `inner = 1` the
+/// classic flat replication pool applies and `outer` is taken as
+/// given). Absurd combinations are almost always
+/// a units mistake in a config file, and silently clamping them would
+/// hide it.
+pub fn plan_nested(outer: usize, inner: usize, budget: usize) -> Result<usize, String> {
+    let budget = if budget == 0 {
+        default_threads()
+    } else {
+        budget
+    };
+    let inner_eff = inner.max(1);
+    if inner_eff > 4 * budget {
+        return Err(format!(
+            "sim_threads = {inner_eff} exceeds 4× the machine budget ({budget} threads); \
+             cap it at the shard count or the core count"
+        ));
+    }
+    // inner = 1 is the classic engine: plain replication threading has
+    // always been allowed to exceed the core count (workers are
+    // independent and time-slice cleanly), so only police the product
+    // when the run actually nests.
+    if inner_eff > 1 && outer > 0 && outer * inner_eff > 4 * budget {
+        return Err(format!(
+            "threads × sim_threads = {outer} × {inner_eff} exceeds 4× the machine budget \
+             ({budget} threads); lower one of the knobs (0 = auto)"
+        ));
+    }
+    let outer_eff = if inner_eff > 1 {
+        resolve_threads(outer).min((budget / inner_eff).max(1))
+    } else {
+        resolve_threads(outer)
+    };
+    Ok(outer_eff)
+}
+
 /// Runs `f(seed)` for seeds `0..replications` in parallel — the paper's
 /// "10 independent runs with different random number streams".
 pub fn replicate<R, F>(replications: u64, threads: usize, f: F) -> Vec<R>
@@ -328,6 +381,32 @@ mod tests {
     #[should_panic(expected = "order must be a permutation")]
     fn ordered_map_rejects_duplicates() {
         parallel_map_in_order(&[1, 2, 3], 2, &[0, 1, 1], |&x| x);
+    }
+
+    #[test]
+    fn nested_plan_caps_the_product() {
+        // inner = 1: the classic path, outer untouched.
+        assert_eq!(plan_nested(6, 1, 8).unwrap(), 6);
+        assert_eq!(plan_nested(6, 0, 8).unwrap(), 6);
+        // inner > 1: outer scaled so outer × inner ≤ budget.
+        assert_eq!(plan_nested(8, 4, 8).unwrap(), 2);
+        assert_eq!(plan_nested(0, 8, 8).unwrap(), 1);
+        // Auto outer resolves before capping.
+        let auto = plan_nested(0, 2, 8).unwrap();
+        assert!((1..=4).contains(&auto));
+    }
+
+    #[test]
+    fn nested_plan_rejects_absurd_combinations() {
+        assert!(plan_nested(1, 64, 4).is_err());
+        assert!(plan_nested(16, 4, 4).is_err());
+        let msg = plan_nested(16, 4, 4).unwrap_err();
+        assert!(msg.contains("16 × 4"), "got: {msg}");
+    }
+
+    #[test]
+    fn nested_plan_always_returns_at_least_one_worker() {
+        assert_eq!(plan_nested(1, 16, 8).unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Differential contracts of the conservative parallel engine.
+//!
+//! The load-bearing guarantee: the parallel engine is a *scheduling*
+//! change, never a *model* change. Concretely:
+//!
+//! * one shard through the parallel engine is **bit-identical** to the
+//!   classic sequential simulation — on both event-list backends, with
+//!   and without fault injection, with and without the probe plane;
+//! * at every shard count, one worker thread and `D` real worker
+//!   threads produce **bit-identical** results (per-shard arrival
+//!   pre-partitioning, disjoint RNG streams, and shard-ordered merge
+//!   reductions make the result independent of execution interleaving);
+//! * jobs are conserved: the per-shard routing counts always sum to the
+//!   run's total job count.
+//!
+//! The grid covers shard counts {1, 2, 4, 8} × {heap, calendar} ×
+//! faults {off, on} × observability {off, on}. Wide shard counts use
+//! `ParallelSimulation` directly (the `Experiment` front-end guards
+//! thread oversubscription, which a 1-core CI box would trip).
+
+use hetsched::cluster::pdes::{shard_config, shard_ranges};
+use hetsched::cluster::{ParallelSimulation, Policy, Simulation};
+use hetsched::prelude::*;
+
+/// A small, statistically alive 8-computer system.
+fn base_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0, 8.0, 1.0, 2.0, 4.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 15_000.0;
+    cfg.warmup = 1_500.0;
+    cfg
+}
+
+fn grid_cfg(d: usize, backend: EventListBackend, faults: bool, obs: bool) -> ClusterConfig {
+    let mut cfg = base_cfg();
+    cfg.event_list = backend;
+    if d > 1 {
+        cfg.dispatch = DispatchSpec::sharded(d, SplitterSpec::IidRandom);
+    }
+    if faults {
+        cfg.faults = Some(
+            FaultSpec::exponential(3_000.0, 300.0).with_semantics(JobFaultSemantics::Resubmit),
+        );
+    }
+    if obs {
+        cfg.obs = Some(ObsSpec::default());
+    }
+    cfg
+}
+
+/// One ORR policy instance per shard, planned over its server slice.
+fn policies(cfg: &ClusterConfig) -> Vec<Box<dyn Policy>> {
+    let d = cfg.dispatch.dispatchers.max(1);
+    if d == 1 {
+        return vec![PolicySpec::orr().build(cfg).expect("policy builds")];
+    }
+    shard_ranges(cfg.speeds.len(), d)
+        .iter()
+        .map(|r| {
+            PolicySpec::orr()
+                .build(&shard_config(cfg, r))
+                .expect("policy builds")
+        })
+        .collect()
+}
+
+/// One shard through the parallel engine reproduces the classic
+/// sequential simulation bit for bit across the whole option grid.
+#[test]
+fn single_shard_parallel_engine_matches_classic() {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for faults in [false, true] {
+            for obs in [false, true] {
+                let cfg = grid_cfg(1, backend, faults, obs);
+                let classic = Simulation::new(
+                    cfg.clone(),
+                    PolicySpec::orr().build(&cfg).expect("policy builds"),
+                    17,
+                )
+                .expect("classic builds")
+                .run();
+                let pdes = ParallelSimulation::new(cfg.clone(), policies(&cfg), 17, 1)
+                    .expect("parallel builds")
+                    .run();
+                assert_eq!(
+                    classic, pdes,
+                    "1-shard parallel engine diverged from classic \
+                     (backend={backend:?}, faults={faults}, obs={obs})"
+                );
+            }
+        }
+    }
+}
+
+/// At every shard count, thread count is invisible: one worker thread
+/// and D real worker threads agree bit for bit, and routing conserves
+/// jobs. Faults and probes ride along without breaking either property.
+#[test]
+fn thread_count_is_invisible_across_the_grid() {
+    for d in [1usize, 2, 4, 8] {
+        for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+            for faults in [false, true] {
+                for obs in [false, true] {
+                    let cfg = grid_cfg(d, backend, faults, obs);
+                    let seq = ParallelSimulation::new(cfg.clone(), policies(&cfg), 29, 1)
+                        .expect("parallel builds")
+                        .run();
+                    let par = ParallelSimulation::new(cfg.clone(), policies(&cfg), 29, d)
+                        .expect("parallel builds")
+                        .run();
+                    assert_eq!(
+                        seq, par,
+                        "thread count changed results \
+                         (d={d}, backend={backend:?}, faults={faults}, obs={obs})"
+                    );
+                    if d > 1 {
+                        assert_eq!(seq.shards.len(), d);
+                        // Conservation: routing counts arrivals that
+                        // reached a dispatcher plus fault resubmissions;
+                        // arrivals during a total outage are counted but
+                        // never routed. Fault-free, the law is exact.
+                        let routed: u64 = seq.shards.iter().map(|s| s.jobs).sum();
+                        let upper = seq.jobs_counted + seq.jobs_resubmitted;
+                        let lower = upper.saturating_sub(seq.jobs_lost);
+                        assert!(
+                            (lower..=upper).contains(&routed),
+                            "shard routing broke job conservation: routed {routed} \
+                             outside [{lower}, {upper}] \
+                             (d={d}, backend={backend:?}, faults={faults}, obs={obs})"
+                        );
+                        if !faults {
+                            assert_eq!(routed, seq.jobs_counted);
+                        }
+                    }
+                    assert!(seq.jobs_counted > 0, "grid point simulated nothing");
+                    if obs {
+                        let report = seq.obs.as_ref().expect("probe plane was enabled");
+                        assert!(!report.is_empty());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The two event-list backends agree inside the parallel engine too
+/// (everything except the calendar's resize counter).
+#[test]
+fn backends_agree_inside_the_parallel_engine() {
+    for d in [2usize, 8] {
+        let heap_cfg = grid_cfg(d, EventListBackend::Heap, false, true);
+        let cal_cfg = grid_cfg(d, EventListBackend::Calendar, false, true);
+        let mut heap = ParallelSimulation::new(heap_cfg.clone(), policies(&heap_cfg), 5, 1)
+            .expect("parallel builds")
+            .run();
+        let mut cal = ParallelSimulation::new(cal_cfg.clone(), policies(&cal_cfg), 5, 1)
+            .expect("parallel builds")
+            .run();
+        for stats in [&mut heap, &mut cal] {
+            if let Some(obs) = &mut stats.obs {
+                obs.kernel.resizes = 0;
+            }
+        }
+        assert_eq!(
+            heap, cal,
+            "backends diverged inside the parallel engine (d={d})"
+        );
+    }
+}
+
+/// The sync plane works under the parallel engine: a synced D > 1 run
+/// applies consensus states on every shard and stays thread-invariant.
+#[test]
+fn synced_shards_stay_thread_invariant() {
+    let mut cfg = grid_cfg(4, EventListBackend::Heap, false, false);
+    cfg.dispatch.sync = Some(SyncSpec::every(500.0).with_latency(10.0));
+    let seq = ParallelSimulation::new(cfg.clone(), policies(&cfg), 7, 1)
+        .expect("parallel builds")
+        .run();
+    let par = ParallelSimulation::new(cfg.clone(), policies(&cfg), 7, 4)
+        .expect("parallel builds")
+        .run();
+    assert_eq!(seq, par);
+    assert!(seq.syncs_applied > 0, "sync plane never fired");
+}
+
+/// The `Experiment` front-end takes the same path: `sim_threads = 1`
+/// runs match the classic engine across replications, and the nested-
+/// parallelism guard rejects absurd thread products instead of
+/// oversubscribing the machine.
+#[test]
+fn experiment_front_end_is_bit_identical_and_guarded() {
+    let mut classic = Experiment::new("pdes-diff", base_cfg(), PolicySpec::orr());
+    classic.replications = 2;
+    let mut pdes = classic.clone();
+    pdes.sim_threads = 1;
+    assert_eq!(
+        classic.run().expect("classic runs").runs,
+        pdes.run().expect("parallel runs").runs,
+        "Experiment sim_threads=1 diverged from the classic engine"
+    );
+
+    let mut absurd = Experiment::new("pdes-absurd", base_cfg(), PolicySpec::orr());
+    absurd.threads = 64;
+    absurd.sim_threads = 64;
+    let err = absurd
+        .run()
+        .expect_err("absurd thread product must be rejected");
+    assert!(
+        err.to_string().contains("64"),
+        "error should name the offending product: {err}"
+    );
+}

@@ -37,6 +37,20 @@ fn rank_of(data: &[f64], value: f64) -> f64 {
     data.iter().filter(|&&x| x <= value).count() as f64 / data.len() as f64
 }
 
+/// The empirical rank *interval* covered by a small value-neighborhood
+/// of `value`: `[P(x ≤ value − ε), P(x ≤ value + ε)]`.
+///
+/// On atomic streams the CDF jumps: with mass 1/8 on each of {0..7},
+/// every rank in (0.875, 1.0) is unreachable, so the point rank of any
+/// estimate near the top atom is 0.875 or 1.0 — never 0.95. The P²
+/// markers converge onto the atom up to parabolic-interpolation noise,
+/// so the right oracle asks whether the estimate's neighborhood spans
+/// the target rank, not whether its point rank equals it.
+fn rank_interval_of(data: &[f64], value: f64) -> (f64, f64) {
+    let eps = 1e-3 * (1.0 + value.abs());
+    (rank_of(data, value - eps), rank_of(data, value + eps))
+}
+
 /// Inverse CDF of the paper's Bounded Pareto BP(k, p, α):
 /// `F⁻¹(u) = (k^-α − u(k^-α − p^-α))^(−1/α)`.
 fn bounded_pareto(u: f64, k: f64, p: f64, alpha: f64) -> f64 {
@@ -57,8 +71,11 @@ fn sample(seed: u64, n: usize, dist: u8) -> Vec<f64> {
 
 proptest! {
     /// On streams of ≥ 2000 observations from any of the workload
-    /// shapes, the P² estimate sits within 0.04 of the target in rank
-    /// space for every quantile the simulation actually tracks.
+    /// shapes, the rank interval covered by the P² estimate's value
+    /// neighborhood comes within 0.04 of the target quantile, for every
+    /// quantile the simulation actually tracks. (The interval form is
+    /// what makes the oracle sound on quantized streams, where target
+    /// ranks inside a CDF jump are unreachable by any point estimate.)
     #[test]
     fn estimate_is_rank_accurate(
         seed in any::<u64>(),
@@ -69,10 +86,10 @@ proptest! {
         let q = [0.25, 0.5, 0.75, 0.9, 0.95][q_idx];
         let data = sample(seed, n, dist);
         let est = estimate(&data, q);
-        let rank = rank_of(&data, est);
+        let (lo, hi) = rank_interval_of(&data, est);
         prop_assert!(
-            (rank - q).abs() <= 0.04,
-            "dist {dist}, q={q}: estimate {est} has empirical rank {rank}"
+            lo - 0.04 <= q && q <= hi + 0.04,
+            "dist {dist}, q={q}: estimate {est} covers ranks [{lo}, {hi}]"
         );
     }
 
