@@ -24,6 +24,13 @@
 //!   (asserted, not just eyeballed — the sweep is only meaningful if
 //!   the tier itself costs nothing).
 //!
+//! A second scenario measures the dispatch × fault interaction: under
+//! sticky `source_hash` splitting every source is pinned to one shard,
+//! so when the fastest machine is killed mid-run the resubmitted
+//! backlog and the lost capacity hit the tier unevenly; the scenario
+//! records the response-ratio penalty against a no-fault baseline (the
+//! `fault_interaction` key of the JSON report).
+//!
 //! Results are archived into `BENCH_dispatch.json` (override with
 //! `--bench-json PATH`). `--quick` keeps the whole thing CI-friendly.
 
@@ -127,7 +134,79 @@ fn assert_d1_bit_identity(mode: &Mode) -> bool {
     true
 }
 
-fn report_json(mode: &Mode, cells: &[Cell], baseline_orr: f64, identical: bool) -> String {
+/// The dispatch × fault interaction scenario: `D = 4` shards under
+/// sticky source-hash splitting, with the fastest machine (index 0,
+/// speed 5 of a total 15.5) deterministically killed 40% into the run
+/// and never repaired. In-flight and queued jobs resubmit through the
+/// tier after a 10 s notice delay.
+struct FaultInteraction {
+    kill_at: f64,
+    baseline: ExperimentResult,
+    faulty: ExperimentResult,
+}
+
+fn fault_interaction(mode: &Mode) -> FaultInteraction {
+    let kill_at = 0.4 * dispatch_config().scaled(mode.scale).horizon;
+    let mut cfg = dispatch_config();
+    cfg.dispatch = DispatchSpec::sharded(4, SplitterSpec::SourceHash { sources: 64 });
+    if let Some(backend) = mode.event_list {
+        cfg.event_list = backend;
+    }
+    let mut faulty_cfg = cfg.clone();
+    faulty_cfg.faults = Some(FaultSpec {
+        up_time: DistSpec::Deterministic { value: kill_at },
+        down_time: DistSpec::Deterministic { value: 1.0e12 },
+        on_crash: JobFaultSemantics::Resubmit,
+        notice_delay_mean: 10.0,
+        servers: Some(vec![0]),
+    });
+    let run = |cfg: ClusterConfig, name: &str| -> ExperimentResult {
+        let mut exp = Experiment::new(name, cfg, PolicySpec::orr()).quick(mode.scale, mode.reps);
+        exp.threads = mode.threads;
+        exp.run().unwrap_or_else(|e| panic!("{name}: {e}"))
+    };
+    FaultInteraction {
+        kill_at,
+        baseline: run(cfg, "fig_dispatch_fault_baseline"),
+        faulty: run(faulty_cfg, "fig_dispatch_fault_kill"),
+    }
+}
+
+fn fault_interaction_json(fi: &FaultInteraction) -> String {
+    let base = fi.baseline.mean_response_ratio.mean;
+    let hit = fi.faulty.mean_response_ratio.mean;
+    let n = fi.faulty.runs.len() as f64;
+    let mean =
+        |f: &dyn Fn(&RunStats) -> f64| -> f64 { fi.faulty.runs.iter().map(f).sum::<f64>() / n };
+    let max_share: f64 = fi
+        .faulty
+        .runs
+        .iter()
+        .flat_map(|r| r.shards.iter().map(|s| s.share))
+        .fold(0.0f64, f64::max);
+    format!(
+        "{{ \"splitter\": \"source_hash\", \"dispatchers\": 4, \"kill_time\": {}, \
+         \"baseline_mean_response_ratio\": {}, \"faulty_mean_response_ratio\": {}, \
+         \"penalty_pct\": {}, \"crashes\": {}, \"jobs_resubmitted\": {}, \
+         \"availability\": {}, \"max_shard_share\": {} }}",
+        json_num(fi.kill_at),
+        json_num(base),
+        json_num(hit),
+        json_num(100.0 * (hit - base) / base),
+        json_num(mean(&|r| r.crashes as f64)),
+        json_num(mean(&|r| r.jobs_resubmitted as f64)),
+        json_num(mean(&|r| r.availability)),
+        json_num(max_share),
+    )
+}
+
+fn report_json(
+    mode: &Mode,
+    cells: &[Cell],
+    baseline_orr: f64,
+    identical: bool,
+    fi: &FaultInteraction,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bin\": {},\n", json_str("fig_dispatch")));
     out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
@@ -156,7 +235,11 @@ fn report_json(mode: &Mode, cells: &[Cell], baseline_orr: f64, identical: bool) 
             )
         })
         .collect();
-    out.push_str(&format!("  \"cells\": [\n{}\n  ]\n", rows.join(",\n")));
+    out.push_str(&format!("  \"cells\": [\n{}\n  ],\n", rows.join(",\n")));
+    out.push_str(&format!(
+        "  \"fault_interaction\": {}\n",
+        fault_interaction_json(fi)
+    ));
     out.push_str("}\n");
     out
 }
@@ -207,6 +290,46 @@ fn main() {
     }
     t.print();
 
+    println!("\nDispatch x faults: kill the fastest machine under source-hash splitting");
+    let fi = fault_interaction(&mode);
+    let base = fi.baseline.mean_response_ratio.mean;
+    let hit = fi.faulty.mean_response_ratio.mean;
+    let mut t = Table::new([
+        "scenario",
+        "mean response ratio",
+        "resubmitted",
+        "availability",
+    ]);
+    let n = fi.faulty.runs.len() as f64;
+    t.row([
+        "no fault".to_string(),
+        ci(&fi.baseline.mean_response_ratio),
+        "0".to_string(),
+        "1.000".to_string(),
+    ]);
+    t.row([
+        format!("kill fastest @ {:.0} s", fi.kill_at),
+        ci(&fi.faulty.mean_response_ratio),
+        format!(
+            "{:.0}",
+            fi.faulty
+                .runs
+                .iter()
+                .map(|r| r.jobs_resubmitted as f64)
+                .sum::<f64>()
+                / n
+        ),
+        format!(
+            "{:.3}",
+            fi.faulty.runs.iter().map(|r| r.availability).sum::<f64>() / n
+        ),
+    ]);
+    t.print();
+    println!(
+        "response-ratio penalty: {:+.1}%",
+        100.0 * (hit - base) / base
+    );
+
     if let Some(path) = &mode.json {
         let results: Vec<&ExperimentResult> = cells.iter().map(|c| &c.result).collect();
         hetsched::report::save_json(path.to_str().expect("utf-8 path"), &results)
@@ -218,7 +341,7 @@ fn main() {
         .bench_json
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_dispatch.json"));
-    let json = report_json(&mode, &cells, baseline_orr, identical);
+    let json = report_json(&mode, &cells, baseline_orr, identical, &fi);
     std::fs::write(&path, json).expect("writing dispatch bench json");
     println!("dispatch sweep -> {}", path.display());
 }

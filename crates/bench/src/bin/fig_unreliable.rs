@@ -1,0 +1,369 @@
+//! Unreliable-messaging degradation figure.
+//!
+//! The paper assumes every message plane is perfect: dispatched jobs
+//! always arrive, load updates always come back. This harness measures
+//! what a lossy fabric costs and what the recovery machinery buys:
+//!
+//! * **loss sweep** — ORR, DYNAMIC, DYNAMIC-SA, and ReORR under uniform
+//!   message loss `p ∈ {0, 0.1%, 1%, 5%}` on all three planes, with
+//!   ack-based retransmission (timeout + exponential backoff) armed, so
+//!   the figure shows *residual* degradation after recovery;
+//! * **fire-and-forget vs retry vs hedge** — ORR at the highest loss
+//!   rate with the recovery ladder applied one rung at a time: no
+//!   retries (lost dispatches lose the job), retries, retries + hedged
+//!   dispatch (duplicate to a backup server after a short un-acked
+//!   silence, first landing wins);
+//! * **load-plane blackouts** — periodic partition windows on the
+//!   server → dispatcher update plane only. Naive DYNAMIC keeps
+//!   steering the whole stream by its frozen load snapshot; DYNAMIC-SA
+//!   decays stale indices toward the optimized static prior, which is
+//!   the regime where staleness-aware degradation must beat naive
+//!   Dynamic (recorded as `sa_beats_naive`);
+//! * the **reliable bit-identity** guarantee, checked at bench time: an
+//!   explicit `ChannelSpec::reliable()` section is byte-identical to no
+//!   channel section at all, on both event-list backends and on both
+//!   the classic and the conservative-parallel engines.
+//!
+//! Results are archived into `BENCH_unreliable.json` (override with
+//! `--bench-json PATH`).
+
+use hetsched::prelude::*;
+use hetsched_bench::{ci, json_num, json_str, Mode};
+
+/// Uniform per-message loss probabilities swept (0 = the paper's
+/// perfect fabric, run without any channel section).
+const LOSS_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
+
+/// Ack timeout (seconds) for the retransmission sweep; backoff and the
+/// retry budget stay at the [`RetrySpec`] defaults (×2, 3 retries).
+const RETRY_TIMEOUT: f64 = 30.0;
+
+/// Un-acked silence (seconds) before a hedge duplicate fires.
+const HEDGE_DELAY: f64 = 5.0;
+
+/// DYNAMIC-SA confidence window (seconds): a load index older than this
+/// starts decaying toward the static prior.
+const CONFIDENCE_WINDOW: f64 = 30.0;
+
+/// One cell of a sweep.
+struct Cell {
+    label: String,
+    policy: String,
+    result: ExperimentResult,
+    /// Mean per-replication counters.
+    jobs_lost: f64,
+    msgs_lost: f64,
+    retries: f64,
+    timeouts: f64,
+    hedges_won: f64,
+    stale_decisions: f64,
+}
+
+/// The fig_dispatch fleet: 8 computers with a strongly skewed speed
+/// profile, where the optimized and weighted allocations differ most.
+fn base_config() -> ClusterConfig {
+    let speeds = [5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0];
+    ClusterConfig::paper_default(&speeds)
+}
+
+/// The roster the loss sweep crosses with each loss rate.
+fn policies() -> [PolicySpec; 4] {
+    [
+        PolicySpec::orr(),
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::stale_aware_dynamic(CONFIDENCE_WINDOW),
+        PolicySpec::reopt_orr(),
+    ]
+}
+
+fn run_cell(mode: &Mode, label: &str, channels: Option<ChannelSpec>, policy: PolicySpec) -> Cell {
+    let mut cfg = base_config();
+    cfg.channels = channels;
+    let result = mode.run("fig_unreliable", cfg, policy);
+    let n = result.runs.len() as f64;
+    let mean = |f: &dyn Fn(&RunStats) -> u64| -> f64 {
+        result.runs.iter().map(|r| f(r) as f64).sum::<f64>() / n
+    };
+    Cell {
+        label: label.to_string(),
+        policy: result.policy.clone(),
+        jobs_lost: mean(&|r| r.jobs_lost),
+        msgs_lost: mean(&|r| r.msgs_lost),
+        retries: mean(&|r| r.retries),
+        timeouts: mean(&|r| r.timeouts),
+        hedges_won: mean(&|r| r.hedges_won),
+        stale_decisions: mean(&|r| r.stale_decisions),
+        result,
+    }
+}
+
+/// The channel spec for one loss-sweep cell: `None` at `p = 0` (the
+/// seed path), uniform loss with retransmission otherwise.
+fn loss_channels(p: f64) -> Option<ChannelSpec> {
+    if p == 0.0 {
+        None
+    } else {
+        Some(ChannelSpec::uniform_loss(p).with_retry(RetrySpec::after(RETRY_TIMEOUT)))
+    }
+}
+
+/// Periodic blackout windows on the load plane: the second half of each
+/// of 16 equal cycles spanning warmup → horizon is dark. Windows are in
+/// simulated seconds of the *scaled* run, so they are computed against
+/// the same `scaled()` horizon the experiment will use.
+fn blackout_channels(scale: f64) -> ChannelSpec {
+    let cfg = base_config().scaled(scale);
+    let span = cfg.horizon - cfg.warmup;
+    let period = span / 16.0;
+    let partitions: Vec<(f64, f64)> = (0..16)
+        .map(|k| {
+            let start = cfg.warmup + k as f64 * period;
+            (start + 0.5 * period, start + period)
+        })
+        .collect();
+    let mut spec = ChannelSpec::reliable();
+    spec.load.partitions = partitions;
+    spec
+}
+
+/// The tentpole guarantee, checked at bench time: an explicit
+/// `ChannelSpec::reliable()` section reproduces a channel-free run
+/// byte-for-byte on both event-list backends and on both engines
+/// (classic sequential and conservative-parallel).
+fn assert_reliable_bit_identity(mode: &Mode) -> bool {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for sim_threads in [0usize, 4] {
+            let mut cfg = base_config();
+            cfg.event_list = backend;
+            let mut plain = Experiment::new("fig_unreliable", cfg, PolicySpec::orr())
+                .quick(mode.scale, mode.reps);
+            plain.sim_threads = sim_threads;
+            let mut shimmed = plain.clone();
+            shimmed.cluster.channels = Some(ChannelSpec::reliable());
+            for rep in 0..mode.reps.min(2) {
+                let a = plain.run_single(rep).expect("plain run");
+                let b = shimmed.run_single(rep).expect("reliable-channel run");
+                assert_eq!(
+                    a,
+                    b,
+                    "reliable channels diverged from the channel-free path \
+                     ({} backend, sim_threads={sim_threads})",
+                    backend.label()
+                );
+            }
+        }
+    }
+    true
+}
+
+fn cell_json(c: &Cell, baseline: f64) -> String {
+    let orr = c.result.mean_response_ratio.mean;
+    format!(
+        "    {{ \"cell\": {}, \"policy\": {}, \"mean_response_ratio\": {}, \
+         \"ci_half_width\": {}, \"degradation_pct\": {}, \"jobs_lost\": {}, \
+         \"msgs_lost\": {}, \"retries\": {}, \"timeouts\": {}, \
+         \"hedges_won\": {}, \"stale_decisions\": {} }}",
+        json_str(&c.label),
+        json_str(&c.policy),
+        json_num(orr),
+        json_num(c.result.mean_response_ratio.half_width),
+        json_num(if baseline > 0.0 {
+            100.0 * (orr - baseline) / baseline
+        } else {
+            0.0
+        }),
+        json_num(c.jobs_lost),
+        json_num(c.msgs_lost),
+        json_num(c.retries),
+        json_num(c.timeouts),
+        json_num(c.hedges_won),
+        json_num(c.stale_decisions),
+    )
+}
+
+fn report_json(
+    mode: &Mode,
+    loss_cells: &[Cell],
+    ladder_cells: &[Cell],
+    blackout_cells: &[Cell],
+    identical: bool,
+    sa_beats_naive: bool,
+) -> String {
+    let baseline_of = |cells: &[Cell], policy: &str| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.label.ends_with("loss 0"))
+            .map(|c| c.result.mean_response_ratio.mean)
+            .unwrap_or(0.0)
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bin\": {},\n", json_str("fig_unreliable")));
+    out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
+    out.push_str(&format!("  \"reps\": {},\n", mode.reps));
+    out.push_str(&format!("  \"reliable_bit_identical\": {identical},\n"));
+    out.push_str(&format!(
+        "  \"sa_beats_naive_in_blackouts\": {sa_beats_naive},\n"
+    ));
+    let loss_rows: Vec<String> = loss_cells
+        .iter()
+        .map(|c| cell_json(c, baseline_of(loss_cells, &c.policy)))
+        .collect();
+    out.push_str(&format!(
+        "  \"loss_sweep\": [\n{}\n  ],\n",
+        loss_rows.join(",\n")
+    ));
+    let ladder_rows: Vec<String> = ladder_cells.iter().map(|c| cell_json(c, 0.0)).collect();
+    out.push_str(&format!(
+        "  \"recovery_ladder\": [\n{}\n  ],\n",
+        ladder_rows.join(",\n")
+    ));
+    let blackout_rows: Vec<String> = blackout_cells.iter().map(|c| cell_json(c, 0.0)).collect();
+    out.push_str(&format!(
+        "  \"load_blackouts\": [\n{}\n  ]\n",
+        blackout_rows.join(",\n")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("\nUnreliable channels: reliable() bit-identity check");
+    println!("(both backends x classic/parallel engines)");
+    let identical = assert_reliable_bit_identity(&mode);
+    println!("reliable channels bit-identical to the channel-free path: {identical}");
+
+    println!("\nPolicy degradation under uniform message loss (retries armed)");
+    let mut loss_cells = Vec::new();
+    for &p in &LOSS_RATES {
+        for policy in policies() {
+            let label = format!(
+                "loss {}",
+                if p == 0.0 { "0".into() } else { format!("{p}") }
+            );
+            loss_cells.push(run_cell(&mode, &label, loss_channels(p), policy));
+        }
+    }
+    let mut t = Table::new([
+        "loss",
+        "policy",
+        "mean response ratio",
+        "jobs lost",
+        "msgs lost",
+        "retries",
+    ]);
+    for c in &loss_cells {
+        t.row([
+            c.label.clone(),
+            c.policy.clone(),
+            ci(&c.result.mean_response_ratio),
+            format!("{:.1}", c.jobs_lost),
+            format!("{:.0}", c.msgs_lost),
+            format!("{:.0}", c.retries),
+        ]);
+    }
+    t.print();
+
+    println!("\nRecovery ladder at loss {} (ORR)", LOSS_RATES[3]);
+    let p = LOSS_RATES[3];
+    let ladder_cells = vec![
+        run_cell(
+            &mode,
+            "fire-and-forget",
+            Some(ChannelSpec::uniform_loss(p)),
+            PolicySpec::orr(),
+        ),
+        run_cell(&mode, "retry", loss_channels(p), PolicySpec::orr()),
+        run_cell(
+            &mode,
+            "retry+hedge",
+            Some(
+                ChannelSpec::uniform_loss(p)
+                    .with_retry(RetrySpec::after(RETRY_TIMEOUT))
+                    .with_hedge(HedgeSpec { delay: HEDGE_DELAY }),
+            ),
+            PolicySpec::orr(),
+        ),
+    ];
+    let mut t = Table::new([
+        "recovery",
+        "mean response ratio",
+        "jobs lost",
+        "timeouts",
+        "hedges won",
+    ]);
+    for c in &ladder_cells {
+        t.row([
+            c.label.clone(),
+            ci(&c.result.mean_response_ratio),
+            format!("{:.1}", c.jobs_lost),
+            format!("{:.0}", c.timeouts),
+            format!("{:.0}", c.hedges_won),
+        ]);
+    }
+    t.print();
+
+    println!("\nLoad-plane blackouts (periodic partitions, 50% duty)");
+    let blackout = blackout_channels(mode.scale);
+    let blackout_cells = vec![
+        run_cell(
+            &mode,
+            "blackout",
+            Some(blackout.clone()),
+            PolicySpec::DynamicLeastLoad,
+        ),
+        run_cell(
+            &mode,
+            "blackout",
+            Some(blackout.clone()),
+            PolicySpec::stale_aware_dynamic(CONFIDENCE_WINDOW),
+        ),
+        run_cell(&mode, "blackout", Some(blackout), PolicySpec::orr()),
+    ];
+    let mut t = Table::new([
+        "policy",
+        "mean response ratio",
+        "stale decisions",
+        "p95 ratio",
+    ]);
+    for c in &blackout_cells {
+        t.row([
+            c.policy.clone(),
+            ci(&c.result.mean_response_ratio),
+            format!("{:.0}", c.stale_decisions),
+            format!("{:.3}", c.result.p95_response_ratio.mean),
+        ]);
+    }
+    t.print();
+    let sa_beats_naive = blackout_cells[1].result.mean_response_ratio.mean
+        < blackout_cells[0].result.mean_response_ratio.mean;
+    println!("DYNAMIC-SA beats naive DYNAMIC under blackouts: {sa_beats_naive}");
+
+    if let Some(path) = &mode.json {
+        let results: Vec<&ExperimentResult> = loss_cells
+            .iter()
+            .chain(&ladder_cells)
+            .chain(&blackout_cells)
+            .map(|c| &c.result)
+            .collect();
+        hetsched::report::save_json(path.to_str().expect("utf-8 path"), &results)
+            .expect("archiving results");
+        println!("results -> {}", path.display());
+    }
+
+    let path = mode
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_unreliable.json"));
+    let json = report_json(
+        &mode,
+        &loss_cells,
+        &ladder_cells,
+        &blackout_cells,
+        identical,
+        sa_beats_naive,
+    );
+    std::fs::write(&path, json).expect("writing unreliable bench json");
+    println!("unreliable sweep -> {}", path.display());
+}

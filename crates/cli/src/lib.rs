@@ -11,7 +11,8 @@
 //! hetsched simulate --spec experiment.json [--out results.json]
 //!                   [--event-list heap|calendar] [--dispatchers 4]
 //!                   [--sync-interval 500] [--sync-latency 10]
-//!                   [--sim-threads 4]
+//!                   [--sim-threads 4] [--loss 0.01]
+//!                   [--retry-timeout 30] [--hedge-delay 10]
 //!     Run a full replicated simulation experiment described by a JSON
 //!     spec (see `hetsched template`). `--event-list` overrides the
 //!     spec's future-event-list backend; results are bit-identical
@@ -20,7 +21,11 @@
 //!     `--sync-latency`) turns on the tier's periodic state-sync.
 //!     `--sim-threads` selects the conservative parallel engine (one
 //!     event kernel per dispatch shard, capped at D worker threads);
-//!     results are bit-identical at every thread count.
+//!     results are bit-identical at every thread count. `--loss`
+//!     makes every message plane drop that fraction of messages;
+//!     `--retry-timeout` arms ack-based dispatch with exponential
+//!     backoff, and `--hedge-delay` (requires `--retry-timeout`)
+//!     duplicates slow dispatches to a backup server.
 //!
 //! hetsched observe --spec experiment.json [--interval 120]
 //!                  [--out series.jsonl] [--csv series.csv]
@@ -76,6 +81,16 @@ pub enum Command {
         /// classic engine for a single shard and to itself at every
         /// thread count).
         sim_threads: Option<usize>,
+        /// Optional uniform message-loss probability applied to all
+        /// three message planes (dispatch, load updates, shard sync).
+        loss: Option<f64>,
+        /// Optional ack timeout (seconds) enabling dispatch
+        /// retransmission with exponential backoff.
+        retry_timeout: Option<f64>,
+        /// Optional hedge delay (seconds; requires `retry_timeout`):
+        /// un-acked dispatches are duplicated to a backup server after
+        /// this long, first landing wins.
+        hedge_delay: Option<f64>,
     },
     /// `observe`: run one replication with the probe plane enabled.
     Observe {
@@ -107,7 +122,8 @@ USAGE:
   hetsched simulate --spec experiment.json [--out results.json]
                     [--event-list heap|calendar] [--dispatchers 4]
                     [--sync-interval 500] [--sync-latency 10]
-                    [--sim-threads 4]
+                    [--sim-threads 4] [--loss 0.01]
+                    [--retry-timeout 30] [--hedge-delay 10]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
                    [--replication 0] [--event-list heap|calendar]
@@ -163,6 +179,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut sync_interval = None;
             let mut sync_latency = None;
             let mut sim_threads = None;
+            let mut loss = None;
+            let mut retry_timeout = None;
+            let mut hedge_delay = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
@@ -203,11 +222,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         sim_threads = Some(n);
                     }
+                    "--loss" => {
+                        let v = it.next().ok_or("--loss needs a probability")?;
+                        let p: f64 = v.parse().map_err(|e| format!("bad loss: {e}"))?;
+                        if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+                            return Err(format!("loss must lie in [0, 1), got {v}"));
+                        }
+                        loss = Some(p);
+                    }
+                    "--retry-timeout" => {
+                        let v = it.next().ok_or("--retry-timeout needs seconds")?;
+                        let t: f64 = v.parse().map_err(|e| format!("bad retry timeout: {e}"))?;
+                        if !(t.is_finite() && t > 0.0) {
+                            return Err(format!("retry timeout must be positive, got {v}"));
+                        }
+                        retry_timeout = Some(t);
+                    }
+                    "--hedge-delay" => {
+                        let v = it.next().ok_or("--hedge-delay needs seconds")?;
+                        let h: f64 = v.parse().map_err(|e| format!("bad hedge delay: {e}"))?;
+                        if !(h.is_finite() && h > 0.0) {
+                            return Err(format!("hedge delay must be positive, got {v}"));
+                        }
+                        hedge_delay = Some(h);
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
             if sync_latency.is_some() && sync_interval.is_none() {
                 return Err("--sync-latency requires --sync-interval".into());
+            }
+            if hedge_delay.is_some() && retry_timeout.is_none() {
+                return Err("--hedge-delay requires --retry-timeout".into());
             }
             Ok(Command::Simulate {
                 spec: spec.ok_or("simulate requires --spec")?,
@@ -217,6 +263,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 sync_interval,
                 sync_latency,
                 sim_threads,
+                loss,
+                retry_timeout,
+                hedge_delay,
             })
         }
         "observe" => {
@@ -292,6 +341,9 @@ pub fn run(cmd: Command) -> i32 {
             sync_interval,
             sync_latency,
             sim_threads,
+            loss,
+            retry_timeout,
+            hedge_delay,
         } => match simulate(
             &spec,
             out.as_deref(),
@@ -300,6 +352,7 @@ pub fn run(cmd: Command) -> i32 {
             sync_interval,
             sync_latency,
             sim_threads,
+            channel_spec(loss, retry_timeout, hedge_delay),
         ) {
             Ok(text) => {
                 println!("{text}");
@@ -370,10 +423,35 @@ pub fn allocate_report(speeds: &[f64], rho: f64) -> Result<String, String> {
     ))
 }
 
+/// Builds the `--loss`/`--retry-timeout`/`--hedge-delay` channel
+/// override (`None` when no channel flag was given, so the spec's own
+/// `channels` section — or its absence — stands).
+pub fn channel_spec(
+    loss: Option<f64>,
+    retry_timeout: Option<f64>,
+    hedge_delay: Option<f64>,
+) -> Option<ChannelSpec> {
+    if loss.is_none() && retry_timeout.is_none() && hedge_delay.is_none() {
+        return None;
+    }
+    let mut spec = match loss {
+        Some(p) => ChannelSpec::uniform_loss(p),
+        None => ChannelSpec::reliable(),
+    };
+    if let Some(t) = retry_timeout {
+        spec = spec.with_retry(RetrySpec::after(t));
+    }
+    if let Some(h) = hedge_delay {
+        spec = spec.with_hedge(HedgeSpec { delay: h });
+    }
+    Some(spec)
+}
+
 /// Runs the `simulate` subcommand.
 ///
 /// # Errors
 /// Propagates IO, parsing, and validation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate(
     spec_path: &str,
     out: Option<&str>,
@@ -382,6 +460,7 @@ pub fn simulate(
     sync_interval: Option<f64>,
     sync_latency: Option<f64>,
     sim_threads: Option<usize>,
+    channels: Option<ChannelSpec>,
 ) -> Result<String, String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
@@ -402,6 +481,9 @@ pub fn simulate(
     }
     if let Some(n) = sim_threads {
         exp.sim_threads = n;
+    }
+    if let Some(spec) = channels {
+        exp.cluster.channels = Some(spec);
     }
     let result = exp.run()?;
     if let Some(path) = out {
@@ -538,6 +620,9 @@ mod tests {
                 sync_interval: None,
                 sync_latency: None,
                 sim_threads: None,
+                loss: None,
+                retry_timeout: None,
+                hedge_delay: None,
             }
         );
     }
@@ -566,6 +651,9 @@ mod tests {
                 sync_interval: Some(500.0),
                 sync_latency: Some(10.0),
                 sim_threads: None,
+                loss: None,
+                retry_timeout: None,
+                hedge_delay: None,
             }
         );
         // Zero dispatchers, negative knobs, and a latency without an
@@ -624,6 +712,9 @@ mod tests {
                 sync_interval: None,
                 sync_latency: None,
                 sim_threads: Some(4),
+                loss: None,
+                retry_timeout: None,
+                hedge_delay: None,
             }
         );
         // Zero or garbage thread counts are rejected at parse time.
@@ -646,6 +737,72 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_channel_flags() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--loss",
+            "0.01",
+            "--retry-timeout",
+            "30",
+            "--hedge-delay",
+            "10",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                loss,
+                retry_timeout,
+                hedge_delay,
+                ..
+            } => {
+                assert_eq!(loss, Some(0.01));
+                assert_eq!(retry_timeout, Some(30.0));
+                assert_eq!(hedge_delay, Some(10.0));
+            }
+            other => panic!("expected simulate, got {other:?}"),
+        }
+        // Out-of-range knobs and a hedge without retries are rejected
+        // at parse time.
+        assert!(parse_args(&args(&["simulate", "--spec", "a.json", "--loss", "1.0"])).is_err());
+        assert!(parse_args(&args(&["simulate", "--spec", "a.json", "--loss", "-0.1"])).is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--retry-timeout",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--hedge-delay",
+            "10"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn channel_spec_builds_the_expected_override() {
+        assert_eq!(channel_spec(None, None, None), None);
+        let lossy = channel_spec(Some(0.05), None, None).unwrap();
+        assert_eq!(lossy, ChannelSpec::uniform_loss(0.05));
+        assert!(lossy.validate().is_ok());
+        let full = channel_spec(Some(0.05), Some(30.0), Some(10.0)).unwrap();
+        assert_eq!(full.retry, Some(RetrySpec::after(30.0)));
+        assert_eq!(full.hedge, Some(HedgeSpec { delay: 10.0 }));
+        assert!(full.validate().is_ok());
+        // Retry without loss still builds a valid, active spec (the
+        // planes are reliable but the ack machinery runs).
+        let retry_only = channel_spec(None, Some(30.0), None).unwrap();
+        assert!(!retry_only.is_reliable());
+        assert!(retry_only.validate().is_ok());
+    }
+
+    #[test]
     fn parses_simulate_event_list_override() {
         let cmd = parse_args(&args(&[
             "simulate",
@@ -665,6 +822,9 @@ mod tests {
                 sync_interval: None,
                 sync_latency: None,
                 sim_threads: None,
+                loss: None,
+                retry_timeout: None,
+                hedge_delay: None,
             }
         );
         let e = parse_args(&args(&[
@@ -779,6 +939,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -844,6 +1005,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap_err();
         assert!(e.contains("reading"));
@@ -868,6 +1030,7 @@ mod tests {
             Some(2),
             Some(1_000.0),
             Some(5.0),
+            None,
             None,
         )
         .unwrap();
@@ -903,6 +1066,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         simulate(
@@ -913,6 +1077,7 @@ mod tests {
             None,
             None,
             Some(2),
+            None,
         )
         .unwrap();
         assert_eq!(
@@ -933,6 +1098,7 @@ mod tests {
         std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
         let e = simulate(
             spec_path.to_str().unwrap(),
+            None,
             None,
             None,
             None,

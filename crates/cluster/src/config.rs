@@ -208,6 +208,14 @@ pub struct ClusterConfig {
     /// and reproduce bit-for-bit.
     #[serde(default)]
     pub dispatch: hetsched_dispatch::DispatchSpec,
+    /// If set, make the message planes unreliable (see
+    /// [`crate::channel`]). `None` — and
+    /// [`crate::channel::ChannelSpec::reliable`] —
+    /// are structurally invisible: no channel runtime is built, no
+    /// channel randomness is drawn, and results are byte-identical to
+    /// configs serialized before this field existed.
+    #[serde(default)]
+    pub channels: Option<crate::channel::ChannelSpec>,
 }
 
 impl ClusterConfig {
@@ -229,6 +237,7 @@ impl ClusterConfig {
             event_list: EventListBackend::default(),
             obs: None,
             dispatch: hetsched_dispatch::DispatchSpec::default(),
+            channels: None,
         }
     }
 
@@ -319,6 +328,19 @@ impl ClusterConfig {
             obs.validate()?;
         }
         self.dispatch.validate()?;
+        if let Some(channels) = &self.channels {
+            channels.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            if let Some(servers) = &faults.servers {
+                if let Some(&bad) = servers.iter().find(|&&i| i >= self.speeds.len()) {
+                    return Err(HetschedError::InvalidConfig(format!(
+                        "faults.servers names computer {bad}, but the fleet has only {}",
+                        self.speeds.len()
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -454,6 +476,37 @@ mod tests {
         let back: ClusterConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back, cfg);
         assert!(back.dispatch.is_trivial());
+    }
+
+    #[test]
+    fn config_without_channels_key_deserializes_to_none() {
+        // Back-compat: configs serialized before the unreliable message
+        // planes existed must parse unchanged, with reliable channels.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("channels");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.channels.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_channels_and_fault_targets() {
+        let good = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut bad = good.clone();
+        bad.channels = Some(crate::channel::ChannelSpec::uniform_loss(1.5));
+        assert!(bad.validate().is_err());
+        let mut ok = good.clone();
+        ok.channels = Some(crate::channel::ChannelSpec::uniform_loss(0.01));
+        ok.validate().unwrap();
+        // Fault specs restricted to a server subset are bounds-checked
+        // against the fleet.
+        let mut bad = good.clone();
+        bad.faults = Some(FaultSpec::exponential(1e5, 100.0).with_servers(&[2]));
+        assert!(bad.validate().is_err());
+        let mut ok = good;
+        ok.faults = Some(FaultSpec::exponential(1e5, 100.0).with_servers(&[0]));
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub enum JobFaultSemantics {
 /// Attached to a cluster via `ClusterConfig::faults`; `None` (the serde
 /// default) disables fault injection entirely and reproduces the
 /// fault-free simulation byte-for-byte.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Distribution of up (working) periods — the MTBF shape.
     pub up_time: DistSpec,
@@ -67,6 +67,12 @@ pub struct FaultSpec {
     /// membership change (0 = instantaneous notification).
     #[serde(default)]
     pub notice_delay_mean: f64,
+    /// If set, only these computer indices run the crash/repair renewal
+    /// process (targeted scenarios — e.g. "kill the fastest machine").
+    /// `None` (the serde default) faults every computer, reproducing
+    /// pre-existing configurations byte-for-byte.
+    #[serde(default)]
+    pub servers: Option<Vec<usize>>,
 }
 
 impl FaultSpec {
@@ -79,6 +85,7 @@ impl FaultSpec {
             down_time: DistSpec::Exponential { mean: mttr },
             on_crash: JobFaultSemantics::default(),
             notice_delay_mean: 0.0,
+            servers: None,
         }
     }
 
@@ -94,6 +101,21 @@ impl FaultSpec {
     pub fn with_notice_delay(mut self, mean: f64) -> Self {
         self.notice_delay_mean = mean;
         self
+    }
+
+    /// Restricts the fault process to the given computer indices.
+    #[must_use]
+    pub fn with_servers(mut self, servers: &[usize]) -> Self {
+        self.servers = Some(servers.to_vec());
+        self
+    }
+
+    /// Whether computer `i` runs the crash/repair renewal process.
+    pub fn applies_to(&self, i: usize) -> bool {
+        match &self.servers {
+            None => true,
+            Some(s) => s.contains(&i),
+        }
     }
 
     /// Validates the fault model without building any sampler (so an
@@ -212,5 +234,25 @@ mod tests {
         assert!(json.contains("\"resubmit\""), "{json}");
         let back: FaultSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(full, back);
+    }
+
+    #[test]
+    fn server_subset_is_optional_and_targets() {
+        // Pre-PR-7 JSON (no `servers` key) faults every computer.
+        let f: FaultSpec = serde_json::from_str(
+            r#"{"up_time":{"kind":"exponential","mean":500.0},
+                "down_time":{"kind":"exponential","mean":25.0}}"#,
+        )
+        .unwrap();
+        assert!(f.servers.is_none());
+        assert!(f.applies_to(0) && f.applies_to(7));
+
+        let targeted = FaultSpec::exponential(500.0, 25.0).with_servers(&[0, 2]);
+        assert!(targeted.applies_to(0));
+        assert!(!targeted.applies_to(1));
+        assert!(targeted.applies_to(2));
+        let json = serde_json::to_string(&targeted).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(targeted, back);
     }
 }

@@ -149,6 +149,18 @@ impl JobSlab {
         }
     }
 
+    /// Mutable access to a live job record.
+    ///
+    /// # Panics
+    /// Panics on a stale or never-issued id — that is a simulator bug and
+    /// must not be masked.
+    pub fn get_mut(&mut self, id: JobId) -> &mut JobRecord {
+        match self.slots.get_mut(id.index as usize) {
+            Some(Slot::Occupied { generation, record }) if *generation == id.generation => record,
+            _ => panic!("stale or invalid job id {id:?}"),
+        }
+    }
+
     /// Removes a live job, returning its record.
     ///
     /// # Panics
@@ -170,6 +182,26 @@ impl JobSlab {
             }
             _ => panic!("stale job id {id:?}"),
         }
+    }
+
+    /// Whether `id` currently names a live job (false for stale or
+    /// never-issued ids — used by the channel runtime to detect orphaned
+    /// dispatch attempts without panicking).
+    pub fn is_live(&self, id: JobId) -> bool {
+        matches!(
+            self.slots.get(id.index as usize),
+            Some(Slot::Occupied { generation, .. }) if *generation == id.generation
+        )
+    }
+
+    /// Iterates over the live job records (order = slot order; used at
+    /// finalize time to count still-in-flight jobs for the conservation
+    /// law).
+    pub fn iter(&self) -> impl Iterator<Item = &JobRecord> {
+        self.slots.iter().filter_map(|slot| match slot {
+            Slot::Occupied { record, .. } => Some(record),
+            Slot::Free { .. } => None,
+        })
     }
 
     /// Number of live jobs.
@@ -292,6 +324,21 @@ mod tests {
         let b = slab.try_insert(rec(2.0)).unwrap();
         assert_eq!(a.index(), b.index());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn is_live_and_iter_track_occupancy() {
+        let mut slab = JobSlab::new();
+        let a = slab.insert(rec(1.0));
+        let b = slab.insert(rec(2.0));
+        assert!(slab.is_live(a) && slab.is_live(b));
+        slab.remove(a);
+        assert!(!slab.is_live(a), "removed id is dead");
+        let c = slab.insert(rec(3.0)); // recycles a's slot
+        assert!(!slab.is_live(a), "stale generation stays dead");
+        assert!(slab.is_live(c));
+        let sizes: Vec<f64> = slab.iter().map(|r| r.size).collect();
+        assert_eq!(sizes, vec![3.0, 2.0], "slot order, live records only");
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   `hetsched-policies`.
 //! * [`network`] — the load-update feedback path for dynamic policies:
 //!   U(0,1) departure-detection delay + Exp(0.05 s) message delay (§4.2).
+//! * [`channel`] — unreliable message planes (loss / duplication /
+//!   jitter / partitions per plane on dedicated RNG streams) plus the
+//!   recovery machinery: ack-based dispatch with timeout + exponential
+//!   backoff + bounded retries, and hedged dispatch. The reliable
+//!   default is structurally invisible.
 //! * [`faults`] — per-server crash/repair renewal processes with
 //!   configurable in-flight-job semantics (lost / resubmitted /
 //!   restarted), driven by dedicated RNG streams so fault runs stay
@@ -50,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod config;
 pub mod discipline;
 pub mod faults;
@@ -63,6 +69,7 @@ pub mod server;
 pub mod simulation;
 pub mod trace;
 
+pub use channel::{ChannelSpec, HedgeSpec, PlaneSpec, RetrySpec, CHANNEL_STREAM_BASE};
 pub use config::{ArrivalSpec, ClusterConfig, EventListBackend};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};

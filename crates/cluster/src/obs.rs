@@ -60,6 +60,12 @@ pub struct ObsView {
     /// against the same expected fractions as the global `deviation`
     /// (empty unless the run used more than one dispatcher).
     pub shard_deviations: Vec<f64>,
+    /// Channel messages lost this window divided by the window length
+    /// (0 unless the run has an unreliable channel layer).
+    pub msg_loss_rate: f64,
+    /// Dispatch retransmissions this window divided by the window
+    /// length (0 unless the run has an unreliable channel layer).
+    pub retry_rate: f64,
 }
 
 /// Per-server instantaneous queue length, column `qlen[i]`.
@@ -189,6 +195,11 @@ pub struct ObsDriver {
     // the report's column set byte-identical to the pre-tier one).
     shard_dispatch: Vec<Vec<u64>>,
     shard_total: Vec<u64>,
+    // Per-window channel counters (only fed when the run has an
+    // unreliable channel layer; the columns are only registered then,
+    // keeping the reliable report schema unchanged).
+    msgs_lost: u64,
+    retries: u64,
 }
 
 impl ObsDriver {
@@ -199,7 +210,16 @@ impl ObsDriver {
     /// `n`. `shards` is the dispatch tier's dispatcher count; values
     /// below 2 disable the per-shard probes entirely, so a
     /// single-dispatcher report keeps the pre-tier column set.
-    pub fn new(spec: &ObsSpec, n: usize, expected: Vec<f64>, shards: usize) -> Self {
+    /// `channels` registers the message-plane rate columns; pass false
+    /// for a reliable (or absent) channel layer so its report schema
+    /// stays byte-identical to the pre-channel one.
+    pub fn new(
+        spec: &ObsSpec,
+        n: usize,
+        expected: Vec<f64>,
+        shards: usize,
+        channels: bool,
+    ) -> Self {
         assert_eq!(expected.len(), n, "one expected fraction per server");
         let interval = spec.sample_interval;
         let mut registry = ProbeRegistry::new();
@@ -230,6 +250,15 @@ impl ObsDriver {
             registry.register(Box::new(ShardShareProbe { shard }));
             registry.register(Box::new(ShardDevProbe { shard }));
         }
+        if channels {
+            let chan_scalars: [(&'static str, ViewRead); 2] = [
+                ("msg_loss_rate", |v| v.msg_loss_rate),
+                ("retry_rate", |v| v.retry_rate),
+            ];
+            for (name, read) in chan_scalars {
+                registry.register(Box::new(ViewProbe { name, read }));
+            }
+        }
         ObsDriver {
             interval,
             window_start: 0.0,
@@ -245,6 +274,8 @@ impl ObsDriver {
             p99: P2Quantile::new(0.99),
             shard_dispatch: vec![vec![0; n]; shards],
             shard_total: vec![0; shards],
+            msgs_lost: 0,
+            retries: 0,
         }
     }
 
@@ -294,6 +325,18 @@ impl ObsDriver {
     #[inline]
     pub fn on_completion(&mut self) {
         self.completions += 1;
+    }
+
+    /// Records one message lost on any channel plane.
+    #[inline]
+    pub fn on_msg_lost(&mut self) {
+        self.msgs_lost += 1;
+    }
+
+    /// Records one dispatch retransmission.
+    #[inline]
+    pub fn on_retry(&mut self) {
+        self.retries += 1;
     }
 
     /// Records the response time of one *counted* job completion.
@@ -386,6 +429,8 @@ impl ObsDriver {
             deviation,
             shard_shares,
             shard_deviations,
+            msg_loss_rate: self.msgs_lost as f64 / self.interval,
+            retry_rate: self.retries as f64 / self.interval,
         }
     }
 
@@ -402,6 +447,8 @@ impl ObsDriver {
             counts.iter_mut().for_each(|c| *c = 0);
         }
         self.shard_total.iter_mut().for_each(|c| *c = 0);
+        self.msgs_lost = 0;
+        self.retries = 0;
     }
 }
 
@@ -420,7 +467,7 @@ mod tests {
 
     #[test]
     fn standard_columns_in_order() {
-        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5], 1);
+        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5], 1, false);
         let report = driver.into_report(FelStats::default());
         assert_eq!(
             report.columns,
@@ -448,7 +495,7 @@ mod tests {
         let expected = vec![0.2, 0.3, 0.5];
         let interval = 100.0;
         let mut tracker = DeviationTracker::new(&expected, interval, 0.0);
-        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone(), 1);
+        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone(), 1, false);
         let servers = servers(3);
 
         // Irregular dispatch stream crossing several windows, including
@@ -482,7 +529,7 @@ mod tests {
     #[test]
     fn empty_window_reports_zero_rates_and_full_deviation() {
         let expected = vec![0.25, 0.75];
-        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone(), 1);
+        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone(), 1, false);
         let servers = servers(2);
         driver.flush_to(50.0, &servers, 0);
         let report = driver.into_report(FelStats::default());
@@ -504,7 +551,7 @@ mod tests {
 
     #[test]
     fn window_counters_reset_between_windows() {
-        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1);
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false);
         let servers = servers(1);
         driver.on_arrival();
         driver.on_arrival();
@@ -527,7 +574,7 @@ mod tests {
         // D = 1 (or 0): no shard columns — the report schema is exactly
         // the pre-dispatch-tier one.
         for shards in [0, 1] {
-            let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], shards);
+            let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], shards, false);
             let report = driver.into_report(FelStats::default());
             assert!(
                 !report.columns.iter().any(|c| c.starts_with("shard_")),
@@ -536,7 +583,7 @@ mod tests {
             );
         }
         // D = 2: share and deviation columns per shard, after "deviation".
-        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 2);
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 2, false);
         let report = driver.into_report(FelStats::default());
         let tail: Vec<&str> = report
             .columns
@@ -560,7 +607,7 @@ mod tests {
     #[test]
     fn shard_counters_track_shares_and_deviation() {
         let expected = vec![0.5, 0.5];
-        let mut driver = ObsDriver::new(&ObsSpec::every(100.0), 2, expected, 2);
+        let mut driver = ObsDriver::new(&ObsSpec::every(100.0), 2, expected, 2, false);
         let servers = servers(2);
         // Shard 0 routes three jobs (two to server 0), shard 1 routes one.
         for (shard, server) in [(0, 0), (0, 1), (0, 0), (1, 1)] {
@@ -580,6 +627,38 @@ mod tests {
     }
 
     #[test]
+    fn channel_columns_appear_only_when_enabled() {
+        // Reliable (or absent) channel layer: schema unchanged.
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false);
+        let report = driver.into_report(FelStats::default());
+        assert!(!report.columns.iter().any(|c| c.contains("msg_loss")));
+        assert!(!report.columns.iter().any(|c| c.contains("retry")));
+
+        // Unreliable layer: the rate columns land at the tail and the
+        // per-window counters reset across boundaries.
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, true);
+        let servers = servers(1);
+        driver.on_msg_lost();
+        driver.on_msg_lost();
+        driver.on_retry();
+        driver.flush_to(10.0, &servers, 0);
+        driver.on_retry();
+        driver.flush_to(20.0, &servers, 0);
+        let report = driver.into_report(FelStats::default());
+        let tail: Vec<&str> = report
+            .columns
+            .iter()
+            .rev()
+            .take(2)
+            .rev()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(tail, vec!["msg_loss_rate", "retry_rate"]);
+        assert_eq!(report.column("msg_loss_rate").unwrap(), vec![0.2, 0.0]);
+        assert_eq!(report.column("retry_rate").unwrap(), vec![0.1, 0.1]);
+    }
+
+    #[test]
     fn utilization_probe_differences_and_rebases() {
         let mk_view = |busy: f64| ObsView {
             queue_lens: vec![0.0],
@@ -595,6 +674,8 @@ mod tests {
             deviation: 0.0,
             shard_shares: Vec::new(),
             shard_deviations: Vec::new(),
+            msg_loss_rate: 0.0,
+            retry_rate: 0.0,
         };
         let mut p = UtilizationProbe {
             server: 0,

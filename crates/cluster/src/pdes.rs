@@ -107,11 +107,24 @@ pub fn shard_ranges(n: usize, d: usize) -> Vec<Range<usize>> {
 /// sync.
 ///
 /// Everything else (arrival spec, job sizes, discipline, horizon,
-/// warmup, faults, observability, tracing) is inherited unchanged.
+/// warmup, faults, channels, observability, tracing) is inherited
+/// unchanged, except that a targeted fault's server list is remapped
+/// from global to shard-local indices (targets outside the slice are
+/// dropped; a shard with no targets keeps an empty list and crashes
+/// nothing).
 pub fn shard_config(cfg: &ClusterConfig, range: &Range<usize>) -> ClusterConfig {
     let mut sub = cfg.clone();
     sub.speeds = cfg.speeds[range.clone()].to_vec();
     sub.dispatch = DispatchSpec::default();
+    if let Some(faults) = &mut sub.faults {
+        if let Some(servers) = &mut faults.servers {
+            *servers = servers
+                .iter()
+                .filter(|&&g| range.contains(&g))
+                .map(|&g| g - range.start)
+                .collect();
+        }
+    }
     sub
 }
 
@@ -299,6 +312,10 @@ impl<P: Policy> ParallelSimulation<P> {
                     dispatch: PDES_STREAM_BASE + 2 * s as u64,
                     net: PDES_STREAM_BASE + 2 * s as u64 + 1,
                     fault_base: 4 + ranges[s].start as u64,
+                    // Four stream slots per shard (dispatch/load/sync
+                    // planes + one spare), offset past the classic
+                    // channel block so no stream ever collides.
+                    chan_base: crate::channel::CHANNEL_STREAM_BASE + 16 + 4 * s as u64,
                 }
             };
             let trace = cfg
@@ -543,21 +560,27 @@ fn finalize_sharded<P: Policy>(
         .sum();
     let servers: Vec<ServerStats> = models
         .iter()
-        .flat_map(|m| m.servers.iter())
-        .map(|s| ServerStats {
-            speed: s.speed(),
-            dispatched: s.dispatched(),
-            completed: s.completed(),
-            utilization: s.utilization(),
-            mean_queue_len: s.mean_queue_len(),
-            dispatch_fraction: if total_dispatched == 0 {
-                0.0
-            } else {
-                s.dispatched() as f64 / total_dispatched as f64
-            },
-            availability: s.availability(),
-            downtime: s.downtime(),
-            crashes: s.crashes(),
+        .flat_map(|m| {
+            m.servers.iter().enumerate().map(move |(i, s)| ServerStats {
+                speed: s.speed(),
+                dispatched: s.dispatched(),
+                completed: s.completed(),
+                utilization: s.utilization(),
+                mean_queue_len: s.mean_queue_len(),
+                dispatch_fraction: if total_dispatched == 0 {
+                    0.0
+                } else {
+                    s.dispatched() as f64 / total_dispatched as f64
+                },
+                availability: s.availability(),
+                downtime: s.downtime(),
+                crashes: s.crashes(),
+                msgs_lost: m
+                    .channels
+                    .as_ref()
+                    .map(|c| c.server_msgs_lost[i])
+                    .unwrap_or(0),
+            })
         })
         .collect();
     let total_speed: f64 = cfg.speeds.iter().sum();
@@ -651,7 +674,38 @@ fn finalize_sharded<P: Policy>(
         // Every shard applies the same consensus sequence; shard 0
         // speaks for the tier (mirrors the classic single-counter).
         syncs_applied: models[0].syncs_applied,
+        // Channel counters fold in shard order like everything else.
+        msgs_lost: chan_sum(&models, |c| c.msgs_lost),
+        retries: chan_sum(&models, |c| c.retries),
+        timeouts: chan_sum(&models, |c| c.timeouts),
+        hedges_won: chan_sum(&models, |c| c.hedges_won),
+        hedges_lost: chan_sum(&models, |c| c.hedges_lost),
+        stale_decisions: models
+            .iter()
+            .map(|m| {
+                m.policies
+                    .iter()
+                    .map(|p| p.stale_decisions())
+                    .sum::<u64>()
+                    .saturating_sub(m.stale_baseline)
+            })
+            .sum(),
+        jobs_in_flight: models
+            .iter()
+            .map(|m| m.slab.iter().filter(|r| r.counted).count() as u64)
+            .sum(),
     }
+}
+
+/// Sums a channel counter over shard models (0 for channel-free runs).
+fn chan_sum<P: Policy>(
+    models: &[Model<P>],
+    f: impl Fn(&crate::simulation::ChannelRuntime) -> u64,
+) -> u64 {
+    models
+        .iter()
+        .map(|m| m.channels.as_ref().map(&f).unwrap_or(0))
+        .sum()
 }
 
 /// Number of tier-scalar columns in a single-dispatcher observability
@@ -696,9 +750,18 @@ fn merge_obs_reports(
         columns.push(format!("shard_share[{s}]"));
         columns.push(format!("shard_dev[{s}]"));
     }
+    // Channel-probe columns ride at the very tail of each shard report
+    // (registered after everything else); carry them through as
+    // cluster-wide sums when the run had an unreliable channel spec.
+    let has_channels = reports[0].columns.iter().any(|c| c == "msg_loss_rate");
+    if has_channels {
+        columns.push("msg_loss_rate".to_string());
+        columns.push("retry_rate".to_string());
+    }
 
     // A shard report's layout: 3 columns per local server, then the 8
-    // tier scalars (single-dispatcher shards carry no shard_* tail).
+    // tier scalars (single-dispatcher shards carry no shard_* tail),
+    // then the optional channel columns.
     let scalar_base = |s: usize| 3 * ranges[s].len();
     let mut rows: Vec<Vec<f64>> = Vec::with_capacity(nrows);
     for r in 0..nrows {
@@ -731,6 +794,18 @@ fn merge_obs_reports(
                 0.0
             });
             row.push(rep.rows[r][scalar_base(s) + OBS_SCALARS - 1]);
+        }
+        if has_channels {
+            // Per-window message rates are extensive across shards.
+            for k in 0..2 {
+                row.push(
+                    reports
+                        .iter()
+                        .enumerate()
+                        .map(|(s, rep)| rep.rows[r][scalar_base(s) + OBS_SCALARS + k])
+                        .sum::<f64>(),
+                );
+            }
         }
         rows.push(row);
     }

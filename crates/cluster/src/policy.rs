@@ -81,6 +81,14 @@ pub trait Policy: Send {
     /// their private counters.
     fn merge_sync(&mut self, _consensus: &SyncState, _now: f64) {}
 
+    /// Number of dispatch decisions this instance made while the chosen
+    /// server's load index was older than its confidence window (0 for
+    /// every policy that does not track staleness — see
+    /// `hetsched-policies`' staleness-aware Dynamic).
+    fn stale_decisions(&self) -> u64 {
+        0
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
 }
@@ -112,6 +120,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn merge_sync(&mut self, consensus: &SyncState, now: f64) {
         (**self).merge_sync(consensus, now)
+    }
+
+    fn stale_decisions(&self) -> u64 {
+        (**self).stale_decisions()
     }
 
     fn name(&self) -> String {
@@ -154,5 +166,6 @@ mod tests {
         p.on_membership_change(&[true, false], 1.0); // likewise
         assert!(p.sync_state().is_none()); // nothing mergeable by default
         p.merge_sync(&SyncState::default(), 1.0); // default no-op
+        assert_eq!(p.stale_decisions(), 0); // default: no staleness tracking
     }
 }

@@ -38,6 +38,11 @@ pub struct ServerStats {
     /// Crashes in the measurement window.
     #[serde(default)]
     pub crashes: u64,
+    /// Messages to/from this server dropped by the unreliable channel
+    /// model (dispatch attempts and load updates). Zero with reliable
+    /// channels.
+    #[serde(default)]
+    pub msgs_lost: u64,
 }
 
 /// Per-dispatcher-shard statistics over the measurement window (only
@@ -141,6 +146,33 @@ pub struct RunStats {
     /// sync is disabled).
     #[serde(default)]
     pub syncs_applied: u64,
+    /// Messages dropped by the unreliable channel model across all three
+    /// planes in the measurement window. Zero with reliable channels.
+    #[serde(default)]
+    pub msgs_lost: u64,
+    /// Dispatch retransmissions sent by the ack/timeout machinery.
+    #[serde(default)]
+    pub retries: u64,
+    /// Retry timers that fired (every firing is a timeout; not all lead
+    /// to a retransmission — the last one declares the job lost).
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Hedged dispatches whose second attempt won the race.
+    #[serde(default)]
+    pub hedges_won: u64,
+    /// Hedged dispatches whose second attempt lost (or was cancelled).
+    #[serde(default)]
+    pub hedges_lost: u64,
+    /// Dispatch decisions a staleness-aware policy made while its best
+    /// candidate's load index was older than the confidence window.
+    #[serde(default)]
+    pub stale_decisions: u64,
+    /// Counted jobs still in flight (dispatched, neither finished nor
+    /// lost) when the horizon closed — the third term of the
+    /// conservation law `jobs_counted = jobs_finished + jobs_lost +
+    /// jobs_in_flight`.
+    #[serde(default)]
+    pub jobs_in_flight: u64,
 }
 
 impl RunStats {
@@ -175,6 +207,7 @@ mod tests {
                     availability: 1.0,
                     downtime: 0.0,
                     crashes: 0,
+                    msgs_lost: 0,
                 },
                 ServerStats {
                     speed: 3.0,
@@ -186,6 +219,7 @@ mod tests {
                     availability: 0.9,
                     downtime: 100.0,
                     crashes: 2,
+                    msgs_lost: 4,
                 },
             ],
             deviations: vec![0.01, 0.02],
@@ -213,6 +247,13 @@ mod tests {
                 },
             ],
             syncs_applied: 7,
+            msgs_lost: 6,
+            retries: 4,
+            timeouts: 5,
+            hedges_won: 1,
+            hedges_lost: 2,
+            stale_decisions: 3,
+            jobs_in_flight: 1,
         }
     }
 
@@ -271,6 +312,39 @@ mod tests {
         let back: RunStats = serde_json::from_value(json).unwrap();
         assert_eq!(back, s);
         assert!(back.obs.is_none());
+    }
+
+    #[test]
+    fn pre_channel_json_deserializes_with_defaults() {
+        // Archived results from before the unreliable-messaging layer
+        // lack the channel counters; they must load with "nothing was
+        // lost" defaults.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        for k in [
+            "msgs_lost",
+            "retries",
+            "timeouts",
+            "hedges_won",
+            "hedges_lost",
+            "stale_decisions",
+            "jobs_in_flight",
+        ] {
+            obj.remove(k);
+        }
+        for server in obj["servers"].as_array_mut().unwrap() {
+            server.as_object_mut().unwrap().remove("msgs_lost");
+        }
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back.msgs_lost, 0);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.timeouts, 0);
+        assert_eq!(back.hedges_won, 0);
+        assert_eq!(back.hedges_lost, 0);
+        assert_eq!(back.stale_decisions, 0);
+        assert_eq!(back.jobs_in_flight, 0);
+        assert_eq!(back.servers[1].msgs_lost, 0);
     }
 
     #[test]

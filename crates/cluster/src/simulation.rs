@@ -29,6 +29,11 @@
 //!    state is snapshotted, the elementwise-mean consensus computed, and
 //!    — after the configured one-way latency — merged back into every
 //!    shard.
+//! 8. `DispatchDeliver` / `RetryTimer` / `HedgeTimer` — the unreliable
+//!    dispatch plane's machinery (only when [`ClusterConfig::channels`]
+//!    is set and not [`ChannelSpec::reliable`]): a job copy crossing
+//!    the wire, the ack timeout arming a retransmission, and the hedge
+//!    trigger duplicating an unacked dispatch to a second pick.
 //!
 //! The dispatch tier: `ClusterConfig::dispatch.dispatchers` front-end
 //! dispatchers each run a private [`Policy`] instance; a
@@ -46,18 +51,23 @@
 //! different seeds are the paper's "independent runs". With
 //! `faults: None` the fault streams are never created and no fault
 //! event is ever scheduled, so the simulation is byte-for-byte the
-//! fault-free one; the same construction applies to the dispatch tier.
+//! fault-free one; the same construction applies to the dispatch tier
+//! and to the channel layer (its three plane streams live far above
+//! everything else at [`crate::channel::CHANNEL_STREAM_BASE`] and are
+//! only instantiated for a non-reliable [`ChannelSpec`]).
 
 use std::collections::VecDeque;
 
 use hetsched_desim::{
-    Actor, CalendarQueue, Engine, EventQueue, FelStats, FutureEventList, Rng64, Scheduler, SimTime,
+    Actor, CalendarQueue, Engine, EventId, EventQueue, FelStats, FutureEventList, Rng64, Scheduler,
+    SimTime,
 };
 use hetsched_dispatch::{consensus, Splitter, SyncSpec, SyncState};
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
 use hetsched_error::HetschedError;
 use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
 
+use crate::channel::{ChannelSpec, PlaneSpec};
 use crate::config::{ArrivalKind, ClusterConfig, EventListBackend};
 use crate::faults::{FaultSpec, JobFaultSemantics};
 use crate::job::{JobId, JobRecord, JobSlab};
@@ -99,6 +109,33 @@ pub(crate) enum Ev {
     /// A previously published consensus, delayed by the sync latency,
     /// reaches the shards and is merged into every policy instance.
     SyncApply,
+    /// A dispatch-plane copy of a job reaches its target server (only
+    /// scheduled with an unreliable channel layer; a copy whose
+    /// transfer has already resolved is dropped as an orphan).
+    DispatchDeliver {
+        /// Transfer slot.
+        tx: u32,
+        /// Transfer generation (stale = orphan copy).
+        gen: u32,
+        /// Server this copy was addressed to.
+        target: usize,
+        /// Whether the copy is the hedge duplicate.
+        hedged: bool,
+    },
+    /// The ack timeout of an in-flight transfer expires.
+    RetryTimer {
+        /// Transfer slot.
+        tx: u32,
+        /// Transfer generation.
+        gen: u32,
+    },
+    /// The hedge delay of a still-unacked transfer expires.
+    HedgeTimer {
+        /// Transfer slot.
+        tx: u32,
+        /// Transfer generation.
+        gen: u32,
+    },
 }
 
 /// A configured, seeded simulation ready to run.
@@ -220,6 +257,10 @@ pub(crate) struct StreamPlan {
     pub(crate) net: u64,
     /// Fault stream for *local* server `i` is `fault_base + i`.
     pub(crate) fault_base: u64,
+    /// Channel-plane streams are `chan_base + {0, 1, 2}` for the
+    /// dispatch/load/sync planes (only instantiated for a non-reliable
+    /// [`ChannelSpec`]).
+    pub(crate) chan_base: u64,
 }
 
 impl StreamPlan {
@@ -229,6 +270,7 @@ impl StreamPlan {
             dispatch: 2,
             net: 3,
             fault_base: 4,
+            chan_base: crate::channel::CHANNEL_STREAM_BASE,
         }
     }
 }
@@ -244,6 +286,162 @@ pub(crate) struct FaultRuntime {
     /// Jobs awaiting restart on each down server
     /// ([`JobFaultSemantics::Restart`] only).
     parked: Vec<Vec<JobId>>,
+}
+
+/// One logical job crossing the unreliable dispatch plane, possibly
+/// over several attempts (retransmissions and/or a hedge copy).
+struct Transfer {
+    job: JobId,
+    /// The dispatcher shard that owns the job; retransmissions and the
+    /// hedge re-consult this shard's policy.
+    shard: usize,
+    /// Primary attempts made so far (the hedge copy is not an attempt:
+    /// it rides the first attempt's ack machinery).
+    attempts: u32,
+    /// Whether some copy already landed on a server; later copies are
+    /// dropped as duplicates.
+    delivered: bool,
+    /// Copies currently in the air (scheduled `DispatchDeliver`s).
+    copies_in_flight: u32,
+    /// Whether the hedge copy has been sent.
+    hedged: bool,
+    retry_timer: Option<EventId>,
+    hedge_timer: Option<EventId>,
+}
+
+/// Generational transfer slot: a stale `(tx, gen)` in a late event is an
+/// orphan (the transfer already resolved) and is dropped, never
+/// misapplied to a recycled slot.
+struct TxSlot {
+    gen: u32,
+    tr: Option<Transfer>,
+}
+
+/// Per-run channel state (present only for a non-reliable
+/// [`ChannelSpec`] — a reliable spec constructs nothing, which is what
+/// makes it structurally invisible).
+pub(crate) struct ChannelRuntime {
+    spec: ChannelSpec,
+    /// Dispatch-plane randomness (`chan_base + 0`): copy loss, ack
+    /// loss, duplication, jitter.
+    rng_dispatch: Rng64,
+    /// Load-plane randomness (`chan_base + 1`).
+    rng_load: Rng64,
+    /// Sync-plane randomness (`chan_base + 2`).
+    rng_sync: Rng64,
+    slots: Vec<TxSlot>,
+    free: Vec<u32>,
+    /// Measurement-window counters (reset at warmup end; `pub(crate)`
+    /// so the parallel driver can merge them in shard order).
+    pub(crate) msgs_lost: u64,
+    pub(crate) retries: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) hedges_won: u64,
+    pub(crate) hedges_lost: u64,
+    /// Lost messages attributed per server (dispatch copies/acks to the
+    /// target, load updates to the sender; sync losses have no server).
+    pub(crate) server_msgs_lost: Vec<u64>,
+}
+
+impl ChannelRuntime {
+    fn new(spec: ChannelSpec, seed: u64, chan_base: u64, n: usize) -> Self {
+        ChannelRuntime {
+            rng_dispatch: Rng64::stream(seed, chan_base),
+            rng_load: Rng64::stream(seed, chan_base + 1),
+            rng_sync: Rng64::stream(seed, chan_base + 2),
+            slots: Vec::new(),
+            free: Vec::new(),
+            msgs_lost: 0,
+            retries: 0,
+            timeouts: 0,
+            hedges_won: 0,
+            hedges_lost: 0,
+            server_msgs_lost: vec![0; n],
+            spec,
+        }
+    }
+
+    fn insert(&mut self, job: JobId, shard: usize) -> (u32, u32) {
+        let tr = Transfer {
+            job,
+            shard,
+            attempts: 0,
+            delivered: false,
+            copies_in_flight: 0,
+            hedged: false,
+            retry_timer: None,
+            hedge_timer: None,
+        };
+        match self.free.pop() {
+            Some(tx) => {
+                let slot = &mut self.slots[tx as usize];
+                slot.tr = Some(tr);
+                (tx, slot.gen)
+            }
+            None => {
+                let tx = u32::try_from(self.slots.len())
+                    .expect("transfer slab index space (u32) exhausted");
+                self.slots.push(TxSlot {
+                    gen: 0,
+                    tr: Some(tr),
+                });
+                (tx, 0)
+            }
+        }
+    }
+
+    fn get_mut(&mut self, tx: u32, gen: u32) -> Option<&mut Transfer> {
+        let slot = self.slots.get_mut(tx as usize)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.tr.as_mut()
+    }
+
+    /// Resolves a transfer: frees the slot and bumps its generation so
+    /// every copy or timer still in the air becomes a detectable orphan.
+    fn take(&mut self, tx: u32, gen: u32) -> Option<Transfer> {
+        let slot = self.slots.get_mut(tx as usize)?;
+        if slot.gen != gen {
+            return None;
+        }
+        let tr = slot.tr.take()?;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(tx);
+        Some(tr)
+    }
+
+    /// Whether a message on `plane` sent at `now` is lost. Partition
+    /// windows drop deterministically without consuming randomness; the
+    /// Bernoulli draw only happens for a configured loss probability, so
+    /// enabling one knob never shifts another knob's stream.
+    fn lose(plane: &PlaneSpec, rng: &mut Rng64, now: f64) -> bool {
+        plane.in_partition(now) || (plane.loss > 0.0 && rng.next_f64() < plane.loss)
+    }
+
+    /// Extra delivery delay on `plane` (0 when jitter is disabled).
+    fn jitter(plane: &PlaneSpec, rng: &mut Rng64) -> f64 {
+        if plane.jitter > 0.0 {
+            rng.exponential(1.0 / plane.jitter)
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a delivered message on `plane` is duplicated.
+    fn dup(plane: &PlaneSpec, rng: &mut Rng64) -> bool {
+        plane.duplicate > 0.0 && rng.next_f64() < plane.duplicate
+    }
+
+    /// Resets the measurement-window counters at warmup end.
+    fn reset_window(&mut self) {
+        self.msgs_lost = 0;
+        self.retries = 0;
+        self.timeouts = 0;
+        self.hedges_won = 0;
+        self.hedges_lost = 0;
+        self.server_msgs_lost.iter_mut().for_each(|c| *c = 0);
+    }
 }
 
 pub(crate) struct Model<P: Policy> {
@@ -291,6 +489,12 @@ pub(crate) struct Model<P: Policy> {
     pub(crate) jobs_restarted: u64,
     pub(crate) degraded_time: Welford,
     pub(crate) degraded_ratio: Welford,
+    /// The unreliable-messaging layer (None for a reliable or absent
+    /// [`ClusterConfig::channels`] — structurally invisible).
+    pub(crate) channels: Option<ChannelRuntime>,
+    /// Stale-decision count at warmup end, subtracted at finalize so the
+    /// reported counter covers the measurement window only.
+    pub(crate) stale_baseline: u64,
 }
 
 impl<P: Policy> Model<P> {
@@ -327,14 +531,17 @@ impl<P: Policy> Model<P> {
         let deviation = cfg
             .deviation_interval
             .map(|iv| DeviationTracker::new(&expected, iv, 0.0));
-        let obs = cfg
-            .obs
-            .as_ref()
-            .map(|spec| ObsDriver::new(spec, n, expected, cfg.dispatch.dispatchers));
+        // The channel runtime (and its RNG streams) only exists for a
+        // non-reliable spec: `channels: None` and
+        // `Some(ChannelSpec::reliable())` build byte-identical models.
+        let channels_active = matches!(&cfg.channels, Some(c) if !c.is_reliable());
+        let obs = cfg.obs.as_ref().map(|spec| {
+            ObsDriver::new(spec, n, expected, cfg.dispatch.dispatchers, channels_active)
+        });
         // Fault streams are only created when faults are configured, so a
         // `faults: None` run draws exactly the same values from exactly
         // the same streams as a build without the fault layer.
-        let faults = cfg.faults.map(|spec| FaultRuntime {
+        let faults = cfg.faults.clone().map(|spec| FaultRuntime {
             up_dist: spec.up_time.build(),
             down_dist: spec.down_time.build(),
             rngs: (0..n)
@@ -343,6 +550,12 @@ impl<P: Policy> Model<P> {
             parked: vec![Vec::new(); n],
             spec,
         });
+        let channels = if channels_active {
+            let spec = cfg.channels.clone().expect("checked above");
+            Some(ChannelRuntime::new(spec, seed, streams.chan_base, n))
+        } else {
+            None
+        };
         let shards = cfg.dispatch.dispatchers;
         Model {
             policies,
@@ -384,6 +597,8 @@ impl<P: Policy> Model<P> {
             jobs_restarted: 0,
             degraded_time: Welford::new(),
             degraded_ratio: Welford::new(),
+            channels,
+            stale_baseline: 0,
         }
     }
 
@@ -420,6 +635,12 @@ impl<P: Policy> Model<P> {
         }
         if let Some(fr) = &mut self.faults {
             for i in 0..self.servers.len() {
+                // A targeted fault spec leaves the other servers' renewal
+                // processes unscheduled *and* undrawn, so narrowing the
+                // target set never perturbs the targeted servers' draws.
+                if !fr.spec.applies_to(i) {
+                    continue;
+                }
                 let first_up = fr.up_dist.sample(&mut fr.rngs[i]);
                 engine.schedule_at(SimTime::new(first_up), Ev::ServerCrash { server: i });
             }
@@ -537,6 +758,33 @@ impl<P: Policy> Model<P> {
             }
             return;
         }
+        if self.channels.is_some() {
+            // Unreliable dispatch plane: the job becomes an in-flight
+            // transfer; the attempt/ack machinery takes it from here.
+            if counted {
+                self.jobs_counted += 1;
+            }
+            let shard = self.splitter.route();
+            if counted {
+                self.shard_routed[shard] += 1;
+            }
+            let id = self.slab.insert(JobRecord {
+                size,
+                arrival: now,
+                // Overwritten when a copy lands; MAX keeps a read of an
+                // undelivered job's server loud.
+                server: usize::MAX,
+                counted,
+                degraded: self.down_count > 0,
+            });
+            let (tx, gen) = self
+                .channels
+                .as_mut()
+                .expect("checked above")
+                .insert(id, shard);
+            self.start_attempt(tx, gen, false, now, sched);
+            return;
+        }
         self.qlen_buf.clear();
         self.qlen_buf
             .extend(self.servers.iter().map(|s| s.queue_len()));
@@ -586,6 +834,385 @@ impl<P: Policy> Model<P> {
         self.drain_completions(target, now, sched);
         self.servers[target].arrive(now, id, size);
         self.reschedule(target, sched);
+    }
+
+    /// Launches one dispatch attempt (primary, retransmission, or hedge
+    /// copy) for transfer `(tx, gen)`: the owning shard's policy picks a
+    /// target against fresh queue lengths, the dispatch plane decides
+    /// the copy's fate, and — for primary attempts — the ack timers are
+    /// armed.
+    fn start_attempt<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        hedged: bool,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let (job, shard, attempts) = {
+            let ch = self.channels.as_mut().expect("attempt without channels");
+            let Some(tr) = ch.get_mut(tx, gen) else {
+                return; // transfer resolved while this attempt was queued
+            };
+            if !hedged {
+                tr.attempts += 1;
+            }
+            (tr.job, tr.shard, tr.attempts)
+        };
+        let size = self.slab.get(job).size;
+        self.qlen_buf.clear();
+        self.qlen_buf
+            .extend(self.servers.iter().map(|s| s.queue_len()));
+        let ctx = DispatchCtx {
+            now,
+            job_size: size,
+            queue_lens: &self.qlen_buf,
+            speeds: &self.speeds,
+        };
+        // Every attempt is a real dispatch decision: it re-consults the
+        // policy (so retries see fresh believed state) and is counted by
+        // the deviation tracker and the observability plane.
+        let target = self.policies[shard].choose(&ctx, &mut self.rng_dispatch);
+        debug_assert!(target < self.servers.len(), "policy chose {target}");
+        if let Some(dev) = &mut self.deviation {
+            dev.record(now, target);
+        }
+        if let Some(obs) = &mut self.obs {
+            obs.on_dispatch(target);
+            obs.on_shard_dispatch(shard, target);
+        }
+        // The copy — and possibly a duplicate of it — crosses the plane.
+        let (deliveries, retry, hedge_delay) = {
+            let ch = self.channels.as_mut().expect("checked above");
+            let mut deliveries: [Option<f64>; 2] = [None, None];
+            if ChannelRuntime::lose(&ch.spec.dispatch, &mut ch.rng_dispatch, now) {
+                ch.msgs_lost += 1;
+                ch.server_msgs_lost[target] += 1;
+                if let Some(obs) = &mut self.obs {
+                    obs.on_msg_lost();
+                }
+            } else {
+                deliveries[0] = Some(ChannelRuntime::jitter(
+                    &ch.spec.dispatch,
+                    &mut ch.rng_dispatch,
+                ));
+                if ChannelRuntime::dup(&ch.spec.dispatch, &mut ch.rng_dispatch) {
+                    deliveries[1] = Some(ChannelRuntime::jitter(
+                        &ch.spec.dispatch,
+                        &mut ch.rng_dispatch,
+                    ));
+                }
+            }
+            let copies = deliveries.iter().flatten().count() as u32;
+            let tr = ch.get_mut(tx, gen).expect("transfer vanished mid-attempt");
+            tr.copies_in_flight += copies;
+            (deliveries, ch.spec.retry, ch.spec.hedge.map(|h| h.delay))
+        };
+        // Arm the ack timers *before* any inline delivery: a zero-jitter
+        // ack can resolve the transfer — and cancel them — in the same
+        // instant.
+        if !hedged {
+            if let Some(r) = retry {
+                let timer = sched.schedule_in(
+                    r.delay_for_attempt(attempts - 1),
+                    Ev::RetryTimer { tx, gen },
+                );
+                let hedge_timer = if attempts == 1 {
+                    hedge_delay.map(|d| sched.schedule_in(d, Ev::HedgeTimer { tx, gen }))
+                } else {
+                    None
+                };
+                let ch = self.channels.as_mut().expect("checked above");
+                if let Some(tr) = ch.get_mut(tx, gen) {
+                    tr.retry_timer = Some(timer);
+                    if hedge_timer.is_some() {
+                        tr.hedge_timer = hedge_timer;
+                    }
+                }
+            }
+        }
+        for d in deliveries.into_iter().flatten() {
+            if d > 0.0 {
+                sched.schedule_in(
+                    d,
+                    Ev::DispatchDeliver {
+                        tx,
+                        gen,
+                        target,
+                        hedged,
+                    },
+                );
+            } else {
+                self.deliver_dispatch(tx, gen, target, hedged, now, sched);
+            }
+        }
+        // Fire-and-forget with every copy lost: the job dies at the send.
+        if retry.is_none() {
+            let dead = {
+                let ch = self.channels.as_mut().expect("checked above");
+                matches!(
+                    ch.get_mut(tx, gen),
+                    Some(tr) if !tr.delivered && tr.copies_in_flight == 0
+                )
+            };
+            if dead {
+                self.resolve_lost(tx, gen, sched);
+            }
+        }
+    }
+
+    /// A dispatch-plane copy reaches `target`: dedup, orphan-drop, land
+    /// the job, and race the ack back.
+    fn deliver_dispatch<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        target: usize,
+        hedged: bool,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        /// What became of the copy, decided under the channel borrow.
+        enum Fate {
+            /// Copy reached a dead server and no recovery path remains.
+            Lost,
+            /// First copy to land: admit the job.
+            Land {
+                job: JobId,
+                hedge_sent: bool,
+                retry: bool,
+            },
+        }
+        let fate = {
+            let Some(ch) = self.channels.as_mut() else {
+                return;
+            };
+            let retry = ch.spec.retry.is_some();
+            let Some(tr) = ch.get_mut(tx, gen) else {
+                return; // orphan copy: the transfer already resolved
+            };
+            tr.copies_in_flight = tr.copies_in_flight.saturating_sub(1);
+            if tr.delivered {
+                return; // duplicate copy: the job already landed
+            }
+            if !self.servers[target].is_up() {
+                // The copy reached a dead machine and will never be
+                // acked. With retries the timer recovers; without, the
+                // job dies once no other copy is in the air.
+                if !retry && tr.copies_in_flight == 0 {
+                    Fate::Lost
+                } else {
+                    return;
+                }
+            } else {
+                tr.delivered = true;
+                Fate::Land {
+                    job: tr.job,
+                    hedge_sent: tr.hedged,
+                    retry,
+                }
+            }
+        };
+        match fate {
+            Fate::Lost => self.resolve_lost(tx, gen, sched),
+            Fate::Land {
+                job,
+                hedge_sent,
+                retry,
+            } => {
+                if hedge_sent {
+                    // First landing decides the race; the loser's copies
+                    // become orphans when the ack resolves the transfer.
+                    let ch = self.channels.as_mut().expect("checked above");
+                    if hedged {
+                        ch.hedges_won += 1;
+                    } else {
+                        ch.hedges_lost += 1;
+                    }
+                }
+                let size = {
+                    let rec = self.slab.get_mut(job);
+                    rec.server = target;
+                    rec.size
+                };
+                self.servers[target].advance(now, &mut self.done_buf);
+                self.drain_completions(target, now, sched);
+                self.servers[target].arrive(now, job, size);
+                self.reschedule(target, sched);
+                if retry {
+                    // The ack races back across the same plane; a lost
+                    // ack leaves the timers armed and the retry timer
+                    // settles the (already delivered) transfer later.
+                    let ack_lost = {
+                        let ch = self.channels.as_mut().expect("checked above");
+                        let lost =
+                            ChannelRuntime::lose(&ch.spec.dispatch, &mut ch.rng_dispatch, now);
+                        if lost {
+                            ch.msgs_lost += 1;
+                            ch.server_msgs_lost[target] += 1;
+                        }
+                        lost
+                    };
+                    if ack_lost {
+                        if let Some(obs) = &mut self.obs {
+                            obs.on_msg_lost();
+                        }
+                    } else {
+                        self.resolve_success(tx, gen, sched);
+                    }
+                } else {
+                    self.resolve_success(tx, gen, sched);
+                }
+            }
+        }
+    }
+
+    /// The transfer is settled (job landed and, with retries, acked):
+    /// cancel both timers through the O(1)-cancel event list and free
+    /// the slot.
+    fn resolve_success<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let ch = self.channels.as_mut().expect("resolve without channels");
+        let Some(tr) = ch.take(tx, gen) else { return };
+        if let Some(id) = tr.retry_timer {
+            sched.cancel(id);
+        }
+        if let Some(id) = tr.hedge_timer {
+            sched.cancel(id);
+        }
+    }
+
+    /// Orphan detection: the transfer is abandoned, its slab entry
+    /// reclaimed, and the loss counted.
+    fn resolve_lost<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let tr = {
+            let ch = self.channels.as_mut().expect("resolve without channels");
+            match ch.take(tx, gen) {
+                Some(tr) => tr,
+                None => return,
+            }
+        };
+        if let Some(id) = tr.retry_timer {
+            sched.cancel(id);
+        }
+        if let Some(id) = tr.hedge_timer {
+            sched.cancel(id);
+        }
+        if self.slab.remove(tr.job).counted {
+            self.jobs_lost += 1;
+        }
+    }
+
+    /// The ack timeout fired: settle a delivered-but-unacked transfer,
+    /// give up after `max_retries` retransmissions, or retransmit with
+    /// exponential backoff.
+    fn handle_retry_timer<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let (delivered, exhausted) = {
+            let Some(ch) = self.channels.as_mut() else {
+                return;
+            };
+            let max_retries = ch.spec.retry.map(|r| r.max_retries).unwrap_or(0);
+            let Some(tr) = ch.get_mut(tx, gen) else {
+                return; // resolved; the cancel raced the pop
+            };
+            tr.retry_timer = None;
+            let delivered = tr.delivered;
+            let attempts = tr.attempts;
+            ch.timeouts += 1;
+            (delivered, attempts > max_retries)
+        };
+        if delivered {
+            // The job landed but every ack was lost: stop retransmitting
+            // (the job must not run twice) and settle the transfer.
+            self.resolve_success(tx, gen, sched);
+        } else if exhausted {
+            self.resolve_lost(tx, gen, sched);
+        } else {
+            {
+                let ch = self.channels.as_mut().expect("checked above");
+                ch.retries += 1;
+            }
+            if let Some(obs) = &mut self.obs {
+                obs.on_retry();
+            }
+            self.start_attempt(tx, gen, false, now, sched);
+        }
+    }
+
+    /// The hedge delay fired with no ack yet: duplicate the dispatch to
+    /// a second policy pick (first landing wins the race).
+    fn handle_hedge_timer<Q: FutureEventList<Ev>>(
+        &mut self,
+        tx: u32,
+        gen: u32,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        {
+            let Some(ch) = self.channels.as_mut() else {
+                return;
+            };
+            let Some(tr) = ch.get_mut(tx, gen) else {
+                return;
+            };
+            tr.hedge_timer = None;
+            if tr.delivered {
+                return; // landed (ack lost): hedging would double-run it
+            }
+            tr.hedged = true;
+        }
+        self.start_attempt(tx, gen, true, now, sched);
+    }
+
+    /// A server noticed a departure: the update message crosses the load
+    /// plane (loss/jitter/duplication when unreliable) on its way to the
+    /// network-delay model. Channel fate is decided *before* the
+    /// network-delay draw, so a lost update consumes no `rng_net`
+    /// randomness.
+    fn handle_load_detect<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let queue_len = self.servers[server].queue_len();
+        let lossy = matches!(&self.channels, Some(c) if !c.spec.load.is_reliable());
+        if !lossy {
+            let delay = self.load_updates.message_delay(&mut self.rng_net);
+            sched.schedule_in(delay, Ev::LoadUpdate { server, queue_len });
+            return;
+        }
+        let ch = self.channels.as_mut().expect("checked above");
+        if ChannelRuntime::lose(&ch.spec.load, &mut ch.rng_load, now) {
+            ch.msgs_lost += 1;
+            ch.server_msgs_lost[server] += 1;
+            if let Some(obs) = &mut self.obs {
+                obs.on_msg_lost();
+            }
+            return;
+        }
+        let base = self.load_updates.message_delay(&mut self.rng_net);
+        let delay = base + ChannelRuntime::jitter(&ch.spec.load, &mut ch.rng_load);
+        sched.schedule_in(delay, Ev::LoadUpdate { server, queue_len });
+        if ChannelRuntime::dup(&ch.spec.load, &mut ch.rng_load) {
+            let dup_delay = base + ChannelRuntime::jitter(&ch.spec.load, &mut ch.rng_load);
+            sched.schedule_in(dup_delay, Ev::LoadUpdate { server, queue_len });
+        }
     }
 
     fn handle_wake<Q: FutureEventList<Ev>>(
@@ -794,11 +1421,37 @@ impl<P: Policy> Model<P> {
     }
 
     /// Merges a consensus snapshot into every shard's policy instance.
+    ///
+    /// With an unreliable sync plane each shard's copy of the consensus
+    /// is lost independently (loss probability and partition windows;
+    /// duplication/jitter are delivery-path concepts and do not apply to
+    /// an inline merge). A round counts as applied when at least one
+    /// shard merged it.
     fn apply_sync(&mut self, merged: &SyncState, now: f64) {
-        for policy in &mut self.policies {
-            policy.merge_sync(merged, now);
+        let lossy = matches!(&self.channels, Some(c) if !c.spec.sync.is_reliable());
+        if !lossy {
+            for policy in &mut self.policies {
+                policy.merge_sync(merged, now);
+            }
+            self.syncs_applied += 1;
+            return;
         }
-        self.syncs_applied += 1;
+        let ch = self.channels.as_mut().expect("checked above");
+        let mut applied = 0u32;
+        for policy in &mut self.policies {
+            if ChannelRuntime::lose(&ch.spec.sync, &mut ch.rng_sync, now) {
+                ch.msgs_lost += 1;
+                if let Some(obs) = &mut self.obs {
+                    obs.on_msg_lost();
+                }
+                continue;
+            }
+            policy.merge_sync(merged, now);
+            applied += 1;
+        }
+        if applied > 0 {
+            self.syncs_applied += 1;
+        }
     }
 
     pub(crate) fn finalize(mut self, horizon: f64, events: u64, kernel: FelStats) -> RunStats {
@@ -819,7 +1472,8 @@ impl<P: Policy> Model<P> {
         let servers: Vec<ServerStats> = self
             .servers
             .iter()
-            .map(|s| ServerStats {
+            .enumerate()
+            .map(|(i, s)| ServerStats {
                 speed: s.speed(),
                 dispatched: s.dispatched(),
                 completed: s.completed(),
@@ -833,6 +1487,11 @@ impl<P: Policy> Model<P> {
                 availability: s.availability(),
                 downtime: s.downtime(),
                 crashes: s.crashes(),
+                msgs_lost: self
+                    .channels
+                    .as_ref()
+                    .map(|c| c.server_msgs_lost[i])
+                    .unwrap_or(0),
             })
             .collect();
         let total_speed: f64 = self.speeds.iter().sum();
@@ -905,6 +1564,19 @@ impl<P: Policy> Model<P> {
             obs,
             shards,
             syncs_applied: self.syncs_applied,
+            msgs_lost: self.channels.as_ref().map(|c| c.msgs_lost).unwrap_or(0),
+            retries: self.channels.as_ref().map(|c| c.retries).unwrap_or(0),
+            timeouts: self.channels.as_ref().map(|c| c.timeouts).unwrap_or(0),
+            hedges_won: self.channels.as_ref().map(|c| c.hedges_won).unwrap_or(0),
+            hedges_lost: self.channels.as_ref().map(|c| c.hedges_lost).unwrap_or(0),
+            stale_decisions: self
+                .policies
+                .iter()
+                .map(|p| p.stale_decisions())
+                .sum::<u64>()
+                .saturating_sub(self.stale_baseline),
+            // Conservation law: counted = finished + lost + in flight.
+            jobs_in_flight: self.slab.iter().filter(|r| r.counted).count() as u64,
         }
     }
 }
@@ -923,11 +1595,7 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
         match event {
             Ev::Arrival => self.handle_arrival(t, sched),
             Ev::ServerWake { server, epoch } => self.handle_wake(server, epoch, t, sched),
-            Ev::LoadDetect { server } => {
-                let queue_len = self.servers[server].queue_len();
-                let delay = self.load_updates.message_delay(&mut self.rng_net);
-                sched.schedule_in(delay, Ev::LoadUpdate { server, queue_len });
-            }
+            Ev::LoadDetect { server } => self.handle_load_detect(server, t, sched),
             Ev::LoadUpdate { server, queue_len } => {
                 // Update messages come from the servers, not from a
                 // shard: every dispatcher sees the same (delayed) load
@@ -947,6 +1615,12 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
                 self.syncs_applied = 0;
                 self.degraded_time = Welford::new();
                 self.degraded_ratio = Welford::new();
+                // Channel counters and the staleness tally are
+                // measurement-window quantities as well.
+                if let Some(ch) = &mut self.channels {
+                    ch.reset_window();
+                }
+                self.stale_baseline = self.policies.iter().map(|p| p.stale_decisions()).sum();
                 // Probes differencing cumulative server counters must
                 // rebase on the same reset.
                 if let Some(obs) = &mut self.obs {
@@ -964,6 +1638,14 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
                     .expect("sync apply without pending consensus");
                 self.apply_sync(&merged, t);
             }
+            Ev::DispatchDeliver {
+                tx,
+                gen,
+                target,
+                hedged,
+            } => self.deliver_dispatch(tx, gen, target, hedged, t, sched),
+            Ev::RetryTimer { tx, gen } => self.handle_retry_timer(tx, gen, t, sched),
+            Ev::HedgeTimer { tx, gen } => self.handle_hedge_timer(tx, gen, t, sched),
         }
     }
 }
@@ -1009,6 +1691,7 @@ mod tests {
             event_list: EventListBackend::default(),
             obs: None,
             dispatch: Default::default(),
+            channels: None,
         }
     }
 
@@ -1184,6 +1867,7 @@ mod tests {
             down_time: hetsched_dist::DistSpec::Exponential { mean: 100.0 },
             on_crash: crate::faults::JobFaultSemantics::Lost,
             notice_delay_mean: 0.0,
+            servers: None,
         });
         let faulted = Simulation::new(cfg, Cyclic { next: 0 }, 7).unwrap().run();
         let baseline = Simulation::new(small_cfg(), Cyclic { next: 0 }, 7)
@@ -1406,6 +2090,183 @@ mod tests {
         let inert = (0..2).map(|_| Cyclic { next: 0 }).collect();
         let c = Simulation::with_policies(cfg, inert, 24).unwrap().run();
         assert_eq!(c.syncs_applied, 0);
+    }
+
+    #[test]
+    fn reliable_channels_section_is_invisible() {
+        // The PR-7 tentpole invariant: `channels: Some(reliable())` must
+        // be bit-identical to `channels: None` on both FEL backends —
+        // the runtime is simply never constructed.
+        for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+            let mut base_cfg = small_cfg();
+            base_cfg.event_list = backend;
+            let mut chan_cfg = base_cfg.clone();
+            chan_cfg.channels = Some(crate::channel::ChannelSpec::reliable());
+            let base = Simulation::new(base_cfg, Cyclic { next: 0 }, 31)
+                .unwrap()
+                .run();
+            let chan = Simulation::new(chan_cfg, Cyclic { next: 0 }, 31)
+                .unwrap()
+                .run();
+            assert_eq!(base, chan, "backend {backend:?}");
+            assert_eq!(chan.msgs_lost, 0);
+            assert_eq!(chan.retries, 0);
+        }
+    }
+
+    /// The conservation law every channel configuration must satisfy.
+    fn assert_conserved(stats: &RunStats) {
+        assert_eq!(
+            stats.jobs_counted,
+            stats.jobs_finished + stats.jobs_lost + stats.jobs_in_flight,
+            "counted {} != finished {} + lost {} + in flight {}",
+            stats.jobs_counted,
+            stats.jobs_finished,
+            stats.jobs_lost,
+            stats.jobs_in_flight
+        );
+    }
+
+    #[test]
+    fn fire_and_forget_loses_dispatches() {
+        let mut cfg = small_cfg();
+        cfg.channels = Some(crate::channel::ChannelSpec {
+            dispatch: crate::channel::PlaneSpec::lossy(0.05),
+            ..crate::channel::ChannelSpec::default()
+        });
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 17).unwrap().run();
+        assert!(stats.msgs_lost > 0, "5% loss must drop messages");
+        assert!(stats.jobs_lost > 0, "fire-and-forget loses the job");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.timeouts, 0);
+        assert!(stats.servers.iter().map(|s| s.msgs_lost).sum::<u64>() >= stats.msgs_lost / 2);
+        assert_conserved(&stats);
+    }
+
+    #[test]
+    fn retries_recover_lost_dispatches() {
+        let lossy = crate::channel::ChannelSpec {
+            dispatch: crate::channel::PlaneSpec::lossy(0.05),
+            ..crate::channel::ChannelSpec::default()
+        };
+        let mut ff_cfg = small_cfg();
+        ff_cfg.channels = Some(lossy.clone());
+        let mut retry_cfg = small_cfg();
+        retry_cfg.channels = Some(lossy.with_retry(crate::channel::RetrySpec::after(5.0)));
+        let ff = Simulation::new(ff_cfg, Cyclic { next: 0 }, 17)
+            .unwrap()
+            .run();
+        let retried = Simulation::new(retry_cfg, Cyclic { next: 0 }, 17)
+            .unwrap()
+            .run();
+        assert!(retried.timeouts > 0, "lost copies must time out");
+        assert!(retried.retries > 0, "timeouts must retransmit");
+        assert!(
+            retried.jobs_lost < ff.jobs_lost / 4,
+            "retries must recover most losses: {} vs {}",
+            retried.jobs_lost,
+            ff.jobs_lost
+        );
+        assert_conserved(&retried);
+    }
+
+    #[test]
+    fn hedging_wins_races_under_loss() {
+        let mut cfg = small_cfg();
+        cfg.channels = Some(
+            crate::channel::ChannelSpec {
+                dispatch: crate::channel::PlaneSpec::lossy(0.1),
+                ..crate::channel::ChannelSpec::default()
+            }
+            .with_retry(crate::channel::RetrySpec::after(8.0))
+            .with_hedge(crate::channel::HedgeSpec { delay: 2.0 }),
+        );
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 19).unwrap().run();
+        // A lost first copy sits unacked past the 2 s hedge delay, so the
+        // hedge fires well before the 8 s retry timeout and usually wins.
+        assert!(stats.hedges_won > 0, "hedge copies must win some races");
+        assert_conserved(&stats);
+    }
+
+    #[test]
+    fn chaotic_channels_conserve_jobs_and_stay_deterministic() {
+        // Loss + duplication + jitter + partitions on every plane, with
+        // retries and hedging, across seeds: the conservation law holds
+        // and equal seeds agree exactly.
+        for seed in [1, 2, 3, 4, 5] {
+            let mut cfg = small_cfg();
+            cfg.faults = Some(
+                crate::faults::FaultSpec::exponential(4_000.0, 300.0)
+                    .with_semantics(crate::faults::JobFaultSemantics::Resubmit),
+            );
+            cfg.channels = Some(
+                crate::channel::ChannelSpec {
+                    dispatch: crate::channel::PlaneSpec {
+                        loss: 0.05,
+                        duplicate: 0.05,
+                        jitter: 0.5,
+                        partitions: vec![(6_000.0, 6_500.0)],
+                    },
+                    load: crate::channel::PlaneSpec {
+                        loss: 0.2,
+                        duplicate: 0.1,
+                        jitter: 1.0,
+                        partitions: vec![],
+                    },
+                    sync: crate::channel::PlaneSpec::lossy(0.3),
+                    retry: None,
+                    hedge: None,
+                }
+                .with_retry(crate::channel::RetrySpec::after(3.0))
+                .with_hedge(crate::channel::HedgeSpec { delay: 1.0 }),
+            );
+            let a = Simulation::new(cfg.clone(), Cyclic { next: 0 }, seed)
+                .unwrap()
+                .run();
+            let b = Simulation::new(cfg, Cyclic { next: 0 }, seed)
+                .unwrap()
+                .run();
+            assert_eq!(a, b, "seed {seed}");
+            assert_conserved(&a);
+            assert!(a.msgs_lost > 0);
+        }
+    }
+
+    #[test]
+    fn lossy_sync_plane_drops_rounds() {
+        let mut cfg = small_cfg();
+        cfg.dispatch = hetsched_dispatch::DispatchSpec::sharded(
+            2,
+            hetsched_dispatch::SplitterSpec::RoundRobin,
+        )
+        .with_sync(hetsched_dispatch::SyncSpec::every(500.0).with_latency(50.0));
+        let mk = || (0..2).map(|_| SyncedCyclic { next: 0 }).collect();
+        let reliable = Simulation::with_policies(cfg.clone(), mk(), 24)
+            .unwrap()
+            .run();
+        cfg.channels = Some(crate::channel::ChannelSpec {
+            sync: crate::channel::PlaneSpec::lossy(0.8),
+            ..crate::channel::ChannelSpec::default()
+        });
+        let lossy = Simulation::with_policies(cfg, mk(), 24).unwrap().run();
+        assert!(
+            lossy.syncs_applied < reliable.syncs_applied,
+            "80% sync loss must drop whole rounds: {} vs {}",
+            lossy.syncs_applied,
+            reliable.syncs_applied
+        );
+        assert!(lossy.msgs_lost > 0);
+    }
+
+    #[test]
+    fn targeted_faults_only_crash_their_servers() {
+        let mut cfg = small_cfg();
+        cfg.faults = Some(crate::faults::FaultSpec::exponential(2_000.0, 200.0).with_servers(&[1]));
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 11).unwrap().run();
+        assert!(stats.crashes > 0);
+        assert_eq!(stats.servers[0].crashes, 0, "server 0 is not targeted");
+        assert!(stats.servers[1].crashes > 0);
+        assert_eq!(stats.servers[0].availability, 1.0);
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub enum PolicySpec {
     },
     /// Dynamic Least-Load with delayed feedback (the yardstick).
     DynamicLeastLoad,
+    /// Dynamic Least-Load with staleness-aware graceful degradation: a
+    /// load index older than the confidence window decays toward the
+    /// optimized-allocation prior instead of being trusted (robustness
+    /// extension for lossy/partitioned load-update planes).
+    StaleAwareDynamic {
+        /// Seconds a load index stays fully trusted.
+        confidence_window: f64,
+    },
     /// Power-of-d-choices on true instantaneous loads (clairvoyant
     /// extension baseline).
     Jsq {
@@ -135,6 +143,11 @@ impl PolicySpec {
         PolicySpec::ReoptimizingOrr
     }
 
+    /// Staleness-aware Dynamic with the given confidence window.
+    pub fn stale_aware_dynamic(confidence_window: f64) -> Self {
+        PolicySpec::StaleAwareDynamic { confidence_window }
+    }
+
     /// The policy's display name (WRAN/ORAN/WRR/ORR/DYNAMIC/…).
     pub fn label(&self) -> String {
         match self {
@@ -143,6 +156,7 @@ impl PolicySpec {
                 dispatcher,
             } => format!("{}{}", allocation.tag(), dispatcher.tag()),
             PolicySpec::DynamicLeastLoad => "DYNAMIC".into(),
+            PolicySpec::StaleAwareDynamic { .. } => "DYNAMIC-SA".into(),
             PolicySpec::Jsq { d } => format!("JSQ({d})"),
             PolicySpec::SitaE => "SITA-E".into(),
             PolicySpec::BurstyWrr { .. } => "BWRR".into(),
@@ -180,6 +194,39 @@ impl PolicySpec {
                 })
             }
             PolicySpec::DynamicLeastLoad => Ok(Box::new(LeastLoadPolicy::new(&cfg.speeds))),
+            PolicySpec::StaleAwareDynamic { confidence_window } => {
+                if !(confidence_window.is_finite() && *confidence_window > 0.0) {
+                    return Err(HetschedError::InvalidPolicy(format!(
+                        "DYNAMIC-SA needs a positive confidence window, got {confidence_window}"
+                    )));
+                }
+                if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
+                {
+                    return Err(HetschedError::InvalidPolicy(
+                        "DYNAMIC-SA needs utilization in (0,1) for its static prior".into(),
+                    ));
+                }
+                // The static prior is the M/M/1-PS mean queue length each
+                // server would carry under the paper's optimized
+                // allocation: ρ_i = α_i λ / (μ s_i) = α_i ρ Σs / s_i and
+                // E[N_i] = ρ_i / (1 − ρ_i).
+                let fractions = crate::allocation::AllocationSpec::optimized()
+                    .fractions(&cfg.speeds, cfg.utilization);
+                let total_speed: f64 = cfg.speeds.iter().sum();
+                let prior: Vec<f64> = fractions
+                    .iter()
+                    .zip(&cfg.speeds)
+                    .map(|(&alpha, &s)| {
+                        let rho_i = (alpha * cfg.utilization * total_speed / s).min(0.999);
+                        rho_i / (1.0 - rho_i)
+                    })
+                    .collect();
+                Ok(Box::new(crate::dynamic::StaleAwareLeastLoad::new(
+                    &cfg.speeds,
+                    &prior,
+                    *confidence_window,
+                )))
+            }
             PolicySpec::Jsq { d } => {
                 if *d == 0 {
                     return Err(HetschedError::InvalidPolicy("JSQ requires d ≥ 1".into()));
@@ -263,6 +310,7 @@ mod tests {
         assert_eq!(PolicySpec::wrr().label(), "WRR");
         assert_eq!(PolicySpec::orr().label(), "ORR");
         assert_eq!(PolicySpec::DynamicLeastLoad.label(), "DYNAMIC");
+        assert_eq!(PolicySpec::stale_aware_dynamic(500.0).label(), "DYNAMIC-SA");
         assert_eq!(PolicySpec::orr_with_error(0.05).label(), "O(+5%)RR");
     }
 
@@ -285,6 +333,7 @@ mod tests {
             PolicySpec::wrr(),
             PolicySpec::orr(),
             PolicySpec::DynamicLeastLoad,
+            PolicySpec::stale_aware_dynamic(500.0),
             PolicySpec::Jsq { d: 2 },
             PolicySpec::SitaE,
             PolicySpec::BurstyWrr { cycle_len: 100 },
@@ -316,6 +365,10 @@ mod tests {
     #[test]
     fn extension_specs_validate() {
         let cfg = cfg();
+        assert!(PolicySpec::stale_aware_dynamic(0.0).build(&cfg).is_err());
+        assert!(PolicySpec::stale_aware_dynamic(f64::NAN)
+            .build(&cfg)
+            .is_err());
         assert!(PolicySpec::BurstyWrr { cycle_len: 0 }.build(&cfg).is_err());
         assert!(PolicySpec::AdaptiveOrr {
             recompute_every: 0.0,
@@ -360,6 +413,7 @@ mod tests {
         for spec in [
             PolicySpec::orr(),
             PolicySpec::DynamicLeastLoad,
+            PolicySpec::stale_aware_dynamic(500.0),
             PolicySpec::Jsq { d: 2 },
             PolicySpec::ReoptimizingOrr,
         ] {

@@ -126,6 +126,169 @@ impl Policy for LeastLoadPolicy {
     }
 }
 
+/// Staleness-aware Dynamic Least-Load: graceful degradation toward the
+/// static α prior when load indices go stale.
+///
+/// Naive Dynamic trusts a believed load forever — if update messages
+/// stop (loss, partition), it keeps steering the whole stream by a
+/// frozen snapshot. This variant tracks the age of each server's last
+/// *departure report* and blends the believed load with a static prior
+/// derived from the paper's optimized allocation:
+///
+/// ```text
+/// age_i  = now − last_update_i
+/// w_i    = min(1, W / age_i)          (W = confidence window)
+/// eff_i  = w_i · believed_i + (1 − w_i) · prior_i
+/// ```
+///
+/// and dispatches to `argmin (eff_i + 1) / s_i` over believed-up
+/// servers. With fresh indices (`age ≤ W`) it behaves exactly like
+/// [`LeastLoadPolicy`]; as an index ages past the window its influence
+/// decays hyperbolically toward the prior `prior_i = ρ_i / (1 − ρ_i)`
+/// (the M/M/1-PS mean queue length the optimized allocation predicts),
+/// i.e. the policy degrades toward static ORR-style dispatch instead of
+/// chasing ghosts. Decisions taken while the chosen server's index was
+/// stale are counted in [`Policy::stale_decisions`].
+#[derive(Debug, Clone)]
+pub struct StaleAwareLeastLoad {
+    speeds: Vec<f64>,
+    believed: Vec<f64>,
+    /// Time of the last departure report per server (self-dispatch
+    /// increments `believed` but is *not* fresh knowledge of the queue).
+    last_update: Vec<f64>,
+    up: Vec<bool>,
+    /// Static prior queue length per server (from the optimized α).
+    prior: Vec<f64>,
+    /// Confidence window `W` in seconds.
+    window: f64,
+    stale_decisions: u64,
+}
+
+impl StaleAwareLeastLoad {
+    /// Creates the policy with per-server prior queue lengths and a
+    /// confidence window of `window` seconds.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched inputs, non-positive speeds or window,
+    /// or negative priors.
+    pub fn new(speeds: &[f64], prior: &[f64], window: f64) -> Self {
+        assert!(!speeds.is_empty(), "no computers");
+        assert_eq!(speeds.len(), prior.len(), "one prior per computer");
+        assert!(
+            speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+            "speeds must be positive"
+        );
+        assert!(
+            prior.iter().all(|&p| p.is_finite() && p >= 0.0),
+            "priors must be non-negative"
+        );
+        assert!(
+            window.is_finite() && window > 0.0,
+            "confidence window must be positive"
+        );
+        StaleAwareLeastLoad {
+            speeds: speeds.to_vec(),
+            believed: vec![0.0; speeds.len()],
+            last_update: vec![0.0; speeds.len()],
+            up: vec![true; speeds.len()],
+            prior: prior.to_vec(),
+            window,
+            stale_decisions: 0,
+        }
+    }
+
+    /// The staleness-weighted effective load of server `i` at `now`.
+    fn effective(&self, i: usize, now: f64) -> f64 {
+        let age = now - self.last_update[i];
+        if age <= self.window {
+            self.believed[i]
+        } else {
+            let w = self.window / age;
+            w * self.believed[i] + (1.0 - w) * self.prior[i]
+        }
+    }
+
+    /// Current believed queue lengths (diagnostics).
+    pub fn believed(&self) -> &[f64] {
+        &self.believed
+    }
+}
+
+impl Policy for StaleAwareLeastLoad {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        let mut best: Option<usize> = None;
+        let mut best_load = f64::INFINITY;
+        for i in 0..self.speeds.len() {
+            if !self.up[i] {
+                continue;
+            }
+            let load = (self.effective(i, ctx.now) + 1.0) / self.speeds[i];
+            if load < best_load {
+                best_load = load;
+                best = Some(i);
+            }
+        }
+        let Some(best) = best else {
+            // Stale all-down belief: fastest machine, no bookkeeping.
+            return self
+                .speeds
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+        };
+        if ctx.now - self.last_update[best] > self.window {
+            self.stale_decisions += 1;
+        }
+        self.believed[best] += 1.0;
+        best
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, now: f64) {
+        self.believed[server] = queue_len as f64;
+        self.last_update[server] = now;
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], now: f64) {
+        for (i, &u) in up.iter().enumerate() {
+            if u && !self.up[i] {
+                // A repair is fresh knowledge: the queue is empty now.
+                self.believed[i] = 0.0;
+                self.last_update[i] = now;
+            }
+            self.up[i] = u;
+        }
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        // Peer beliefs are no fresher than our own departure reports, so
+        // the merge adopts the loads without touching the ages.
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+        }
+    }
+
+    fn stale_decisions(&self) -> u64 {
+        self.stale_decisions
+    }
+
+    fn name(&self) -> String {
+        "DYNAMIC-SA".into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +428,104 @@ mod tests {
     #[should_panic(expected = "no computers")]
     fn rejects_empty() {
         LeastLoadPolicy::new(&[]);
+    }
+
+    fn ctx_at<'a>(now: f64, speeds: &'a [f64], qlens: &'a [usize]) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now,
+            job_size: 1.0,
+            queue_lens: qlens,
+            speeds,
+        }
+    }
+
+    #[test]
+    fn sa_matches_naive_dynamic_while_fresh() {
+        // Inside the confidence window the decay is inactive, so the
+        // staleness-aware variant reproduces naive Dynamic exactly.
+        let speeds = [1.0, 2.0, 5.0];
+        let qlens = [0, 0, 0];
+        let mut naive = LeastLoadPolicy::new(&speeds);
+        let mut sa = StaleAwareLeastLoad::new(&speeds, &[0.5, 1.0, 2.0], 100.0);
+        let mut rng = Rng64::from_seed(0);
+        for step in 0..50 {
+            let t = step as f64; // all ages stay <= 50 < W
+            let a = naive.choose(&ctx_at(t, &speeds, &qlens), &mut rng);
+            let b = sa.choose(&ctx_at(t, &speeds, &qlens), &mut rng);
+            assert_eq!(a, b, "step {step}");
+            if step % 7 == 0 {
+                naive.on_load_update(step % 3, 0, t);
+                sa.on_load_update(step % 3, 0, t);
+            }
+        }
+        assert_eq!(sa.stale_decisions(), 0);
+    }
+
+    #[test]
+    fn sa_decays_stale_belief_toward_prior() {
+        let speeds = [1.0, 1.0];
+        let qlens = [0, 0];
+        // Server 0's prior says "usually empty"; server 1's says "deep".
+        let mut sa = StaleAwareLeastLoad::new(&speeds, &[0.0, 10.0], 10.0);
+        let mut rng = Rng64::from_seed(0);
+        // Fresh-but-bad news: server 0 reported a deep queue, server 1 a
+        // shallow one, then both went silent.
+        sa.on_load_update(0, 8, 0.0);
+        sa.on_load_update(1, 1, 0.0);
+        // Just after the reports, belief rules: server 1 wins.
+        assert_eq!(sa.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng), 1);
+        assert_eq!(sa.stale_decisions(), 0);
+        // Long after (age 1000 ≫ W=10): w ≈ 0.01, so effective loads are
+        // ≈ priors (0 vs ~10): the stale snapshot no longer steers jobs
+        // at the server whose prior says it is deep.
+        assert_eq!(sa.choose(&ctx_at(1000.0, &speeds, &qlens), &mut rng), 0);
+        assert_eq!(sa.stale_decisions(), 1, "the stale decision is counted");
+    }
+
+    #[test]
+    fn sa_load_updates_refresh_age_but_dispatches_do_not() {
+        let speeds = [1.0, 1.0];
+        let qlens = [0, 0];
+        let mut sa = StaleAwareLeastLoad::new(&speeds, &[5.0, 5.0], 10.0);
+        let mut rng = Rng64::from_seed(0);
+        // A dispatch at t=0 bumps believed load but not freshness.
+        assert_eq!(sa.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        // At t=50 both ages are 50 > W: decisions count as stale.
+        sa.choose(&ctx_at(50.0, &speeds, &qlens), &mut rng);
+        assert_eq!(sa.stale_decisions(), 1);
+        // A departure report refreshes server 1's age.
+        sa.on_load_update(1, 0, 50.0);
+        assert_eq!(sa.choose(&ctx_at(51.0, &speeds, &qlens), &mut rng), 1);
+        assert_eq!(sa.stale_decisions(), 1, "fresh choice not counted");
+    }
+
+    #[test]
+    fn sa_membership_and_sync_plumbing() {
+        let speeds = [1.0, 10.0];
+        let qlens = [0, 0];
+        let mut sa = StaleAwareLeastLoad::new(&speeds, &[1.0, 1.0], 100.0);
+        let mut rng = Rng64::from_seed(0);
+        sa.on_membership_change(&[true, false], 0.0);
+        assert_eq!(sa.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        sa.on_membership_change(&[true, true], 5.0);
+        assert_eq!(sa.choose(&ctx_at(5.0, &speeds, &qlens), &mut rng), 1);
+        assert!(sa.needs_load_updates());
+        assert_eq!(sa.name(), "DYNAMIC-SA");
+        let state = sa.sync_state().expect("mergeable");
+        assert_eq!(state.loads.len(), 2);
+        sa.merge_sync(
+            &SyncState {
+                credits: Vec::new(),
+                loads: vec![3.0, 3.0],
+            },
+            6.0,
+        );
+        assert_eq!(sa.believed(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence window")]
+    fn sa_rejects_bad_window() {
+        StaleAwareLeastLoad::new(&[1.0], &[0.5], 0.0);
     }
 }

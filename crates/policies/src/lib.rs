@@ -39,7 +39,7 @@ pub use adaptive::AdaptiveOrr;
 pub use allocation::AllocationSpec;
 pub use bursty_wrr::BurstyWeightedRr;
 pub use combo::{DispatcherSpec, PolicySpec};
-pub use dynamic::LeastLoadPolicy;
+pub use dynamic::{LeastLoadPolicy, StaleAwareLeastLoad};
 pub use extra::{JsqPolicy, SitaEPolicy};
 pub use random::RandomDispatch;
 pub use reopt::ReoptimizingOrr;

@@ -70,7 +70,7 @@ fn d1_identity_holds_on_both_backends_with_and_without_faults() {
         for faults in &fault_variants {
             let mut plain = base_cfg();
             plain.event_list = backend;
-            plain.faults = *faults;
+            plain.faults = faults.clone();
             let mut tiered = plain.clone();
             tiered.dispatch = DispatchSpec {
                 dispatchers: 1,

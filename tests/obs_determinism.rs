@@ -76,6 +76,7 @@ fn obs_is_inert_under_fault_injection() {
         down_time: DistSpec::Exponential { mean: 500.0 },
         on_crash: JobFaultSemantics::Resubmit,
         notice_delay_mean: 10.0,
+        servers: None,
     });
     let mut with_obs = plain.clone();
     with_obs.obs = Some(ObsSpec::default());
