@@ -28,6 +28,7 @@ fn bench_dispatch(c: &mut Criterion) {
                     job_size: 1.0,
                     queue_lens: &qlens,
                     speeds: &speeds,
+                    true_load_index: None,
                 };
                 rr.choose(std::hint::black_box(&ctx), &mut rng)
             })
@@ -42,6 +43,7 @@ fn bench_dispatch(c: &mut Criterion) {
                     job_size: 1.0,
                     queue_lens: &qlens,
                     speeds: &speeds,
+                    true_load_index: None,
                 };
                 ran.choose(std::hint::black_box(&ctx), &mut rng)
             })
@@ -56,6 +58,7 @@ fn bench_dispatch(c: &mut Criterion) {
                     job_size: 1.0,
                     queue_lens: &qlens,
                     speeds: &speeds,
+                    true_load_index: None,
                 };
                 dynamic.choose(std::hint::black_box(&ctx), &mut rng)
             })

@@ -1,0 +1,402 @@
+//! Scale-axis figure: dispatch-decision latency and whole-sim
+//! throughput as the fleet grows from 10 to 10,000 servers.
+//!
+//! The paper's experiments stop at 5–10 machines, where an O(N) scan
+//! per dispatch decision is free. This harness measures what happens on
+//! four decades of fleet size and what the scale-axis machinery buys:
+//!
+//! * **decision microbench** — nanoseconds per `choose()` call for the
+//!   scan DYNAMIC baseline vs the tournament-tree DYNAMIC-IDX, plus the
+//!   O(d)/O(1) POD(2)-HET and JIQ policies, at every N. At N = 10,000
+//!   the indexed policy must be ≥ 10× faster than the scan (asserted at
+//!   bench time and recorded as `speedup_at_10000`);
+//! * **whole-sim sweep** — ORR, DYNAMIC, DYNAMIC-IDX, POD(2),
+//!   POD(2)-HET, and JIQ across N ∈ {10, 100, 1000, 10000} on a skewed
+//!   four-tier fleet (50% at speed 1, 30% at 2, 10% at 5, 10% at 10),
+//!   with the horizon scaled inversely with N so every point processes
+//!   a comparable event count. Per-point events/sec comes from the
+//!   sweep pool's counters;
+//! * the **bit-identity guarantee**, checked at bench time: DYNAMIC-IDX
+//!   reproduces scan DYNAMIC and JSQ-IDX reproduces JSQ-FULL
+//!   decision-for-decision (identical `RunStats` up to the policy
+//!   name) at every N;
+//! * a **robustness pass** — POD(2)-HET and JIQ at every N under
+//!   crash/repair faults, a 4-way sharded dispatch tier, and the
+//!   conservative parallel engine, proving the scalable policies
+//!   compose with the whole failure/parallelism stack.
+//!
+//! Results are archived into `BENCH_scale.json` (override with
+//! `--bench-json PATH`).
+
+use std::time::Instant;
+
+use hetsched::cluster::{DispatchCtx, FleetGroup, Policy};
+use hetsched::desim::Rng64;
+use hetsched::prelude::*;
+use hetsched_bench::{ci, json_num, json_str, Mode};
+
+/// Fleet sizes swept — four decades.
+const FLEET_SIZES: [usize; 4] = [10, 100, 1000, 10_000];
+
+/// The speed-1 : speed-2 : speed-5 : speed-10 population mix (50% /
+/// 30% / 10% / 10%), echoing the paper's skew at every scale.
+fn fleet_groups(n: usize) -> Vec<FleetGroup> {
+    let slow = n / 2;
+    let mid = 3 * n / 10;
+    let fast = n / 10;
+    let fastest = n - slow - mid - fast;
+    vec![
+        FleetGroup {
+            count: slow,
+            speed: 1.0,
+        },
+        FleetGroup {
+            count: mid,
+            speed: 2.0,
+        },
+        FleetGroup {
+            count: fast,
+            speed: 5.0,
+        },
+        FleetGroup {
+            count: fastest,
+            speed: 10.0,
+        },
+    ]
+}
+
+/// The config for one fleet size: paper defaults over the four-tier
+/// mix, horizon scaled inversely with N (total speed — and so the
+/// arrival rate — grows linearly with N, so this keeps the event count
+/// per run roughly constant across the sweep).
+fn scale_config(n: usize) -> ClusterConfig {
+    let factor = (10.0 / n as f64).min(1.0);
+    ClusterConfig::paper_default_fleet(&fleet_groups(n)).scaled(factor)
+}
+
+/// The whole-sim roster crossed with each fleet size.
+fn sweep_policies() -> [PolicySpec; 6] {
+    [
+        PolicySpec::orr(),
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::IndexedDynamic,
+        PolicySpec::PowerOfD {
+            d: 2,
+            het_aware: false,
+        },
+        PolicySpec::PowerOfD {
+            d: 2,
+            het_aware: true,
+        },
+        PolicySpec::Jiq,
+    ]
+}
+
+/// One decision-microbench row.
+struct DecisionRow {
+    n: usize,
+    policy: String,
+    ns_per_decision: f64,
+}
+
+/// Times `choose()` in a tight loop with a realistic update mix: one
+/// believed-load update per eight decisions, rotating across the fleet.
+/// The checksum keeps the optimizer honest.
+fn ns_per_decision(spec: PolicySpec, cfg: &ClusterConfig, iters: u64) -> f64 {
+    let mut policy = spec.build(cfg).expect("microbench policy builds");
+    let n = cfg.speeds.len();
+    let queue_lens = vec![0usize; n];
+    let mut rng = Rng64::from_seed(0xBEEF);
+    let mut checksum = 0usize;
+    // Warm the caches and any lazy per-policy state before timing.
+    for i in 0..iters / 10 + 1 {
+        let ctx = DispatchCtx {
+            now: i as f64,
+            job_size: 1.0,
+            queue_lens: &queue_lens,
+            speeds: &cfg.speeds,
+            true_load_index: None,
+        };
+        checksum ^= policy.choose(&ctx, &mut rng);
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        if i % 8 == 0 {
+            policy.on_load_update((i as usize * 31) % n, (i % 5) as usize, i as f64);
+        }
+        let ctx = DispatchCtx {
+            now: i as f64,
+            job_size: 1.0,
+            queue_lens: &queue_lens,
+            speeds: &cfg.speeds,
+            true_load_index: None,
+        };
+        checksum ^= policy.choose(&ctx, &mut rng);
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(checksum);
+    elapsed.as_nanos() as f64 / iters as f64
+}
+
+/// The bit-identity guarantee: the indexed policy reproduces its scan
+/// twin's full `RunStats` (up to the policy name) on replication 0 at
+/// every fleet size.
+fn assert_bit_identity(mode: &Mode) -> bool {
+    for &n in &FLEET_SIZES {
+        for (scan, indexed) in [
+            (PolicySpec::DynamicLeastLoad, PolicySpec::IndexedDynamic),
+            (PolicySpec::JsqFull, PolicySpec::IndexedJsq),
+        ] {
+            let exp_scan = Experiment::new("fig_scale_ident", scale_config(n), scan)
+                .quick(mode.scale, mode.reps);
+            let exp_idx = Experiment::new("fig_scale_ident", scale_config(n), indexed)
+                .quick(mode.scale, mode.reps);
+            let mut a = exp_scan.run_single(0).expect("scan run");
+            let mut b = exp_idx.run_single(0).expect("indexed run");
+            let (name_a, name_b) = (a.policy.clone(), b.policy.clone());
+            a.policy = String::new();
+            b.policy = String::new();
+            assert_eq!(
+                a, b,
+                "{name_b} diverged from {name_a} at N={n} — the indexed \
+                 policy must be decision-for-decision identical to the scan"
+            );
+        }
+        println!("  N={n}: DYNAMIC-IDX == DYNAMIC, JSQ-IDX == JSQ-FULL");
+    }
+    true
+}
+
+/// One robustness row: a scalable policy under faults + sharded
+/// dispatch + the parallel engine.
+struct RobustRow {
+    n: usize,
+    policy: String,
+    mean_response_ratio: f64,
+    jobs_counted: u64,
+    crashes: bool,
+}
+
+/// POD(2)-HET and JIQ at every N under crash/repair faults, a 4-way
+/// sharded dispatch tier, and the conservative parallel engine.
+fn robustness_pass(mode: &Mode) -> Vec<RobustRow> {
+    let mut rows = Vec::new();
+    for &n in &FLEET_SIZES {
+        let mut cfg = scale_config(n);
+        // Fault timescales in final sim-seconds: a handful of
+        // crash/repair cycles per machine inside the measured span.
+        let horizon = cfg.horizon * mode.scale;
+        cfg.faults = Some(FaultSpec::exponential(horizon / 4.0, horizon / 40.0));
+        cfg.dispatch.dispatchers = 4;
+        for spec in [
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: true,
+            },
+            PolicySpec::Jiq,
+        ] {
+            let mut exp =
+                Experiment::new("fig_scale_robust", cfg.clone(), spec).quick(mode.scale, mode.reps);
+            exp.sim_threads = 2;
+            let stats = exp.run_single(0).expect("robustness run");
+            assert!(
+                stats.jobs_counted > 0,
+                "{} completed no jobs at N={n} under faults + shards + parallel engine",
+                stats.policy
+            );
+            rows.push(RobustRow {
+                n,
+                policy: stats.policy.clone(),
+                mean_response_ratio: stats.mean_response_ratio,
+                jobs_counted: stats.jobs_counted,
+                crashes: stats.crashes > 0,
+            });
+        }
+    }
+    rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn report_json(
+    mode: &Mode,
+    decision_rows: &[DecisionRow],
+    sweep_rows: &[(usize, ExperimentResult, f64)],
+    robust_rows: &[RobustRow],
+    bit_identical: bool,
+    speedup_at_10000: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bin\": {},\n", json_str("fig_scale")));
+    out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
+    out.push_str(&format!("  \"reps\": {},\n", mode.reps));
+    out.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    out.push_str(&format!(
+        "  \"speedup_at_10000\": {},\n",
+        json_num(speedup_at_10000)
+    ));
+    let decisions: Vec<String> = decision_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"n\": {}, \"policy\": {}, \"ns_per_decision\": {} }}",
+                r.n,
+                json_str(&r.policy),
+                json_num(r.ns_per_decision)
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"decision_bench\": [\n{}\n  ],\n",
+        decisions.join(",\n")
+    ));
+    let sweep: Vec<String> = sweep_rows
+        .iter()
+        .map(|(n, result, events_per_sec)| {
+            format!(
+                "    {{ \"n\": {}, \"policy\": {}, \"mean_response_ratio\": {}, \
+                 \"ci_half_width\": {}, \"events_per_sec\": {} }}",
+                n,
+                json_str(&result.policy),
+                json_num(result.mean_response_ratio.mean),
+                json_num(result.mean_response_ratio.half_width),
+                json_num(*events_per_sec)
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"sweep\": [\n{}\n  ],\n", sweep.join(",\n")));
+    let robust: Vec<String> = robust_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"n\": {}, \"policy\": {}, \"mean_response_ratio\": {}, \
+                 \"jobs_counted\": {}, \"saw_crashes\": {} }}",
+                r.n,
+                json_str(&r.policy),
+                json_num(r.mean_response_ratio),
+                r.jobs_counted,
+                r.crashes
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"robustness\": [\n{}\n  ]\n",
+        robust.join(",\n")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("\nScale axis: indexed-vs-scan bit-identity check");
+    let bit_identical = assert_bit_identity(&mode);
+    println!("indexed policies bit-identical to their scan twins: {bit_identical}");
+
+    println!("\nDispatch-decision microbench (ns per choose())");
+    let micro_specs = [
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::IndexedDynamic,
+        PolicySpec::PowerOfD {
+            d: 2,
+            het_aware: true,
+        },
+        PolicySpec::Jiq,
+    ];
+    let mut decision_rows = Vec::new();
+    let mut t = Table::new(["N", "policy", "ns/decision"]);
+    for &n in &FLEET_SIZES {
+        let cfg = scale_config(n);
+        // The scan's cost grows with N; shrink the iteration count so
+        // the N = 10,000 row still finishes in under a second.
+        let iters = (2_000_000 / n as u64).max(20_000);
+        for spec in micro_specs {
+            let ns = ns_per_decision(spec, &cfg, iters);
+            t.row([format!("{n}"), spec.label(), format!("{ns:.1}")]);
+            decision_rows.push(DecisionRow {
+                n,
+                policy: spec.label(),
+                ns_per_decision: ns,
+            });
+        }
+    }
+    t.print();
+
+    let ns_of = |n: usize, policy: &str| -> f64 {
+        decision_rows
+            .iter()
+            .find(|r| r.n == n && r.policy == policy)
+            .map(|r| r.ns_per_decision)
+            .expect("row present")
+    };
+    let speedup_at_10000 = ns_of(10_000, "DYNAMIC") / ns_of(10_000, "DYNAMIC-IDX");
+    println!("DYNAMIC-IDX speedup over scan DYNAMIC at N=10000: {speedup_at_10000:.1}x");
+    assert!(
+        speedup_at_10000 >= 10.0,
+        "indexed DYNAMIC must be >=10x faster per decision than the scan \
+         at N=10000, measured {speedup_at_10000:.1}x"
+    );
+
+    println!("\nWhole-sim sweep: response ratio and events/sec vs N");
+    let points: Vec<(String, ClusterConfig, PolicySpec)> = FLEET_SIZES
+        .iter()
+        .flat_map(|&n| {
+            sweep_policies()
+                .into_iter()
+                .map(move |p| (format!("fig_scale N={n}"), scale_config(n), p))
+        })
+        .collect();
+    let grid: Vec<usize> = FLEET_SIZES
+        .iter()
+        .flat_map(|&n| std::iter::repeat_n(n, sweep_policies().len()))
+        .collect();
+    let (results, stats) = mode.run_sweep(points);
+    let mut sweep_rows = Vec::new();
+    let mut t = Table::new(["N", "policy", "mean response ratio", "events/s"]);
+    for ((n, result), point) in grid.iter().zip(&results).zip(&stats.point_stats) {
+        let events_per_sec = if point.busy_s > 0.0 {
+            point.events as f64 / point.busy_s
+        } else {
+            0.0
+        };
+        t.row([
+            format!("{n}"),
+            result.policy.clone(),
+            ci(&result.mean_response_ratio),
+            format!("{events_per_sec:.0}"),
+        ]);
+        sweep_rows.push((*n, result.clone(), events_per_sec));
+    }
+    t.print();
+
+    println!("\nRobustness: POD(2)-HET and JIQ under faults + 4 shards + parallel engine");
+    let robust_rows = robustness_pass(&mode);
+    let mut t = Table::new(["N", "policy", "mean response ratio", "jobs", "crashes"]);
+    for r in &robust_rows {
+        t.row([
+            format!("{}", r.n),
+            r.policy.clone(),
+            format!("{:.3}", r.mean_response_ratio),
+            format!("{}", r.jobs_counted),
+            format!("{}", r.crashes),
+        ]);
+    }
+    t.print();
+
+    mode.archive(&results);
+
+    let path = mode
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_scale.json"));
+    let json = report_json(
+        &mode,
+        &decision_rows,
+        &sweep_rows,
+        &robust_rows,
+        bit_identical,
+        speedup_at_10000,
+    );
+    std::fs::write(&path, json).expect("writing scale bench json");
+    println!("scale sweep -> {}", path.display());
+}

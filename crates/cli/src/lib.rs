@@ -9,12 +9,15 @@
 //!     performance predictions for a fleet.
 //!
 //! hetsched simulate --spec experiment.json [--out results.json]
-//!                   [--event-list heap|calendar] [--dispatchers 4]
-//!                   [--sync-interval 500] [--sync-latency 10]
-//!                   [--sim-threads 4] [--loss 0.01]
+//!                   [--policy dynamic-idx] [--event-list heap|calendar]
+//!                   [--dispatchers 4] [--sync-interval 500]
+//!                   [--sync-latency 10] [--sim-threads 4] [--loss 0.01]
 //!                   [--retry-timeout 30] [--hedge-delay 10]
 //!     Run a full replicated simulation experiment described by a JSON
-//!     spec (see `hetsched template`). `--event-list` overrides the
+//!     spec (see `hetsched template`). `--policy` overrides the spec's
+//!     policy by name (`orr`, `dynamic`, `dynamic-idx`,
+//!     `dynamic-sa[:window]`, `pod:2`, `pod-het:2`, `jiq`, …; see
+//!     `PolicySpec::from_cli_name`). `--event-list` overrides the
 //!     spec's future-event-list backend; results are bit-identical
 //!     either way. `--dispatchers` shards the front end across D
 //!     dispatcher instances; `--sync-interval` (with an optional
@@ -65,6 +68,9 @@ pub enum Command {
         spec: String,
         /// Optional path for the JSON results.
         out: Option<String>,
+        /// Optional policy override by CLI name (see
+        /// [`PolicySpec::from_cli_name`]).
+        policy: Option<String>,
         /// Optional future-event-list backend override.
         event_list: Option<EventListBackend>,
         /// Optional dispatcher-shard-count override.
@@ -120,9 +126,9 @@ hetsched — optimized static job scheduling (Tang & Chanson, ICPP 2000)
 USAGE:
   hetsched allocate --speeds 1,1.5,10 --rho 0.7
   hetsched simulate --spec experiment.json [--out results.json]
-                    [--event-list heap|calendar] [--dispatchers 4]
-                    [--sync-interval 500] [--sync-latency 10]
-                    [--sim-threads 4] [--loss 0.01]
+                    [--policy dynamic-idx] [--event-list heap|calendar]
+                    [--dispatchers 4] [--sync-interval 500]
+                    [--sync-latency 10] [--sim-threads 4] [--loss 0.01]
                     [--retry-timeout 30] [--hedge-delay 10]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
@@ -174,6 +180,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "simulate" => {
             let mut spec = None;
             let mut out = None;
+            let mut policy = None;
             let mut event_list = None;
             let mut dispatchers = None;
             let mut sync_interval = None;
@@ -186,6 +193,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
                     "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    "--policy" => {
+                        let v = it.next().ok_or("--policy needs a name, e.g. dynamic-idx")?;
+                        // Validate eagerly so typos fail at parse time.
+                        PolicySpec::from_cli_name(v).map_err(|e| e.to_string())?;
+                        policy = Some(v.clone());
+                    }
                     "--event-list" => {
                         let v = it.next().ok_or("--event-list needs 'heap' or 'calendar'")?;
                         event_list = Some(v.parse::<EventListBackend>()?);
@@ -258,6 +271,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Simulate {
                 spec: spec.ok_or("simulate requires --spec")?,
                 out,
+                policy,
                 event_list,
                 dispatchers,
                 sync_interval,
@@ -336,6 +350,7 @@ pub fn run(cmd: Command) -> i32 {
         Command::Simulate {
             spec,
             out,
+            policy,
             event_list,
             dispatchers,
             sync_interval,
@@ -347,6 +362,7 @@ pub fn run(cmd: Command) -> i32 {
         } => match simulate(
             &spec,
             out.as_deref(),
+            policy.as_deref(),
             event_list,
             dispatchers,
             sync_interval,
@@ -455,6 +471,7 @@ pub fn channel_spec(
 pub fn simulate(
     spec_path: &str,
     out: Option<&str>,
+    policy: Option<&str>,
     event_list: Option<EventListBackend>,
     dispatchers: Option<usize>,
     sync_interval: Option<f64>,
@@ -466,6 +483,9 @@ pub fn simulate(
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
     let mut exp: Experiment =
         serde_json::from_str(&text).map_err(|e| format!("parsing spec: {e}"))?;
+    if let Some(name) = policy {
+        exp.policy = PolicySpec::from_cli_name(name).map_err(|e| e.to_string())?;
+    }
     if let Some(backend) = event_list {
         exp.cluster.event_list = backend;
     }
@@ -615,6 +635,7 @@ mod tests {
             Command::Simulate {
                 spec: "a.json".into(),
                 out: Some("b.json".into()),
+                policy: None,
                 event_list: None,
                 dispatchers: None,
                 sync_interval: None,
@@ -646,6 +667,7 @@ mod tests {
             Command::Simulate {
                 spec: "a.json".into(),
                 out: None,
+                policy: None,
                 event_list: None,
                 dispatchers: Some(4),
                 sync_interval: Some(500.0),
@@ -707,6 +729,7 @@ mod tests {
             Command::Simulate {
                 spec: "a.json".into(),
                 out: None,
+                policy: None,
                 event_list: None,
                 dispatchers: None,
                 sync_interval: None,
@@ -734,6 +757,55 @@ mod tests {
             "x"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_simulate_policy_override() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--policy",
+            "dynamic-idx",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate { policy, .. } => assert_eq!(policy.as_deref(), Some("dynamic-idx")),
+            other => panic!("expected simulate, got {other:?}"),
+        }
+        // Typos fail at parse time, not after the spec loads.
+        let e = parse_args(&args(&[
+            "simulate", "--spec", "a.json", "--policy", "magic",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown policy"), "{e}");
+    }
+
+    #[test]
+    fn simulate_applies_policy_override() {
+        let dir = std::env::temp_dir().join("hetsched_cli_policy_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        exp.replications = 1;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let report = simulate(
+            spec_path.to_str().unwrap(),
+            None,
+            Some("jiq"),
+            None,
+            None,
+            None,
+            None,
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(report.contains("JIQ"), "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -817,6 +889,7 @@ mod tests {
             Command::Simulate {
                 spec: "a.json".into(),
                 out: None,
+                policy: None,
                 event_list: Some(EventListBackend::Calendar),
                 dispatchers: None,
                 sync_interval: None,
@@ -934,6 +1007,7 @@ mod tests {
         let report = simulate(
             spec_path.to_str().unwrap(),
             Some(out_path.to_str().unwrap()),
+            None,
             Some(EventListBackend::Calendar),
             None,
             None,
@@ -1006,6 +1080,7 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap_err();
         assert!(e.contains("reading"));
@@ -1026,6 +1101,7 @@ mod tests {
         let report = simulate(
             spec_path.to_str().unwrap(),
             Some(out_path.to_str().unwrap()),
+            None,
             None,
             Some(2),
             Some(1_000.0),
@@ -1067,11 +1143,13 @@ mod tests {
             None,
             None,
             None,
+            None,
         )
         .unwrap();
         simulate(
             spec,
             Some(pdes_path.to_str().unwrap()),
+            None,
             None,
             None,
             None,
@@ -1098,6 +1176,7 @@ mod tests {
         std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
         let e = simulate(
             spec_path.to_str().unwrap(),
+            None,
             None,
             None,
             None,

@@ -155,11 +155,69 @@ impl std::str::FromStr for EventListBackend {
     }
 }
 
+/// A group of identical machines in the `fleet` config shorthand:
+/// `{ "count": 5000, "speed": 1.0 }` stands for 5000 speed-1 machines.
+///
+/// Groups expand deterministically — in listed order, each repeated
+/// `count` times and appended after any explicit `speeds` — so a
+/// 10,000-server heterogeneous config is a few lines of JSON instead of
+/// a 10,000-entry array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetGroup {
+    /// Number of machines in the group.
+    pub count: usize,
+    /// Relative speed of every machine in the group.
+    pub speed: f64,
+}
+
+/// Expands `fleet` groups into an explicit speed vector (listed order,
+/// each group's speed repeated `count` times).
+pub fn expand_fleet(groups: &[FleetGroup]) -> Vec<f64> {
+    let mut speeds = Vec::with_capacity(groups.iter().map(|g| g.count).sum());
+    for g in groups {
+        speeds.extend(std::iter::repeat_n(g.speed, g.count));
+    }
+    speeds
+}
+
+/// How much per-server detail a run's outputs carry.
+///
+/// At N = 10,000 the per-server vectors in `RunStats` and the
+/// per-server observability columns dominate artifact size and merge
+/// time; `summary` collapses them to `{min, mean, max, p99}` once the
+/// fleet exceeds the summary threshold. Defaults to `full` (the
+/// historical shape), so configs serialized before this knob existed
+/// parse and reproduce unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PerServerMode {
+    /// Emit the full per-server vectors (the historical shape).
+    #[default]
+    Full,
+    /// Collapse per-server vectors to `{min, mean, max, p99}` summaries
+    /// when the fleet exceeds
+    /// [`crate::results::PER_SERVER_SUMMARY_THRESHOLD`].
+    Summary,
+}
+
 /// Full description of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
-    /// Relative speeds of the computers.
+    /// Relative speeds of the computers. The `fleet` shorthand (groups
+    /// of `{count, speed}`) is expanded and appended here when the
+    /// simulation is constructed, so large fleets never need the
+    /// explicit vector spelled out. Serde-defaulted so a config may
+    /// spell its machines entirely as `fleet` groups.
+    #[serde(default)]
     pub speeds: Vec<f64>,
+    /// Unexpanded [`FleetGroup`] shorthand: each group stands for
+    /// `count` machines of the given speed, appended after `speeds` in
+    /// listed order by [`ClusterConfig::normalize_fleet`] (called by the
+    /// simulation constructors). Empty — and structurally invisible —
+    /// once normalized, and serde-defaulted so configs serialized before
+    /// the shorthand existed parse unchanged.
+    #[serde(default)]
+    pub fleet: Vec<FleetGroup>,
     /// Target overall utilization `ρ = λ / (μ Σ s_i)`, in (0, 1).
     pub utilization: f64,
     /// Job-size distribution (speed-1 seconds).
@@ -216,6 +274,12 @@ pub struct ClusterConfig {
     /// configs serialized before this field existed.
     #[serde(default)]
     pub channels: Option<crate::channel::ChannelSpec>,
+    /// Per-server output detail: `full` (historical default) keeps the
+    /// per-server vectors in `RunStats`/`ObsReport`; `summary` collapses
+    /// them to `{min, mean, max, p99}` above the summary threshold.
+    /// Serde-defaulted, so old configs load unchanged.
+    #[serde(default)]
+    pub per_server: PerServerMode,
 }
 
 impl ClusterConfig {
@@ -223,6 +287,7 @@ impl ClusterConfig {
     pub fn paper_default(speeds: &[f64]) -> Self {
         ClusterConfig {
             speeds: speeds.to_vec(),
+            fleet: Vec::new(),
             utilization: 0.70,
             job_sizes: DistSpec::paper_job_sizes(),
             arrivals: ArrivalSpec::paper_default(),
@@ -238,6 +303,24 @@ impl ClusterConfig {
             obs: None,
             dispatch: hetsched_dispatch::DispatchSpec::default(),
             channels: None,
+            per_server: PerServerMode::default(),
+        }
+    }
+
+    /// The paper's §4.1 defaults over a [`FleetGroup`] shorthand —
+    /// the scale-axis constructor for fleets too large to enumerate.
+    pub fn paper_default_fleet(groups: &[FleetGroup]) -> Self {
+        Self::paper_default(&expand_fleet(groups))
+    }
+
+    /// Expands any pending `fleet` groups into `speeds` (listed order,
+    /// appended after the explicit entries) and clears the shorthand.
+    /// Idempotent; the simulation constructors call it before
+    /// validation, so every running model sees only the explicit vector.
+    pub fn normalize_fleet(&mut self) {
+        if !self.fleet.is_empty() {
+            self.speeds.extend(expand_fleet(&self.fleet));
+            self.fleet.clear();
         }
     }
 
@@ -555,5 +638,74 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ClusterConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn fleet_groups_expand_deterministically() {
+        let groups = [
+            FleetGroup {
+                count: 3,
+                speed: 1.0,
+            },
+            FleetGroup {
+                count: 0,
+                speed: 9.0,
+            },
+            FleetGroup {
+                count: 2,
+                speed: 4.0,
+            },
+        ];
+        assert_eq!(expand_fleet(&groups), vec![1.0, 1.0, 1.0, 4.0, 4.0]);
+        let cfg = ClusterConfig::paper_default_fleet(&groups);
+        assert_eq!(cfg.speeds, vec![1.0, 1.0, 1.0, 4.0, 4.0]);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn fleet_shorthand_normalizes_into_speeds() {
+        // A config may spell the fleet as groups instead of an explicit
+        // speeds array; after normalization the two are identical.
+        let explicit = ClusterConfig::paper_default(&[1.0, 1.0, 1.0, 4.0, 4.0]);
+        let mut json = serde_json::to_value(&explicit).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("speeds");
+        obj.insert(
+            "fleet".into(),
+            serde_json::from_str(r#"[{"count": 3, "speed": 1.0}, {"count": 2, "speed": 4.0}]"#)
+                .unwrap(),
+        );
+        let mut back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert!(back.speeds.is_empty(), "expansion is deferred");
+        back.normalize_fleet();
+        assert_eq!(back, explicit);
+        // Explicit speeds and fleet groups compose: groups append after
+        // the explicit entries, and normalization is idempotent.
+        let mut composed = explicit.clone();
+        composed.speeds = vec![8.0];
+        composed.fleet = vec![FleetGroup {
+            count: 2,
+            speed: 2.0,
+        }];
+        composed.normalize_fleet();
+        composed.normalize_fleet();
+        assert_eq!(composed.speeds, vec![8.0, 2.0, 2.0]);
+        assert!(composed.fleet.is_empty());
+        // A normalized config round-trips exactly.
+        let json = serde_json::to_value(&composed).unwrap();
+        let again: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(again, composed);
+    }
+
+    #[test]
+    fn config_without_per_server_key_deserializes_to_full() {
+        // Back-compat: configs serialized before the summary switch
+        // existed must parse unchanged, with full per-server detail.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("per_server");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert_eq!(back.per_server, PerServerMode::Full);
     }
 }

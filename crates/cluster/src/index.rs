@@ -1,0 +1,310 @@
+//! A tournament-tree least-load index: `O(log N)` key updates with an
+//! `O(1)` argmin read, replacing the `O(N)` per-decision scan that every
+//! load-directed policy (DYNAMIC, DYNAMIC-SA, JSQ) otherwise pays.
+//!
+//! # Tie-breaking contract
+//!
+//! The linear scans this index replaces walk servers in index order and
+//! keep a candidate only on a strictly smaller key, so they return the
+//! *leftmost* minimum. The tree's combine step mirrors that exactly:
+//! the left child wins on `left <= right`, which makes every internal
+//! node hold the leftmost minimum of its span and the root the leftmost
+//! global minimum. A scan and an index over identical keys therefore
+//! pick identical servers — the bit-identity the differential tests
+//! assert.
+//!
+//! # Absent entries
+//!
+//! A slot whose key is [`f64::INFINITY`] (a believed-down server, or
+//! padding above `len`) can never win against any finite key; when
+//! *every* real slot is infinite the root is infinite and
+//! [`ArgminTree::argmin`] returns `None`, letting callers fall through
+//! to the same no-candidate path the scan takes. Keys must never be
+//! NaN: a NaN poisons every comparison on its root path.
+
+/// Flat-array tournament tree over `len` f64 keys.
+///
+/// Layout: the leaf for slot `i` lives at `cap + i` where `cap` is
+/// `len` rounded up to a power of two; internal node `k` covers the
+/// leaves under `2k` and `2k + 1`; node 1 is the root. Both the key
+/// array and the winner array are contiguous, so an update touches one
+/// cache line per level.
+#[derive(Debug, Clone)]
+pub struct ArgminTree {
+    /// Tournament keys, `2 * cap` entries; `[cap, cap + len)` are the
+    /// real leaves, the rest padding at `f64::INFINITY`.
+    key: Vec<f64>,
+    /// `win[k]` = slot index of the leftmost-minimum leaf under node
+    /// `k`; for leaves, the slot's own index.
+    win: Vec<u32>,
+    len: usize,
+    cap: usize,
+}
+
+impl ArgminTree {
+    /// An index over `len` slots, every key starting at infinity.
+    pub fn new(len: usize) -> Self {
+        let cap = len.next_power_of_two().max(1);
+        let mut win = vec![0u32; 2 * cap];
+        for i in 0..cap {
+            // Padding leaves still carry their slot index so ties among
+            // infinities resolve leftmost, same as everywhere else.
+            win[cap + i] = i as u32;
+        }
+        let mut tree = ArgminTree {
+            key: vec![f64::INFINITY; 2 * cap],
+            win,
+            len,
+            cap,
+        };
+        tree.rebuild_internal();
+        tree
+    }
+
+    /// An index seeded from `keys` (one per slot).
+    pub fn from_keys(keys: &[f64]) -> Self {
+        let mut tree = Self::new(keys.len());
+        tree.key[tree.cap..tree.cap + keys.len()].copy_from_slice(keys);
+        tree.rebuild_internal();
+        tree
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current key of slot `i`.
+    pub fn key(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        self.key[self.cap + i]
+    }
+
+    /// Sets slot `i`'s key and replays its root path: `O(log N)`.
+    pub fn update(&mut self, i: usize, key: f64) {
+        debug_assert!(i < self.len, "slot {i} out of {}", self.len);
+        debug_assert!(!key.is_nan(), "NaN key would poison the tournament");
+        let mut node = self.cap + i;
+        self.key[node] = key;
+        while node > 1 {
+            node /= 2;
+            let (l, r) = (2 * node, 2 * node + 1);
+            // Left wins ties: every node holds its span's *leftmost*
+            // minimum, matching the strict-< linear scan.
+            if self.key[l] <= self.key[r] {
+                self.key[node] = self.key[l];
+                self.win[node] = self.win[l];
+            } else {
+                self.key[node] = self.key[r];
+                self.win[node] = self.win[r];
+            }
+        }
+    }
+
+    /// The leftmost slot holding the minimum key, or `None` when every
+    /// key is infinite (no eligible slot): `O(1)`.
+    pub fn argmin(&self) -> Option<usize> {
+        if self.len == 0 || self.key[1] == f64::INFINITY {
+            return None;
+        }
+        Some(self.win[1] as usize)
+    }
+
+    /// The minimum key itself (infinite when no slot is eligible).
+    pub fn min_key(&self) -> f64 {
+        if self.len == 0 {
+            f64::INFINITY
+        } else {
+            self.key[1]
+        }
+    }
+
+    /// Recomputes every internal node bottom-up: `O(N)`, used at
+    /// construction and bulk reloads (e.g. a sync-plane merge that
+    /// rewrites every believed load).
+    fn rebuild_internal(&mut self) {
+        for node in (1..self.cap).rev() {
+            let (l, r) = (2 * node, 2 * node + 1);
+            if self.key[l] <= self.key[r] {
+                self.key[node] = self.key[l];
+                self.win[node] = self.win[l];
+            } else {
+                self.key[node] = self.key[r];
+                self.win[node] = self.win[r];
+            }
+        }
+    }
+
+    /// Bulk-reloads all keys from `keys` (must be `len` long) in one
+    /// `O(N)` pass — cheaper than `len` single updates.
+    pub fn reload(&mut self, keys: &[f64]) {
+        assert_eq!(keys.len(), self.len, "reload length mismatch");
+        self.key[self.cap..self.cap + self.len].copy_from_slice(keys);
+        self.rebuild_internal();
+    }
+}
+
+/// Cache-dense per-server hot state, maintained incrementally by the
+/// simulation actor instead of being rebuilt from the `Server` structs
+/// on every dispatch decision.
+///
+/// The dispatch inner loop used to walk `Vec<Server>` — a struct of
+/// disciplines, integrals, and counters — once per decision just to
+/// collect queue lengths. `FleetState` keeps those lengths in one
+/// contiguous array updated only when a queue actually changes
+/// (`O(touched)` instead of `O(N)` per decision), plus an optional
+/// [`ArgminTree`] over the true speed-normalized loads for policies
+/// that asked for it.
+#[derive(Debug)]
+pub struct FleetState {
+    /// `qlens[i]` mirrors server `i`'s instantaneous run-queue length.
+    pub qlens: Vec<usize>,
+    /// Argmin index over `(qlens[i] + 1) / speed[i]`, built only when a
+    /// policy wants it ([`crate::policy::Policy::wants_true_load_index`]).
+    /// Keys ignore up/down state: a crashed server's queue drains to 0,
+    /// and index consumers fall back to a scan while any server is
+    /// believed down.
+    pub index: Option<ArgminTree>,
+}
+
+impl FleetState {
+    /// State for `n` servers with every queue empty.
+    pub fn new(n: usize, with_index: bool) -> Self {
+        FleetState {
+            qlens: vec![0; n],
+            index: with_index.then(|| ArgminTree::new(n)),
+        }
+    }
+
+    /// Seeds the index keys from the speed vector (queues empty).
+    pub fn seed_keys(&mut self, speeds: &[f64]) {
+        if let Some(t) = &mut self.index {
+            for (i, &s) in speeds.iter().enumerate() {
+                t.update(i, 1.0 / s);
+            }
+        }
+    }
+
+    /// Refreshes server `i` after a queue mutation: `O(1)` without the
+    /// index, `O(log N)` with it.
+    #[inline]
+    pub fn sync(&mut self, i: usize, qlen: usize, speed: f64) {
+        self.qlens[i] = qlen;
+        if let Some(t) = &mut self.index {
+            t.update(i, (qlen as f64 + 1.0) / speed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The strict-< scan the tree must agree with.
+    fn scan_argmin(keys: &[f64]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if k == f64::INFINITY {
+                continue;
+            }
+            match best {
+                Some((_, bk)) if bk <= k => {}
+                _ => best = Some((i, k)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    #[test]
+    fn empty_and_all_infinite_report_none() {
+        assert_eq!(ArgminTree::new(0).argmin(), None);
+        let t = ArgminTree::new(7);
+        assert_eq!(t.argmin(), None);
+        assert_eq!(t.min_key(), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_update_finds_min() {
+        let mut t = ArgminTree::new(5);
+        t.update(3, 2.0);
+        assert_eq!(t.argmin(), Some(3));
+        t.update(1, 1.0);
+        assert_eq!(t.argmin(), Some(1));
+        t.update(1, 9.0);
+        assert_eq!(t.argmin(), Some(3));
+        assert_eq!(t.key(1), 9.0);
+        assert_eq!(t.min_key(), 2.0);
+    }
+
+    #[test]
+    fn ties_resolve_leftmost() {
+        let t = ArgminTree::from_keys(&[5.0, 2.0, 2.0, 2.0]);
+        assert_eq!(t.argmin(), Some(1));
+        let t = ArgminTree::from_keys(&[3.0; 9]);
+        assert_eq!(t.argmin(), Some(0));
+    }
+
+    #[test]
+    fn non_power_of_two_sizes_are_padded_correctly() {
+        for n in 1..=17 {
+            let keys: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64).collect();
+            let t = ArgminTree::from_keys(&keys);
+            assert_eq!(t.argmin(), scan_argmin(&keys), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn randomized_updates_match_scan_oracle() {
+        let mut rng = hetsched_desim::Rng64::from_seed(0xA11CE);
+        for &n in &[1usize, 2, 3, 8, 33, 100] {
+            let mut keys = vec![f64::INFINITY; n];
+            let mut t = ArgminTree::new(n);
+            for step in 0..2_000 {
+                let i = rng.below(n as u64) as usize;
+                // Mix finite keys, exact ties, and infinity toggles
+                // (membership changes).
+                let k = match rng.below(4) {
+                    0 => f64::INFINITY,
+                    1 => 1.0,
+                    _ => (rng.below(50) as f64 + 1.0) / 7.0,
+                };
+                keys[i] = k;
+                t.update(i, k);
+                assert_eq!(t.argmin(), scan_argmin(&keys), "n = {n}, step {step}");
+                if let Some(m) = t.argmin() {
+                    assert_eq!(t.min_key(), keys[m]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reload_matches_fresh_build() {
+        let mut t = ArgminTree::from_keys(&[4.0, 1.0, 3.0]);
+        t.reload(&[0.5, 2.0, 0.5]);
+        assert_eq!(t.argmin(), Some(0));
+        assert_eq!(t.min_key(), 0.5);
+    }
+
+    #[test]
+    fn fleet_state_tracks_queue_mutations() {
+        let speeds = [1.0, 2.0, 4.0];
+        let mut fleet = FleetState::new(3, true);
+        fleet.seed_keys(&speeds);
+        // Empty queues: the fastest machine has the smallest (q+1)/s.
+        assert_eq!(fleet.index.as_ref().unwrap().argmin(), Some(2));
+        fleet.sync(2, 7, speeds[2]);
+        assert_eq!(fleet.qlens, vec![0, 0, 7]);
+        assert_eq!(fleet.index.as_ref().unwrap().argmin(), Some(1));
+        // Without an index only the dense qlen mirror is maintained.
+        let mut plain = FleetState::new(3, false);
+        plain.sync(1, 4, speeds[1]);
+        assert!(plain.index.is_none());
+        assert_eq!(plain.qlens, vec![0, 4, 0]);
+    }
+}

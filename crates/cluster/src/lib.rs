@@ -59,6 +59,7 @@ pub mod channel;
 pub mod config;
 pub mod discipline;
 pub mod faults;
+pub mod index;
 pub mod job;
 pub mod network;
 pub mod obs;
@@ -70,15 +71,16 @@ pub mod simulation;
 pub mod trace;
 
 pub use channel::{ChannelSpec, HedgeSpec, PlaneSpec, RetrySpec, CHANNEL_STREAM_BASE};
-pub use config::{ArrivalSpec, ClusterConfig, EventListBackend};
+pub use config::{ArrivalSpec, ClusterConfig, EventListBackend, FleetGroup, PerServerMode};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};
 pub use hetsched_dispatch::{DispatchSpec, SplitterSpec, SyncSpec, SyncState};
 pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
+pub use index::{ArgminTree, FleetState};
 pub use job::{JobId, JobRecord, JobSlab};
 pub use obs::{ObsDriver, ObsView};
 pub use pdes::{shard_config, shard_ranges, ParallelSimulation, PdesTiming, PDES_STREAM_BASE};
 pub use policy::{DispatchCtx, Policy};
-pub use results::{RunStats, ServerStats, ShardStats};
+pub use results::{MetricSummary, RunStats, ServerStats, ServerSummarySet, ShardStats};
 pub use simulation::Simulation;
 pub use trace::{JobTrace, TraceCollector, TraceSpec};

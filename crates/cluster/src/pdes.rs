@@ -224,11 +224,12 @@ impl<P: Policy> ParallelSimulation<P> {
     /// count, when there are fewer servers than shards, or when
     /// `sim_threads` is zero.
     pub fn new(
-        cfg: ClusterConfig,
+        mut cfg: ClusterConfig,
         policies: Vec<P>,
         seed: u64,
         sim_threads: usize,
     ) -> Result<Self, HetschedError> {
+        cfg.normalize_fleet();
         cfg.validate()?;
         let d = cfg.dispatch.dispatchers.max(1);
         if policies.len() != d {
@@ -435,12 +436,15 @@ impl<P: Policy> ParallelSimulation<P> {
                 (rt.model, events, kernel)
             })
             .collect();
-        let stats = if d == 1 {
+        let mut stats = if d == 1 {
             let (model, events, kernel) = parts.pop().expect("one shard");
             model.finalize(cfg.horizon, events, kernel)
         } else {
             finalize_sharded(&cfg, parts, &ranges)
         };
+        if cfg.per_server == crate::config::PerServerMode::Summary {
+            stats.collapse_per_server();
+        }
         let merge_s = t_merge.elapsed().as_secs_f64();
         let timing = PdesTiming {
             pregen_s,
@@ -694,6 +698,9 @@ fn finalize_sharded<P: Policy>(
             .iter()
             .map(|m| m.slab.iter().filter(|r| r.counted).count() as u64)
             .sum(),
+        // Collapse (if configured) happens in run()/run_timed() after
+        // the merge, so the fold always works on full vectors.
+        server_summary: None,
     }
 }
 

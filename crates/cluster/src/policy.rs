@@ -20,6 +20,8 @@
 use hetsched_desim::Rng64;
 use hetsched_dispatch::SyncState;
 
+use crate::index::ArgminTree;
+
 /// Information available to a policy at dispatch time.
 #[derive(Debug)]
 pub struct DispatchCtx<'a> {
@@ -34,6 +36,13 @@ pub struct DispatchCtx<'a> {
     pub queue_lens: &'a [usize],
     /// Server speeds (static information every policy may use).
     pub speeds: &'a [f64],
+    /// Incrementally maintained argmin index over the *true*
+    /// speed-normalized loads `(queue_len + 1) / speed` — the indexed
+    /// counterpart of [`DispatchCtx::queue_lens`], so the same
+    /// clairvoyance rule applies. Present only when some policy in the
+    /// tier asked for it via [`Policy::wants_true_load_index`]; its keys
+    /// ignore up/down state (a crashed server drains to queue 0).
+    pub true_load_index: Option<&'a ArgminTree>,
 }
 
 /// A job dispatching policy.
@@ -57,6 +66,14 @@ pub trait Policy: Send {
     /// Whether the simulator should generate load-update messages
     /// (detection + network delay) for this policy.
     fn needs_load_updates(&self) -> bool {
+        false
+    }
+
+    /// Whether the simulator should maintain the shared true-load
+    /// argmin index ([`DispatchCtx::true_load_index`]) for this policy.
+    /// Defaults to `false`: the index costs `O(log N)` per queue
+    /// mutation, so it is only built when some policy reads it.
+    fn wants_true_load_index(&self) -> bool {
         false
     }
 
@@ -110,6 +127,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
         (**self).needs_load_updates()
     }
 
+    fn wants_true_load_index(&self) -> bool {
+        (**self).wants_true_load_index()
+    }
+
     fn expected_fractions(&self) -> Option<Vec<f64>> {
         (**self).expected_fractions()
     }
@@ -157,11 +178,13 @@ mod tests {
             job_size: 1.0,
             queue_lens: &[0, 0],
             speeds: &[1.0, 1.0],
+            true_load_index: None,
         };
         let mut rng = Rng64::from_seed(0);
         assert_eq!(p.choose(&ctx, &mut rng), 0);
         assert_eq!(p.name(), "always0");
         assert!(!p.needs_load_updates());
+        assert!(!p.wants_true_load_index());
         p.on_load_update(0, 3, 1.0); // default no-op must not panic
         p.on_membership_change(&[true, false], 1.0); // likewise
         assert!(p.sync_state().is_none()); // nothing mergeable by default

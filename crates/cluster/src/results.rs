@@ -13,6 +13,87 @@ fn one() -> f64 {
     1.0
 }
 
+/// Fleet size above which `per_server: summary` collapses the
+/// per-server vectors. Below it the full vectors are cheap and the
+/// historical shape is kept even in summary mode.
+pub const PER_SERVER_SUMMARY_THRESHOLD: usize = 64;
+
+/// `{min, mean, max, p99}` of one per-server metric across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Smallest per-server value.
+    pub min: f64,
+    /// Arithmetic mean across servers.
+    pub mean: f64,
+    /// Largest per-server value.
+    pub max: f64,
+    /// 99th percentile (nearest-rank over the sorted per-server values).
+    pub p99: f64,
+}
+
+impl MetricSummary {
+    /// Summarizes `values` (empty input yields all-zero).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return MetricSummary {
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                p99: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        // Nearest-rank p99: the smallest value with at least 99% of the
+        // fleet at or below it.
+        let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+        MetricSummary {
+            min: sorted[0],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            max: sorted[n - 1],
+            p99: sorted[rank - 1],
+        }
+    }
+}
+
+/// Collapsed replacement for the per-server vector in large-fleet runs
+/// (`per_server: summary`): one [`MetricSummary`] per hot metric plus
+/// the fleet-wide totals that would otherwise be lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummarySet {
+    /// Number of servers the summaries cover.
+    pub count: usize,
+    /// Summary of per-server utilizations.
+    pub utilization: MetricSummary,
+    /// Summary of per-server time-average queue lengths.
+    pub mean_queue_len: MetricSummary,
+    /// Summary of per-server dispatched-job counts.
+    pub dispatched: MetricSummary,
+    /// Summary of per-server dispatch fractions.
+    pub dispatch_fraction: MetricSummary,
+    /// Summary of per-server availabilities.
+    pub availability: MetricSummary,
+}
+
+impl ServerSummarySet {
+    /// Summarizes a per-server stats vector.
+    pub fn of(servers: &[ServerStats]) -> Self {
+        let col = |f: fn(&ServerStats) -> f64| -> MetricSummary {
+            let values: Vec<f64> = servers.iter().map(f).collect();
+            MetricSummary::of(&values)
+        };
+        ServerSummarySet {
+            count: servers.len(),
+            utilization: col(|s| s.utilization),
+            mean_queue_len: col(|s| s.mean_queue_len),
+            dispatched: col(|s| s.dispatched as f64),
+            dispatch_fraction: col(|s| s.dispatch_fraction),
+            availability: col(|s| s.availability),
+        }
+    }
+}
+
 /// Per-computer statistics over the measurement window.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
@@ -173,12 +254,34 @@ pub struct RunStats {
     /// jobs_in_flight`.
     #[serde(default)]
     pub jobs_in_flight: u64,
+    /// Collapsed per-server summaries (present only when the run was
+    /// configured with `per_server: summary` and the fleet exceeded
+    /// [`PER_SERVER_SUMMARY_THRESHOLD`]; [`RunStats::servers`] is then
+    /// empty). Serde-defaulted so archived results load unchanged.
+    #[serde(default)]
+    pub server_summary: Option<ServerSummarySet>,
 }
 
 impl RunStats {
     /// The realized allocation fractions per server, in order.
     pub fn dispatch_fractions(&self) -> Vec<f64> {
         self.servers.iter().map(|s| s.dispatch_fraction).collect()
+    }
+
+    /// Applies the `per_server: summary` switch: above the threshold the
+    /// per-server vector is summarized into
+    /// [`RunStats::server_summary`] and cleared, and any per-server
+    /// observability columns are collapsed the same way. A no-op below
+    /// the threshold, so small-fleet artifacts keep the full shape.
+    pub fn collapse_per_server(&mut self) {
+        if self.servers.len() <= PER_SERVER_SUMMARY_THRESHOLD {
+            return;
+        }
+        self.server_summary = Some(ServerSummarySet::of(&self.servers));
+        self.servers = Vec::new();
+        if let Some(obs) = &mut self.obs {
+            obs.collapse_indexed_columns(&["qlen", "util", "up"]);
+        }
     }
 }
 
@@ -254,6 +357,7 @@ mod tests {
             hedges_lost: 2,
             stale_decisions: 3,
             jobs_in_flight: 1,
+            server_summary: None,
         }
     }
 
@@ -345,6 +449,59 @@ mod tests {
         assert_eq!(back.stale_decisions, 0);
         assert_eq!(back.jobs_in_flight, 0);
         assert_eq!(back.servers[1].msgs_lost, 0);
+    }
+
+    #[test]
+    fn pre_scale_json_deserializes_without_summary() {
+        // Archived results from before the scale axis lack the
+        // server_summary field; they must load with it absent.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        json.as_object_mut().unwrap().remove("server_summary");
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back, s);
+        assert!(back.server_summary.is_none());
+    }
+
+    #[test]
+    fn collapse_is_a_noop_below_threshold() {
+        let mut s = dummy();
+        let before = s.clone();
+        s.collapse_per_server();
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn collapse_summarizes_large_fleets() {
+        let mut s = dummy();
+        let proto = s.servers[0];
+        s.servers = (0..PER_SERVER_SUMMARY_THRESHOLD + 36)
+            .map(|i| ServerStats {
+                utilization: 0.01 * i as f64,
+                ..proto
+            })
+            .collect();
+        let n = s.servers.len();
+        s.collapse_per_server();
+        assert!(s.servers.is_empty());
+        let sum = s.server_summary.expect("summary present");
+        assert_eq!(sum.count, n);
+        assert_eq!(sum.utilization.min, 0.0);
+        assert_eq!(sum.utilization.max, 0.01 * (n - 1) as f64);
+        assert!(sum.utilization.p99 <= sum.utilization.max);
+        assert!(sum.utilization.p99 >= sum.utilization.mean);
+    }
+
+    #[test]
+    fn metric_summary_percentile_is_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let m = MetricSummary::of(&values);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 100.0);
+        assert_eq!(m.p99, 99.0);
+        assert_eq!(m.mean, 50.5);
+        let empty = MetricSummary::of(&[]);
+        assert_eq!(empty.max, 0.0);
     }
 
     #[test]

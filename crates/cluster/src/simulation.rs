@@ -70,6 +70,7 @@ use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
 use crate::channel::{ChannelSpec, PlaneSpec};
 use crate::config::{ArrivalKind, ClusterConfig, EventListBackend};
 use crate::faults::{FaultSpec, JobFaultSemantics};
+use crate::index::FleetState;
 use crate::job::{JobId, JobRecord, JobSlab};
 use crate::network::membership_notice_delay;
 use crate::obs::ObsDriver;
@@ -179,10 +180,11 @@ impl<P: Policy> Simulation<P> {
     /// Returns the typed validation error of [`ClusterConfig::validate`],
     /// or [`HetschedError::InvalidConfig`] on a shard-count mismatch.
     pub fn with_policies(
-        cfg: ClusterConfig,
+        mut cfg: ClusterConfig,
         policies: Vec<P>,
         seed: u64,
     ) -> Result<Self, HetschedError> {
+        cfg.normalize_fleet();
         cfg.validate()?;
         if policies.len() != cfg.dispatch.dispatchers {
             return Err(HetschedError::InvalidConfig(format!(
@@ -227,7 +229,11 @@ impl<P: Policy> Simulation<P> {
         engine.run_until(&mut model, SimTime::new(cfg.horizon));
 
         let kernel = engine.fel_stats();
-        model.finalize(cfg.horizon, engine.processed_total(), kernel)
+        let mut stats = model.finalize(cfg.horizon, engine.processed_total(), kernel);
+        if cfg.per_server == crate::config::PerServerMode::Summary {
+            stats.collapse_per_server();
+        }
+        stats
     }
 }
 
@@ -470,7 +476,12 @@ pub(crate) struct Model<P: Policy> {
     /// drawing from the arrival/size streams (the PDES shard path).
     script: Option<ScriptedArrivals>,
     pub(crate) slab: JobSlab,
-    qlen_buf: Vec<usize>,
+    /// Cache-dense per-server hot state (queue-length mirror + optional
+    /// true-load argmin index), maintained incrementally at every queue
+    /// mutation instead of being rebuilt `O(N)` per dispatch decision.
+    fleet: FleetState,
+    /// Reusable membership-notice buffer (avoids a per-notice alloc).
+    up_buf: Vec<bool>,
     done_buf: Vec<JobId>,
     pub(crate) resp_time: Welford,
     pub(crate) resp_ratio: Welford,
@@ -557,6 +568,10 @@ impl<P: Policy> Model<P> {
             None
         };
         let shards = cfg.dispatch.dispatchers;
+        // The true-load index costs O(log N) per queue mutation, so it
+        // only exists when some policy in the tier reads it.
+        let mut fleet = FleetState::new(n, policies.iter().any(|p| p.wants_true_load_index()));
+        fleet.seed_keys(&cfg.speeds);
         Model {
             policies,
             // D = 1 builds the trivial splitter: shard 0 always, no RNG.
@@ -576,7 +591,8 @@ impl<P: Policy> Model<P> {
             rng_net: Rng64::stream(seed, streams.net),
             script,
             slab: JobSlab::with_capacity(64),
-            qlen_buf: Vec::new(),
+            fleet,
+            up_buf: Vec::new(),
             done_buf: Vec::new(),
             resp_time: Welford::new(),
             resp_ratio: Welford::new(),
@@ -646,6 +662,17 @@ impl<P: Policy> Model<P> {
             }
         }
     }
+    /// Refreshes the fleet's dense queue-length mirror (and argmin
+    /// index, when present) for `server` after a queue mutation.
+    #[inline]
+    fn sync_fleet(&mut self, server: usize) {
+        self.fleet.sync(
+            server,
+            self.servers[server].queue_len(),
+            self.speeds[server],
+        );
+    }
+
     /// Re-arms the wake timer of `server` after any state change.
     fn reschedule<Q: FutureEventList<Ev>>(
         &mut self,
@@ -785,14 +812,12 @@ impl<P: Policy> Model<P> {
             self.start_attempt(tx, gen, false, now, sched);
             return;
         }
-        self.qlen_buf.clear();
-        self.qlen_buf
-            .extend(self.servers.iter().map(|s| s.queue_len()));
         let ctx = DispatchCtx {
             now,
             job_size: size,
-            queue_lens: &self.qlen_buf,
+            queue_lens: &self.fleet.qlens,
             speeds: &self.speeds,
+            true_load_index: self.fleet.index.as_ref(),
         };
         // The splitter picks the dispatcher; that shard's private policy
         // instance picks the server. All shards share the dispatch RNG
@@ -833,6 +858,7 @@ impl<P: Policy> Model<P> {
         self.servers[target].advance(now, &mut self.done_buf);
         self.drain_completions(target, now, sched);
         self.servers[target].arrive(now, id, size);
+        self.sync_fleet(target);
         self.reschedule(target, sched);
     }
 
@@ -860,14 +886,12 @@ impl<P: Policy> Model<P> {
             (tr.job, tr.shard, tr.attempts)
         };
         let size = self.slab.get(job).size;
-        self.qlen_buf.clear();
-        self.qlen_buf
-            .extend(self.servers.iter().map(|s| s.queue_len()));
         let ctx = DispatchCtx {
             now,
             job_size: size,
-            queue_lens: &self.qlen_buf,
+            queue_lens: &self.fleet.qlens,
             speeds: &self.speeds,
+            true_load_index: self.fleet.index.as_ref(),
         };
         // Every attempt is a real dispatch decision: it re-consults the
         // policy (so retries see fresh believed state) and is counted by
@@ -1038,6 +1062,7 @@ impl<P: Policy> Model<P> {
                 self.servers[target].advance(now, &mut self.done_buf);
                 self.drain_completions(target, now, sched);
                 self.servers[target].arrive(now, job, size);
+                self.sync_fleet(target);
                 self.reschedule(target, sched);
                 if retry {
                     // The ack races back across the same plane; a lost
@@ -1227,6 +1252,7 @@ impl<P: Policy> Model<P> {
         }
         self.servers[server].advance(now, &mut self.done_buf);
         self.drain_completions(server, now, sched);
+        self.sync_fleet(server);
         self.reschedule(server, sched);
     }
 
@@ -1251,6 +1277,7 @@ impl<P: Policy> Model<P> {
         let mut evicted = Vec::new();
         self.servers[server].fail(now, &mut evicted);
         self.servers[server].bump_epoch(); // orphan the pending wake
+        self.sync_fleet(server); // the evicted queue drains to 0
         self.down_count += 1;
         self.notify_membership(notice, now, sched);
 
@@ -1294,14 +1321,12 @@ impl<P: Policy> Model<P> {
             }
             return;
         }
-        self.qlen_buf.clear();
-        self.qlen_buf
-            .extend(self.servers.iter().map(|s| s.queue_len()));
         let ctx = DispatchCtx {
             now,
             job_size: rec.size,
-            queue_lens: &self.qlen_buf,
+            queue_lens: &self.fleet.qlens,
             speeds: &self.speeds,
+            true_load_index: self.fleet.index.as_ref(),
         };
         // Resubmissions go back through the splitter like fresh
         // arrivals: the original shard is not remembered.
@@ -1332,6 +1357,7 @@ impl<P: Policy> Model<P> {
         self.servers[target].advance(now, &mut self.done_buf);
         self.drain_completions(target, now, sched);
         self.servers[target].arrive(now, new_id, size);
+        self.sync_fleet(target);
         self.reschedule(target, sched);
     }
 
@@ -1367,6 +1393,7 @@ impl<P: Policy> Model<P> {
             let new_id = self.slab.insert(rec);
             self.servers[server].arrive(now, new_id, size);
         }
+        self.sync_fleet(server);
         self.reschedule(server, sched);
     }
 
@@ -1385,11 +1412,12 @@ impl<P: Policy> Model<P> {
     }
 
     fn deliver_membership(&mut self, now: f64) {
-        let up: Vec<bool> = self.servers.iter().map(|s| s.is_up()).collect();
+        self.up_buf.clear();
+        self.up_buf.extend(self.servers.iter().map(|s| s.is_up()));
         // Membership is cluster-wide infrastructure news: every shard's
         // dispatcher hears the same notice at the same instant.
         for policy in &mut self.policies {
-            policy.on_membership_change(&up, now);
+            policy.on_membership_change(&self.up_buf, now);
         }
     }
 
@@ -1577,6 +1605,9 @@ impl<P: Policy> Model<P> {
                 .saturating_sub(self.stale_baseline),
             // Conservation law: counted = finished + lost + in flight.
             jobs_in_flight: self.slab.iter().filter(|r| r.counted).count() as u64,
+            // Summary collapse happens at the top-level run exits, never
+            // here: sharded finalization still needs the full vectors.
+            server_summary: None,
         }
     }
 }
@@ -1677,6 +1708,7 @@ mod tests {
     fn small_cfg() -> ClusterConfig {
         ClusterConfig {
             speeds: vec![1.0, 1.0],
+            fleet: Vec::new(),
             utilization: 0.5,
             job_sizes: DistSpec::Exponential { mean: 10.0 },
             arrivals: ArrivalSpec::Poisson,
@@ -1692,6 +1724,7 @@ mod tests {
             obs: None,
             dispatch: Default::default(),
             channels: None,
+            per_server: Default::default(),
         }
     }
 

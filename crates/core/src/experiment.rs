@@ -72,18 +72,27 @@ impl Experiment {
             .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// The cluster config with any `fleet` shorthand expanded — the
+    /// shape every shard-planning and policy-prior computation must see.
+    fn cluster_normalized(&self) -> ClusterConfig {
+        let mut cluster = self.cluster.clone();
+        cluster.normalize_fleet();
+        cluster
+    }
+
     /// Runs a single replication.
     ///
     /// # Errors
     /// Returns the configuration/policy validation error, if any.
     pub fn run_single(&self, replication: u64) -> Result<RunStats, HetschedError> {
+        let cluster = self.cluster_normalized();
         if self.sim_threads > 0 {
             // The conservative parallel engine: each dispatch shard owns
             // a contiguous server slice, so each shard's policy is built
             // over that shard's sub-configuration.
             let sim = ParallelSimulation::new(
-                self.cluster.clone(),
-                self.build_shard_policies()?,
+                cluster.clone(),
+                self.build_shard_policies(&cluster)?,
                 self.seed_of(replication),
                 self.sim_threads,
             )?;
@@ -91,11 +100,10 @@ impl Experiment {
         }
         // One freshly built policy instance per dispatcher shard: the
         // shards share a spec, never state.
-        let policies = (0..self.cluster.dispatch.dispatchers)
-            .map(|_| self.policy.build(&self.cluster))
+        let policies = (0..cluster.dispatch.dispatchers)
+            .map(|_| self.policy.build(&cluster))
             .collect::<Result<Vec<_>, _>>()?;
-        let sim =
-            Simulation::with_policies(self.cluster.clone(), policies, self.seed_of(replication))?;
+        let sim = Simulation::with_policies(cluster, policies, self.seed_of(replication))?;
         Ok(sim.run())
     }
 
@@ -109,22 +117,23 @@ impl Experiment {
     /// per shard).
     fn build_shard_policies(
         &self,
+        cluster: &ClusterConfig,
     ) -> Result<Vec<Box<dyn hetsched_cluster::Policy>>, HetschedError> {
-        let d = self.cluster.dispatch.dispatchers.max(1);
+        let d = cluster.dispatch.dispatchers.max(1);
         if d == 1 {
-            return Ok(vec![self.policy.build(&self.cluster)?]);
+            return Ok(vec![self.policy.build(cluster)?]);
         }
-        if self.cluster.speeds.len() < d {
+        if cluster.speeds.len() < d {
             return Err(HetschedError::InvalidConfig(format!(
                 "the parallel engine needs at least one server per shard: \
                  {} servers, {} shards",
-                self.cluster.speeds.len(),
+                cluster.speeds.len(),
                 d
             )));
         }
-        shard_ranges(self.cluster.speeds.len(), d)
+        shard_ranges(cluster.speeds.len(), d)
             .iter()
-            .map(|r| self.policy.build(&shard_config(&self.cluster, r)))
+            .map(|r| self.policy.build(&shard_config(cluster, r)))
             .collect()
     }
 
@@ -134,8 +143,9 @@ impl Experiment {
     /// Returns the validation error without spawning any run.
     pub fn run(&self) -> Result<ExperimentResult, HetschedError> {
         // Validate once up front so errors surface before threads spawn.
-        self.policy.build(&self.cluster)?;
-        self.cluster.validate()?;
+        let cluster = self.cluster_normalized();
+        self.policy.build(&cluster)?;
+        cluster.validate()?;
         let threads = self.plan_threads()?;
         let runs: Vec<RunStats> = replicate(self.replications, threads, |i| {
             self.run_single(i)
@@ -160,7 +170,7 @@ impl Experiment {
     /// or an invalid shard decomposition.
     fn plan_threads(&self) -> Result<usize, HetschedError> {
         if self.sim_threads > 0 {
-            self.build_shard_policies()?;
+            self.build_shard_policies(&self.cluster_normalized())?;
         }
         plan_nested(self.threads, self.sim_threads, 0).map_err(HetschedError::InvalidConfig)
     }

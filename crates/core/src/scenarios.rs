@@ -188,6 +188,7 @@ pub fn fig2_deviations(dispatcher: Fig2Dispatcher, seed: u64) -> Vec<f64> {
             job_size: 1.0,
             queue_lens: &qlens,
             speeds: &speeds,
+            true_load_index: None,
         };
         let target = policy.choose(&ctx, &mut rng_dispatch);
         tracker.record(t, target);

@@ -457,6 +457,46 @@ mod tests {
     }
 
     #[test]
+    fn width_estimate_survives_ten_thousand_pending_timers() {
+        // The 10,000-server fleet keeps one crash/repair renewal timer
+        // per machine pending at all times, spread across the whole
+        // horizon, *plus* a dense burst of near-term completion events.
+        // The sampled-median estimator must keep a finite positive
+        // width, the calendar must pop the whole population in time
+        // order, and growth resizes must stay logarithmic in the
+        // population (each resize doubles the bucket count).
+        let mut q = CalendarQueue::new();
+        let mut rng = Rng64::from_seed(42);
+        let mut times = Vec::with_capacity(10_064);
+        for i in 0..10_000u32 {
+            let when = rng.next_f64() * 4.0e6;
+            times.push(when);
+            q.schedule(t(when), i);
+        }
+        for i in 0..64u32 {
+            let when = i as f64 * 0.25;
+            times.push(when);
+            q.schedule(t(when), 20_000 + i);
+        }
+        let width = q.estimate_width();
+        assert!(
+            width.is_finite() && width > 0.0,
+            "degenerate width {width} with 10k timers pending"
+        );
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &expect in &times {
+            let got = q.pop().expect("population drains in order");
+            assert_eq!(got.time, t(expect));
+        }
+        assert!(q.pop().is_none());
+        let resizes = q.stats().resizes;
+        assert!(
+            resizes < 64,
+            "{resizes} resizes for a 10k population — width estimator drift"
+        );
+    }
+
+    #[test]
     fn sparse_events_trigger_year_jump() {
         let mut q = CalendarQueue::new();
         q.schedule(t(0.5), "near");

@@ -73,6 +73,70 @@ impl ObsReport {
         Some(self.rows.iter().map(|r| r[idx]).collect())
     }
 
+    /// Collapses per-server indexed columns (`prefix[0]`, `prefix[1]`,
+    /// …) into four fleet-summary columns `prefix_min` / `prefix_mean` /
+    /// `prefix_max` / `prefix_p99` per prefix, computed row by row.
+    ///
+    /// This is the observability side of the `per_server: summary`
+    /// switch: a 10,000-server run would otherwise carry 30,000 columns
+    /// per sampling window. Prefixes with no indexed column are left
+    /// untouched; non-indexed columns keep their order, and the summary
+    /// columns append in prefix order.
+    pub fn collapse_indexed_columns(&mut self, prefixes: &[&str]) {
+        // Partition column indices: per-prefix indexed groups vs. kept.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); prefixes.len()];
+        let mut kept: Vec<usize> = Vec::new();
+        'cols: for (ci, name) in self.columns.iter().enumerate() {
+            for (pi, p) in prefixes.iter().enumerate() {
+                if name.len() > p.len() + 2
+                    && name.starts_with(p)
+                    && name.as_bytes()[p.len()] == b'['
+                    && name.ends_with(']')
+                {
+                    groups[pi].push(ci);
+                    continue 'cols;
+                }
+            }
+            kept.push(ci);
+        }
+        if groups.iter().all(|g| g.is_empty()) {
+            return;
+        }
+        let mut columns: Vec<String> = kept.iter().map(|&ci| self.columns[ci].clone()).collect();
+        for (pi, g) in groups.iter().enumerate() {
+            if !g.is_empty() {
+                for suffix in ["min", "mean", "max", "p99"] {
+                    columns.push(format!("{}_{suffix}", prefixes[pi]));
+                }
+            }
+        }
+        let mut scratch: Vec<f64> = Vec::new();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut out: Vec<f64> = kept.iter().map(|&ci| row[ci]).collect();
+                for g in &groups {
+                    if g.is_empty() {
+                        continue;
+                    }
+                    scratch.clear();
+                    scratch.extend(g.iter().map(|&ci| row[ci]));
+                    scratch.sort_by(f64::total_cmp);
+                    let n = scratch.len();
+                    let rank = ((0.99 * n as f64).ceil() as usize).clamp(1, n);
+                    out.push(scratch[0]);
+                    out.push(scratch.iter().sum::<f64>() / n as f64);
+                    out.push(scratch[n - 1]);
+                    out.push(scratch[rank - 1]);
+                }
+                out
+            })
+            .collect();
+        self.columns = columns;
+        self.rows = rows;
+    }
+
     /// Renders the series as JSON Lines: one flat object per window,
     /// timestamp under `"t"`, then every column by name.
     ///
@@ -212,6 +276,63 @@ mod tests {
         assert_eq!(r.column("missing"), None);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn collapse_replaces_indexed_columns_with_summaries() {
+        let mut r = ObsReport {
+            sample_interval: 1.0,
+            columns: vec![
+                "arrivals".into(),
+                "qlen[0]".into(),
+                "qlen[1]".into(),
+                "qlen[2]".into(),
+                "up[0]".into(),
+                "up[1]".into(),
+                "up[2]".into(),
+                "p95_ratio".into(),
+            ],
+            times: vec![1.0, 2.0],
+            rows: vec![
+                vec![9.0, 3.0, 1.0, 2.0, 1.0, 1.0, 0.0, 1.5],
+                vec![7.0, 0.0, 4.0, 4.0, 1.0, 0.0, 0.0, 2.5],
+            ],
+            kernel: KernelCounters::default(),
+        };
+        r.collapse_indexed_columns(&["qlen", "util", "up"]);
+        assert_eq!(
+            r.columns,
+            vec![
+                "arrivals",
+                "p95_ratio",
+                "qlen_min",
+                "qlen_mean",
+                "qlen_max",
+                "qlen_p99",
+                "up_min",
+                "up_mean",
+                "up_max",
+                "up_p99",
+            ]
+        );
+        let third = 2.0 / 3.0;
+        assert_eq!(
+            r.rows[0],
+            vec![9.0, 1.5, 1.0, 2.0, 3.0, 3.0, 0.0, third, 1.0, 1.0]
+        );
+        assert_eq!(
+            r.rows[1],
+            vec![7.0, 2.5, 0.0, 8.0 / 3.0, 4.0, 4.0, 0.0, 1.0 / 3.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn collapse_without_indexed_columns_is_a_noop() {
+        let mut r = report();
+        let before = r.clone();
+        // "qlen[0]" matches, so use prefixes that don't appear.
+        r.collapse_indexed_columns(&["latency", "wait"]);
+        assert_eq!(r, before);
     }
 
     #[test]

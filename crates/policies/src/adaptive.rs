@@ -191,6 +191,7 @@ mod tests {
                 job_size: 1.0,
                 queue_lens: &qlens,
                 speeds: &speeds,
+                true_load_index: None,
             };
             policy.choose(&ctx, &mut rng);
         }
@@ -272,6 +273,7 @@ mod tests {
                 job_size: 1.0,
                 queue_lens: &qlens,
                 speeds: &speeds,
+                true_load_index: None,
             };
             assert_eq!(p.choose(&ctx, &mut rng), 0, "down machine chosen");
         }

@@ -20,6 +20,7 @@ use crate::extra::{JsqPolicy, SitaEPolicy};
 use crate::random::RandomDispatch;
 use crate::reopt::ReoptimizingOrr;
 use crate::round_robin::RoundRobinDispatch;
+use crate::scalable::{IndexedJsq, IndexedLeastLoad, IndexedStaleAware, Jiq, JsqFull, PowerOfD};
 
 /// Job dispatching strategies for static policies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,6 +91,38 @@ pub enum PolicySpec {
     /// every membership change (fault-tolerance extension). Identical to
     /// ORR when no machine ever fails.
     ReoptimizingOrr,
+    /// Dynamic Least-Load over a tournament-tree argmin index: decisions
+    /// bit-identical to [`PolicySpec::DynamicLeastLoad`] at O(log N) per
+    /// state change instead of O(N) per dispatch (scale axis).
+    IndexedDynamic,
+    /// Staleness-aware Dynamic over a fresh/stale split index:
+    /// bit-identical to [`PolicySpec::StaleAwareDynamic`] without the
+    /// O(N) effective-load scan (scale axis).
+    IndexedStaleAware {
+        /// Seconds a load index stays fully trusted.
+        confidence_window: f64,
+    },
+    /// Full-information JSQ — the d = N clairvoyant bound, as an
+    /// explicit O(N) scan (scale axis).
+    JsqFull,
+    /// Full-information JSQ over the simulation's shared true-load
+    /// index: bit-identical to [`PolicySpec::JsqFull`] at O(1) per
+    /// decision while all servers are up (scale axis).
+    IndexedJsq,
+    /// Power-of-d-choices over believed loads: O(d) per decision, no
+    /// index (scale axis).
+    PowerOfD {
+        /// Number of sampled machines per job (1..=8).
+        d: usize,
+        /// Speed-normalize the sampled believed loads (heterogeneity
+        /// awareness). Serde-defaulted to `false` — the homogeneous
+        /// literature's raw queue-length comparison.
+        #[serde(default)]
+        het_aware: bool,
+    },
+    /// Join-Idle-Queue: O(1) idle-stack pop per decision, power-of-2
+    /// sampling fallback when no server is believed idle (scale axis).
+    Jiq,
 }
 
 impl PolicySpec {
@@ -162,7 +195,87 @@ impl PolicySpec {
             PolicySpec::BurstyWrr { .. } => "BWRR".into(),
             PolicySpec::AdaptiveOrr { .. } => "AORR".into(),
             PolicySpec::ReoptimizingOrr => "ReORR".into(),
+            PolicySpec::IndexedDynamic => "DYNAMIC-IDX".into(),
+            PolicySpec::IndexedStaleAware { .. } => "DYNAMIC-SA-IDX".into(),
+            PolicySpec::JsqFull => "JSQ-FULL".into(),
+            PolicySpec::IndexedJsq => "JSQ-IDX".into(),
+            PolicySpec::PowerOfD { d, het_aware } => {
+                if *het_aware {
+                    format!("POD({d})-HET")
+                } else {
+                    format!("POD({d})")
+                }
+            }
+            PolicySpec::Jiq => "JIQ".into(),
         }
+    }
+
+    /// Parses a CLI-friendly policy name into a spec.
+    ///
+    /// Accepted (case-insensitive): `wran`, `oran`, `wrr`, `orr`,
+    /// `dynamic`, `dynamic-idx`, `dynamic-sa[:window]`,
+    /// `dynamic-sa-idx[:window]`, `jsq:<d>`, `jsq-full`, `jsq-idx`,
+    /// `pod:<d>`, `pod-het:<d>`, `jiq`, `sita-e`, `reopt-orr`. The
+    /// staleness window defaults to 500 seconds when omitted.
+    ///
+    /// # Errors
+    /// [`HetschedError::InvalidPolicy`] on an unknown name or an
+    /// unparsable numeric argument.
+    pub fn from_cli_name(name: &str) -> Result<Self, HetschedError> {
+        let lower = name.to_ascii_lowercase();
+        let (head, arg) = match lower.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (lower.as_str(), None),
+        };
+        let window = |arg: Option<&str>| -> Result<f64, HetschedError> {
+            match arg {
+                None => Ok(500.0),
+                Some(a) => a.parse().map_err(|_| {
+                    HetschedError::InvalidPolicy(format!("bad confidence window {a:?} in {name:?}"))
+                }),
+            }
+        };
+        let probes = |arg: Option<&str>| -> Result<usize, HetschedError> {
+            arg.ok_or_else(|| {
+                HetschedError::InvalidPolicy(format!("{name:?} needs a probe count, e.g. {head}:2"))
+            })?
+            .parse()
+            .map_err(|_| HetschedError::InvalidPolicy(format!("bad probe count in {name:?}")))
+        };
+        let spec = match head {
+            "wran" => Self::wran(),
+            "oran" => Self::oran(),
+            "wrr" => Self::wrr(),
+            "orr" => Self::orr(),
+            "dynamic" => PolicySpec::DynamicLeastLoad,
+            "dynamic-idx" => PolicySpec::IndexedDynamic,
+            "dynamic-sa" => PolicySpec::StaleAwareDynamic {
+                confidence_window: window(arg)?,
+            },
+            "dynamic-sa-idx" => PolicySpec::IndexedStaleAware {
+                confidence_window: window(arg)?,
+            },
+            "jsq" => PolicySpec::Jsq { d: probes(arg)? },
+            "jsq-full" => PolicySpec::JsqFull,
+            "jsq-idx" => PolicySpec::IndexedJsq,
+            "pod" => PolicySpec::PowerOfD {
+                d: probes(arg)?,
+                het_aware: false,
+            },
+            "pod-het" => PolicySpec::PowerOfD {
+                d: probes(arg)?,
+                het_aware: true,
+            },
+            "jiq" => PolicySpec::Jiq,
+            "sita-e" => PolicySpec::SitaE,
+            "reopt-orr" => PolicySpec::ReoptimizingOrr,
+            _ => {
+                return Err(HetschedError::InvalidPolicy(format!(
+                    "unknown policy name {name:?}"
+                )))
+            }
+        };
+        Ok(spec)
     }
 
     /// Materializes the policy for a cluster configuration.
@@ -195,32 +308,7 @@ impl PolicySpec {
             }
             PolicySpec::DynamicLeastLoad => Ok(Box::new(LeastLoadPolicy::new(&cfg.speeds))),
             PolicySpec::StaleAwareDynamic { confidence_window } => {
-                if !(confidence_window.is_finite() && *confidence_window > 0.0) {
-                    return Err(HetschedError::InvalidPolicy(format!(
-                        "DYNAMIC-SA needs a positive confidence window, got {confidence_window}"
-                    )));
-                }
-                if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0)
-                {
-                    return Err(HetschedError::InvalidPolicy(
-                        "DYNAMIC-SA needs utilization in (0,1) for its static prior".into(),
-                    ));
-                }
-                // The static prior is the M/M/1-PS mean queue length each
-                // server would carry under the paper's optimized
-                // allocation: ρ_i = α_i λ / (μ s_i) = α_i ρ Σs / s_i and
-                // E[N_i] = ρ_i / (1 − ρ_i).
-                let fractions = crate::allocation::AllocationSpec::optimized()
-                    .fractions(&cfg.speeds, cfg.utilization);
-                let total_speed: f64 = cfg.speeds.iter().sum();
-                let prior: Vec<f64> = fractions
-                    .iter()
-                    .zip(&cfg.speeds)
-                    .map(|(&alpha, &s)| {
-                        let rho_i = (alpha * cfg.utilization * total_speed / s).min(0.999);
-                        rho_i / (1.0 - rho_i)
-                    })
-                    .collect();
+                let prior = stale_prior(cfg, *confidence_window, "DYNAMIC-SA")?;
                 Ok(Box::new(crate::dynamic::StaleAwareLeastLoad::new(
                     &cfg.speeds,
                     &prior,
@@ -291,8 +379,60 @@ impl PolicySpec {
                 }
                 Ok(Box::new(ReoptimizingOrr::new(&cfg.speeds, cfg.utilization)))
             }
+            PolicySpec::IndexedDynamic => Ok(Box::new(IndexedLeastLoad::new(&cfg.speeds))),
+            PolicySpec::IndexedStaleAware { confidence_window } => {
+                let prior = stale_prior(cfg, *confidence_window, "DYNAMIC-SA-IDX")?;
+                Ok(Box::new(IndexedStaleAware::new(
+                    &cfg.speeds,
+                    &prior,
+                    *confidence_window,
+                )))
+            }
+            PolicySpec::JsqFull => Ok(Box::new(JsqFull::new())),
+            PolicySpec::IndexedJsq => Ok(Box::new(IndexedJsq::new())),
+            PolicySpec::PowerOfD { d, het_aware } => {
+                if !(1..=8).contains(d) {
+                    return Err(HetschedError::InvalidPolicy(format!(
+                        "power-of-d needs d in 1..=8, got {d}"
+                    )));
+                }
+                Ok(Box::new(PowerOfD::new(&cfg.speeds, *d, *het_aware)))
+            }
+            PolicySpec::Jiq => Ok(Box::new(Jiq::new(&cfg.speeds))),
         }
     }
+}
+
+/// Validates the staleness-aware parameters and computes the static
+/// prior: the M/M/1-PS mean queue length each server would carry under
+/// the paper's optimized allocation — ρ_i = α_i λ / (μ s_i) =
+/// α_i ρ Σs / s_i and E[N_i] = ρ_i / (1 − ρ_i).
+fn stale_prior(
+    cfg: &ClusterConfig,
+    confidence_window: f64,
+    label: &str,
+) -> Result<Vec<f64>, HetschedError> {
+    if !(confidence_window.is_finite() && confidence_window > 0.0) {
+        return Err(HetschedError::InvalidPolicy(format!(
+            "{label} needs a positive confidence window, got {confidence_window}"
+        )));
+    }
+    if !(cfg.utilization.is_finite() && cfg.utilization > 0.0 && cfg.utilization < 1.0) {
+        return Err(HetschedError::InvalidPolicy(format!(
+            "{label} needs utilization in (0,1) for its static prior"
+        )));
+    }
+    let fractions =
+        crate::allocation::AllocationSpec::optimized().fractions(&cfg.speeds, cfg.utilization);
+    let total_speed: f64 = cfg.speeds.iter().sum();
+    Ok(fractions
+        .iter()
+        .zip(&cfg.speeds)
+        .map(|(&alpha, &s)| {
+            let rho_i = (alpha * cfg.utilization * total_speed / s).min(0.999);
+            rho_i / (1.0 - rho_i)
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -342,10 +482,112 @@ mod tests {
                 safety_margin: 0.05,
             },
             PolicySpec::reopt_orr(),
+            PolicySpec::IndexedDynamic,
+            PolicySpec::IndexedStaleAware {
+                confidence_window: 500.0,
+            },
+            PolicySpec::JsqFull,
+            PolicySpec::IndexedJsq,
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: false,
+            },
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: true,
+            },
+            PolicySpec::Jiq,
         ] {
             let p = spec.build(&cfg).unwrap();
             assert_eq!(p.name(), spec.label());
         }
+    }
+
+    #[test]
+    fn scale_axis_labels() {
+        assert_eq!(PolicySpec::IndexedDynamic.label(), "DYNAMIC-IDX");
+        assert_eq!(
+            PolicySpec::IndexedStaleAware {
+                confidence_window: 500.0
+            }
+            .label(),
+            "DYNAMIC-SA-IDX"
+        );
+        assert_eq!(PolicySpec::JsqFull.label(), "JSQ-FULL");
+        assert_eq!(PolicySpec::IndexedJsq.label(), "JSQ-IDX");
+        assert_eq!(
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: true
+            }
+            .label(),
+            "POD(2)-HET"
+        );
+        assert_eq!(PolicySpec::Jiq.label(), "JIQ");
+    }
+
+    #[test]
+    fn scale_axis_specs_validate() {
+        let cfg = cfg();
+        assert!(PolicySpec::PowerOfD {
+            d: 0,
+            het_aware: false
+        }
+        .build(&cfg)
+        .is_err());
+        assert!(PolicySpec::PowerOfD {
+            d: 9,
+            het_aware: true
+        }
+        .build(&cfg)
+        .is_err());
+        assert!(PolicySpec::IndexedStaleAware {
+            confidence_window: 0.0
+        }
+        .build(&cfg)
+        .is_err());
+    }
+
+    #[test]
+    fn cli_names_parse() {
+        for (name, spec) in [
+            ("orr", PolicySpec::orr()),
+            ("WRAN", PolicySpec::wran()),
+            ("dynamic", PolicySpec::DynamicLeastLoad),
+            ("dynamic-idx", PolicySpec::IndexedDynamic),
+            ("dynamic-sa", PolicySpec::stale_aware_dynamic(500.0)),
+            ("dynamic-sa-idx:250", {
+                PolicySpec::IndexedStaleAware {
+                    confidence_window: 250.0,
+                }
+            }),
+            ("jsq:3", PolicySpec::Jsq { d: 3 }),
+            ("jsq-full", PolicySpec::JsqFull),
+            ("jsq-idx", PolicySpec::IndexedJsq),
+            (
+                "pod:2",
+                PolicySpec::PowerOfD {
+                    d: 2,
+                    het_aware: false,
+                },
+            ),
+            (
+                "pod-het:4",
+                PolicySpec::PowerOfD {
+                    d: 4,
+                    het_aware: true,
+                },
+            ),
+            ("jiq", PolicySpec::Jiq),
+            ("sita-e", PolicySpec::SitaE),
+            ("reopt-orr", PolicySpec::ReoptimizingOrr),
+        ] {
+            assert_eq!(PolicySpec::from_cli_name(name).unwrap(), spec, "{name}");
+        }
+        assert!(PolicySpec::from_cli_name("nope").is_err());
+        assert!(PolicySpec::from_cli_name("pod").is_err());
+        assert!(PolicySpec::from_cli_name("jsq:many").is_err());
+        assert!(PolicySpec::from_cli_name("dynamic-sa:soon").is_err());
     }
 
     #[test]
@@ -416,10 +658,33 @@ mod tests {
             PolicySpec::stale_aware_dynamic(500.0),
             PolicySpec::Jsq { d: 2 },
             PolicySpec::ReoptimizingOrr,
+            PolicySpec::IndexedDynamic,
+            PolicySpec::IndexedStaleAware {
+                confidence_window: 250.0,
+            },
+            PolicySpec::JsqFull,
+            PolicySpec::IndexedJsq,
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: true,
+            },
+            PolicySpec::Jiq,
         ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: PolicySpec = serde_json::from_str(&json).unwrap();
             assert_eq!(spec, back);
         }
+    }
+
+    #[test]
+    fn pod_het_aware_defaults_to_false() {
+        let back: PolicySpec = serde_json::from_str(r#"{"kind": "power_of_d", "d": 2}"#).unwrap();
+        assert_eq!(
+            back,
+            PolicySpec::PowerOfD {
+                d: 2,
+                het_aware: false
+            }
+        );
     }
 }

@@ -299,6 +299,7 @@ mod tests {
             job_size: 1.0,
             queue_lens: qlens,
             speeds,
+            true_load_index: None,
         }
     }
 
@@ -436,6 +437,7 @@ mod tests {
             job_size: 1.0,
             queue_lens: qlens,
             speeds,
+            true_load_index: None,
         }
     }
 

@@ -208,6 +208,7 @@ mod tests {
             job_size: size,
             queue_lens: qlens,
             speeds,
+            true_load_index: None,
         }
     }
 

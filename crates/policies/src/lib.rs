@@ -22,6 +22,11 @@
 //! routing jobs to believed-down machines. [`reopt::ReoptimizingOrr`]
 //! goes further and re-solves Algorithm 1 over the surviving subset on
 //! every membership change.
+//!
+//! The **scale axis** ([`scalable`]) re-implements the load-directed
+//! yardsticks with O(log N) indexed argmins (bit-identical to the scans)
+//! and adds O(1)-per-decision policies — power-of-d choices and
+//! join-idle-queue — for fleets up to 10,000 servers.
 
 #![warn(missing_docs)]
 
@@ -34,6 +39,7 @@ pub mod extra;
 pub mod random;
 pub mod reopt;
 pub mod round_robin;
+pub mod scalable;
 
 pub use adaptive::AdaptiveOrr;
 pub use allocation::AllocationSpec;
@@ -44,3 +50,4 @@ pub use extra::{JsqPolicy, SitaEPolicy};
 pub use random::RandomDispatch;
 pub use reopt::ReoptimizingOrr;
 pub use round_robin::RoundRobinDispatch;
+pub use scalable::{IndexedJsq, IndexedLeastLoad, IndexedStaleAware, Jiq, JsqFull, PowerOfD};

@@ -145,6 +145,7 @@ mod tests {
             job_size: 1.0,
             queue_lens: qlens,
             speeds,
+            true_load_index: None,
         }
     }
 

@@ -1,0 +1,1115 @@
+//! The scale-axis policy family: O(log N)- and O(1)-per-decision
+//! dispatchers for fleets far beyond the paper's 5–10 machines.
+//!
+//! Every load-directed policy in the historical roster pays an O(N) scan
+//! per dispatch decision, which dominates the event loop once N reaches
+//! the thousands. This module provides:
+//!
+//! * [`IndexedLeastLoad`] / [`IndexedStaleAware`] — the DYNAMIC and
+//!   DYNAMIC-SA yardsticks re-implemented over an
+//!   [`ArgminTree`](hetsched_cluster::ArgminTree): O(log N) per believed-
+//!   load change, O(1) per argmin read, and **bit-identical decisions**
+//!   to the scan implementations (asserted by the scale differential
+//!   tests and in `fig_scale`).
+//! * [`JsqFull`] / [`IndexedJsq`] — the clairvoyant full-information JSQ
+//!   bound as an explicit scan and as a consumer of the simulation's
+//!   shared true-load index
+//!   ([`DispatchCtx::true_load_index`]), again a bit-identical pair.
+//! * [`PowerOfD`] — classic power-of-d-choices over believed loads, with
+//!   an optional heterogeneity-aware speed normalization (Gardner et
+//!   al. style): O(d) per decision, no index at all.
+//! * [`Jiq`] — join-idle-queue: an O(1) idle-stack pop per decision,
+//!   falling back to power-of-2 sampling when no server is believed
+//!   idle.
+//!
+//! The sampled policies draw from a *private* RNG substream seeded by a
+//! single draw from the dispatch stream on first use, so their presence
+//! in a run perturbs exactly one dispatch-stream draw and replications
+//! stay bit-reproducible.
+
+use hetsched_cluster::{ArgminTree, DispatchCtx, Policy, SyncState};
+use hetsched_desim::Rng64;
+
+/// Shared fastest-machine fallback for a stale all-down belief: the job
+/// most likely dies anyway, so no believed-load bookkeeping happens —
+/// exactly the scan policies' behavior.
+fn fastest(speeds: &[f64]) -> usize {
+    speeds
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// Validates a speed vector the way every believed-load policy does.
+fn check_speeds(speeds: &[f64]) {
+    assert!(!speeds.is_empty(), "no computers");
+    assert!(
+        speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+        "speeds must be positive"
+    );
+}
+
+/// Dynamic Least-Load over a tournament-tree index: the same believed
+/// loads, delayed updates, and membership rules as
+/// [`crate::dynamic::LeastLoadPolicy`], but the per-decision argmin is
+/// an O(1) root read instead of an O(N) scan, and every state change
+/// replays one O(log N) root path.
+///
+/// Decision-for-decision bit-identical to the scan implementation: the
+/// tree resolves ties leftmost, exactly like the scan's strict-`<`
+/// candidate rule.
+#[derive(Debug, Clone)]
+pub struct IndexedLeastLoad {
+    speeds: Vec<f64>,
+    believed: Vec<f64>,
+    up: Vec<bool>,
+    /// Keys: `(believed + 1) / speed` for believed-up servers, infinite
+    /// for believed-down ones.
+    tree: ArgminTree,
+    /// Scratch for O(N) bulk reloads on sync merges.
+    scratch: Vec<f64>,
+}
+
+impl IndexedLeastLoad {
+    /// Creates the policy for the given machine speeds, believing every
+    /// queue empty.
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or contains non-positive entries.
+    pub fn new(speeds: &[f64]) -> Self {
+        check_speeds(speeds);
+        let mut tree = ArgminTree::new(speeds.len());
+        for (i, &s) in speeds.iter().enumerate() {
+            tree.update(i, 1.0 / s);
+        }
+        IndexedLeastLoad {
+            speeds: speeds.to_vec(),
+            believed: vec![0.0; speeds.len()],
+            up: vec![true; speeds.len()],
+            tree,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current believed queue lengths (diagnostics).
+    pub fn believed(&self) -> &[f64] {
+        &self.believed
+    }
+
+    fn key(&self, i: usize) -> f64 {
+        if self.up[i] {
+            (self.believed[i] + 1.0) / self.speeds[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl Policy for IndexedLeastLoad {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        let Some(best) = self.tree.argmin() else {
+            // Stale all-down belief: fastest machine, no bookkeeping.
+            return fastest(&self.speeds);
+        };
+        self.believed[best] += 1.0;
+        self.tree.update(best, self.key(best));
+        best
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, _now: f64) {
+        self.believed[server] = queue_len as f64;
+        self.tree.update(server, self.key(server));
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        // Only transitions touch the tree: a steady-state membership
+        // notice costs nothing beyond the comparison.
+        for (i, &u) in up.iter().enumerate() {
+            if u == self.up[i] {
+                continue;
+            }
+            if u {
+                // A repaired machine rejoins with an empty run queue.
+                self.believed[i] = 0.0;
+            }
+            self.up[i] = u;
+            self.tree.update(i, self.key(i));
+        }
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+            // Every key changed: one O(N) reload beats N root replays.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.extend((0..self.believed.len()).map(|i| self.key(i)));
+            self.tree.reload(&scratch);
+            self.scratch = scratch;
+        }
+    }
+
+    fn name(&self) -> String {
+        "DYNAMIC-IDX".into()
+    }
+}
+
+/// A pending staleness expiry: server `server`'s load index, last
+/// refreshed at `stamp`, leaves the confidence window at `expiry`.
+/// Entries are lazily invalidated — an entry whose `stamp` no longer
+/// matches the server's `last_update` is discarded on pop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Expiry {
+    expiry: f64,
+    server: usize,
+    stamp: f64,
+}
+
+impl Eq for Expiry {}
+
+impl Ord for Expiry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse on expiry: BinaryHeap is a max-heap, we want the
+        // earliest expiry on top. Tie-break by server for determinism.
+        other
+            .expiry
+            .total_cmp(&self.expiry)
+            .then_with(|| other.server.cmp(&self.server))
+    }
+}
+
+impl PartialOrd for Expiry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Staleness-aware Dynamic Least-Load over a fresh/stale split index:
+/// bit-identical decisions to [`crate::dynamic::StaleAwareLeastLoad`]
+/// without the O(N) effective-load scan.
+///
+/// The insight is that the staleness decay only changes a server's key
+/// over time *after* its index has aged past the confidence window.
+/// Fresh servers (the common case) have time-independent keys
+/// `(believed + 1) / speed` and live in an [`ArgminTree`]; stale servers
+/// are tracked in a small side set that *is* scanned per decision (their
+/// keys depend on `now`), and a lazy-deletion expiry heap moves servers
+/// from fresh to stale exactly when their age crosses the window. With
+/// healthy update planes the stale set is empty and a decision is an
+/// O(1) root read; pathological runs degrade gracefully toward the
+/// scan's O(N).
+#[derive(Debug, Clone)]
+pub struct IndexedStaleAware {
+    speeds: Vec<f64>,
+    believed: Vec<f64>,
+    last_update: Vec<f64>,
+    up: Vec<bool>,
+    prior: Vec<f64>,
+    window: f64,
+    stale_decisions: u64,
+    /// Fresh believed-up servers, key `(believed + 1) / speed`; stale or
+    /// believed-down servers sit at infinity.
+    tree: ArgminTree,
+    /// Servers whose index has aged past the window (stale), up or down.
+    stale: Vec<usize>,
+    is_stale: Vec<bool>,
+    /// Min-heap of pending freshness expiries with lazy deletion.
+    expiries: std::collections::BinaryHeap<Expiry>,
+    scratch: Vec<f64>,
+}
+
+impl IndexedStaleAware {
+    /// Creates the policy with per-server prior queue lengths and a
+    /// confidence window of `window` seconds.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched inputs, non-positive speeds or window,
+    /// or negative priors.
+    pub fn new(speeds: &[f64], prior: &[f64], window: f64) -> Self {
+        check_speeds(speeds);
+        assert_eq!(speeds.len(), prior.len(), "one prior per computer");
+        assert!(
+            prior.iter().all(|&p| p.is_finite() && p >= 0.0),
+            "priors must be non-negative"
+        );
+        assert!(
+            window.is_finite() && window > 0.0,
+            "confidence window must be positive"
+        );
+        let n = speeds.len();
+        let mut tree = ArgminTree::new(n);
+        let mut expiries = std::collections::BinaryHeap::with_capacity(n);
+        for (i, &s) in speeds.iter().enumerate() {
+            tree.update(i, 1.0 / s);
+            // The scan implementation treats t = 0 as everyone's last
+            // update, so every index expires at `window`.
+            expiries.push(Expiry {
+                expiry: window,
+                server: i,
+                stamp: 0.0,
+            });
+        }
+        IndexedStaleAware {
+            speeds: speeds.to_vec(),
+            believed: vec![0.0; n],
+            last_update: vec![0.0; n],
+            up: vec![true; n],
+            prior: prior.to_vec(),
+            window,
+            stale_decisions: 0,
+            tree,
+            stale: Vec::new(),
+            is_stale: vec![false; n],
+            expiries,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Current believed queue lengths (diagnostics).
+    pub fn believed(&self) -> &[f64] {
+        &self.believed
+    }
+
+    /// The tree key of server `i`: finite only while fresh and up.
+    fn fresh_key(&self, i: usize) -> f64 {
+        if self.up[i] && !self.is_stale[i] {
+            (self.believed[i] + 1.0) / self.speeds[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Refreshes server `i`'s index at `now`: back to the fresh set with
+    /// a new expiry ticket.
+    fn refresh(&mut self, i: usize, now: f64) {
+        self.last_update[i] = now;
+        if self.is_stale[i] {
+            self.is_stale[i] = false;
+            let pos = self.stale.iter().position(|&s| s == i).expect("in set");
+            self.stale.swap_remove(pos);
+        }
+        self.expiries.push(Expiry {
+            expiry: now + self.window,
+            server: i,
+            stamp: now,
+        });
+        self.tree.update(i, self.fresh_key(i));
+    }
+
+    /// Moves every server whose index aged past the window at `now` from
+    /// the tree to the stale set. Each server is popped at most once per
+    /// refresh (lazy deletion discards ticket for superseded stamps), so
+    /// the amortized cost is O(log N) per *refresh*, not per decision.
+    fn expire(&mut self, now: f64) {
+        while let Some(top) = self.expiries.peek() {
+            // Stale means age > window, i.e. now > expiry; an index at
+            // exactly the window edge is still trusted (the scan uses
+            // `age <= window`).
+            if top.expiry >= now {
+                break;
+            }
+            let Expiry { server, stamp, .. } = self.expiries.pop().expect("peeked");
+            if stamp != self.last_update[server] || self.is_stale[server] {
+                continue; // superseded ticket
+            }
+            self.is_stale[server] = true;
+            self.stale.push(server);
+            self.tree.update(server, f64::INFINITY);
+        }
+    }
+}
+
+impl Policy for IndexedStaleAware {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        self.expire(ctx.now);
+        // Candidate 1: the leftmost fresh minimum, O(1).
+        let mut best: Option<(f64, usize)> = self.tree.argmin().map(|i| (self.tree.min_key(), i));
+        // Candidate 2: the stale side set, scanned with the decayed
+        // effective loads (identical arithmetic to the scan policy).
+        for &i in &self.stale {
+            if !self.up[i] {
+                continue;
+            }
+            let age = ctx.now - self.last_update[i];
+            let w = self.window / age;
+            let eff = w * self.believed[i] + (1.0 - w) * self.prior[i];
+            let key = (eff + 1.0) / self.speeds[i];
+            // Global leftmost minimum: smaller key wins, then smaller
+            // index — the scan's strict-< rule over 0..n.
+            let better = match best {
+                None => true,
+                Some((bk, bi)) => key < bk || (key == bk && i < bi),
+            };
+            if better {
+                best = Some((key, i));
+            }
+        }
+        let Some((_, best)) = best else {
+            return fastest(&self.speeds);
+        };
+        if ctx.now - self.last_update[best] > self.window {
+            self.stale_decisions += 1;
+        }
+        self.believed[best] += 1.0;
+        if !self.is_stale[best] {
+            // A dispatch bump is not fresh knowledge: no refresh, only
+            // the key change (stale servers keep their infinite key).
+            self.tree.update(best, self.fresh_key(best));
+        }
+        best
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, now: f64) {
+        self.believed[server] = queue_len as f64;
+        self.refresh(server, now);
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], now: f64) {
+        for (i, &u) in up.iter().enumerate() {
+            if u == self.up[i] {
+                continue;
+            }
+            self.up[i] = u;
+            if u {
+                // A repair is fresh knowledge: the queue is empty now.
+                self.believed[i] = 0.0;
+                self.refresh(i, now);
+            } else {
+                self.tree.update(i, f64::INFINITY);
+            }
+        }
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        // Adopt the loads without touching the ages, like the scan
+        // policy; one O(N) reload refreshes every fresh key.
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            scratch.extend((0..self.believed.len()).map(|i| self.fresh_key(i)));
+            self.tree.reload(&scratch);
+            self.scratch = scratch;
+        }
+    }
+
+    fn stale_decisions(&self) -> u64 {
+        self.stale_decisions
+    }
+
+    fn name(&self) -> String {
+        "DYNAMIC-SA-IDX".into()
+    }
+}
+
+/// Full-information JSQ: joins the queue with the least true normalized
+/// load `(queue_len + 1) / speed` over *all* believed-up servers — the
+/// d = N limit of [`crate::extra::JsqPolicy`] without its sampling RNG.
+///
+/// Clairvoyant (reads [`DispatchCtx::queue_lens`]); exists as the
+/// explicit O(N)-scan half of the [`IndexedJsq`] bit-identity pair and
+/// as the zero-delay information bound in the scale sweep.
+#[derive(Debug, Clone, Default)]
+pub struct JsqFull {
+    /// Believed membership; empty means all up.
+    up: Vec<bool>,
+}
+
+impl JsqFull {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        JsqFull::default()
+    }
+
+    fn scan(&self, ctx: &DispatchCtx<'_>) -> usize {
+        let mut best: Option<usize> = None;
+        let mut best_load = f64::INFINITY;
+        for (i, (&q, &s)) in ctx.queue_lens.iter().zip(ctx.speeds).enumerate() {
+            if !self.up.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            let load = (q as f64 + 1.0) / s;
+            if load < best_load {
+                best_load = load;
+                best = Some(i);
+            }
+        }
+        // Stale all-down belief: the fastest machine takes the loss.
+        best.unwrap_or_else(|| fastest(ctx.speeds))
+    }
+}
+
+impl Policy for JsqFull {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        self.scan(ctx)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up = up.to_vec();
+    }
+
+    fn name(&self) -> String {
+        "JSQ-FULL".into()
+    }
+}
+
+/// [`JsqFull`] over the simulation's shared true-load index: O(1) per
+/// decision while every server is believed up, falling back to the
+/// identical scan while any believed-down server must be skipped (the
+/// index's keys ignore membership).
+///
+/// Bit-identical to [`JsqFull`] by construction: with everyone up the
+/// index's leftmost minimum is exactly the scan's strict-< winner, and
+/// in every other situation both run the same scan.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedJsq {
+    inner: JsqFull,
+    /// Believed-down count, to make the all-up fast path O(1).
+    down: usize,
+}
+
+impl IndexedJsq {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        IndexedJsq::default()
+    }
+}
+
+impl Policy for IndexedJsq {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        if self.down == 0 {
+            if let Some(tree) = ctx.true_load_index {
+                // All keys are finite (every server has some queue), so
+                // the root always names a winner.
+                if let Some(best) = tree.argmin() {
+                    return best;
+                }
+            }
+        }
+        self.inner.scan(ctx)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], now: f64) {
+        self.inner.on_membership_change(up, now);
+        self.down = up.iter().filter(|&&u| !u).count();
+    }
+
+    fn wants_true_load_index(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "JSQ-IDX".into()
+    }
+}
+
+/// Power-of-d-choices over believed loads: sample `d` distinct
+/// believed-up servers from a private RNG substream and dispatch to the
+/// believed-least-loaded of them — O(d) per decision, no index, and
+/// near-optimal balance for d ≥ 2 (the classic "power of two choices").
+///
+/// With `het_aware` the sampled loads are speed-normalized
+/// (`(believed + 1) / speed`), which restores the speed preference
+/// heterogeneous fleets need; without it the raw believed queue length
+/// comparison of the homogeneous literature applies.
+#[derive(Debug, Clone)]
+pub struct PowerOfD {
+    d: usize,
+    het_aware: bool,
+    speeds: Vec<f64>,
+    believed: Vec<f64>,
+    up: Vec<bool>,
+    /// Private substream, seeded by one dispatch-stream draw on first
+    /// use so runs stay bit-reproducible and policy presence perturbs
+    /// exactly one shared draw.
+    rng: Option<Rng64>,
+}
+
+impl PowerOfD {
+    /// Creates the policy for the given machine speeds.
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or non-positive, or `d` is outside
+    /// `1..=8` (the sampling scratch is a fixed 8-slot array).
+    pub fn new(speeds: &[f64], d: usize, het_aware: bool) -> Self {
+        check_speeds(speeds);
+        assert!((1..=8).contains(&d), "power-of-d needs d in 1..=8");
+        PowerOfD {
+            d,
+            het_aware,
+            speeds: speeds.to_vec(),
+            believed: vec![0.0; speeds.len()],
+            up: vec![true; speeds.len()],
+            rng: None,
+        }
+    }
+
+    /// Current believed queue lengths (diagnostics).
+    pub fn believed(&self) -> &[f64] {
+        &self.believed
+    }
+}
+
+impl Policy for PowerOfD {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        if self.rng.is_none() {
+            self.rng = Some(Rng64::from_seed(rng.next_u64()));
+        }
+        let n = self.speeds.len();
+        let live = self.up.iter().filter(|&&u| u).count();
+        if live == 0 {
+            // Stale all-down belief: fastest machine, no draws, no bump.
+            return fastest(&self.speeds);
+        }
+        let want = self.d.min(live);
+        let private = self.rng.as_mut().expect("seeded above");
+        let mut chosen: [usize; 8] = [usize::MAX; 8];
+        let mut picked = 0;
+        let mut best = usize::MAX;
+        let mut best_key = f64::INFINITY;
+        // Rejection sampling without replacement; down servers are
+        // rejected like duplicates, so `want ≤ live` guarantees progress.
+        while picked < want {
+            let c = private.below(n as u64) as usize;
+            if !self.up[c] || chosen[..picked].contains(&c) {
+                continue;
+            }
+            chosen[picked] = c;
+            picked += 1;
+            // Field-disjoint key computation (the method call would
+            // conflict with the live `private` borrow).
+            let key = if self.het_aware {
+                (self.believed[c] + 1.0) / self.speeds[c]
+            } else {
+                self.believed[c] + 1.0
+            };
+            // First-sampled wins ties, like the scan policies' strict <.
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        self.believed[best] += 1.0;
+        best
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, _now: f64) {
+        self.believed[server] = queue_len as f64;
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        for (i, &u) in up.iter().enumerate() {
+            if u && !self.up[i] {
+                // A repaired machine rejoins with an empty run queue.
+                self.believed[i] = 0.0;
+            }
+            self.up[i] = u;
+        }
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.het_aware {
+            format!("POD({})-HET", self.d)
+        } else {
+            format!("POD({})", self.d)
+        }
+    }
+}
+
+/// Join-Idle-Queue: a stack of servers believed idle, popped in O(1) per
+/// dispatch. A server joins the stack when a (delayed) load update
+/// reports its queue empty and leaves when a job is dispatched to it; if
+/// no server is believed idle the policy degrades to heterogeneity-aware
+/// power-of-2 sampling over believed loads.
+///
+/// The O(1)-per-decision answer to DYNAMIC's O(N): under moderate load
+/// there is almost always an idle server on the stack, and under
+/// saturation the power-of-2 fallback still avoids any full scan.
+#[derive(Debug, Clone)]
+pub struct Jiq {
+    speeds: Vec<f64>,
+    believed: Vec<f64>,
+    up: Vec<bool>,
+    /// Stack of servers believed idle (LIFO keeps recently-reported-idle
+    /// servers hot).
+    idle: Vec<usize>,
+    on_stack: Vec<bool>,
+    /// Private substream for the sampled fallback (see [`PowerOfD`]).
+    rng: Option<Rng64>,
+}
+
+impl Jiq {
+    /// Creates the policy, believing every server idle (so the first `n`
+    /// dispatches drain the initial stack from the highest index down).
+    ///
+    /// # Panics
+    /// Panics if `speeds` is empty or contains non-positive entries.
+    pub fn new(speeds: &[f64]) -> Self {
+        check_speeds(speeds);
+        let n = speeds.len();
+        Jiq {
+            speeds: speeds.to_vec(),
+            believed: vec![0.0; n],
+            up: vec![true; n],
+            idle: (0..n).collect(),
+            on_stack: vec![true; n],
+            rng: None,
+        }
+    }
+
+    /// Current believed queue lengths (diagnostics).
+    pub fn believed(&self) -> &[f64] {
+        &self.believed
+    }
+
+    /// Number of servers currently believed idle (diagnostics; counts
+    /// stack entries that would survive the lazy pop filter).
+    pub fn idle_count(&self) -> usize {
+        self.idle
+            .iter()
+            .filter(|&&i| self.up[i] && self.believed[i] == 0.0)
+            .count()
+    }
+
+    fn push_idle(&mut self, i: usize) {
+        if !self.on_stack[i] && self.up[i] && self.believed[i] == 0.0 {
+            self.on_stack[i] = true;
+            self.idle.push(i);
+        }
+    }
+}
+
+impl Policy for Jiq {
+    fn choose(&mut self, _ctx: &DispatchCtx<'_>, rng: &mut Rng64) -> usize {
+        if self.rng.is_none() {
+            self.rng = Some(Rng64::from_seed(rng.next_u64()));
+        }
+        // Pop until a genuinely idle, believed-up server surfaces;
+        // entries invalidated by later load reports or crashes are
+        // discarded lazily here.
+        while let Some(i) = self.idle.pop() {
+            self.on_stack[i] = false;
+            if self.up[i] && self.believed[i] == 0.0 {
+                self.believed[i] = 1.0;
+                return i;
+            }
+        }
+        // Empty stack: power-of-2 heterogeneity-aware fallback.
+        let n = self.speeds.len();
+        let live = self.up.iter().filter(|&&u| u).count();
+        if live == 0 {
+            return fastest(&self.speeds);
+        }
+        let want = 2.min(live);
+        let private = self.rng.as_mut().expect("seeded above");
+        let mut first = usize::MAX;
+        let mut best = usize::MAX;
+        let mut best_key = f64::INFINITY;
+        let mut picked = 0;
+        while picked < want {
+            let c = private.below(n as u64) as usize;
+            if !self.up[c] || c == first {
+                continue;
+            }
+            if picked == 0 {
+                first = c;
+            }
+            picked += 1;
+            let key = (self.believed[c] + 1.0) / self.speeds[c];
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        self.believed[best] += 1.0;
+        best
+    }
+
+    fn on_load_update(&mut self, server: usize, queue_len: usize, _now: f64) {
+        self.believed[server] = queue_len as f64;
+        if queue_len == 0 {
+            self.push_idle(server);
+        }
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        for (i, &u) in up.iter().enumerate() {
+            if u && !self.up[i] {
+                // A repaired machine rejoins idle.
+                self.believed[i] = 0.0;
+                self.up[i] = u;
+                self.push_idle(i);
+            } else {
+                self.up[i] = u;
+            }
+        }
+    }
+
+    fn needs_load_updates(&self) -> bool {
+        true
+    }
+
+    fn sync_state(&self) -> Option<SyncState> {
+        Some(SyncState {
+            credits: Vec::new(),
+            loads: self.believed.clone(),
+        })
+    }
+
+    fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
+        if consensus.loads.len() == self.believed.len() {
+            self.believed.copy_from_slice(&consensus.loads);
+            // Consensus may have zeroed queues this shard thought busy:
+            // re-register them as idle in index order (deterministic).
+            for i in 0..self.believed.len() {
+                if self.believed[i] == 0.0 {
+                    self.push_idle(i);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "JIQ".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{LeastLoadPolicy, StaleAwareLeastLoad};
+
+    fn ctx_at<'a>(now: f64, speeds: &'a [f64], qlens: &'a [usize]) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now,
+            job_size: 1.0,
+            queue_lens: qlens,
+            speeds,
+            true_load_index: None,
+        }
+    }
+
+    /// Drives a scan policy and its indexed twin through an identical
+    /// randomized event schedule and asserts identical decisions.
+    fn assert_twins<A: Policy, B: Policy>(speeds: &[f64], mut scan: A, mut idx: B, seed: u64) {
+        let qlens = vec![0usize; speeds.len()];
+        let mut rng_a = Rng64::from_seed(seed);
+        let mut rng_b = Rng64::from_seed(seed);
+        let mut driver = Rng64::from_seed(seed ^ 0xD1CE);
+        let mut up = vec![true; speeds.len()];
+        for step in 0..3_000 {
+            let now = step as f64 * 0.7;
+            match driver.below(10) {
+                0 => {
+                    // Load update for a random server.
+                    let s = driver.below(speeds.len() as u64) as usize;
+                    let q = driver.below(6) as usize;
+                    scan.on_load_update(s, q, now);
+                    idx.on_load_update(s, q, now);
+                }
+                1 => {
+                    // Flip one server's membership.
+                    let s = driver.below(speeds.len() as u64) as usize;
+                    up[s] = !up[s];
+                    scan.on_membership_change(&up, now);
+                    idx.on_membership_change(&up, now);
+                }
+                _ => {
+                    let a = scan.choose(&ctx_at(now, speeds, &qlens), &mut rng_a);
+                    let b = idx.choose(&ctx_at(now, speeds, &qlens), &mut rng_b);
+                    assert_eq!(a, b, "step {step} (now {now})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_dynamic_matches_scan_dynamic() {
+        for &n in &[1usize, 2, 7, 33] {
+            let speeds: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+            assert_twins(
+                &speeds,
+                LeastLoadPolicy::new(&speeds),
+                IndexedLeastLoad::new(&speeds),
+                41 + n as u64,
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_stale_aware_matches_scan_across_windows() {
+        for &window in &[1.0, 50.0, 10_000.0] {
+            let speeds: Vec<f64> = (0..19).map(|i| 1.0 + (i % 4) as f64).collect();
+            let prior: Vec<f64> = (0..19).map(|i| (i % 3) as f64 * 0.8).collect();
+            let scan = StaleAwareLeastLoad::new(&speeds, &prior, window);
+            let idx = IndexedStaleAware::new(&speeds, &prior, window);
+            assert_twins(&speeds, scan, idx, 7 + window as u64);
+        }
+    }
+
+    #[test]
+    fn indexed_stale_aware_counts_stale_decisions_like_scan() {
+        let speeds = [1.0, 1.0];
+        let qlens = [0, 0];
+        let prior = [0.0, 10.0];
+        let mut scan = StaleAwareLeastLoad::new(&speeds, &prior, 10.0);
+        let mut idx = IndexedStaleAware::new(&speeds, &prior, 10.0);
+        let mut rng = Rng64::from_seed(0);
+        for p in [&mut scan as &mut dyn Policy, &mut idx as &mut dyn Policy] {
+            p.on_load_update(0, 8, 0.0);
+            p.on_load_update(1, 1, 0.0);
+            assert_eq!(p.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng), 1);
+            assert_eq!(p.choose(&ctx_at(1000.0, &speeds, &qlens), &mut rng), 0);
+            assert_eq!(p.stale_decisions(), 1);
+        }
+    }
+
+    #[test]
+    fn jsq_indexed_matches_full_scan() {
+        let speeds = [1.0, 4.0, 2.0, 1.0];
+        let mut full = JsqFull::new();
+        let mut idx = IndexedJsq::new();
+        assert!(idx.wants_true_load_index());
+        let mut rng = Rng64::from_seed(0);
+        let mut driver = Rng64::from_seed(99);
+        let mut qlens = vec![0usize; speeds.len()];
+        let mut tree = ArgminTree::new(speeds.len());
+        for (i, &s) in speeds.iter().enumerate() {
+            tree.update(i, 1.0 / s);
+        }
+        let mut up = vec![true; speeds.len()];
+        for step in 0..2_000 {
+            if driver.below(3) == 0 {
+                let s = driver.below(speeds.len() as u64) as usize;
+                qlens[s] = driver.below(7) as usize;
+                tree.update(s, (qlens[s] as f64 + 1.0) / speeds[s]);
+            }
+            if driver.below(11) == 0 {
+                let s = driver.below(speeds.len() as u64) as usize;
+                up[s] = !up[s];
+                full.on_membership_change(&up, step as f64);
+                idx.on_membership_change(&up, step as f64);
+            }
+            let ctx = DispatchCtx {
+                now: step as f64,
+                job_size: 1.0,
+                queue_lens: &qlens,
+                speeds: &speeds,
+                true_load_index: Some(&tree),
+            };
+            assert_eq!(
+                full.choose(&ctx, &mut rng),
+                idx.choose(&ctx, &mut rng),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn jsq_full_prefers_least_normalized_load() {
+        let speeds = [1.0, 4.0];
+        let qlens = [0, 2];
+        let mut p = JsqFull::new();
+        let mut rng = Rng64::from_seed(0);
+        // (0+1)/1 = 1 vs (2+1)/4 = 0.75 → the loaded-but-fast machine.
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 1);
+        p.on_membership_change(&[true, false], 0.0);
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        p.on_membership_change(&[false, false], 0.0);
+        // All believed down: the fastest machine takes the loss.
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 1);
+    }
+
+    #[test]
+    fn pod_spreads_and_respects_membership() {
+        let speeds = [1.0; 16];
+        let qlens = [0usize; 16];
+        let mut p = PowerOfD::new(&speeds, 2, false);
+        let mut rng = Rng64::from_seed(5);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            seen[p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all machines should be sampled");
+        // Down a prefix: only the live suffix is ever chosen.
+        let mut up = vec![true; 16];
+        for u in up.iter_mut().take(12) {
+            *u = false;
+        }
+        p.on_membership_change(&up, 1.0);
+        for _ in 0..200 {
+            assert!(p.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng) >= 12);
+        }
+        up.iter_mut().for_each(|u| *u = false);
+        p.on_membership_change(&up, 2.0);
+        // All down: deterministic fastest fallback (`max_by` keeps the
+        // last maximum on a tie, like the scan policies).
+        assert_eq!(p.choose(&ctx_at(2.0, &speeds, &qlens), &mut rng), 15);
+    }
+
+    #[test]
+    fn pod_het_prefers_fast_machines() {
+        let speeds = [1.0, 1.0, 1.0, 20.0];
+        let qlens = [0usize; 4];
+        let mut het = PowerOfD::new(&speeds, 4, true);
+        let raw = PowerOfD::new(&speeds, 4, false);
+        let mut rng = Rng64::from_seed(9);
+        // d = n: het-aware always sees the fast machine's smaller key
+        // first draw-independently.
+        let c = het.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng);
+        assert_eq!(c, 3);
+        assert_eq!(het.name(), "POD(4)-HET");
+        assert_eq!(raw.name(), "POD(4)");
+        // Raw PoD ties everyone at key 1: the first *sampled* wins, so
+        // over many decisions the slow majority absorbs most jobs.
+        let mut fast = 0;
+        for _ in 0..400 {
+            let mut q = raw.clone();
+            if q.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng) == 3 {
+                fast += 1;
+            }
+        }
+        assert!(fast < 300, "raw PoD should not always pick the fast box");
+    }
+
+    #[test]
+    fn pod_uses_exactly_one_shared_draw() {
+        let speeds = [1.0, 2.0];
+        let qlens = [0usize; 2];
+        let mut p = PowerOfD::new(&speeds, 2, true);
+        let mut shared = Rng64::from_seed(123);
+        let mut witness = Rng64::from_seed(123);
+        p.choose(&ctx_at(0.0, &speeds, &qlens), &mut shared);
+        p.choose(&ctx_at(0.0, &speeds, &qlens), &mut shared);
+        p.choose(&ctx_at(0.0, &speeds, &qlens), &mut shared);
+        // Only the lazy substream seeding consumed shared randomness.
+        witness.next_u64();
+        assert_eq!(shared.next_u64(), witness.next_u64());
+    }
+
+    #[test]
+    fn jiq_pops_idle_stack_then_falls_back() {
+        let speeds = [1.0, 1.0, 4.0];
+        let qlens = [0usize; 3];
+        let mut p = Jiq::new(&speeds);
+        let mut rng = Rng64::from_seed(1);
+        assert_eq!(p.idle_count(), 3);
+        // Initial stack drains LIFO: 2, 1, 0.
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 2);
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 1);
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        assert_eq!(p.idle_count(), 0);
+        // Stack empty: the power-of-2 fallback still dispatches.
+        let c = p.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng);
+        assert!(c < 3);
+        // An idle report re-arms the stack and wins over the fallback.
+        p.on_load_update(1, 0, 2.0);
+        assert_eq!(p.idle_count(), 1);
+        assert_eq!(p.choose(&ctx_at(2.0, &speeds, &qlens), &mut rng), 1);
+    }
+
+    #[test]
+    fn jiq_discards_invalidated_stack_entries() {
+        let speeds = [1.0, 1.0];
+        let qlens = [0usize; 2];
+        let mut p = Jiq::new(&speeds);
+        let mut rng = Rng64::from_seed(2);
+        // Server 1 (top of stack) reports a deep queue: its entry is
+        // stale and must be skipped in favor of server 0.
+        p.on_load_update(1, 5, 0.0);
+        assert_eq!(p.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        // A crashed server's entry is skipped the same way.
+        let mut q = Jiq::new(&speeds);
+        q.on_membership_change(&[true, false], 0.0);
+        assert_eq!(q.choose(&ctx_at(0.0, &speeds, &qlens), &mut rng), 0);
+        // Repair re-registers the server as idle.
+        q.on_membership_change(&[true, true], 1.0);
+        assert_eq!(q.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng), 1);
+    }
+
+    #[test]
+    fn scalable_policies_publish_sync_state() {
+        let speeds = [1.0, 2.0];
+        for p in [
+            Box::new(IndexedLeastLoad::new(&speeds)) as Box<dyn Policy>,
+            Box::new(IndexedStaleAware::new(&speeds, &[0.5, 0.5], 100.0)),
+            Box::new(PowerOfD::new(&speeds, 2, true)),
+            Box::new(Jiq::new(&speeds)),
+        ] {
+            assert!(p.needs_load_updates());
+            let state = p.sync_state().expect("mergeable");
+            assert_eq!(state.loads.len(), 2);
+            assert!(state.credits.is_empty());
+        }
+    }
+
+    #[test]
+    fn indexed_dynamic_merge_sync_reloads_index() {
+        let speeds = [1.0, 1.0];
+        let mut p = IndexedLeastLoad::new(&speeds);
+        let mut rng = Rng64::from_seed(0);
+        let qlens = [0usize; 2];
+        p.merge_sync(
+            &SyncState {
+                credits: Vec::new(),
+                loads: vec![9.0, 0.0],
+            },
+            1.0,
+        );
+        assert_eq!(p.believed(), &[9.0, 0.0]);
+        assert_eq!(p.choose(&ctx_at(1.0, &speeds, &qlens), &mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d in 1..=8")]
+    fn pod_rejects_out_of_range_d() {
+        PowerOfD::new(&[1.0], 9, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "no computers")]
+    fn jiq_rejects_empty() {
+        Jiq::new(&[]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Differential contracts of the scale-axis policies.
+//!
+//! The load-bearing guarantee: an indexed policy is a *data-structure*
+//! change, never a *decision* change. Concretely:
+//!
+//! * DYNAMIC-IDX (tournament-tree argmin) reproduces scan DYNAMIC,
+//!   JSQ-IDX reproduces JSQ-FULL, and DYNAMIC-SA-IDX (fresh/stale split
+//!   index) reproduces scan DYNAMIC-SA — **bit-identical** `RunStats`
+//!   up to the policy name — across seeds × faults {off, on} × both
+//!   event-list backends × engines {classic, conservative-parallel};
+//! * the [`ArgminTree`] itself matches a strict-`<` linear scan (the
+//!   leftmost-minimum rule every scan policy uses) after arbitrary
+//!   update/decay/membership sequences, checked by a property test.
+
+use hetsched::cluster::ArgminTree;
+use hetsched::prelude::*;
+use proptest::prelude::*;
+
+/// A small, statistically alive heterogeneous system — large enough
+/// that argmin ties and membership churn actually occur.
+fn base_cfg(faults: bool, backend: EventListBackend) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 15_000.0;
+    cfg.warmup = 1_500.0;
+    cfg.event_list = backend;
+    if faults {
+        cfg.faults = Some(
+            FaultSpec::exponential(3_000.0, 300.0).with_semantics(JobFaultSemantics::Resubmit),
+        );
+    }
+    cfg
+}
+
+/// Runs one replication of `spec` and returns its stats with the policy
+/// name blanked (the only field allowed to differ between twins).
+fn run_anon(
+    cfg: ClusterConfig,
+    spec: PolicySpec,
+    sim_threads: usize,
+    replication: u64,
+) -> RunStats {
+    let mut exp = Experiment::new("scale_diff", cfg, spec);
+    exp.sim_threads = sim_threads;
+    let mut stats = exp.run_single(replication).expect("replication runs");
+    stats.policy = String::new();
+    stats
+}
+
+/// The three scan/indexed twin pairs under test.
+fn twin_pairs() -> [(PolicySpec, PolicySpec); 3] {
+    [
+        (PolicySpec::DynamicLeastLoad, PolicySpec::IndexedDynamic),
+        (PolicySpec::JsqFull, PolicySpec::IndexedJsq),
+        (
+            PolicySpec::stale_aware_dynamic(200.0),
+            PolicySpec::IndexedStaleAware {
+                confidence_window: 200.0,
+            },
+        ),
+    ]
+}
+
+/// Every twin pair is bit-identical across seeds × faults × both
+/// event-list backends on the classic sequential engine.
+#[test]
+fn indexed_policies_match_scans_on_classic_engine() {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for faults in [false, true] {
+            for (scan, indexed) in twin_pairs() {
+                for replication in [0u64, 1, 2] {
+                    let a = run_anon(base_cfg(faults, backend), scan, 0, replication);
+                    let b = run_anon(base_cfg(faults, backend), indexed, 0, replication);
+                    assert_eq!(
+                        a,
+                        b,
+                        "{} vs {} diverged (backend {:?}, faults {faults}, \
+                         replication {replication})",
+                        scan.label(),
+                        indexed.label(),
+                        backend
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The twins stay bit-identical through the conservative parallel
+/// engine (which routes believed-load updates through per-shard planes
+/// and merges shard results deterministically).
+#[test]
+fn indexed_policies_match_scans_on_parallel_engine() {
+    for faults in [false, true] {
+        for (scan, indexed) in twin_pairs() {
+            let a = run_anon(base_cfg(faults, EventListBackend::Heap), scan, 4, 0);
+            let b = run_anon(base_cfg(faults, EventListBackend::Heap), indexed, 4, 0);
+            assert_eq!(
+                a,
+                b,
+                "{} vs {} diverged on the parallel engine (faults {faults})",
+                scan.label(),
+                indexed.label()
+            );
+        }
+    }
+}
+
+/// The strict-`<` linear scan the historical policies use: leftmost
+/// minimum, absent entries (infinite keys) never win.
+fn scan_argmin(keys: &[f64]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    let mut best_key = f64::INFINITY;
+    for (i, &k) in keys.iter().enumerate() {
+        if k < best_key {
+            best_key = k;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+proptest! {
+    /// After any sequence of point updates (including infinities for
+    /// membership changes and repeated decay-style rewrites), the tree's
+    /// argmin equals the leftmost strict-< scan minimum.
+    #[test]
+    fn argmin_tree_matches_linear_scan(
+        len in 1usize..70,
+        ops in prop::collection::vec((any::<u16>(), 0u8..200), 0..300)
+    ) {
+        let mut keys = vec![f64::INFINITY; len];
+        let mut tree = ArgminTree::new(len);
+        prop_assert_eq!(tree.argmin(), scan_argmin(&keys));
+        for (slot, mag) in ops {
+            let i = slot as usize % len;
+            // Magnitude 199 encodes "absent"; ties are common by design
+            // (only 20 distinct finite keys), exercising the leftmost
+            // tie-break.
+            let key = if mag == 199 {
+                f64::INFINITY
+            } else {
+                f64::from(mag % 20) * 0.5
+            };
+            keys[i] = key;
+            tree.update(i, key);
+            prop_assert_eq!(tree.argmin(), scan_argmin(&keys));
+            if let Some(best) = tree.argmin() {
+                prop_assert_eq!(tree.min_key(), keys[best]);
+            }
+        }
+        // A bulk reload from the same keys lands in the same state.
+        let mut reloaded = ArgminTree::new(len);
+        reloaded.reload(&keys);
+        prop_assert_eq!(reloaded.argmin(), tree.argmin());
+    }
+}
