@@ -2,23 +2,31 @@
 //!
 //! The paper's ORR assumes ONE central scheduler running Algorithm 2
 //! over the whole arrival stream. This harness measures what sharding
-//! that front end costs: the global stream is split i.i.d.-randomly
-//! across `D` dispatchers, each running a private ORR instance, and the
-//! mean response ratio is swept over `D ∈ {1, 2, 4, 8, 16}` — once with
-//! no coordination and once per state-sync setting (the tier's periodic
-//! credit-merge protocol, see `hetsched-dispatch`).
+//! that front end costs — and what coordinated sharding buys back. The
+//! global stream is split i.i.d.-randomly across `D` dispatchers, each
+//! running a private ORR instance, and the mean response ratio is swept
+//! over `D ∈ {1, 2, 4, 8, 16}`:
+//!
+//! * **naive** cells: uncoordinated shards, once with no sync and once
+//!   per periodic credit-mean sync setting;
+//! * **phase_preserving** cells: the coordinated tier — the splitter
+//!   stamps every arrival with a global sequence number, shards replay
+//!   their peers' gaps as virtual rotation steps, and sync rounds (when
+//!   enabled) reconcile credit *levels* instead of overwriting phases.
 //!
 //! What this figure documents:
 //!
-//! * degradation grows with `D`: each shard equalizes gaps in its *own*
-//!   substream, so the superposed per-computer streams lose the global
-//!   spacing Algorithm 2 exists to provide;
+//! * naive degradation grows with `D`: each shard equalizes gaps in its
+//!   *own* substream, so the superposed per-computer streams lose the
+//!   global spacing Algorithm 2 exists to provide;
 //! * the naive credit-mean sync is NOT a repair: forcing every shard
 //!   onto the tier-mean `next` vector phase-locks the shards — right
 //!   after a merge all `D` dispatchers favor the same computer, and a
 //!   tight interval re-locks them before they decorrelate. The sweep
-//!   keeps both intervals precisely to archive that effect (a
-//!   phase-preserving merge is a ROADMAP item);
+//!   keeps both intervals precisely to archive that effect;
+//! * the coordinated tier closes the gap: sequence-stamped replay
+//!   reconstructs the single-dispatcher global sequence, so `D = 16`
+//!   lands within noise of `D = 1`, with or without the sync plane;
 //! * `D = 1` with the tier compiled in is **bit-identical** to the
 //!   plain single-dispatcher simulation on both event-list backends
 //!   (asserted, not just eyeballed — the sweep is only meaningful if
@@ -29,7 +37,9 @@
 //! so when the fastest machine is killed mid-run the resubmitted
 //! backlog and the lost capacity hit the tier unevenly; the scenario
 //! records the response-ratio penalty against a no-fault baseline (the
-//! `fault_interaction` key of the JSON report).
+//! `fault_interaction` key of the JSON report) — and the *repaired*
+//! variant, where the coordinated tier's rate-carrying sync lets ReORR
+//! re-solve Algorithm 1 at the measured post-crash utilization.
 //!
 //! Results are archived into `BENCH_dispatch.json` (override with
 //! `--bench-json PATH`). `--quick` keeps the whole thing CI-friendly.
@@ -40,23 +50,32 @@ use hetsched_bench::{ci, json_num, json_str, Mode};
 /// Dispatcher shard counts swept (1 is the paper's central scheduler).
 const SHARD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 
-/// The sync settings swept per shard count. `None` is the uncoordinated
-/// tier; the intervals are simulated seconds between credit merges, all
-/// with a constant 5 s one-way latency.
+/// The sync settings swept per shard count in naive mode. `None` is the
+/// uncoordinated tier; the intervals are simulated seconds between
+/// credit merges, all with a constant 5 s one-way latency.
 const SYNC_SETTINGS: [(&str, Option<f64>); 3] = [
     ("none", None),
     ("every 500 s", Some(500.0)),
     ("every 5000 s", Some(5000.0)),
 ];
 
-/// One (D, sync) cell of the sweep.
+/// Sync settings swept in coordinated mode: the stamp replay needs no
+/// sync plane at all, and the 500 s plane shows the level merge is
+/// harmless (instead of harmful, as the naive overwrite is).
+const COORD_SYNC_SETTINGS: [(&str, Option<f64>); 2] =
+    [("none", None), ("every 500 s", Some(500.0))];
+
+/// One (D, coordination, sync) cell of the sweep.
 struct Cell {
     dispatchers: usize,
+    coordination: Coordination,
     sync_label: &'static str,
     result: ExperimentResult,
     /// Mean applied sync rounds per replication.
     syncs_applied: f64,
-    /// Largest per-shard deviation from the ideal 1/D arrival share.
+    /// Largest per-shard deviation from the splitter's *expected*
+    /// arrival share (uniform for i.i.d.-random; the exact hash
+    /// partition for source_hash).
     max_share_dev: f64,
 }
 
@@ -67,9 +86,15 @@ fn dispatch_config() -> ClusterConfig {
     ClusterConfig::paper_default(&speeds)
 }
 
-fn experiment(mode: &Mode, dispatchers: usize, sync: Option<f64>) -> Experiment {
+fn experiment(
+    mode: &Mode,
+    dispatchers: usize,
+    sync: Option<f64>,
+    coordination: Coordination,
+) -> Experiment {
     let mut cfg = dispatch_config();
     cfg.dispatch = DispatchSpec::sharded(dispatchers, SplitterSpec::IidRandom);
+    cfg.dispatch.coordination = coordination;
     if let Some(interval) = sync {
         cfg.dispatch.sync = Some(SyncSpec::every(interval).with_latency(5.0));
     }
@@ -82,10 +107,24 @@ fn experiment(mode: &Mode, dispatchers: usize, sync: Option<f64>) -> Experiment 
     exp
 }
 
-fn run_cell(mode: &Mode, dispatchers: usize, sync_label: &'static str, sync: Option<f64>) -> Cell {
-    let result = experiment(mode, dispatchers, sync)
-        .run()
-        .unwrap_or_else(|e| panic!("D={dispatchers}, sync {sync_label}: {e}"));
+fn run_cell(
+    mode: &Mode,
+    dispatchers: usize,
+    coordination: Coordination,
+    sync_label: &'static str,
+    sync: Option<f64>,
+) -> Cell {
+    let exp = experiment(mode, dispatchers, sync, coordination);
+    // The per-cell share accounting measures against the splitter's own
+    // expected partition, so a hash splitter's intentionally uneven
+    // shares do not read as routing bugs.
+    let expected = exp.cluster.dispatch.splitter.expected_shares(dispatchers);
+    let result = exp.run().unwrap_or_else(|e| {
+        panic!(
+            "D={dispatchers}, {} sync {sync_label}: {e}",
+            coordination.label()
+        )
+    });
     let n = result.runs.len() as f64;
     let syncs_applied = result
         .runs
@@ -93,14 +132,19 @@ fn run_cell(mode: &Mode, dispatchers: usize, sync_label: &'static str, sync: Opt
         .map(|r| r.syncs_applied as f64)
         .sum::<f64>()
         / n;
-    let ideal = 1.0 / dispatchers as f64;
     let max_share_dev = result
         .runs
         .iter()
-        .flat_map(|r| r.shards.iter().map(|s| (s.share - ideal).abs()))
+        .flat_map(|r| {
+            r.shards
+                .iter()
+                .zip(&expected)
+                .map(|(s, &e)| (s.share - e).abs())
+        })
         .fold(0.0f64, f64::max);
     Cell {
         dispatchers,
+        coordination,
         sync_label,
         result,
         syncs_applied,
@@ -109,46 +153,54 @@ fn run_cell(mode: &Mode, dispatchers: usize, sync_label: &'static str, sync: Opt
 }
 
 /// The tentpole guarantee, checked at bench time: an explicit `D = 1`
-/// tier reproduces the implicit (default-config) single dispatcher
-/// bit-for-bit on both event-list backends. `obs.kernel.resizes` is
-/// backend-dependent by design and never populated here (no `--obs`),
-/// so plain equality is the right comparison.
+/// tier — naive *or* coordinated — reproduces the implicit
+/// (default-config) single dispatcher bit-for-bit on both event-list
+/// backends. `obs.kernel.resizes` is backend-dependent by design and
+/// never populated here (no `--obs`), so plain equality is the right
+/// comparison.
 fn assert_d1_bit_identity(mode: &Mode) -> bool {
     for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
-        let mut tiered_mode = mode.clone();
-        tiered_mode.event_list = Some(backend);
-        let tiered = experiment(&tiered_mode, 1, None);
-        let mut plain = tiered.clone();
-        plain.cluster.dispatch = Default::default();
-        for rep in 0..mode.reps.min(2) {
-            let a = tiered.run_single(rep).expect("tiered run");
-            let b = plain.run_single(rep).expect("plain run");
-            assert_eq!(
-                a,
-                b,
-                "D=1 tier diverged from the single-dispatcher path on the {} backend",
-                backend.label()
-            );
+        for coordination in [Coordination::Naive, Coordination::PhasePreserving] {
+            let mut tiered_mode = mode.clone();
+            tiered_mode.event_list = Some(backend);
+            let tiered = experiment(&tiered_mode, 1, None, coordination);
+            let mut plain = tiered.clone();
+            plain.cluster.dispatch = Default::default();
+            for rep in 0..mode.reps.min(2) {
+                let a = tiered.run_single(rep).expect("tiered run");
+                let b = plain.run_single(rep).expect("plain run");
+                assert_eq!(
+                    a,
+                    b,
+                    "D=1 {} tier diverged from the single-dispatcher path on the {} backend",
+                    coordination.label(),
+                    backend.label()
+                );
+            }
         }
     }
     true
 }
 
-/// The dispatch × fault interaction scenario: `D = 4` shards under
+/// The dispatch × fault interaction scenario: `D = 8` shards under
 /// sticky source-hash splitting, with the fastest machine (index 0,
 /// speed 5 of a total 15.5) deterministically killed 40% into the run
 /// and never repaired. In-flight and queued jobs resubmit through the
-/// tier after a 10 s notice delay.
+/// tier after a 10 s notice delay. Three variants: the no-fault
+/// baseline, the sticky ORR tier eating the crash, and the repaired
+/// tier — coordinated sharding plus rate-aware ReORR re-solving
+/// Algorithm 1 at the measured post-crash utilization.
 struct FaultInteraction {
     kill_at: f64,
     baseline: ExperimentResult,
     faulty: ExperimentResult,
+    repaired: ExperimentResult,
 }
 
 fn fault_interaction(mode: &Mode) -> FaultInteraction {
     let kill_at = 0.4 * dispatch_config().scaled(mode.scale).horizon;
     let mut cfg = dispatch_config();
-    cfg.dispatch = DispatchSpec::sharded(4, SplitterSpec::SourceHash { sources: 64 });
+    cfg.dispatch = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 64 });
     if let Some(backend) = mode.event_list {
         cfg.event_list = backend;
     }
@@ -160,21 +212,32 @@ fn fault_interaction(mode: &Mode) -> FaultInteraction {
         notice_delay_mean: 10.0,
         servers: Some(vec![0]),
     });
-    let run = |cfg: ClusterConfig, name: &str| -> ExperimentResult {
-        let mut exp = Experiment::new(name, cfg, PolicySpec::orr()).quick(mode.scale, mode.reps);
+    let mut repaired_cfg = faulty_cfg.clone();
+    repaired_cfg.dispatch = repaired_cfg
+        .dispatch
+        .coordinated()
+        .with_sync(SyncSpec::every(500.0).with_latency(5.0));
+    let run = |cfg: ClusterConfig, policy: PolicySpec, name: &str| -> ExperimentResult {
+        let mut exp = Experiment::new(name, cfg, policy).quick(mode.scale, mode.reps);
         exp.threads = mode.threads;
         exp.run().unwrap_or_else(|e| panic!("{name}: {e}"))
     };
     FaultInteraction {
         kill_at,
-        baseline: run(cfg, "fig_dispatch_fault_baseline"),
-        faulty: run(faulty_cfg, "fig_dispatch_fault_kill"),
+        baseline: run(cfg, PolicySpec::orr(), "fig_dispatch_fault_baseline"),
+        faulty: run(faulty_cfg, PolicySpec::orr(), "fig_dispatch_fault_kill"),
+        repaired: run(
+            repaired_cfg,
+            PolicySpec::reopt_orr(),
+            "fig_dispatch_fault_repaired",
+        ),
     }
 }
 
 fn fault_interaction_json(fi: &FaultInteraction) -> String {
     let base = fi.baseline.mean_response_ratio.mean;
     let hit = fi.faulty.mean_response_ratio.mean;
+    let fixed = fi.repaired.mean_response_ratio.mean;
     let n = fi.faulty.runs.len() as f64;
     let mean =
         |f: &dyn Fn(&RunStats) -> f64| -> f64 { fi.faulty.runs.iter().map(f).sum::<f64>() / n };
@@ -185,14 +248,17 @@ fn fault_interaction_json(fi: &FaultInteraction) -> String {
         .flat_map(|r| r.shards.iter().map(|s| s.share))
         .fold(0.0f64, f64::max);
     format!(
-        "{{ \"splitter\": \"source_hash\", \"dispatchers\": 4, \"kill_time\": {}, \
+        "{{ \"splitter\": \"source_hash\", \"dispatchers\": 8, \"kill_time\": {}, \
          \"baseline_mean_response_ratio\": {}, \"faulty_mean_response_ratio\": {}, \
-         \"penalty_pct\": {}, \"crashes\": {}, \"jobs_resubmitted\": {}, \
+         \"penalty_pct\": {}, \"repaired_mean_response_ratio\": {}, \
+         \"repaired_penalty_pct\": {}, \"crashes\": {}, \"jobs_resubmitted\": {}, \
          \"availability\": {}, \"max_shard_share\": {} }}",
         json_num(fi.kill_at),
         json_num(base),
         json_num(hit),
         json_num(100.0 * (hit - base) / base),
+        json_num(fixed),
+        json_num(100.0 * (fixed - base) / base),
         json_num(mean(&|r| r.crashes as f64)),
         json_num(mean(&|r| r.jobs_resubmitted as f64)),
         json_num(mean(&|r| r.availability)),
@@ -221,11 +287,12 @@ fn report_json(
         .map(|c| {
             let orr = c.result.mean_response_ratio.mean;
             format!(
-                "    {{ \"dispatchers\": {}, \"sync\": {}, \
+                "    {{ \"dispatchers\": {}, \"coordination\": {}, \"sync\": {}, \
                  \"mean_response_ratio\": {}, \"ci_half_width\": {}, \
                  \"degradation_pct\": {}, \"syncs_applied\": {}, \
                  \"max_share_dev\": {} }}",
                 c.dispatchers,
+                json_str(c.coordination.label()),
                 json_str(c.sync_label),
                 json_num(orr),
                 json_num(c.result.mean_response_ratio.half_width),
@@ -247,7 +314,7 @@ fn report_json(
 fn main() {
     let mode = Mode::from_env();
 
-    println!("\nDispatch tier: D=1 bit-identity check (both backends)");
+    println!("\nDispatch tier: D=1 bit-identity check (both backends, both modes)");
     let identical = assert_d1_bit_identity(&mode);
     println!("D=1 tier bit-identical to the single-dispatcher path: {identical}");
 
@@ -258,7 +325,18 @@ fn main() {
             if d == 1 && sync.is_some() {
                 continue; // one shard has no peer to sync with
             }
-            cells.push(run_cell(&mode, d, label, sync));
+            cells.push(run_cell(&mode, d, Coordination::Naive, label, sync));
+        }
+        if d > 1 {
+            for &(label, sync) in &COORD_SYNC_SETTINGS {
+                cells.push(run_cell(
+                    &mode,
+                    d,
+                    Coordination::PhasePreserving,
+                    label,
+                    sync,
+                ));
+            }
         }
     }
     let baseline_orr = cells
@@ -271,6 +349,7 @@ fn main() {
 
     let mut t = Table::new([
         "D",
+        "coordination",
         "sync",
         "mean response ratio",
         "degradation",
@@ -281,6 +360,7 @@ fn main() {
         let orr = c.result.mean_response_ratio.mean;
         t.row([
             format!("{}", c.dispatchers),
+            c.coordination.label().to_string(),
             c.sync_label.to_string(),
             ci(&c.result.mean_response_ratio),
             format!("{:+.2}%", 100.0 * (orr - baseline_orr) / baseline_orr),
@@ -289,11 +369,23 @@ fn main() {
         ]);
     }
     t.print();
+    if let Some(c) = cells.iter().find(|c| {
+        c.dispatchers == 16
+            && c.coordination == Coordination::PhasePreserving
+            && c.sync_label == "none"
+    }) {
+        let orr = c.result.mean_response_ratio.mean;
+        println!(
+            "headline: coordinated D=16 degradation {:+.2}% vs D=1",
+            100.0 * (orr - baseline_orr) / baseline_orr
+        );
+    }
 
     println!("\nDispatch x faults: kill the fastest machine under source-hash splitting");
     let fi = fault_interaction(&mode);
     let base = fi.baseline.mean_response_ratio.mean;
     let hit = fi.faulty.mean_response_ratio.mean;
+    let fixed = fi.repaired.mean_response_ratio.mean;
     let mut t = Table::new([
         "scenario",
         "mean response ratio",
@@ -308,7 +400,7 @@ fn main() {
         "1.000".to_string(),
     ]);
     t.row([
-        format!("kill fastest @ {:.0} s", fi.kill_at),
+        format!("kill fastest @ {:.0} s (sticky ORR)", fi.kill_at),
         ci(&fi.faulty.mean_response_ratio),
         format!(
             "{:.0}",
@@ -324,10 +416,28 @@ fn main() {
             fi.faulty.runs.iter().map(|r| r.availability).sum::<f64>() / n
         ),
     ]);
+    t.row([
+        "same kill (coordinated ReORR)".to_string(),
+        ci(&fi.repaired.mean_response_ratio),
+        format!(
+            "{:.0}",
+            fi.repaired
+                .runs
+                .iter()
+                .map(|r| r.jobs_resubmitted as f64)
+                .sum::<f64>()
+                / n
+        ),
+        format!(
+            "{:.3}",
+            fi.repaired.runs.iter().map(|r| r.availability).sum::<f64>() / n
+        ),
+    ]);
     t.print();
     println!(
-        "response-ratio penalty: {:+.1}%",
-        100.0 * (hit - base) / base
+        "response-ratio penalty: sticky {:+.1}%, repaired {:+.1}%",
+        100.0 * (hit - base) / base,
+        100.0 * (fixed - base) / base
     );
 
     if let Some(path) = &mode.json {

@@ -81,6 +81,10 @@ pub enum Command {
         /// Optional one-way sync latency (seconds; requires
         /// `sync_interval`).
         sync_latency: Option<f64>,
+        /// Enables coordinated (phase-preserving) sharding: sequence-
+        /// stamped splitting, level-reconciling sync merges, and
+        /// rate-driven Algorithm-1 re-optimization.
+        coordinated: bool,
         /// Optional parallel-engine worker-thread count (None = classic
         /// sequential engine; `Some(n)` runs one event kernel per
         /// dispatch shard on up to `n` threads, bit-identical to the
@@ -128,7 +132,8 @@ USAGE:
   hetsched simulate --spec experiment.json [--out results.json]
                     [--policy dynamic-idx] [--event-list heap|calendar]
                     [--dispatchers 4] [--sync-interval 500]
-                    [--sync-latency 10] [--sim-threads 4] [--loss 0.01]
+                    [--sync-latency 10] [--coordinated]
+                    [--sim-threads 4] [--loss 0.01]
                     [--retry-timeout 30] [--hedge-delay 10]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
@@ -185,6 +190,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut dispatchers = None;
             let mut sync_interval = None;
             let mut sync_latency = None;
+            let mut coordinated = false;
             let mut sim_threads = None;
             let mut loss = None;
             let mut retry_timeout = None;
@@ -226,6 +232,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err(format!("sync latency must be ≥ 0, got {v}"));
                         }
                         sync_latency = Some(lat);
+                    }
+                    "--coordinated" => {
+                        coordinated = true;
                     }
                     "--sim-threads" => {
                         let v = it.next().ok_or("--sim-threads needs a count")?;
@@ -276,6 +285,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 dispatchers,
                 sync_interval,
                 sync_latency,
+                coordinated,
                 sim_threads,
                 loss,
                 retry_timeout,
@@ -355,6 +365,7 @@ pub fn run(cmd: Command) -> i32 {
             dispatchers,
             sync_interval,
             sync_latency,
+            coordinated,
             sim_threads,
             loss,
             retry_timeout,
@@ -367,6 +378,7 @@ pub fn run(cmd: Command) -> i32 {
             dispatchers,
             sync_interval,
             sync_latency,
+            coordinated,
             sim_threads,
             channel_spec(loss, retry_timeout, hedge_delay),
         ) {
@@ -476,6 +488,7 @@ pub fn simulate(
     dispatchers: Option<usize>,
     sync_interval: Option<f64>,
     sync_latency: Option<f64>,
+    coordinated: bool,
     sim_threads: Option<usize>,
     channels: Option<ChannelSpec>,
 ) -> Result<String, String> {
@@ -491,6 +504,9 @@ pub fn simulate(
     }
     if let Some(d) = dispatchers {
         exp.cluster.dispatch.dispatchers = d;
+    }
+    if coordinated {
+        exp.cluster.dispatch.coordination = Coordination::PhasePreserving;
     }
     if let Some(iv) = sync_interval {
         let mut sync = SyncSpec::every(iv);
@@ -640,6 +656,7 @@ mod tests {
                 dispatchers: None,
                 sync_interval: None,
                 sync_latency: None,
+                coordinated: false,
                 sim_threads: None,
                 loss: None,
                 retry_timeout: None,
@@ -672,6 +689,7 @@ mod tests {
                 dispatchers: Some(4),
                 sync_interval: Some(500.0),
                 sync_latency: Some(10.0),
+                coordinated: false,
                 sim_threads: None,
                 loss: None,
                 retry_timeout: None,
@@ -715,6 +733,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_coordinated_flag() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--dispatchers",
+            "16",
+            "--coordinated",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                dispatchers,
+                coordinated,
+                ..
+            } => {
+                assert_eq!(dispatchers, Some(16));
+                assert!(coordinated);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
     fn parses_simulate_sim_threads() {
         let cmd = parse_args(&args(&[
             "simulate",
@@ -734,6 +776,7 @@ mod tests {
                 dispatchers: None,
                 sync_interval: None,
                 sync_latency: None,
+                coordinated: false,
                 sim_threads: Some(4),
                 loss: None,
                 retry_timeout: None,
@@ -800,6 +843,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             None,
             None,
         )
@@ -894,6 +938,7 @@ mod tests {
                 dispatchers: None,
                 sync_interval: None,
                 sync_latency: None,
+                coordinated: false,
                 sim_threads: None,
                 loss: None,
                 retry_timeout: None,
@@ -1012,6 +1057,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             None,
             None,
         )
@@ -1079,6 +1125,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             None,
             None,
         )
@@ -1106,6 +1153,7 @@ mod tests {
             Some(2),
             Some(1_000.0),
             Some(5.0),
+            false,
             None,
             None,
         )
@@ -1142,6 +1190,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             None,
             None,
         )
@@ -1154,6 +1203,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             Some(2),
             None,
         )
@@ -1182,6 +1232,7 @@ mod tests {
             None,
             None,
             None,
+            false,
             None,
             None,
         )

@@ -74,7 +74,10 @@ pub use channel::{ChannelSpec, HedgeSpec, PlaneSpec, RetrySpec, CHANNEL_STREAM_B
 pub use config::{ArrivalSpec, ClusterConfig, EventListBackend, FleetGroup, PerServerMode};
 pub use discipline::{Discipline, DisciplineSpec};
 pub use faults::{FaultSpec, JobFaultSemantics};
-pub use hetsched_dispatch::{DispatchSpec, SplitterSpec, SyncSpec, SyncState};
+pub use hetsched_dispatch::{
+    compensated_total, consensus_coordinated, level_shift, Coordination, DispatchSpec,
+    SplitterSpec, SyncSpec, SyncState,
+};
 pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
 pub use index::{ArgminTree, FleetState};
 pub use job::{JobId, JobRecord, JobSlab};

@@ -61,7 +61,9 @@ use std::time::Instant;
 use hetsched_desim::{
     CalendarQueue, Engine, EventQueue, FelStats, FutureEventList, Rng64, SimTime,
 };
-use hetsched_dispatch::{consensus, DispatchSpec, Splitter, SyncExchange, SyncState};
+use hetsched_dispatch::{
+    consensus, consensus_coordinated, Coordination, DispatchSpec, Splitter, SyncExchange, SyncState,
+};
 use hetsched_dist::{ArrivalProcess, Sample};
 use hetsched_error::HetschedError;
 use hetsched_metrics::Welford;
@@ -337,6 +339,12 @@ impl<P: Policy> ParallelSimulation<P> {
         // apply latency is the engine's lookahead. A single shard keeps
         // its original config and handles sync internally, classic-style.
         let sync = if d > 1 { cfg.dispatch.sync } else { None };
+        // The coordinated fold only changes how the epoch barrier merges
+        // the shard snapshots; inside a PDES shard the fleet (and the
+        // policy) is partitioned, so there is no rotation interleaving to
+        // preserve and no rate payload is attached (a partitioned-fleet
+        // shard's policy already sees only its own substream).
+        let coordinated = cfg.dispatch.coordination == Coordination::PhasePreserving;
         let mut epochs: Vec<SimTime> = Vec::new();
         if let Some(plane) = sync {
             let mut tk = SimTime::ZERO;
@@ -363,7 +371,12 @@ impl<P: Policy> ParallelSimulation<P> {
                         states.push(state);
                     }
                 }
-                if let Some(merged) = consensus(&states) {
+                let merged = if coordinated {
+                    consensus_coordinated(&states)
+                } else {
+                    consensus(&states)
+                };
+                if let Some(merged) = merged {
                     for rt in shards.iter_mut() {
                         rt.model.pending_sync.push_back(merged.clone());
                         rt.engine.schedule_at(tk.after(latency), Ev::SyncApply);
@@ -376,7 +389,11 @@ impl<P: Policy> ParallelSimulation<P> {
                 shard_s[s] += t.elapsed().as_secs_f64();
             }
         } else {
-            let exchange = SyncExchange::new(d, threads);
+            let exchange = if coordinated {
+                SyncExchange::new(d, threads).coordinated()
+            } else {
+                SyncExchange::new(d, threads)
+            };
             let epochs_ref = &epochs;
             let mut slots: Vec<Option<ShardRt<P, Q>>> = shards.into_iter().map(Some).collect();
             let collected: Vec<(usize, ShardRt<P, Q>)> = std::thread::scope(|scope| {
@@ -860,10 +877,7 @@ mod tests {
         }
 
         fn sync_state(&self) -> Option<SyncState> {
-            Some(SyncState {
-                credits: vec![self.credit],
-                loads: Vec::new(),
-            })
+            Some(SyncState::with_credits(vec![self.credit]))
         }
 
         fn merge_sync(&mut self, merged: &SyncState, _now: f64) {
@@ -891,6 +905,7 @@ mod tests {
             dispatchers: d,
             splitter: SplitterSpec::IidRandom,
             sync,
+            ..DispatchSpec::default()
         };
         cfg
     }

@@ -98,6 +98,16 @@ pub trait Policy: Send {
     /// their private counters.
     fn merge_sync(&mut self, _consensus: &SyncState, _now: f64) {}
 
+    /// Advances the policy's rotation state by `steps` *virtual*
+    /// arrivals — dispatch decisions made by peer shards in a
+    /// coordinated tier. A coordinated shard calls this with the
+    /// sequence-stamp gap before each real decision, so its private
+    /// rotation machine lazily replays the global dispatch sequence.
+    /// The default is a no-op: policies without rotation state (random,
+    /// dynamic, JSQ) are insensitive to interleaving and need no
+    /// coordination.
+    fn advance_rotation(&mut self, _steps: u64) {}
+
     /// Number of dispatch decisions this instance made while the chosen
     /// server's load index was older than its confidence window (0 for
     /// every policy that does not track staleness — see
@@ -141,6 +151,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn merge_sync(&mut self, consensus: &SyncState, now: f64) {
         (**self).merge_sync(consensus, now)
+    }
+
+    fn advance_rotation(&mut self, steps: u64) {
+        (**self).advance_rotation(steps)
     }
 
     fn stale_decisions(&self) -> u64 {
@@ -189,6 +203,7 @@ mod tests {
         p.on_membership_change(&[true, false], 1.0); // likewise
         assert!(p.sync_state().is_none()); // nothing mergeable by default
         p.merge_sync(&SyncState::default(), 1.0); // default no-op
+        p.advance_rotation(3); // default no-op: no rotation state
         assert_eq!(p.stale_decisions(), 0); // default: no staleness tracking
     }
 }

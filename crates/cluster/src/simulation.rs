@@ -62,7 +62,9 @@ use hetsched_desim::{
     Actor, CalendarQueue, Engine, EventId, EventQueue, FelStats, FutureEventList, Rng64, Scheduler,
     SimTime,
 };
-use hetsched_dispatch::{consensus, Splitter, SyncSpec, SyncState};
+use hetsched_dispatch::{
+    consensus, consensus_coordinated, Coordination, Splitter, SyncSpec, SyncState,
+};
 use hetsched_dist::{ArrivalProcess, BuiltDist, Sample};
 use hetsched_error::HetschedError;
 use hetsched_metrics::{DeviationTracker, Histogram, P2Quantile, Welford};
@@ -450,11 +452,39 @@ impl ChannelRuntime {
     }
 }
 
+/// Runtime state of the coordinated (phase-preserving) dispatch tier.
+///
+/// The splitter centrally observes every arrival, so it can stamp each
+/// one with a global sequence number — exactly the information a real
+/// L4 front-end has. Before a shard makes a real decision it replays the
+/// arrivals its peers handled since its own last one as *virtual*
+/// rotation steps ([`Policy::advance_rotation`]), keeping its private
+/// rotation machine on the global credit trajectory: the union of the
+/// shards' decisions reconstructs the single-dispatcher sequence.
+///
+/// The per-shard arrival counters feed the sync plane's rate payload,
+/// which lets a rate-aware policy (ReORR) re-solve Algorithm 1 at the
+/// tier's *measured* utilization.
+struct CoordState {
+    /// Global sequence number of the last arrival each shard handled
+    /// (0 = none yet; the splitter stamps arrivals from 1).
+    last_seq: Vec<u64>,
+    /// Arrivals routed to each shard since the run began. Feeds the
+    /// sync plane's cumulative rate payload (`seen / now`): a long-run
+    /// average rather than a per-interval estimate, because one sync
+    /// window holds too few bursty arrivals to re-solve Algorithm 1
+    /// against without whipsawing the allocation.
+    seen: Vec<u64>,
+}
+
 pub(crate) struct Model<P: Policy> {
     /// One policy instance per dispatcher shard.
     pub(crate) policies: Vec<P>,
     /// Routes each arrival to a shard (trivial for one dispatcher).
     splitter: Splitter,
+    /// Present iff the tier runs in coordinated (phase-preserving) mode
+    /// with more than one shard; `None` is the uncoordinated baseline.
+    coord: Option<CoordState>,
     /// Counted jobs routed per shard (reported only for `D > 1`).
     pub(crate) shard_routed: Vec<u64>,
     /// The sync plane, when configured.
@@ -576,6 +606,15 @@ impl<P: Policy> Model<P> {
             policies,
             // D = 1 builds the trivial splitter: shard 0 always, no RNG.
             splitter: Splitter::new(&cfg.dispatch, seed),
+            // Coordination with one shard is structurally invisible (a
+            // single shard never has peer gaps to replay), so the state
+            // is only built when it can matter.
+            coord: (cfg.dispatch.coordination == Coordination::PhasePreserving && shards > 1).then(
+                || CoordState {
+                    last_seq: vec![0; shards],
+                    seen: vec![0; shards],
+                },
+            ),
             shard_routed: vec![0; shards],
             sync: cfg.dispatch.sync,
             pending_sync: VecDeque::new(),
@@ -740,6 +779,25 @@ impl<P: Policy> Model<P> {
         self.done_buf.clear();
     }
 
+    /// Coordinated-tier catch-up, called immediately after the splitter
+    /// routes an arrival to `shard`: replays the global arrivals peer
+    /// shards handled since this shard's previous one as virtual
+    /// rotation steps, so the shard's real decision lands exactly where
+    /// the single-dispatcher machine would put it. No-op for the
+    /// uncoordinated baseline.
+    fn coordinate(&mut self, shard: usize) {
+        let Some(coord) = &mut self.coord else {
+            return;
+        };
+        let seq = self.splitter.sequence();
+        let steps = seq - coord.last_seq[shard] - 1;
+        if steps > 0 {
+            self.policies[shard].advance_rotation(steps);
+        }
+        coord.last_seq[shard] = seq;
+        coord.seen[shard] += 1;
+    }
+
     fn handle_arrival<Q: FutureEventList<Ev>>(
         &mut self,
         now: f64,
@@ -792,6 +850,12 @@ impl<P: Policy> Model<P> {
                 self.jobs_counted += 1;
             }
             let shard = self.splitter.route();
+            // The rotation catch-up happens at *routing* time; the
+            // actual decision (and any retry re-decisions) in
+            // `start_attempt` then runs on the caught-up machine. Retry
+            // attempts are extra decisions the global sequence never
+            // saw — a small, documented phase perturbation.
+            self.coordinate(shard);
             if counted {
                 self.shard_routed[shard] += 1;
             }
@@ -812,6 +876,13 @@ impl<P: Policy> Model<P> {
             self.start_attempt(tx, gen, false, now, sched);
             return;
         }
+        // The splitter picks the dispatcher; that shard's private policy
+        // instance picks the server. All shards share the dispatch RNG
+        // stream, so with one shard the draw sequence is exactly the
+        // single-dispatcher one. In coordinated mode the shard first
+        // replays its peers' arrivals as virtual rotation steps.
+        let shard = self.splitter.route();
+        self.coordinate(shard);
         let ctx = DispatchCtx {
             now,
             job_size: size,
@@ -819,11 +890,6 @@ impl<P: Policy> Model<P> {
             speeds: &self.speeds,
             true_load_index: self.fleet.index.as_ref(),
         };
-        // The splitter picks the dispatcher; that shard's private policy
-        // instance picks the server. All shards share the dispatch RNG
-        // stream, so with one shard the draw sequence is exactly the
-        // single-dispatcher one.
-        let shard = self.splitter.route();
         let target = self.policies[shard].choose(&ctx, &mut self.rng_dispatch);
         debug_assert!(target < self.servers.len(), "policy chose {target}");
 
@@ -1321,6 +1387,12 @@ impl<P: Policy> Model<P> {
             }
             return;
         }
+        // Resubmissions go back through the splitter like fresh
+        // arrivals: the original shard is not remembered — and in
+        // coordinated mode they get a fresh sequence stamp, so the
+        // replay bookkeeping stays exact.
+        let shard = self.splitter.route();
+        self.coordinate(shard);
         let ctx = DispatchCtx {
             now,
             job_size: rec.size,
@@ -1328,9 +1400,6 @@ impl<P: Policy> Model<P> {
             speeds: &self.speeds,
             true_load_index: self.fleet.index.as_ref(),
         };
-        // Resubmissions go back through the splitter like fresh
-        // arrivals: the original shard is not remembered.
-        let shard = self.splitter.route();
         let target = self.policies[shard].choose(&ctx, &mut self.rng_dispatch);
         debug_assert!(target < self.servers.len(), "policy chose {target}");
         if !self.servers[target].is_up() {
@@ -1412,6 +1481,27 @@ impl<P: Policy> Model<P> {
     }
 
     fn deliver_membership(&mut self, now: f64) {
+        // A coordinated tier first brings every shard to the current
+        // global sequence position. Shards replay peer arrivals lazily,
+        // so without this each shard would apply the membership change
+        // at a *different* point of its replayed trajectory — the
+        // trajectories would permanently diverge into slightly-offset
+        // copies of the same full-rate cycle, whose thinned unions
+        // clump jobs (the phase-locking pathology coordination exists
+        // to avoid). Catching up first makes the change a consistent
+        // cut: every shard's trajectory switches membership at the same
+        // arrival, so the global-sequence reconstruction survives
+        // crashes and repairs.
+        if let Some(coord) = &mut self.coord {
+            let seq = self.splitter.sequence();
+            for (shard, last) in coord.last_seq.iter_mut().enumerate() {
+                let steps = seq - *last;
+                if steps > 0 {
+                    self.policies[shard].advance_rotation(steps);
+                }
+                *last = seq;
+            }
+        }
         self.up_buf.clear();
         self.up_buf.extend(self.servers.iter().map(|s| s.is_up()));
         // Membership is cluster-wide infrastructure news: every shard's
@@ -1432,12 +1522,41 @@ impl<P: Policy> Model<P> {
     ) {
         let sync = self.sync.expect("sync event without a sync plane");
         sched.schedule_in(sync.interval, Ev::SyncPublish);
-        let states: Vec<SyncState> = self
-            .policies
-            .iter()
-            .filter_map(|p| p.sync_state())
-            .collect();
-        let Some(merged) = consensus(&states) else {
+        let merged = match &mut self.coord {
+            None => {
+                let states: Vec<SyncState> = self
+                    .policies
+                    .iter()
+                    .filter_map(|p| p.sync_state())
+                    .collect();
+                consensus(&states)
+            }
+            Some(coord) => {
+                // Coordinated publish: each shard's snapshot carries its
+                // realized substream arrival rate — cumulative since the
+                // run began, because a single publish window holds too
+                // few (bursty) arrivals to estimate λ stably, and a
+                // noisy λ would whipsaw a rate-aware policy's
+                // allocation from round to round. The fold is the
+                // phase-preserving one; the consensus rate is the tier
+                // total — the λ ReORR re-solves Algorithm 1 against.
+                let states: Vec<SyncState> = self
+                    .policies
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, p)| {
+                        p.sync_state().map(|mut st| {
+                            if now > 0.0 {
+                                st.rate = coord.seen[s] as f64 / now;
+                            }
+                            st
+                        })
+                    })
+                    .collect();
+                consensus_coordinated(&states)
+            }
+        };
+        let Some(merged) = merged else {
             return; // nothing mergeable this round
         };
         if sync.latency <= 0.0 {
@@ -1997,10 +2116,7 @@ mod tests {
         }
 
         fn sync_state(&self) -> Option<SyncState> {
-            Some(SyncState {
-                credits: vec![self.next as f64],
-                loads: Vec::new(),
-            })
+            Some(SyncState::with_credits(vec![self.next as f64]))
         }
 
         fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
@@ -2032,6 +2148,7 @@ mod tests {
                 dispatchers: 1,
                 splitter,
                 sync: None,
+                ..Default::default()
             };
             let tiered = Simulation::new(cfg, Cyclic { next: 0 }, 21).unwrap().run();
             assert_eq!(tiered, baseline);

@@ -80,9 +80,9 @@ pub use sweep::{PointStats, Sweep, SweepOutcome, SweepStats};
 pub mod prelude {
     pub use crate::cluster::faults::{FaultSpec, JobFaultSemantics};
     pub use crate::cluster::{
-        ArrivalSpec, ChannelSpec, ClusterConfig, DisciplineSpec, DispatchSpec, EventListBackend,
-        HedgeSpec, ParallelSimulation, PdesTiming, PlaneSpec, RetrySpec, RunStats, SplitterSpec,
-        SyncSpec,
+        ArrivalSpec, ChannelSpec, ClusterConfig, Coordination, DisciplineSpec, DispatchSpec,
+        EventListBackend, HedgeSpec, ParallelSimulation, PdesTiming, PlaneSpec, RetrySpec,
+        RunStats, SplitterSpec, SyncSpec,
     };
     pub use crate::dist::DistSpec;
     pub use crate::error::HetschedError;

@@ -19,6 +19,15 @@
 //!   shard publishes (Algorithm-2 credit/deficit counters, dynamic
 //!   believed loads) and the elementwise-mean consensus the sync plane
 //!   ships back to every shard after the configured one-way latency.
+//! * [`Coordination`] / [`consensus_coordinated`] — the
+//!   phase-preserving coordination mode: the splitter stamps every
+//!   arrival with a global sequence number so each shard can replay
+//!   its peers' inter-arrival gaps as virtual rotation steps, sync
+//!   rounds reconcile credit *levels* (a per-shard constant shift that
+//!   cannot move a shard's argmin) instead of overwriting phases, and
+//!   the consensus carries the tier's realized arrival rate for
+//!   Algorithm-1 re-optimization. See the `sync` module docs for the
+//!   merge algebra.
 //!
 //! **The load-bearing invariant**: with `dispatchers = 1` and sync
 //! disabled the tier is *structurally invisible* — [`Splitter::route`]
@@ -35,6 +44,6 @@ mod splitter;
 mod sync;
 
 pub use plane::SyncExchange;
-pub use spec::{DispatchSpec, SplitterSpec, SyncSpec};
+pub use spec::{Coordination, DispatchSpec, SplitterSpec, SyncSpec};
 pub use splitter::{Splitter, SPLITTER_STREAM};
-pub use sync::{consensus, SyncState};
+pub use sync::{compensated_total, consensus, consensus_coordinated, level_shift, SyncState};

@@ -12,7 +12,7 @@
 
 use std::sync::{Barrier, Mutex};
 
-use crate::sync::{consensus, SyncState};
+use crate::sync::{consensus, consensus_coordinated, SyncState};
 
 /// A reusable epoch-barrier rendezvous for shard state synchronisation.
 ///
@@ -32,17 +32,30 @@ pub struct SyncExchange {
     merged: Mutex<Option<SyncState>>,
     /// Two-phase rendezvous over the worker threads.
     barrier: Barrier,
+    /// Whether the leader folds with the phase-preserving combinator
+    /// ([`consensus_coordinated`]) instead of the elementwise mean.
+    coordinated: bool,
 }
 
 impl SyncExchange {
     /// Creates an exchange for `shards` slots rendezvousing `threads`
-    /// worker threads.
+    /// worker threads, folding with the naive elementwise mean.
     pub fn new(shards: usize, threads: usize) -> Self {
         SyncExchange {
             slots: (0..shards).map(|_| Mutex::new(None)).collect(),
             merged: Mutex::new(None),
             barrier: Barrier::new(threads),
+            coordinated: false,
         }
+    }
+
+    /// Switches the leader's fold to the phase-preserving combinator.
+    /// Both folds walk the slots in shard-index order, so either mode
+    /// is bit-identical across thread counts and interleavings.
+    #[must_use]
+    pub fn coordinated(mut self) -> Self {
+        self.coordinated = true;
+        self
     }
 
     /// Stores `state` as shard `shard`'s snapshot for this epoch.
@@ -67,7 +80,11 @@ impl SyncExchange {
                 .iter()
                 .filter_map(|slot| slot.lock().expect("sync slot poisoned").take())
                 .collect();
-            *self.merged.lock().expect("merged slot poisoned") = consensus(&states);
+            *self.merged.lock().expect("merged slot poisoned") = if self.coordinated {
+                consensus_coordinated(&states)
+            } else {
+                consensus(&states)
+            };
         }
         self.barrier.wait();
         self.merged.lock().expect("merged slot poisoned").clone()
@@ -80,7 +97,11 @@ mod tests {
     use std::sync::Arc;
 
     fn state(credits: Vec<f64>, loads: Vec<f64>) -> SyncState {
-        SyncState { credits, loads }
+        SyncState {
+            credits,
+            loads,
+            ..SyncState::default()
+        }
     }
 
     #[test]
@@ -116,6 +137,21 @@ mod tests {
         // must not leak in.
         ex.publish(0, Some(state(vec![10.0], vec![10.0])));
         assert_eq!(ex.exchange().unwrap().credits, vec![10.0]);
+    }
+
+    #[test]
+    fn coordinated_exchange_uses_phase_preserving_fold() {
+        let ex = SyncExchange::new(2, 1).coordinated();
+        let mut a = state(vec![1.0, 3.0], Vec::new());
+        a.rate = 0.25;
+        let mut b = state(vec![3.0, 5.0], Vec::new());
+        b.rate = 0.5;
+        ex.publish(0, Some(a.clone()));
+        ex.publish(1, Some(b.clone()));
+        let merged = ex.exchange().unwrap();
+        assert_eq!(merged, consensus_coordinated(&[a, b]).unwrap());
+        assert!(merged.phase_preserving);
+        assert_eq!(merged.rate, 0.75);
     }
 
     #[test]

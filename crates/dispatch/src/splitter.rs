@@ -32,6 +32,9 @@ enum Router {
 pub struct Splitter {
     shards: usize,
     router: Router,
+    /// Arrivals routed so far — the global sequence stamp coordinated
+    /// shards use to reconstruct the inter-arrival gaps of their peers.
+    routed: u64,
 }
 
 /// SplitMix64 finalizer; a full-avalanche hash so consecutive source ids
@@ -41,6 +44,34 @@ fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+impl SplitterSpec {
+    /// The long-run arrival share each of `d` shards receives under
+    /// this splitter.
+    ///
+    /// Round-robin and iid-random split uniformly; source-hash shares
+    /// follow the hash partition of the source space, which is *not*
+    /// uniform for small source counts — the correct yardstick for
+    /// per-shard share-deviation accounting (measuring a source-hash
+    /// tier against `1/D` misreads hash imbalance as splitter error).
+    pub fn expected_shares(&self, d: usize) -> Vec<f64> {
+        let d = d.max(1);
+        match self {
+            SplitterSpec::RoundRobin | SplitterSpec::IidRandom => vec![1.0 / d as f64; d],
+            SplitterSpec::SourceHash { sources } => {
+                let sources = (*sources).max(1);
+                let mut counts = vec![0u64; d];
+                for source in 0..sources {
+                    counts[(mix64(source) % d as u64) as usize] += 1;
+                }
+                counts
+                    .into_iter()
+                    .map(|c| c as f64 / sources as f64)
+                    .collect()
+            }
+        }
+    }
 }
 
 impl Splitter {
@@ -62,7 +93,11 @@ impl Splitter {
                 },
             }
         };
-        Splitter { shards, router }
+        Splitter {
+            shards,
+            router,
+            routed: 0,
+        }
     }
 
     /// Number of dispatcher shards.
@@ -70,9 +105,21 @@ impl Splitter {
         self.shards
     }
 
+    /// Global sequence number of routed arrivals: how many arrivals the
+    /// splitter has stamped so far (1-based after the first `route`).
+    ///
+    /// Coordinated shards read the stamp to learn how many arrivals
+    /// their peers handled since their own last one — the splitter is
+    /// the one component that sees the whole stream, so the stamp is
+    /// information a real front-end router can attach for free.
+    pub fn sequence(&self) -> u64 {
+        self.routed
+    }
+
     /// Routes the next arrival, returning the shard index in
-    /// `0..shards()`.
+    /// `0..shards()` and advancing the sequence stamp.
     pub fn route(&mut self) -> usize {
+        self.routed += 1;
         match &mut self.router {
             Router::Trivial => 0,
             Router::RoundRobin { next } => {
@@ -164,6 +211,59 @@ mod tests {
         let mut b = Splitter::new(&spec, 99);
         for _ in 0..1000 {
             assert_eq!(a.route(), b.route());
+        }
+    }
+
+    #[test]
+    fn sequence_stamp_counts_every_routed_arrival() {
+        let spec = DispatchSpec::sharded(4, SplitterSpec::RoundRobin);
+        let mut s = Splitter::new(&spec, 42);
+        assert_eq!(s.sequence(), 0);
+        for k in 1..=10u64 {
+            s.route();
+            assert_eq!(s.sequence(), k);
+        }
+        // The trivial splitter stamps too (inert but consistent).
+        let mut t = Splitter::new(&DispatchSpec::default(), 42);
+        t.route();
+        assert_eq!(t.sequence(), 1);
+    }
+
+    #[test]
+    fn expected_shares_are_uniform_for_symmetric_splitters() {
+        for spec in [SplitterSpec::RoundRobin, SplitterSpec::IidRandom] {
+            let shares = spec.expected_shares(8);
+            assert_eq!(shares, vec![0.125; 8]);
+        }
+        assert_eq!(SplitterSpec::RoundRobin.expected_shares(1), vec![1.0]);
+    }
+
+    #[test]
+    fn source_hash_expected_shares_match_realized_routing() {
+        // The hash partition of 64 sources over 4 shards is exactly
+        // computable; the realized long-run shares must converge to it
+        // (not to 1/D — small source counts hash unevenly).
+        let spec = SplitterSpec::SourceHash { sources: 64 };
+        let shares = spec.expected_shares(4);
+        assert_eq!(shares.len(), 4);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(
+            shares.iter().any(|&s| (s - 0.25).abs() > 1e-9),
+            "64 sources over 4 shards should not hash perfectly evenly: {shares:?}"
+        );
+        let dspec = DispatchSpec::sharded(4, spec);
+        let mut splitter = Splitter::new(&dspec, 13);
+        let n = 400_000usize;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[splitter.route()] += 1;
+        }
+        for (shard, (&c, &want)) in counts.iter().zip(&shares).enumerate() {
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "shard {shard}: realized {got} vs hash-expected {want}"
+            );
         }
     }
 

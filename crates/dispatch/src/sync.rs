@@ -1,4 +1,33 @@
-//! The mergeable state snapshot and its consensus combinator.
+//! The mergeable state snapshot and its consensus combinators.
+//!
+//! Two merge modes exist, selected by the tier's
+//! [`Coordination`](crate::Coordination) setting:
+//!
+//! * [`consensus`] — the naive elementwise mean. Historical behavior,
+//!   kept bit-for-bit: adopting the mean overwrites each shard's
+//!   rotation *phase*, which phase-locks Algorithm-2 shards (every
+//!   dispatcher favors the same computer right after a merge).
+//! * [`consensus_coordinated`] — the phase-preserving variant. It
+//!   computes the same per-server credit *levels* (the tier mean), but
+//!   marks the snapshot so that credit policies adopt it as a per-shard
+//!   constant shift toward the tier level rather than a copy: a constant
+//!   shift leaves every within-shard credit difference — and therefore
+//!   the shard's rotation offset — untouched. It also sums the shards'
+//!   realized substream arrival rates into a tier rate for Algorithm-1
+//!   re-optimization, and folds with sorted compensated (Neumaier)
+//!   summation so the consensus is bitwise invariant under shard
+//!   permutation.
+//!
+//! The merge algebra behind the coordinated mode: Algorithm 2's
+//! dispatch decision depends only on credit *differences* within one
+//! dispatcher (the argmin of `next`, ties by normalized assignments),
+//! so the only linear merge that can never disturb a shard's rotation
+//! is a per-shard constant shift `c_s ← c_s + δ_s`. Choosing
+//! `δ_s = mean_i(level_i) − mean_i(c_s[i])` pulls every shard to the
+//! tier's common credit level while conserving the tier's total credit:
+//! `Σ_s δ_s = 0` exactly in real arithmetic, and bit-exactly whenever
+//! the credit state is dyadic (power-of-two fractions and shard
+//! counts), which the property suite pins.
 
 /// A shard's mergeable policy state, published at each sync round.
 ///
@@ -14,13 +43,83 @@ pub struct SyncState {
     pub credits: Vec<f64>,
     /// Believed per-server load (queue length), one per server.
     pub loads: Vec<f64>,
+    /// Realized arrival rate (jobs/s). In a published snapshot this is
+    /// the shard's own substream rate since the previous publish (0
+    /// when unmeasured); in a coordinated consensus it is the tier
+    /// total, feeding Algorithm-1 re-optimization in rate-aware
+    /// policies.
+    pub rate: f64,
+    /// Whether this snapshot is a phase-preserving consensus: credit
+    /// policies must adopt `credits` as a level (constant shift), never
+    /// as a phase (copy).
+    pub phase_preserving: bool,
 }
 
 impl SyncState {
+    /// A snapshot carrying only Algorithm-2 credits.
+    pub fn with_credits(credits: Vec<f64>) -> Self {
+        SyncState {
+            credits,
+            ..SyncState::default()
+        }
+    }
+
     /// Whether the snapshot carries no mergeable state at all.
     pub fn is_empty(&self) -> bool {
         self.credits.is_empty() && self.loads.is_empty()
     }
+}
+
+/// Neumaier-compensated sum of `values` in ascending `total_cmp` order.
+///
+/// Sorting first makes the result a pure function of the value
+/// *multiset*: folding shard snapshots through this sum is bitwise
+/// invariant under shard permutation, and on exactly-representable
+/// (dyadic) inputs the compensation term vanishes so the sum is exact.
+pub fn compensated_total(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for &x in &sorted {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            comp += (sum - t) + x;
+        } else {
+            comp += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + comp
+}
+
+/// Permutation-invariant mean via [`compensated_total`].
+fn compensated_mean(values: &[f64]) -> f64 {
+    compensated_total(values) / values.len() as f64
+}
+
+fn mean_rows(rows: &[&[f64]], compensated: bool) -> Vec<f64> {
+    let Some(width) = rows.iter().map(|r| r.len()).min() else {
+        return Vec::new();
+    };
+    let n = rows.len() as f64;
+    (0..width)
+        .map(|i| {
+            if compensated {
+                let column: Vec<f64> = rows.iter().map(|r| r[i]).collect();
+                compensated_mean(&column)
+            } else {
+                rows.iter().map(|r| r[i]).sum::<f64>() / n
+            }
+        })
+        .collect()
+}
+
+fn populated<'a>(
+    states: &'a [SyncState],
+    field: impl Fn(&'a SyncState) -> &'a [f64],
+) -> Vec<&'a [f64]> {
+    states.iter().map(field).filter(|f| !f.is_empty()).collect()
 }
 
 /// Elementwise mean of each populated field across the shard snapshots.
@@ -31,36 +130,65 @@ impl SyncState {
 /// by every contributing shard are averaged — mismatched lengths
 /// truncate to the shortest contributor rather than mixing servers.
 pub fn consensus(states: &[SyncState]) -> Option<SyncState> {
-    fn mean_rows(rows: Vec<&[f64]>) -> Vec<f64> {
-        let Some(width) = rows.iter().map(|r| r.len()).min() else {
-            return Vec::new();
-        };
-        let n = rows.len() as f64;
-        (0..width)
-            .map(|i| rows.iter().map(|r| r[i]).sum::<f64>() / n)
-            .collect()
-    }
-
-    let credits = mean_rows(
-        states
-            .iter()
-            .filter(|s| !s.credits.is_empty())
-            .map(|s| s.credits.as_slice())
-            .collect(),
-    );
-    let loads = mean_rows(
-        states
-            .iter()
-            .filter(|s| !s.loads.is_empty())
-            .map(|s| s.loads.as_slice())
-            .collect(),
-    );
-    let merged = SyncState { credits, loads };
+    let merged = SyncState {
+        credits: mean_rows(&populated(states, |s| &s.credits), false),
+        loads: mean_rows(&populated(states, |s| &s.loads), false),
+        rate: 0.0,
+        phase_preserving: false,
+    };
     if merged.is_empty() {
         None
     } else {
         Some(merged)
     }
+}
+
+/// Phase-preserving consensus: tier credit/load *levels* plus the tier
+/// arrival rate, marked so adopters shift instead of copy.
+///
+/// The credit levels are numerically the same elementwise mean as
+/// [`consensus`], but folded in sorted compensated order (bitwise
+/// shard-permutation invariance) and flagged `phase_preserving`, which
+/// changes how Algorithm-2 policies merge them: each shard applies the
+/// constant shift `δ_s = mean(level) − mean(own credits)` — preserving
+/// its rotation offset exactly — instead of copying the mean. Shard
+/// rates sum (compensated) into the tier rate; unmeasured shards
+/// (rate 0) contribute nothing.
+pub fn consensus_coordinated(states: &[SyncState]) -> Option<SyncState> {
+    let rates: Vec<f64> = states.iter().map(|s| s.rate).filter(|&r| r > 0.0).collect();
+    let merged = SyncState {
+        credits: mean_rows(&populated(states, |s| &s.credits), true),
+        loads: mean_rows(&populated(states, |s| &s.loads), true),
+        rate: compensated_total(&rates),
+        phase_preserving: true,
+    };
+    if merged.is_empty() {
+        None
+    } else {
+        Some(merged)
+    }
+}
+
+/// The level-reconciliation shift a shard applies when adopting a
+/// phase-preserving consensus: the compensated mean gap between the
+/// consensus levels and the shard's own credits (over the shared
+/// prefix; a foreign-width consensus yields no shift).
+///
+/// Applying `credits[i] += shift` for all `i` moves the shard to the
+/// tier's credit level without moving its rotation offset, and the
+/// shifts of all contributing shards sum to zero (exactly on dyadic
+/// state, to rounding otherwise) — total tier credit is conserved.
+pub fn level_shift(consensus: &SyncState, credits: &[f64]) -> Option<f64> {
+    if consensus.credits.len() != credits.len() || credits.is_empty() {
+        return None;
+    }
+    let gaps: Vec<f64> = consensus
+        .credits
+        .iter()
+        .zip(credits)
+        .map(|(l, c)| l - c)
+        .collect();
+    Some(compensated_mean(&gaps))
 }
 
 #[cfg(test)]
@@ -74,33 +202,29 @@ mod tests {
             consensus(&[SyncState::default(), SyncState::default()]),
             None
         );
+        assert_eq!(consensus_coordinated(&[]), None);
     }
 
     #[test]
     fn credits_average_elementwise() {
-        let a = SyncState {
-            credits: vec![1.0, 2.0, 3.0],
-            loads: Vec::new(),
-        };
-        let b = SyncState {
-            credits: vec![3.0, 4.0, 5.0],
-            loads: Vec::new(),
-        };
+        let a = SyncState::with_credits(vec![1.0, 2.0, 3.0]);
+        let b = SyncState::with_credits(vec![3.0, 4.0, 5.0]);
         let c = consensus(&[a, b]).unwrap();
         assert_eq!(c.credits, vec![2.0, 3.0, 4.0]);
         assert!(c.loads.is_empty());
+        assert!(!c.phase_preserving);
     }
 
     #[test]
     fn loads_average_and_empty_contributors_are_skipped() {
         let a = SyncState {
-            credits: Vec::new(),
             loads: vec![4.0, 0.0],
+            ..SyncState::default()
         };
         let empty = SyncState::default();
         let b = SyncState {
-            credits: Vec::new(),
             loads: vec![0.0, 2.0],
+            ..SyncState::default()
         };
         let c = consensus(&[a, empty, b]).unwrap();
         // The empty shard does not drag the mean toward zero.
@@ -109,14 +233,8 @@ mod tests {
 
     #[test]
     fn mismatched_lengths_truncate_to_shortest() {
-        let a = SyncState {
-            credits: vec![2.0, 4.0, 6.0],
-            loads: Vec::new(),
-        };
-        let b = SyncState {
-            credits: vec![4.0, 6.0],
-            loads: Vec::new(),
-        };
+        let a = SyncState::with_credits(vec![2.0, 4.0, 6.0]);
+        let b = SyncState::with_credits(vec![4.0, 6.0]);
         let c = consensus(&[a, b]).unwrap();
         assert_eq!(c.credits, vec![3.0, 5.0]);
     }
@@ -126,7 +244,82 @@ mod tests {
         let a = SyncState {
             credits: vec![1.5, -0.5],
             loads: vec![3.0],
+            ..SyncState::default()
         };
         assert_eq!(consensus(std::slice::from_ref(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn coordinated_consensus_levels_match_naive_mean_on_exact_input() {
+        let a = SyncState::with_credits(vec![1.0, 2.0, 3.0]);
+        let b = SyncState::with_credits(vec![3.0, 4.0, 5.0]);
+        let naive = consensus(&[a.clone(), b.clone()]).unwrap();
+        let coord = consensus_coordinated(&[a, b]).unwrap();
+        assert_eq!(coord.credits, naive.credits);
+        assert!(coord.phase_preserving);
+        assert_eq!(coord.rate, 0.0, "unmeasured shards contribute no rate");
+    }
+
+    #[test]
+    fn coordinated_consensus_sums_rates_and_is_permutation_invariant() {
+        let mk = |credits: Vec<f64>, rate: f64| SyncState {
+            credits,
+            rate,
+            ..SyncState::default()
+        };
+        let shards = vec![
+            mk(vec![0.4, -0.7, 1.3], 0.011),
+            mk(vec![1.9, 0.2, -2.2], 0.033),
+            mk(vec![-0.1, 0.6, 0.8], 0.0), // unmeasured
+            mk(vec![2.5, -1.4, 0.9], 0.019),
+        ];
+        let forward = consensus_coordinated(&shards).unwrap();
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        let backward = consensus_coordinated(&reversed).unwrap();
+        for (x, y) in forward.credits.iter().zip(&backward.credits) {
+            assert_eq!(x.to_bits(), y.to_bits(), "levels must be order-free");
+        }
+        assert_eq!(forward.rate.to_bits(), backward.rate.to_bits());
+        assert!((forward.rate - 0.063).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_shift_conserves_total_and_ignores_foreign_widths() {
+        let rows = [
+            vec![1.0, 3.0, -2.0],
+            vec![0.5, 0.5, 0.5],
+            vec![-4.0, 2.0, 8.0],
+        ];
+        let states: Vec<SyncState> = rows
+            .iter()
+            .map(|r| SyncState::with_credits(r.clone()))
+            .collect();
+        let merged = consensus_coordinated(&states).unwrap();
+        let shifts: Vec<f64> = rows
+            .iter()
+            .map(|r| level_shift(&merged, r).unwrap())
+            .collect();
+        // Σ_s δ_s = 0: total tier credit is conserved by the merge.
+        assert!(compensated_total(&shifts).abs() < 1e-12, "{shifts:?}");
+        assert_eq!(level_shift(&merged, &[1.0, 2.0]), None);
+        assert_eq!(level_shift(&merged, &[]), None);
+    }
+
+    #[test]
+    fn compensated_total_is_exact_on_dyadic_input_and_order_free() {
+        // Dyadic values: sums are exactly representable, so the
+        // compensated fold returns the exact total in any order.
+        let xs = [0.5, -0.25, 8.0, -0.125, 2.0, -4.0];
+        let mut rev = xs.to_vec();
+        rev.reverse();
+        assert_eq!(compensated_total(&xs), 6.125);
+        assert_eq!(
+            compensated_total(&xs).to_bits(),
+            compensated_total(&rev).to_bits()
+        );
+        // Classic cancellation case a plain fold gets wrong.
+        let hard = [1e16, 1.0, -1e16];
+        assert_eq!(compensated_total(&hard), 1.0);
     }
 }

@@ -168,6 +168,15 @@ impl Policy for AdaptiveOrr {
         self.inner.merge_sync(consensus, now);
     }
 
+    fn advance_rotation(&mut self, steps: u64) {
+        // Virtual (peer-shard) arrivals advance only the rotation
+        // machine. They deliberately bypass the EWMA estimator: this
+        // shard observes real timestamps only for its own substream, and
+        // feeding zero-gap phantom arrivals would wreck the rate
+        // estimate.
+        self.inner.advance_rotation(steps);
+    }
+
     fn name(&self) -> String {
         "AORR".into()
     }

@@ -128,6 +128,15 @@ impl Policy for BurstyWeightedRr {
         Some(w.iter().map(|&x| x as f64 / total).collect())
     }
 
+    fn advance_rotation(&mut self, steps: u64) {
+        // WRR's whole state is the cycle position, so replaying peer
+        // arrivals is just stepping it — the sharded ablation keeps its
+        // burst structure aligned with the global stream.
+        for _ in 0..steps {
+            self.dispatch();
+        }
+    }
+
     fn name(&self) -> String {
         self.label.clone()
     }
@@ -218,6 +227,19 @@ mod tests {
             }
         }
         assert_eq!((seen0, seen1), (8, 8), "burst weights survive repair");
+    }
+
+    #[test]
+    fn advance_rotation_steps_the_cycle() {
+        use hetsched_cluster::Policy;
+        let mut by_steps = BurstyWeightedRr::new(&[0.75, 0.25], 4, "b");
+        let mut by_calls = BurstyWeightedRr::new(&[0.75, 0.25], 4, "b");
+        by_steps.advance_rotation(3);
+        for _ in 0..3 {
+            by_calls.dispatch();
+        }
+        assert_eq!(by_steps.dispatch(), by_calls.dispatch());
+        assert_eq!(by_steps.pos, by_calls.pos);
     }
 
     #[test]

@@ -377,7 +377,20 @@ impl PolicySpec {
                         "ReORR needs utilization in (0,1)".into(),
                     ));
                 }
-                Ok(Box::new(ReoptimizingOrr::new(&cfg.speeds, cfg.utilization)))
+                let policy = ReoptimizingOrr::new(&cfg.speeds, cfg.utilization);
+                // In a coordinated sharded tier the sync consensus
+                // carries the realized arrival rate; let ReORR re-solve
+                // Algorithm 1 from it. Naive tiers (and D = 1) keep the
+                // historical membership-only behavior bit-for-bit.
+                let policy = if cfg.dispatch.coordination
+                    == hetsched_cluster::Coordination::PhasePreserving
+                    && cfg.dispatch.dispatchers > 1
+                {
+                    policy.with_rate_reopt(cfg.mean_job_size())
+                } else {
+                    policy
+                };
+                Ok(Box::new(policy))
             }
             PolicySpec::IndexedDynamic => Ok(Box::new(IndexedLeastLoad::new(&cfg.speeds))),
             PolicySpec::IndexedStaleAware { confidence_window } => {

@@ -109,6 +109,7 @@ impl Policy for LeastLoadPolicy {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -269,6 +270,7 @@ impl Policy for StaleAwareLeastLoad {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -419,6 +421,7 @@ mod tests {
                 .zip(&sb.loads)
                 .map(|(x, y)| (x + y) / 2.0)
                 .collect(),
+            ..SyncState::default()
         };
         b.merge_sync(&merged, 5.0);
         // Shard b now believes half of shard a's arrivals happened.
@@ -519,6 +522,7 @@ mod tests {
             &SyncState {
                 credits: Vec::new(),
                 loads: vec![3.0, 3.0],
+                ..SyncState::default()
             },
             6.0,
         );

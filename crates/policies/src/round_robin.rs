@@ -108,11 +108,38 @@ impl RoundRobinDispatch {
         &self.assign
     }
 
-    /// One dispatch decision (steps 2.b–2.h), independent of the cluster
-    /// context — also used directly by the Figure-2 harness.
-    pub fn dispatch(&mut self) -> usize {
-        // Steps 2.b–2.c: scan for the minimum `next`, breaking ties by
-        // the smallest normalized assignment count (assign+1)/α.
+    /// Replaces the target fractions while keeping the credit state
+    /// (`next`/`assign`) and the membership mask — the phase-preserving
+    /// re-allocation used when a rate-aware tier re-solves Algorithm 1
+    /// mid-run: the rotation continues where it was, and the new `1/α`
+    /// credits steer it toward the new allocation from the next win on.
+    ///
+    /// # Panics
+    /// Panics under the same probability-vector checks as
+    /// [`RoundRobinDispatch::new`], or on a length mismatch.
+    pub fn retarget(&mut self, fractions: &[f64]) {
+        assert_eq!(
+            fractions.len(),
+            self.fractions.len(),
+            "retarget must keep the computer count"
+        );
+        assert!(
+            fractions.iter().all(|&a| (0.0..=1.0).contains(&a)),
+            "fractions must lie in [0,1]: {fractions:?}"
+        );
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
+        self.fractions.copy_from_slice(fractions);
+    }
+
+    /// Steps 2.b–2.c: the selection scan for the minimum `next`,
+    /// breaking ties by the smallest normalized assignment count
+    /// `(assign+1)/α`. Read-only; `None` when every positive-fraction
+    /// computer is believed down.
+    fn scan_select(&self) -> Option<usize> {
         let mut select: Option<usize> = None;
         let mut minnext = f64::INFINITY;
         let mut norassign = f64::INFINITY;
@@ -131,7 +158,13 @@ impl RoundRobinDispatch {
                 norassign = cand_nor;
             }
         }
-        let Some(s) = select else {
+        select
+    }
+
+    /// One dispatch decision (steps 2.b–2.h), independent of the cluster
+    /// context — also used directly by the Figure-2 harness.
+    pub fn dispatch(&mut self) -> usize {
+        let Some(s) = self.scan_select() else {
             // Every positive-fraction computer is believed down. Return a
             // deterministic last resort without touching the credit state
             // (the simulation will lose the job if the pick really is
@@ -184,19 +217,49 @@ impl Policy for RoundRobinDispatch {
         // `assign` only matters through the start-up guard and the tie
         // rule, and averaging monotone counters across shards would
         // corrupt them.
-        Some(SyncState {
-            credits: self.next.clone(),
-            loads: Vec::new(),
-        })
+        Some(SyncState::with_credits(self.next.clone()))
     }
 
     fn merge_sync(&mut self, consensus: &SyncState, _now: f64) {
-        // Adopting the tier-mean credits re-aligns the shards' gap
-        // structure: a shard that ran ahead of its α (its winners'
-        // credits high) is pulled back toward the tier average. A
-        // length mismatch (foreign consensus) is ignored.
+        if consensus.phase_preserving {
+            // Level reconciliation: shift every credit by the mean gap
+            // to the consensus level. A constant shift preserves all
+            // within-shard credit differences — the rotation offset —
+            // exactly in real arithmetic; the scan guard below reverts
+            // the shift in the (measure-zero) event that f64 rounding
+            // at a TIE_EPS boundary would move the selection anyway.
+            let Some(delta) = hetsched_cluster::level_shift(consensus, &self.next) else {
+                return; // foreign-width consensus: ignore
+            };
+            let before = self.scan_select();
+            let saved = self.next.clone();
+            for c in &mut self.next {
+                *c += delta;
+            }
+            if self.scan_select() != before {
+                self.next = saved;
+            }
+            return;
+        }
+        // Naive mode: adopting the tier-mean credits re-aligns the
+        // shards' gap structure — and their phases, which is exactly the
+        // phase-locking failure the coordinated mode exists to avoid.
+        // Kept bit-for-bit as the historical baseline. A length mismatch
+        // (foreign consensus) is ignored.
         if consensus.credits.len() == self.next.len() {
             self.next.copy_from_slice(&consensus.credits);
+        }
+    }
+
+    fn advance_rotation(&mut self, steps: u64) {
+        // A virtual step is a full Algorithm-2 step for an arrival a
+        // peer shard handled: the winner is credited and everyone pays,
+        // exactly as if this dispatcher had dispatched it. Replaying
+        // peers' steps keeps this machine on the *global* credit
+        // trajectory, so its real decisions interleave correctly with
+        // the other shards'.
+        for _ in 0..steps {
+            self.dispatch();
         }
     }
 
@@ -376,30 +439,104 @@ mod tests {
         let sb = b.sync_state().expect("mergeable");
         assert_eq!(sa.credits, a.next);
         assert!(sa.loads.is_empty(), "nothing in the load lane");
-        // Elementwise-mean consensus, as the tier computes it.
-        let merged = SyncState {
-            credits: sa
-                .credits
+        // Elementwise-mean consensus, as the naive tier computes it.
+        let merged = SyncState::with_credits(
+            sa.credits
                 .iter()
                 .zip(&sb.credits)
                 .map(|(x, y)| (x + y) / 2.0)
                 .collect(),
-            loads: Vec::new(),
-        };
+        );
         a.merge_sync(&merged, 10.0);
         b.merge_sync(&merged, 10.0);
         assert_eq!(a.next, b.next, "shards agree after a sync round");
         assert_eq!(a.next, merged.credits);
         // A foreign-length consensus is ignored, not misapplied.
         let before = a.next.clone();
-        a.merge_sync(
-            &SyncState {
-                credits: vec![1.0; 5],
-                loads: Vec::new(),
-            },
-            11.0,
-        );
+        a.merge_sync(&SyncState::with_credits(vec![1.0; 5]), 11.0);
         assert_eq!(a.next, before);
+    }
+
+    #[test]
+    fn phase_preserving_merge_shifts_levels_without_moving_rotation() {
+        let fractions = [0.25, 0.25, 0.5];
+        let mut a = RoundRobinDispatch::new(&fractions, "RR");
+        let mut b = RoundRobinDispatch::new(&fractions, "RR");
+        for _ in 0..7 {
+            a.dispatch();
+        }
+        for _ in 0..2 {
+            b.dispatch();
+        }
+        let merged = hetsched_cluster::consensus_coordinated(&[
+            a.sync_state().unwrap(),
+            b.sync_state().unwrap(),
+        ])
+        .unwrap();
+        // The merged credits keep each shard's own rotation: the next
+        // K decisions are exactly what an unmerged clone would make.
+        let mut a_clone = a.clone();
+        let mut b_clone = b.clone();
+        a.merge_sync(&merged, 10.0);
+        b.merge_sync(&merged, 10.0);
+        for k in 0..24 {
+            assert_eq!(a.dispatch(), a_clone.dispatch(), "shard a step {k}");
+            assert_eq!(b.dispatch(), b_clone.dispatch(), "shard b step {k}");
+        }
+    }
+
+    #[test]
+    fn retarget_keeps_credit_state() {
+        let mut p = RoundRobinDispatch::new(&[0.25, 0.25, 0.5], "RR");
+        for _ in 0..5 {
+            p.dispatch();
+        }
+        let next = p.next.clone();
+        let assign = p.assign.clone();
+        p.retarget(&[0.5, 0.25, 0.25]);
+        assert_eq!(p.next, next, "credits must survive a retarget");
+        assert_eq!(p.assign, assign);
+        assert_eq!(p.fractions(), &[0.5, 0.25, 0.25]);
+        // The rotation steers to the new allocation.
+        let counts = counts_after(&mut p, 4000);
+        let freq0 = counts[0] as f64 / 4000.0;
+        assert!((freq0 - 0.5).abs() < 0.02, "freq {freq0} after retarget");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn retarget_rejects_unnormalized() {
+        let mut p = RoundRobinDispatch::new(&[0.5, 0.5], "RR");
+        p.retarget(&[0.3, 0.3]);
+    }
+
+    #[test]
+    fn advance_rotation_matches_explicit_dispatches() {
+        let fractions = [0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04];
+        let mut by_steps = RoundRobinDispatch::new(&fractions, "RR");
+        let mut by_calls = RoundRobinDispatch::new(&fractions, "RR");
+        by_steps.advance_rotation(137);
+        for _ in 0..137 {
+            by_calls.dispatch();
+        }
+        assert_eq!(by_steps.next, by_calls.next);
+        assert_eq!(by_steps.assign, by_calls.assign);
+        // Interleaved real/virtual steps reproduce the global sequence:
+        // a 2-shard tier where shard 0 takes even and shard 1 odd
+        // arrivals dispatches, in union, exactly the D=1 sequence.
+        let mut global = RoundRobinDispatch::new(&fractions, "RR");
+        let mut s0 = RoundRobinDispatch::new(&fractions, "RR");
+        let mut s1 = RoundRobinDispatch::new(&fractions, "RR");
+        s1.advance_rotation(1); // shard 1's first arrival is global #2
+        let mut union = Vec::new();
+        for _ in 0..50 {
+            union.push(s0.dispatch());
+            s0.advance_rotation(1);
+            union.push(s1.dispatch());
+            s1.advance_rotation(1);
+        }
+        let want: Vec<usize> = (0..100).map(|_| global.dispatch()).collect();
+        assert_eq!(union, want, "sharded union must replay the global order");
     }
 
     #[test]

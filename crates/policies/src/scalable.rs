@@ -147,6 +147,7 @@ impl Policy for IndexedLeastLoad {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -401,6 +402,7 @@ impl Policy for IndexedStaleAware {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -639,6 +641,7 @@ impl Policy for PowerOfD {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -794,6 +797,7 @@ impl Policy for Jiq {
         Some(SyncState {
             credits: Vec::new(),
             loads: self.believed.clone(),
+            ..SyncState::default()
         })
     }
 
@@ -1094,6 +1098,7 @@ mod tests {
             &SyncState {
                 credits: Vec::new(),
                 loads: vec![9.0, 0.0],
+                ..SyncState::default()
             },
             1.0,
         );

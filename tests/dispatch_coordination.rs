@@ -1,0 +1,425 @@
+//! Contracts of the coordinated dispatcher tier.
+//!
+//! The naive sharded tier (see `dispatch_differential.rs` for its
+//! baseline contracts) degrades as `D` grows because each shard runs
+//! Algorithm 2 over its private substream. The coordinated tier
+//! (`Coordination::PhasePreserving`) closes that gap with three
+//! mechanisms, each pinned here:
+//!
+//! 1. **Sequence-stamped replay** — the splitter stamps every arrival
+//!    with a global sequence number and each shard replays its peers'
+//!    gaps as virtual rotation steps, so the union of the shards'
+//!    decisions reconstructs the `D = 1` global dispatch sequence
+//!    *exactly*: the response metrics of a coordinated `D = 16` run
+//!    with no sync plane are bit-equal to the single-dispatcher run.
+//! 2. **Phase-preserving merge** — sync rounds shift each shard's
+//!    credit *levels* onto the tier consensus without touching its
+//!    rotation phase. The proptest oracles below pin the merge algebra:
+//!    credit-mass conservation, dispatch-sequence preservation, and
+//!    shard-order permutation invariance of the consensus fold.
+//! 3. **Rate-driven re-optimization** — the coordinated sync plane
+//!    carries realized arrival rates, letting `ReORR` re-solve
+//!    Algorithm 1 at the *measured* utilization after a membership
+//!    change (the fault-regression test at the bottom).
+//!
+//! Determinism contracts ride along: coordinated + synced runs are
+//! bit-identical across event-list backends and repeats (classic
+//! engine), and across worker-thread counts (parallel engine). The two
+//! engines are *not* compared to each other at `D > 1` — the classic
+//! tier shards the arrival stream over a shared fleet while the
+//! parallel engine partitions the fleet itself, which are different
+//! models by design.
+
+use hetsched::cluster::pdes::{shard_config, shard_ranges};
+use hetsched::cluster::{
+    compensated_total, consensus_coordinated, ParallelSimulation, Policy, SyncState,
+};
+use hetsched::policies::RoundRobinDispatch;
+use hetsched::prelude::*;
+use proptest::prelude::*;
+
+/// The small, statistically alive base system shared with the
+/// differential suite (3 machines, exponential sizes).
+fn base_cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 30_000.0;
+    cfg.warmup = 3_000.0;
+    cfg
+}
+
+fn experiment(cfg: ClusterConfig, name: &str) -> Experiment {
+    let mut e = Experiment::new(name, cfg, PolicySpec::orr());
+    e.replications = 3;
+    e
+}
+
+/// `Coordination::PhasePreserving` at `D = 1` is structurally invisible:
+/// no coordination state is built, so the run is bit-identical to the
+/// plain single-dispatcher path on both event-list backends.
+#[test]
+fn coordinated_d1_is_bit_identical_to_plain() {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        let mut plain = base_cfg();
+        plain.event_list = backend;
+        let mut tiered = plain.clone();
+        tiered.dispatch = DispatchSpec::sharded(1, SplitterSpec::IidRandom).coordinated();
+        let a = experiment(plain, "plain").run().expect("plain");
+        let b = experiment(tiered, "plain").run().expect("tiered");
+        assert_eq!(a, b, "coordinated D=1 diverged on the {backend:?} backend");
+    }
+}
+
+/// The tentpole: sequence-stamped replay reconstructs the global
+/// dispatch sequence exactly, so a coordinated tier with no sync plane
+/// produces response metrics bit-equal to `D = 1` at every shard count.
+/// (Full `RunStats` equality is impossible — the tiered run reports
+/// per-shard routing stats the plain run doesn't have — so the
+/// decision-dependent metrics are compared field by field.)
+#[test]
+fn coordinated_tier_reconstructs_the_global_sequence() {
+    let baseline = experiment(base_cfg(), "plain").run().expect("baseline");
+    for d in [2usize, 4, 16] {
+        let mut cfg = base_cfg();
+        cfg.dispatch = DispatchSpec::sharded(d, SplitterSpec::IidRandom).coordinated();
+        let sharded = experiment(cfg, "coordinated").run().expect("coordinated");
+        for (a, b) in baseline.runs.iter().zip(&sharded.runs) {
+            assert_eq!(a.jobs_counted, b.jobs_counted, "D={d} shifted arrivals");
+            assert_eq!(a.jobs_finished, b.jobs_finished, "D={d} lost completions");
+            assert_eq!(
+                a.mean_response_ratio.to_bits(),
+                b.mean_response_ratio.to_bits(),
+                "D={d} coordinated tier failed to reconstruct the global sequence"
+            );
+            assert_eq!(
+                a.mean_response_time.to_bits(),
+                b.mean_response_time.to_bits(),
+                "D={d} perturbed response times"
+            );
+            assert_eq!(b.shards.len(), d);
+        }
+    }
+}
+
+/// With a sync plane active the reconstruction is no longer bit-exact
+/// (level shifts perturb credit floats), but the coordinated tier must
+/// stay close to `D = 1` where the naive credit-mean overwrite blows
+/// up. Pinned: coordinated `D = 16` with a tight 500 s sync stays
+/// within 5% of the single dispatcher at test scale AND strictly beats
+/// the naive tier under the identical sync plane.
+#[test]
+fn coordinated_sync_stays_near_d1_where_naive_sync_degrades() {
+    let baseline = experiment(base_cfg(), "plain")
+        .run()
+        .expect("baseline")
+        .mean_response_ratio
+        .mean;
+    let run = |coordination: Coordination| {
+        let mut cfg = base_cfg();
+        cfg.dispatch = DispatchSpec::sharded(16, SplitterSpec::IidRandom)
+            .with_sync(SyncSpec::every(500.0).with_latency(5.0));
+        cfg.dispatch.coordination = coordination;
+        let r = experiment(cfg, "synced").run().expect("synced");
+        assert!(r.runs.iter().all(|x| x.syncs_applied > 0));
+        r.mean_response_ratio.mean
+    };
+    let coordinated = run(Coordination::PhasePreserving);
+    let naive = run(Coordination::Naive);
+    let dev = |x: f64| (x - baseline).abs() / baseline;
+    assert!(
+        dev(coordinated) < 0.05,
+        "coordinated D=16 with sync drifted {:.1}% from D=1 (ratio {coordinated} vs {baseline})",
+        100.0 * dev(coordinated)
+    );
+    assert!(
+        dev(coordinated) < dev(naive),
+        "coordinated sync ({coordinated}) failed to beat the naive overwrite ({naive})"
+    );
+}
+
+/// Coordinated + synced runs are deterministic and backend-agnostic on
+/// the classic engine: heap and calendar event lists agree bit for bit,
+/// and a repeat run reproduces itself.
+#[test]
+fn coordinated_synced_runs_agree_across_backends_and_repeats() {
+    let cfg_for = |backend| {
+        let mut cfg = base_cfg();
+        cfg.event_list = backend;
+        cfg.dispatch = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 32 })
+            .coordinated()
+            .with_sync(SyncSpec::every(500.0).with_latency(10.0));
+        cfg
+    };
+    let heap = experiment(cfg_for(EventListBackend::Heap), "synced")
+        .run()
+        .expect("heap");
+    let cal = experiment(cfg_for(EventListBackend::Calendar), "synced")
+        .run()
+        .expect("calendar");
+    assert_eq!(heap, cal);
+    assert!(heap.runs.iter().all(|r| r.syncs_applied > 0));
+    let again = experiment(cfg_for(EventListBackend::Heap), "synced")
+        .run()
+        .expect("repeat");
+    assert_eq!(heap, again);
+}
+
+/// On the parallel engine the coordinated consensus fold must be
+/// worker-thread invisible: 1 worker and 8 real workers produce
+/// bit-identical results for a coordinated, synced 8-shard run.
+#[test]
+fn coordinated_sync_is_thread_count_invisible_in_the_parallel_engine() {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 2.0, 4.0, 8.0, 1.0, 2.0, 4.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 15_000.0;
+    cfg.warmup = 1_500.0;
+    cfg.dispatch = DispatchSpec::sharded(8, SplitterSpec::IidRandom)
+        .coordinated()
+        .with_sync(SyncSpec::every(500.0).with_latency(10.0));
+    let policies = || -> Vec<Box<dyn Policy>> {
+        shard_ranges(cfg.speeds.len(), 8)
+            .iter()
+            .map(|r| {
+                PolicySpec::orr()
+                    .build(&shard_config(&cfg, r))
+                    .expect("policy builds")
+            })
+            .collect()
+    };
+    let seq = ParallelSimulation::new(cfg.clone(), policies(), 29, 1)
+        .expect("parallel builds")
+        .run();
+    let par = ParallelSimulation::new(cfg.clone(), policies(), 29, 8)
+        .expect("parallel builds")
+        .run();
+    assert_eq!(seq, par, "worker count changed a coordinated synced run");
+    assert!(seq.syncs_applied > 0, "sync plane never fired");
+}
+
+/// The reconstruction survives membership changes: before a membership
+/// notice is delivered, the tier brings every shard to the current
+/// global sequence position, so all trajectories switch membership at
+/// the same arrival. Pinned the strong way — a coordinated `D = 8` run
+/// with a mid-run crash (and resubmit churn) reproduces the `D = 1`
+/// response metrics bit for bit.
+#[test]
+fn membership_changes_preserve_the_global_sequence_reconstruction() {
+    let mut cfg = base_cfg();
+    cfg.faults = Some(FaultSpec {
+        up_time: DistSpec::Deterministic { value: 12_000.0 },
+        down_time: DistSpec::Deterministic { value: 1.0e12 },
+        on_crash: JobFaultSemantics::Resubmit,
+        notice_delay_mean: 10.0,
+        servers: Some(vec![2]),
+    });
+    let baseline = experiment(cfg.clone(), "plain").run().expect("baseline");
+    cfg.dispatch = DispatchSpec::sharded(8, SplitterSpec::IidRandom).coordinated();
+    let sharded = experiment(cfg, "coordinated").run().expect("coordinated");
+    for (a, b) in baseline.runs.iter().zip(&sharded.runs) {
+        assert!(a.crashes >= 1, "the fault never fired");
+        assert_eq!(
+            a.mean_response_ratio.to_bits(),
+            b.mean_response_ratio.to_bits(),
+            "a membership change broke the global-sequence reconstruction"
+        );
+        assert_eq!(a.jobs_resubmitted, b.jobs_resubmitted);
+    }
+}
+
+/// The fault-regression scenario behind `BENCH_dispatch.json`'s
+/// `repaired_penalty_pct`: kill the fastest machine (a third of the
+/// fleet's capacity) mid-run under sticky `source_hash` splitting at
+/// `D = 8`. The sticky naive tier keeps dispatching from the stale
+/// design-point allocation; the coordinated tier's rate-carrying sync
+/// lets `ReORR` re-solve Algorithm 1 at the measured post-crash
+/// utilization, which must strictly reduce the response-ratio penalty.
+#[test]
+fn rate_reopt_beats_sticky_dispatch_when_the_fastest_machine_dies() {
+    let mut cfg =
+        ClusterConfig::paper_default(&[5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0]).scaled(0.02);
+    // At 0.6 utilization the post-crash system is still stable (offered
+    // load 9.3 vs 10.5 live capacity), so the comparison measures
+    // steady-state allocation quality rather than backlog explosion:
+    // the sticky design-point allocation overloads the mid machines
+    // while the slow ones idle, the re-optimized one spreads stably.
+    cfg.utilization = 0.6;
+    let kill_at = 0.4 * cfg.horizon;
+    cfg.dispatch = DispatchSpec::sharded(8, SplitterSpec::SourceHash { sources: 64 });
+    cfg.faults = Some(FaultSpec {
+        up_time: DistSpec::Deterministic { value: kill_at },
+        down_time: DistSpec::Deterministic { value: 1.0e12 },
+        on_crash: JobFaultSemantics::Resubmit,
+        notice_delay_mean: 10.0,
+        servers: Some(vec![0]),
+    });
+    let mut repaired_cfg = cfg.clone();
+    repaired_cfg.dispatch = repaired_cfg
+        .dispatch
+        .coordinated()
+        .with_sync(SyncSpec::every(500.0).with_latency(5.0));
+    let run = |cfg: ClusterConfig, policy: PolicySpec, name: &str| {
+        let mut e = Experiment::new(name, cfg, policy);
+        e.replications = 3;
+        e.run().unwrap_or_else(|e| panic!("{name}: {e}"))
+    };
+    let sticky = run(cfg, PolicySpec::orr(), "sticky");
+    let repaired = run(repaired_cfg, PolicySpec::reopt_orr(), "repaired");
+    for r in sticky.runs.iter().chain(&repaired.runs) {
+        assert!(r.crashes >= 1, "the fault never fired");
+    }
+    assert!(
+        repaired.mean_response_ratio.mean < sticky.mean_response_ratio.mean,
+        "rate-driven re-optimization ({}) failed to beat the sticky tier ({})",
+        repaired.mean_response_ratio.mean,
+        sticky.mean_response_ratio.mean
+    );
+}
+
+/// Builds a dyadic allocation-fraction vector with a power-of-two
+/// machine count: start from one part of mass 16/16 and repeatedly
+/// halve a part until `target_len` parts exist. Every fraction is
+/// `k/16` with `k` a power of two and the machine count divides means
+/// exactly, so credits (`±1` and `16/k` increments), the consensus
+/// fold, and the per-shard level shift are all *exact* in f64 — the
+/// regime where the merge algebra can be pinned bitwise.
+fn dyadic_fractions(choices: &[u8], target_len: usize) -> Vec<f64> {
+    let mut parts = vec![16u32];
+    let mut c = choices.iter().cycle();
+    while parts.len() < target_len {
+        let start = (*c.next().expect("cycled") as usize) % parts.len();
+        let i = (0..parts.len())
+            .map(|k| (start + k) % parts.len())
+            .find(|&i| parts[i] > 1)
+            .expect("16 units over <=8 parts always leaves one splittable");
+        parts[i] /= 2;
+        let half = parts[i];
+        parts.push(half);
+    }
+    parts.iter().map(|&p| f64::from(p) / 16.0).collect()
+}
+
+/// Dispatches until every machine has started (received its step-2.d
+/// guard reset). The level shift is only shift-invariant *after* the
+/// start-up phase: a first selection resets the credit to the absolute
+/// value 0, which no constant shift commutes with.
+fn warm_up(rr: &mut RoundRobinDispatch) {
+    for _ in 0..64 {
+        if rr.assignments().iter().all(|&a| a > 0) {
+            return;
+        }
+        rr.dispatch();
+    }
+    panic!("a machine never started within four full cycles");
+}
+
+proptest! {
+    /// The dyadic oracle for the phase-preserving merge. With dyadic
+    /// targets and power-of-two shard counts every quantity in the
+    /// merge is exactly representable, so three properties hold
+    /// *bitwise*, not just approximately:
+    ///
+    /// * the consensus fold is invariant under shard-order permutation;
+    /// * the merge conserves total credit mass across the tier;
+    /// * the merge preserves every shard's future dispatch sequence —
+    ///   the level shift moves credits onto the consensus without
+    ///   moving any rotation phase.
+    #[test]
+    fn phase_preserving_merge_is_exact_on_dyadic_targets(
+        choices in prop::collection::vec(any::<u8>(), 1..=8),
+        n_pow in 1u32..4,
+        d_pow in 1u32..4,
+        advances in prop::collection::vec(0u64..96, 8),
+    ) {
+        let fractions = dyadic_fractions(&choices, 1usize << n_pow);
+        let d = 1usize << d_pow;
+        let mut shards: Vec<RoundRobinDispatch> = (0..d)
+            .map(|_| RoundRobinDispatch::new(&fractions, "rr"))
+            .collect();
+        for (s, &a) in shards.iter_mut().zip(&advances) {
+            warm_up(s);
+            for _ in 0..a {
+                s.dispatch();
+            }
+        }
+        let expected: Vec<Vec<usize>> = shards
+            .iter()
+            .map(|s| {
+                let mut probe = s.clone();
+                (0..48).map(|_| probe.dispatch()).collect()
+            })
+            .collect();
+        let states: Vec<SyncState> =
+            shards.iter().map(|s| s.sync_state().expect("rr syncs")).collect();
+        let before: f64 = states.iter().map(|st| compensated_total(&st.credits)).sum();
+
+        let consensus = consensus_coordinated(&states).expect("non-empty tier");
+        prop_assert!(consensus.phase_preserving);
+        let mut reversed = states.clone();
+        reversed.reverse();
+        let refolded = consensus_coordinated(&reversed).expect("non-empty tier");
+        prop_assert_eq!(&consensus.credits, &refolded.credits,
+            "consensus fold depends on shard order");
+
+        for s in shards.iter_mut() {
+            s.merge_sync(&consensus, 0.0);
+        }
+        let after: f64 = shards
+            .iter()
+            .map(|s| compensated_total(&s.sync_state().expect("rr syncs").credits))
+            .sum();
+        prop_assert_eq!(before.to_bits(), after.to_bits(),
+            "merge created or destroyed credit mass: {} -> {}", before, after);
+        for (i, (s, exp)) in shards.iter_mut().zip(&expected).enumerate() {
+            let got: Vec<usize> = (0..48).map(|_| s.dispatch()).collect();
+            prop_assert_eq!(&got, exp, "shard {} rotation moved under the merge", i);
+        }
+    }
+
+    /// The general-f64 contract, for arbitrary normalized fractions and
+    /// shard counts where rounding is real: the scan-argmin guard keeps
+    /// the *next* dispatch decision of every shard unchanged, and
+    /// credit mass is conserved to within accumulation tolerance.
+    #[test]
+    fn phase_preserving_merge_holds_under_general_floats(
+        raw in prop::collection::vec(0.05f64..1.0, 2..=6),
+        d in 2usize..6,
+        advances in prop::collection::vec(0u64..96, 5),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let fractions: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let mut shards: Vec<RoundRobinDispatch> = (0..d)
+            .map(|_| RoundRobinDispatch::new(&fractions, "rr"))
+            .collect();
+        for (s, &a) in shards.iter_mut().zip(&advances) {
+            for _ in 0..a {
+                s.dispatch();
+            }
+        }
+        let next_picks: Vec<usize> = shards
+            .iter()
+            .map(|s| {
+                let mut probe = s.clone();
+                probe.dispatch()
+            })
+            .collect();
+        let states: Vec<SyncState> =
+            shards.iter().map(|s| s.sync_state().expect("rr syncs")).collect();
+        let before: f64 = states.iter().map(|st| compensated_total(&st.credits)).sum();
+        let consensus = consensus_coordinated(&states).expect("non-empty tier");
+        for s in shards.iter_mut() {
+            s.merge_sync(&consensus, 0.0);
+        }
+        let after: f64 = shards
+            .iter()
+            .map(|s| compensated_total(&s.sync_state().expect("rr syncs").credits))
+            .sum();
+        prop_assert!(
+            (after - before).abs() <= 1e-9 * before.abs().max(1.0),
+            "credit mass drifted beyond tolerance: {} -> {}", before, after
+        );
+        for (i, (s, &pick)) in shards.iter_mut().zip(&next_picks).enumerate() {
+            prop_assert_eq!(s.dispatch(), pick,
+                "shard {} next decision moved despite the argmin guard", i);
+        }
+    }
+}

@@ -44,6 +44,7 @@ fn d1_tier_is_invisible_for_every_splitter_kind() {
             dispatchers: 1,
             splitter,
             sync: None,
+            ..Default::default()
         };
         let tiered = experiment(cfg, "plain").run().expect("tiered");
         assert_eq!(
@@ -76,6 +77,7 @@ fn d1_identity_holds_on_both_backends_with_and_without_faults() {
                 dispatchers: 1,
                 splitter: SplitterSpec::IidRandom,
                 sync: None,
+                ..Default::default()
             };
             let a = experiment(plain, "plain").run().expect("plain");
             let b = experiment(tiered, "plain").run().expect("tiered");
@@ -99,6 +101,7 @@ fn d1_identity_is_thread_count_independent() {
         dispatchers: 1,
         splitter: SplitterSpec::RoundRobin,
         sync: None,
+        ..Default::default()
     };
     let run = |cfg: &ClusterConfig, threads: usize| {
         let mut e = experiment(cfg.clone(), "plain");
