@@ -26,6 +26,7 @@ fn run_busy_period(spec: DisciplineSpec, jobs: usize, seed: u64) -> usize {
             server: 0,
             counted: true,
             degraded: false,
+            class: 0,
         });
         disc.arrive(t, id, 0.5 + rng.next_f64());
     }

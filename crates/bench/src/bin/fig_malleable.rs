@@ -1,0 +1,227 @@
+//! Malleable-class slowdown figure: heSRPT allocation vs dispatching.
+//!
+//! The paper's schemes assign each job to exactly one computer; the
+//! malleable extension lets the allocation tier divide a shard's
+//! servers among its in-flight jobs by the heSRPT closed form. This
+//! harness measures what that buys on the *mean slowdown* objective:
+//!
+//! * **fraction × exponent sweep** — ORR, DYNAMIC, HESRPT, and
+//!   HESRPT-STATIC over malleable arrival fractions
+//!   `{0.25, 0.5, 0.75, 1.0}` and power-law speedup exponents
+//!   `p ∈ {0.5, 0.8}`. The dispatch policies treat malleable jobs as
+//!   rigid (the degenerate baseline); the allocator policies hold
+//!   every job in the tier. The headline claim is that HESRPT's
+//!   slowdown advantage over ORR grows with the malleable fraction,
+//!   and HESRPT-STATIC isolates how much of it is *size ordering*
+//!   rather than mere space sharing (recorded as `hesrpt_beats_orr`);
+//! * the **rigid bit-identity** guarantee, checked at bench time: an
+//!   *inactive* malleable section (zero fraction, or all-rigid
+//!   classes) is byte-identical to no section at all, on both
+//!   event-list backends and on both the classic and the
+//!   conservative-parallel engines.
+//!
+//! Results are archived into `BENCH_malleable.json` (override with
+//! `--bench-json PATH`).
+
+use hetsched::prelude::*;
+use hetsched_bench::{ci, json_num, json_str, Mode};
+
+/// Malleable arrival fractions swept (0 is covered by the bit-identity
+/// check: an inactive section runs the seed path).
+const FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// Power-law speedup exponents: 0.5 (square-root, strongly concave —
+/// parallelism pays little) and 0.8 (close to linear — parallelism
+/// pays a lot).
+const EXPONENTS: [f64; 2] = [0.5, 0.8];
+
+/// One cell of the sweep.
+struct Cell {
+    fraction: f64,
+    exponent: f64,
+    policy: String,
+    result: ExperimentResult,
+    /// Mean per-replication tier counters (0 for dispatch policies).
+    malleable_jobs: f64,
+    reallocations: f64,
+}
+
+/// The fig_dispatch fleet: 8 computers with a strongly skewed speed
+/// profile, so the allocation question is non-trivial.
+fn base_config() -> ClusterConfig {
+    let speeds = [5.0, 3.0, 2.0, 1.5, 1.0, 1.0, 1.0, 1.0];
+    ClusterConfig::paper_default(&speeds)
+}
+
+/// The roster each (fraction, exponent) point crosses: two dispatchers
+/// that ignore malleability and the two tier allocators.
+fn policies() -> [PolicySpec; 4] {
+    [
+        PolicySpec::orr(),
+        PolicySpec::DynamicLeastLoad,
+        PolicySpec::Hesrpt,
+        PolicySpec::HesrptStatic,
+    ]
+}
+
+fn run_cell(mode: &Mode, fraction: f64, exponent: f64, policy: PolicySpec) -> Cell {
+    let mut cfg = base_config();
+    cfg.malleable = Some(MalleableSpec::power_law(fraction, exponent));
+    let result = mode.run("fig_malleable", cfg, policy);
+    let n = result.runs.len() as f64;
+    let mean = |f: &dyn Fn(&RunStats) -> f64| -> f64 { result.runs.iter().map(f).sum::<f64>() / n };
+    Cell {
+        fraction,
+        exponent,
+        policy: result.policy.clone(),
+        malleable_jobs: mean(&|r| {
+            r.malleable
+                .as_ref()
+                .map_or(0.0, |m| m.malleable_jobs as f64)
+        }),
+        reallocations: mean(&|r| r.malleable.as_ref().map_or(0.0, |m| m.reallocations as f64)),
+        result,
+    }
+}
+
+/// The tentpole guarantee, checked at bench time: an inactive malleable
+/// section (zero fraction, or a section whose only class is rigid)
+/// reproduces a section-free run byte-for-byte on both event-list
+/// backends and on both engines.
+fn assert_rigid_bit_identity(mode: &Mode) -> bool {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for sim_threads in [0usize, 4] {
+            let mut cfg = base_config();
+            cfg.event_list = backend;
+            let mut plain = Experiment::new("fig_malleable", cfg, PolicySpec::orr())
+                .quick(mode.scale, mode.reps);
+            plain.sim_threads = sim_threads;
+            let mut zero_fraction = plain.clone();
+            zero_fraction.cluster.malleable = Some(MalleableSpec::power_law(0.0, 0.5));
+            let mut rigid_class = plain.clone();
+            rigid_class.cluster.malleable = Some(MalleableSpec {
+                fraction: 1.0,
+                classes: vec![MalleableClass {
+                    curve: SpeedupCurve::Rigid,
+                    weight: 1.0,
+                }],
+            });
+            for rep in 0..mode.reps.min(2) {
+                let a = plain.run_single(rep).expect("plain run");
+                let b = zero_fraction.run_single(rep).expect("zero-fraction run");
+                let c = rigid_class.run_single(rep).expect("rigid-class run");
+                assert_eq!(
+                    a,
+                    b,
+                    "a zero-fraction malleable section diverged from the \
+                     section-free path ({} backend, sim_threads={sim_threads})",
+                    backend.label()
+                );
+                assert_eq!(
+                    a,
+                    c,
+                    "an all-rigid malleable section diverged from the \
+                     section-free path ({} backend, sim_threads={sim_threads})",
+                    backend.label()
+                );
+            }
+        }
+    }
+    true
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{ \"fraction\": {}, \"speedup_exp\": {}, \"policy\": {}, \
+         \"mean_slowdown\": {}, \"slowdown_ci_half_width\": {}, \
+         \"mean_response_ratio\": {}, \"malleable_jobs\": {}, \
+         \"reallocations\": {} }}",
+        json_num(c.fraction),
+        json_num(c.exponent),
+        json_str(&c.policy),
+        json_num(c.result.mean_slowdown.mean),
+        json_num(c.result.mean_slowdown.half_width),
+        json_num(c.result.mean_response_ratio.mean),
+        json_num(c.malleable_jobs),
+        json_num(c.reallocations),
+    )
+}
+
+fn report_json(mode: &Mode, cells: &[Cell], identical: bool, hesrpt_beats_orr: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bin\": {},\n", json_str("fig_malleable")));
+    out.push_str(&format!("  \"scale\": {},\n", json_num(mode.scale)));
+    out.push_str(&format!("  \"reps\": {},\n", mode.reps));
+    out.push_str(&format!("  \"rigid_bit_identical\": {identical},\n"));
+    out.push_str(&format!("  \"hesrpt_beats_orr\": {hesrpt_beats_orr},\n"));
+    let rows: Vec<String> = cells.iter().map(cell_json).collect();
+    out.push_str(&format!("  \"sweep\": [\n{}\n  ]\n", rows.join(",\n")));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mode = Mode::from_env();
+
+    println!("\nMalleable classes: rigid bit-identity check");
+    println!("(both backends x classic/parallel engines)");
+    let identical = assert_rigid_bit_identity(&mode);
+    println!("inactive malleable sections bit-identical to the seed path: {identical}");
+
+    println!("\nMean slowdown: allocation tier vs dispatching");
+    let mut cells = Vec::new();
+    for &p in &EXPONENTS {
+        for &f in &FRACTIONS {
+            for policy in policies() {
+                cells.push(run_cell(&mode, f, p, policy));
+            }
+        }
+    }
+    let mut t = Table::new([
+        "speedup exp",
+        "fraction",
+        "policy",
+        "mean slowdown",
+        "mean response ratio",
+        "reallocations",
+    ]);
+    for c in &cells {
+        t.row([
+            format!("{}", c.exponent),
+            format!("{}", c.fraction),
+            c.policy.clone(),
+            ci(&c.result.mean_slowdown),
+            format!("{:.4}", c.result.mean_response_ratio.mean),
+            format!("{:.0}", c.reallocations),
+        ]);
+    }
+    t.print();
+
+    // The headline claim: at full malleability and the square-root
+    // speedup curve, heSRPT allocation beats the paper's best
+    // dispatcher on mean slowdown.
+    let slowdown_of = |policy: &str| -> f64 {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.fraction == 1.0 && c.exponent == 0.5)
+            .map(|c| c.result.mean_slowdown.mean)
+            .expect("swept cell")
+    };
+    let hesrpt_beats_orr = slowdown_of("HESRPT") < slowdown_of("ORR");
+    println!("\nHESRPT beats ORR on mean slowdown at fraction 1.0, p = 0.5: {hesrpt_beats_orr}");
+
+    if let Some(path) = &mode.json {
+        let results: Vec<&ExperimentResult> = cells.iter().map(|c| &c.result).collect();
+        hetsched::report::save_json(path.to_str().expect("utf-8 path"), &results)
+            .expect("archiving results");
+        println!("results -> {}", path.display());
+    }
+
+    let path = mode
+        .bench_json
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_malleable.json"));
+    let json = report_json(&mode, &cells, identical, hesrpt_beats_orr);
+    std::fs::write(&path, json).expect("writing malleable bench json");
+    println!("malleable sweep -> {}", path.display());
+}

@@ -13,6 +13,7 @@
 //!                   [--dispatchers 4] [--sync-interval 500]
 //!                   [--sync-latency 10] [--sim-threads 4] [--loss 0.01]
 //!                   [--retry-timeout 30] [--hedge-delay 10]
+//!                   [--malleable-fraction 0.5] [--speedup-exp 0.5]
 //!     Run a full replicated simulation experiment described by a JSON
 //!     spec (see `hetsched template`). `--policy` overrides the spec's
 //!     policy by name (`orr`, `dynamic`, `dynamic-idx`,
@@ -29,6 +30,10 @@
 //!     `--retry-timeout` arms ack-based dispatch with exponential
 //!     backoff, and `--hedge-delay` (requires `--retry-timeout`)
 //!     duplicates slow dispatches to a backup server.
+//!     `--malleable-fraction` stamps that share of arrivals as
+//!     malleable (power-law speedup, exponent `--speedup-exp`,
+//!     default 0.5) — pair it with `--policy hesrpt` to activate the
+//!     server-allocation tier and read the mean-slowdown rows.
 //!
 //! hetsched observe --spec experiment.json [--interval 120]
 //!                  [--out series.jsonl] [--csv series.csv]
@@ -101,6 +106,13 @@ pub enum Command {
         /// un-acked dispatches are duplicated to a backup server after
         /// this long, first landing wins.
         hedge_delay: Option<f64>,
+        /// Optional malleable-class arrival fraction in [0, 1]: that
+        /// share of jobs is stamped malleable and every job is held by
+        /// the server-allocation tier (use with `--policy hesrpt`).
+        malleable_fraction: Option<f64>,
+        /// Optional power-law speedup exponent in (0, 1] for the
+        /// malleable class (requires `malleable_fraction`; default 0.5).
+        speedup_exp: Option<f64>,
     },
     /// `observe`: run one replication with the probe plane enabled.
     Observe {
@@ -135,6 +147,7 @@ USAGE:
                     [--sync-latency 10] [--coordinated]
                     [--sim-threads 4] [--loss 0.01]
                     [--retry-timeout 30] [--hedge-delay 10]
+                    [--malleable-fraction 0.5] [--speedup-exp 0.5]
   hetsched observe --spec experiment.json [--interval 120]
                    [--out series.jsonl] [--csv series.csv]
                    [--replication 0] [--event-list heap|calendar]
@@ -195,6 +208,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut loss = None;
             let mut retry_timeout = None;
             let mut hedge_delay = None;
+            let mut malleable_fraction = None;
+            let mut speedup_exp = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--spec" => spec = Some(it.next().ok_or("--spec needs a path")?.clone()),
@@ -268,6 +283,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         hedge_delay = Some(h);
                     }
+                    "--malleable-fraction" => {
+                        let v = it.next().ok_or("--malleable-fraction needs a fraction")?;
+                        let f: f64 = v
+                            .parse()
+                            .map_err(|e| format!("bad malleable fraction: {e}"))?;
+                        if !(f.is_finite() && (0.0..=1.0).contains(&f)) {
+                            return Err(format!("malleable fraction must lie in [0, 1], got {v}"));
+                        }
+                        malleable_fraction = Some(f);
+                    }
+                    "--speedup-exp" => {
+                        let v = it.next().ok_or("--speedup-exp needs an exponent")?;
+                        let p: f64 = v
+                            .parse()
+                            .map_err(|e| format!("bad speedup exponent: {e}"))?;
+                        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+                            return Err(format!("speedup exponent must lie in (0, 1], got {v}"));
+                        }
+                        speedup_exp = Some(p);
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
             }
@@ -276,6 +311,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             if hedge_delay.is_some() && retry_timeout.is_none() {
                 return Err("--hedge-delay requires --retry-timeout".into());
+            }
+            if speedup_exp.is_some() && malleable_fraction.is_none() {
+                return Err("--speedup-exp requires --malleable-fraction".into());
             }
             Ok(Command::Simulate {
                 spec: spec.ok_or("simulate requires --spec")?,
@@ -290,6 +328,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 loss,
                 retry_timeout,
                 hedge_delay,
+                malleable_fraction,
+                speedup_exp,
             })
         }
         "observe" => {
@@ -370,6 +410,8 @@ pub fn run(cmd: Command) -> i32 {
             loss,
             retry_timeout,
             hedge_delay,
+            malleable_fraction,
+            speedup_exp,
         } => match simulate(
             &spec,
             out.as_deref(),
@@ -381,6 +423,7 @@ pub fn run(cmd: Command) -> i32 {
             coordinated,
             sim_threads,
             channel_spec(loss, retry_timeout, hedge_delay),
+            malleable_spec(malleable_fraction, speedup_exp),
         ) {
             Ok(text) => {
                 println!("{text}");
@@ -475,6 +518,14 @@ pub fn channel_spec(
     Some(spec)
 }
 
+/// Builds the `--malleable-fraction`/`--speedup-exp` override (`None`
+/// when neither flag was given, so the spec's own `malleable` section —
+/// or its absence — stands). The exponent defaults to 0.5, the
+/// square-root speedup curve of the heSRPT literature.
+pub fn malleable_spec(fraction: Option<f64>, speedup_exp: Option<f64>) -> Option<MalleableSpec> {
+    fraction.map(|f| MalleableSpec::power_law(f, speedup_exp.unwrap_or(0.5)))
+}
+
 /// Runs the `simulate` subcommand.
 ///
 /// # Errors
@@ -491,6 +542,7 @@ pub fn simulate(
     coordinated: bool,
     sim_threads: Option<usize>,
     channels: Option<ChannelSpec>,
+    malleable: Option<MalleableSpec>,
 ) -> Result<String, String> {
     let text =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
@@ -521,6 +573,9 @@ pub fn simulate(
     if let Some(spec) = channels {
         exp.cluster.channels = Some(spec);
     }
+    if let Some(spec) = malleable {
+        exp.cluster.malleable = Some(spec);
+    }
     let result = exp.run()?;
     if let Some(path) = out {
         hetsched::report::save_json(path, &result)?;
@@ -539,13 +594,63 @@ pub fn simulate(
         "p95 response ratio".to_string(),
         format!("{}", result.p95_response_ratio),
     ]);
-    Ok(format!(
+    t.row([
+        "mean slowdown".to_string(),
+        format!("{}", result.mean_slowdown),
+    ]);
+    let mut report = format!(
         "experiment '{}' with policy {} ({} replications)\n\n{}",
         result.name,
         result.policy,
         result.runs.len(),
         t.render()
-    ))
+    );
+    if let Some(classes) = class_table(&result.runs) {
+        report.push_str("\n\nper-class breakdown (averaged across replications)\n\n");
+        report.push_str(&classes.render());
+    }
+    Ok(report)
+}
+
+/// Builds the per-class slowdown breakdown table, or `None` when no run
+/// recorded malleable classes (rigid experiments print nothing extra).
+/// Counts are summed across replications; the means are job-weighted.
+fn class_table(runs: &[RunStats]) -> Option<Table> {
+    if runs.iter().all(|r| r.classes.is_empty()) {
+        return None;
+    }
+    // Fold per-replication class rows by class id (the layout is
+    // identical across replications of one experiment).
+    let mut by_class: std::collections::BTreeMap<u16, (u64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for r in runs {
+        for c in &r.classes {
+            let e = by_class.entry(c.class).or_insert((0, 0.0, 0.0));
+            e.0 += c.count;
+            e.1 += c.count as f64 * c.mean_slowdown;
+            e.2 += c.count as f64 * c.mean_response;
+        }
+    }
+    let mut t = Table::new(["class", "jobs", "mean slowdown", "mean response"]);
+    for (class, (count, slow_sum, resp_sum)) in by_class {
+        let label = if class == 0 {
+            "0 (rigid)".to_string()
+        } else {
+            class.to_string()
+        };
+        let (slow, resp) = if count > 0 {
+            (slow_sum / count as f64, resp_sum / count as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        t.row([
+            label,
+            count.to_string(),
+            format!("{slow:.4}"),
+            format!("{resp:.4}"),
+        ]);
+    }
+    Some(t)
 }
 
 /// Runs the `observe` subcommand: a single replication with the probe
@@ -661,6 +766,8 @@ mod tests {
                 loss: None,
                 retry_timeout: None,
                 hedge_delay: None,
+                malleable_fraction: None,
+                speedup_exp: None,
             }
         );
     }
@@ -694,6 +801,8 @@ mod tests {
                 loss: None,
                 retry_timeout: None,
                 hedge_delay: None,
+                malleable_fraction: None,
+                speedup_exp: None,
             }
         );
         // Zero dispatchers, negative knobs, and a latency without an
@@ -781,6 +890,8 @@ mod tests {
                 loss: None,
                 retry_timeout: None,
                 hedge_delay: None,
+                malleable_fraction: None,
+                speedup_exp: None,
             }
         );
         // Zero or garbage thread counts are rejected at parse time.
@@ -846,6 +957,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("JIQ"), "{report}");
@@ -902,6 +1014,140 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_malleable_flags() {
+        let cmd = parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--malleable-fraction",
+            "0.5",
+            "--speedup-exp",
+            "0.8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Simulate {
+                malleable_fraction,
+                speedup_exp,
+                ..
+            } => {
+                assert_eq!(malleable_fraction, Some(0.5));
+                assert_eq!(speedup_exp, Some(0.8));
+            }
+            other => panic!("expected simulate, got {other:?}"),
+        }
+        // Out-of-range knobs and an exponent without a fraction are
+        // rejected at parse time.
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--malleable-fraction",
+            "1.5"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--malleable-fraction",
+            "-0.1"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--malleable-fraction",
+            "0.5",
+            "--speedup-exp",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--malleable-fraction",
+            "0.5",
+            "--speedup-exp",
+            "1.2"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "simulate",
+            "--spec",
+            "a.json",
+            "--speedup-exp",
+            "0.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn malleable_spec_builds_the_expected_override() {
+        assert_eq!(malleable_spec(None, None), None);
+        assert_eq!(malleable_spec(None, Some(0.8)), None);
+        let m = malleable_spec(Some(0.5), None).unwrap();
+        assert_eq!(m, MalleableSpec::power_law(0.5, 0.5));
+        assert!(m.active());
+        let m = malleable_spec(Some(0.25), Some(0.8)).unwrap();
+        assert_eq!(m, MalleableSpec::power_law(0.25, 0.8));
+        // A zero fraction builds an inactive section — the rigid run.
+        assert!(!malleable_spec(Some(0.0), None).unwrap().active());
+    }
+
+    #[test]
+    fn simulate_runs_the_malleable_tier_end_to_end() {
+        let dir = std::env::temp_dir().join("hetsched_cli_malleable_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let mut exp: Experiment = serde_json::from_str(&template_spec()).unwrap();
+        exp.cluster.horizon = 20_000.0;
+        exp.cluster.warmup = 2_000.0;
+        exp.replications = 1;
+        std::fs::write(&spec_path, serde_json::to_string(&exp).unwrap()).unwrap();
+
+        let report = simulate(
+            spec_path.to_str().unwrap(),
+            None,
+            Some("hesrpt"),
+            None,
+            None,
+            None,
+            None,
+            false,
+            None,
+            None,
+            malleable_spec(Some(0.5), None),
+        )
+        .unwrap();
+        assert!(report.contains("HESRPT"), "{report}");
+        assert!(report.contains("mean slowdown"), "{report}");
+        assert!(report.contains("per-class breakdown"), "{report}");
+        assert!(report.contains("0 (rigid)"), "{report}");
+
+        // Without the malleable override the hesrpt policy is rejected
+        // with a message that names the missing section.
+        let e = simulate(
+            spec_path.to_str().unwrap(),
+            None,
+            Some("hesrpt"),
+            None,
+            None,
+            None,
+            None,
+            false,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(e.contains("malleable"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn channel_spec_builds_the_expected_override() {
         assert_eq!(channel_spec(None, None, None), None);
         let lossy = channel_spec(Some(0.05), None, None).unwrap();
@@ -943,6 +1189,8 @@ mod tests {
                 loss: None,
                 retry_timeout: None,
                 hedge_delay: None,
+                malleable_fraction: None,
+                speedup_exp: None,
             }
         );
         let e = parse_args(&args(&[
@@ -1060,6 +1308,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         assert!(report.contains("ORR"));
@@ -1128,6 +1377,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap_err();
         assert!(e.contains("reading"));
@@ -1154,6 +1404,7 @@ mod tests {
             Some(1_000.0),
             Some(5.0),
             false,
+            None,
             None,
             None,
         )
@@ -1193,6 +1444,7 @@ mod tests {
             false,
             None,
             None,
+            None,
         )
         .unwrap();
         simulate(
@@ -1205,6 +1457,7 @@ mod tests {
             None,
             false,
             Some(2),
+            None,
             None,
         )
         .unwrap();
@@ -1233,6 +1486,7 @@ mod tests {
             None,
             None,
             false,
+            None,
             None,
             None,
         )

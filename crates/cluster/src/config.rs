@@ -280,6 +280,13 @@ pub struct ClusterConfig {
     /// Serde-defaulted, so old configs load unchanged.
     #[serde(default)]
     pub per_server: PerServerMode,
+    /// If set, stamp arrivals with malleable job classes (see
+    /// [`crate::malleable`]). `None` — or a section whose classes are
+    /// all rigid — is structurally invisible: no class stream is
+    /// constructed and no allocation tier runs, so such runs are
+    /// byte-identical to configs serialized before this field existed.
+    #[serde(default)]
+    pub malleable: Option<crate::malleable::MalleableSpec>,
 }
 
 impl ClusterConfig {
@@ -304,6 +311,7 @@ impl ClusterConfig {
             dispatch: hetsched_dispatch::DispatchSpec::default(),
             channels: None,
             per_server: PerServerMode::default(),
+            malleable: None,
         }
     }
 
@@ -413,6 +421,9 @@ impl ClusterConfig {
         self.dispatch.validate()?;
         if let Some(channels) = &self.channels {
             channels.validate()?;
+        }
+        if let Some(malleable) = &self.malleable {
+            malleable.validate()?;
         }
         if let Some(faults) = &self.faults {
             if let Some(servers) = &faults.servers {
@@ -695,6 +706,32 @@ mod tests {
         let json = serde_json::to_value(&composed).unwrap();
         let again: ClusterConfig = serde_json::from_value(json).unwrap();
         assert_eq!(again, composed);
+    }
+
+    #[test]
+    fn config_without_malleable_key_deserializes_to_none() {
+        // Back-compat: configs serialized before malleable classes
+        // existed must parse unchanged, with the tier disabled.
+        let cfg = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut json = serde_json::to_value(&cfg).unwrap();
+        json.as_object_mut().unwrap().remove("malleable");
+        let back: ClusterConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(back.malleable.is_none());
+    }
+
+    #[test]
+    fn validation_catches_bad_malleable_sections() {
+        let good = ClusterConfig::paper_default(&[1.0, 2.0]);
+        let mut bad = good.clone();
+        bad.malleable = Some(crate::malleable::MalleableSpec::power_law(1.5, 0.5));
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.0));
+        assert!(bad.validate().is_err());
+        let mut ok = good;
+        ok.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.5));
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -102,6 +102,7 @@ mod tests {
                     server: 0,
                     counted: true,
                     degraded: false,
+                    class: 0,
                 })
             })
             .collect()

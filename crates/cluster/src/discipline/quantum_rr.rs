@@ -136,6 +136,7 @@ mod tests {
                     server: 0,
                     counted: true,
                     degraded: false,
+                    class: 0,
                 })
             })
             .collect()

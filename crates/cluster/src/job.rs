@@ -41,6 +41,10 @@ pub struct JobRecord {
     /// Whether the job experienced churn: it arrived while at least one
     /// server was down, or was resubmitted/restarted after a crash.
     pub degraded: bool,
+    /// Stamped malleable class id (see [`crate::malleable`]); `0` is the
+    /// rigid background class, and the only value ever stamped when the
+    /// malleable section is absent or all-rigid.
+    pub class: u16,
 }
 
 enum Slot {
@@ -236,6 +240,7 @@ mod tests {
             server: 0,
             counted: true,
             degraded: false,
+            class: 0,
         }
     }
 

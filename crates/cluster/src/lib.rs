@@ -36,6 +36,12 @@
 //!   restarted), driven by dedicated RNG streams so fault runs stay
 //!   bit-reproducible and `faults: None` reproduces the fault-free
 //!   simulation byte-for-byte.
+//! * [`malleable`] — malleable job classes with concave speedup curves
+//!   and the heSRPT-style allocation tier: one job may hold `k`
+//!   fractional servers, preemptively reallocated at every arrival,
+//!   completion, crash, and repair. An absent or all-rigid section is
+//!   structurally invisible, so such runs stay bit-identical to the
+//!   rigid seed path.
 //! * the dispatch tier (`hetsched-dispatch`, re-exported here) — an
 //!   optional front-end of `D` dispatcher shards, each running a private
 //!   [`Policy`] instance over a partition of the arrival stream, with an
@@ -61,6 +67,7 @@ pub mod discipline;
 pub mod faults;
 pub mod index;
 pub mod job;
+pub mod malleable;
 pub mod network;
 pub mod obs;
 pub mod pdes;
@@ -78,9 +85,11 @@ pub use hetsched_dispatch::{
     compensated_total, consensus_coordinated, level_shift, Coordination, DispatchSpec,
     SplitterSpec, SyncSpec, SyncState,
 };
+pub use hetsched_dist::SpeedupCurve;
 pub use hetsched_obs::{KernelCounters, ObsReport, ObsSpec};
 pub use index::{ArgminTree, FleetState};
 pub use job::{JobId, JobRecord, JobSlab};
+pub use malleable::{AllocatorKind, ClassStats, MalleableClass, MalleableSpec, MalleableStats};
 pub use obs::{ObsDriver, ObsView};
 pub use pdes::{shard_config, shard_ranges, ParallelSimulation, PdesTiming, PDES_STREAM_BASE};
 pub use policy::{DispatchCtx, Policy};

@@ -1,0 +1,846 @@
+//! Malleable job classes and the heSRPT-style server-allocation tier.
+//!
+//! The paper's model is *rigid*: every job occupies exactly one server.
+//! This module adds the malleable extension studied by Berg, Vesilo &
+//! Harchol-Balter (heSRPT) and Berg & Moseley (multiple parallelizable
+//! job classes): an arrival is stamped with a **job class** carrying a
+//! concave speedup curve `s(k)`, and a cluster-wide **allocation tier**
+//! lets one job hold `k` (possibly fractional) servers at once,
+//! preemptively reallocating the whole fleet at every arrival,
+//! completion, crash, and repair.
+//!
+//! Activation is structural, mirroring the fault/channel/dispatch
+//! layers: a config without a [`MalleableSpec`] — or one whose classes
+//! are all [`SpeedupCurve::Rigid`] — builds none of this machinery,
+//! draws from no extra RNG stream, and schedules no events, so such
+//! runs are bit-identical to the pre-malleable seed path
+//! (`tests/malleable_differential.rs` enforces it).
+//!
+//! The allocation itself is the heSRPT closed form: with `M` jobs
+//! ranked ascending by remaining work (rank `r = 1` is the smallest),
+//! job `r` receives the share
+//!
+//! ```text
+//! θ_r ∝ (M − r + 1)^{1/p} − (M − r)^{1/p}
+//! ```
+//!
+//! which telescopes to the full capacity and, for `p < 1`, gives the
+//! smallest job the largest share — the SRPT bias softened by the
+//! concavity of the speedup curve. [`hesrpt_shares`] implements the
+//! form with per-job elasticities and per-job core caps (a rigid job
+//! caps at one core), redistributing capped-off cores by water-filling.
+
+use hetsched_dist::SpeedupCurve;
+use hetsched_error::HetschedError;
+use serde::{Deserialize, Serialize};
+
+/// Relative tolerance under which a tier job counts as finished: the
+/// wake event fires exactly at the predicted completion time, but the
+/// `remaining -= rate · dt` arithmetic can leave an O(ulp) residue.
+const FINISH_RTOL: f64 = 1e-9;
+
+fn default_weight() -> f64 {
+    1.0
+}
+
+/// One malleable job class: a speedup curve plus its share of the
+/// malleable arrival stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalleableClass {
+    /// Speedup curve `s(k)` for jobs of this class (default rigid).
+    #[serde(default)]
+    pub curve: SpeedupCurve,
+    /// Relative arrival weight within the malleable fraction
+    /// (default 1; weights are normalized across classes).
+    #[serde(default = "default_weight")]
+    pub weight: f64,
+}
+
+impl MalleableClass {
+    /// A power-law class `s(k) = k^p` with unit weight.
+    pub fn power_law(p: f64) -> Self {
+        MalleableClass {
+            curve: SpeedupCurve::PowerLaw { p },
+            weight: 1.0,
+        }
+    }
+}
+
+/// The cluster's malleability section (`ClusterConfig::malleable`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalleableSpec {
+    /// Fraction of arrivals stamped malleable, in `[0, 1]`.
+    pub fraction: f64,
+    /// The malleable job classes; weights partition the malleable
+    /// fraction of the arrival stream.
+    pub classes: Vec<MalleableClass>,
+}
+
+impl MalleableSpec {
+    /// A single power-law class covering `fraction` of arrivals.
+    pub fn power_law(fraction: f64, p: f64) -> Self {
+        MalleableSpec {
+            fraction,
+            classes: vec![MalleableClass::power_law(p)],
+        }
+    }
+
+    /// Checks the section eagerly at config-validation time.
+    ///
+    /// # Errors
+    /// Returns [`HetschedError::InvalidConfig`] for a fraction outside
+    /// `[0, 1]`, an empty class list with a positive fraction,
+    /// non-positive weights, or invalid speedup-curve parameters.
+    pub fn validate(&self) -> Result<(), HetschedError> {
+        if !self.fraction.is_finite() || !(0.0..=1.0).contains(&self.fraction) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "malleable fraction must lie in [0, 1], got {}",
+                self.fraction
+            )));
+        }
+        if self.fraction > 0.0 && self.classes.is_empty() {
+            return Err(HetschedError::InvalidConfig(
+                "malleable fraction is positive but no classes are defined".into(),
+            ));
+        }
+        if self.classes.len() > usize::from(u16::MAX - 1) {
+            return Err(HetschedError::InvalidConfig(format!(
+                "at most {} malleable classes are supported, got {}",
+                u16::MAX - 1,
+                self.classes.len()
+            )));
+        }
+        for (i, class) in self.classes.iter().enumerate() {
+            if !(class.weight.is_finite() && class.weight > 0.0) {
+                return Err(HetschedError::InvalidConfig(format!(
+                    "malleable class {i} weight must be positive, got {}",
+                    class.weight
+                )));
+            }
+            class
+                .curve
+                .validate()
+                .map_err(|e| e.context(format!("malleable class {i}")))?;
+        }
+        Ok(())
+    }
+
+    /// True when the section changes anything at all: a positive
+    /// malleable fraction with at least one genuinely elastic class.
+    /// All-rigid sections are structurally invisible — no class stream
+    /// is constructed and no job is stamped, keeping such runs
+    /// bit-identical to the seed path.
+    pub fn active(&self) -> bool {
+        self.fraction > 0.0 && self.classes.iter().any(|c| !c.curve.is_rigid())
+    }
+
+    /// Maps one uniform draw `u ∈ [0, 1)` to a class id: `0` is the
+    /// rigid background stream (probability `1 − fraction`), class `c`
+    /// covers a `fraction · w_c / Σw` slice.
+    pub fn stamp(&self, u: f64) -> u16 {
+        if u >= self.fraction || self.classes.is_empty() {
+            return 0;
+        }
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut x = u / self.fraction * total;
+        for (i, class) in self.classes.iter().enumerate() {
+            if x < class.weight {
+                return (i + 1) as u16;
+            }
+            x -= class.weight;
+        }
+        self.classes.len() as u16
+    }
+
+    /// The speedup curve for a stamped class id (`0` = rigid).
+    pub fn curve(&self, class: u16) -> &SpeedupCurve {
+        if class == 0 {
+            &RIGID
+        } else {
+            &self.classes[usize::from(class) - 1].curve
+        }
+    }
+
+    /// Long-run arrival probability of each class id `0..=K`, used by
+    /// the static per-class allocator as its offline (Algorithm-1-like)
+    /// share targets.
+    pub fn arrival_shares(&self) -> Vec<f64> {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut shares = Vec::with_capacity(self.classes.len() + 1);
+        shares.push(1.0 - self.fraction);
+        for class in &self.classes {
+            shares.push(self.fraction * class.weight / total);
+        }
+        shares
+    }
+}
+
+static RIGID: SpeedupCurve = SpeedupCurve::Rigid;
+
+/// Which allocation rule the tier runs; advertised by a policy through
+/// `Policy::malleable_allocator`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocatorKind {
+    /// Size-ordered water-filling per the heSRPT closed form,
+    /// re-evaluated at every tier event.
+    Hesrpt,
+    /// Static per-class shares proportional to each class's arrival
+    /// probability (EQUI within a class) — the Algorithm-1-comparable
+    /// baseline from Berg & Moseley.
+    StaticClass,
+}
+
+/// One job's allocation request, the input row of [`hesrpt_shares`].
+#[derive(Debug, Clone, Copy)]
+pub struct AllocJob {
+    /// Remaining inherent work.
+    pub remaining: f64,
+    /// Sublinearity exponent `p ∈ (0, 1]` of the job's speedup curve.
+    pub elasticity: f64,
+    /// Largest useful allocation (1 for a rigid job).
+    pub cap: f64,
+    /// Admission sequence number, the deterministic tie-break.
+    pub seq: u64,
+}
+
+/// The heSRPT closed-form allocation with per-job caps.
+///
+/// Jobs are ranked ascending by `(remaining, seq)`; rank `r` (1-based)
+/// receives a share proportional to
+/// `(M − r + 1)^{1/p_r} − (M − r)^{1/p_r}`, normalized to `cores`.
+/// Shares above a job's cap are clamped there and the freed cores are
+/// water-filled over the uncapped jobs; cores nobody can use stay idle.
+/// The returned vector is indexed like `jobs` and sums to at most
+/// `cores` (exactly `cores` when no cap binds).
+pub fn hesrpt_shares(jobs: &[AllocJob], cores: f64) -> Vec<f64> {
+    let m = jobs.len();
+    let mut share = vec![0.0; m];
+    if m == 0 || cores <= 0.0 {
+        return share;
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .remaining
+            .total_cmp(&jobs[b].remaining)
+            .then(jobs[a].seq.cmp(&jobs[b].seq))
+    });
+    let mut raw = vec![0.0; m];
+    for (r, &i) in order.iter().enumerate() {
+        let inv_p = 1.0 / jobs[i].elasticity.clamp(1e-6, 1.0);
+        let hi = (m - r) as f64;
+        let lo = (m - r - 1) as f64;
+        raw[i] = hi.powf(inv_p) - lo.powf(inv_p);
+    }
+    let mut capped = vec![false; m];
+    let mut free = cores;
+    loop {
+        let raw_sum: f64 = (0..m).filter(|&i| !capped[i]).map(|i| raw[i]).sum();
+        if raw_sum <= 0.0 || free <= 0.0 {
+            break;
+        }
+        // Clamp the first violator (in rank order, so the fixed point is
+        // deterministic) and redistribute; at most M passes.
+        let mut clamped = false;
+        for &i in &order {
+            if capped[i] {
+                continue;
+            }
+            if free * raw[i] / raw_sum > jobs[i].cap {
+                share[i] = jobs[i].cap;
+                capped[i] = true;
+                free -= jobs[i].cap;
+                clamped = true;
+                break;
+            }
+        }
+        if !clamped {
+            for &i in &order {
+                if !capped[i] {
+                    share[i] = free * raw[i] / raw_sum;
+                }
+            }
+            break;
+        }
+    }
+    share
+}
+
+/// Equal split of `budget` cores over jobs with the given caps,
+/// redistributing capped-off cores among the rest (EQUI with caps).
+fn equi_shares(caps: &[f64], budget: f64) -> Vec<f64> {
+    let m = caps.len();
+    let mut share = vec![0.0; m];
+    if m == 0 || budget <= 0.0 {
+        return share;
+    }
+    let mut capped = vec![false; m];
+    let mut free = budget;
+    loop {
+        let open = capped.iter().filter(|&&c| !c).count();
+        if open == 0 || free <= 0.0 {
+            break;
+        }
+        let each = free / open as f64;
+        let mut clamped = false;
+        for i in 0..m {
+            if !capped[i] && each > caps[i] {
+                share[i] = caps[i];
+                capped[i] = true;
+                free -= caps[i];
+                clamped = true;
+                break;
+            }
+        }
+        if !clamped {
+            for s in 0..m {
+                if !capped[s] {
+                    share[s] = each;
+                }
+            }
+            break;
+        }
+    }
+    share
+}
+
+/// One job held by the allocation tier.
+#[derive(Debug, Clone)]
+pub struct TierJob {
+    /// The simulation's slab key for the job.
+    pub id: usize,
+    /// Stamped class id (0 = rigid background).
+    pub class: u16,
+    /// Inherent size at admission.
+    pub inherent: f64,
+    /// Remaining inherent work.
+    pub remaining: f64,
+    /// Current core allocation.
+    pub share: f64,
+    /// Current service rate `s(share) · c̄` (inherent work per second).
+    pub rate: f64,
+    /// Admission sequence number (deterministic heSRPT tie-break).
+    pub seq: u64,
+}
+
+/// Per-class allocation parameters, precomputed from the spec.
+#[derive(Debug, Clone)]
+struct ClassInfo {
+    curve: SpeedupCurve,
+    elasticity: f64,
+    cap: f64,
+    /// Offline arrival share, the static allocator's class budget.
+    arrival_share: f64,
+}
+
+/// The live allocation tier: jobs holding fractional server shares,
+/// advanced and re-allocated at every tier event.
+///
+/// The tier homogenizes the fleet: with `N_up` servers up at aggregate
+/// speed `Σ s_i`, a job holding `k` cores runs at `s(k) · Σs_i / N_up`.
+/// All bookkeeping is deterministic — ties break on the admission
+/// sequence number — so a sharded run reproduces bitwise on both
+/// engines.
+#[derive(Debug)]
+pub struct MalleableRuntime {
+    kind: AllocatorKind,
+    classes: Vec<ClassInfo>,
+    jobs: Vec<TierJob>,
+    seq: u64,
+    last_t: f64,
+    /// Reallocation passes performed (post-warmup windows are not
+    /// distinguished; this is a lifetime counter).
+    pub reallocations: u64,
+    /// High-water mark of simultaneously allocated cores, the
+    /// conservation-law witness (`≤` fleet cores at all times).
+    pub max_cores_in_use: f64,
+}
+
+impl MalleableRuntime {
+    /// Builds the tier for a spec and an allocation rule.
+    pub fn new(kind: AllocatorKind, spec: &MalleableSpec) -> Self {
+        let shares = spec.arrival_shares();
+        let mut classes = Vec::with_capacity(spec.classes.len() + 1);
+        classes.push(ClassInfo {
+            curve: SpeedupCurve::Rigid,
+            elasticity: 1.0,
+            cap: 1.0,
+            arrival_share: shares[0],
+        });
+        for (i, class) in spec.classes.iter().enumerate() {
+            classes.push(ClassInfo {
+                curve: class.curve.clone(),
+                elasticity: class.curve.elasticity(),
+                cap: class.curve.max_useful_cores(),
+                arrival_share: shares[i + 1],
+            });
+        }
+        MalleableRuntime {
+            kind,
+            classes,
+            jobs: Vec::new(),
+            seq: 0,
+            last_t: 0.0,
+            reallocations: 0,
+            max_cores_in_use: 0.0,
+        }
+    }
+
+    /// Jobs currently held by the tier.
+    pub fn jobs(&self) -> &[TierJob] {
+        &self.jobs
+    }
+
+    /// Cores currently allocated across all tier jobs.
+    pub fn cores_in_use(&self) -> f64 {
+        self.jobs.iter().map(|j| j.share).sum()
+    }
+
+    /// Progresses every job to `now` at its current rate.
+    pub fn advance(&mut self, now: f64) {
+        let dt = now - self.last_t;
+        if dt > 0.0 {
+            for job in &mut self.jobs {
+                job.remaining = (job.remaining - job.rate * dt).max(0.0);
+            }
+        }
+        self.last_t = now;
+    }
+
+    /// Admits one job (advance to `now` first).
+    pub fn admit(&mut self, id: usize, class: u16, size: f64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.jobs.push(TierJob {
+            id,
+            class,
+            inherent: size,
+            remaining: size,
+            share: 0.0,
+            rate: 0.0,
+            seq,
+        });
+    }
+
+    /// Removes and returns every finished job, in admission order
+    /// (advance to `now` first).
+    ///
+    /// A job is finished when its remaining work is inside the relative
+    /// tolerance — or when its completion can no longer advance the f64
+    /// clock (`last_t + remaining/rate` rounds to `last_t`). The second
+    /// clause closes a Zeno loop: an arrival landing within one
+    /// representable tick of a predicted completion would otherwise
+    /// leave a residue above the tolerance whose wake re-fires at the
+    /// same timestamp forever, with `dt = 0` draining nothing.
+    pub fn reap(&mut self) -> Vec<TierJob> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.jobs.len() {
+            let j = &self.jobs[i];
+            let finished = j.remaining <= j.inherent * FINISH_RTOL
+                || (j.rate > 0.0 && self.last_t + j.remaining / j.rate <= self.last_t);
+            if finished {
+                done.push(self.jobs.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Recomputes every job's share and rate for the current capacity:
+    /// `cores` whole-server units at mean per-core speed `core_speed`.
+    pub fn reallocate(&mut self, cores: f64, core_speed: f64) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        let shares = match self.kind {
+            AllocatorKind::Hesrpt => {
+                let reqs: Vec<AllocJob> = self
+                    .jobs
+                    .iter()
+                    .map(|j| {
+                        let info = &self.classes[usize::from(j.class)];
+                        AllocJob {
+                            remaining: j.remaining,
+                            elasticity: info.elasticity,
+                            cap: info.cap.min(cores),
+                            seq: j.seq,
+                        }
+                    })
+                    .collect();
+                hesrpt_shares(&reqs, cores)
+            }
+            AllocatorKind::StaticClass => self.static_shares(cores),
+        };
+        for (job, share) in self.jobs.iter_mut().zip(&shares) {
+            job.share = *share;
+            job.rate = self.classes[usize::from(job.class)].curve.speedup(*share) * core_speed;
+        }
+        self.reallocations += 1;
+        let in_use: f64 = shares.iter().sum();
+        if in_use > self.max_cores_in_use {
+            self.max_cores_in_use = in_use;
+        }
+    }
+
+    /// Static per-class allocation: each class with live jobs gets a
+    /// budget proportional to its offline arrival share, split EQUI
+    /// (with caps) among its jobs. Renormalizes over present classes so
+    /// an absent class's cores are not wasted.
+    fn static_shares(&self, cores: f64) -> Vec<f64> {
+        let present: f64 = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| self.jobs.iter().any(|j| usize::from(j.class) == *c))
+            .map(|(_, info)| info.arrival_share)
+            .sum();
+        let mut shares = vec![0.0; self.jobs.len()];
+        if present <= 0.0 {
+            return shares;
+        }
+        for (c, info) in self.classes.iter().enumerate() {
+            let members: Vec<usize> = self
+                .jobs
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| usize::from(j.class) == c)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let budget = cores * info.arrival_share / present;
+            let caps: Vec<f64> = members.iter().map(|_| info.cap.min(cores)).collect();
+            for (idx, share) in members.iter().zip(equi_shares(&caps, budget)) {
+                shares[*idx] = share;
+            }
+        }
+        shares
+    }
+
+    /// The absolute time of the next tier completion at current rates,
+    /// or `None` when no job is progressing (e.g. total outage).
+    pub fn next_completion(&self) -> Option<f64> {
+        self.jobs
+            .iter()
+            .filter(|j| j.rate > 0.0)
+            .map(|j| self.last_t + j.remaining / j.rate)
+            .min_by(f64::total_cmp)
+    }
+}
+
+/// Per-class completion statistics, the breakdown table of the
+/// human-readable report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Stamped class id (0 = rigid background).
+    pub class: u16,
+    /// Counted completions of the class.
+    pub count: u64,
+    /// Mean slowdown (`response / inherent size`).
+    pub mean_slowdown: f64,
+    /// Mean response time.
+    pub mean_response: f64,
+}
+
+/// Tier-level counters exported with the run results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalleableStats {
+    /// Counted completions that were stamped malleable (class > 0).
+    pub malleable_jobs: u64,
+    /// Allocation passes performed by the tier (0 when only stamping
+    /// ran, i.e. under a non-allocating policy like ORR).
+    pub reallocations: u64,
+    /// High-water mark of simultaneously allocated cores.
+    pub max_cores_in_use: f64,
+    /// Whole-server core capacity of the fleet (the conservation bound).
+    pub fleet_cores: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(fraction: f64, p: f64) -> MalleableSpec {
+        MalleableSpec::power_law(fraction, p)
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        spec(0.5, 0.5).validate().unwrap();
+        spec(0.0, 0.5).validate().unwrap();
+        MalleableSpec {
+            fraction: 0.0,
+            classes: vec![],
+        }
+        .validate()
+        .unwrap();
+        for bad in [
+            spec(-0.1, 0.5),
+            spec(1.5, 0.5),
+            spec(f64::NAN, 0.5),
+            spec(0.5, 0.0),
+            spec(0.5, 1.5),
+            MalleableSpec {
+                fraction: 0.5,
+                classes: vec![],
+            },
+            MalleableSpec {
+                fraction: 0.5,
+                classes: vec![MalleableClass {
+                    curve: SpeedupCurve::Rigid,
+                    weight: 0.0,
+                }],
+            },
+        ] {
+            let err = bad.validate().expect_err(&format!("{bad:?}"));
+            assert!(
+                matches!(err.root_cause(), HetschedError::InvalidConfig(_)),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_requires_an_elastic_class() {
+        assert!(spec(1.0, 0.5).active());
+        assert!(!spec(0.0, 0.5).active());
+        let all_rigid = MalleableSpec {
+            fraction: 1.0,
+            classes: vec![MalleableClass {
+                curve: SpeedupCurve::Rigid,
+                weight: 1.0,
+            }],
+        };
+        assert!(!all_rigid.active());
+    }
+
+    #[test]
+    fn stamping_partitions_the_unit_interval() {
+        let s = MalleableSpec {
+            fraction: 0.5,
+            classes: vec![
+                MalleableClass {
+                    curve: SpeedupCurve::PowerLaw { p: 0.5 },
+                    weight: 3.0,
+                },
+                MalleableClass {
+                    curve: SpeedupCurve::PowerLaw { p: 0.8 },
+                    weight: 1.0,
+                },
+            ],
+        };
+        // [0, 0.375) -> class 1, [0.375, 0.5) -> class 2, [0.5, 1) -> 0.
+        assert_eq!(s.stamp(0.0), 1);
+        assert_eq!(s.stamp(0.374), 1);
+        assert_eq!(s.stamp(0.376), 2);
+        assert_eq!(s.stamp(0.499), 2);
+        assert_eq!(s.stamp(0.5), 0);
+        assert_eq!(s.stamp(0.99), 0);
+        let shares = s.arrival_shares();
+        assert_eq!(shares, vec![0.5, 0.375, 0.125]);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    fn req(remaining: f64, p: f64, cap: f64, seq: u64) -> AllocJob {
+        AllocJob {
+            remaining,
+            elasticity: p,
+            cap,
+            seq,
+        }
+    }
+
+    #[test]
+    fn hesrpt_matches_the_closed_form() {
+        // M = 2, p = 0.5: ranks get (2² − 1²)/2² = 3/4 and 1/4 of the
+        // cores; the smaller job takes the larger share.
+        let jobs = [
+            req(10.0, 0.5, f64::INFINITY, 0),
+            req(2.0, 0.5, f64::INFINITY, 1),
+        ];
+        let s = hesrpt_shares(&jobs, 8.0);
+        assert!((s[1] - 6.0).abs() < 1e-12, "{s:?}");
+        assert!((s[0] - 2.0).abs() < 1e-12, "{s:?}");
+        assert!((s.iter().sum::<f64>() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hesrpt_shares_telescope_to_capacity() {
+        let jobs: Vec<AllocJob> = (0..7)
+            .map(|i| req(1.0 + i as f64, 0.7, f64::INFINITY, i as u64))
+            .collect();
+        let s = hesrpt_shares(&jobs, 12.0);
+        assert!((s.iter().sum::<f64>() - 12.0).abs() < 1e-9, "{s:?}");
+        // Ascending size ⇒ descending share.
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1], "{s:?}");
+        }
+    }
+
+    #[test]
+    fn hesrpt_ties_break_on_sequence() {
+        let jobs = [
+            req(5.0, 0.5, f64::INFINITY, 7),
+            req(5.0, 0.5, f64::INFINITY, 3),
+        ];
+        let s = hesrpt_shares(&jobs, 4.0);
+        // seq 3 ranks first and takes the larger share.
+        assert!(s[1] > s[0], "{s:?}");
+    }
+
+    #[test]
+    fn hesrpt_respects_caps_and_conservation() {
+        // A rigid job caps at one core; the freed cores go to the others.
+        let jobs = [
+            req(1.0, 1.0, 1.0, 0),
+            req(5.0, 0.5, f64::INFINITY, 1),
+            req(9.0, 0.5, f64::INFINITY, 2),
+        ];
+        let s = hesrpt_shares(&jobs, 10.0);
+        assert!(s[0] <= 1.0 + 1e-12, "{s:?}");
+        assert!((s.iter().sum::<f64>() - 10.0).abs() < 1e-9, "{s:?}");
+
+        // All rigid: one core each, the rest idle.
+        let rigid = [req(1.0, 1.0, 1.0, 0), req(2.0, 1.0, 1.0, 1)];
+        let s = hesrpt_shares(&rigid, 10.0);
+        assert_eq!(s, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn hesrpt_handles_degenerate_inputs() {
+        assert!(hesrpt_shares(&[], 4.0).is_empty());
+        let jobs = [req(1.0, 0.5, f64::INFINITY, 0)];
+        assert_eq!(hesrpt_shares(&jobs, 0.0), vec![0.0]);
+        assert_eq!(hesrpt_shares(&jobs, 6.0), vec![6.0]);
+    }
+
+    #[test]
+    fn equi_redistributes_capped_cores() {
+        let s = equi_shares(&[1.0, f64::INFINITY, f64::INFINITY], 7.0);
+        assert_eq!(s[0], 1.0);
+        assert!((s[1] - 3.0).abs() < 1e-12 && (s[2] - 3.0).abs() < 1e-12);
+    }
+
+    fn runtime(kind: AllocatorKind) -> MalleableRuntime {
+        MalleableRuntime::new(kind, &spec(0.5, 0.5))
+    }
+
+    #[test]
+    fn runtime_advances_and_reaps_at_predicted_times() {
+        let mut rt = runtime(AllocatorKind::Hesrpt);
+        rt.admit(11, 1, 4.0);
+        rt.reallocate(4.0, 1.0);
+        // One power-law job on 4 cores: rate √4 = 2, finishes at t = 2.
+        let t = rt.next_completion().unwrap();
+        assert!((t - 2.0).abs() < 1e-12);
+        rt.advance(t);
+        let done = rt.reap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 11);
+        assert!(rt.jobs().is_empty());
+        assert_eq!(rt.reallocations, 1);
+        assert!((rt.max_cores_in_use - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_preempts_for_a_smaller_job() {
+        let mut rt = runtime(AllocatorKind::Hesrpt);
+        rt.admit(0, 1, 8.0);
+        rt.reallocate(4.0, 1.0);
+        rt.advance(1.0);
+        rt.admit(1, 1, 1.0);
+        rt.reallocate(4.0, 1.0);
+        let jobs = rt.jobs();
+        // The small newcomer outranks the half-done large job.
+        assert!(jobs[1].share > jobs[0].share);
+        assert!((rt.cores_in_use() - 4.0).abs() < 1e-12);
+        // Next completion is the small job's.
+        let t = rt.next_completion().unwrap();
+        rt.advance(t);
+        let done = rt.reap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 1);
+    }
+
+    #[test]
+    fn reap_closes_the_zeno_residue_loop() {
+        // A residue above the relative tolerance whose completion time
+        // rounds to the current clock: late in a run (t = 1e6, ulp
+        // ~1.2e-10) a fast-running job is left with 2e-9 of work —
+        // above `inherent * FINISH_RTOL` = 1e-9, but 2e-11 seconds
+        // from done, which f64 time cannot represent. Without the
+        // no-progress clause its wake would re-fire at t forever.
+        let mut rt = runtime(AllocatorKind::StaticClass);
+        rt.admit(0, 1, 1.0);
+        rt.reallocate(8.0, 1.0);
+        rt.advance(1.0e6);
+        let job = &mut rt.jobs[0];
+        job.remaining = 2.0e-9;
+        job.rate = 100.0;
+        assert_eq!(
+            rt.next_completion(),
+            Some(1.0e6),
+            "the completion must round onto the current clock for this \
+             scenario to exercise the guard"
+        );
+        let done = rt.reap();
+        assert_eq!(done.len(), 1, "the un-advanceable residue must reap");
+        // A genuinely unfinished job at the same clock still survives.
+        rt.admit(1, 1, 1.0);
+        rt.reallocate(8.0, 1.0);
+        assert!(rt.reap().is_empty());
+    }
+
+    #[test]
+    fn runtime_zero_capacity_stalls_without_wake() {
+        let mut rt = runtime(AllocatorKind::Hesrpt);
+        rt.admit(0, 1, 4.0);
+        rt.reallocate(0.0, 0.0);
+        assert_eq!(rt.next_completion(), None);
+        rt.advance(100.0);
+        assert!(rt.reap().is_empty(), "no progress at zero capacity");
+    }
+
+    #[test]
+    fn static_allocator_splits_by_arrival_share() {
+        let s = MalleableSpec {
+            fraction: 0.5,
+            classes: vec![
+                MalleableClass {
+                    curve: SpeedupCurve::PowerLaw { p: 0.5 },
+                    weight: 1.0,
+                },
+                MalleableClass {
+                    curve: SpeedupCurve::PowerLaw { p: 0.5 },
+                    weight: 1.0,
+                },
+            ],
+        };
+        let mut rt = MalleableRuntime::new(AllocatorKind::StaticClass, &s);
+        // Two class-1 jobs and one class-2 job; no rigid jobs present,
+        // so the budgets renormalize to 1/2 of the cores per class.
+        rt.admit(0, 1, 10.0);
+        rt.admit(1, 1, 10.0);
+        rt.admit(2, 2, 10.0);
+        rt.reallocate(8.0, 1.0);
+        let jobs = rt.jobs();
+        assert!((jobs[0].share - 2.0).abs() < 1e-12, "{jobs:?}");
+        assert!((jobs[1].share - 2.0).abs() < 1e-12, "{jobs:?}");
+        assert!((jobs[2].share - 4.0).abs() < 1e-12, "{jobs:?}");
+    }
+
+    #[test]
+    fn serde_round_trips_and_defaults() {
+        let s = spec(0.5, 0.5);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: MalleableSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Omitted curve and weight default to rigid / 1.0.
+        let class: MalleableClass = serde_json::from_str("{}").unwrap();
+        assert_eq!(class.curve, SpeedupCurve::Rigid);
+        assert_eq!(class.weight, 1.0);
+    }
+}

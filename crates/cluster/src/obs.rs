@@ -66,6 +66,10 @@ pub struct ObsView {
     /// Dispatch retransmissions this window divided by the window
     /// length (0 unless the run has an unreliable channel layer).
     pub retry_rate: f64,
+    /// Mean slowdown (`response / inherent size`) of counted jobs
+    /// completing this window (0 if none; only exported as a column for
+    /// runs with an active malleable section).
+    pub slowdown_mean: f64,
 }
 
 /// Per-server instantaneous queue length, column `qlen[i]`.
@@ -200,6 +204,10 @@ pub struct ObsDriver {
     // keeping the reliable report schema unchanged).
     msgs_lost: u64,
     retries: u64,
+    // Per-window slowdown accumulator (its column is only registered
+    // for runs with an active malleable section, keeping the rigid
+    // report schema unchanged).
+    slow: Welford,
 }
 
 impl ObsDriver {
@@ -212,13 +220,16 @@ impl ObsDriver {
     /// single-dispatcher report keeps the pre-tier column set.
     /// `channels` registers the message-plane rate columns; pass false
     /// for a reliable (or absent) channel layer so its report schema
-    /// stays byte-identical to the pre-channel one.
+    /// stays byte-identical to the pre-channel one. `malleable`
+    /// registers the slowdown column the same way: pass false for runs
+    /// without an active malleable section.
     pub fn new(
         spec: &ObsSpec,
         n: usize,
         expected: Vec<f64>,
         shards: usize,
         channels: bool,
+        malleable: bool,
     ) -> Self {
         assert_eq!(expected.len(), n, "one expected fraction per server");
         let interval = spec.sample_interval;
@@ -259,6 +270,12 @@ impl ObsDriver {
                 registry.register(Box::new(ViewProbe { name, read }));
             }
         }
+        if malleable {
+            registry.register(Box::new(ViewProbe {
+                name: "slowdown_mean",
+                read: |v| v.slowdown_mean,
+            }));
+        }
         ObsDriver {
             interval,
             window_start: 0.0,
@@ -276,6 +293,7 @@ impl ObsDriver {
             shard_total: vec![0; shards],
             msgs_lost: 0,
             retries: 0,
+            slow: Welford::new(),
         }
     }
 
@@ -346,6 +364,14 @@ impl ObsDriver {
         self.p50.push(response);
         self.p95.push(response);
         self.p99.push(response);
+    }
+
+    /// Records the slowdown of one counted completion. Call only for
+    /// runs with an active malleable section — the accumulator's column
+    /// is not registered otherwise.
+    #[inline]
+    pub fn on_slowdown(&mut self, slowdown: f64) {
+        self.slow.push(slowdown);
     }
 
     /// Forwards the end-of-warmup history reset to the probes.
@@ -431,6 +457,7 @@ impl ObsDriver {
             shard_deviations,
             msg_loss_rate: self.msgs_lost as f64 / self.interval,
             retry_rate: self.retries as f64 / self.interval,
+            slowdown_mean: self.slow.mean(),
         }
     }
 
@@ -449,6 +476,7 @@ impl ObsDriver {
         self.shard_total.iter_mut().for_each(|c| *c = 0);
         self.msgs_lost = 0;
         self.retries = 0;
+        self.slow = Welford::new();
     }
 }
 
@@ -467,7 +495,7 @@ mod tests {
 
     #[test]
     fn standard_columns_in_order() {
-        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5], 1, false);
+        let driver = ObsDriver::new(&ObsSpec::every(100.0), 2, vec![0.5, 0.5], 1, false, false);
         let report = driver.into_report(FelStats::default());
         assert_eq!(
             report.columns,
@@ -495,7 +523,14 @@ mod tests {
         let expected = vec![0.2, 0.3, 0.5];
         let interval = 100.0;
         let mut tracker = DeviationTracker::new(&expected, interval, 0.0);
-        let mut driver = ObsDriver::new(&ObsSpec::every(interval), 3, expected.clone(), 1, false);
+        let mut driver = ObsDriver::new(
+            &ObsSpec::every(interval),
+            3,
+            expected.clone(),
+            1,
+            false,
+            false,
+        );
         let servers = servers(3);
 
         // Irregular dispatch stream crossing several windows, including
@@ -529,7 +564,8 @@ mod tests {
     #[test]
     fn empty_window_reports_zero_rates_and_full_deviation() {
         let expected = vec![0.25, 0.75];
-        let mut driver = ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone(), 1, false);
+        let mut driver =
+            ObsDriver::new(&ObsSpec::every(50.0), 2, expected.clone(), 1, false, false);
         let servers = servers(2);
         driver.flush_to(50.0, &servers, 0);
         let report = driver.into_report(FelStats::default());
@@ -551,7 +587,7 @@ mod tests {
 
     #[test]
     fn window_counters_reset_between_windows() {
-        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false);
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false, false);
         let servers = servers(1);
         driver.on_arrival();
         driver.on_arrival();
@@ -574,7 +610,7 @@ mod tests {
         // D = 1 (or 0): no shard columns — the report schema is exactly
         // the pre-dispatch-tier one.
         for shards in [0, 1] {
-            let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], shards, false);
+            let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], shards, false, false);
             let report = driver.into_report(FelStats::default());
             assert!(
                 !report.columns.iter().any(|c| c.starts_with("shard_")),
@@ -583,7 +619,7 @@ mod tests {
             );
         }
         // D = 2: share and deviation columns per shard, after "deviation".
-        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 2, false);
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 2, false, false);
         let report = driver.into_report(FelStats::default());
         let tail: Vec<&str> = report
             .columns
@@ -607,7 +643,7 @@ mod tests {
     #[test]
     fn shard_counters_track_shares_and_deviation() {
         let expected = vec![0.5, 0.5];
-        let mut driver = ObsDriver::new(&ObsSpec::every(100.0), 2, expected, 2, false);
+        let mut driver = ObsDriver::new(&ObsSpec::every(100.0), 2, expected, 2, false, false);
         let servers = servers(2);
         // Shard 0 routes three jobs (two to server 0), shard 1 routes one.
         for (shard, server) in [(0, 0), (0, 1), (0, 0), (1, 1)] {
@@ -629,14 +665,14 @@ mod tests {
     #[test]
     fn channel_columns_appear_only_when_enabled() {
         // Reliable (or absent) channel layer: schema unchanged.
-        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false);
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false, false);
         let report = driver.into_report(FelStats::default());
         assert!(!report.columns.iter().any(|c| c.contains("msg_loss")));
         assert!(!report.columns.iter().any(|c| c.contains("retry")));
 
         // Unreliable layer: the rate columns land at the tail and the
         // per-window counters reset across boundaries.
-        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, true);
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, true, false);
         let servers = servers(1);
         driver.on_msg_lost();
         driver.on_msg_lost();
@@ -659,6 +695,34 @@ mod tests {
     }
 
     #[test]
+    fn slowdown_column_appears_only_with_malleable_tier() {
+        // No active malleable section: the report schema is exactly the
+        // rigid one.
+        let driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false, false);
+        let report = driver.into_report(FelStats::default());
+        assert!(
+            !report.columns.iter().any(|c| c.contains("slowdown")),
+            "{:?}",
+            report.columns
+        );
+
+        // Active section: the column lands at the tail and the
+        // per-window accumulator resets across boundaries.
+        let mut driver = ObsDriver::new(&ObsSpec::every(10.0), 1, vec![1.0], 1, false, true);
+        let servers = servers(1);
+        driver.on_slowdown(2.0);
+        driver.on_slowdown(4.0);
+        driver.flush_to(10.0, &servers, 0);
+        driver.flush_to(20.0, &servers, 0);
+        let report = driver.into_report(FelStats::default());
+        assert_eq!(
+            report.columns.last().map(String::as_str),
+            Some("slowdown_mean")
+        );
+        assert_eq!(report.column("slowdown_mean").unwrap(), vec![3.0, 0.0]);
+    }
+
+    #[test]
     fn utilization_probe_differences_and_rebases() {
         let mk_view = |busy: f64| ObsView {
             queue_lens: vec![0.0],
@@ -676,6 +740,7 @@ mod tests {
             shard_deviations: Vec::new(),
             msg_loss_rate: 0.0,
             retry_rate: 0.0,
+            slowdown_mean: 0.0,
         };
         let mut p = UtilizationProbe {
             server: 0,

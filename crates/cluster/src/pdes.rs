@@ -109,8 +109,9 @@ pub fn shard_ranges(n: usize, d: usize) -> Vec<Range<usize>> {
 /// sync.
 ///
 /// Everything else (arrival spec, job sizes, discipline, horizon,
-/// warmup, faults, channels, observability, tracing) is inherited
-/// unchanged, except that a targeted fault's server list is remapped
+/// warmup, faults, channels, observability, tracing, the malleable
+/// section) is inherited unchanged, except that a targeted fault's
+/// server list is remapped
 /// from global to shard-local indices (targets outside the slice are
 /// dropped; a shard with no targets keeps an empty list and crashes
 /// nothing).
@@ -130,25 +131,30 @@ pub fn shard_config(cfg: &ClusterConfig, range: &Range<usize>) -> ClusterConfig 
     sub
 }
 
-/// Pre-generates the partitioned arrival feeds: one `(time, size)`
-/// script per shard, plus a trailing past-horizon sentinel on every
-/// feed so each shard model always has a pending next arrival (the
-/// same invariant the live path maintains).
+/// Pre-generates the partitioned arrival feeds: one `(time, size,
+/// class)` script per shard, plus a trailing past-horizon sentinel on
+/// every feed so each shard model always has a pending next arrival
+/// (the same invariant the live path maintains).
 ///
 /// Draw order per stream is exactly the live path's: the gap stream
 /// advances once per arrival (including the final past-horizon gap),
-/// the size stream once per in-horizon arrival, and the splitter's
-/// stream once per in-horizon arrival. Arrival times accumulate through
-/// [`SimTime::after`], reproducing the live clock arithmetic bit for
-/// bit.
-pub(crate) fn pregen_feeds(cfg: &ClusterConfig, seed: u64) -> Vec<Vec<(f64, f64)>> {
+/// the size stream once per in-horizon arrival, the class stamper's
+/// stream (only constructed for an active malleable section) once per
+/// in-horizon arrival, and the splitter's stream once per in-horizon
+/// arrival. Arrival times accumulate through [`SimTime::after`],
+/// reproducing the live clock arithmetic bit for bit.
+pub(crate) fn pregen_feeds(cfg: &ClusterConfig, seed: u64) -> Vec<Vec<(f64, f64, u16)>> {
     let d = cfg.dispatch.dispatchers.max(1);
     let mut arrivals = cfg.arrivals.build(cfg.lambda());
     let sizes = cfg.job_sizes.build();
     let mut splitter = Splitter::new(&cfg.dispatch, seed);
     let mut rng_arrival = Rng64::stream(seed, 0);
     let mut rng_size = Rng64::stream(seed, 1);
-    let mut feeds: Vec<Vec<(f64, f64)>> = vec![Vec::new(); d];
+    // Classes are stamped in global arrival order here, so shard feeds
+    // see exactly the stamps the classic single-kernel path draws.
+    let stamping = cfg.malleable.as_ref().filter(|m| m.active());
+    let mut rng_class = stamping.map(|_| Rng64::stream(seed, crate::simulation::MALLEABLE_STREAM));
+    let mut feeds: Vec<Vec<(f64, f64, u16)>> = vec![Vec::new(); d];
     let mut t = SimTime::ZERO;
     loop {
         let gap = arrivals.next_interarrival(&mut rng_arrival);
@@ -158,12 +164,16 @@ pub(crate) fn pregen_feeds(cfg: &ClusterConfig, seed: u64) -> Vec<Vec<(f64, f64)
             // scheduled but never delivered — exactly like the live
             // path's always-pending next arrival.
             for feed in &mut feeds {
-                feed.push((t.as_secs(), 0.0));
+                feed.push((t.as_secs(), 0.0, 0));
             }
             return feeds;
         }
         let size = sizes.sample(&mut rng_size);
-        feeds[splitter.route()].push((t.as_secs(), size));
+        let class = match (stamping, &mut rng_class) {
+            (Some(spec), Some(rng)) => spec.stamp(rng.next_f64()),
+            _ => 0,
+        };
+        feeds[splitter.route()].push((t.as_secs(), size, class));
     }
 }
 
@@ -251,6 +261,20 @@ impl<P: Policy> ParallelSimulation<P> {
         if sim_threads == 0 {
             return Err(HetschedError::InvalidConfig(
                 "sim_threads must be ≥ 1".into(),
+            ));
+        }
+        // Mirror of the classic constructor's rule: tier-held jobs never
+        // cross the dispatch plane, so an unreliable channel layer
+        // cannot apply to them.
+        if cfg.malleable.as_ref().is_some_and(|m| m.active())
+            && policies.iter().any(|p| p.malleable_allocator().is_some())
+            && matches!(&cfg.channels, Some(c) if !c.is_reliable())
+        {
+            return Err(HetschedError::InvalidConfig(
+                "the malleable allocation tier requires reliable channels: \
+                 tier-held jobs bypass the dispatch plane, so an unreliable \
+                 channel spec would not apply to them"
+                    .into(),
             ));
         }
         Ok(ParallelSimulation {
@@ -519,30 +543,83 @@ fn finalize_sharded<P: Policy>(
     let mut resp_ratio = Welford::new();
     let mut degraded_time = Welford::new();
     let mut degraded_ratio = Welford::new();
+    let mut slowdown = Welford::new();
     for m in &models {
         resp_time.merge(&m.resp_time);
         resp_ratio.merge(&m.resp_ratio);
         degraded_time.merge(&m.degraded_time);
         degraded_ratio.merge(&m.degraded_ratio);
+        slowdown.merge(&m.slowdown);
     }
 
     // P² markers cannot be merged exactly; the jobs-weighted mean of
-    // the per-shard estimates is the documented approximation.
+    // the per-shard estimates is the documented approximation — for the
+    // slowdown tails exactly as for the response-ratio tails.
     let mut p95_num = 0.0;
     let mut p99_num = 0.0;
     let mut q_den = 0.0;
+    let mut slow_p95_num = 0.0;
+    let mut slow_p99_num = 0.0;
     for m in &models {
         let w = m.ratio_p95.count() as f64;
         if w > 0.0 {
             p95_num += w * m.ratio_p95.estimate().unwrap_or(0.0);
             p99_num += w * m.ratio_p99.estimate().unwrap_or(0.0);
+            slow_p95_num += w * m.slow_p95.estimate().unwrap_or(0.0);
+            slow_p99_num += w * m.slow_p99.estimate().unwrap_or(0.0);
             q_den += w;
         }
     }
-    let (p95, p99) = if q_den > 0.0 {
-        (p95_num / q_den, p99_num / q_den)
+    let (p95, p99, slow_p95, slow_p99) = if q_den > 0.0 {
+        (
+            p95_num / q_den,
+            p99_num / q_den,
+            slow_p95_num / q_den,
+            slow_p99_num / q_den,
+        )
     } else {
-        (0.0, 0.0)
+        (0.0, 0.0, 0.0, 0.0)
+    };
+
+    // Per-class tables share one layout across shards (every shard sees
+    // the same malleable spec), so the fold is an elementwise Welford
+    // merge; tier counters sum in shard order.
+    let classes: Vec<crate::malleable::ClassStats> = match models[0].class_stats.as_ref() {
+        Some(first) => (0..first.len())
+            .map(|c| {
+                let mut resp = Welford::new();
+                let mut slow = Welford::new();
+                for m in &models {
+                    if let Some(stats) = &m.class_stats {
+                        resp.merge(&stats[c].0);
+                        slow.merge(&stats[c].1);
+                    }
+                }
+                crate::malleable::ClassStats {
+                    class: c as u16,
+                    count: resp.count(),
+                    mean_slowdown: slow.mean(),
+                    mean_response: resp.mean(),
+                }
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let malleable = if models.iter().any(|m| m.tier.is_some()) {
+        let runtimes = || {
+            models
+                .iter()
+                .filter_map(|m| m.tier.as_ref())
+                .flat_map(|t| t.runtimes.iter())
+        };
+        Some(crate::malleable::MalleableStats {
+            malleable_jobs: models.iter().map(|m| m.malleable_jobs).sum(),
+            reallocations: runtimes().map(|r| r.reallocations).sum(),
+            max_cores_in_use: runtimes().map(|r| r.max_cores_in_use).sum(),
+            fleet_cores: cfg.speeds.len() as f64,
+        })
+    } else {
+        None
     };
 
     // Identical layouts (all shards build the same histogram shape), so
@@ -718,6 +795,11 @@ fn finalize_sharded<P: Policy>(
         // Collapse (if configured) happens in run()/run_timed() after
         // the merge, so the fold always works on full vectors.
         server_summary: None,
+        mean_slowdown: slowdown.mean(),
+        p95_slowdown: slow_p95,
+        p99_slowdown: slow_p99,
+        classes,
+        malleable,
     }
 }
 
@@ -782,6 +864,13 @@ fn merge_obs_reports(
         columns.push("msg_loss_rate".to_string());
         columns.push("retry_rate".to_string());
     }
+    // The slowdown probe registers after the channel block, so it rides
+    // at the very end of each shard report; the merged level is the
+    // jobs-agnostic mean across shards (an intensive quantity).
+    let has_slowdown = reports[0].columns.iter().any(|c| c == "slowdown_mean");
+    if has_slowdown {
+        columns.push("slowdown_mean".to_string());
+    }
 
     // A shard report's layout: 3 columns per local server, then the 8
     // tier scalars (single-dispatcher shards carry no shard_* tail),
@@ -830,6 +919,17 @@ fn merge_obs_reports(
                         .sum::<f64>(),
                 );
             }
+        }
+        if has_slowdown {
+            let off = OBS_SCALARS + if has_channels { 2 } else { 0 };
+            row.push(
+                reports
+                    .iter()
+                    .enumerate()
+                    .map(|(s, rep)| rep.rows[r][scalar_base(s) + off])
+                    .sum::<f64>()
+                    / d as f64,
+            );
         }
         rows.push(row);
     }
@@ -943,15 +1043,17 @@ mod tests {
         let feeds = pregen_feeds(&cfg, 7);
         assert_eq!(feeds.len(), 2);
         for feed in &feeds {
-            let (last_t, last_size) = *feed.last().unwrap();
+            let (last_t, last_size, last_class) = *feed.last().unwrap();
             assert!(last_t > cfg.horizon, "sentinel must lie past the horizon");
             assert_eq!(last_size, 0.0);
+            assert_eq!(last_class, 0);
             for w in feed.windows(2) {
                 assert!(w[0].0 <= w[1].0, "feed must be time-ordered");
             }
-            for &(t, size) in &feed[..feed.len() - 1] {
+            for &(t, size, class) in &feed[..feed.len() - 1] {
                 assert!(t <= cfg.horizon);
                 assert!(size > 0.0);
+                assert_eq!(class, 0, "no malleable section, no stamping");
             }
         }
     }

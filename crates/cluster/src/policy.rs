@@ -116,6 +116,15 @@ pub trait Policy: Send {
         0
     }
 
+    /// If the policy is a malleable server allocator (heSRPT or the
+    /// static per-class baseline), the allocation rule the simulator's
+    /// tier should run. `None` (the default) means jobs are dispatched
+    /// to single servers through [`Policy::choose`] as usual — even
+    /// stamped malleable jobs, which then simply run rigidly.
+    fn malleable_allocator(&self) -> Option<crate::malleable::AllocatorKind> {
+        None
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> String;
 }
@@ -159,6 +168,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn stale_decisions(&self) -> u64 {
         (**self).stale_decisions()
+    }
+
+    fn malleable_allocator(&self) -> Option<crate::malleable::AllocatorKind> {
+        (**self).malleable_allocator()
     }
 
     fn name(&self) -> String {
@@ -205,5 +218,6 @@ mod tests {
         p.merge_sync(&SyncState::default(), 1.0); // default no-op
         p.advance_rotation(3); // default no-op: no rotation state
         assert_eq!(p.stale_decisions(), 0); // default: no staleness tracking
+        assert!(p.malleable_allocator().is_none()); // default: rigid dispatch
     }
 }

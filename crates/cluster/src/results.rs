@@ -260,6 +260,28 @@ pub struct RunStats {
     /// empty). Serde-defaulted so archived results load unchanged.
     #[serde(default)]
     pub server_summary: Option<ServerSummarySet>,
+    /// Mean slowdown (`response time / inherent size`) over finished
+    /// counted jobs. Under rigid service every job's inherent size *is*
+    /// its service demand, so this coincides with
+    /// [`RunStats::mean_response_ratio`]; the separate accumulator
+    /// exists so malleable runs report the objective under its own name
+    /// with per-class breakdowns and quantiles.
+    #[serde(default)]
+    pub mean_slowdown: f64,
+    /// 95th percentile of the slowdown (P² estimate).
+    #[serde(default)]
+    pub p95_slowdown: f64,
+    /// 99th percentile of the slowdown (P² estimate).
+    #[serde(default)]
+    pub p99_slowdown: f64,
+    /// Per-class completion statistics (empty unless the run had an
+    /// active malleable section; class 0 is the rigid background).
+    #[serde(default)]
+    pub classes: Vec<crate::malleable::ClassStats>,
+    /// Allocation-tier counters (present only when the run's policy
+    /// actually ran the malleable server-allocation tier).
+    #[serde(default)]
+    pub malleable: Option<crate::malleable::MalleableStats>,
 }
 
 impl RunStats {
@@ -358,6 +380,21 @@ mod tests {
             stale_decisions: 3,
             jobs_in_flight: 1,
             server_summary: None,
+            mean_slowdown: 2.0,
+            p95_slowdown: 5.0,
+            p99_slowdown: 9.0,
+            classes: vec![crate::malleable::ClassStats {
+                class: 0,
+                count: 99,
+                mean_slowdown: 2.0,
+                mean_response: 10.0,
+            }],
+            malleable: Some(crate::malleable::MalleableStats {
+                malleable_jobs: 40,
+                reallocations: 200,
+                max_cores_in_use: 2.0,
+                fleet_cores: 2.0,
+            }),
         }
     }
 
@@ -502,6 +539,30 @@ mod tests {
         assert_eq!(m.mean, 50.5);
         let empty = MetricSummary::of(&[]);
         assert_eq!(empty.max, 0.0);
+    }
+
+    #[test]
+    fn pre_malleable_json_deserializes_with_defaults() {
+        // Archived results from before the malleable subsystem lack the
+        // slowdown/class fields; they must load with empty breakdowns.
+        let s = dummy();
+        let mut json = serde_json::to_value(&s).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        for k in [
+            "mean_slowdown",
+            "p95_slowdown",
+            "p99_slowdown",
+            "classes",
+            "malleable",
+        ] {
+            obj.remove(k);
+        }
+        let back: RunStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back.mean_slowdown, 0.0);
+        assert_eq!(back.p95_slowdown, 0.0);
+        assert_eq!(back.p99_slowdown, 0.0);
+        assert!(back.classes.is_empty());
+        assert!(back.malleable.is_none());
     }
 
     #[test]

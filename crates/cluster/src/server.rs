@@ -37,6 +37,11 @@ pub struct Server {
     crashes: u64,
     down_since: Option<f64>,
     downtime: f64,
+    /// Fraction of this server the malleable allocation tier currently
+    /// occupies. Stays exactly `0.0` for every run without an active
+    /// tier, so the busy signal below is bit-identical to the seed
+    /// path's `qlen > 0` indicator.
+    tier_share: f64,
 }
 
 impl Server {
@@ -59,6 +64,7 @@ impl Server {
             crashes: 0,
             down_since: None,
             downtime: 0.0,
+            tier_share: 0.0,
         }
     }
 
@@ -144,9 +150,21 @@ impl Server {
 
     fn refresh(&mut self, now: f64) {
         let n = self.disc.queue_len();
-        self.busy.update(now, if n > 0 { 1.0 } else { 0.0 });
+        // Tier jobs occupy fractional cores without entering the run
+        // queue; their share contributes to the busy signal when the
+        // queue itself is idle. `tier_share` is exactly 0.0 whenever no
+        // allocation tier is active, preserving the seed path's signal.
+        let busy = if n > 0 { 1.0 } else { self.tier_share };
+        self.busy.update(now, busy);
         self.qlen.update(now, n as f64);
         self.avail.update(now, if self.up { 1.0 } else { 0.0 });
+    }
+
+    /// Updates the malleable tier's occupancy of this server (a
+    /// fraction in `[0, 1]`), closing the busy integral at `now` first.
+    pub fn set_tier_share(&mut self, now: f64, share: f64) {
+        self.refresh(now);
+        self.tier_share = share;
     }
 
     /// Restarts the measurement window (end of warmup): clears counters
@@ -237,7 +255,20 @@ mod tests {
             server: 0,
             counted: true,
             degraded: false,
+            class: 0,
         })
+    }
+
+    #[test]
+    fn tier_share_feeds_busy_when_queue_idle() {
+        let mut s = Server::new(1.0, DisciplineSpec::ProcessorSharing);
+        let mut done = Vec::new();
+        s.advance(0.0, &mut done);
+        // Tier occupies half the server on [0, 2), nothing on [2, 4).
+        s.set_tier_share(0.0, 0.5);
+        s.set_tier_share(2.0, 0.0);
+        s.finalize(4.0);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
     }
 
     #[test]

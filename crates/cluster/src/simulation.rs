@@ -34,6 +34,11 @@
 //!    is set and not [`ChannelSpec::reliable`]): a job copy crossing
 //!    the wire, the ack timeout arming a retransmission, and the hedge
 //!    trigger duplicating an unacked dispatch to a second pick.
+//! 9. `TierWake` — the malleable allocation tier's next completion on a
+//!    shard (only when an active [`ClusterConfig::malleable`] section is
+//!    paired with an allocator policy, see [`crate::malleable`]):
+//!    harvested jobs leave the tier and the remaining shares re-solve,
+//!    cancelling and re-arming the wake through the O(1)-cancel path.
 //!
 //! The dispatch tier: `ClusterConfig::dispatch.dispatchers` front-end
 //! dispatchers each run a private [`Policy`] instance; a
@@ -56,7 +61,8 @@
 //! everything else at [`crate::channel::CHANNEL_STREAM_BASE`] and are
 //! only instantiated for a non-reliable [`ChannelSpec`]).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
 
 use hetsched_desim::{
     Actor, CalendarQueue, Engine, EventId, EventQueue, FelStats, FutureEventList, Rng64, Scheduler,
@@ -74,6 +80,7 @@ use crate::config::{ArrivalKind, ClusterConfig, EventListBackend};
 use crate::faults::{FaultSpec, JobFaultSemantics};
 use crate::index::FleetState;
 use crate::job::{JobId, JobRecord, JobSlab};
+use crate::malleable::{ClassStats, MalleableRuntime, MalleableSpec, MalleableStats};
 use crate::network::membership_notice_delay;
 use crate::obs::ObsDriver;
 use crate::policy::{DispatchCtx, Policy};
@@ -139,7 +146,21 @@ pub(crate) enum Ev {
         /// Transfer generation.
         gen: u32,
     },
+    /// The malleable allocation tier's next completion on a shard (only
+    /// scheduled when an active [`ClusterConfig::malleable`] section is
+    /// paired with an allocator policy). Cancelled and re-armed on every
+    /// reallocation through the O(1)-cancel event list.
+    TierWake {
+        /// Dispatch shard whose tier runtime completes next.
+        shard: usize,
+    },
 }
+
+/// RNG stream of the malleable class stamper, far above every other
+/// stream family (classic 0–3, faults `4 + i`, splitter `1 << 40`, PDES
+/// shards `1 << 41`, channels `1 << 42`). Only constructed for an
+/// *active* malleable section, so all-rigid runs draw nothing from it.
+pub(crate) const MALLEABLE_STREAM: u64 = 1 << 43;
 
 /// A configured, seeded simulation ready to run.
 pub struct Simulation<P: Policy> {
@@ -196,6 +217,22 @@ impl<P: Policy> Simulation<P> {
                 policies.len()
             )));
         }
+        // Tier jobs never cross the dispatch plane (they are held by the
+        // allocation tier, not sent to a single server), so pairing the
+        // tier with an unreliable channel layer would silently exempt
+        // most jobs from the configured loss model. Reject the
+        // combination instead of mis-modelling it.
+        if cfg.malleable.as_ref().is_some_and(|m| m.active())
+            && policies.iter().any(|p| p.malleable_allocator().is_some())
+            && matches!(&cfg.channels, Some(c) if !c.is_reliable())
+        {
+            return Err(HetschedError::InvalidConfig(
+                "the malleable allocation tier requires reliable channels: \
+                 tier-held jobs bypass the dispatch plane, so an unreliable \
+                 channel spec would not apply to them"
+                    .into(),
+            ));
+        }
         let trace = cfg.trace.map(TraceCollector::new).transpose()?;
         Ok(Simulation {
             cfg,
@@ -247,8 +284,9 @@ impl<P: Policy> Simulation<P> {
 /// kernel's `scheduled` counter matches the live path, which always has
 /// one beyond-horizon arrival pending) but never fires.
 pub(crate) struct ScriptedArrivals {
-    /// `(arrival time, job size)` in arrival order.
-    pub(crate) jobs: Vec<(f64, f64)>,
+    /// `(arrival time, job size, malleable class)` in arrival order
+    /// (class `0` for every job when the malleable section is inactive).
+    pub(crate) jobs: Vec<(f64, f64, u16)>,
     /// Next entry to deliver.
     pub(crate) cursor: usize,
 }
@@ -477,6 +515,31 @@ struct CoordState {
     seen: Vec<u64>,
 }
 
+/// Runtime state of the malleable allocation tier: one
+/// [`MalleableRuntime`] per dispatch shard, each confined to that
+/// shard's contiguous server slice (the same partition the PDES engine
+/// uses, so the classic and parallel paths build identical tiers). With
+/// one dispatcher the single runtime spans the whole fleet.
+///
+/// Only constructed when an *active* [`MalleableSpec`] is paired with a
+/// policy whose [`Policy::malleable_allocator`] is `Some` — otherwise
+/// stamped jobs dispatch rigidly through [`Policy::choose`] as usual.
+pub(crate) struct MalleableTier {
+    /// One allocation runtime per dispatch shard.
+    pub(crate) runtimes: Vec<MalleableRuntime>,
+    /// Each shard's contiguous server slice.
+    pub(crate) ranges: Vec<Range<usize>>,
+    /// Server index → owning shard.
+    pub(crate) shard_of: Vec<usize>,
+    /// The pending `TierWake` per shard (cancelled on reallocation).
+    pub(crate) wakes: Vec<Option<EventId>>,
+    /// Tier-local job key → slab id, per shard. Never iterated, so the
+    /// hash order cannot leak into results.
+    pub(crate) ids: Vec<HashMap<usize, JobId>>,
+    /// Next tier-local job key, per shard.
+    pub(crate) next_id: Vec<usize>,
+}
+
 pub(crate) struct Model<P: Policy> {
     /// One policy instance per dispatcher shard.
     pub(crate) policies: Vec<P>,
@@ -536,6 +599,29 @@ pub(crate) struct Model<P: Policy> {
     /// Stale-decision count at warmup end, subtracted at finalize so the
     /// reported counter covers the measurement window only.
     pub(crate) stale_baseline: u64,
+    /// The active malleable section, when one is configured (None for
+    /// absent or all-rigid sections — structurally invisible).
+    stamping: Option<MalleableSpec>,
+    /// The class stamper's RNG stream (live arrivals only; scripted
+    /// feeds carry pre-stamped classes).
+    rng_class: Option<Rng64>,
+    /// The allocation tier (Some iff stamping is active AND the lead
+    /// policy is an allocator).
+    pub(crate) tier: Option<MalleableTier>,
+    /// Mean slowdown accumulator: `response / inherent size` per counted
+    /// job. Numerically identical to the response ratio on the rigid
+    /// path (both divide response by the speed-1 service demand), kept
+    /// as its own accumulator so the slowdown objective stays exact if
+    /// the two definitions ever diverge.
+    pub(crate) slowdown: Welford,
+    pub(crate) slow_p95: P2Quantile,
+    pub(crate) slow_p99: P2Quantile,
+    /// Per-class `(response, slowdown)` accumulators, indexed by stamped
+    /// class id; only allocated when stamping is active.
+    pub(crate) class_stats: Option<Vec<(Welford, Welford)>>,
+    /// Jobs stamped with a non-rigid class (lifetime counter, like the
+    /// tier's reallocation count).
+    pub(crate) malleable_jobs: u64,
 }
 
 impl<P: Policy> Model<P> {
@@ -576,8 +662,19 @@ impl<P: Policy> Model<P> {
         // non-reliable spec: `channels: None` and
         // `Some(ChannelSpec::reliable())` build byte-identical models.
         let channels_active = matches!(&cfg.channels, Some(c) if !c.is_reliable());
+        // Same construction discipline for the malleable section: an
+        // absent or all-rigid section builds no stamper stream, no class
+        // accumulators, no tier, and no slowdown obs column.
+        let stamping = cfg.malleable.clone().filter(|m| m.active());
         let obs = cfg.obs.as_ref().map(|spec| {
-            ObsDriver::new(spec, n, expected, cfg.dispatch.dispatchers, channels_active)
+            ObsDriver::new(
+                spec,
+                n,
+                expected,
+                cfg.dispatch.dispatchers,
+                channels_active,
+                stamping.is_some(),
+            )
         });
         // Fault streams are only created when faults are configured, so a
         // `faults: None` run draws exactly the same values from exactly
@@ -598,6 +695,35 @@ impl<P: Policy> Model<P> {
             None
         };
         let shards = cfg.dispatch.dispatchers;
+        // The allocation tier partitions the fleet exactly like the PDES
+        // engine (contiguous balanced slices, one per dispatch shard),
+        // so a D = 1 tier spans the whole cluster and a sharded classic
+        // run allocates over the same slices a parallel run would.
+        let tier = stamping.as_ref().and_then(|spec| {
+            policies[0].malleable_allocator().map(|kind| {
+                let d = shards.max(1);
+                let ranges = crate::pdes::shard_ranges(n, d);
+                let mut shard_of = vec![0; n];
+                for (s, r) in ranges.iter().enumerate() {
+                    for i in r.clone() {
+                        shard_of[i] = s;
+                    }
+                }
+                MalleableTier {
+                    runtimes: (0..d).map(|_| MalleableRuntime::new(kind, spec)).collect(),
+                    ranges,
+                    shard_of,
+                    wakes: vec![None; d],
+                    ids: vec![HashMap::new(); d],
+                    next_id: vec![0; d],
+                }
+            })
+        });
+        let class_stats = stamping
+            .as_ref()
+            .map(|spec| vec![(Welford::new(), Welford::new()); spec.classes.len() + 1]);
+        let rng_class =
+            (stamping.is_some() && script.is_none()).then(|| Rng64::stream(seed, MALLEABLE_STREAM));
         // The true-load index costs O(log N) per queue mutation, so it
         // only exists when some policy in the tier reads it.
         let mut fleet = FleetState::new(n, policies.iter().any(|p| p.wants_true_load_index()));
@@ -654,6 +780,14 @@ impl<P: Policy> Model<P> {
             degraded_ratio: Welford::new(),
             channels,
             stale_baseline: 0,
+            stamping,
+            rng_class,
+            tier,
+            slowdown: Welford::new(),
+            slow_p95: P2Quantile::new(0.95),
+            slow_p99: P2Quantile::new(0.99),
+            class_stats,
+            malleable_jobs: 0,
         }
     }
 
@@ -671,7 +805,7 @@ impl<P: Policy> Model<P> {
                 // The script always carries at least the sentinel; the
                 // first entry (real or sentinel) mirrors the live path's
                 // always-pending next arrival.
-                if let Some(&(t, _)) = script.jobs.first() {
+                if let Some(&(t, _, _)) = script.jobs.first() {
                     engine.schedule_at(SimTime::new(t), Ev::Arrival);
                 }
             }
@@ -755,6 +889,7 @@ impl<P: Policy> Model<P> {
                 self.resp_ratio.push(ratio);
                 self.ratio_p95.push(ratio);
                 self.ratio_p99.push(ratio);
+                self.record_slowdown(ratio, rec.class, response);
                 if rec.degraded {
                     self.degraded_time.push(response);
                     self.degraded_ratio.push(ratio);
@@ -777,6 +912,202 @@ impl<P: Policy> Model<P> {
             }
         }
         self.done_buf.clear();
+    }
+
+    /// Records one counted completion into the slowdown objective
+    /// (always-on) and the per-class breakdown (stamping runs only).
+    ///
+    /// `slowdown = response / inherent size`, which on the rigid path
+    /// coincides numerically with the response ratio — same numerator,
+    /// same speed-1 service demand in the denominator.
+    fn record_slowdown(&mut self, slowdown: f64, class: u16, response: f64) {
+        self.slowdown.push(slowdown);
+        self.slow_p95.push(slowdown);
+        self.slow_p99.push(slowdown);
+        if let Some(stats) = &mut self.class_stats {
+            let (resp, slow) = &mut stats[usize::from(class)];
+            resp.push(response);
+            slow.push(slowdown);
+            if let Some(obs) = &mut self.obs {
+                obs.on_slowdown(slowdown);
+            }
+        }
+    }
+
+    /// Admits one stamped job into shard `shard`'s allocation runtime:
+    /// progress the tier to `now`, harvest any completions, enrol the
+    /// job, and re-solve the allocation.
+    fn tier_admit<Q: FutureEventList<Ev>>(
+        &mut self,
+        shard: usize,
+        id: JobId,
+        class: u16,
+        size: f64,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        self.tier_reap(shard, now);
+        let tier = self.tier.as_mut().expect("tier admit without a tier");
+        let key = tier.next_id[shard];
+        tier.next_id[shard] += 1;
+        tier.ids[shard].insert(key, id);
+        tier.runtimes[shard].admit(key, class, size);
+        self.tier_reallocate(shard, now, sched);
+    }
+
+    /// Progresses shard `shard`'s tier to `now` and completes every
+    /// finished job (in admission order — the runtime reaps
+    /// deterministically).
+    fn tier_reap(&mut self, shard: usize, now: f64) {
+        let (done, front) = {
+            let tier = self.tier.as_mut().expect("tier reap without a tier");
+            tier.runtimes[shard].advance(now);
+            let reaped = tier.runtimes[shard].reap();
+            let done: Vec<JobId> = reaped
+                .iter()
+                .map(|tj| {
+                    tier.ids[shard]
+                        .remove(&tj.id)
+                        .expect("tier job key unknown to the id map")
+                })
+                .collect();
+            (done, tier.ranges[shard].start)
+        };
+        for id in done {
+            self.tier_complete(id, front, now);
+        }
+    }
+
+    /// Full completion bookkeeping for one tier job — the tier-side
+    /// mirror of [`Model::drain_completions`]. `server` is the shard's
+    /// first server index, the representative the trace records for a
+    /// job that ran on a fractional slice of the whole shard.
+    fn tier_complete(&mut self, id: JobId, server: usize, now: f64) {
+        let rec = self.slab.remove(id);
+        if let Some(obs) = &mut self.obs {
+            obs.on_completion();
+        }
+        if rec.counted {
+            let response = now - rec.arrival;
+            if let Some(obs) = &mut self.obs {
+                obs.on_response(response);
+            }
+            self.resp_time.push(response);
+            let ratio = response / rec.size;
+            self.resp_ratio.push(ratio);
+            self.ratio_p95.push(ratio);
+            self.ratio_p99.push(ratio);
+            self.record_slowdown(ratio, rec.class, response);
+            if rec.degraded {
+                self.degraded_time.push(response);
+                self.degraded_ratio.push(ratio);
+            }
+            if let Some(h) = &mut self.ratio_histogram {
+                h.record(ratio);
+            }
+            if let Some(tr) = &mut self.trace {
+                tr.record(crate::trace::JobTrace {
+                    arrival: rec.arrival,
+                    completion: now,
+                    size: rec.size,
+                    server,
+                });
+            }
+        }
+    }
+
+    /// Re-solves shard `shard`'s allocation for its current capacity
+    /// (up servers in the slice at their mean speed), re-arms the
+    /// shard's completion wake through the O(1)-cancel path, and mirrors
+    /// the allocated fraction onto the slice's servers so utilization
+    /// integrals stay honest.
+    fn tier_reallocate<Q: FutureEventList<Ev>>(
+        &mut self,
+        shard: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let range = self
+            .tier
+            .as_ref()
+            .expect("tier reallocate without a tier")
+            .ranges[shard]
+            .clone();
+        let mut cores = 0u32;
+        let mut speed_sum = 0.0;
+        for i in range.clone() {
+            if self.servers[i].is_up() {
+                cores += 1;
+                speed_sum += self.speeds[i];
+            }
+        }
+        // Zero capacity (whole slice down) stalls the tier: rates drop
+        // to 0, no completion is pending, and the repair hook restarts
+        // progress — the tier's analogue of parked Restart jobs.
+        let core_speed = if cores > 0 {
+            speed_sum / f64::from(cores)
+        } else {
+            0.0
+        };
+        let tier = self.tier.as_mut().expect("checked above");
+        let rt = &mut tier.runtimes[shard];
+        rt.reallocate(f64::from(cores), core_speed);
+        let per_server = if cores > 0 {
+            rt.cores_in_use() / f64::from(cores)
+        } else {
+            0.0
+        };
+        let next = rt.next_completion();
+        if let Some(ev) = tier.wakes[shard].take() {
+            sched.cancel(ev);
+        }
+        if let Some(t) = next {
+            tier.wakes[shard] =
+                Some(sched.schedule_at(SimTime::new(t.max(now)), Ev::TierWake { shard }));
+        }
+        for i in range {
+            let share = if self.servers[i].is_up() {
+                per_server
+            } else {
+                0.0
+            };
+            self.servers[i].set_tier_share(now, share);
+        }
+    }
+
+    /// A tier completion fires on `shard`: harvest it (and any that
+    /// finished in the same instant) and re-solve the allocation for
+    /// the survivors.
+    fn handle_tier_wake<Q: FutureEventList<Ev>>(
+        &mut self,
+        shard: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        match &mut self.tier {
+            Some(tier) => tier.wakes[shard] = None,
+            None => return,
+        }
+        self.tier_reap(shard, now);
+        self.tier_reallocate(shard, now, sched);
+    }
+
+    /// Capacity-change hook for the tier: a crash or repair of `server`
+    /// resizes its shard's slice. Jobs progress at the old rates up to
+    /// `now`, then the allocation re-solves against the new capacity —
+    /// migration semantics, nothing is evicted or lost.
+    fn tier_capacity_changed<Q: FutureEventList<Ev>>(
+        &mut self,
+        server: usize,
+        now: f64,
+        sched: &mut Scheduler<'_, Ev, Q>,
+    ) {
+        let Some(tier) = &self.tier else {
+            return;
+        };
+        let shard = tier.shard_of[server];
+        self.tier_reap(shard, now);
+        self.tier_reallocate(shard, now, sched);
     }
 
     /// Coordinated-tier catch-up, called immediately after the splitter
@@ -810,17 +1141,17 @@ impl<P: Policy> Model<P> {
         // size. The script's final entry is a past-horizon sentinel that
         // is scheduled but never delivered, mirroring the live path's
         // always-pending next arrival.
-        let size = match &mut self.script {
+        let (size, class) = match &mut self.script {
             Some(script) => {
-                if let Some(&(t, _)) = script.jobs.get(script.cursor + 1) {
+                if let Some(&(t, _, _)) = script.jobs.get(script.cursor + 1) {
                     sched.schedule_at(SimTime::new(t), Ev::Arrival);
                 }
                 if let Some(obs) = &mut self.obs {
                     obs.on_arrival();
                 }
-                let size = script.jobs[script.cursor].1;
+                let (_, size, class) = script.jobs[script.cursor];
                 script.cursor += 1;
-                size
+                (size, class)
             }
             None => {
                 let gap = self.arrivals.next_interarrival(&mut self.rng_arrival);
@@ -828,7 +1159,15 @@ impl<P: Policy> Model<P> {
                 if let Some(obs) = &mut self.obs {
                     obs.on_arrival();
                 }
-                self.sizes.sample(&mut self.rng_size)
+                let size = self.sizes.sample(&mut self.rng_size);
+                // Class stamping draws from its own stream, once per
+                // live arrival (even for jobs lost to a total outage),
+                // keeping the stamper aligned with the PDES pre-draw.
+                let class = match (&self.stamping, &mut self.rng_class) {
+                    (Some(spec), Some(rng)) => spec.stamp(rng.next_f64()),
+                    _ => 0,
+                };
+                (size, class)
             }
         };
         let counted = now >= self.warmup;
@@ -841,6 +1180,36 @@ impl<P: Policy> Model<P> {
                 self.jobs_counted += 1;
                 self.jobs_lost += 1;
             }
+            return;
+        }
+        if self.tier.is_some() {
+            // The allocation tier owns EVERY job when active — rigid
+            // class-0 jobs included (they hold exactly one core, the
+            // degenerate water level). The shard's policy is not
+            // consulted and no per-server dispatch is recorded: tier
+            // jobs have no single destination.
+            if counted {
+                self.jobs_counted += 1;
+            }
+            let shard = self.splitter.route();
+            self.coordinate(shard);
+            if counted {
+                self.shard_routed[shard] += 1;
+            }
+            if class != 0 {
+                self.malleable_jobs += 1;
+            }
+            let id = self.slab.insert(JobRecord {
+                size,
+                arrival: now,
+                // Tier jobs run on a fractional slice of the shard, not
+                // a single server; MAX keeps accidental reads loud.
+                server: usize::MAX,
+                counted,
+                degraded: self.down_count > 0,
+                class,
+            });
+            self.tier_admit(shard, id, class, size, now, sched);
             return;
         }
         if self.channels.is_some() {
@@ -867,6 +1236,7 @@ impl<P: Policy> Model<P> {
                 server: usize::MAX,
                 counted,
                 degraded: self.down_count > 0,
+                class,
             });
             let (tx, gen) = self
                 .channels
@@ -919,6 +1289,7 @@ impl<P: Policy> Model<P> {
             server: target,
             counted,
             degraded: self.down_count > 0,
+            class,
         });
         // Catch any boundary-epsilon completion before admitting.
         self.servers[target].advance(now, &mut self.done_buf);
@@ -1346,6 +1717,9 @@ impl<P: Policy> Model<P> {
         self.sync_fleet(server); // the evicted queue drains to 0
         self.down_count += 1;
         self.notify_membership(notice, now, sched);
+        // Tier jobs are not evicted by the crash — the shard's slice
+        // just shrank, so their shares re-solve over what remains.
+        self.tier_capacity_changed(server, now, sched);
 
         match semantics {
             JobFaultSemantics::Lost => {
@@ -1464,6 +1838,10 @@ impl<P: Policy> Model<P> {
         }
         self.sync_fleet(server);
         self.reschedule(server, sched);
+        // The repaired server rejoins its shard's slice: tier shares
+        // re-solve over the grown capacity (and a fully-stalled shard
+        // resumes progress).
+        self.tier_capacity_changed(server, now, sched);
     }
 
     /// Delivers (or schedules) a membership notice to the policy.
@@ -1674,6 +2052,31 @@ impl<P: Policy> Model<P> {
         } else {
             Vec::new()
         };
+        // Per-class breakdown only exists for stamping runs; every
+        // stamped class id appears, even with zero completions, so the
+        // sharded merge can fold tables elementwise.
+        let classes: Vec<ClassStats> = self
+            .class_stats
+            .as_ref()
+            .map(|stats| {
+                stats
+                    .iter()
+                    .enumerate()
+                    .map(|(c, (resp, slow))| ClassStats {
+                        class: c as u16,
+                        count: resp.count(),
+                        mean_slowdown: slow.mean(),
+                        mean_response: resp.mean(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let malleable = self.tier.as_ref().map(|tier| MalleableStats {
+            malleable_jobs: self.malleable_jobs,
+            reallocations: tier.runtimes.iter().map(|r| r.reallocations).sum(),
+            max_cores_in_use: tier.runtimes.iter().map(|r| r.max_cores_in_use).sum(),
+            fleet_cores: self.servers.len() as f64,
+        });
         RunStats {
             policy: self.policies[0].name(),
             jobs_counted: self.jobs_counted,
@@ -1727,6 +2130,11 @@ impl<P: Policy> Model<P> {
             // Summary collapse happens at the top-level run exits, never
             // here: sharded finalization still needs the full vectors.
             server_summary: None,
+            mean_slowdown: self.slowdown.mean(),
+            p95_slowdown: self.slow_p95.estimate().unwrap_or(0.0),
+            p99_slowdown: self.slow_p99.estimate().unwrap_or(0.0),
+            classes,
+            malleable,
         }
     }
 }
@@ -1796,6 +2204,7 @@ impl<P: Policy, Q: FutureEventList<Ev>> Actor<Ev, Q> for Model<P> {
             } => self.deliver_dispatch(tx, gen, target, hedged, t, sched),
             Ev::RetryTimer { tx, gen } => self.handle_retry_timer(tx, gen, t, sched),
             Ev::HedgeTimer { tx, gen } => self.handle_hedge_timer(tx, gen, t, sched),
+            Ev::TierWake { shard } => self.handle_tier_wake(shard, t, sched),
         }
     }
 }
@@ -1844,6 +2253,7 @@ mod tests {
             dispatch: Default::default(),
             channels: None,
             per_server: Default::default(),
+            malleable: None,
         }
     }
 
@@ -2429,5 +2839,152 @@ mod tests {
         for &d in &stats.deviations {
             assert!(d < 0.01, "cyclic deviation should be small, got {d}");
         }
+    }
+
+    /// An allocator policy for tier tests: never consulted for tier
+    /// jobs, deterministic fallback otherwise.
+    struct HesrptTest;
+
+    impl Policy for HesrptTest {
+        fn choose(&mut self, _ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+            0
+        }
+
+        fn malleable_allocator(&self) -> Option<crate::malleable::AllocatorKind> {
+            Some(crate::malleable::AllocatorKind::Hesrpt)
+        }
+
+        fn name(&self) -> String {
+            "hesrpt-test".into()
+        }
+    }
+
+    #[test]
+    fn inactive_malleable_section_is_invisible() {
+        // The tentpole invariant: an all-rigid or zero-fraction
+        // malleable section constructs nothing — no class stream, no
+        // accumulators, no tier — so the run is bit-identical to a
+        // section-free one on both FEL backends, even when the policy
+        // could allocate.
+        use crate::malleable::{MalleableClass, MalleableSpec};
+        let rigid_class = MalleableSpec {
+            fraction: 0.7,
+            classes: vec![MalleableClass {
+                curve: hetsched_dist::SpeedupCurve::Rigid,
+                weight: 1.0,
+            }],
+        };
+        let zero_fraction = MalleableSpec::power_law(0.0, 0.5);
+        for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+            for section in [rigid_class.clone(), zero_fraction.clone()] {
+                let mut base_cfg = small_cfg();
+                base_cfg.event_list = backend;
+                let mut mall_cfg = base_cfg.clone();
+                mall_cfg.malleable = Some(section);
+                let base = Simulation::new(base_cfg, HesrptTest, 33).unwrap().run();
+                let mall = Simulation::new(mall_cfg, HesrptTest, 33).unwrap().run();
+                assert_eq!(base, mall, "backend {backend:?}");
+                assert!(mall.malleable.is_none());
+                assert!(mall.classes.is_empty());
+                // Slowdown coincides with the response ratio on the
+                // rigid path — same jobs, same formula.
+                assert_eq!(mall.mean_slowdown, mall.mean_response_ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn hesrpt_tier_allocates_and_conserves() {
+        let mut cfg = small_cfg();
+        cfg.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.5));
+        let stats = Simulation::new(cfg, HesrptTest, 44).unwrap().run();
+        assert!(
+            stats.jobs_finished > 500,
+            "finished {}",
+            stats.jobs_finished
+        );
+        assert_conserved(&stats);
+        let m = stats.malleable.as_ref().expect("tier stats present");
+        assert!(m.malleable_jobs > 0);
+        assert!(m.reallocations > 0);
+        assert_eq!(m.fleet_cores, 2.0);
+        // Conservation law of the allocation itself.
+        assert!(
+            m.max_cores_in_use <= m.fleet_cores + 1e-9,
+            "allocated {} of {} cores",
+            m.max_cores_in_use,
+            m.fleet_cores
+        );
+        assert!(stats.mean_slowdown > 0.0);
+        assert!(stats.p99_slowdown >= stats.p95_slowdown);
+        // Class table: rigid background + one power-law class.
+        assert_eq!(stats.classes.len(), 2);
+        assert!(stats.classes[0].count > 0 && stats.classes[1].count > 0);
+        let total: u64 = stats.classes.iter().map(|c| c.count).sum();
+        assert_eq!(total, stats.jobs_finished);
+        // Determinism under the same seed, like every other subsystem.
+        let mut cfg2 = small_cfg();
+        cfg2.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.5));
+        let again = Simulation::new(cfg2, HesrptTest, 44).unwrap().run();
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn tier_backends_agree_with_faults() {
+        for faults in [
+            None,
+            Some(
+                crate::faults::FaultSpec::exponential(2_000.0, 200.0)
+                    .with_semantics(crate::faults::JobFaultSemantics::Resubmit),
+            ),
+        ] {
+            let mut heap_cfg = small_cfg();
+            heap_cfg.malleable = Some(crate::malleable::MalleableSpec::power_law(0.6, 0.5));
+            heap_cfg.faults = faults;
+            let mut cal_cfg = heap_cfg.clone();
+            cal_cfg.event_list = EventListBackend::Calendar;
+            let heap = Simulation::new(heap_cfg, HesrptTest, 45).unwrap().run();
+            let cal = Simulation::new(cal_cfg, HesrptTest, 45).unwrap().run();
+            assert_eq!(heap, cal);
+            assert_conserved(&heap);
+        }
+    }
+
+    #[test]
+    fn stamping_without_allocator_runs_rigidly() {
+        // An active section with a non-allocator policy stamps classes
+        // (the breakdown table fills in) but dispatches every job
+        // rigidly: no tier, no tier stats.
+        let mut cfg = small_cfg();
+        cfg.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.5));
+        let stats = Simulation::new(cfg, Cyclic { next: 0 }, 46).unwrap().run();
+        assert!(stats.malleable.is_none());
+        assert_eq!(stats.classes.len(), 2);
+        assert!(stats.classes[1].count > 0, "stamped jobs completed");
+        assert_eq!(stats.mean_slowdown, stats.mean_response_ratio);
+        assert_conserved(&stats);
+    }
+
+    #[test]
+    fn tier_rejects_unreliable_channels() {
+        let mut cfg = small_cfg();
+        cfg.malleable = Some(crate::malleable::MalleableSpec::power_law(0.5, 0.5));
+        cfg.channels = Some(crate::channel::ChannelSpec {
+            dispatch: crate::channel::PlaneSpec::lossy(0.05),
+            ..crate::channel::ChannelSpec::default()
+        });
+        let Err(err) = Simulation::new(cfg.clone(), HesrptTest, 1) else {
+            panic!("tier + lossy channels must be rejected");
+        };
+        assert!(err.to_string().contains("reliable channels"), "{err}");
+        // A reliable channel section (structurally invisible) is fine.
+        cfg.channels = Some(crate::channel::ChannelSpec::reliable());
+        assert!(Simulation::new(cfg.clone(), HesrptTest, 1).is_ok());
+        // And so is an unreliable one without an allocator policy.
+        cfg.channels = Some(crate::channel::ChannelSpec {
+            dispatch: crate::channel::PlaneSpec::lossy(0.05),
+            ..crate::channel::ChannelSpec::default()
+        });
+        assert!(Simulation::new(cfg, Cyclic { next: 0 }, 1).is_ok());
     }
 }

@@ -249,6 +249,12 @@ pub struct ExperimentResult {
     pub fairness: CiSummary,
     /// 95th percentile response ratio across replications.
     pub p95_response_ratio: CiSummary,
+    /// Mean slowdown across replications (the malleable axis's
+    /// objective; numerically the response ratio on rigid runs).
+    /// Serde-defaulted to an empty summary so results saved before the
+    /// malleable axis still load.
+    #[serde(default = "CiSummary::absent")]
+    pub mean_slowdown: CiSummary,
     /// Mean dispatch fraction per server (Table-1 style percentages).
     pub dispatch_fractions: Vec<f64>,
     /// Mean per-server utilization.
@@ -284,6 +290,7 @@ impl ExperimentResult {
             mean_response_ratio: CiSummary::from_values(&collect(&|r| r.mean_response_ratio)),
             fairness: CiSummary::from_values(&collect(&|r| r.fairness)),
             p95_response_ratio: CiSummary::from_values(&collect(&|r| r.p95_response_ratio)),
+            mean_slowdown: CiSummary::from_values(&collect(&|r| r.mean_slowdown)),
             dispatch_fractions: fractions,
             server_utilizations: utils,
             runs,
@@ -317,6 +324,25 @@ mod tests {
         assert_eq!(r.dispatch_fractions.len(), 2);
         let total: f64 = r.dispatch_fractions.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_slowdown_equals_response_ratio() {
+        // Without malleable classes every job runs on one server, so
+        // slowdown (response / inherent work at speed 1) and response
+        // ratio are the same statistic.
+        let r = tiny().run().unwrap();
+        assert!((r.mean_slowdown.mean - r.mean_response_ratio.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_without_mean_slowdown_still_load() {
+        let r = tiny().run().unwrap();
+        let mut v = serde_json::to_value(&r).unwrap();
+        v.as_object_mut().unwrap().remove("mean_slowdown");
+        let back: ExperimentResult = serde_json::from_value(v).unwrap();
+        assert_eq!(back.mean_slowdown, CiSummary::absent());
+        assert_eq!(back.name, r.name);
     }
 
     #[test]

@@ -81,8 +81,8 @@ pub mod prelude {
     pub use crate::cluster::faults::{FaultSpec, JobFaultSemantics};
     pub use crate::cluster::{
         ArrivalSpec, ChannelSpec, ClusterConfig, Coordination, DisciplineSpec, DispatchSpec,
-        EventListBackend, HedgeSpec, ParallelSimulation, PdesTiming, PlaneSpec, RetrySpec,
-        RunStats, SplitterSpec, SyncSpec,
+        EventListBackend, HedgeSpec, MalleableClass, MalleableSpec, ParallelSimulation, PdesTiming,
+        PlaneSpec, RetrySpec, RunStats, SpeedupCurve, SplitterSpec, SyncSpec,
     };
     pub use crate::dist::DistSpec;
     pub use crate::error::HetschedError;

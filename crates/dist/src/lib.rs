@@ -44,7 +44,7 @@ pub use empirical::Empirical;
 pub use exponential::Exponential;
 pub use hyperexp::Hyperexp2;
 pub use lognormal::LogNormal;
-pub use spec::{BuiltDist, DistSpec};
+pub use spec::{BuiltDist, DistSpec, SpeedupCurve};
 pub use uniform::Uniform;
 pub use weibull::Weibull;
 

@@ -69,6 +69,17 @@ impl CiSummary {
         }
     }
 
+    /// The "metric not recorded" sentinel (`n = 0`): the serde default
+    /// for summaries added after results were first saved, so old
+    /// result files still load.
+    pub fn absent() -> Self {
+        CiSummary {
+            n: 0,
+            mean: 0.0,
+            half_width: 0.0,
+        }
+    }
+
     /// Lower bound of the interval.
     pub fn lo(&self) -> f64 {
         self.mean - self.half_width

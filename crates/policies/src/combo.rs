@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::allocation::AllocationSpec;
 use crate::dynamic::LeastLoadPolicy;
 use crate::extra::{JsqPolicy, SitaEPolicy};
+use crate::hesrpt::{HesrptPolicy, HesrptStaticPolicy};
 use crate::random::RandomDispatch;
 use crate::reopt::ReoptimizingOrr;
 use crate::round_robin::RoundRobinDispatch;
@@ -123,6 +124,18 @@ pub enum PolicySpec {
     /// Join-Idle-Queue: O(1) idle-stack pop per decision, power-of-2
     /// sampling fallback when no server is believed idle (scale axis).
     Jiq,
+    /// heSRPT malleable server allocation (slowdown axis): every job
+    /// is held by the simulator's allocation tier, which divides each
+    /// dispatch shard's cores among its in-flight jobs by the heSRPT
+    /// closed form — size-ordered water-filled shares that minimize
+    /// mean slowdown. Requires an active `malleable` section in the
+    /// cluster configuration.
+    Hesrpt,
+    /// Equal-split malleable allocation (slowdown axis): like
+    /// [`PolicySpec::Hesrpt`] but every in-flight job receives the
+    /// same core share regardless of remaining work — the EQUI
+    /// baseline that isolates the value of size ordering.
+    HesrptStatic,
 }
 
 impl PolicySpec {
@@ -207,6 +220,8 @@ impl PolicySpec {
                 }
             }
             PolicySpec::Jiq => "JIQ".into(),
+            PolicySpec::Hesrpt => "HESRPT".into(),
+            PolicySpec::HesrptStatic => "HESRPT-STATIC".into(),
         }
     }
 
@@ -215,8 +230,9 @@ impl PolicySpec {
     /// Accepted (case-insensitive): `wran`, `oran`, `wrr`, `orr`,
     /// `dynamic`, `dynamic-idx`, `dynamic-sa[:window]`,
     /// `dynamic-sa-idx[:window]`, `jsq:<d>`, `jsq-full`, `jsq-idx`,
-    /// `pod:<d>`, `pod-het:<d>`, `jiq`, `sita-e`, `reopt-orr`. The
-    /// staleness window defaults to 500 seconds when omitted.
+    /// `pod:<d>`, `pod-het:<d>`, `jiq`, `sita-e`, `reopt-orr`,
+    /// `hesrpt`, `hesrpt-static`. The staleness window defaults to
+    /// 500 seconds when omitted.
     ///
     /// # Errors
     /// [`HetschedError::InvalidPolicy`] on an unknown name or an
@@ -269,6 +285,8 @@ impl PolicySpec {
             "jiq" => PolicySpec::Jiq,
             "sita-e" => PolicySpec::SitaE,
             "reopt-orr" => PolicySpec::ReoptimizingOrr,
+            "hesrpt" => PolicySpec::Hesrpt,
+            "hesrpt-static" => PolicySpec::HesrptStatic,
             _ => {
                 return Err(HetschedError::InvalidPolicy(format!(
                     "unknown policy name {name:?}"
@@ -412,7 +430,31 @@ impl PolicySpec {
                 Ok(Box::new(PowerOfD::new(&cfg.speeds, *d, *het_aware)))
             }
             PolicySpec::Jiq => Ok(Box::new(Jiq::new(&cfg.speeds))),
+            PolicySpec::Hesrpt => {
+                require_malleable(cfg, "HESRPT")?;
+                Ok(Box::new(HesrptPolicy::new()))
+            }
+            PolicySpec::HesrptStatic => {
+                require_malleable(cfg, "HESRPT-STATIC")?;
+                Ok(Box::new(HesrptStaticPolicy::new()))
+            }
         }
+    }
+}
+
+/// The malleable allocators are declarations to the simulator's
+/// allocation tier; without an active `malleable` section that tier
+/// never forms and the policy would silently degenerate to its rigid
+/// fallback. Reject the combination up front instead.
+fn require_malleable(cfg: &ClusterConfig, label: &str) -> Result<(), HetschedError> {
+    if cfg.malleable.as_ref().is_some_and(|m| m.active()) {
+        Ok(())
+    } else {
+        Err(HetschedError::InvalidPolicy(format!(
+            "{label} needs an active malleable section in the cluster \
+             configuration (e.g. --malleable-fraction 0.5); without one \
+             there are no malleable classes to allocate cores to"
+        )))
     }
 }
 
@@ -594,6 +636,8 @@ mod tests {
             ("jiq", PolicySpec::Jiq),
             ("sita-e", PolicySpec::SitaE),
             ("reopt-orr", PolicySpec::ReoptimizingOrr),
+            ("hesrpt", PolicySpec::Hesrpt),
+            ("HESRPT-STATIC", PolicySpec::HesrptStatic),
         ] {
             assert_eq!(PolicySpec::from_cli_name(name).unwrap(), spec, "{name}");
         }
@@ -664,6 +708,30 @@ mod tests {
     }
 
     #[test]
+    fn hesrpt_requires_active_malleable_section() {
+        // No malleable section at all.
+        let plain = cfg();
+        for spec in [PolicySpec::Hesrpt, PolicySpec::HesrptStatic] {
+            let err = spec.build(&plain).err().expect("must be rejected");
+            assert!(matches!(err, HetschedError::InvalidPolicy(_)));
+            assert!(err.to_string().contains("malleable"));
+        }
+        // An inactive section (zero fraction) is just as rigid.
+        let mut inactive = cfg();
+        inactive.malleable = Some(hetsched_cluster::MalleableSpec::power_law(0.0, 0.5));
+        assert!(PolicySpec::Hesrpt.build(&inactive).is_err());
+        // An active section builds, and the name matches the label.
+        let mut active = cfg();
+        active.malleable = Some(hetsched_cluster::MalleableSpec::power_law(0.5, 0.5));
+        for spec in [PolicySpec::Hesrpt, PolicySpec::HesrptStatic] {
+            let p = spec.build(&active).unwrap();
+            assert_eq!(p.name(), spec.label());
+            assert!(p.malleable_allocator().is_some());
+            assert!(!p.needs_load_updates());
+        }
+    }
+
+    #[test]
     fn serde_round_trip() {
         for spec in [
             PolicySpec::orr(),
@@ -682,6 +750,8 @@ mod tests {
                 het_aware: true,
             },
             PolicySpec::Jiq,
+            PolicySpec::Hesrpt,
+            PolicySpec::HesrptStatic,
         ] {
             let json = serde_json::to_string(&spec).unwrap();
             let back: PolicySpec = serde_json::from_str(&json).unwrap();

@@ -1,0 +1,162 @@
+//! heSRPT-style malleable server allocation (extension).
+//!
+//! The paper's schemes dispatch each job to exactly one computer. The
+//! malleable extension instead lets the *simulator's allocation tier*
+//! divide every dispatch shard's servers among its in-flight jobs each
+//! time the job set changes. A policy opts into that tier by returning
+//! an [`AllocatorKind`] from [`Policy::malleable_allocator`]; the two
+//! policies here are thin declarations of the allocation rule:
+//!
+//! * [`HesrptPolicy`] — the heSRPT closed form (Berg, Vesilo &
+//!   Harchol-Balter, *heSRPT: Parallel scheduling to minimize mean
+//!   slowdown*, PEVA 2020): jobs ranked by ascending remaining work;
+//!   the rank-`r` job of `M` receives the share
+//!   `(M−r+1)^{1/p} − (M−r)^{1/p}` of the shard's cores, favoring
+//!   short jobs without starving long ones.
+//! * [`HesrptStaticPolicy`] — the equal-split baseline: every job gets
+//!   `cores / M` regardless of remaining work. The gap between the two
+//!   isolates the value of size-ordered allocation.
+//!
+//! When the allocation tier is active the simulator never consults
+//! [`Policy::choose`]; the fallback below (deterministic fastest-live
+//! scan) only matters if a spec is built against a rigid configuration,
+//! which [`crate::combo::PolicySpec::build`] rejects up front.
+
+use hetsched_cluster::malleable::AllocatorKind;
+use hetsched_cluster::{DispatchCtx, Policy};
+use hetsched_desim::Rng64;
+
+/// Declares the heSRPT allocation rule to the simulator's tier.
+#[derive(Debug, Clone, Default)]
+pub struct HesrptPolicy {
+    /// Believed membership from the fault layer; empty means all up.
+    up: Vec<bool>,
+}
+
+impl HesrptPolicy {
+    /// Creates the heSRPT allocator declaration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Declares the static equal-split allocation rule (per-class baseline).
+#[derive(Debug, Clone, Default)]
+pub struct HesrptStaticPolicy {
+    /// Believed membership from the fault layer; empty means all up.
+    up: Vec<bool>,
+}
+
+impl HesrptStaticPolicy {
+    /// Creates the equal-split allocator declaration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Deterministic rigid fallback: the fastest believed-up server (ties
+/// to the lowest index). Only reachable when the allocation tier is
+/// inactive.
+fn fastest_live(speeds: &[f64], up: &[bool]) -> usize {
+    let mut best = 0;
+    let mut best_speed = f64::NEG_INFINITY;
+    for (i, &s) in speeds.iter().enumerate() {
+        if !up.get(i).copied().unwrap_or(true) {
+            continue;
+        }
+        if s > best_speed {
+            best_speed = s;
+            best = i;
+        }
+    }
+    if best_speed.is_finite() {
+        best
+    } else {
+        0 // stale all-down belief: dispatch anyway, the loss is recorded
+    }
+}
+
+impl Policy for HesrptPolicy {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        fastest_live(ctx.speeds, &self.up)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up = up.to_vec();
+    }
+
+    fn malleable_allocator(&self) -> Option<AllocatorKind> {
+        Some(AllocatorKind::Hesrpt)
+    }
+
+    fn name(&self) -> String {
+        "HESRPT".into()
+    }
+}
+
+impl Policy for HesrptStaticPolicy {
+    fn choose(&mut self, ctx: &DispatchCtx<'_>, _rng: &mut Rng64) -> usize {
+        fastest_live(ctx.speeds, &self.up)
+    }
+
+    fn on_membership_change(&mut self, up: &[bool], _now: f64) {
+        self.up = up.to_vec();
+    }
+
+    fn malleable_allocator(&self) -> Option<AllocatorKind> {
+        Some(AllocatorKind::StaticClass)
+    }
+
+    fn name(&self) -> String {
+        "HESRPT-STATIC".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(speeds: &'a [f64], qlens: &'a [usize]) -> DispatchCtx<'a> {
+        DispatchCtx {
+            now: 0.0,
+            job_size: 1.0,
+            queue_lens: qlens,
+            speeds,
+            true_load_index: None,
+        }
+    }
+
+    #[test]
+    fn declares_allocator_kinds() {
+        assert_eq!(
+            HesrptPolicy::new().malleable_allocator(),
+            Some(AllocatorKind::Hesrpt)
+        );
+        assert_eq!(
+            HesrptStaticPolicy::new().malleable_allocator(),
+            Some(AllocatorKind::StaticClass)
+        );
+        assert_eq!(HesrptPolicy::new().name(), "HESRPT");
+        assert_eq!(HesrptStaticPolicy::new().name(), "HESRPT-STATIC");
+    }
+
+    #[test]
+    fn fallback_picks_fastest_live() {
+        let speeds = [1.0, 10.0, 2.0];
+        let qlens = [0, 0, 0];
+        let mut p = HesrptPolicy::new();
+        let mut rng = Rng64::from_seed(0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 1);
+        p.on_membership_change(&[true, false, true], 0.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 2);
+        // Stale all-down belief: still dispatches (to index 0).
+        p.on_membership_change(&[false, false, false], 1.0);
+        assert_eq!(p.choose(&ctx(&speeds, &qlens), &mut rng), 0);
+    }
+
+    #[test]
+    fn no_load_updates_needed() {
+        assert!(!HesrptPolicy::new().needs_load_updates());
+        assert!(!HesrptStaticPolicy::new().needs_load_updates());
+    }
+}

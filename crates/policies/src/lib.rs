@@ -27,6 +27,13 @@
 //! yardsticks with O(log N) indexed argmins (bit-identical to the scans)
 //! and adds O(1)-per-decision policies — power-of-d choices and
 //! join-idle-queue — for fleets up to 10,000 servers.
+//!
+//! The **malleable axis** ([`hesrpt`]) leaves single-server dispatch
+//! behind entirely: with malleable job classes configured, [`hesrpt`]'s
+//! policies hand every job to the simulator's server-allocation tier,
+//! which divides each dispatch shard's cores among its in-flight jobs
+//! by the heSRPT closed form (or a static equal split) to minimize
+//! mean *slowdown* rather than mean response time.
 
 #![warn(missing_docs)]
 
@@ -36,6 +43,7 @@ pub mod bursty_wrr;
 pub mod combo;
 pub mod dynamic;
 pub mod extra;
+pub mod hesrpt;
 pub mod random;
 pub mod reopt;
 pub mod round_robin;
@@ -47,6 +55,7 @@ pub use bursty_wrr::BurstyWeightedRr;
 pub use combo::{DispatcherSpec, PolicySpec};
 pub use dynamic::{LeastLoadPolicy, StaleAwareLeastLoad};
 pub use extra::{JsqPolicy, SitaEPolicy};
+pub use hesrpt::{HesrptPolicy, HesrptStaticPolicy};
 pub use random::RandomDispatch;
 pub use reopt::ReoptimizingOrr;
 pub use round_robin::RoundRobinDispatch;

@@ -1,0 +1,361 @@
+//! Differential contracts of the malleable axis.
+//!
+//! The load-bearing guarantee: the malleable subsystem is **structurally
+//! invisible** until it is switched on. Concretely:
+//!
+//! * an *inactive* malleable section — zero fraction, or a section whose
+//!   only class is rigid — produces **bit-identical** `RunStats` to no
+//!   section at all, across both event-list backends × engines
+//!   {classic, conservative-parallel} × faults {off, on} × thread
+//!   counts, because inactive sections construct no RNG streams and
+//!   schedule no events;
+//! * with the tier *active* under a single dispatcher, both engines and
+//!   both backends agree bit-for-bit; under D > 1 the parallel engine is
+//!   thread-count invisible and matches the classic engine on every
+//!   count, conservation witness, and (to merge precision) the Welford
+//!   moments — tails differ by design, since the parallel merge folds
+//!   per-shard P² estimates instead of replaying the global order;
+//! * the allocation conserves capacity (never more cores in use than
+//!   the fleet has), and per-class accounting sums to the headline job
+//!   counters;
+//! * [`hesrpt_shares`] itself matches an independently written
+//!   water-filling reference (closed-form ranks, cap clamping,
+//!   redistribution) after arbitrary job mixes, checked by a property
+//!   test.
+
+use hetsched::cluster::malleable::{hesrpt_shares, AllocJob};
+use hetsched::prelude::*;
+use proptest::prelude::*;
+
+/// A small, statistically alive heterogeneous system.
+fn base_cfg(faults: bool, backend: EventListBackend) -> ClusterConfig {
+    let mut cfg = ClusterConfig::paper_default(&[1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 8.0]);
+    cfg.job_sizes = DistSpec::Exponential { mean: 10.0 };
+    cfg.horizon = 6_000.0;
+    cfg.warmup = 600.0;
+    cfg.event_list = backend;
+    if faults {
+        cfg.faults = Some(
+            FaultSpec::exponential(2_000.0, 200.0).with_semantics(JobFaultSemantics::Resubmit),
+        );
+    }
+    cfg
+}
+
+/// Runs one replication and returns its stats with the policy name
+/// blanked (the only field allowed to differ between twins).
+fn run_anon(
+    cfg: ClusterConfig,
+    spec: PolicySpec,
+    sim_threads: usize,
+    replication: u64,
+) -> RunStats {
+    let mut exp = Experiment::new("malleable_diff", cfg, spec);
+    exp.sim_threads = sim_threads;
+    let mut stats = exp.run_single(replication).expect("replication runs");
+    stats.policy = String::new();
+    stats
+}
+
+/// The two ways of writing an inactive section.
+fn inactive_sections() -> [MalleableSpec; 2] {
+    [
+        MalleableSpec::power_law(0.0, 0.5),
+        MalleableSpec {
+            fraction: 1.0,
+            classes: vec![MalleableClass {
+                curve: SpeedupCurve::Rigid,
+                weight: 1.0,
+            }],
+        },
+    ]
+}
+
+#[test]
+fn inactive_sections_are_bit_invisible() {
+    for backend in [EventListBackend::Heap, EventListBackend::Calendar] {
+        for faults in [false, true] {
+            for sim_threads in [0usize, 8] {
+                for spec in [PolicySpec::orr(), PolicySpec::DynamicLeastLoad] {
+                    let seed = run_anon(base_cfg(faults, backend), spec, sim_threads, 3);
+                    for section in inactive_sections() {
+                        let mut cfg = base_cfg(faults, backend);
+                        cfg.malleable = Some(section);
+                        let twin = run_anon(cfg, spec, sim_threads, 3);
+                        assert_eq!(
+                            seed, twin,
+                            "inactive malleable section diverged \
+                             (backend {backend:?}, faults {faults}, \
+                             sim_threads {sim_threads})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn inactive_sections_are_invisible_when_sharded() {
+    // The same invisibility with a sharded dispatch tier, where the
+    // allocation ranges would partition by shard if the tier formed.
+    for sim_threads in [0usize, 2] {
+        let mut cfg = base_cfg(false, EventListBackend::Heap);
+        cfg.dispatch = DispatchSpec::sharded(2, SplitterSpec::IidRandom);
+        let seed = run_anon(cfg.clone(), PolicySpec::orr(), sim_threads, 1);
+        cfg.malleable = Some(MalleableSpec::power_law(0.0, 0.5));
+        let twin = run_anon(cfg, PolicySpec::orr(), sim_threads, 1);
+        assert_eq!(
+            seed, twin,
+            "sharded run diverged (sim_threads {sim_threads})"
+        );
+    }
+}
+
+/// An active-tier configuration.
+fn tier_cfg(faults: bool, backend: EventListBackend, fraction: f64) -> ClusterConfig {
+    let mut cfg = base_cfg(faults, backend);
+    cfg.malleable = Some(MalleableSpec::power_law(fraction, 0.5));
+    cfg
+}
+
+#[test]
+fn active_tier_agrees_across_backends_and_engines() {
+    for policy in [PolicySpec::Hesrpt, PolicySpec::HesrptStatic] {
+        for faults in [false, true] {
+            let heap = run_anon(tier_cfg(faults, EventListBackend::Heap, 0.5), policy, 0, 7);
+            let calendar = run_anon(
+                tier_cfg(faults, EventListBackend::Calendar, 0.5),
+                policy,
+                0,
+                7,
+            );
+            assert_eq!(
+                heap, calendar,
+                "tier diverged across FEL backends (faults {faults})"
+            );
+            let pdes = run_anon(tier_cfg(faults, EventListBackend::Heap, 0.5), policy, 8, 7);
+            assert_eq!(
+                heap, pdes,
+                "tier diverged across engines (faults {faults}, sim_threads 8)"
+            );
+            assert!(heap.malleable.is_some(), "tier stats must be recorded");
+        }
+    }
+}
+
+#[test]
+fn sharded_tier_agrees_across_engines() {
+    // Two dispatch shards: the tier partitions the fleet into two
+    // independent allocation domains. The parallel engine must be
+    // bit-identical across thread counts; against the classic engine
+    // it shares every count and conservation witness and agrees on the
+    // Welford moments to merge precision — but not bitwise, because at
+    // D > 1 the parallel merge folds per-shard accumulators (exact
+    // Chan merge for means, jobs-weighted P² estimates for tails)
+    // instead of replaying the classic global completion order.
+    let make = || {
+        let mut cfg = tier_cfg(false, EventListBackend::Heap, 0.75);
+        cfg.dispatch = DispatchSpec::sharded(2, SplitterSpec::IidRandom);
+        cfg
+    };
+    let classic = run_anon(make(), PolicySpec::Hesrpt, 0, 5);
+    let one = run_anon(make(), PolicySpec::Hesrpt, 1, 5);
+    let two = run_anon(make(), PolicySpec::Hesrpt, 2, 5);
+    assert_eq!(one, two, "sharded tier must be thread-count invisible");
+    assert_eq!(classic.shards.len(), 2);
+    assert_eq!(classic.shards, one.shards);
+    assert_eq!(classic.jobs_counted, one.jobs_counted);
+    assert_eq!(classic.jobs_finished, one.jobs_finished);
+    // Tier bookkeeping is per-shard in both engines, so it matches
+    // exactly; per-class completion counts do too.
+    assert_eq!(classic.malleable, one.malleable);
+    let counts = |s: &RunStats| -> Vec<(u16, u64)> {
+        s.classes.iter().map(|c| (c.class, c.count)).collect()
+    };
+    assert_eq!(counts(&classic), counts(&one));
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs());
+    assert!(
+        close(classic.mean_slowdown, one.mean_slowdown),
+        "merged slowdown drifted: {} vs {}",
+        classic.mean_slowdown,
+        one.mean_slowdown
+    );
+    assert!(
+        close(classic.mean_response_time, one.mean_response_time),
+        "merged response drifted: {} vs {}",
+        classic.mean_response_time,
+        one.mean_response_time
+    );
+}
+
+#[test]
+fn tier_conserves_capacity_and_accounts_every_job() {
+    for fraction in [0.25, 1.0] {
+        let stats = run_anon(
+            tier_cfg(true, EventListBackend::Heap, fraction),
+            PolicySpec::Hesrpt,
+            0,
+            11,
+        );
+        let m = stats.malleable.as_ref().expect("tier stats recorded");
+        assert!(
+            m.max_cores_in_use <= m.fleet_cores + 1e-9,
+            "allocated {} cores of {}",
+            m.max_cores_in_use,
+            m.fleet_cores
+        );
+        assert!(m.reallocations > 0, "the tier must have reallocated");
+        assert!(m.malleable_jobs > 0, "some arrivals must be malleable");
+        // Per-class counts fold back to the headline counter.
+        let class_total: u64 = stats.classes.iter().map(|c| c.count).sum();
+        assert_eq!(class_total, stats.jobs_finished);
+        // The slowdown stream is populated and positive.
+        assert!(stats.mean_slowdown > 0.0);
+        assert!(stats.p95_slowdown >= stats.mean_slowdown * 0.1);
+        // Determinism: the same replication reruns bit-identically.
+        let again = run_anon(
+            tier_cfg(true, EventListBackend::Heap, fraction),
+            PolicySpec::Hesrpt,
+            0,
+            11,
+        );
+        assert_eq!(stats, again);
+    }
+}
+
+/// Independent water-filling reference for [`hesrpt_shares`],
+/// implementing the documented fixed point a different way: rank
+/// weights are computed once over the full (remaining, seq) ordering;
+/// each round clamps **every** current violator at once (the
+/// production code clamps one per round — removing a violator strictly
+/// increases the remaining proportional shares, so previous violators
+/// stay violators and both schedules converge to the same fixed
+/// point), then redistributes the free budget over the uncapped jobs.
+fn reference_shares(jobs: &[AllocJob], cores: f64) -> Vec<f64> {
+    let m = jobs.len();
+    let mut share = vec![0.0; m];
+    if m == 0 || cores <= 0.0 {
+        return share;
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .remaining
+            .total_cmp(&jobs[b].remaining)
+            .then(jobs[a].seq.cmp(&jobs[b].seq))
+    });
+    // Closed-form weights, fixed from the full ranking.
+    let mut raw = vec![0.0; m];
+    for (r, &i) in order.iter().enumerate() {
+        let inv_p = 1.0 / jobs[i].elasticity.clamp(1e-6, 1.0);
+        raw[i] = ((m - r) as f64).powf(inv_p) - ((m - r - 1) as f64).powf(inv_p);
+    }
+    let mut clamped = vec![false; m];
+    loop {
+        let budget = cores
+            - (0..m)
+                .filter(|&i| clamped[i])
+                .map(|i| share[i])
+                .sum::<f64>();
+        let raw_sum: f64 = (0..m).filter(|&i| !clamped[i]).map(|i| raw[i]).sum();
+        if raw_sum <= 0.0 || budget <= 0.0 {
+            break;
+        }
+        let mut any_clamped = false;
+        for i in 0..m {
+            if !clamped[i] && budget * raw[i] / raw_sum > jobs[i].cap {
+                share[i] = jobs[i].cap;
+                clamped[i] = true;
+                any_clamped = true;
+            }
+        }
+        if !any_clamped {
+            for i in 0..m {
+                if !clamped[i] {
+                    share[i] = budget * raw[i] / raw_sum;
+                }
+            }
+            break;
+        }
+    }
+    share
+}
+
+fn alloc_job(remaining: f64, elasticity: f64, cap: f64, seq: u64) -> AllocJob {
+    AllocJob {
+        remaining,
+        elasticity,
+        cap,
+        seq,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With one shared elasticity, the production allocator matches the
+    /// independent reference and obeys the conservation law.
+    #[test]
+    fn hesrpt_matches_water_filling_reference(
+        remainings in proptest::collection::vec(0.1f64..100.0, 1..8),
+        p in 0.1f64..1.0,
+        cores in 0.5f64..32.0,
+        cap_scale in 0.2f64..4.0,
+    ) {
+        let jobs: Vec<AllocJob> = remainings
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                // A mix of capped and uncapped jobs: even seqs are
+                // capped tight enough that clamping actually happens.
+                let cap = if i % 2 == 0 { cap_scale } else { f64::INFINITY };
+                alloc_job(r, p, cap, i as u64)
+            })
+            .collect();
+        let got = hesrpt_shares(&jobs, cores);
+        let want = reference_shares(&jobs, cores);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (g - w).abs() <= 1e-6 * (1.0 + w.abs()),
+                "job {i}: got {g}, reference {w} (all: {got:?} vs {want:?})"
+            );
+        }
+        // Conservation: everything is handed out up to the cap sum.
+        let cap_sum: f64 = jobs.iter().map(|j| j.cap.min(cores)).sum();
+        let total: f64 = got.iter().sum();
+        prop_assert!(total <= cores + 1e-9);
+        prop_assert!(total <= cap_sum + 1e-9);
+        // No share exceeds its cap, none is negative.
+        for (j, g) in jobs.iter().zip(&got) {
+            prop_assert!(*g >= 0.0 && *g <= j.cap + 1e-9);
+        }
+    }
+
+    /// With equal caps, shorter jobs never receive less than longer
+    /// ones — the SRPT-flavored ordering of the closed form.
+    #[test]
+    fn hesrpt_shares_are_srpt_ordered(
+        remainings in proptest::collection::vec(0.1f64..100.0, 2..8),
+        p in 0.1f64..1.0,
+        cores in 0.5f64..32.0,
+    ) {
+        let jobs: Vec<AllocJob> = remainings
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| alloc_job(r, p, f64::INFINITY, i as u64))
+            .collect();
+        let got = hesrpt_shares(&jobs, cores);
+        let mut idx: Vec<usize> = (0..jobs.len()).collect();
+        idx.sort_by(|&a, &b| jobs[a].remaining.total_cmp(&jobs[b].remaining));
+        for w in idx.windows(2) {
+            prop_assert!(
+                got[w[0]] >= got[w[1]] - 1e-9,
+                "shorter job got less: {got:?} for {remainings:?}"
+            );
+        }
+        // Uncapped: the full capacity is handed out.
+        let total: f64 = got.iter().sum();
+        prop_assert!((total - cores).abs() <= 1e-6 * cores);
+    }
+}
